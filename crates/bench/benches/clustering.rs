@@ -1,0 +1,57 @@
+//! Criterion benchmarks for fuzzy c-means: fit cost vs point count and
+//! cluster count (the dominant cost of the Figs. 6–9 sweeps), plus the
+//! Eq. 9 membership projection used on every query window.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kinemyo_fuzzy::{fcm_fit, FcmConfig};
+use kinemyo_linalg::Matrix;
+use std::hint::black_box;
+
+/// Deterministic blobs in 16-d (the combined hand feature dimension).
+fn points(n: usize) -> Matrix {
+    Matrix::from_fn(n, 16, |r, c| {
+        let blob = (r % 8) as f64;
+        blob + ((r * 31 + c * 17) as f64 * 0.61).sin() * 0.3
+    })
+}
+
+fn bench_fcm_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fcm_fit");
+    group.sample_size(10);
+    for &(n, clusters) in &[(500usize, 10usize), (500, 40), (2000, 10), (2000, 40)] {
+        let data = points(n);
+        let config = FcmConfig {
+            restarts: 1,
+            max_iters: 50,
+            ..FcmConfig::new(clusters)
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_c{clusters}")),
+            &(data, config),
+            |b, (data, config)| {
+                b.iter(|| fcm_fit(black_box(data), black_box(config)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_membership_projection(c: &mut Criterion) {
+    let data = points(1000);
+    let model = fcm_fit(
+        &data,
+        &FcmConfig {
+            restarts: 1,
+            max_iters: 50,
+            ..FcmConfig::new(20)
+        },
+    )
+    .unwrap();
+    let query: Vec<f64> = (0..16).map(|i| i as f64 * 0.3).collect();
+    c.bench_function("membership_projection_c20_d16", |b| {
+        b.iter(|| model.memberships_for(black_box(&query)).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_fcm_fit, bench_membership_projection);
+criterion_main!(benches);

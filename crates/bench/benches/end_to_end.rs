@@ -1,0 +1,63 @@
+//! Criterion benchmarks for the end-to-end pipeline: training on a small
+//! test bed and classifying one query motion (the paper's Sec. 4 path),
+//! plus raw trial synthesis and the EMG conditioning chain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kinemyo::biosim::{Dataset, DatasetSpec, MotionRecord};
+use kinemyo::{MotionClassifier, PipelineConfig};
+use kinemyo_biosim::acquisition::{process_emg_channel, AcquisitionConfig};
+use std::hint::black_box;
+
+fn bench_train(c: &mut Criterion) {
+    let ds = Dataset::generate(DatasetSpec::hand_default().with_size(1, 3)).unwrap();
+    let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+    let config = PipelineConfig::default().with_clusters(10);
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("train_18_records_c10", |b| {
+        b.iter(|| {
+            MotionClassifier::train(black_box(&refs), ds.spec.limb, black_box(&config)).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let ds = Dataset::generate(DatasetSpec::hand_default().with_size(1, 3)).unwrap();
+    let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+    let config = PipelineConfig::default().with_clusters(10);
+    let model = MotionClassifier::train(&refs, ds.spec.limb, &config).unwrap();
+    let query = &ds.records[7];
+    c.bench_function("classify_one_motion", |b| {
+        b.iter(|| model.classify_record(black_box(query)).unwrap());
+    });
+}
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("biosim");
+    group.sample_size(10);
+    group.bench_function("generate_one_trial_per_class", |b| {
+        b.iter(|| Dataset::generate(DatasetSpec::hand_default().with_size(1, 1)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_emg_conditioning(c: &mut Criterion) {
+    // 10 s of raw 1 kHz EMG through band-pass + rectify + resample.
+    let raw: Vec<f64> = (0..10_000)
+        .map(|i| ((i as f64) * 0.9).sin() * 1e-3)
+        .collect();
+    let cfg = AcquisitionConfig::default();
+    c.bench_function("emg_conditioning_10s", |b| {
+        b.iter(|| process_emg_channel(black_box(&raw), black_box(&cfg)).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_train,
+    bench_query,
+    bench_dataset_generation,
+    bench_emg_conditioning
+);
+criterion_main!(benches);

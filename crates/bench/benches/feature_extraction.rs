@@ -1,0 +1,58 @@
+//! Criterion benchmarks for the per-window feature kernels (Eq. 1 IAV and
+//! Eq. 2–3 weighted SVD) across the paper's window sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kinemyo_features::{iav_features, wsvd_features};
+use kinemyo_linalg::Matrix;
+use std::hint::black_box;
+
+fn deterministic_signal(rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| ((r * 7 + c * 13) as f64 * 0.37).sin())
+}
+
+fn bench_iav(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iav_features");
+    // 10 s of 4-channel EMG envelope at 120 Hz.
+    let emg = deterministic_signal(1200, 4);
+    for window in [6usize, 12, 18, 24] {
+        let ranges: Vec<(usize, usize)> = (0..1200 / window)
+            .map(|i| (i * window, (i + 1) * window))
+            .collect();
+        group.throughput(Throughput::Elements(1200));
+        group.bench_with_input(BenchmarkId::from_parameter(window), &ranges, |b, ranges| {
+            b.iter(|| iav_features(black_box(&emg), black_box(ranges)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_wsvd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wsvd_features");
+    // 10 s of 4-segment (12-column) local motion at 120 Hz.
+    let mocap = deterministic_signal(1200, 12);
+    for window in [6usize, 12, 18, 24] {
+        let ranges: Vec<(usize, usize)> = (0..1200 / window)
+            .map(|i| (i * window, (i + 1) * window))
+            .collect();
+        group.throughput(Throughput::Elements(1200));
+        group.bench_with_input(BenchmarkId::from_parameter(window), &ranges, |b, ranges| {
+            b.iter(|| wsvd_features(black_box(&mocap), black_box(ranges)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_svd_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd_24x3");
+    let window = deterministic_signal(24, 3);
+    group.bench_function("golub_reinsch", |b| {
+        b.iter(|| kinemyo_linalg::svd::svd_golub_reinsch(black_box(&window)).unwrap());
+    });
+    group.bench_function("jacobi", |b| {
+        b.iter(|| kinemyo_linalg::svd::svd_jacobi(black_box(&window)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_iav, bench_wsvd, bench_svd_kernels);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion benchmarks for the retrieval paths: exact linear kNN,
+//! VP-tree, and iDistance over databases of `2c`-length motion vectors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kinemyo_modb::{knn, FeatureDb, IDistance, VpTree};
+use std::hint::black_box;
+
+/// Deterministic sparse min/max-style vectors (dim 30 = 2 × 15 clusters).
+fn db(n: usize) -> FeatureDb<usize> {
+    let mut out = FeatureDb::new(30);
+    for i in 0..n {
+        let mut v = vec![0.0; 30];
+        for j in 0..6 {
+            let k = (i * 7 + j * 11) % 15;
+            let hi = 0.3 + ((i * 13 + j) % 70) as f64 / 100.0;
+            v[2 * k] = hi * 0.6;
+            v[2 * k + 1] = hi;
+        }
+        out.insert(i, i % 12, v).unwrap();
+    }
+    out
+}
+
+fn query(i: usize) -> Vec<f64> {
+    (0..30)
+        .map(|c| ((i * 3 + c) % 17) as f64 / 17.0)
+        .collect()
+}
+
+fn bench_retrieval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_k5_dim30");
+    for &n in &[1_000usize, 10_000] {
+        let database = db(n);
+        let vp = VpTree::build(&database);
+        let idist = IDistance::build(&database, 16).unwrap();
+        group.bench_with_input(BenchmarkId::new("linear", n), &database, |b, database| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                knn(black_box(database), black_box(&query(i)), 5).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("vptree", n), &vp, |b, vp| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                vp.knn(black_box(&query(i)), 5).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("idistance", n), &idist, |b, idist| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                idist.knn(black_box(&query(i)), 5).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build_n5000");
+    group.sample_size(10);
+    let database = db(5_000);
+    group.bench_function("vptree", |b| {
+        b.iter(|| VpTree::build(black_box(&database)));
+    });
+    group.bench_function("idistance", |b| {
+        b.iter(|| IDistance::build(black_box(&database), 16).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_retrieval, bench_index_build);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! **Ablation: EMG feature choice.** The paper picks IAV (Eq. 1) and
+//! cites zero-crossings (Hudgins et al., ref \[7\]) and the EMG histogram
+//! (Zardoshti-Kermani et al., ref \[15\]) as the classic alternatives.
+//! This binary swaps the EMG half of the combined feature point among the
+//! three and compares classification quality, for combined and EMG-only
+//! feature spaces.
+//!
+//! Run with `cargo run --release -p kinemyo-bench --bin ablation_emg_features`.
+
+use kinemyo::biosim::Limb;
+use kinemyo::stratified_split;
+use kinemyo::Modality;
+use kinemyo_bench::custom::{evaluate_variant, VariantConfig};
+use kinemyo_bench::{evaluation_dataset, experiment_seed};
+use kinemyo_features::EmgFeatureSet;
+
+fn main() {
+    println!("Ablation — EMG window features: IAV vs Hudgins-TD vs histogram (hand)");
+    println!("seed = {}\n", experiment_seed());
+    let ds = evaluation_dataset(Limb::RightHand);
+    let (train, query) = stratified_split(&ds.records, 2);
+    let sets = [
+        ("iav (paper)", EmgFeatureSet::Iav),
+        ("hudgins-td", EmgFeatureSet::HudginsTd { deadband: 2e-5 }),
+        ("histogram-9", EmgFeatureSet::Histogram { bins: 9, hi: 1.2e-3 }),
+    ];
+    let mut rows = Vec::new();
+    for modality in [Modality::Combined, Modality::EmgOnly] {
+        for (name, set) in sets {
+            let cfg = VariantConfig {
+                emg_feature: set,
+                modality,
+                seed: experiment_seed(),
+                ..VariantConfig::default()
+            };
+            let (mis, knn_pct) = evaluate_variant(&train, &query, Limb::RightHand, &cfg);
+            println!(
+                "{:<10} {name:<14} misclass {mis:>6.2}%   kNN-correct {knn_pct:>6.2}%",
+                format!("{modality:?}"),
+            );
+            rows.push(serde_json::json!({
+                "modality": format!("{modality:?}"), "emg_feature": name,
+                "misclassification_pct": mis, "knn_correct_pct": knn_pct,
+            }));
+        }
+    }
+    println!(
+        "\nJSON:{}",
+        serde_json::json!({
+            "figure": "ablation_emg_features",
+            "seed": experiment_seed(),
+            "rows": rows,
+        })
+    );
+}

@@ -1,0 +1,54 @@
+//! **Ablation: weighted-SVD vs mean-pose motion features.** Eq. 3's
+//! weighted right-singular-vector features capture *how* a joint moved in
+//! a window; the baseline captures only *where* it was on average. This
+//! binary quantifies what the SVD buys.
+//!
+//! Run with `cargo run --release -p kinemyo-bench --bin ablation_features`.
+
+use kinemyo::biosim::{Dataset, DatasetSpec, Limb};
+use kinemyo::stratified_split;
+use kinemyo_bench::custom::{evaluate_variant, FeatureKind, VariantConfig};
+use kinemyo_bench::experiment_seed;
+
+fn main() {
+    println!("Ablation — weighted-SVD features (Eq. 3) vs mean-pose baseline");
+    println!("seed = {}\n", experiment_seed());
+    let mut rows = Vec::new();
+    for limb in [Limb::RightHand, Limb::RightLeg] {
+        let spec = match limb {
+            Limb::RightHand => DatasetSpec::hand_default(),
+            Limb::RightLeg => DatasetSpec::leg_default(),
+            Limb::WholeBody => DatasetSpec::whole_body_default(),
+        }
+        .with_seed(experiment_seed());
+        let ds = Dataset::generate(spec).expect("dataset generation succeeds");
+        let (train, query) = stratified_split(&ds.records, 2);
+        for window_ms in [100.0, 200.0] {
+            for (name, kind) in [("wsvd", FeatureKind::Wsvd), ("mean-pose", FeatureKind::MeanPose)]
+            {
+                let cfg = VariantConfig {
+                    window_ms,
+                    feature: kind,
+                    seed: experiment_seed(),
+                    ..VariantConfig::default()
+                };
+                let (mis, knn_pct) = evaluate_variant(&train, &query, limb, &cfg);
+                println!(
+                    "{limb:<11} w={window_ms:<5} {name:<10} misclass {mis:>6.2}%   kNN-correct {knn_pct:>6.2}%"
+                );
+                rows.push(serde_json::json!({
+                    "limb": limb.to_string(), "window_ms": window_ms, "feature": name,
+                    "misclassification_pct": mis, "knn_correct_pct": knn_pct,
+                }));
+            }
+        }
+    }
+    println!(
+        "\nJSON:{}",
+        serde_json::json!({
+            "figure": "ablation_features",
+            "seed": experiment_seed(),
+            "rows": rows,
+        })
+    );
+}

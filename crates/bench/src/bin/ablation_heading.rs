@@ -1,0 +1,50 @@
+//! **Ablation: translation-only vs heading-normalized local transform.**
+//! The paper's Sec. 3.2 transform only shifts the origin to the pelvis.
+//! When trials are performed facing different directions, that transform
+//! cannot align them; this binary sweeps heading spread and compares the
+//! paper's transform against the heading-normalizing extension.
+//!
+//! Run with `cargo run --release -p kinemyo-bench --bin ablation_heading`.
+
+use kinemyo::biosim::{Dataset, DatasetSpec, Limb};
+use kinemyo::stratified_split;
+use kinemyo_bench::custom::{evaluate_variant, TransformKind, VariantConfig};
+use kinemyo_bench::experiment_seed;
+
+fn main() {
+    println!("Ablation — local transform vs trial heading spread (hand)");
+    println!("seed = {}\n", experiment_seed());
+    let mut rows = Vec::new();
+    for spread_deg in [0.0f64, 10.0, 20.0, 40.0] {
+        let mut spec = DatasetSpec::hand_default().with_seed(experiment_seed());
+        spec.facing_spread_rad = spread_deg.to_radians();
+        let ds = Dataset::generate(spec).expect("dataset generation succeeds");
+        let (train, query) = stratified_split(&ds.records, 2);
+        for (name, kind) in [
+            ("translation-only", TransformKind::Translation),
+            ("heading-normalized", TransformKind::HeadingNormalized),
+        ] {
+            let cfg = VariantConfig {
+                transform: kind,
+                seed: experiment_seed(),
+                ..VariantConfig::default()
+            };
+            let (mis, knn_pct) = evaluate_variant(&train, &query, Limb::RightHand, &cfg);
+            println!(
+                "spread ±{spread_deg:>4.0}°  {name:<20} misclass {mis:>6.2}%   kNN-correct {knn_pct:>6.2}%"
+            );
+            rows.push(serde_json::json!({
+                "spread_deg": spread_deg, "transform": name,
+                "misclassification_pct": mis, "knn_correct_pct": knn_pct,
+            }));
+        }
+    }
+    println!(
+        "\nJSON:{}",
+        serde_json::json!({
+            "figure": "ablation_heading",
+            "seed": experiment_seed(),
+            "rows": rows,
+        })
+    );
+}

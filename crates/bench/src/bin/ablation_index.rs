@@ -1,0 +1,92 @@
+//! **Ablation: retrieval index choice.** The paper notes the feature
+//! vectors "can be applied to any indexing technique" and cites iDistance
+//! (ref \[14\]). This binary measures query latency of linear scan, the
+//! VP-tree and iDistance on growing databases of `2c`-length motion
+//! vectors, verifying all three return identical neighbours.
+//!
+//! Run with `cargo run --release -p kinemyo-bench --bin ablation_index`.
+
+use kinemyo_bench::experiment_seed;
+use kinemyo_modb::{knn, FeatureDb, IDistance, VpTree};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// Synthetic motion vectors: min/max pairs in `[0,1]`, sparse like real ones.
+fn synthetic_db(n: usize, clusters: usize, seed: u64) -> FeatureDb<usize> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let dim = 2 * clusters;
+    let mut db = FeatureDb::new(dim);
+    for i in 0..n {
+        let mut v = vec![0.0; dim];
+        // Each motion visits ~6 clusters.
+        for _ in 0..6 {
+            let k: usize = rng.random_range(0..clusters);
+            let hi: f64 = 0.3 + rng.random::<f64>() * 0.7;
+            let lo: f64 = hi * rng.random::<f64>();
+            v[2 * k] = lo;
+            v[2 * k + 1] = hi;
+        }
+        db.insert(i, i % 12, v).unwrap();
+    }
+    db
+}
+
+fn main() {
+    println!("Ablation — retrieval index (k = 5, dim = 30)");
+    println!("seed = {}\n", experiment_seed());
+    let clusters = 15;
+    let queries = 200;
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>10}",
+        "n", "linear (µs)", "vp-tree (µs)", "idistance (µs)", "agree"
+    );
+    let mut rows = Vec::new();
+    for &n in &[1_000usize, 5_000, 20_000, 50_000] {
+        let db = synthetic_db(n, clusters, experiment_seed());
+        let vp = VpTree::build(&db);
+        let idist = IDistance::build(&db, 16).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(experiment_seed() + 1);
+        let qs: Vec<Vec<f64>> = (0..queries)
+            .map(|_| (0..2 * clusters).map(|_| rng.random::<f64>()).collect())
+            .collect();
+
+        let mut agree = true;
+        let t0 = Instant::now();
+        let linear_results: Vec<_> = qs.iter().map(|q| knn(&db, q, 5).unwrap()).collect();
+        let t_linear = t0.elapsed().as_micros() as f64 / queries as f64;
+
+        let t0 = Instant::now();
+        let vp_results: Vec<_> = qs.iter().map(|q| vp.knn(q, 5).unwrap()).collect();
+        let t_vp = t0.elapsed().as_micros() as f64 / queries as f64;
+
+        let t0 = Instant::now();
+        let id_results: Vec<_> = qs.iter().map(|q| idist.knn(q, 5).unwrap()).collect();
+        let t_id = t0.elapsed().as_micros() as f64 / queries as f64;
+
+        for ((a, b), c) in linear_results.iter().zip(&vp_results).zip(&id_results) {
+            for i in 0..a.len() {
+                if (a[i].distance - b[i].distance).abs() > 1e-9
+                    || (a[i].distance - c[i].distance).abs() > 1e-9
+                {
+                    agree = false;
+                }
+            }
+        }
+        println!("{n:>8} {t_linear:>14.1} {t_vp:>14.1} {t_id:>14.1} {agree:>10}");
+        rows.push(serde_json::json!({
+            "n": n, "linear_us": t_linear, "vptree_us": t_vp, "idistance_us": t_id,
+            "agree": agree,
+        }));
+        assert!(agree, "indexes must return identical neighbours");
+    }
+    println!(
+        "\nJSON:{}",
+        serde_json::json!({
+            "figure": "ablation_index",
+            "seed": experiment_seed(),
+            "rows": rows,
+        })
+    );
+}

@@ -1,0 +1,117 @@
+//! **Baseline: raw-signal DTW 1-NN vs the paper's pipeline.** The related
+//! work the paper positions against (Keogh et al., ref \[8\]) matches raw
+//! time series directly. This binary compares classification accuracy and
+//! per-query cost of the paper's feature pipeline against multivariate
+//! DTW nearest-neighbour on the synchronized raw streams (pelvis-local
+//! mocap ‖ EMG, z-scored, temporally decimated for tractability).
+//!
+//! Run with `cargo run --release -p kinemyo-bench --bin baseline_dtw`.
+
+use kinemyo::biosim::{Limb, MotionClass, MotionRecord};
+use kinemyo::{pelvis_matrix, stratified_split, PipelineConfig};
+use kinemyo_bench::{evaluation_dataset, experiment_seed};
+use kinemyo_features::to_pelvis_local;
+use kinemyo_linalg::stats::ZScore;
+use kinemyo_linalg::Matrix;
+use kinemyo_modb::DtwClassifier;
+use std::time::Instant;
+
+/// Decimated, standardized raw representation of a record for DTW.
+fn dtw_series(r: &MotionRecord, decimate: usize) -> Matrix {
+    let pelvis = pelvis_matrix(&r.pelvis);
+    let local = to_pelvis_local(&r.mocap, &pelvis).expect("record shapes consistent");
+    let combined = local.hstack(&r.emg).expect("frame counts match");
+    let rows: Vec<Vec<f64>> = (0..combined.rows())
+        .step_by(decimate)
+        .map(|f| combined.row(f).to_vec())
+        .collect();
+    Matrix::from_rows(&rows).expect("consistent row lengths")
+}
+
+fn main() {
+    println!("Baseline — DTW 1-NN on raw signals vs the feature pipeline (hand)");
+    println!("seed = {}\n", experiment_seed());
+    let ds = evaluation_dataset(Limb::RightHand);
+    let (train, queries) = stratified_split(&ds.records, 2);
+
+    // --- The paper's pipeline -------------------------------------------
+    let cfg = PipelineConfig::default()
+        .with_clusters(15)
+        .with_seed(experiment_seed());
+    let t0 = Instant::now();
+    let model = kinemyo::MotionClassifier::train(&train, Limb::RightHand, &cfg)
+        .expect("training succeeds");
+    let pipeline_train = t0.elapsed();
+    let t0 = Instant::now();
+    let out = kinemyo::eval::evaluate_with_model(&model, &queries).expect("evaluation succeeds");
+    let pipeline_query_total = t0.elapsed();
+    println!(
+        "pipeline   misclass {:>6.2}%   kNN-correct {:>6.2}%   train {:>7.1} ms, {} queries {:>7.1} ms ({:.2} ms/query)",
+        out.misclassification_pct,
+        out.knn_correct_pct,
+        pipeline_train.as_secs_f64() * 1e3,
+        out.queries,
+        pipeline_query_total.as_secs_f64() * 1e3,
+        pipeline_query_total.as_secs_f64() * 1e3 / out.queries as f64
+    );
+
+    // --- DTW baseline ----------------------------------------------------
+    let decimate = 8; // 120 Hz → 15 Hz frames for tractable O(n·m) DP
+    // Standardize channels using the training data statistics.
+    let mut stacked: Option<Matrix> = None;
+    for r in &train {
+        let s = dtw_series(r, decimate);
+        stacked = Some(match stacked {
+            None => s,
+            Some(acc) => acc.vstack(&s).expect("same dims"),
+        });
+    }
+    let scaler = ZScore::fit(&stacked.expect("non-empty train")).expect("non-empty");
+    let mut clf: DtwClassifier<MotionClass> = DtwClassifier::new(Some(20));
+    let t0 = Instant::now();
+    for r in &train {
+        let s = scaler.transform(&dtw_series(r, decimate)).expect("fitted dims");
+        clf.insert(r.id, r.class, s).expect("consistent dims");
+    }
+    let dtw_build = t0.elapsed();
+
+    let t0 = Instant::now();
+    let mut wrong = 0usize;
+    for q in &queries {
+        let s = scaler.transform(&dtw_series(q, decimate)).expect("fitted dims");
+        let nearest = clf.knn(&s, 1).expect("non-empty classifier");
+        if nearest[0].1 != q.class {
+            wrong += 1;
+        }
+    }
+    let dtw_query_total = t0.elapsed();
+    let dtw_misclass = wrong as f64 / queries.len() as f64 * 100.0;
+    println!(
+        "dtw-1nn    misclass {:>6.2}%   (band 20, decimate {decimate}x)   build {:>6.1} ms, {} queries {:>8.1} ms ({:.1} ms/query)",
+        dtw_misclass,
+        dtw_build.as_secs_f64() * 1e3,
+        queries.len(),
+        dtw_query_total.as_secs_f64() * 1e3,
+        dtw_query_total.as_secs_f64() * 1e3 / queries.len() as f64
+    );
+    println!(
+        "\nper-query speedup of the 2c-vector pipeline over raw DTW: {:.1}x \
+         (amortizing the one-off training over a large database pays off as \
+         the database grows: DTW query cost is linear in records x frames^2, \
+         the pipeline's is linear in records x 2c)",
+        (dtw_query_total.as_secs_f64() / queries.len() as f64)
+            / (pipeline_query_total.as_secs_f64() / out.queries as f64).max(1e-9)
+    );
+    println!(
+        "\nJSON:{}",
+        serde_json::json!({
+            "figure": "baseline_dtw",
+            "seed": experiment_seed(),
+            "pipeline_misclassification_pct": out.misclassification_pct,
+            "dtw_misclassification_pct": dtw_misclass,
+            "dtw_ms_per_query": dtw_query_total.as_secs_f64() * 1e3 / queries.len() as f64,
+            "pipeline_ms_per_query": pipeline_query_total.as_secs_f64() * 1e3 / out.queries as f64,
+            "pipeline_train_ms": pipeline_train.as_secs_f64() * 1e3,
+        })
+    );
+}

@@ -1,0 +1,92 @@
+//! **Extension: fatigue tracking.** The paper lists fatigue among the
+//! effects degrading biomedical signal purity (Sec. 7). The canonical
+//! fatigue marker is the downshift of the EMG median frequency over a
+//! sustained contraction. This binary synthesizes a fresh and a fatigued
+//! sustained contraction and prints their median-frequency tracks, then
+//! measures how fatigue degrades classification when it contaminates the
+//! query trials only (train fresh, query fatigued).
+//!
+//! Run with `cargo run --release -p kinemyo-bench --bin extension_fatigue`.
+
+use kinemyo::biosim::{Dataset, DatasetSpec, Limb};
+use kinemyo::{MotionClassifier, PipelineConfig};
+use kinemyo_bench::experiment_seed;
+use kinemyo_biosim::emg::{synthesize_channel, EmgSynthConfig};
+use kinemyo_dsp::stft::spectrogram;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    println!("Extension — EMG fatigue analysis");
+    println!("seed = {}\n", experiment_seed());
+
+    // --- Median-frequency tracks over a 10 s sustained contraction -------
+    let act = vec![1.0; 1200];
+    println!("median frequency (Hz) during a sustained contraction:");
+    println!("{:>8} {:>10} {:>10}", "time (s)", "fresh", "fatigued");
+    let mut tracks = Vec::new();
+    for fatigue in [0.0, 0.7] {
+        let cfg = EmgSynthConfig {
+            fatigue,
+            ..EmgSynthConfig::clean()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(experiment_seed());
+        let raw = synthesize_channel(&act, 120.0, 10.0, &cfg, &mut rng)
+            .expect("synthesis succeeds");
+        let sg = spectrogram(&raw, 1000.0, 1024, 1000).expect("spectrogram succeeds");
+        tracks.push(sg.median_frequency_track());
+    }
+    let n = tracks[0].len().min(tracks[1].len());
+    for i in 0..n {
+        println!(
+            "{:>8.1} {:>10.1} {:>10.1}",
+            tracks[0][i].0, tracks[0][i].1, tracks[1][i].1
+        );
+    }
+    let drop = tracks[1][0].1 - tracks[1][n - 1].1;
+    println!("\nfatigued-trial median-frequency drop: {drop:.1} Hz (fresh stays flat)");
+
+    // --- Does fatigue break the classifier? -------------------------------
+    let fresh_spec = DatasetSpec::hand_default()
+        .with_size(2, 5)
+        .with_seed(experiment_seed());
+    let mut tired_spec = fresh_spec.clone();
+    tired_spec.emg.fatigue = 0.7;
+    let fresh = Dataset::generate(fresh_spec).expect("dataset generates");
+    let tired = Dataset::generate(tired_spec).expect("dataset generates");
+    let (train, _) = kinemyo::stratified_split(&fresh.records, 1);
+    let (_, tired_queries) = kinemyo::stratified_split(&tired.records, 1);
+    let config = PipelineConfig::default()
+        .with_clusters(12)
+        .with_seed(experiment_seed());
+    let model =
+        MotionClassifier::train(&train, Limb::RightHand, &config).expect("training succeeds");
+    let mut wrong_fresh = 0;
+    let mut wrong_tired = 0;
+    let (_, fresh_queries) = kinemyo::stratified_split(&fresh.records, 1);
+    for q in &fresh_queries {
+        if model.classify_record(q).expect("classify").predicted != q.class {
+            wrong_fresh += 1;
+        }
+    }
+    for q in &tired_queries {
+        if model.classify_record(q).expect("classify").predicted != q.class {
+            wrong_tired += 1;
+        }
+    }
+    println!(
+        "\nclassifier trained on fresh trials:\n  fresh queries   misclass {:>5.1}%\n  fatigued queries misclass {:>5.1}%",
+        wrong_fresh as f64 / fresh_queries.len() as f64 * 100.0,
+        wrong_tired as f64 / tired_queries.len() as f64 * 100.0
+    );
+    println!(
+        "\nJSON:{}",
+        serde_json::json!({
+            "figure": "extension_fatigue",
+            "seed": experiment_seed(),
+            "fatigued_mf_drop_hz": drop,
+            "fresh_query_misclass_pct": wrong_fresh as f64 / fresh_queries.len() as f64 * 100.0,
+            "fatigued_query_misclass_pct": wrong_tired as f64 / tired_queries.len() as f64 * 100.0,
+        })
+    );
+}

@@ -1,0 +1,57 @@
+//! **Extension: content-based retrieval quality.** The paper frames
+//! classification as content-based retrieval (Sec. 4): fetch the k most
+//! similar motions for a query. This binary reports precision-at-k for
+//! k = 1..10 (the fraction of retrieved motions sharing the query's
+//! class) and the cluster-count auto-selection the core crate offers.
+//!
+//! Run with `cargo run --release -p kinemyo-bench --bin extension_retrieval`.
+
+use kinemyo::biosim::Limb;
+use kinemyo::{select_cluster_count, stratified_split, MotionClassifier, PipelineConfig};
+use kinemyo_bench::{evaluation_dataset, experiment_seed};
+use kinemyo_modb::knn_correct_pct;
+
+fn main() {
+    println!("Extension — retrieval precision-at-k and unsupervised c selection (hand)");
+    println!("seed = {}\n", experiment_seed());
+    let ds = evaluation_dataset(Limb::RightHand);
+    let (train, queries) = stratified_split(&ds.records, 2);
+
+    // Unsupervised cluster-count selection on the *training* recordings.
+    let base = PipelineConfig::default().with_seed(experiment_seed());
+    let selection =
+        select_cluster_count(&train, &base, &[5, 10, 15, 20, 25]).expect("selection succeeds");
+    println!("Xie-Beni cluster selection (lower is better):");
+    for c in &selection.candidates {
+        let marker = if c.clusters == selection.best { "  <- selected" } else { "" };
+        println!("  c={:<3} XB={:.4}{marker}", c.clusters, c.xie_beni);
+    }
+
+    let config = base.with_clusters(selection.best);
+    let model =
+        MotionClassifier::train(&train, Limb::RightHand, &config).expect("training succeeds");
+
+    println!("\nprecision-at-k over {} queries (c = {}):", queries.len(), selection.best);
+    println!("{:>4} {:>12}", "k", "P@k (%)");
+    let mut rows = Vec::new();
+    for k in 1..=10usize {
+        let mut pcts = Vec::with_capacity(queries.len());
+        for q in &queries {
+            let neighbors = model.retrieve(q, k).expect("retrieval succeeds");
+            let labels: Vec<_> = neighbors.iter().map(|n| n.meta.class).collect();
+            pcts.push(knn_correct_pct(&q.class, &labels));
+        }
+        let mean = pcts.iter().sum::<f64>() / pcts.len() as f64;
+        println!("{k:>4} {mean:>12.2}");
+        rows.push(serde_json::json!({"k": k, "precision_pct": mean}));
+    }
+    println!(
+        "\nJSON:{}",
+        serde_json::json!({
+            "figure": "extension_retrieval",
+            "seed": experiment_seed(),
+            "selected_clusters": selection.best,
+            "rows": rows,
+        })
+    );
+}

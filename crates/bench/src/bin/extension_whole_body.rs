@@ -1,0 +1,48 @@
+//! **Extension: whole-body classification.** The paper analyzes one limb
+//! at a time but claims the approach "is flexible enough to classify the
+//! human motions for whole human body" (Sec. 5). This binary tests the
+//! claim: all 7 segments + all 6 EMG channels, all 12 motion classes in
+//! one feature space, compared against the per-limb analyses at the same
+//! settings.
+//!
+//! Run with `cargo run --release -p kinemyo-bench --bin extension_whole_body`.
+
+use kinemyo::biosim::Limb;
+use kinemyo::{evaluate, stratified_split, PipelineConfig};
+use kinemyo_bench::{evaluation_dataset, experiment_seed};
+
+fn main() {
+    println!("Extension — whole-body analysis (12 classes, 7 segments, 6 EMG)");
+    println!("seed = {}\n", experiment_seed());
+    let mut rows = Vec::new();
+    for limb in [Limb::RightHand, Limb::RightLeg, Limb::WholeBody] {
+        let ds = evaluation_dataset(limb);
+        let (train, query) = stratified_split(&ds.records, 2);
+        for clusters in [15usize, 25] {
+            let cfg = PipelineConfig::default()
+                .with_clusters(clusters)
+                .with_seed(experiment_seed());
+            let out = evaluate(&train, &query, limb, &cfg).expect("evaluation succeeds");
+            println!(
+                "{limb:<11} classes={:<3} c={clusters:<3} misclass {:>6.2}%   kNN-correct {:>6.2}%  ({} queries)",
+                kinemyo::biosim::MotionClass::all_for(limb).len(),
+                out.misclassification_pct,
+                out.knn_correct_pct,
+                out.queries
+            );
+            rows.push(serde_json::json!({
+                "limb": limb.to_string(), "clusters": clusters,
+                "misclassification_pct": out.misclassification_pct,
+                "knn_correct_pct": out.knn_correct_pct,
+            }));
+        }
+    }
+    println!(
+        "\nJSON:{}",
+        serde_json::json!({
+            "figure": "extension_whole_body",
+            "seed": experiment_seed(),
+            "rows": rows,
+        })
+    );
+}

@@ -1,0 +1,116 @@
+//! Regenerates **Figure 3**: the range of the highest degree of
+//! membership per cluster for two sets of two similar right-hand motions
+//! ("raise arm" M1/M2 and "throw ball" M1/M2) with c = 6 clusters.
+//!
+//! The figure's message: similar motions occupy the *same* clusters with
+//! overlapping membership ranges, and the two classes occupy different
+//! cluster subsets.
+//!
+//! Run with `cargo run --release -p kinemyo-bench --bin fig3_membership_ranges`.
+
+use kinemyo::biosim::{Dataset, DatasetSpec, MotionClass, MotionRecord};
+use kinemyo::{MotionClassifier, PipelineConfig};
+use kinemyo_bench::experiment_seed;
+
+fn main() {
+    println!("Figure 3 — highest degree of membership per cluster, c = 6");
+    println!("seed = {}", experiment_seed());
+    let ds = Dataset::generate(
+        DatasetSpec::hand_default()
+            .with_size(1, 4)
+            .with_seed(experiment_seed()),
+    )
+    .expect("dataset generation succeeds");
+    let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+    let config = PipelineConfig::default()
+        .with_clusters(6)
+        .with_window_ms(100.0)
+        .with_seed(experiment_seed());
+    let model = MotionClassifier::train(&refs, ds.spec.limb, &config).expect("training succeeds");
+
+    let mut selected: Vec<(&str, &MotionRecord)> = Vec::new();
+    for (class, label) in [
+        (MotionClass::RaiseArm, "Raise Arm  - Right Hand"),
+        (MotionClass::ThrowBall, "Throw Ball - Right Hand"),
+    ] {
+        let mut found = ds
+            .records
+            .iter()
+            .filter(|r| r.class == class)
+            .take(2)
+            .enumerate()
+            .map(|(i, r)| (if i == 0 { "M1" } else { "M2" }, label, r));
+        for (m, label, r) in found.by_ref() {
+            selected.push((Box::leak(format!("{label} {m}").into_boxed_str()), r));
+        }
+    }
+
+    let mut json_rows = Vec::new();
+    for (label, record) in &selected {
+        let assignments = model
+            .window_assignments(record)
+            .expect("assignment computation succeeds");
+        // Per cluster: range of highest memberships among windows that
+        // mapped there (the vertical bars of Fig. 3).
+        println!("\n{label} ({} windows)", assignments.len());
+        println!("{:>8} {:>8} {:>10} {:>10}", "cluster", "windows", "min h", "max h");
+        let c = model.fcm().num_clusters();
+        let mut row = Vec::new();
+        for k in 0..c {
+            let hs: Vec<f64> = assignments
+                .iter()
+                .filter(|a| a.cluster == k)
+                .map(|a| a.membership)
+                .collect();
+            if hs.is_empty() {
+                println!("{:>8} {:>8} {:>10} {:>10}", k + 1, 0, "-", "-");
+                row.push(serde_json::json!({"cluster": k + 1, "windows": 0}));
+            } else {
+                let lo = hs.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = hs.iter().cloned().fold(0.0_f64, f64::max);
+                println!("{:>8} {:>8} {:>10.3} {:>10.3}", k + 1, hs.len(), lo, hi);
+                row.push(serde_json::json!({
+                    "cluster": k + 1, "windows": hs.len(), "min": lo, "max": hi
+                }));
+            }
+        }
+        json_rows.push(serde_json::json!({ "motion": label, "clusters": row }));
+    }
+
+    // Quantify the figure's claim: same-class cluster sets overlap more
+    // than cross-class sets (Jaccard index over visited clusters).
+    let visited = |r: &MotionRecord| -> std::collections::BTreeSet<usize> {
+        model
+            .window_assignments(r)
+            .expect("assignments")
+            .iter()
+            .map(|a| a.cluster)
+            .collect()
+    };
+    let jaccard = |a: &std::collections::BTreeSet<usize>,
+                   b: &std::collections::BTreeSet<usize>| {
+        let inter = a.intersection(b).count() as f64;
+        let union = a.union(b).count() as f64;
+        if union == 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    };
+    let sets: Vec<_> = selected.iter().map(|(_, r)| visited(r)).collect();
+    let same = (jaccard(&sets[0], &sets[1]) + jaccard(&sets[2], &sets[3])) / 2.0;
+    let cross = (jaccard(&sets[0], &sets[2])
+        + jaccard(&sets[0], &sets[3])
+        + jaccard(&sets[1], &sets[2])
+        + jaccard(&sets[1], &sets[3]))
+        / 4.0;
+    println!("\ncluster-set overlap (Jaccard): same-class {same:.3}, cross-class {cross:.3}");
+    let json = serde_json::json!({
+        "figure": "fig3",
+        "seed": experiment_seed(),
+        "motions": json_rows,
+        "jaccard_same_class": same,
+        "jaccard_cross_class": cross,
+    });
+    println!("JSON:{json}");
+}

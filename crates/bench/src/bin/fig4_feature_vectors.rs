@@ -1,0 +1,76 @@
+//! Regenerates **Figure 4**: the final `2c`-length feature vectors
+//! (min/max of highest membership per cluster, c = 6) for the same two
+//! sets of similar motions as Figure 3.
+//!
+//! The figure's message: the two "raise arm" vectors nearly coincide, the
+//! two "throw ball" vectors nearly coincide, and the classes differ.
+//!
+//! Run with `cargo run --release -p kinemyo-bench --bin fig4_feature_vectors`.
+
+use kinemyo::biosim::{Dataset, DatasetSpec, MotionClass, MotionRecord};
+use kinemyo::{MotionClassifier, PipelineConfig};
+use kinemyo_bench::experiment_seed;
+use kinemyo_linalg::vector::euclidean;
+
+fn main() {
+    println!("Figure 4 — final min/max membership feature vectors, c = 6");
+    println!("seed = {}", experiment_seed());
+    let ds = Dataset::generate(
+        DatasetSpec::hand_default()
+            .with_size(1, 4)
+            .with_seed(experiment_seed()),
+    )
+    .expect("dataset generation succeeds");
+    let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+    let config = PipelineConfig::default()
+        .with_clusters(6)
+        .with_window_ms(100.0)
+        .with_seed(experiment_seed());
+    let model = MotionClassifier::train(&refs, ds.spec.limb, &config).expect("training succeeds");
+
+    let mut vectors: Vec<(String, Vec<f64>)> = Vec::new();
+    for (class, label) in [
+        (MotionClass::RaiseArm, "Raise Arm     - Right Hand"),
+        (MotionClass::ThrowBall, "Throwing Ball - Right Hand"),
+    ] {
+        for (i, r) in ds
+            .records
+            .iter()
+            .filter(|r| r.class == class)
+            .take(2)
+            .enumerate()
+        {
+            let fv = model
+                .query_feature_vector(r)
+                .expect("feature vector computation succeeds");
+            vectors.push((format!("{label} M{}", i + 1), fv.into_vec()));
+        }
+    }
+
+    // Header mirrors the paper's x-axis: "min max" per cluster.
+    print!("{:>30}", "");
+    for k in 0..6 {
+        print!("  [min   max] c{}", k + 1);
+    }
+    println!();
+    for (label, v) in &vectors {
+        print!("{label:>30}");
+        for pair in v.chunks(2) {
+            print!("  [{:.2}  {:.2}]   ", pair[0], pair[1]);
+        }
+        println!();
+    }
+
+    let d = |a: usize, b: usize| euclidean(&vectors[a].1, &vectors[b].1);
+    let same = (d(0, 1) + d(2, 3)) / 2.0;
+    let cross = (d(0, 2) + d(0, 3) + d(1, 2) + d(1, 3)) / 4.0;
+    println!("\nmean distance: same-class {same:.3}, cross-class {cross:.3} (ratio {:.2}x)", cross / same.max(1e-9));
+    let json = serde_json::json!({
+        "figure": "fig4",
+        "seed": experiment_seed(),
+        "vectors": vectors.iter().map(|(l, v)| serde_json::json!({"motion": l, "vector": v})).collect::<Vec<_>>(),
+        "same_class_distance": same,
+        "cross_class_distance": cross,
+    });
+    println!("JSON:{json}");
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Figure 6**: percent of trials misclassified for the
+//! right hand, vs number of clusters (5–40), one series per window size
+//! (50/100/150/200 ms).
+//!
+//! Run with `cargo run --release -p kinemyo-bench --bin fig6_misclass_hand`.
+
+use kinemyo::biosim::Limb;
+use kinemyo::sweep;
+use kinemyo_bench::{
+    repeats,
+    base_config, evaluation_dataset, experiment_seed, print_sweep_json, print_sweep_table,
+    sparkline, sweep_grids,
+};
+
+fn main() {
+    let limb = Limb::RightHand;
+    println!("Figure 6 — misclassification rate (%), right hand");
+    println!("seed = {}", experiment_seed());
+    let dataset = evaluation_dataset(limb);
+    println!(
+        "dataset: {} records ({} participants x {} trials/class x 6 classes)",
+        dataset.len(),
+        dataset.spec.participants,
+        dataset.spec.trials_per_class
+    );
+    let (windows, clusters) = sweep_grids();
+    let points = sweep(&dataset.records, limb, &windows, &clusters, &base_config(), 3, repeats())
+        .expect("sweep succeeds");
+
+    print_sweep_table("Mis-classification rate (%)", &points, |p| {
+        p.misclassification_pct
+    });
+    for &w in &windows {
+        let series: Vec<f64> = points
+            .iter()
+            .filter(|p| p.window_ms == w)
+            .map(|p| p.misclassification_pct)
+            .collect();
+        println!("window {w:>5.0} ms: {}", sparkline(&series));
+    }
+    print_sweep_json("fig6", &points);
+}

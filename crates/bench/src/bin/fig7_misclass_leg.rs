@@ -1,0 +1,40 @@
+//! Regenerates **Figure 7**: percent of trials misclassified for the
+//! right leg, vs number of clusters (5–40), one series per window size.
+//!
+//! Run with `cargo run --release -p kinemyo-bench --bin fig7_misclass_leg`.
+
+use kinemyo::biosim::Limb;
+use kinemyo::sweep;
+use kinemyo_bench::{
+    base_config, evaluation_dataset, experiment_seed, print_sweep_json, print_sweep_table,
+    repeats, sparkline, sweep_grids,
+};
+
+fn main() {
+    let limb = Limb::RightLeg;
+    println!("Figure 7 — misclassification rate (%), right leg");
+    println!("seed = {}", experiment_seed());
+    let dataset = evaluation_dataset(limb);
+    println!(
+        "dataset: {} records ({} participants x {} trials/class x 6 classes)",
+        dataset.len(),
+        dataset.spec.participants,
+        dataset.spec.trials_per_class
+    );
+    let (windows, clusters) = sweep_grids();
+    let points = sweep(&dataset.records, limb, &windows, &clusters, &base_config(), 3, repeats())
+        .expect("sweep succeeds");
+
+    print_sweep_table("Mis-classification rate (%)", &points, |p| {
+        p.misclassification_pct
+    });
+    for &w in &windows {
+        let series: Vec<f64> = points
+            .iter()
+            .filter(|p| p.window_ms == w)
+            .map(|p| p.misclassification_pct)
+            .collect();
+        println!("window {w:>5.0} ms: {}", sparkline(&series));
+    }
+    print_sweep_json("fig7", &points);
+}

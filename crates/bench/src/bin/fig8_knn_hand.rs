@@ -1,0 +1,38 @@
+//! Regenerates **Figure 8**: percent of correctly classified right-hand
+//! motions among the k = 5 retrieved, vs clusters and window size.
+//!
+//! Run with `cargo run --release -p kinemyo-bench --bin fig8_knn_hand`.
+
+use kinemyo::biosim::Limb;
+use kinemyo::sweep;
+use kinemyo_bench::{
+    base_config, evaluation_dataset, experiment_seed, print_sweep_json, print_sweep_table,
+    repeats, sparkline, sweep_grids,
+};
+
+fn main() {
+    let limb = Limb::RightHand;
+    println!("Figure 8 — kNN (k=5) correctly-classified percent, right hand");
+    println!("seed = {}", experiment_seed());
+    let dataset = evaluation_dataset(limb);
+    println!(
+        "dataset: {} records ({} participants x {} trials/class x 6 classes)",
+        dataset.len(),
+        dataset.spec.participants,
+        dataset.spec.trials_per_class
+    );
+    let (windows, clusters) = sweep_grids();
+    let points = sweep(&dataset.records, limb, &windows, &clusters, &base_config(), 3, repeats())
+        .expect("sweep succeeds");
+
+    print_sweep_table("kNN classified percent (%)", &points, |p| p.knn_correct_pct);
+    for &w in &windows {
+        let series: Vec<f64> = points
+            .iter()
+            .filter(|p| p.window_ms == w)
+            .map(|p| p.knn_correct_pct)
+            .collect();
+        println!("window {w:>5.0} ms: {}", sparkline(&series));
+    }
+    print_sweep_json("fig8", &points);
+}

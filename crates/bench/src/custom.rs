@@ -1,0 +1,309 @@
+//! Configurable pipeline variants for the ablation studies.
+//!
+//! The main crate exposes the paper's pipeline; the ablations need
+//! variants that swap one stage at a time (mean-pose features instead of
+//! weighted SVD, hard k-means instead of FCM, heading-normalized local
+//! transform instead of translation-only). Building them here from the
+//! public stage APIs keeps the core crate honest — every swap is a
+//! composition of exported pieces.
+
+use kinemyo::biosim::{Limb, MotionClass, MotionRecord};
+use kinemyo::pelvis_matrix;
+use kinemyo_dsp::WindowSpec;
+use kinemyo_features::{
+    emg_features, hard_histogram_vector, mean_pose_features, motion_feature_vector,
+    to_pelvis_local, to_pelvis_local_heading, wsvd_features, EmgFeatureSet, Modality,
+};
+use kinemyo_fuzzy::{fcm_fit, gk_fit, kmeans_fit, FcmConfig, GkConfig, KMeansConfig};
+use kinemyo_linalg::stats::ZScore;
+use kinemyo_linalg::vector::sq_euclidean;
+use kinemyo_linalg::Matrix;
+use kinemyo_modb::{classify, knn, knn_correct_pct, mean_pct, FeatureDb};
+
+/// Which motion-capture window feature to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureKind {
+    /// The paper's weighted-SVD features (Eqs. 2–3).
+    Wsvd,
+    /// Mean marker position per window (ablation baseline).
+    MeanPose,
+}
+
+/// Which clustering / motion-vector representation to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterKind {
+    /// FCM + min/max-of-highest-membership vectors (the paper).
+    Fuzzy,
+    /// Hard k-means + normalized cluster-visit histogram.
+    Hard,
+    /// Gustafson–Kessel (adaptive-metric fuzzy) + min/max vectors.
+    GustafsonKessel,
+}
+
+/// Which local transform to apply to the motion matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransformKind {
+    /// The paper's pelvis-translation-only transform (Sec. 3.2).
+    Translation,
+    /// Translation + heading cancellation (extension; uses the record's
+    /// ground-truth heading as an oracle).
+    HeadingNormalized,
+}
+
+/// One ablation pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct VariantConfig {
+    /// Window length, ms.
+    pub window_ms: f64,
+    /// Cluster count.
+    pub clusters: usize,
+    /// Modality selection.
+    pub modality: Modality,
+    /// Mocap feature kind.
+    pub feature: FeatureKind,
+    /// EMG feature set (IAV is the paper's choice).
+    pub emg_feature: EmgFeatureSet,
+    /// Clustering kind.
+    pub cluster: ClusterKind,
+    /// Local-transform kind.
+    pub transform: TransformKind,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for VariantConfig {
+    fn default() -> Self {
+        Self {
+            window_ms: 100.0,
+            clusters: 15,
+            modality: Modality::Combined,
+            feature: FeatureKind::Wsvd,
+            emg_feature: EmgFeatureSet::Iav,
+            cluster: ClusterKind::Fuzzy,
+            transform: TransformKind::Translation,
+            seed: 2007,
+        }
+    }
+}
+
+/// Window feature points for one record under the variant settings.
+fn variant_points(r: &MotionRecord, window: &WindowSpec, cfg: &VariantConfig) -> Matrix {
+    let ranges = window.ranges(r.mocap.rows());
+    let pelvis = pelvis_matrix(&r.pelvis);
+    let local = match cfg.transform {
+        TransformKind::Translation => to_pelvis_local(&r.mocap, &pelvis),
+        TransformKind::HeadingNormalized => {
+            to_pelvis_local_heading(&r.mocap, &pelvis, r.heading_rad)
+        }
+    }
+    .expect("record shapes are consistent");
+    let mocap_f = match cfg.feature {
+        FeatureKind::Wsvd => wsvd_features(&local, &ranges),
+        FeatureKind::MeanPose => mean_pose_features(&local, &ranges),
+    }
+    .expect("window ranges are in bounds");
+    let emg_f = emg_features(&r.emg, &ranges, cfg.emg_feature).expect("emg windows in bounds");
+    match cfg.modality {
+        Modality::Combined => emg_f.hstack(&mocap_f).expect("same window count"),
+        Modality::EmgOnly => emg_f,
+        Modality::MocapOnly => mocap_f,
+    }
+}
+
+/// Evaluates a full train/query round of the variant pipeline, returning
+/// `(misclassification %, mean kNN correct %)` with k = 5.
+pub fn evaluate_variant(
+    train: &[&MotionRecord],
+    queries: &[&MotionRecord],
+    _limb: Limb,
+    cfg: &VariantConfig,
+) -> (f64, f64) {
+    let window = WindowSpec::from_ms(cfg.window_ms, 120.0).expect("valid window");
+
+    // Stage 1: window points.
+    let train_points: Vec<Matrix> = train
+        .iter()
+        .map(|r| variant_points(r, &window, cfg))
+        .collect();
+    let mut stacked = train_points[0].clone();
+    for p in &train_points[1..] {
+        stacked = stacked.vstack(p).expect("same dims");
+    }
+
+    // Stage 2: standardize.
+    let scaler = ZScore::fit(&stacked).expect("non-empty");
+    let stacked = scaler.transform(&stacked).expect("fitted dims");
+
+    // Stage 3: cluster + per-motion vectors.
+    let mut db = FeatureDb::new(match cfg.cluster {
+        ClusterKind::Fuzzy | ClusterKind::GustafsonKessel => 2 * cfg.clusters,
+        ClusterKind::Hard => cfg.clusters,
+    });
+    match cfg.cluster {
+        ClusterKind::Fuzzy => {
+            let model = fcm_fit(
+                &stacked,
+                &FcmConfig::new(cfg.clusters).with_seed(cfg.seed).with_restarts(2),
+            )
+            .expect("fcm converges");
+            let mut offset = 0;
+            for (r, pts) in train.iter().zip(&train_points) {
+                let m = model
+                    .memberships
+                    .slice_rows(offset, offset + pts.rows())
+                    .expect("in bounds");
+                offset += pts.rows();
+                let fv = motion_feature_vector(&m).expect("valid memberships");
+                db.insert(r.id, r.class, fv.into_vec()).expect("fits dim");
+            }
+            evaluate_queries(queries, &window, cfg, &scaler, &db, move |point| {
+                model.memberships_for(point).expect("fitted dims")
+            })
+        }
+        ClusterKind::GustafsonKessel => {
+            let model = gk_fit(
+                &stacked,
+                &GkConfig {
+                    seed: cfg.seed,
+                    ..GkConfig::new(cfg.clusters)
+                },
+            )
+            .expect("gk converges");
+            let mut offset = 0;
+            for (r, pts) in train.iter().zip(&train_points) {
+                let m = model
+                    .memberships
+                    .slice_rows(offset, offset + pts.rows())
+                    .expect("in bounds");
+                offset += pts.rows();
+                let fv = motion_feature_vector(&m).expect("valid memberships");
+                db.insert(r.id, r.class, fv.into_vec()).expect("fits dim");
+            }
+            evaluate_queries(queries, &window, cfg, &scaler, &db, move |point| {
+                model.memberships_for(point).expect("fitted dims")
+            })
+        }
+        ClusterKind::Hard => {
+            let model = kmeans_fit(
+                &stacked,
+                &KMeansConfig {
+                    seed: cfg.seed,
+                    ..KMeansConfig::new(cfg.clusters)
+                },
+            )
+            .expect("kmeans converges");
+            let mut offset = 0;
+            let c = cfg.clusters;
+            for (r, pts) in train.iter().zip(&train_points) {
+                // One-hot membership rows from the hard labels.
+                let mut m = Matrix::zeros(pts.rows(), c);
+                for w in 0..pts.rows() {
+                    m[(w, model.labels[offset + w])] = 1.0;
+                }
+                offset += pts.rows();
+                let fv = hard_histogram_vector(&m).expect("valid histogram");
+                db.insert(r.id, r.class, fv.into_vec()).expect("fits dim");
+            }
+            let centers = model.centers.clone();
+            evaluate_queries(queries, &window, cfg, &scaler, &db, move |point| {
+                // One-hot membership of the nearest center.
+                let mut best = 0;
+                let mut best_d = f64::INFINITY;
+                for k in 0..centers.rows() {
+                    let d = sq_euclidean(centers.row(k), point);
+                    if d < best_d {
+                        best_d = d;
+                        best = k;
+                    }
+                }
+                let mut u = vec![0.0; centers.rows()];
+                u[best] = 1.0;
+                u
+            })
+        }
+    }
+}
+
+/// Shared query loop: project each query's windows through
+/// `membership_fn`, reduce to the variant's motion vector, retrieve k = 5.
+fn evaluate_queries(
+    queries: &[&MotionRecord],
+    window: &WindowSpec,
+    cfg: &VariantConfig,
+    scaler: &ZScore,
+    db: &FeatureDb<MotionClass>,
+    membership_fn: impl Fn(&[f64]) -> Vec<f64>,
+) -> (f64, f64) {
+    let mut wrong = 0usize;
+    let mut pcts = Vec::with_capacity(queries.len());
+    for q in queries {
+        let points = variant_points(q, window, cfg);
+        let points = scaler.transform(&points).expect("fitted dims");
+        let c = db.dim()
+            / if matches!(cfg.cluster, ClusterKind::Fuzzy | ClusterKind::GustafsonKessel) {
+                2
+            } else {
+                1
+            };
+        let mut memberships = Matrix::zeros(points.rows(), c);
+        for w in 0..points.rows() {
+            let u = membership_fn(points.row(w));
+            memberships.row_mut(w).copy_from_slice(&u);
+        }
+        let fv = match cfg.cluster {
+            ClusterKind::Fuzzy | ClusterKind::GustafsonKessel => {
+                motion_feature_vector(&memberships).expect("valid")
+            }
+            ClusterKind::Hard => hard_histogram_vector(&memberships).expect("valid"),
+        };
+        let neighbors = knn(db, fv.as_slice(), 5).expect("db non-empty");
+        let predicted = classify(&neighbors, |c| *c).expect("neighbours exist");
+        if predicted != q.class {
+            wrong += 1;
+        }
+        let labels: Vec<MotionClass> = neighbors.iter().map(|n| n.meta).collect();
+        pcts.push(knn_correct_pct(&q.class, &labels));
+    }
+    (
+        wrong as f64 / queries.len() as f64 * 100.0,
+        mean_pct(&pcts),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kinemyo::biosim::{Dataset, DatasetSpec};
+    use kinemyo::stratified_split;
+
+    #[test]
+    fn variant_default_matches_paper_pipeline_closely() {
+        let ds = Dataset::generate(DatasetSpec::hand_default().with_size(1, 3)).unwrap();
+        let (train, query) = stratified_split(&ds.records, 1);
+        let (mis, knn_pct) = evaluate_variant(
+            &train,
+            &query,
+            Limb::RightHand,
+            &VariantConfig { clusters: 8, ..VariantConfig::default() },
+        );
+        assert!((0.0..=100.0).contains(&mis));
+        assert!((0.0..=100.0).contains(&knn_pct));
+    }
+
+    #[test]
+    fn hard_variant_runs() {
+        let ds = Dataset::generate(DatasetSpec::hand_default().with_size(1, 3)).unwrap();
+        let (train, query) = stratified_split(&ds.records, 1);
+        let (mis, _) = evaluate_variant(
+            &train,
+            &query,
+            Limb::RightHand,
+            &VariantConfig {
+                clusters: 8,
+                cluster: ClusterKind::Hard,
+                ..VariantConfig::default()
+            },
+        );
+        assert!((0.0..=100.0).contains(&mis));
+    }
+}

@@ -1,0 +1,170 @@
+//! Shared infrastructure for the figure-regeneration binaries and the
+//! Criterion benches.
+//!
+//! Every binary regenerates one figure of the paper (see `DESIGN.md` §4
+//! for the experiment index) and prints the series it plots as aligned
+//! text tables plus machine-readable JSON lines (prefix `JSON:`), so the
+//! results in `EXPERIMENTS.md` can be traced to a command.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use kinemyo::biosim::{Dataset, DatasetSpec, Limb};
+use kinemyo::{PipelineConfig, SweepPoint};
+
+/// The paper's window-size grid (ms), Sec. 5/6.
+pub const PAPER_WINDOWS_MS: [f64; 4] = [50.0, 100.0, 150.0, 200.0];
+
+/// The paper's cluster-count grid, Sec. 6 ("5 to 40"); the figures sample
+/// the range at steps of 5.
+pub const PAPER_CLUSTERS: [usize; 8] = [5, 10, 15, 20, 25, 30, 35, 40];
+
+/// Returns `true` when `KINEMYO_QUICK=1` — figure binaries then run a
+/// reduced grid so smoke tests stay fast.
+pub fn quick_mode() -> bool {
+    std::env::var("KINEMYO_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Master seed used by all experiments; override with `KINEMYO_SEED`.
+pub fn experiment_seed() -> u64 {
+    std::env::var("KINEMYO_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2007)
+}
+
+/// The standard evaluation dataset for a limb: 3 participants × 8 trials
+/// per class (reduced to 2 × 3 in quick mode).
+pub fn evaluation_dataset(limb: Limb) -> Dataset {
+    let spec = match limb {
+        Limb::RightHand => DatasetSpec::hand_default(),
+        Limb::RightLeg => DatasetSpec::leg_default(),
+        Limb::WholeBody => DatasetSpec::whole_body_default(),
+    };
+    let spec = if quick_mode() {
+        spec.with_size(2, 3)
+    } else {
+        spec.with_size(3, 8)
+    };
+    Dataset::generate(spec.with_seed(experiment_seed())).expect("dataset generation succeeds")
+}
+
+/// FCM-seed repeats averaged per sweep cell (1 in quick mode).
+pub fn repeats() -> usize {
+    if quick_mode() {
+        1
+    } else {
+        3
+    }
+}
+
+/// The sweep grids, reduced in quick mode.
+pub fn sweep_grids() -> (Vec<f64>, Vec<usize>) {
+    if quick_mode() {
+        (vec![100.0, 200.0], vec![5, 15])
+    } else {
+        (PAPER_WINDOWS_MS.to_vec(), PAPER_CLUSTERS.to_vec())
+    }
+}
+
+/// Base pipeline config for the sweeps.
+pub fn base_config() -> PipelineConfig {
+    PipelineConfig::default().with_seed(experiment_seed())
+}
+
+/// Prints a sweep as one aligned table per metric selector, with cluster
+/// counts as rows and window sizes as columns — directly comparable to the
+/// paper's figure axes.
+pub fn print_sweep_table(
+    title: &str,
+    points: &[SweepPoint],
+    metric: impl Fn(&SweepPoint) -> f64,
+) {
+    let mut windows: Vec<f64> = points.iter().map(|p| p.window_ms).collect();
+    windows.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    windows.dedup();
+    let mut clusters: Vec<usize> = points.iter().map(|p| p.clusters).collect();
+    clusters.sort_unstable();
+    clusters.dedup();
+
+    println!("\n{title}");
+    print!("{:>10}", "clusters");
+    for w in &windows {
+        print!("{:>12}", format!("{w:.0}ms"));
+    }
+    println!();
+    for &c in &clusters {
+        print!("{c:>10}");
+        for &w in &windows {
+            let v = points
+                .iter()
+                .find(|p| p.clusters == c && p.window_ms == w)
+                .map(&metric)
+                .unwrap_or(f64::NAN);
+            print!("{v:>12.2}");
+        }
+        println!();
+    }
+}
+
+/// Emits the sweep as a machine-readable JSON line for EXPERIMENTS.md
+/// tooling.
+pub fn print_sweep_json(figure: &str, points: &[SweepPoint]) {
+    let json = serde_json::to_string(&serde_json::json!({
+        "figure": figure,
+        "seed": experiment_seed(),
+        "points": points,
+    }))
+    .expect("sweep serializes");
+    println!("JSON:{json}");
+}
+
+/// Renders a tiny ASCII sparkline for a series (used to eyeball trends in
+/// terminal output).
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - lo) / span) * 7.0).round() as usize;
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+pub mod custom;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_match_paper() {
+        assert_eq!(PAPER_WINDOWS_MS.len(), 4);
+        assert_eq!(PAPER_CLUSTERS.first(), Some(&5));
+        assert_eq!(PAPER_CLUSTERS.last(), Some(&40));
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s.chars().count(), 2);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn seed_default() {
+        // Unless the env var is set in the test environment.
+        if std::env::var("KINEMYO_SEED").is_err() {
+            assert_eq!(experiment_seed(), 2007);
+        }
+    }
+}

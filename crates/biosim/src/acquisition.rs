@@ -1,0 +1,304 @@
+//! Synchronized dual-modality acquisition.
+//!
+//! Reproduces the paper's Sec. 5 hardware chain in software:
+//!
+//! 1. a **trigger module** starts both devices at the same instant (the
+//!    paper's Fig. 5 circuit; we model residual start-latency jitter);
+//! 2. the Myomonitor band-passes EMG to 20–450 Hz at 1000 Hz;
+//! 3. the processed signal is **full-wave rectified** and **down-sampled
+//!    to 120 Hz** to align with the motion-capture frame rate.
+
+use crate::error::{BiosimError, Result};
+use kinemyo_dsp::butterworth;
+use kinemyo_dsp::envelope::full_wave_rectify_mut;
+use kinemyo_dsp::Resampler;
+use kinemyo_linalg::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Acquisition chain parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcquisitionConfig {
+    /// Motion-capture frame rate, Hz (paper: 120).
+    pub mocap_fs: f64,
+    /// EMG sample rate, Hz (paper: 1000).
+    pub emg_fs: f64,
+    /// Std of the residual trigger start-latency between the two devices,
+    /// milliseconds (an ideal trigger is 0).
+    pub trigger_jitter_ms: f64,
+    /// Apply a 60 Hz power-line notch before rectification. The paper's
+    /// chain does not mention one (60 Hz sits inside the 20–450 Hz band
+    /// and survives the band-pass); enabling this removes that
+    /// contamination.
+    #[serde(default)]
+    pub notch_60hz: bool,
+}
+
+impl Default for AcquisitionConfig {
+    fn default() -> Self {
+        Self {
+            mocap_fs: 120.0,
+            emg_fs: 1000.0,
+            trigger_jitter_ms: 1.0,
+            notch_60hz: false,
+        }
+    }
+}
+
+impl AcquisitionConfig {
+    fn validate(&self) -> Result<()> {
+        if !(self.mocap_fs > 0.0) || !(self.emg_fs > 0.0) {
+            return Err(BiosimError::InvalidConfig {
+                reason: format!(
+                    "sample rates must be positive (mocap {}, emg {})",
+                    self.mocap_fs, self.emg_fs
+                ),
+            });
+        }
+        if self.trigger_jitter_ms < 0.0 {
+            return Err(BiosimError::InvalidConfig {
+                reason: "trigger jitter must be >= 0".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Applies the paper's EMG conditioning to one raw channel:
+/// 20–450 Hz Butterworth band-pass → full-wave rectification → polyphase
+/// down-sampling from `emg_fs` to `mocap_fs`.
+pub fn process_emg_channel(raw: &[f64], cfg: &AcquisitionConfig) -> Result<Vec<f64>> {
+    cfg.validate()?;
+    let mut bp = butterworth::emg_bandpass(cfg.emg_fs)?;
+    let mut filtered = bp.process(raw);
+    if cfg.notch_60hz {
+        let coeffs = kinemyo_dsp::BiquadCoeffs::notch(60.0, cfg.emg_fs, 30.0)?;
+        let mut notch = kinemyo_dsp::SosFilter::new(vec![coeffs]);
+        filtered = notch.process(&filtered);
+    }
+    full_wave_rectify_mut(&mut filtered);
+    // Reduce 120/1000 (or whatever the configured pair is) to a ratio.
+    let up = cfg.mocap_fs.round() as usize;
+    let down = cfg.emg_fs.round() as usize;
+    let resampler = Resampler::new(up, down, 24)?;
+    Ok(resampler.resample(&filtered))
+}
+
+/// Simulates the trigger module: returns the EMG start offset in *samples*
+/// (positive = EMG started late relative to mocap).
+pub fn trigger_offset_samples<R: Rng>(cfg: &AcquisitionConfig, rng: &mut R) -> i64 {
+    if cfg.trigger_jitter_ms <= 0.0 {
+        return 0;
+    }
+    let jitter_ms = crate::noise::randn(rng) * cfg.trigger_jitter_ms;
+    (jitter_ms / 1000.0 * cfg.emg_fs).round() as i64
+}
+
+/// Shifts a raw EMG stream by the trigger offset: a late start (`offset >
+/// 0`) means the first samples of the true signal were never captured, so
+/// the stream is left-truncated and zero-padded at the tail; an early start
+/// captures pre-trigger silence, modeled as zero-padding at the head.
+pub fn apply_trigger_offset(raw: &[f64], offset: i64) -> Vec<f64> {
+    let n = raw.len();
+    let mut out = vec![0.0; n];
+    if offset >= 0 {
+        let o = (offset as usize).min(n);
+        out[..n - o].copy_from_slice(&raw[o..]);
+    } else {
+        let o = ((-offset) as usize).min(n);
+        out[o..].copy_from_slice(&raw[..n - o]);
+    }
+    out
+}
+
+/// A fully synchronized, processed trial: both modalities at the mocap
+/// frame rate with a common t = 0.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SynchronizedStreams {
+    /// Motion joint matrix, `frames × (3·segments)`.
+    pub mocap: Matrix,
+    /// Processed EMG, `frames × channels`, volts (rectified envelope).
+    pub emg: Matrix,
+}
+
+/// Aligns a mocap joint matrix with per-channel raw EMG: applies the
+/// trigger offset, the conditioning chain, and truncates both modalities to
+/// the common frame count.
+pub fn synchronize<R: Rng>(
+    mocap: Matrix,
+    raw_emg_channels: &[Vec<f64>],
+    cfg: &AcquisitionConfig,
+    rng: &mut R,
+) -> Result<SynchronizedStreams> {
+    cfg.validate()?;
+    if raw_emg_channels.is_empty() {
+        return Err(BiosimError::InvalidConfig {
+            reason: "at least one EMG channel is required".into(),
+        });
+    }
+    let offset = trigger_offset_samples(cfg, rng);
+    let mut processed: Vec<Vec<f64>> = Vec::with_capacity(raw_emg_channels.len());
+    for raw in raw_emg_channels {
+        let shifted = apply_trigger_offset(raw, offset);
+        processed.push(process_emg_channel(&shifted, cfg)?);
+    }
+    let frames = processed
+        .iter()
+        .map(|c| c.len())
+        .min()
+        .unwrap_or(0)
+        .min(mocap.rows());
+    let mocap_t = mocap.slice_rows(0, frames)?;
+    let mut emg = Matrix::zeros(frames, processed.len());
+    for (ch, col) in processed.iter().enumerate() {
+        for (i, &v) in col.iter().take(frames).enumerate() {
+            emg[(i, ch)] = v;
+        }
+    }
+    Ok(SynchronizedStreams { mocap: mocap_t, emg })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::f64::consts::PI;
+
+    fn burst_signal() -> Vec<f64> {
+        // 3 s at 1000 Hz: silence, then a 150 Hz "EMG-like" burst, silence.
+        (0..3000)
+            .map(|i| {
+                let t = i as f64 / 1000.0;
+                if (1.0..2.0).contains(&t) {
+                    (2.0 * PI * 150.0 * t).sin() * 1e-3
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn processing_chain_produces_120hz_envelope() {
+        let cfg = AcquisitionConfig::default();
+        let out = process_emg_channel(&burst_signal(), &cfg).unwrap();
+        assert_eq!(out.len(), 360); // 3 s at 120 Hz
+        // Envelope positive during the burst, near zero outside.
+        let mid: f64 = out[140..220].iter().sum::<f64>() / 80.0;
+        let head: f64 = out[10..90].iter().sum::<f64>() / 80.0;
+        assert!(mid > 10.0 * head.max(1e-9), "mid {mid} head {head}");
+        // Rectified envelope of a ±1 mV tone ≈ 2/π mV mean.
+        assert!(mid > 0.3e-3 && mid < 1.0e-3, "mid {mid}");
+    }
+
+    #[test]
+    fn rectification_makes_envelope_nonnegative_mostly() {
+        let cfg = AcquisitionConfig::default();
+        let out = process_emg_channel(&burst_signal(), &cfg).unwrap();
+        // The anti-alias filter can ring slightly negative, but the bulk
+        // must be non-negative.
+        let neg = out.iter().filter(|&&v| v < -1e-5).count();
+        assert!(neg < out.len() / 20, "{neg} strongly negative samples");
+    }
+
+    #[test]
+    fn trigger_offset_zero_without_jitter() {
+        let cfg = AcquisitionConfig {
+            trigger_jitter_ms: 0.0,
+            ..Default::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(trigger_offset_samples(&cfg, &mut rng), 0);
+    }
+
+    #[test]
+    fn trigger_offset_scale() {
+        let cfg = AcquisitionConfig {
+            trigger_jitter_ms: 5.0,
+            ..Default::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let offsets: Vec<i64> = (0..200)
+            .map(|_| trigger_offset_samples(&cfg, &mut rng))
+            .collect();
+        // 5 ms at 1000 Hz = 5 samples std; all within ±5 sigma.
+        assert!(offsets.iter().all(|o| o.abs() < 26));
+        assert!(offsets.iter().any(|&o| o != 0));
+    }
+
+    #[test]
+    fn apply_offset_shifts_correctly() {
+        let raw = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(apply_trigger_offset(&raw, 2), vec![3.0, 4.0, 5.0, 0.0, 0.0]);
+        assert_eq!(apply_trigger_offset(&raw, -2), vec![0.0, 0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(apply_trigger_offset(&raw, 0), raw);
+        assert_eq!(apply_trigger_offset(&raw, 99), vec![0.0; 5]);
+        assert_eq!(apply_trigger_offset(&raw, -99), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn synchronize_aligns_lengths() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let cfg = AcquisitionConfig::default();
+        let mocap = Matrix::zeros(360, 12);
+        let raw = vec![burst_signal(), burst_signal()];
+        let s = synchronize(mocap, &raw, &cfg, &mut rng).unwrap();
+        assert_eq!(s.mocap.rows(), s.emg.rows());
+        assert_eq!(s.emg.cols(), 2);
+        assert!(s.mocap.rows() <= 360);
+        assert!(s.mocap.rows() >= 350, "should lose at most a few frames");
+    }
+
+    #[test]
+    fn synchronize_rejects_empty_channels() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let cfg = AcquisitionConfig::default();
+        assert!(synchronize(Matrix::zeros(10, 12), &[], &cfg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let bad = AcquisitionConfig { mocap_fs: 0.0, ..Default::default() };
+        assert!(process_emg_channel(&[0.0; 100], &bad).is_err());
+        let bad2 = AcquisitionConfig { trigger_jitter_ms: -1.0, ..Default::default() };
+        assert!(process_emg_channel(&[0.0; 100], &bad2).is_err());
+    }
+
+    #[test]
+    fn notch_option_removes_power_line() {
+        // A pure 60 Hz "interference" tone: the default chain passes it
+        // (it is inside the EMG band); the notch-enabled chain kills it.
+        let tone: Vec<f64> = (0..4000)
+            .map(|i| (2.0 * PI * 60.0 * i as f64 / 1000.0).sin() * 1e-3)
+            .collect();
+        let plain = process_emg_channel(&tone, &AcquisitionConfig::default()).unwrap();
+        let notched = process_emg_channel(
+            &tone,
+            &AcquisitionConfig {
+                notch_60hz: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mean = |v: &[f64]| v[100..400].iter().sum::<f64>() / 300.0;
+        assert!(
+            mean(&notched) < mean(&plain) / 10.0,
+            "notch should suppress 60 Hz: {} vs {}",
+            mean(&notched),
+            mean(&plain)
+        );
+    }
+
+    #[test]
+    fn drift_is_removed_by_bandpass() {
+        // Pure slow drift (2 Hz) should be almost eliminated.
+        let cfg = AcquisitionConfig::default();
+        let drift: Vec<f64> = (0..3000)
+            .map(|i| (2.0 * PI * 2.0 * i as f64 / 1000.0).sin() * 1e-3)
+            .collect();
+        let out = process_emg_channel(&drift, &cfg).unwrap();
+        let mean: f64 = out[60..300].iter().sum::<f64>() / 240.0;
+        assert!(mean < 0.1e-3, "drift leak {mean}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Per-participant body dimensions.
+//!
+//! The paper's test bed has "different human motions performed by different
+//! participants" (Sec. 5); body-size variation is one of the reasons
+//! semantically identical motions differ geometrically. Dimensions are in
+//! millimetres (the motion-capture resolution the paper notes).
+
+use crate::vec3::Vec3;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Segment lengths and joint offsets for one participant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Anthropometry {
+    /// Upper-arm (humerus) length, mm.
+    pub upper_arm_mm: f64,
+    /// Forearm (radius) length, mm.
+    pub forearm_mm: f64,
+    /// Hand length (wrist to knuckles), mm.
+    pub hand_mm: f64,
+    /// Thigh (femur) length, mm.
+    pub thigh_mm: f64,
+    /// Shank (tibia) length, mm.
+    pub shank_mm: f64,
+    /// Foot length (ankle to toe), mm.
+    pub foot_mm: f64,
+    /// Pelvis-marker height above the floor when standing, mm.
+    pub pelvis_height_mm: f64,
+    /// Right-shoulder joint offset from the pelvis marker, mm.
+    pub shoulder_offset: Vec3,
+    /// Right-hip joint offset from the pelvis marker, mm.
+    pub hip_offset: Vec3,
+    /// Clavicle-marker offset from the pelvis marker, mm.
+    pub clavicle_marker_offset: Vec3,
+}
+
+impl Anthropometry {
+    /// Population-average adult dimensions.
+    pub fn nominal() -> Self {
+        Self {
+            upper_arm_mm: 310.0,
+            forearm_mm: 260.0,
+            hand_mm: 90.0,
+            thigh_mm: 420.0,
+            shank_mm: 410.0,
+            foot_mm: 230.0,
+            pelvis_height_mm: 1000.0,
+            shoulder_offset: Vec3::new(180.0, 470.0, 0.0),
+            hip_offset: Vec3::new(90.0, -60.0, 0.0),
+            clavicle_marker_offset: Vec3::new(90.0, 450.0, 40.0),
+        }
+    }
+
+    /// Samples a participant: every dimension scaled by a common stature
+    /// factor (±8 %) plus small independent per-segment variation (±3 %).
+    pub fn sample<R: Rng>(rng: &mut R) -> Self {
+        let nominal = Self::nominal();
+        let stature = 1.0 + (rng.random::<f64>() - 0.5) * 0.16;
+        let mut jitter = |v: f64| v * stature * (1.0 + (rng.random::<f64>() - 0.5) * 0.06);
+        let upper_arm_mm = jitter(nominal.upper_arm_mm);
+        let forearm_mm = jitter(nominal.forearm_mm);
+        let hand_mm = jitter(nominal.hand_mm);
+        let thigh_mm = jitter(nominal.thigh_mm);
+        let shank_mm = jitter(nominal.shank_mm);
+        let foot_mm = jitter(nominal.foot_mm);
+        let pelvis_height_mm = jitter(nominal.pelvis_height_mm);
+        Self {
+            upper_arm_mm,
+            forearm_mm,
+            hand_mm,
+            thigh_mm,
+            shank_mm,
+            foot_mm,
+            pelvis_height_mm,
+            shoulder_offset: nominal.shoulder_offset * stature,
+            hip_offset: nominal.hip_offset * stature,
+            clavicle_marker_offset: nominal.clavicle_marker_offset * stature,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn nominal_is_humanlike() {
+        let a = Anthropometry::nominal();
+        assert!(a.upper_arm_mm > 200.0 && a.upper_arm_mm < 400.0);
+        assert!(a.thigh_mm > a.foot_mm);
+        assert!(a.shoulder_offset.y > 0.0, "shoulders are above the pelvis");
+        assert!(a.hip_offset.y < 0.0, "hips are below the pelvis marker");
+    }
+
+    #[test]
+    fn sampling_varies_but_stays_plausible() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut arms = Vec::new();
+        for _ in 0..50 {
+            let a = Anthropometry::sample(&mut rng);
+            assert!(a.upper_arm_mm > 240.0 && a.upper_arm_mm < 390.0, "{}", a.upper_arm_mm);
+            assert!(a.shank_mm > 300.0 && a.shank_mm < 520.0);
+            arms.push(a.upper_arm_mm);
+        }
+        let min = arms.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = arms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 10.0, "sampling should vary ({min}..{max})");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a1 = Anthropometry::sample(&mut ChaCha8Rng::seed_from_u64(9));
+        let a2 = Anthropometry::sample(&mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a1, a2);
+    }
+}

@@ -1,0 +1,306 @@
+//! Surface-EMG signal synthesis.
+//!
+//! Models the physics the Delsys Myomonitor measures: an activation-
+//! modulated stochastic interference pattern occupying the 20–450 Hz
+//! surface-EMG band, contaminated by exactly the nuisance effects the
+//! paper lists (Sec. 7): thermal noise, power-line interference, baseline
+//! drift, electrode-gain variation between trials, and fatigue-induced
+//! spectral compression.
+
+use crate::error::{BiosimError, Result};
+use crate::noise::{randn, SmoothNoise};
+use kinemyo_dsp::butterworth;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// Parameters of the EMG synthesizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmgSynthConfig {
+    /// EMG sampling rate, Hz (paper: 1000).
+    pub fs: f64,
+    /// Full-scale (maximum voluntary contraction) amplitude, volts.
+    pub mvc_volts: f64,
+    /// Thermal/electrode white-noise std relative to MVC.
+    pub thermal_rel: f64,
+    /// Power-line (60 Hz) amplitude relative to MVC (sampled up to this).
+    pub powerline_rel: f64,
+    /// Baseline-drift std relative to MVC.
+    pub drift_rel: f64,
+    /// Coefficient of variation of per-trial electrode gain (the paper:
+    /// "change in electrode characteristics").
+    pub gain_cv: f64,
+    /// Fatigue amount in `[0, 1]`: fraction of carrier power that migrates
+    /// to a low-frequency band by the end of the trial (median-frequency
+    /// downshift).
+    pub fatigue: f64,
+}
+
+impl EmgSynthConfig {
+    /// Realistic defaults matching the paper's acquisition chain.
+    pub fn realistic() -> Self {
+        Self {
+            fs: 1000.0,
+            mvc_volts: 1.0e-3,
+            thermal_rel: 0.015,
+            powerline_rel: 0.02,
+            drift_rel: 0.03,
+            gain_cv: 0.25,
+            fatigue: 0.0,
+        }
+    }
+
+    /// Noise-free configuration (for testing the modulation path).
+    pub fn clean() -> Self {
+        Self {
+            thermal_rel: 0.0,
+            powerline_rel: 0.0,
+            drift_rel: 0.0,
+            gain_cv: 0.0,
+            fatigue: 0.0,
+            ..Self::realistic()
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.fs > 0.0) {
+            return Err(BiosimError::InvalidConfig {
+                reason: format!("EMG sample rate must be positive, got {}", self.fs),
+            });
+        }
+        if !(self.mvc_volts > 0.0) {
+            return Err(BiosimError::InvalidConfig {
+                reason: "MVC amplitude must be positive".into(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.fatigue) {
+            return Err(BiosimError::InvalidConfig {
+                reason: format!("fatigue must be in [0,1], got {}", self.fatigue),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Generates a unit-RMS band-limited stochastic carrier: white Gaussian
+/// noise shaped into the given band by a 2nd-order Butterworth band-pass.
+fn carrier<R: Rng>(n: usize, fs: f64, f_lo: f64, f_hi: f64, rng: &mut R) -> Result<Vec<f64>> {
+    let white: Vec<f64> = (0..n).map(|_| randn(rng)).collect();
+    let mut bp = butterworth::bandpass(2, f_lo, f_hi, fs)?;
+    let mut shaped = bp.process(&white);
+    let rms = (shaped.iter().map(|v| v * v).sum::<f64>() / n.max(1) as f64).sqrt();
+    if rms > 0.0 {
+        for v in &mut shaped {
+            *v /= rms;
+        }
+    }
+    Ok(shaped)
+}
+
+/// Linear interpolation of a 120 Hz activation envelope up to the EMG rate.
+fn upsample_activation(act: &[f64], from_fs: f64, to_fs: f64, n_out: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n_out);
+    if act.is_empty() {
+        return vec![0.0; n_out];
+    }
+    for i in 0..n_out {
+        let t = i as f64 / to_fs;
+        let pos = t * from_fs;
+        let i0 = pos.floor() as usize;
+        let frac = pos - i0 as f64;
+        let a0 = act[i0.min(act.len() - 1)];
+        let a1 = act[(i0 + 1).min(act.len() - 1)];
+        out.push(a0 * (1.0 - frac) + a1 * frac);
+    }
+    out
+}
+
+/// Synthesizes one raw EMG channel at `cfg.fs` from a muscle-activation
+/// envelope sampled at `act_fs` (the 120 Hz mocap rate).
+///
+/// `duration_s` controls the raw signal length (normally the motion
+/// duration). Returns samples in volts.
+pub fn synthesize_channel<R: Rng>(
+    activation: &[f64],
+    act_fs: f64,
+    duration_s: f64,
+    cfg: &EmgSynthConfig,
+    rng: &mut R,
+) -> Result<Vec<f64>> {
+    cfg.validate()?;
+    if !(act_fs > 0.0) {
+        return Err(BiosimError::InvalidConfig {
+            reason: format!("activation rate must be positive, got {act_fs}"),
+        });
+    }
+    let n = (duration_s * cfg.fs).round().max(1.0) as usize;
+    let act = upsample_activation(activation, act_fs, cfg.fs, n);
+
+    // Fresh carrier noise per trial — two trials of the same motion never
+    // share an interference pattern (the paper's non-stationarity).
+    let main = carrier(n, cfg.fs, 30.0, 350.0, rng)?;
+    let low = if cfg.fatigue > 0.0 {
+        carrier(n, cfg.fs, 20.0, 120.0, rng)?
+    } else {
+        Vec::new()
+    };
+
+    // Per-trial gain: lognormal-ish via exp of a normal.
+    let gain = (randn(rng) * cfg.gain_cv).exp();
+    // Power-line interference with random amplitude and phase.
+    let pl_amp = cfg.powerline_rel * cfg.mvc_volts * rng.random::<f64>();
+    let pl_phase = rng.random::<f64>() * 2.0 * PI;
+    // Slow baseline drift.
+    let mut drift = SmoothNoise::new(2.0 / cfg.fs, cfg.drift_rel * cfg.mvc_volts);
+    // Slow multiplicative amplitude wander (electrode contact), ±10 %.
+    let mut amp_wander = SmoothNoise::new(1.0 / cfg.fs, 0.10);
+
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = i as f64 / cfg.fs;
+        let progress = i as f64 / n.max(1) as f64;
+        let fat_w = cfg.fatigue * progress;
+        let carrier_sample = if fat_w > 0.0 {
+            main[i] * (1.0 - fat_w) + low[i] * fat_w
+        } else {
+            main[i]
+        };
+        let local_gain = gain * (1.0 + amp_wander.step(rng));
+        let muscle = cfg.mvc_volts * local_gain * act[i] * carrier_sample;
+        let noise = cfg.thermal_rel * cfg.mvc_volts * randn(rng)
+            + pl_amp * (2.0 * PI * 60.0 * t + pl_phase).sin()
+            + drift.step(rng);
+        out.push(muscle + noise);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kinemyo_dsp::fft::median_frequency;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn step_activation() -> Vec<f64> {
+        // 120 Hz envelope: 1 s rest, 1 s full activation, 1 s rest.
+        let mut a = vec![0.0; 120];
+        a.extend(vec![1.0; 120]);
+        a.extend(vec![0.0; 120]);
+        a
+    }
+
+    fn seg_rms(x: &[f64], lo: usize, hi: usize) -> f64 {
+        let seg = &x[lo..hi];
+        (seg.iter().map(|v| v * v).sum::<f64>() / seg.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn amplitude_tracks_activation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let cfg = EmgSynthConfig::clean();
+        let emg = synthesize_channel(&step_activation(), 120.0, 3.0, &cfg, &mut rng).unwrap();
+        assert_eq!(emg.len(), 3000);
+        let active = seg_rms(&emg, 1200, 1900);
+        let rest = seg_rms(&emg, 100, 900);
+        assert!(active > 20.0 * rest.max(1e-12), "active {active}, rest {rest}");
+        // Active RMS near MVC scale.
+        assert!(active > 0.3e-3 && active < 3.0e-3, "active rms {active}");
+    }
+
+    #[test]
+    fn spectrum_lives_in_the_emg_band() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let cfg = EmgSynthConfig::clean();
+        let act = vec![1.0; 360];
+        let emg = synthesize_channel(&act, 120.0, 3.0, &cfg, &mut rng).unwrap();
+        let mf = median_frequency(&emg, 1000.0).unwrap();
+        assert!(
+            (60.0..250.0).contains(&mf),
+            "median frequency {mf} outside surface-EMG range"
+        );
+    }
+
+    #[test]
+    fn fatigue_shifts_median_frequency_down() {
+        let act = vec![1.0; 600];
+        let cfg_fresh = EmgSynthConfig::clean();
+        let cfg_tired = EmgSynthConfig {
+            fatigue: 0.8,
+            ..EmgSynthConfig::clean()
+        };
+        let mut rng1 = ChaCha8Rng::seed_from_u64(3);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(3);
+        let fresh = synthesize_channel(&act, 120.0, 5.0, &cfg_fresh, &mut rng1).unwrap();
+        let tired = synthesize_channel(&act, 120.0, 5.0, &cfg_tired, &mut rng2).unwrap();
+        // Compare the final second.
+        let mf_fresh = median_frequency(&fresh[4000..], 1000.0).unwrap();
+        let mf_tired = median_frequency(&tired[4000..], 1000.0).unwrap();
+        assert!(
+            mf_tired < mf_fresh - 10.0,
+            "fatigued {mf_tired} vs fresh {mf_fresh}"
+        );
+    }
+
+    #[test]
+    fn trials_differ_given_different_rng_states() {
+        let act = step_activation();
+        let cfg = EmgSynthConfig::realistic();
+        let a = synthesize_channel(&act, 120.0, 3.0, &cfg, &mut ChaCha8Rng::seed_from_u64(10))
+            .unwrap();
+        let b = synthesize_channel(&act, 120.0, 3.0, &cfg, &mut ChaCha8Rng::seed_from_u64(11))
+            .unwrap();
+        let diff: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 0.0, "same-motion trials must have different EMG");
+        // But the envelope correlates: both active in the middle.
+        assert!(seg_rms(&a, 1300, 1800) > 3.0 * seg_rms(&a, 100, 600));
+        assert!(seg_rms(&b, 1300, 1800) > 3.0 * seg_rms(&b, 100, 600));
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let act = step_activation();
+        let cfg = EmgSynthConfig::realistic();
+        let a = synthesize_channel(&act, 120.0, 3.0, &cfg, &mut ChaCha8Rng::seed_from_u64(5))
+            .unwrap();
+        let b = synthesize_channel(&act, 120.0, 3.0, &cfg, &mut ChaCha8Rng::seed_from_u64(5))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_floor_present_with_realistic_config() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let cfg = EmgSynthConfig::realistic();
+        let act = vec![0.0; 360]; // fully rested muscle
+        let emg = synthesize_channel(&act, 120.0, 3.0, &cfg, &mut rng).unwrap();
+        let rms = seg_rms(&emg, 0, emg.len());
+        assert!(rms > 1e-6, "rest should still show noise, got {rms}");
+        assert!(rms < 0.3e-3, "rest noise should be far below MVC, got {rms}");
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut cfg = EmgSynthConfig::realistic();
+        cfg.fs = 0.0;
+        assert!(synthesize_channel(&[1.0], 120.0, 1.0, &cfg, &mut rng).is_err());
+        let mut cfg = EmgSynthConfig::realistic();
+        cfg.fatigue = 2.0;
+        assert!(synthesize_channel(&[1.0], 120.0, 1.0, &cfg, &mut rng).is_err());
+        let cfg = EmgSynthConfig::realistic();
+        assert!(synthesize_channel(&[1.0], 0.0, 1.0, &cfg, &mut rng).is_err());
+        let mut cfg = EmgSynthConfig::realistic();
+        cfg.mvc_volts = -1.0;
+        assert!(synthesize_channel(&[1.0], 120.0, 1.0, &cfg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn empty_activation_yields_noise_only() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let cfg = EmgSynthConfig::realistic();
+        let emg = synthesize_channel(&[], 120.0, 1.0, &cfg, &mut rng).unwrap();
+        assert_eq!(emg.len(), 1000);
+        assert!(emg.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,95 @@
+//! Error types for the acquisition simulator.
+
+use std::fmt;
+
+/// Errors produced by `kinemyo-biosim`.
+#[derive(Debug)]
+pub enum BiosimError {
+    /// A simulation parameter was invalid.
+    InvalidConfig {
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// A downstream DSP stage failed.
+    Dsp(kinemyo_dsp::DspError),
+    /// A downstream linear-algebra operation failed.
+    Linalg(kinemyo_linalg::LinalgError),
+    /// Dataset (de)serialization failed.
+    Serialization(String),
+    /// Filesystem I/O failed while saving/loading a dataset.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for BiosimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BiosimError::InvalidConfig { reason } => {
+                write!(f, "invalid simulation config: {reason}")
+            }
+            BiosimError::Dsp(e) => write!(f, "dsp error: {e}"),
+            BiosimError::Linalg(e) => write!(f, "linalg error: {e}"),
+            BiosimError::Serialization(e) => write!(f, "serialization error: {e}"),
+            BiosimError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BiosimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BiosimError::Dsp(e) => Some(e),
+            BiosimError::Linalg(e) => Some(e),
+            BiosimError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<kinemyo_dsp::DspError> for BiosimError {
+    fn from(e: kinemyo_dsp::DspError) -> Self {
+        BiosimError::Dsp(e)
+    }
+}
+
+impl From<kinemyo_linalg::LinalgError> for BiosimError {
+    fn from(e: kinemyo_linalg::LinalgError) -> Self {
+        BiosimError::Linalg(e)
+    }
+}
+
+impl From<std::io::Error> for BiosimError {
+    fn from(e: std::io::Error) -> Self {
+        BiosimError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for BiosimError {
+    fn from(e: serde_json::Error) -> Self {
+        BiosimError::Serialization(e.to_string())
+    }
+}
+
+/// Result alias for simulation operations.
+pub type Result<T> = std::result::Result<T, BiosimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = BiosimError::InvalidConfig {
+            reason: "zero participants".into(),
+        };
+        assert!(e.to_string().contains("zero participants"));
+        let dsp: BiosimError = kinemyo_dsp::DspError::InvalidArgument {
+            reason: "x".into(),
+        }
+        .into();
+        assert!(dsp.to_string().contains("dsp error"));
+        let la: BiosimError = kinemyo_linalg::LinalgError::Empty { op: "svd" }.into();
+        assert!(la.to_string().contains("linalg error"));
+        let io: BiosimError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(io.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,127 @@
+//! # kinemyo-biosim
+//!
+//! Synthetic acquisition substrate for the `kinemyo` workspace: everything
+//! the paper's laboratory produced — synchronized motion-capture and
+//! surface-EMG recordings of human motions — generated in software.
+//!
+//! The paper (Sec. 5) used a 16-camera Vicon rig, a Delsys Myomonitor, and
+//! a custom trigger circuit with live participants. This crate substitutes:
+//!
+//! * [`skeleton`] — pelvis-rooted forward kinematics rendering global 3-D
+//!   marker trajectories at 120 Hz (with optical jitter and postural sway);
+//! * [`motion`] — parametric joint-angle generators for 12 motion classes
+//!   with per-trial randomized amplitude/speed/phase/tremor;
+//! * [`muscle`] — kinematics-driven muscle excitation plus Hill-type
+//!   activation dynamics;
+//! * [`emg`] — activation-modulated stochastic interference patterns at
+//!   1000 Hz with thermal noise, 60 Hz power-line pickup, baseline drift,
+//!   electrode-gain variation and fatigue;
+//! * [`acquisition`] — the trigger/synchronization module and the paper's
+//!   conditioning chain (20–450 Hz band-pass → full-wave rectification →
+//!   down-sampling to 120 Hz);
+//! * [`dataset`] — the full test bed: participants × classes × trials,
+//!   deterministic per seed, JSON-serializable.
+//!
+//! See `DESIGN.md` §2 for why each substitution preserves the behaviour the
+//! paper's evaluation depends on.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+// `!(x > 0.0)` is the NaN-rejecting validation idiom used throughout this
+// workspace: `x <= 0.0` would silently accept NaN.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod acquisition;
+pub mod anthropometry;
+pub mod binfmt;
+pub mod dataset;
+pub mod emg;
+pub mod error;
+pub mod limb;
+pub mod motion;
+pub mod muscle;
+pub mod noise;
+pub mod skeleton;
+pub mod vec3;
+
+pub use acquisition::AcquisitionConfig;
+pub use dataset::{Dataset, DatasetSpec, MotionRecord};
+pub use emg::EmgSynthConfig;
+pub use error::{BiosimError, Result};
+pub use limb::{Limb, MotionClass, Muscle, Segment};
+pub use skeleton::{MocapNoise, Placement, Skeleton};
+pub use vec3::Vec3;
+
+#[cfg(test)]
+mod proptests {
+    use crate::limb::{Limb, MotionClass};
+    use crate::motion::{generate_angles, TrialStyle};
+    use crate::muscle::excitations;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn any_class() -> impl Strategy<Value = MotionClass> {
+        prop_oneof![
+            Just(MotionClass::RaiseArm),
+            Just(MotionClass::ThrowBall),
+            Just(MotionClass::WaveHand),
+            Just(MotionClass::Punch),
+            Just(MotionClass::DrinkCup),
+            Just(MotionClass::ArmCircle),
+            Just(MotionClass::Walk),
+            Just(MotionClass::Kick),
+            Just(MotionClass::Squat),
+            Just(MotionClass::StepUp),
+            Just(MotionClass::ToeTap),
+            Just(MotionClass::HeelRaise),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn any_style_produces_finite_bounded_angles(
+            class in any_class(),
+            amplitude in 0.7..1.3f64,
+            speed in 0.7..1.3f64,
+            phase in 0.0..6.2f64,
+            tremor in 0.0..2.0f64,
+            shift in -0.08..0.08f64,
+            warp in 0.8..1.25f64,
+            seed in 0u64..1000,
+        ) {
+            let style = TrialStyle { amplitude, speed, phase, tremor, shift, warp };
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let track = generate_angles(class, &style, 120.0, &mut rng);
+            prop_assert!(track.frames.len() >= 2);
+            for f in &track.frames {
+                for v in [f.shoulder_elevation, f.shoulder_azimuth, f.elbow_flexion,
+                          f.hip_flexion, f.knee_flexion, f.ankle_flexion] {
+                    prop_assert!(v.is_finite());
+                    prop_assert!(v.abs() < std::f64::consts::PI);
+                }
+                prop_assert!((0.0..=1.0).contains(&f.grip));
+            }
+        }
+
+        #[test]
+        fn excitations_always_bounded(
+            class in any_class(),
+            seed in 0u64..500,
+        ) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let style = TrialStyle::sample(&mut rng);
+            let track = generate_angles(class, &style, 120.0, &mut rng);
+            let limb: Limb = class.limb();
+            let e = excitations(limb, &track);
+            prop_assert_eq!(e.cols(), limb.emg_channels());
+            for i in 0..e.rows() {
+                for j in 0..e.cols() {
+                    prop_assert!((0.0..=1.0).contains(&e[(i, j)]));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Body segments, muscles, limbs and motion classes.
+//!
+//! The paper analyzes one limb at a time (Sec. 5): the right hand uses four
+//! motion-capture segments (clavicle, humerus, radius, hand) and four EMG
+//! channels (biceps, triceps, upper forearm, lower forearm); the right leg
+//! uses three segments (tibia, foot, toe) and two EMG channels (front shin,
+//! back shin).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A tracked body segment (a retro-reflective marker location).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Segment {
+    /// Clavicle marker (shoulder girdle).
+    Clavicle,
+    /// Humerus marker (distal upper arm / elbow).
+    Humerus,
+    /// Radius marker (distal forearm / wrist).
+    Radius,
+    /// Hand marker (knuckles).
+    Hand,
+    /// Tibia marker (distal shank / ankle).
+    Tibia,
+    /// Foot marker (mid-foot).
+    Foot,
+    /// Toe marker (toe tip).
+    Toe,
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Segment::Clavicle => "clavicle",
+            Segment::Humerus => "humerus",
+            Segment::Radius => "radius",
+            Segment::Hand => "hand",
+            Segment::Tibia => "tibia",
+            Segment::Foot => "foot",
+            Segment::Toe => "toe",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A surface-EMG electrode site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Muscle {
+    /// Biceps brachii (elbow flexor).
+    Biceps,
+    /// Triceps brachii (elbow extensor).
+    Triceps,
+    /// Upper forearm (wrist/finger extensor group).
+    UpperForearm,
+    /// Lower forearm (wrist/finger flexor group).
+    LowerForearm,
+    /// Front of shin (tibialis anterior, dorsiflexor).
+    FrontShin,
+    /// Back of shin (gastrocnemius/soleus, plantarflexor).
+    BackShin,
+}
+
+impl fmt::Display for Muscle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Muscle::Biceps => "biceps",
+            Muscle::Triceps => "triceps",
+            Muscle::UpperForearm => "upper-forearm",
+            Muscle::LowerForearm => "lower-forearm",
+            Muscle::FrontShin => "front-shin",
+            Muscle::BackShin => "back-shin",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The limb under analysis (the paper treats hands and legs separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Limb {
+    /// Right arm/hand: 4 mocap segments + 4 EMG channels.
+    RightHand,
+    /// Right leg: 3 mocap segments + 2 EMG channels.
+    RightLeg,
+    /// Whole right side: all 7 segments + all 6 EMG channels. The paper
+    /// analyzes one limb at a time but notes "our approach is flexible
+    /// enough to classify the human motions for whole human body"
+    /// (Sec. 5) — this variant exercises that claim.
+    WholeBody,
+}
+
+impl Limb {
+    /// The tracked segments of this limb, in mocap column order.
+    pub fn segments(&self) -> &'static [Segment] {
+        match self {
+            Limb::RightHand => &[
+                Segment::Clavicle,
+                Segment::Humerus,
+                Segment::Radius,
+                Segment::Hand,
+            ],
+            Limb::RightLeg => &[Segment::Tibia, Segment::Foot, Segment::Toe],
+            Limb::WholeBody => &[
+                Segment::Clavicle,
+                Segment::Humerus,
+                Segment::Radius,
+                Segment::Hand,
+                Segment::Tibia,
+                Segment::Foot,
+                Segment::Toe,
+            ],
+        }
+    }
+
+    /// The EMG electrode sites of this limb, in channel order.
+    pub fn muscles(&self) -> &'static [Muscle] {
+        match self {
+            Limb::RightHand => &[
+                Muscle::Biceps,
+                Muscle::Triceps,
+                Muscle::UpperForearm,
+                Muscle::LowerForearm,
+            ],
+            Limb::RightLeg => &[Muscle::FrontShin, Muscle::BackShin],
+            Limb::WholeBody => &[
+                Muscle::Biceps,
+                Muscle::Triceps,
+                Muscle::UpperForearm,
+                Muscle::LowerForearm,
+                Muscle::FrontShin,
+                Muscle::BackShin,
+            ],
+        }
+    }
+
+    /// Number of motion-capture columns (3 per segment).
+    pub fn mocap_cols(&self) -> usize {
+        self.segments().len() * 3
+    }
+
+    /// Number of EMG channels.
+    pub fn emg_channels(&self) -> usize {
+        self.muscles().len()
+    }
+}
+
+impl fmt::Display for Limb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Limb::RightHand => "right-hand",
+            Limb::RightLeg => "right-leg",
+            Limb::WholeBody => "whole-body",
+        })
+    }
+}
+
+/// Semantic motion classes the simulator can perform.
+///
+/// The paper's examples are "raise arm" and "throw ball" (Figs. 2–4); the
+/// remaining classes populate the test bed of "different human motions
+/// performed by different participants" (Sec. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MotionClass {
+    // ---- right-hand classes ----
+    /// Raise the arm forward overhead and lower it (paper Fig. 2).
+    RaiseArm,
+    /// Wind up and throw a ball (paper Figs. 3–4).
+    ThrowBall,
+    /// Wave the raised hand side to side several times.
+    WaveHand,
+    /// A straight punch: fast elbow extension forward.
+    Punch,
+    /// Bring a cup to the mouth and back (slow elbow flexion with hold).
+    DrinkCup,
+    /// Continuous circular stirring motion of the forearm.
+    ArmCircle,
+    // ---- right-leg classes ----
+    /// Walking strides (in place).
+    Walk,
+    /// Kick: wind-up then rapid knee extension.
+    Kick,
+    /// Squat down and stand back up.
+    Squat,
+    /// Step up onto a platform (single slow flexion–extension).
+    StepUp,
+    /// Rhythmic toe tapping (ankle dorsiflexion oscillation).
+    ToeTap,
+    /// Heel raise: sustained plantar flexion.
+    HeelRaise,
+}
+
+impl MotionClass {
+    /// The limb this class belongs to.
+    pub fn limb(&self) -> Limb {
+        match self {
+            MotionClass::RaiseArm
+            | MotionClass::ThrowBall
+            | MotionClass::WaveHand
+            | MotionClass::Punch
+            | MotionClass::DrinkCup
+            | MotionClass::ArmCircle => Limb::RightHand,
+            MotionClass::Walk
+            | MotionClass::Kick
+            | MotionClass::Squat
+            | MotionClass::StepUp
+            | MotionClass::ToeTap
+            | MotionClass::HeelRaise => Limb::RightLeg,
+        }
+    }
+
+    /// All classes defined for a limb. For [`Limb::WholeBody`] this is
+    /// every class: whole-body capture sees arm motions with quiet leg
+    /// channels and vice versa.
+    pub fn all_for(limb: Limb) -> &'static [MotionClass] {
+        match limb {
+            Limb::RightHand => &[
+                MotionClass::RaiseArm,
+                MotionClass::ThrowBall,
+                MotionClass::WaveHand,
+                MotionClass::Punch,
+                MotionClass::DrinkCup,
+                MotionClass::ArmCircle,
+            ],
+            Limb::RightLeg => &[
+                MotionClass::Walk,
+                MotionClass::Kick,
+                MotionClass::Squat,
+                MotionClass::StepUp,
+                MotionClass::ToeTap,
+                MotionClass::HeelRaise,
+            ],
+            Limb::WholeBody => &[
+                MotionClass::RaiseArm,
+                MotionClass::ThrowBall,
+                MotionClass::WaveHand,
+                MotionClass::Punch,
+                MotionClass::DrinkCup,
+                MotionClass::ArmCircle,
+                MotionClass::Walk,
+                MotionClass::Kick,
+                MotionClass::Squat,
+                MotionClass::StepUp,
+                MotionClass::ToeTap,
+                MotionClass::HeelRaise,
+            ],
+        }
+    }
+
+    /// Stable human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MotionClass::RaiseArm => "raise-arm",
+            MotionClass::ThrowBall => "throw-ball",
+            MotionClass::WaveHand => "wave-hand",
+            MotionClass::Punch => "punch",
+            MotionClass::DrinkCup => "drink-cup",
+            MotionClass::ArmCircle => "arm-circle",
+            MotionClass::Walk => "walk",
+            MotionClass::Kick => "kick",
+            MotionClass::Squat => "squat",
+            MotionClass::StepUp => "step-up",
+            MotionClass::ToeTap => "toe-tap",
+            MotionClass::HeelRaise => "heel-raise",
+        }
+    }
+}
+
+impl fmt::Display for MotionClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_channel_counts() {
+        // Sec. 5: hand has 4 segments + 4 EMG; leg has 3 segments + 2 EMG.
+        assert_eq!(Limb::RightHand.segments().len(), 4);
+        assert_eq!(Limb::RightHand.muscles().len(), 4);
+        assert_eq!(Limb::RightLeg.segments().len(), 3);
+        assert_eq!(Limb::RightLeg.muscles().len(), 2);
+        assert_eq!(Limb::RightHand.mocap_cols(), 12);
+        assert_eq!(Limb::RightLeg.mocap_cols(), 9);
+        assert_eq!(Limb::RightHand.emg_channels(), 4);
+        assert_eq!(Limb::RightLeg.emg_channels(), 2);
+    }
+
+    #[test]
+    fn classes_map_to_their_limb() {
+        for &c in MotionClass::all_for(Limb::RightHand) {
+            assert_eq!(c.limb(), Limb::RightHand);
+        }
+        for &c in MotionClass::all_for(Limb::RightLeg) {
+            assert_eq!(c.limb(), Limb::RightLeg);
+        }
+    }
+
+    #[test]
+    fn class_lists_are_disjoint_and_nonempty() {
+        let hand = MotionClass::all_for(Limb::RightHand);
+        let leg = MotionClass::all_for(Limb::RightLeg);
+        assert!(hand.len() >= 6);
+        assert!(leg.len() >= 6);
+        for h in hand {
+            assert!(!leg.contains(h));
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = MotionClass::all_for(Limb::RightHand)
+            .iter()
+            .chain(MotionClass::all_for(Limb::RightLeg))
+            .map(|c| c.name())
+            .collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(MotionClass::RaiseArm.to_string(), "raise-arm");
+        assert_eq!(Limb::RightLeg.to_string(), "right-leg");
+        assert_eq!(Segment::Clavicle.to_string(), "clavicle");
+        assert_eq!(Muscle::UpperForearm.to_string(), "upper-forearm");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = MotionClass::ThrowBall;
+        let json = serde_json::to_string(&c).unwrap();
+        let back: MotionClass = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,525 @@
+//! Parametric joint-angle trajectory generators for each motion class.
+//!
+//! Every motion class is a family of smooth joint-angle profiles with
+//! per-trial randomized amplitude, speed, phase and tremor — this is what
+//! creates realistic *intra-class* variation (the paper: "semantically
+//! similar motions such as walking can have large variations").
+
+use crate::limb::MotionClass;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// Joint angles of one frame (radians). A single struct covers both limbs;
+/// the irrelevant limb's fields stay zero.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LimbAngles {
+    /// Shoulder elevation: 0 = arm hanging down, π/2 = horizontal forward.
+    pub shoulder_elevation: f64,
+    /// Shoulder azimuth about the vertical axis (positive = outward).
+    pub shoulder_azimuth: f64,
+    /// Elbow flexion: 0 = straight, π/2 = right angle.
+    pub elbow_flexion: f64,
+    /// Grip effort in `[0, 1]` (drives forearm muscle activity, not FK).
+    pub grip: f64,
+    /// Hip flexion: 0 = standing, positive = thigh raised forward.
+    pub hip_flexion: f64,
+    /// Knee flexion: 0 = straight, positive = heel toward buttocks.
+    pub knee_flexion: f64,
+    /// Ankle angle: positive = dorsiflexion (toes up), negative = plantar.
+    pub ankle_flexion: f64,
+}
+
+/// A joint-angle trajectory sampled at `fs` Hz.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AngleTrack {
+    /// Sample rate, Hz (the motion-capture rate, 120 Hz).
+    pub fs: f64,
+    /// Per-frame joint angles.
+    pub frames: Vec<LimbAngles>,
+}
+
+impl AngleTrack {
+    /// Duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.frames.len() as f64 / self.fs
+    }
+
+    /// Finite-difference angular velocities (rad/s); same length as
+    /// `frames` (first entry repeats the second to keep alignment).
+    pub fn velocities(&self) -> Vec<LimbAngles> {
+        let n = self.frames.len();
+        let mut out = Vec::with_capacity(n);
+        if n == 0 {
+            return out;
+        }
+        let dt = 1.0 / self.fs;
+        for i in 0..n {
+            let (a, b) = if i == 0 {
+                (self.frames[0], self.frames[1.min(n - 1)])
+            } else {
+                (self.frames[i - 1], self.frames[i])
+            };
+            out.push(LimbAngles {
+                shoulder_elevation: (b.shoulder_elevation - a.shoulder_elevation) / dt,
+                shoulder_azimuth: (b.shoulder_azimuth - a.shoulder_azimuth) / dt,
+                elbow_flexion: (b.elbow_flexion - a.elbow_flexion) / dt,
+                grip: (b.grip - a.grip) / dt,
+                hip_flexion: (b.hip_flexion - a.hip_flexion) / dt,
+                knee_flexion: (b.knee_flexion - a.knee_flexion) / dt,
+                ankle_flexion: (b.ankle_flexion - a.ankle_flexion) / dt,
+            });
+        }
+        out
+    }
+}
+
+/// Per-trial style parameters: the randomized "way" a participant performs
+/// the motion this time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialStyle {
+    /// Amplitude multiplier (how big the motion is), ~0.85–1.15.
+    pub amplitude: f64,
+    /// Speed multiplier (inverse duration scale), ~0.85–1.15.
+    pub speed: f64,
+    /// Phase offset for oscillatory classes, radians.
+    pub phase: f64,
+    /// Tremor intensity multiplier, ~0.5–1.5.
+    pub tremor: f64,
+    /// Normalized-time shift of the whole profile, ~±0.06 (people start
+    /// earlier or later within the capture window).
+    pub shift: f64,
+    /// Nonlinear time-warp exponent, ~0.85–1.18 (the paper: two similar
+    /// motions need not share local speed).
+    pub warp: f64,
+}
+
+impl TrialStyle {
+    /// Samples a natural style variation.
+    pub fn sample<R: Rng>(rng: &mut R) -> Self {
+        Self {
+            amplitude: 1.0 + (rng.random::<f64>() - 0.5) * 0.3,
+            speed: 1.0 + (rng.random::<f64>() - 0.5) * 0.3,
+            phase: rng.random::<f64>() * 2.0 * PI,
+            tremor: 0.5 + rng.random::<f64>(),
+            shift: (rng.random::<f64>() - 0.5) * 0.12,
+            warp: 0.85 + rng.random::<f64>() * 0.33,
+        }
+    }
+
+    /// The exact nominal style (useful for deterministic fixtures).
+    pub fn nominal() -> Self {
+        Self {
+            amplitude: 1.0,
+            speed: 1.0,
+            phase: 0.0,
+            tremor: 1.0,
+            shift: 0.0,
+            warp: 1.0,
+        }
+    }
+}
+
+/// Degrees to radians.
+#[inline]
+fn deg(d: f64) -> f64 {
+    d * PI / 180.0
+}
+
+/// Cubic smoothstep clamped to `[0, 1]`.
+fn smoothstep(x: f64) -> f64 {
+    let x = x.clamp(0.0, 1.0);
+    x * x * (3.0 - 2.0 * x)
+}
+
+/// Smooth pulse: rises around `t0`, falls around `t1`, transition width `w`.
+fn pulse(s: f64, t0: f64, t1: f64, w: f64) -> f64 {
+    smoothstep((s - t0) / w) * (1.0 - smoothstep((s - t1) / w))
+}
+
+/// Base duration (seconds) of one performance of `class` at nominal speed.
+///
+/// Durations match the paper's trials (Fig. 2 shows ≈1200 frames at
+/// 120 Hz, i.e. ≈10 s per instructed performance): deliberate motions
+/// with rest margins before and after. Ballistic classes keep their fast
+/// strike segments (narrow normalized transition widths) inside the
+/// longer trial.
+pub fn base_duration_s(class: MotionClass) -> f64 {
+    match class {
+        MotionClass::RaiseArm => 8.0,
+        MotionClass::ThrowBall => 5.0,
+        MotionClass::WaveHand => 9.0,
+        MotionClass::Punch => 5.0,
+        MotionClass::DrinkCup => 9.0,
+        MotionClass::ArmCircle => 9.0,
+        MotionClass::Walk => 10.0,
+        MotionClass::Kick => 6.0,
+        MotionClass::Squat => 9.0,
+        MotionClass::StepUp => 8.0,
+        MotionClass::ToeTap => 8.0,
+        MotionClass::HeelRaise => 8.0,
+    }
+}
+
+/// Generates the joint-angle trajectory for one trial of `class`.
+///
+/// `fs` is the motion-capture frame rate (120 Hz in the paper). Tremor is a
+/// smoothed random walk added to each active degree of freedom.
+pub fn generate_angles<R: Rng>(
+    class: MotionClass,
+    style: &TrialStyle,
+    fs: f64,
+    rng: &mut R,
+) -> AngleTrack {
+    let duration = base_duration_s(class) / style.speed;
+    let n = (duration * fs).round().max(2.0) as usize;
+    let amp = style.amplitude;
+    let mut frames = Vec::with_capacity(n);
+
+    // Smoothed tremor state per DOF (one-pole filtered white noise).
+    let mut tremor_state = [0.0f64; 7];
+    let tremor_sigma = deg(1.2) * style.tremor;
+    let alpha = 0.08;
+
+    // Per-DOF amplitude jitter: trial-to-trial variation in how much each
+    // joint contributes (e.g. squatting more from the knees this time).
+    // Distal-limb motions vary more, which is what makes the leg classes
+    // genuinely confusable from below-knee markers alone.
+    let dof_spread = if class.limb() == crate::limb::Limb::RightLeg {
+        0.55
+    } else {
+        0.15
+    };
+    let dof_jitter: [f64; 7] =
+        std::array::from_fn(|_| 1.0 + (rng.random::<f64>() - 0.5) * dof_spread);
+
+    for i in 0..n {
+        let t = i as f64 / fs;
+        // Leg motions get a wider amplitude spread: below-knee markers see
+        // less of the body, so natural performance variation dominates
+        // more of what the sensors record.
+        let leg_amp = 1.0 + (amp - 1.0) * 2.2;
+        // Normalized time with per-trial nonlinear warp and shift: two
+        // performances of the same motion differ in when each sub-movement
+        // happens, not just in amplitude.
+        let s_raw = i as f64 / (n - 1) as f64;
+        let s = (s_raw.powf(style.warp) + style.shift).clamp(0.0, 1.0);
+        let mut a = LimbAngles::default();
+
+        match class {
+            MotionClass::RaiseArm => {
+                a.shoulder_elevation = deg(150.0) * amp * pulse(s, 0.15, 0.70, 0.10);
+                a.elbow_flexion = deg(15.0) * pulse(s, 0.15, 0.70, 0.10);
+                a.grip = 0.08;
+            }
+            MotionClass::ThrowBall => {
+                // Wind-up: arm back and elbow cocked; release: fast forward.
+                let windup = pulse(s, 0.15, 0.42, 0.06);
+                let throw = smoothstep((s - 0.45) / 0.045);
+                let follow = 1.0 - smoothstep((s - 0.72) / 0.12);
+                a.shoulder_azimuth = deg(-45.0) * amp * windup + deg(35.0) * amp * throw * follow;
+                a.shoulder_elevation = deg(70.0) * amp * pulse(s, 0.18, 0.75, 0.08);
+                a.elbow_flexion =
+                    deg(100.0) * amp * windup * (1.0 - throw) + deg(15.0) * throw * follow;
+                a.grip = 0.8 * pulse(s, 0.08, 0.50, 0.05);
+            }
+            MotionClass::WaveHand => {
+                let hold = pulse(s, 0.10, 0.90, 0.07);
+                let f_wave = 1.4 * style.speed;
+                let osc = (2.0 * PI * f_wave * t + style.phase).sin();
+                a.shoulder_elevation = deg(125.0) * amp * hold;
+                a.shoulder_azimuth = deg(22.0) * amp * hold * osc;
+                a.elbow_flexion = deg(40.0) * hold + deg(18.0) * hold * osc;
+                a.grip = 0.1;
+            }
+            MotionClass::Punch => {
+                let guard = 1.0 - smoothstep((s - 0.36) / 0.05);
+                let strike = pulse(s, 0.40, 0.60, 0.035);
+                a.elbow_flexion = deg(95.0) * guard + deg(8.0) * strike;
+                a.shoulder_elevation = deg(62.0) * amp * pulse(s, 0.10, 0.82, 0.08);
+                a.shoulder_azimuth = deg(10.0) * strike;
+                a.grip = 0.85 * pulse(s, 0.06, 0.86, 0.06);
+            }
+            MotionClass::DrinkCup => {
+                // Deliberately slow transitions: drinking is the smooth,
+                // low-velocity contrast to the ballistic throw/punch.
+                a.elbow_flexion = deg(135.0) * amp * pulse(s, 0.12, 0.62, 0.18);
+                a.shoulder_elevation = deg(28.0) * pulse(s, 0.12, 0.62, 0.18);
+                a.grip = 0.55 * pulse(s, 0.05, 0.92, 0.06);
+            }
+            MotionClass::ArmCircle => {
+                let f_c = 0.8 * style.speed;
+                let ph = 2.0 * PI * f_c * t + style.phase;
+                let engaged = pulse(s, 0.06, 0.94, 0.06);
+                a.shoulder_elevation = (deg(85.0) + deg(20.0) * amp * ph.sin()) * engaged;
+                a.shoulder_azimuth = deg(28.0) * amp * ph.cos() * engaged;
+                a.elbow_flexion = deg(25.0) * engaged;
+                a.grip = 0.15;
+            }
+            MotionClass::Walk => {
+                let f_g = 0.95 * style.speed;
+                let ph = 2.0 * PI * f_g * t + style.phase;
+                let engaged = pulse(s, 0.04, 0.96, 0.05);
+                let amp = leg_amp;
+                a.hip_flexion = deg(26.0) * amp * ph.sin() * engaged;
+                // Knee flexes strongly during swing (when hip swings forward).
+                let swing = (ph + 0.9).sin().max(0.0);
+                a.knee_flexion = deg(42.0) * amp * swing * swing * engaged;
+                a.ankle_flexion = deg(12.0) * (ph + PI / 2.0).sin() * engaged;
+            }
+            MotionClass::Kick => {
+                // Wind-up shares the squat's hip+knee co-flexion signature;
+                // only the ballistic strike separates them.
+                let amp = leg_amp;
+                let windup = pulse(s, 0.20, 0.44, 0.05);
+                let strike = pulse(s, 0.47, 0.64, 0.028);
+                a.knee_flexion = deg(85.0) * amp * windup + deg(6.0) * strike;
+                a.hip_flexion = deg(30.0) * amp * windup + deg(55.0) * amp * strike;
+                a.ankle_flexion = deg(8.0) * windup - deg(14.0) * strike; // plantar at impact
+            }
+            MotionClass::Squat => {
+                let amp = leg_amp;
+                let down = pulse(s, 0.18, 0.62, 0.12);
+                a.knee_flexion = deg(92.0) * amp * down;
+                a.hip_flexion = deg(78.0) * amp * down;
+                a.ankle_flexion = deg(16.0) * down; // dorsiflexion
+            }
+            MotionClass::StepUp => {
+                // Deliberately close to the squat (hip+knee co-flexion of
+                // similar magnitude); differs mainly in the asymmetric
+                // lift-then-push timing and the plantar push-off.
+                let amp = leg_amp;
+                let lift = pulse(s, 0.15, 0.42, 0.08);
+                let push = pulse(s, 0.46, 0.72, 0.08);
+                a.hip_flexion = deg(70.0) * amp * lift + deg(8.0) * push;
+                a.knee_flexion = deg(84.0) * amp * lift + deg(5.0) * push;
+                a.ankle_flexion = deg(12.0) * lift - deg(18.0) * push; // push-off
+            }
+            MotionClass::ToeTap => {
+                // Knee bounce in phase with the taps overlaps the walking
+                // pattern seen from below-knee markers.
+                let amp = leg_amp;
+                let f_t = 2.0 * style.speed;
+                let engaged = pulse(s, 0.06, 0.94, 0.05);
+                let osc = (2.0 * PI * f_t * t + style.phase).sin().max(0.0);
+                a.ankle_flexion = deg(22.0) * amp * osc * engaged;
+                a.knee_flexion = (deg(6.0) + deg(14.0) * osc) * engaged;
+                a.hip_flexion = deg(5.0) * osc * engaged;
+            }
+            MotionClass::HeelRaise => {
+                let amp = leg_amp;
+                let hold = pulse(s, 0.18, 0.72, 0.10);
+                a.ankle_flexion = -deg(26.0) * amp * hold;
+                a.knee_flexion = deg(8.0) * hold;
+                a.hip_flexion = deg(6.0) * hold; // slight balance lean
+            }
+        }
+
+        // Tremor: smoothed white noise on every DOF that is in use.
+        let fields: [&mut f64; 7] = [
+            &mut a.shoulder_elevation,
+            &mut a.shoulder_azimuth,
+            &mut a.elbow_flexion,
+            &mut a.grip,
+            &mut a.hip_flexion,
+            &mut a.knee_flexion,
+            &mut a.ankle_flexion,
+        ];
+        for (state, field) in tremor_state.iter_mut().zip(fields) {
+            let white: f64 = rng.random::<f64>() - 0.5;
+            *state += alpha * (white * tremor_sigma * 6.0 - *state);
+            if field.abs() > 1e-12 || *state != 0.0 {
+                *field += *state;
+            }
+        }
+        a.shoulder_elevation *= dof_jitter[0];
+        a.shoulder_azimuth *= dof_jitter[1];
+        a.elbow_flexion *= dof_jitter[2];
+        a.hip_flexion *= dof_jitter[4];
+        a.knee_flexion *= dof_jitter[5];
+        a.ankle_flexion *= dof_jitter[6];
+        // Physical joint limits (no human shoulder elevates past ~175°,
+        // no knee hyperextends) — also keeps extreme style samples sane.
+        a.shoulder_elevation = a.shoulder_elevation.clamp(deg(-30.0), deg(175.0));
+        a.shoulder_azimuth = a.shoulder_azimuth.clamp(deg(-90.0), deg(90.0));
+        a.elbow_flexion = a.elbow_flexion.clamp(deg(-5.0), deg(150.0));
+        a.hip_flexion = a.hip_flexion.clamp(deg(-30.0), deg(120.0));
+        a.knee_flexion = a.knee_flexion.clamp(deg(-5.0), deg(140.0));
+        a.ankle_flexion = a.ankle_flexion.clamp(deg(-50.0), deg(35.0));
+        // Grip is an effort in [0,1].
+        a.grip = a.grip.clamp(0.0, 1.0);
+        frames.push(a);
+    }
+
+    AngleTrack { fs, frames }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::limb::Limb;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn track(class: MotionClass, seed: u64) -> AngleTrack {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let style = TrialStyle::sample(&mut rng);
+        generate_angles(class, &style, 120.0, &mut rng)
+    }
+
+    #[test]
+    fn durations_scale_with_speed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let fast = TrialStyle { speed: 1.2, ..TrialStyle::nominal() };
+        let slow = TrialStyle { speed: 0.8, ..TrialStyle::nominal() };
+        let t_fast = generate_angles(MotionClass::RaiseArm, &fast, 120.0, &mut rng);
+        let t_slow = generate_angles(MotionClass::RaiseArm, &slow, 120.0, &mut rng);
+        assert!(t_slow.frames.len() > t_fast.frames.len());
+        assert!((t_fast.duration_s() - 8.0 / 1.2).abs() < 0.02);
+    }
+
+    #[test]
+    fn raise_arm_raises_the_arm() {
+        let t = track(MotionClass::RaiseArm, 1);
+        let peak = t
+            .frames
+            .iter()
+            .map(|f| f.shoulder_elevation)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(peak > deg(100.0), "peak elevation {peak}");
+        // Starts and ends near rest.
+        assert!(t.frames[0].shoulder_elevation.abs() < deg(10.0));
+        assert!(t.frames.last().unwrap().shoulder_elevation.abs() < deg(15.0));
+    }
+
+    #[test]
+    fn squat_bends_the_knee_not_the_elbow() {
+        let t = track(MotionClass::Squat, 2);
+        let knee_peak = t.frames.iter().map(|f| f.knee_flexion).fold(0.0, f64::max);
+        let elbow_peak = t
+            .frames
+            .iter()
+            .map(|f| f.elbow_flexion.abs())
+            .fold(0.0, f64::max);
+        assert!(knee_peak > deg(60.0));
+        assert!(elbow_peak < deg(6.0), "leg motion must not move the arm");
+    }
+
+    #[test]
+    fn wave_hand_oscillates() {
+        let t = track(MotionClass::WaveHand, 3);
+        // Azimuth must cross zero several times mid-motion.
+        let mid = &t.frames[t.frames.len() / 4..3 * t.frames.len() / 4];
+        let crossings = mid
+            .windows(2)
+            .filter(|w| (w[0].shoulder_azimuth <= 0.0) != (w[1].shoulder_azimuth <= 0.0))
+            .count();
+        assert!(crossings >= 3, "only {crossings} azimuth crossings");
+    }
+
+    #[test]
+    fn throw_has_fast_elbow_extension() {
+        let t = track(MotionClass::ThrowBall, 4);
+        let v = t.velocities();
+        let min_elbow_vel = v
+            .iter()
+            .map(|f| f.elbow_flexion)
+            .fold(f64::INFINITY, f64::min);
+        // Rapid extension = strongly negative flexion velocity.
+        assert!(min_elbow_vel < -3.0, "elbow extension velocity {min_elbow_vel}");
+        // Much faster than the drink-cup motion's extension.
+        let td = track(MotionClass::DrinkCup, 4);
+        let vd = td.velocities();
+        let min_drink = vd
+            .iter()
+            .map(|f| f.elbow_flexion)
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_elbow_vel < 2.0 * min_drink, "{min_elbow_vel} vs {min_drink}");
+    }
+
+    #[test]
+    fn heel_raise_is_plantar_flexion() {
+        let t = track(MotionClass::HeelRaise, 5);
+        let min_ankle = t
+            .frames
+            .iter()
+            .map(|f| f.ankle_flexion)
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_ankle < -deg(15.0));
+        let max_ankle = t.frames.iter().map(|f| f.ankle_flexion).fold(0.0, f64::max);
+        assert!(max_ankle < deg(8.0), "heel raise should not dorsiflex");
+    }
+
+    #[test]
+    fn toe_tap_repeats() {
+        let t = track(MotionClass::ToeTap, 6);
+        let mid = &t.frames[t.frames.len() / 5..4 * t.frames.len() / 5];
+        let taps = mid
+            .windows(2)
+            .filter(|w| w[0].ankle_flexion < deg(3.0) && w[1].ankle_flexion >= deg(3.0))
+            .count();
+        assert!(taps >= 3, "only {taps} taps");
+    }
+
+    #[test]
+    fn all_classes_generate_finite_tracks() {
+        for limb in [Limb::RightHand, Limb::RightLeg] {
+            for &class in MotionClass::all_for(limb) {
+                let t = track(class, 42);
+                assert!(t.frames.len() > 100, "{class}: too short");
+                for f in &t.frames {
+                    for v in [
+                        f.shoulder_elevation,
+                        f.shoulder_azimuth,
+                        f.elbow_flexion,
+                        f.grip,
+                        f.hip_flexion,
+                        f.knee_flexion,
+                        f.ankle_flexion,
+                    ] {
+                        assert!(v.is_finite());
+                        assert!(v.abs() < PI, "angle out of plausible range: {v}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trials_of_same_class_differ() {
+        let t1 = track(MotionClass::Walk, 10);
+        let t2 = track(MotionClass::Walk, 11);
+        // Different seeds → different durations or angle values.
+        let differs = t1.frames.len() != t2.frames.len()
+            || t1
+                .frames
+                .iter()
+                .zip(&t2.frames)
+                .any(|(a, b)| (a.hip_flexion - b.hip_flexion).abs() > deg(1.0));
+        assert!(differs, "intra-class variation missing");
+    }
+
+    #[test]
+    fn velocities_match_finite_differences() {
+        let t = track(MotionClass::Squat, 7);
+        let v = t.velocities();
+        assert_eq!(v.len(), t.frames.len());
+        let i = t.frames.len() / 2;
+        let expected = (t.frames[i].knee_flexion - t.frames[i - 1].knee_flexion) * t.fs;
+        assert!((v[i].knee_flexion - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn style_sampling_is_bounded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = TrialStyle::sample(&mut rng);
+            assert!(s.amplitude > 0.8 && s.amplitude < 1.2);
+            assert!(s.speed > 0.8 && s.speed < 1.2);
+            assert!(s.tremor >= 0.5 && s.tremor <= 1.5);
+            assert!(s.phase >= 0.0 && s.phase <= 2.0 * PI);
+            assert!(s.shift.abs() <= 0.06 + 1e-12);
+            assert!(s.warp >= 0.85 && s.warp <= 1.18);
+        }
+    }
+}

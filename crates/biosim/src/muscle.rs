@@ -1,0 +1,251 @@
+//! Muscle excitation and activation dynamics.
+//!
+//! Surface EMG amplitude tracks muscle *activation*, which lags neural
+//! *excitation* through first-order calcium dynamics. Excitation is derived
+//! from the joint kinematics each muscle actuates: agonists fire with
+//! joint velocity in their pulling direction plus a static holding
+//! component. This is why the synthetic EMG is informative about the motion
+//! class while remaining non-stationary (the paper's central premise).
+
+use crate::limb::{Limb, Muscle};
+use crate::motion::AngleTrack;
+use kinemyo_linalg::Matrix;
+
+/// Rectified-linear helper.
+#[inline]
+fn relu(x: f64) -> f64 {
+    x.max(0.0)
+}
+
+/// Reference angular velocity that saturates velocity-driven excitation
+/// (rad/s) for arm muscles.
+const OMEGA_REF_ARM: f64 = 6.0;
+/// Reference angular velocity for shank muscles.
+const OMEGA_REF_LEG: f64 = 4.0;
+
+/// Computes per-frame neural excitation in `[0, 1]` for every muscle of the
+/// limb. Returns a `frames × muscles` matrix in [`Limb::muscles`] order.
+pub fn excitations(limb: Limb, track: &AngleTrack) -> Matrix {
+    let vels = track.velocities();
+    let muscles = limb.muscles();
+    let n = track.frames.len();
+    let mut out = Matrix::zeros(n, muscles.len());
+    for i in 0..n {
+        let a = &track.frames[i];
+        let v = &vels[i];
+        for (m_idx, muscle) in muscles.iter().enumerate() {
+            let u = match muscle {
+                Muscle::Biceps => {
+                    // Concentric elbow flexion + gravity hold when the
+                    // forearm is flexed + assist during shoulder raise.
+                    0.85 * relu(v.elbow_flexion) / OMEGA_REF_ARM
+                        + 0.30 * relu(a.elbow_flexion.sin()) * 0.6
+                        + 0.20 * relu(v.shoulder_elevation) / OMEGA_REF_ARM
+                }
+                Muscle::Triceps => {
+                    // Elbow extension (e.g. throw release, punch).
+                    0.95 * relu(-v.elbow_flexion) / OMEGA_REF_ARM
+                        + 0.15 * relu(-v.shoulder_elevation) / OMEGA_REF_ARM
+                }
+                Muscle::UpperForearm => {
+                    // Wrist/finger extensors: co-contract with grip and
+                    // stabilize during fast elbow motion.
+                    0.55 * a.grip
+                        + 0.25 * v.elbow_flexion.abs() / OMEGA_REF_ARM
+                        + 0.10 * v.shoulder_azimuth.abs() / OMEGA_REF_ARM
+                }
+                Muscle::LowerForearm => {
+                    // Wrist/finger flexors: dominated by grip effort.
+                    0.80 * a.grip + 0.10 * v.elbow_flexion.abs() / OMEGA_REF_ARM
+                }
+                Muscle::FrontShin => {
+                    // Tibialis anterior: dorsiflexion velocity + dorsiflexed
+                    // hold + foot-lift assist during hip swing.
+                    0.85 * relu(v.ankle_flexion) / OMEGA_REF_LEG
+                        + 0.35 * relu(a.ankle_flexion) / 0.40
+                        + 0.15 * relu(v.hip_flexion) / OMEGA_REF_LEG
+                }
+                Muscle::BackShin => {
+                    // Gastrocnemius/soleus: plantarflexion velocity (gated
+                    // off while the foot is dorsiflexed — lowering the foot
+                    // from a toe-tap is passive, not a calf contraction) +
+                    // plantarflexed hold (heel raise) + push-off with knee
+                    // extension.
+                    let plantar_gate = 1.0 / (1.0 + (18.0 * a.ankle_flexion).exp());
+                    0.85 * relu(-v.ankle_flexion) / OMEGA_REF_LEG * plantar_gate
+                        + 0.45 * relu(-a.ankle_flexion) / 0.45
+                        + 0.20 * relu(-v.knee_flexion) / OMEGA_REF_ARM
+                }
+            };
+            out[(i, m_idx)] = u.clamp(0.0, 1.0);
+        }
+    }
+    out
+}
+
+/// First-order activation dynamics: activation follows excitation with a
+/// fast rise (`tau_act`) and slower decay (`tau_deact`), the standard
+/// Hill-type activation model.
+pub fn activation_dynamics(excitation: &[f64], fs: f64, tau_act: f64, tau_deact: f64) -> Vec<f64> {
+    let dt = 1.0 / fs;
+    let mut act = 0.0_f64;
+    let mut out = Vec::with_capacity(excitation.len());
+    for &u in excitation {
+        let tau = if u > act { tau_act } else { tau_deact };
+        act += dt * (u - act) / tau.max(dt);
+        act = act.clamp(0.0, 1.0);
+        out.push(act);
+    }
+    out
+}
+
+/// Convenience: excitation matrix → activation matrix with default time
+/// constants (15 ms rise, 50 ms decay).
+pub fn activations(limb: Limb, track: &AngleTrack) -> Matrix {
+    let exc = excitations(limb, track);
+    let mut out = Matrix::zeros(exc.rows(), exc.cols());
+    for m in 0..exc.cols() {
+        let col: Vec<f64> = (0..exc.rows()).map(|i| exc[(i, m)]).collect();
+        let act = activation_dynamics(&col, track.fs, 0.015, 0.050);
+        for (i, v) in act.into_iter().enumerate() {
+            out[(i, m)] = v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::limb::MotionClass;
+    use crate::motion::{generate_angles, TrialStyle};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn track(class: MotionClass) -> AngleTrack {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        generate_angles(class, &TrialStyle::nominal(), 120.0, &mut rng)
+    }
+
+    fn channel_peak(m: &Matrix, col: usize) -> f64 {
+        (0..m.rows()).map(|i| m[(i, col)]).fold(0.0, f64::max)
+    }
+
+    fn channel_mean(m: &Matrix, col: usize) -> f64 {
+        (0..m.rows()).map(|i| m[(i, col)]).sum::<f64>() / m.rows() as f64
+    }
+
+    #[test]
+    fn excitations_are_bounded() {
+        for class in [MotionClass::ThrowBall, MotionClass::Walk] {
+            let t = track(class);
+            let e = excitations(class.limb(), &t);
+            for i in 0..e.rows() {
+                for j in 0..e.cols() {
+                    assert!((0.0..=1.0).contains(&e[(i, j)]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn raise_arm_activates_biceps_over_triceps_on_the_way_up() {
+        let t = track(MotionClass::RaiseArm);
+        let e = excitations(Limb::RightHand, &t);
+        // During the rising half, biceps/deltoid-proxy must beat triceps.
+        let half = e.rows() / 2;
+        let bic: f64 = (0..half).map(|i| e[(i, 0)]).sum();
+        let tri: f64 = (0..half).map(|i| e[(i, 1)]).sum();
+        assert!(bic > tri, "biceps {bic} vs triceps {tri}");
+    }
+
+    #[test]
+    fn punch_fires_triceps() {
+        let t = track(MotionClass::Punch);
+        let e = excitations(Limb::RightHand, &t);
+        assert!(channel_peak(&e, 1) > 0.5, "triceps peak {}", channel_peak(&e, 1));
+        // And grips hard → lower forearm active.
+        assert!(channel_peak(&e, 3) > 0.4);
+    }
+
+    #[test]
+    fn toe_tap_prefers_front_shin() {
+        let t = track(MotionClass::ToeTap);
+        let e = excitations(Limb::RightLeg, &t);
+        assert!(
+            channel_mean(&e, 0) > 2.0 * channel_mean(&e, 1),
+            "front {} vs back {}",
+            channel_mean(&e, 0),
+            channel_mean(&e, 1)
+        );
+    }
+
+    #[test]
+    fn heel_raise_prefers_back_shin() {
+        let t = track(MotionClass::HeelRaise);
+        let e = excitations(Limb::RightLeg, &t);
+        assert!(
+            channel_mean(&e, 1) > 2.0 * channel_mean(&e, 0),
+            "back {} vs front {}",
+            channel_mean(&e, 1),
+            channel_mean(&e, 0)
+        );
+    }
+
+    #[test]
+    fn different_classes_have_different_profiles() {
+        let e_throw = excitations(Limb::RightHand, &track(MotionClass::ThrowBall));
+        let e_drink = excitations(Limb::RightHand, &track(MotionClass::DrinkCup));
+        // Ballistic elbow extension saturates the triceps; the slow cup
+        // return does not get near saturation.
+        assert!(channel_peak(&e_throw, 1) > 0.9, "throw triceps {}", channel_peak(&e_throw, 1));
+        assert!(channel_peak(&e_drink, 1) < 0.8, "drink triceps {}", channel_peak(&e_drink, 1));
+        // And the grip-driven forearm channels separate them further.
+        assert!(channel_peak(&e_throw, 3) > channel_peak(&e_drink, 3));
+    }
+
+    #[test]
+    fn activation_lags_and_smooths_excitation() {
+        // Step excitation: activation rises with tau_act, decays with
+        // tau_deact (slower).
+        let fs = 1000.0;
+        let mut u = vec![0.0; 200];
+        u.extend(vec![1.0; 300]);
+        u.extend(vec![0.0; 500]);
+        let act = activation_dynamics(&u, fs, 0.015, 0.050);
+        assert_eq!(act.len(), u.len());
+        // At step onset activation is still low.
+        assert!(act[205] < 0.5);
+        // Fully risen by ~5 time constants.
+        assert!(act[490] > 0.95);
+        // Decay slower than rise: at 15 ms after offset, still > 0.6.
+        assert!(act[515] > 0.6, "act {}", act[515]);
+        // Everything bounded.
+        for &a in &act {
+            assert!((0.0..=1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn activations_matrix_shape() {
+        let t = track(MotionClass::Walk);
+        let a = activations(Limb::RightLeg, &t);
+        assert_eq!(a.rows(), t.frames.len());
+        assert_eq!(a.cols(), 2);
+        assert!(!a.has_non_finite());
+    }
+
+    #[test]
+    fn rest_produces_near_zero_activation() {
+        let t = AngleTrack {
+            fs: 120.0,
+            frames: vec![Default::default(); 240],
+        };
+        let a = activations(Limb::RightHand, &t);
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                assert!(a[(i, j)] < 0.05, "rest activation {}", a[(i, j)]);
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Noise primitives shared by the mocap and EMG synthesizers.
+
+use rand::Rng;
+
+/// Standard-normal sample via the Box–Muller transform.
+pub fn randn<R: Rng>(rng: &mut R) -> f64 {
+    // Avoid log(0) by offsetting into (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A one-pole smoothed Gaussian noise process (band-limited random walk).
+///
+/// Models slow physiological/instrumental drifts: electrode baseline
+/// wander, postural sway, electrode-gain drift.
+#[derive(Debug, Clone)]
+pub struct SmoothNoise {
+    state: f64,
+    alpha: f64,
+    sigma: f64,
+}
+
+impl SmoothNoise {
+    /// `alpha ∈ (0, 1]` is the smoothing constant (smaller = slower);
+    /// `sigma` scales the stationary standard deviation.
+    pub fn new(alpha: f64, sigma: f64) -> Self {
+        Self {
+            state: 0.0,
+            alpha: alpha.clamp(1e-6, 1.0),
+            sigma,
+        }
+    }
+
+    /// Advances the process one step and returns the new value.
+    ///
+    /// AR(1): `x ← ρ·x + σ·√(1−ρ²)·ε` with `ρ = 1 − alpha`, which keeps the
+    /// stationary standard deviation equal to `sigma` for any `alpha`.
+    pub fn step<R: Rng>(&mut self, rng: &mut R) -> f64 {
+        let rho = 1.0 - self.alpha;
+        let innov = self.sigma * (1.0 - rho * rho).max(0.0).sqrt();
+        self.state = rho * self.state + innov * randn(rng);
+        self.state
+    }
+
+    /// Current value without advancing.
+    pub fn value(&self) -> f64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn randn_is_finite() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(randn(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn smooth_noise_is_smooth() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut slow = SmoothNoise::new(0.01, 1.0);
+        let mut fast = SmoothNoise::new(0.5, 1.0);
+        let slow_vals: Vec<f64> = (0..5000).map(|_| slow.step(&mut rng)).collect();
+        let fast_vals: Vec<f64> = (0..5000).map(|_| fast.step(&mut rng)).collect();
+        let roughness = |v: &[f64]| {
+            v.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (v.len() - 1) as f64
+        };
+        let rms = |v: &[f64]| (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt();
+        // Normalized step size must be smaller for the slower process.
+        assert!(
+            roughness(&slow_vals) / rms(&slow_vals).max(1e-9)
+                < roughness(&fast_vals) / rms(&fast_vals).max(1e-9)
+        );
+    }
+
+    #[test]
+    fn smooth_noise_bounded_scale() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut p = SmoothNoise::new(0.05, 2.0);
+        let vals: Vec<f64> = (0..20_000).map(|_| p.step(&mut rng)).collect();
+        let rms = (vals.iter().map(|x| x * x).sum::<f64>() / vals.len() as f64).sqrt();
+        // Stationary scale should be within a factor ~3 of sigma.
+        assert!(rms > 0.3 && rms < 6.0, "rms {rms}");
+        assert!((p.value()).is_finite());
+    }
+}

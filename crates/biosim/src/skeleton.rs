@@ -1,0 +1,526 @@
+//! Forward kinematics: joint angles → 3-D marker positions.
+//!
+//! Reproduces what the 16-camera Vicon rig measures (paper Sec. 1, Fig. 1):
+//! the global 3-D position of each retro-reflective marker per frame. The
+//! skeleton is pelvis-rooted — the paper's local transformation step (Sec.
+//! 3.2) later re-expresses every marker relative to the pelvis "because it
+//! is the root of all body segments".
+//!
+//! Coordinate convention: +X lateral (participant's right), +Y up,
+//! +Z forward; units are millimetres.
+
+use crate::anthropometry::Anthropometry;
+use crate::limb::{Limb, Segment};
+use crate::motion::{AngleTrack, LimbAngles};
+use crate::noise::{randn, SmoothNoise};
+use crate::vec3::Vec3;
+use kinemyo_linalg::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::FRAC_PI_2;
+
+/// Where in the capture volume (and facing which way) a trial is performed.
+///
+/// Trials happen "at different locations and in different directions"
+/// (paper Sec. 3.2) — this is exactly what the pelvis-local transform must
+/// normalize away.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Translation of the pelvis origin in the capture volume, mm.
+    pub offset: Vec3,
+    /// Heading rotation about the vertical axis, radians.
+    pub facing_rad: f64,
+}
+
+impl Placement {
+    /// Identity placement (origin, facing +Z).
+    pub fn identity() -> Self {
+        Self {
+            offset: Vec3::ZERO,
+            facing_rad: 0.0,
+        }
+    }
+
+    /// Samples a placement: uniform offset within ±`max_offset_mm` in the
+    /// horizontal plane, heading within ±`facing_spread_rad`.
+    pub fn sample<R: Rng>(rng: &mut R, max_offset_mm: f64, facing_spread_rad: f64) -> Self {
+        Self {
+            offset: Vec3::new(
+                (rng.random::<f64>() - 0.5) * 2.0 * max_offset_mm,
+                0.0,
+                (rng.random::<f64>() - 0.5) * 2.0 * max_offset_mm,
+            ),
+            facing_rad: (rng.random::<f64>() - 0.5) * 2.0 * facing_spread_rad,
+        }
+    }
+
+    /// Maps a body-local point into the capture volume.
+    pub fn apply(&self, p: Vec3) -> Vec3 {
+        p.rotate_about(Vec3::Y, self.facing_rad) + self.offset
+    }
+}
+
+/// A participant's skeleton (segment lengths + joint offsets).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Skeleton {
+    /// Body dimensions.
+    pub anthro: Anthropometry,
+}
+
+impl Skeleton {
+    /// Builds a skeleton from anthropometry.
+    pub fn new(anthro: Anthropometry) -> Self {
+        Self { anthro }
+    }
+
+    /// Body-local marker positions for the given limb and joint angles.
+    /// `pelvis` is the body-local pelvis position (normally
+    /// `(0, pelvis_height, 0)` plus sway). Markers are returned in the
+    /// limb's [`Limb::segments`] order.
+    pub fn marker_positions(&self, limb: Limb, a: &LimbAngles, pelvis: Vec3) -> Vec<Vec3> {
+        match limb {
+            Limb::RightHand => self.arm_markers(a, pelvis),
+            Limb::RightLeg => self.leg_markers(a, pelvis),
+            Limb::WholeBody => {
+                let mut m = self.arm_markers(a, pelvis);
+                m.extend(self.leg_markers(a, pelvis));
+                m
+            }
+        }
+    }
+
+    fn arm_markers(&self, a: &LimbAngles, pelvis: Vec3) -> Vec<Vec3> {
+        let anth = &self.anthro;
+        let shoulder = pelvis + anth.shoulder_offset;
+        // Upper-arm direction: hangs down at rest, elevation raises it
+        // forward (+Z), azimuth swings it about the vertical axis.
+        let down = -Vec3::Y;
+        let d_upper = down
+            .rotate_about(Vec3::X, -a.shoulder_elevation)
+            .rotate_about(Vec3::Y, a.shoulder_azimuth);
+        let elbow = shoulder + d_upper * anth.upper_arm_mm;
+        // Elbow flexion happens about the (azimuth-rotated) lateral axis.
+        let flex_axis = Vec3::X.rotate_about(Vec3::Y, a.shoulder_azimuth);
+        let d_fore = d_upper.rotate_about(flex_axis, -a.elbow_flexion);
+        let wrist = elbow + d_fore * anth.forearm_mm;
+        let hand = wrist + d_fore * anth.hand_mm;
+        // The clavicle marker rides the shoulder girdle: mostly static
+        // relative to the pelvis with a small elevation coupling (shrug).
+        let clavicle =
+            pelvis + anth.clavicle_marker_offset + Vec3::Y * (12.0 * a.shoulder_elevation.sin());
+        // Segment order: clavicle, humerus (elbow), radius (wrist), hand.
+        vec![clavicle, elbow, wrist, hand]
+    }
+
+    fn leg_markers(&self, a: &LimbAngles, pelvis: Vec3) -> Vec<Vec3> {
+        let anth = &self.anthro;
+        let hip = pelvis + anth.hip_offset;
+        let down = -Vec3::Y;
+        // Hip flexion raises the thigh forward.
+        let d_thigh = down.rotate_about(Vec3::X, -a.hip_flexion);
+        let knee = hip + d_thigh * anth.thigh_mm;
+        // Knee flexion folds the shank backwards relative to the thigh.
+        let d_shank = d_thigh.rotate_about(Vec3::X, a.knee_flexion);
+        let ankle = knee + d_shank * anth.shank_mm;
+        // Foot: perpendicular to the shank; dorsiflexion lifts the toes.
+        let d_foot = d_shank.rotate_about(Vec3::X, FRAC_PI_2 + a.ankle_flexion);
+        let toe = ankle + d_foot * anth.foot_mm;
+        let foot = ankle + d_foot * (anth.foot_mm * 0.45) + Vec3::new(0.0, -20.0, 0.0);
+        // Segment order: tibia (ankle), foot (mid-foot), toe.
+        vec![ankle, foot, toe]
+    }
+}
+
+/// Per-marker measurement noise of the optical system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MocapNoise {
+    /// Gaussian jitter per coordinate, mm (Vicon-class systems: ~0.3–1 mm).
+    pub jitter_mm: f64,
+    /// Std of slow postural sway added to the pelvis, mm.
+    pub sway_mm: f64,
+    /// Probability per frame that a marker drops out (occlusion). Real
+    /// pipelines gap-fill these; the renderer does the same with linear
+    /// interpolation across the gap.
+    #[serde(default)]
+    pub dropout_rate: f64,
+    /// Mean occlusion length in frames once a dropout starts.
+    #[serde(default = "default_dropout_frames")]
+    pub dropout_mean_frames: f64,
+}
+
+fn default_dropout_frames() -> f64 {
+    6.0
+}
+
+impl MocapNoise {
+    /// Typical lab-quality noise.
+    pub fn lab() -> Self {
+        Self {
+            jitter_mm: 0.6,
+            sway_mm: 8.0,
+            dropout_rate: 0.0,
+            dropout_mean_frames: 6.0,
+        }
+    }
+
+    /// Lab-quality noise plus occasional marker occlusions.
+    pub fn lab_with_dropouts(rate: f64) -> Self {
+        Self {
+            dropout_rate: rate,
+            ..Self::lab()
+        }
+    }
+
+    /// Perfectly clean capture (for unit-testing geometry).
+    pub fn none() -> Self {
+        Self {
+            jitter_mm: 0.0,
+            sway_mm: 0.0,
+            dropout_rate: 0.0,
+            dropout_mean_frames: 6.0,
+        }
+    }
+}
+
+/// Output of rendering a trial's motion capture: the joint matrix plus the
+/// per-frame pelvis trajectory (needed later for the local transform).
+#[derive(Debug, Clone)]
+pub struct MocapRender {
+    /// Joint matrix, `frames × (3 × segments)` — 3 columns per segment in
+    /// [`Limb::segments`] order (the paper's "motion matrix", Sec. 1).
+    pub joint_matrix: Matrix,
+    /// Global pelvis position per frame.
+    pub pelvis: Vec<Vec3>,
+}
+
+/// Renders the global marker trajectories for one trial.
+pub fn render_mocap<R: Rng>(
+    limb: Limb,
+    track: &AngleTrack,
+    skeleton: &Skeleton,
+    placement: &Placement,
+    noise: &MocapNoise,
+    rng: &mut R,
+) -> MocapRender {
+    let segments: &[Segment] = limb.segments();
+    let n = track.frames.len();
+    let mut joint_matrix = Matrix::zeros(n, segments.len() * 3);
+    let mut pelvis_out = Vec::with_capacity(n);
+
+    let base_pelvis = Vec3::new(0.0, skeleton.anthro.pelvis_height_mm, 0.0);
+    let mut sway_x = SmoothNoise::new(0.02, noise.sway_mm);
+    let mut sway_y = SmoothNoise::new(0.02, noise.sway_mm * 0.4);
+    let mut sway_z = SmoothNoise::new(0.02, noise.sway_mm);
+
+    for (i, angles) in track.frames.iter().enumerate() {
+        let sway = Vec3::new(sway_x.step(rng), sway_y.step(rng), sway_z.step(rng));
+        let pelvis_local = base_pelvis + sway;
+        let markers = skeleton.marker_positions(limb, angles, pelvis_local);
+        let pelvis_global = placement.apply(pelvis_local);
+        pelvis_out.push(pelvis_global);
+        let row = joint_matrix.row_mut(i);
+        for (s, m) in markers.iter().enumerate() {
+            let mut p = placement.apply(*m);
+            if noise.jitter_mm > 0.0 {
+                p = p + Vec3::new(
+                    randn(rng) * noise.jitter_mm,
+                    randn(rng) * noise.jitter_mm,
+                    randn(rng) * noise.jitter_mm,
+                );
+            }
+            row[s * 3] = p.x;
+            row[s * 3 + 1] = p.y;
+            row[s * 3 + 2] = p.z;
+        }
+    }
+
+    if noise.dropout_rate > 0.0 {
+        apply_dropouts(&mut joint_matrix, noise, rng);
+    }
+
+    MocapRender {
+        joint_matrix,
+        pelvis: pelvis_out,
+    }
+}
+
+/// Simulates marker occlusions: random gaps per marker, gap-filled by
+/// linear interpolation (what Vicon iQ's pipeline does before export).
+fn apply_dropouts<R: Rng>(joint_matrix: &mut Matrix, noise: &MocapNoise, rng: &mut R) {
+    let frames = joint_matrix.rows();
+    let markers = joint_matrix.cols() / 3;
+    if frames < 3 {
+        return;
+    }
+    for m in 0..markers {
+        let mut f = 1usize;
+        while f < frames - 1 {
+            if rng.random::<f64>() < noise.dropout_rate {
+                // Geometric-ish gap length with the configured mean.
+                let mut len = 1usize;
+                let p_continue = 1.0 - 1.0 / noise.dropout_mean_frames.max(1.0);
+                while rng.random::<f64>() < p_continue && f + len < frames - 1 {
+                    len += 1;
+                }
+                let start = f - 1; // last valid frame before the gap
+                let end = f + len; // first valid frame after the gap
+                for c in 0..3 {
+                    let col = m * 3 + c;
+                    let a = joint_matrix[(start, col)];
+                    let b = joint_matrix[(end, col)];
+                    for (step, frame) in (f..f + len).enumerate() {
+                        let t = (step + 1) as f64 / (len + 1) as f64;
+                        joint_matrix[(frame, col)] = a * (1.0 - t) + b * t;
+                    }
+                }
+                f += len + 1;
+            } else {
+                f += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::limb::MotionClass;
+    use crate::motion::{generate_angles, TrialStyle};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::f64::consts::PI;
+
+    fn skeleton() -> Skeleton {
+        Skeleton::new(Anthropometry::nominal())
+    }
+
+    fn rest_angles() -> LimbAngles {
+        LimbAngles::default()
+    }
+
+    #[test]
+    fn rest_pose_arm_hangs_down() {
+        let sk = skeleton();
+        let pelvis = Vec3::new(0.0, 1000.0, 0.0);
+        let m = sk.marker_positions(Limb::RightHand, &rest_angles(), pelvis);
+        let [_clav, elbow, wrist, hand] = [m[0], m[1], m[2], m[3]];
+        // Elbow below the shoulder, wrist below the elbow.
+        let shoulder = pelvis + sk.anthro.shoulder_offset;
+        assert!(elbow.y < shoulder.y);
+        assert!(wrist.y < elbow.y);
+        assert!(hand.y < wrist.y + 1.0);
+        // All on the participant's right side (x > 0).
+        assert!(elbow.x > 0.0 && wrist.x > 0.0);
+    }
+
+    #[test]
+    fn segment_lengths_are_preserved() {
+        let sk = skeleton();
+        let pelvis = Vec3::new(0.0, 1000.0, 0.0);
+        // Try a few arbitrary poses; bone lengths must be invariant.
+        for (e, az, f) in [(0.3, 0.2, 0.9), (1.4, -0.5, 0.1), (0.0, 0.0, 2.0)] {
+            let a = LimbAngles {
+                shoulder_elevation: e,
+                shoulder_azimuth: az,
+                elbow_flexion: f,
+                ..Default::default()
+            };
+            let m = sk.marker_positions(Limb::RightHand, &a, pelvis);
+            let shoulder = pelvis + sk.anthro.shoulder_offset;
+            assert!((m[1].distance(shoulder) - sk.anthro.upper_arm_mm).abs() < 1e-9);
+            assert!((m[2].distance(m[1]) - sk.anthro.forearm_mm).abs() < 1e-9);
+            assert!((m[3].distance(m[2]) - sk.anthro.hand_mm).abs() < 1e-9);
+        }
+        for (h, k, an) in [(0.5, 0.8, 0.2), (0.0, 1.4, -0.4), (1.0, 0.0, 0.0)] {
+            let a = LimbAngles {
+                hip_flexion: h,
+                knee_flexion: k,
+                ankle_flexion: an,
+                ..Default::default()
+            };
+            let m = sk.marker_positions(Limb::RightLeg, &a, pelvis);
+            let hip = pelvis + sk.anthro.hip_offset;
+            assert!(
+                (m[0].distance(hip) - (sk.anthro.thigh_mm + sk.anthro.shank_mm)).abs() < 400.0,
+                "ankle should be within leg reach of the hip"
+            );
+            assert!((m[2].distance(m[0]) - sk.anthro.foot_mm).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn raising_the_arm_raises_the_wrist() {
+        let sk = skeleton();
+        let pelvis = Vec3::new(0.0, 1000.0, 0.0);
+        let raised = LimbAngles {
+            shoulder_elevation: PI / 2.0,
+            ..Default::default()
+        };
+        let rest = sk.marker_positions(Limb::RightHand, &rest_angles(), pelvis);
+        let up = sk.marker_positions(Limb::RightHand, &raised, pelvis);
+        assert!(up[2].y > rest[2].y + 200.0, "wrist must rise substantially");
+        assert!(up[2].z > rest[2].z + 200.0, "forward elevation moves wrist forward");
+    }
+
+    #[test]
+    fn knee_flexion_moves_ankle_backward() {
+        let sk = skeleton();
+        let pelvis = Vec3::new(0.0, 1000.0, 0.0);
+        let rest = sk.marker_positions(Limb::RightLeg, &rest_angles(), pelvis);
+        let flexed = LimbAngles {
+            knee_flexion: PI / 2.0,
+            ..Default::default()
+        };
+        let f = sk.marker_positions(Limb::RightLeg, &flexed, pelvis);
+        assert!(f[0].z < rest[0].z - 200.0, "ankle goes behind when knee flexes");
+        assert!(f[0].y > rest[0].y + 100.0, "ankle rises when knee flexes");
+    }
+
+    #[test]
+    fn dorsiflexion_lifts_the_toe() {
+        let sk = skeleton();
+        let pelvis = Vec3::new(0.0, 1000.0, 0.0);
+        let dorsi = LimbAngles {
+            ankle_flexion: 0.4,
+            ..Default::default()
+        };
+        let plantar = LimbAngles {
+            ankle_flexion: -0.4,
+            ..Default::default()
+        };
+        let up = sk.marker_positions(Limb::RightLeg, &dorsi, pelvis);
+        let down = sk.marker_positions(Limb::RightLeg, &plantar, pelvis);
+        assert!(up[2].y > down[2].y + 100.0);
+    }
+
+    #[test]
+    fn placement_rotates_and_translates() {
+        let p = Placement {
+            offset: Vec3::new(100.0, 0.0, -50.0),
+            facing_rad: PI / 2.0,
+        };
+        let v = p.apply(Vec3::Z * 10.0);
+        // Facing +90° about Y sends +Z to +X.
+        assert!((v - Vec3::new(110.0, 0.0, -50.0)).norm() < 1e-9);
+        let id = Placement::identity();
+        assert_eq!(id.apply(Vec3::new(1.0, 2.0, 3.0)), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn placement_sampling_is_bounded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..100 {
+            let p = Placement::sample(&mut rng, 2000.0, 0.4);
+            assert!(p.offset.x.abs() <= 2000.0);
+            assert!(p.offset.z.abs() <= 2000.0);
+            assert_eq!(p.offset.y, 0.0);
+            assert!(p.facing_rad.abs() <= 0.4);
+        }
+    }
+
+    #[test]
+    fn render_shapes_match_limb() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let sk = skeleton();
+        let track = generate_angles(MotionClass::RaiseArm, &TrialStyle::nominal(), 120.0, &mut rng);
+        let r = render_mocap(
+            Limb::RightHand,
+            &track,
+            &sk,
+            &Placement::identity(),
+            &MocapNoise::lab(),
+            &mut rng,
+        );
+        assert_eq!(r.joint_matrix.rows(), track.frames.len());
+        assert_eq!(r.joint_matrix.cols(), 12);
+        assert_eq!(r.pelvis.len(), track.frames.len());
+        assert!(!r.joint_matrix.has_non_finite());
+    }
+
+    #[test]
+    fn noiseless_render_is_deterministic_geometry() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let sk = skeleton();
+        let track = generate_angles(MotionClass::Squat, &TrialStyle::nominal(), 120.0, &mut rng);
+        let r1 = render_mocap(
+            Limb::RightLeg,
+            &track,
+            &sk,
+            &Placement::identity(),
+            &MocapNoise::none(),
+            &mut ChaCha8Rng::seed_from_u64(7),
+        );
+        let r2 = render_mocap(
+            Limb::RightLeg,
+            &track,
+            &sk,
+            &Placement::identity(),
+            &MocapNoise::none(),
+            &mut ChaCha8Rng::seed_from_u64(99),
+        );
+        assert!(r1.joint_matrix.approx_eq(&r2.joint_matrix, 0.0));
+    }
+
+    #[test]
+    fn dropouts_are_gap_filled_smoothly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let sk = skeleton();
+        let track = generate_angles(MotionClass::WaveHand, &TrialStyle::nominal(), 120.0, &mut rng);
+        let clean = render_mocap(
+            Limb::RightHand,
+            &track,
+            &sk,
+            &Placement::identity(),
+            &MocapNoise::none(),
+            &mut ChaCha8Rng::seed_from_u64(5),
+        );
+        let noisy = render_mocap(
+            Limb::RightHand,
+            &track,
+            &sk,
+            &Placement::identity(),
+            &MocapNoise {
+                jitter_mm: 0.0,
+                sway_mm: 0.0,
+                dropout_rate: 0.02,
+                dropout_mean_frames: 5.0,
+            },
+            &mut ChaCha8Rng::seed_from_u64(5),
+        );
+        // Dropouts change some frames...
+        assert!(!noisy.joint_matrix.approx_eq(&clean.joint_matrix, 1e-9));
+        // ...but interpolation keeps values finite and close to truth
+        // (bounded by the marker's local excursion over the short gap).
+        assert!(!noisy.joint_matrix.has_non_finite());
+        let mut max_err = 0.0f64;
+        for f in 0..clean.joint_matrix.rows() {
+            for c in 0..clean.joint_matrix.cols() {
+                max_err = max_err.max((noisy.joint_matrix[(f, c)] - clean.joint_matrix[(f, c)]).abs());
+            }
+        }
+        assert!(max_err < 150.0, "gap-fill error {max_err} mm too large");
+        assert!(max_err > 0.0);
+    }
+
+    #[test]
+    fn placement_offset_shifts_all_markers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let sk = skeleton();
+        let track = generate_angles(MotionClass::Punch, &TrialStyle::nominal(), 120.0, &mut rng);
+        let off = Placement {
+            offset: Vec3::new(500.0, 0.0, 0.0),
+            facing_rad: 0.0,
+        };
+        let a = render_mocap(Limb::RightHand, &track, &sk, &Placement::identity(), &MocapNoise::none(), &mut ChaCha8Rng::seed_from_u64(1));
+        let b = render_mocap(Limb::RightHand, &track, &sk, &off, &MocapNoise::none(), &mut ChaCha8Rng::seed_from_u64(1));
+        for i in 0..a.joint_matrix.rows() {
+            for c in (0..12).step_by(3) {
+                assert!((b.joint_matrix[(i, c)] - a.joint_matrix[(i, c)] - 500.0).abs() < 1e-9);
+            }
+        }
+        // Pelvis-relative positions are placement-invariant (x component).
+        for i in 0..a.pelvis.len() {
+            assert!((b.pelvis[i].x - a.pelvis[i].x - 500.0).abs() < 1e-9);
+        }
+    }
+}

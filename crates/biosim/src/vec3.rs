@@ -1,0 +1,178 @@
+//! Minimal 3-D vector math for skeletal forward kinematics.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A 3-D vector (millimetres in the capture coordinate system, matching
+/// the paper's motion-capture resolution).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// X component (lateral, +X to the participant's right).
+    pub x: f64,
+    /// Y component (vertical, +Y up).
+    pub y: f64,
+    /// Z component (sagittal, +Z forward).
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// Unit X.
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit Y.
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit Z.
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a vector.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Dot product.
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit vector in the same direction; returns `Vec3::ZERO` for the zero
+    /// vector (callers in the FK path guarantee non-zero bone vectors).
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        if n == 0.0 {
+            Vec3::ZERO
+        } else {
+            self * (1.0 / n)
+        }
+    }
+
+    /// Rotates `self` around unit `axis` by `angle` radians
+    /// (Rodrigues' formula).
+    pub fn rotate_about(self, axis: Vec3, angle: f64) -> Vec3 {
+        let k = axis.normalized();
+        let (s, c) = angle.sin_cos();
+        self * c + k.cross(self) * s + k * (k.dot(self) * (1.0 - c))
+    }
+
+    /// Distance to another point.
+    pub fn distance(self, o: Vec3) -> f64 {
+        (self - o).norm()
+    }
+
+    /// Returns the components as `[x, y, z]`.
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        self * -1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        assert_eq!(Vec3::X.dot(Vec3::Y), 0.0);
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::Z), Vec3::X);
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        assert!(a.cross(a).norm() < 1e-15);
+    }
+
+    #[test]
+    fn norm_and_normalize() {
+        let v = Vec3::new(3.0, 0.0, 4.0);
+        assert!((v.norm() - 5.0).abs() < 1e-12);
+        assert!((v.normalized().norm() - 1.0).abs() < 1e-12);
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn rodrigues_rotation_quarter_turn() {
+        let v = Vec3::X.rotate_about(Vec3::Z, FRAC_PI_2);
+        assert!((v - Vec3::Y).norm() < 1e-12);
+        let w = Vec3::X.rotate_about(Vec3::Y, FRAC_PI_2);
+        assert!((w - (-Vec3::Z)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_length() {
+        let v = Vec3::new(1.5, -2.0, 0.7);
+        for angle in [0.1, 1.0, PI, 5.0] {
+            let r = v.rotate_about(Vec3::new(1.0, 1.0, 1.0), angle);
+            assert!((r.norm() - v.norm()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn full_turn_is_identity() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let r = v.rotate_about(Vec3::Y, 2.0 * PI);
+        assert!((r - v).norm() < 1e-12);
+    }
+
+    #[test]
+    fn distance_symmetric() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(1.0, 2.0, 2.0);
+        assert!((a.distance(b) - 3.0).abs() < 1e-12);
+        assert_eq!(a.distance(b), b.distance(a));
+    }
+
+    #[test]
+    fn to_array_roundtrip() {
+        assert_eq!(Vec3::new(1.0, 2.0, 3.0).to_array(), [1.0, 2.0, 3.0]);
+    }
+}

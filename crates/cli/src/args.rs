@@ -1,0 +1,170 @@
+//! Minimal dependency-free command-line argument parsing.
+//!
+//! Supports `command --flag value --switch` grammars: one positional
+//! subcommand followed by `--key value` pairs (or bare `--key` switches
+//! declared in advance). Kept deliberately small instead of pulling a CLI
+//! framework into the dependency tree (DESIGN.md §6).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Parsed command line: the subcommand plus its options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The leading positional subcommand.
+    pub command: String,
+    options: BTreeMap<String, String>,
+    switches: BTreeSet<String>,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parses `args` (without the program name). `switch_names` lists the
+/// bare flags that take no value; everything else starting with `--`
+/// must be followed by a value.
+pub fn parse(
+    args: &[String],
+    switch_names: &[&str],
+) -> std::result::Result<ParsedArgs, ArgError> {
+    let mut iter = args.iter();
+    let command = iter
+        .next()
+        .ok_or_else(|| ArgError("missing subcommand".into()))?
+        .clone();
+    if command.starts_with('-') {
+        return Err(ArgError(format!(
+            "expected a subcommand, got option '{command}'"
+        )));
+    }
+    let switch_set: BTreeSet<&str> = switch_names.iter().copied().collect();
+    let mut options = BTreeMap::new();
+    let mut switches = BTreeSet::new();
+    while let Some(arg) = iter.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(ArgError(format!("unexpected positional argument '{arg}'")));
+        };
+        if key.is_empty() {
+            return Err(ArgError("empty option name '--'".into()));
+        }
+        if switch_set.contains(key) {
+            switches.insert(key.to_string());
+        } else {
+            let value = iter
+                .next()
+                .ok_or_else(|| ArgError(format!("option '--{key}' needs a value")))?;
+            if options.insert(key.to_string(), value.clone()).is_some() {
+                return Err(ArgError(format!("option '--{key}' given twice")));
+            }
+        }
+    }
+    Ok(ParsedArgs {
+        command,
+        options,
+        switches,
+    })
+}
+
+impl ParsedArgs {
+    /// Raw string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> std::result::Result<&str, ArgError> {
+        self.get(key)
+            .ok_or_else(|| ArgError(format!("missing required option '--{key}'")))
+    }
+
+    /// Optional typed option with a default.
+    pub fn get_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> std::result::Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("option '--{key}': cannot parse '{raw}'"))),
+        }
+    }
+
+    /// True when a declared switch was present.
+    pub fn has_switch(&self, key: &str) -> bool {
+        self.switches.contains(key)
+    }
+
+    /// Errors if any option outside `allowed` was provided (catches typos).
+    pub fn check_allowed(&self, allowed: &[&str]) -> std::result::Result<(), ArgError> {
+        let allowed: BTreeSet<&str> = allowed.iter().copied().collect();
+        for key in self.options.keys().chain(self.switches.iter()) {
+            if !allowed.contains(key.as_str()) {
+                return Err(ArgError(format!("unknown option '--{key}'")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let p = parse(&s(&["train", "--clusters", "15", "--out", "m.json"]), &[]).unwrap();
+        assert_eq!(p.command, "train");
+        assert_eq!(p.get("clusters"), Some("15"));
+        assert_eq!(p.require("out").unwrap(), "m.json");
+        assert_eq!(p.get("missing"), None);
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let p = parse(&s(&["generate", "--quick", "--seed", "7"]), &["quick"]).unwrap();
+        assert!(p.has_switch("quick"));
+        assert!(!p.has_switch("other"));
+        assert_eq!(p.get_or::<u64>("seed", 0).unwrap(), 7);
+    }
+
+    #[test]
+    fn typed_defaults() {
+        let p = parse(&s(&["evaluate"]), &[]).unwrap();
+        assert_eq!(p.get_or::<usize>("clusters", 15).unwrap(), 15);
+        assert_eq!(p.get_or::<f64>("window-ms", 100.0).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse(&[], &[]).is_err());
+        assert!(parse(&s(&["--flag"]), &[]).is_err());
+        assert!(parse(&s(&["cmd", "stray"]), &[]).is_err());
+        assert!(parse(&s(&["cmd", "--key"]), &[]).is_err());
+        assert!(parse(&s(&["cmd", "--k", "1", "--k", "2"]), &[]).is_err());
+        assert!(parse(&s(&["cmd", "--"]), &[]).is_err());
+        let p = parse(&s(&["cmd", "--clusters", "abc"]), &[]).unwrap();
+        assert!(p.get_or::<usize>("clusters", 1).is_err());
+        assert!(p.require("absent").is_err());
+    }
+
+    #[test]
+    fn unknown_options_rejected() {
+        let p = parse(&s(&["cmd", "--good", "1", "--bad", "2"]), &[]).unwrap();
+        assert!(p.check_allowed(&["good"]).is_err());
+        assert!(p.check_allowed(&["good", "bad"]).is_ok());
+    }
+}

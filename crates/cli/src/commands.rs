@@ -1,0 +1,427 @@
+//! Subcommand implementations.
+//!
+//! Each command is a function from parsed arguments to a `Result`, kept
+//! separate from `main` so the integration tests can drive them directly.
+
+use crate::args::{ArgError, ParsedArgs};
+use kinemyo::biosim::{Dataset, DatasetSpec, Limb, MotionClass};
+use kinemyo::{class_index, stratified_split, MotionClassifier, PipelineConfig};
+use std::error::Error;
+use std::path::Path;
+
+type CliResult = std::result::Result<(), Box<dyn Error>>;
+
+/// Usage text shown by `help` and on argument errors.
+pub const USAGE: &str = "\
+kinemyo — integrated motion-capture + EMG motion classification
+
+USAGE:
+  kinemyo <command> [--option value ...]
+
+COMMANDS:
+  generate   synthesize a dataset
+             --limb hand|leg|whole  --participants N  --trials N
+             --seed N  --out PATH (.json or .kmyo)
+  info       summarize a dataset or model
+             --dataset PATH | --model PATH
+  train      train a classifier and save it
+             --dataset PATH  --out MODEL.json
+             [--clusters N] [--window-ms MS] [--seed N]
+  classify   classify records with a trained model
+             --model MODEL.json  --dataset PATH  [--record ID]
+  evaluate   train/query split evaluation (paper Sec. 6 metrics)
+             --dataset PATH  [--clusters N] [--window-ms MS]
+             [--queries-per-cell N] [--confusion]
+  help       show this text
+";
+
+fn parse_limb(raw: &str) -> std::result::Result<Limb, ArgError> {
+    match raw {
+        "hand" => Ok(Limb::RightHand),
+        "leg" => Ok(Limb::RightLeg),
+        "whole" => Ok(Limb::WholeBody),
+        other => Err(ArgError(format!(
+            "unknown limb '{other}' (expected hand, leg or whole)"
+        ))),
+    }
+}
+
+/// Loads a dataset, dispatching on the file extension.
+pub fn load_dataset(path: &Path) -> std::result::Result<Dataset, Box<dyn Error>> {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("kmyo") => Ok(Dataset::load_binary(path)?),
+        _ => Ok(Dataset::load_json(path)?),
+    }
+}
+
+fn save_dataset(ds: &Dataset, path: &Path) -> CliResult {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("kmyo") => ds.save_binary(path)?,
+        _ => ds.save_json(path)?,
+    }
+    Ok(())
+}
+
+/// `kinemyo generate`.
+pub fn generate(args: &ParsedArgs) -> CliResult {
+    args.check_allowed(&["limb", "participants", "trials", "seed", "out"])?;
+    let limb = parse_limb(args.get("limb").unwrap_or("hand"))?;
+    let spec = match limb {
+        Limb::RightHand => DatasetSpec::hand_default(),
+        Limb::RightLeg => DatasetSpec::leg_default(),
+        Limb::WholeBody => DatasetSpec::whole_body_default(),
+    }
+    .with_size(
+        args.get_or("participants", 2usize)?,
+        args.get_or("trials", 4usize)?,
+    )
+    .with_seed(args.get_or("seed", 2007u64)?);
+    let out = Path::new(args.require("out")?).to_owned();
+    eprintln!(
+        "generating {limb} dataset: {} participants x {} trials/class ...",
+        spec.participants, spec.trials_per_class
+    );
+    let ds = Dataset::generate(spec)?;
+    save_dataset(&ds, &out)?;
+    let bytes = std::fs::metadata(&out)?.len();
+    println!(
+        "wrote {} records ({} classes) to {} ({:.1} MiB)",
+        ds.len(),
+        ds.classes().len(),
+        out.display(),
+        bytes as f64 / (1024.0 * 1024.0)
+    );
+    Ok(())
+}
+
+/// `kinemyo info`.
+pub fn info(args: &ParsedArgs) -> CliResult {
+    args.check_allowed(&["dataset", "model"])?;
+    if let Some(path) = args.get("dataset") {
+        let ds = load_dataset(Path::new(path))?;
+        println!(
+            "dataset: limb={} records={} participants={} trials/class={} seed={}",
+            ds.spec.limb,
+            ds.len(),
+            ds.spec.participants,
+            ds.spec.trials_per_class,
+            ds.spec.seed
+        );
+        for &class in MotionClass::all_for(ds.spec.limb) {
+            let n = ds.records.iter().filter(|r| r.class == class).count();
+            let frames: usize = ds
+                .records
+                .iter()
+                .filter(|r| r.class == class)
+                .map(|r| r.frames())
+                .sum();
+            println!(
+                "  {class:<12} {n:>4} trials, {:>7.1} s total",
+                frames as f64 / ds.spec.acquisition.mocap_fs
+            );
+        }
+        return Ok(());
+    }
+    if let Some(path) = args.get("model") {
+        let model = MotionClassifier::load_json(Path::new(path))?;
+        println!(
+            "model: limb={} motions={} clusters={} window={} frames point-dim={}",
+            model.limb(),
+            model.db().len(),
+            model.fcm().num_clusters(),
+            model.window().len(),
+            model.point_dim()
+        );
+        return Ok(());
+    }
+    Err(Box::new(ArgError(
+        "info needs --dataset PATH or --model PATH".into(),
+    )))
+}
+
+fn pipeline_config(args: &ParsedArgs) -> std::result::Result<PipelineConfig, ArgError> {
+    Ok(PipelineConfig::default()
+        .with_clusters(args.get_or("clusters", 15usize)?)
+        .with_window_ms(args.get_or("window-ms", 100.0f64)?)
+        .with_seed(args.get_or("seed", 0x1CDE_2007u64)?))
+}
+
+/// `kinemyo train`.
+pub fn train(args: &ParsedArgs) -> CliResult {
+    args.check_allowed(&["dataset", "out", "clusters", "window-ms", "seed"])?;
+    let ds = load_dataset(Path::new(args.require("dataset")?))?;
+    let config = pipeline_config(args)?;
+    let refs: Vec<_> = ds.records.iter().collect();
+    eprintln!(
+        "training on {} records (c={}, window={} ms) ...",
+        refs.len(),
+        config.clusters,
+        config.window_ms
+    );
+    let model = MotionClassifier::train(&refs, ds.spec.limb, &config)?;
+    let out = Path::new(args.require("out")?);
+    model.save_json(out)?;
+    println!(
+        "trained model saved to {} ({} motions, {} clusters)",
+        out.display(),
+        model.db().len(),
+        model.fcm().num_clusters()
+    );
+    Ok(())
+}
+
+/// `kinemyo classify`.
+pub fn classify(args: &ParsedArgs) -> CliResult {
+    args.check_allowed(&["model", "dataset", "record"])?;
+    let model = MotionClassifier::load_json(Path::new(args.require("model")?))?;
+    let ds = load_dataset(Path::new(args.require("dataset")?))?;
+    let only: Option<usize> = match args.get("record") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| ArgError(format!("--record: cannot parse '{raw}'")))?,
+        ),
+        None => None,
+    };
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for r in &ds.records {
+        if let Some(id) = only {
+            if r.id != id {
+                continue;
+            }
+        }
+        let c = model.classify_record(r)?;
+        total += 1;
+        let ok = c.predicted == r.class;
+        correct += ok as usize;
+        println!(
+            "record {:>4}  truth={:<12} predicted={:<12} {}  nearest={} @ {:.3}",
+            r.id,
+            r.class.to_string(),
+            c.predicted.to_string(),
+            if ok { "ok" } else { "WRONG" },
+            c.neighbors[0].meta.class,
+            c.neighbors[0].distance
+        );
+    }
+    if total == 0 {
+        return Err(Box::new(ArgError("no matching records".into())));
+    }
+    println!(
+        "{}/{} correct ({:.1}%)",
+        correct,
+        total,
+        correct as f64 / total as f64 * 100.0
+    );
+    Ok(())
+}
+
+/// `kinemyo evaluate`.
+pub fn evaluate_cmd(args: &ParsedArgs) -> CliResult {
+    args.check_allowed(&[
+        "dataset",
+        "clusters",
+        "window-ms",
+        "seed",
+        "queries-per-cell",
+        "confusion",
+    ])?;
+    let ds = load_dataset(Path::new(args.require("dataset")?))?;
+    let config = pipeline_config(args)?;
+    let queries_per_cell = args.get_or("queries-per-cell", 1usize)?;
+    let (train, queries) = stratified_split(&ds.records, queries_per_cell);
+    let out = kinemyo::evaluate(&train, &queries, ds.spec.limb, &config)?;
+    println!(
+        "train={} queries={}  misclassification={:.2}%  kNN-correct={:.2}% (k={})",
+        train.len(),
+        out.queries,
+        out.misclassification_pct,
+        out.knn_correct_pct,
+        config.knn_k
+    );
+    if args.has_switch("confusion") {
+        let classes = MotionClass::all_for(ds.spec.limb);
+        print!("{:>12}", "");
+        for &c in classes {
+            print!("{:>11}", c.to_string());
+        }
+        println!();
+        for &truth in classes {
+            print!("{:>12}", truth.to_string());
+            for &pred in classes {
+                print!(
+                    "{:>11}",
+                    out.confusion.get(
+                        class_index(ds.spec.limb, truth),
+                        class_index(ds.spec.limb, pred)
+                    )
+                );
+            }
+            println!();
+        }
+    }
+    Ok(())
+}
+
+/// Dispatches a parsed command line.
+pub fn run(args: &ParsedArgs) -> CliResult {
+    match args.command.as_str() {
+        "generate" => generate(args),
+        "info" => info(args),
+        "train" => train(args),
+        "classify" => classify(args),
+        "evaluate" => evaluate_cmd(args),
+        "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(Box::new(ArgError(format!("unknown command '{other}'")))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("kinemyo_cli_{name}"))
+    }
+
+    #[test]
+    fn full_cli_workflow() {
+        let ds_path = tmp("wf.kmyo");
+        let model_path = tmp("wf_model.json");
+        // generate
+        let p = parse(
+            &s(&[
+                "generate",
+                "--limb",
+                "hand",
+                "--participants",
+                "1",
+                "--trials",
+                "2",
+                "--out",
+                ds_path.to_str().unwrap(),
+            ]),
+            &[],
+        )
+        .unwrap();
+        run(&p).unwrap();
+        // info
+        let p = parse(&s(&["info", "--dataset", ds_path.to_str().unwrap()]), &[]).unwrap();
+        run(&p).unwrap();
+        // train
+        let p = parse(
+            &s(&[
+                "train",
+                "--dataset",
+                ds_path.to_str().unwrap(),
+                "--out",
+                model_path.to_str().unwrap(),
+                "--clusters",
+                "6",
+            ]),
+            &[],
+        )
+        .unwrap();
+        run(&p).unwrap();
+        // info on model
+        let p = parse(&s(&["info", "--model", model_path.to_str().unwrap()]), &[]).unwrap();
+        run(&p).unwrap();
+        // classify
+        let p = parse(
+            &s(&[
+                "classify",
+                "--model",
+                model_path.to_str().unwrap(),
+                "--dataset",
+                ds_path.to_str().unwrap(),
+            ]),
+            &[],
+        )
+        .unwrap();
+        run(&p).unwrap();
+        // evaluate with confusion switch
+        let p = parse(
+            &s(&[
+                "evaluate",
+                "--dataset",
+                ds_path.to_str().unwrap(),
+                "--clusters",
+                "6",
+                "--confusion",
+            ]),
+            &["confusion"],
+        )
+        .unwrap();
+        run(&p).unwrap();
+        std::fs::remove_file(&ds_path).ok();
+        std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn error_paths() {
+        let p = parse(&s(&["nonsense"]), &[]).unwrap();
+        assert!(run(&p).is_err());
+        let p = parse(&s(&["info"]), &[]).unwrap();
+        assert!(run(&p).is_err());
+        let p = parse(&s(&["generate", "--limb", "tail", "--out", "x.json"]), &[]).unwrap();
+        assert!(run(&p).is_err());
+        let p = parse(&s(&["train", "--dataset", "/nonexistent.json", "--out", "m.json"]), &[])
+            .unwrap();
+        assert!(run(&p).is_err());
+        let p = parse(&s(&["generate", "--typo", "1", "--out", "x.json"]), &[]).unwrap();
+        assert!(run(&p).is_err());
+    }
+
+    #[test]
+    fn classify_missing_record_errors() {
+        let ds_path = tmp("missing_rec.json");
+        let model_path = tmp("missing_rec_model.json");
+        let p = parse(
+            &s(&[
+                "generate", "--limb", "leg", "--participants", "1", "--trials", "1", "--out",
+                ds_path.to_str().unwrap(),
+            ]),
+            &[],
+        )
+        .unwrap();
+        run(&p).unwrap();
+        let p = parse(
+            &s(&[
+                "train",
+                "--dataset",
+                ds_path.to_str().unwrap(),
+                "--out",
+                model_path.to_str().unwrap(),
+                "--clusters",
+                "4",
+            ]),
+            &[],
+        )
+        .unwrap();
+        run(&p).unwrap();
+        let p = parse(
+            &s(&[
+                "classify",
+                "--model",
+                model_path.to_str().unwrap(),
+                "--dataset",
+                ds_path.to_str().unwrap(),
+                "--record",
+                "99999",
+            ]),
+            &[],
+        )
+        .unwrap();
+        assert!(run(&p).is_err());
+        std::fs::remove_file(&ds_path).ok();
+        std::fs::remove_file(&model_path).ok();
+    }
+}

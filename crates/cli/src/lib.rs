@@ -1,0 +1,12 @@
+//! # kinemyo-cli
+//!
+//! Command-line front end for the `kinemyo` pipeline: synthesize
+//! datasets, train and persist classifiers, classify recordings, and run
+//! the paper's evaluation protocol — all from the shell. Run
+//! `kinemyo help` for the command reference.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod args;
+pub mod commands;

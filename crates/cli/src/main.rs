@@ -1,0 +1,19 @@
+//! The `kinemyo` binary entry point: parse, dispatch, report.
+
+use kinemyo_cli::args::parse;
+use kinemyo_cli::commands::{run, USAGE};
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match parse(&raw, &["confusion", "quick"]) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&parsed) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Pipeline configuration.
+
+use crate::error::{KinemyoError, Result};
+use kinemyo_features::Modality;
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of the classification pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Window length in milliseconds (paper: 50–200 ms).
+    pub window_ms: f64,
+    /// Frame rate of the synchronized streams, Hz (paper: 120).
+    pub mocap_fs: f64,
+    /// Number of fuzzy clusters `c` (paper sweeps 5–40).
+    pub clusters: usize,
+    /// Fuzzifier `m` (paper: 2, "most widely used").
+    pub fuzzifier: f64,
+    /// Neighbours retrieved by the kNN classifier (paper: 5).
+    pub knn_k: usize,
+    /// RNG seed for FCM initialization.
+    pub seed: u64,
+    /// FCM restarts (best objective wins).
+    pub fcm_restarts: usize,
+    /// FCM iteration cap per restart.
+    pub fcm_max_iters: usize,
+    /// Which modality's features to use (the ablation switch; the paper's
+    /// contribution is `Combined`).
+    #[serde(default)]
+    pub modality: Modality,
+    /// Standardize feature dimensions (z-score) before clustering. The
+    /// paper notes the EMG (mV) and mocap (mm) resolutions differ by
+    /// orders of magnitude; standardization puts them on a common scale.
+    pub standardize: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            window_ms: 100.0,
+            mocap_fs: 120.0,
+            clusters: 15,
+            fuzzifier: 2.0,
+            knn_k: 5,
+            seed: 0x1CDE_2007,
+            fcm_restarts: 2,
+            fcm_max_iters: 200,
+            modality: Modality::Combined,
+            standardize: true,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Sets the window length (ms).
+    pub fn with_window_ms(mut self, ms: f64) -> Self {
+        self.window_ms = ms;
+        self
+    }
+
+    /// Sets the cluster count.
+    pub fn with_clusters(mut self, c: usize) -> Self {
+        self.clusters = c;
+        self
+    }
+
+    /// Sets the modality (ablation switch).
+    pub fn with_modality(mut self, m: Modality) -> Self {
+        self.modality = m;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.window_ms > 0.0) || !self.window_ms.is_finite() {
+            return Err(KinemyoError::InvalidConfig {
+                reason: format!("window_ms must be positive, got {}", self.window_ms),
+            });
+        }
+        if !(self.mocap_fs > 0.0) || !self.mocap_fs.is_finite() {
+            return Err(KinemyoError::InvalidConfig {
+                reason: format!("mocap_fs must be positive, got {}", self.mocap_fs),
+            });
+        }
+        if self.clusters == 0 {
+            return Err(KinemyoError::InvalidConfig {
+                reason: "clusters must be >= 1".into(),
+            });
+        }
+        if self.knn_k == 0 {
+            return Err(KinemyoError::InvalidConfig {
+                reason: "knn_k must be >= 1".into(),
+            });
+        }
+        if !(self.fuzzifier > 1.0) {
+            return Err(KinemyoError::InvalidConfig {
+                reason: format!("fuzzifier must be > 1, got {}", self.fuzzifier),
+            });
+        }
+        if self.fcm_restarts == 0 || self.fcm_max_iters == 0 {
+            return Err(KinemyoError::InvalidConfig {
+                reason: "fcm_restarts and fcm_max_iters must be >= 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_choices() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.fuzzifier, 2.0);
+        assert_eq!(c.knn_k, 5);
+        assert!((50.0..=200.0).contains(&c.window_ms));
+        assert!((5..=40).contains(&c.clusters));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builders() {
+        let c = PipelineConfig::default()
+            .with_window_ms(150.0)
+            .with_clusters(25)
+            .with_seed(9)
+            .with_modality(Modality::EmgOnly);
+        assert_eq!(c.window_ms, 150.0);
+        assert_eq!(c.clusters, 25);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.modality, Modality::EmgOnly);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        assert!(PipelineConfig::default().with_window_ms(0.0).validate().is_err());
+        assert!(PipelineConfig::default().with_clusters(0).validate().is_err());
+        let c = PipelineConfig { knn_k: 0, ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = PipelineConfig { fuzzifier: 1.0, ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = PipelineConfig { fcm_restarts: 0, ..Default::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = PipelineConfig::default().with_clusters(30);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: PipelineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.clusters, 30);
+        assert_eq!(back.modality, Modality::Combined);
+        // Non-default modalities now survive the roundtrip too.
+        let c2 = PipelineConfig::default().with_modality(Modality::EmgOnly);
+        let back2: PipelineConfig =
+            serde_json::from_str(&serde_json::to_string(&c2).unwrap()).unwrap();
+        assert_eq!(back2.modality, Modality::EmgOnly);
+    }
+}

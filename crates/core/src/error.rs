@@ -1,0 +1,102 @@
+//! Top-level error type for the `kinemyo` pipeline.
+
+use std::fmt;
+
+/// Errors produced by the end-to-end pipeline.
+#[derive(Debug)]
+pub enum KinemyoError {
+    /// Invalid pipeline configuration.
+    InvalidConfig {
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// The training set is unusable (empty, mixed limbs, too short).
+    InvalidTrainingData {
+        /// Explanation of the data problem.
+        reason: String,
+    },
+    /// Feature extraction failed.
+    Feature(kinemyo_features::FeatureError),
+    /// Clustering failed.
+    Fuzzy(kinemyo_fuzzy::FuzzyError),
+    /// Database operation failed.
+    Db(kinemyo_modb::DbError),
+    /// Simulation substrate failed.
+    Biosim(kinemyo_biosim::BiosimError),
+    /// Numerical substrate failed.
+    Linalg(kinemyo_linalg::LinalgError),
+    /// DSP substrate failed.
+    Dsp(kinemyo_dsp::DspError),
+}
+
+impl fmt::Display for KinemyoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KinemyoError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+            KinemyoError::InvalidTrainingData { reason } => {
+                write!(f, "invalid training data: {reason}")
+            }
+            KinemyoError::Feature(e) => write!(f, "feature extraction: {e}"),
+            KinemyoError::Fuzzy(e) => write!(f, "clustering: {e}"),
+            KinemyoError::Db(e) => write!(f, "database: {e}"),
+            KinemyoError::Biosim(e) => write!(f, "simulation: {e}"),
+            KinemyoError::Linalg(e) => write!(f, "linear algebra: {e}"),
+            KinemyoError::Dsp(e) => write!(f, "dsp: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KinemyoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KinemyoError::Feature(e) => Some(e),
+            KinemyoError::Fuzzy(e) => Some(e),
+            KinemyoError::Db(e) => Some(e),
+            KinemyoError::Biosim(e) => Some(e),
+            KinemyoError::Linalg(e) => Some(e),
+            KinemyoError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! impl_from {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for KinemyoError {
+            fn from(e: $ty) -> Self {
+                KinemyoError::$variant(e)
+            }
+        }
+    };
+}
+
+impl_from!(Feature, kinemyo_features::FeatureError);
+impl_from!(Fuzzy, kinemyo_fuzzy::FuzzyError);
+impl_from!(Db, kinemyo_modb::DbError);
+impl_from!(Biosim, kinemyo_biosim::BiosimError);
+impl_from!(Linalg, kinemyo_linalg::LinalgError);
+impl_from!(Dsp, kinemyo_dsp::DspError);
+
+/// Result alias for the pipeline.
+pub type Result<T> = std::result::Result<T, KinemyoError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        let e = KinemyoError::InvalidConfig {
+            reason: "clusters=0".into(),
+        };
+        assert!(e.to_string().contains("clusters=0"));
+        let fe: KinemyoError = kinemyo_features::FeatureError::NoWindows {
+            frames: 1,
+            window: 2,
+        }
+        .into();
+        assert!(fe.to_string().contains("feature extraction"));
+        let de: KinemyoError = kinemyo_modb::DbError::Empty.into();
+        assert!(de.to_string().contains("database"));
+    }
+}

@@ -1,0 +1,300 @@
+//! Evaluation harness reproducing the paper's Sec. 6 methodology:
+//! misclassification rate and kNN correct-retrieval percentage, swept over
+//! window size (50–200 ms) and cluster count (5–40).
+
+use crate::config::PipelineConfig;
+use crate::error::{KinemyoError, Result};
+use crate::pipeline::{class_index, MotionClassifier};
+use kinemyo_biosim::{Limb, MotionRecord};
+use kinemyo_modb::{knn_correct_pct, mean_pct, ConfusionMatrix};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of evaluating one train/query split.
+#[derive(Debug, Clone)]
+pub struct EvalOutcome {
+    /// Percent of queries whose majority-vote class was wrong
+    /// (Figs. 6–7 metric).
+    pub misclassification_pct: f64,
+    /// Mean percent of the k retrieved motions sharing the query's class
+    /// (Figs. 8–9 metric).
+    pub knn_correct_pct: f64,
+    /// Full confusion matrix over the limb's classes.
+    pub confusion: ConfusionMatrix,
+    /// Number of queries evaluated.
+    pub queries: usize,
+}
+
+/// Stratified train/query split: for every (participant, class) cell, the
+/// last `queries_per_cell` trials become queries and the rest train — the
+/// paper's "for certain amount of queries" protocol made deterministic.
+pub fn stratified_split(
+    records: &[MotionRecord],
+    queries_per_cell: usize,
+) -> (Vec<&MotionRecord>, Vec<&MotionRecord>) {
+    use std::collections::HashMap;
+    let mut cells: HashMap<(usize, &'static str), Vec<&MotionRecord>> = HashMap::new();
+    for r in records {
+        cells.entry((r.participant, r.class.name())).or_default().push(r);
+    }
+    let mut train = Vec::new();
+    let mut query = Vec::new();
+    let mut keys: Vec<_> = cells.keys().copied().collect();
+    keys.sort_unstable();
+    for key in keys {
+        let mut cell = cells.remove(&key).expect("key exists");
+        cell.sort_by_key(|r| r.trial);
+        let n = cell.len();
+        let q = queries_per_cell.min(n.saturating_sub(1));
+        for (i, r) in cell.into_iter().enumerate() {
+            if i >= n - q {
+                query.push(r);
+            } else {
+                train.push(r);
+            }
+        }
+    }
+    train.sort_by_key(|r| r.id);
+    query.sort_by_key(|r| r.id);
+    (train, query)
+}
+
+/// Trains on `train` and evaluates every record in `queries`.
+pub fn evaluate(
+    train: &[&MotionRecord],
+    queries: &[&MotionRecord],
+    limb: Limb,
+    config: &PipelineConfig,
+) -> Result<EvalOutcome> {
+    if queries.is_empty() {
+        return Err(KinemyoError::InvalidTrainingData {
+            reason: "no query records".into(),
+        });
+    }
+    let model = MotionClassifier::train(train, limb, config)?;
+    evaluate_with_model(&model, queries)
+}
+
+/// Evaluates queries against an already-trained model.
+pub fn evaluate_with_model(
+    model: &MotionClassifier,
+    queries: &[&MotionRecord],
+) -> Result<EvalOutcome> {
+    let limb = model.limb();
+    let n_classes = kinemyo_biosim::MotionClass::all_for(limb).len();
+    let mut confusion = ConfusionMatrix::new(n_classes);
+    let mut knn_pcts = Vec::with_capacity(queries.len());
+    for q in queries {
+        let c = model.classify_record(q)?;
+        confusion
+            .record(class_index(limb, q.class), class_index(limb, c.predicted))
+            .map_err(KinemyoError::Db)?;
+        let labels: Vec<_> = c.neighbors.iter().map(|n| n.meta.class).collect();
+        knn_pcts.push(knn_correct_pct(&q.class, &labels));
+    }
+    Ok(EvalOutcome {
+        misclassification_pct: confusion.misclassification_pct(),
+        knn_correct_pct: mean_pct(&knn_pcts),
+        confusion,
+        queries: queries.len(),
+    })
+}
+
+/// One point of the Figs. 6–9 parameter sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Window size in milliseconds.
+    pub window_ms: f64,
+    /// Cluster count.
+    pub clusters: usize,
+    /// Misclassification percentage.
+    pub misclassification_pct: f64,
+    /// Mean kNN correct percentage.
+    pub knn_correct_pct: f64,
+}
+
+/// Sweeps window sizes × cluster counts, evaluating each cell on the same
+/// stratified split. Cells run in parallel on a crossbeam scope (each cell
+/// trains its own FCM — this is the expensive part of reproducing Figs.
+/// 6–9). Each cell is averaged over `repeats` FCM seedings: the paper
+/// reports *average* misclassification, and FCM initialization is the
+/// dominant run-to-run variance source.
+pub fn sweep(
+    records: &[MotionRecord],
+    limb: Limb,
+    window_sizes_ms: &[f64],
+    cluster_counts: &[usize],
+    base: &PipelineConfig,
+    queries_per_cell: usize,
+    repeats: usize,
+) -> Result<Vec<SweepPoint>> {
+    if repeats == 0 {
+        return Err(KinemyoError::InvalidConfig {
+            reason: "sweep repeats must be >= 1".into(),
+        });
+    }
+    if window_sizes_ms.is_empty() || cluster_counts.is_empty() {
+        return Err(KinemyoError::InvalidConfig {
+            reason: "sweep needs at least one window size and one cluster count".into(),
+        });
+    }
+    let (train, queries) = stratified_split(records, queries_per_cell);
+    if train.is_empty() || queries.is_empty() {
+        return Err(KinemyoError::InvalidTrainingData {
+            reason: format!(
+                "split produced {} train / {} query records",
+                train.len(),
+                queries.len()
+            ),
+        });
+    }
+
+    let cells: Vec<(f64, usize)> = window_sizes_ms
+        .iter()
+        .flat_map(|&w| cluster_counts.iter().map(move |&c| (w, c)))
+        .collect();
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(cells.len());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: std::sync::Mutex<Vec<std::result::Result<SweepPoint, String>>> =
+        std::sync::Mutex::new(Vec::with_capacity(cells.len()));
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let (window_ms, clusters) = cells[i];
+                let point = (0..repeats)
+                    .map(|rep| {
+                        let config = base
+                            .clone()
+                            .with_window_ms(window_ms)
+                            .with_clusters(clusters)
+                            .with_seed(base.seed.wrapping_add(rep as u64 * 0x9E37));
+                        evaluate(&train, &queries, limb, &config)
+                    })
+                    .try_fold((0.0, 0.0), |(mc, kn), outcome| {
+                        outcome.map(|o| (mc + o.misclassification_pct, kn + o.knn_correct_pct))
+                    })
+                    .map(|(mc, kn)| SweepPoint {
+                        window_ms,
+                        clusters,
+                        misclassification_pct: mc / repeats as f64,
+                        knn_correct_pct: kn / repeats as f64,
+                    })
+                    .map_err(|e| e.to_string());
+                results.lock().expect("no poisoning").push(point);
+            });
+        }
+    })
+    .expect("sweep threads do not panic");
+
+    let mut points = Vec::with_capacity(cells.len());
+    for r in results.into_inner().expect("no poisoning") {
+        match r {
+            Ok(p) => points.push(p),
+            Err(e) => {
+                return Err(KinemyoError::InvalidTrainingData {
+                    reason: format!("sweep cell failed: {e}"),
+                })
+            }
+        }
+    }
+    points.sort_by(|a, b| {
+        (a.window_ms, a.clusters)
+            .partial_cmp(&(b.window_ms, b.clusters))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kinemyo_biosim::{Dataset, DatasetSpec};
+
+    fn dataset() -> Dataset {
+        Dataset::generate(DatasetSpec::hand_default().with_size(1, 3)).unwrap()
+    }
+
+    #[test]
+    fn split_is_stratified_and_disjoint() {
+        let ds = dataset();
+        let (train, query) = stratified_split(&ds.records, 1);
+        assert_eq!(train.len() + query.len(), ds.len());
+        // One query per (participant, class) cell: 6 classes × 1.
+        assert_eq!(query.len(), 6);
+        // Disjoint ids.
+        for q in &query {
+            assert!(train.iter().all(|t| t.id != q.id));
+        }
+        // Every class appears in both sides.
+        for &class in kinemyo_biosim::MotionClass::all_for(Limb::RightHand) {
+            assert!(train.iter().any(|r| r.class == class));
+            assert!(query.iter().any(|r| r.class == class));
+        }
+    }
+
+    #[test]
+    fn split_never_empties_a_cell() {
+        let ds = dataset();
+        // Asking for more queries than trials still leaves 1 training trial.
+        let (train, query) = stratified_split(&ds.records, 100);
+        assert_eq!(train.len(), 6);
+        assert_eq!(query.len(), 12);
+    }
+
+    #[test]
+    fn evaluation_produces_sane_metrics() {
+        let ds = dataset();
+        let (train, query) = stratified_split(&ds.records, 1);
+        let config = PipelineConfig::default().with_clusters(10);
+        let out = evaluate(&train, &query, Limb::RightHand, &config).unwrap();
+        assert_eq!(out.queries, 6);
+        assert!((0.0..=100.0).contains(&out.misclassification_pct));
+        assert!((0.0..=100.0).contains(&out.knn_correct_pct));
+        assert_eq!(out.confusion.total(), 6);
+    }
+
+    #[test]
+    fn evaluate_rejects_empty_queries() {
+        let ds = dataset();
+        let train: Vec<&MotionRecord> = ds.records.iter().collect();
+        let err = evaluate(&train, &[], Limb::RightHand, &PipelineConfig::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn sweep_covers_grid_sorted() {
+        let ds = dataset();
+        let points = sweep(
+            &ds.records,
+            Limb::RightHand,
+            &[100.0, 200.0],
+            &[5, 8],
+            &PipelineConfig::default(),
+            1,
+            1,
+        )
+        .unwrap();
+        assert_eq!(points.len(), 4);
+        let grid: Vec<(f64, usize)> = points.iter().map(|p| (p.window_ms, p.clusters)).collect();
+        assert_eq!(grid, vec![(100.0, 5), (100.0, 8), (200.0, 5), (200.0, 8)]);
+    }
+
+    #[test]
+    fn sweep_validates_inputs() {
+        let ds = dataset();
+        assert!(sweep(&ds.records, Limb::RightHand, &[], &[5], &PipelineConfig::default(), 1, 1)
+            .is_err());
+        assert!(
+            sweep(&ds.records, Limb::RightHand, &[100.0], &[], &PipelineConfig::default(), 1, 1)
+                .is_err()
+        );
+    }
+}

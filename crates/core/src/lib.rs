@@ -1,0 +1,73 @@
+//! # kinemyo
+//!
+//! A Rust reproduction of **"Integration of Motion Capture and EMG data
+//! for Classifying the Human Motions"** (Pradhan, Engineer, Nadin,
+//! Prabhakaran — ICDE Workshops 2007).
+//!
+//! The paper classifies human motions by fusing two synchronized
+//! biomedical streams — 120 Hz optical motion capture and surface EMG —
+//! through a window-level feature pipeline (IAV for EMG, weighted SVD for
+//! motion capture), fuzzy c-means clustering of the combined feature
+//! points, and a `2c`-length min/max-membership feature vector per motion
+//! that feeds a kNN retrieval classifier.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use kinemyo::{MotionClassifier, PipelineConfig};
+//! use kinemyo_biosim::{Dataset, DatasetSpec};
+//!
+//! // Generate a small synthetic right-hand test bed (the substitute for
+//! // the paper's motion-capture laboratory).
+//! let dataset = Dataset::generate(DatasetSpec::hand_default().with_size(1, 3)).unwrap();
+//! let (train, queries): (Vec<_>, Vec<_>) = dataset
+//!     .records
+//!     .iter()
+//!     .partition(|r| r.trial < 2);
+//!
+//! // Train the paper's pipeline: window features → FCM → motion vectors.
+//! let config = PipelineConfig::default().with_clusters(8);
+//! let model = MotionClassifier::train(&train, dataset.spec.limb, &config).unwrap();
+//!
+//! // Classify a held-out motion.
+//! let result = model.classify_record(queries[0]).unwrap();
+//! println!("predicted {:?}", result.predicted);
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`pipeline`] — [`MotionClassifier`]: train + query paths (Secs. 3–4);
+//! * [`eval`] — misclassification / kNN-% evaluation and the window ×
+//!   cluster parameter sweeps behind Figs. 6–9 (Sec. 6);
+//! * [`stream`] — online per-window classification for prosthetic-control
+//!   style consumers;
+//! * [`config`] — [`PipelineConfig`].
+//!
+//! Substrates live in sibling crates: `kinemyo-biosim` (synthetic
+//! lab), `kinemyo-features` (Eqs. 1–3, 5–8), `kinemyo-fuzzy` (Eq. 4, 9),
+//! `kinemyo-modb` (retrieval), `kinemyo-dsp`, `kinemyo-linalg`.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+// `!(x > 0.0)` is the NaN-rejecting validation idiom used throughout this
+// workspace: `x <= 0.0` would silently accept NaN.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod config;
+pub mod error;
+pub mod eval;
+pub mod persist;
+pub mod pipeline;
+pub mod select;
+pub mod stream;
+
+pub use config::PipelineConfig;
+pub use error::{KinemyoError, Result};
+pub use eval::{evaluate, stratified_split, sweep, EvalOutcome, SweepPoint};
+pub use pipeline::{class_index, pelvis_matrix, Classification, MotionClassifier, RecordMeta};
+pub use select::{select_cluster_count, ClusterSelection};
+pub use stream::StreamingSession;
+
+// Re-export the pieces examples and downstream users need most.
+pub use kinemyo_biosim as biosim;
+pub use kinemyo_features::Modality;

@@ -1,0 +1,125 @@
+//! Trained-model persistence.
+//!
+//! A clinic or prosthetic controller trains once on a motion database and
+//! then classifies for days — retraining FCM on every restart would be
+//! absurd. [`MotionClassifier::save_json`] / [`MotionClassifier::load_json`]
+//! serialize the complete trained state: configuration, window plan,
+//! feature scaler, fuzzy centers, and the motion feature database.
+
+use crate::error::{KinemyoError, Result};
+use crate::pipeline::{MotionClassifier, RecordMeta};
+use kinemyo_biosim::Limb;
+use kinemyo_dsp::WindowSpec;
+use kinemyo_fuzzy::FcmModel;
+use kinemyo_linalg::stats::ZScore;
+use kinemyo_modb::FeatureDb;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// On-disk representation of a trained model (format-versioned).
+#[derive(Debug, Serialize, Deserialize)]
+pub(crate) struct SavedModel {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Training configuration.
+    pub config: crate::config::PipelineConfig,
+    /// Limb the model was trained for.
+    pub limb: Limb,
+    /// Window segmentation.
+    pub window: WindowSpec,
+    /// Feature scaler (None when standardization was disabled).
+    pub scaler: Option<ZScore>,
+    /// Fuzzy clustering state.
+    pub fcm: FcmModel,
+    /// Stored motion vectors.
+    pub db: FeatureDb<RecordMeta>,
+}
+
+/// Current save-format version.
+pub(crate) const FORMAT_VERSION: u32 = 1;
+
+impl MotionClassifier {
+    /// Saves the trained model as JSON at `path`.
+    pub fn save_json(&self, path: &Path) -> Result<()> {
+        let saved = self.to_saved();
+        let json = serde_json::to_string(&saved).map_err(|e| KinemyoError::InvalidConfig {
+            reason: format!("model serialization failed: {e}"),
+        })?;
+        std::fs::write(path, json).map_err(|e| KinemyoError::InvalidConfig {
+            reason: format!("could not write {}: {e}", path.display()),
+        })
+    }
+
+    /// Loads a model previously written by [`MotionClassifier::save_json`].
+    pub fn load_json(path: &Path) -> Result<Self> {
+        let json = std::fs::read_to_string(path).map_err(|e| KinemyoError::InvalidConfig {
+            reason: format!("could not read {}: {e}", path.display()),
+        })?;
+        let saved: SavedModel =
+            serde_json::from_str(&json).map_err(|e| KinemyoError::InvalidConfig {
+                reason: format!("model deserialization failed: {e}"),
+            })?;
+        Self::from_saved(saved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use kinemyo_biosim::{Dataset, DatasetSpec, MotionRecord};
+
+    #[test]
+    fn save_load_roundtrip_preserves_classification() {
+        let ds = Dataset::generate(DatasetSpec::hand_default().with_size(1, 3)).unwrap();
+        let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+        let config = PipelineConfig::default().with_clusters(8);
+        let model = MotionClassifier::train(&refs, Limb::RightHand, &config).unwrap();
+
+        let path = std::env::temp_dir().join("kinemyo_model_roundtrip.json");
+        model.save_json(&path).unwrap();
+        let loaded = MotionClassifier::load_json(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.limb(), model.limb());
+        assert_eq!(loaded.db().len(), model.db().len());
+        assert_eq!(loaded.fcm().num_clusters(), 8);
+        for r in &ds.records {
+            let a = model.classify_record(r).unwrap();
+            let b = loaded.classify_record(r).unwrap();
+            assert_eq!(a.predicted, b.predicted);
+            assert!(a
+                .feature_vector
+                .approx_eq(&b.feature_vector, 0.0));
+        }
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = std::env::temp_dir().join("kinemyo_model_garbage.json");
+        std::fs::write(&path, "{\"not\": \"a model\"}").unwrap();
+        assert!(MotionClassifier::load_json(&path).is_err());
+        std::fs::remove_file(&path).ok();
+        assert!(MotionClassifier::load_json(Path::new("/nonexistent/m.json")).is_err());
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let ds = Dataset::generate(DatasetSpec::hand_default().with_size(1, 2)).unwrap();
+        let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+        let model = MotionClassifier::train(
+            &refs,
+            Limb::RightHand,
+            &PipelineConfig::default().with_clusters(5),
+        )
+        .unwrap();
+        let mut saved = model.to_saved();
+        saved.version = 999;
+        let json = serde_json::to_string(&saved).unwrap();
+        let path = std::env::temp_dir().join("kinemyo_model_badversion.json");
+        std::fs::write(&path, json).unwrap();
+        let err = MotionClassifier::load_json(&path);
+        std::fs::remove_file(&path).ok();
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,462 @@
+//! The end-to-end classifier: train (Sec. 3) and query (Sec. 4) paths.
+//!
+//! Training: every database motion is windowed; each window becomes a
+//! combined IAV + weighted-SVD feature point; fuzzy c-means over all
+//! points yields centers and memberships; each motion's final `2c`-length
+//! min/max-membership vector is stored in the feature database.
+//!
+//! Querying: the same windowing and feature extraction, memberships
+//! against the *trained* centers via Eq. 9, the same min/max reduction,
+//! then kNN retrieval among the stored vectors.
+
+use crate::config::PipelineConfig;
+use crate::error::{KinemyoError, Result};
+use kinemyo_biosim::{Limb, MotionClass, MotionRecord, Vec3};
+use kinemyo_dsp::WindowSpec;
+use kinemyo_features::motion_vector::{motion_feature_vector, window_assignments, WindowAssignment};
+use kinemyo_features::{window_feature_points, Modality};
+use kinemyo_fuzzy::{fcm_fit, FcmConfig, FcmModel};
+use kinemyo_linalg::stats::ZScore;
+use kinemyo_linalg::{Matrix, Vector};
+use kinemyo_modb::{classify, knn, FeatureDb, Neighbor};
+use serde::{Deserialize, Serialize};
+
+/// Metadata attached to every stored motion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordMeta {
+    /// Originating record id.
+    pub record_id: usize,
+    /// Ground-truth class.
+    pub class: MotionClass,
+    /// Participant index.
+    pub participant: usize,
+    /// Trial index.
+    pub trial: usize,
+}
+
+/// Result of classifying one query motion.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    /// Majority-vote class over the k nearest neighbours.
+    pub predicted: MotionClass,
+    /// The retrieved neighbours, closest first.
+    pub neighbors: Vec<Neighbor<RecordMeta>>,
+    /// The query's final feature vector.
+    pub feature_vector: Vector,
+}
+
+/// Converts a pelvis trajectory to a `frames × 3` matrix.
+pub fn pelvis_matrix(pelvis: &[Vec3]) -> Matrix {
+    Matrix::from_fn(pelvis.len(), 3, |r, c| match c {
+        0 => pelvis[r].x,
+        1 => pelvis[r].y,
+        _ => pelvis[r].z,
+    })
+}
+
+/// A trained motion classifier.
+#[derive(Debug, Clone)]
+pub struct MotionClassifier {
+    config: PipelineConfig,
+    limb: Limb,
+    window: WindowSpec,
+    scaler: Option<ZScore>,
+    fcm: FcmModel,
+    db: FeatureDb<RecordMeta>,
+}
+
+impl MotionClassifier {
+    /// Trains the full pipeline on a set of synchronized records.
+    pub fn train(records: &[&MotionRecord], limb: Limb, config: &PipelineConfig) -> Result<Self> {
+        config.validate()?;
+        if records.is_empty() {
+            return Err(KinemyoError::InvalidTrainingData {
+                reason: "no training records".into(),
+            });
+        }
+        let mocap_cols = limb.mocap_cols();
+        let emg_cols = limb.emg_channels();
+        for r in records {
+            if r.mocap.cols() != mocap_cols || r.emg.cols() != emg_cols {
+                return Err(KinemyoError::InvalidTrainingData {
+                    reason: format!(
+                        "record {} has shape ({} mocap, {} emg) but limb {limb} needs ({mocap_cols}, {emg_cols})",
+                        r.id,
+                        r.mocap.cols(),
+                        r.emg.cols()
+                    ),
+                });
+            }
+        }
+        let window = WindowSpec::from_ms(config.window_ms, config.mocap_fs)?;
+
+        // 1. Per-window combined feature points for every record.
+        let mut per_record_counts = Vec::with_capacity(records.len());
+        let mut stacked: Option<Matrix> = None;
+        for r in records {
+            let points = record_points(r, &window, config.modality)?;
+            per_record_counts.push(points.rows());
+            stacked = Some(match stacked {
+                None => points,
+                Some(s) => s.vstack(&points)?,
+            });
+        }
+        let mut all_points = stacked.expect("at least one record");
+        let total_windows: usize = per_record_counts.iter().sum();
+        if total_windows < config.clusters {
+            return Err(KinemyoError::InvalidTrainingData {
+                reason: format!(
+                    "{total_windows} windows cannot support {} clusters — use shorter windows or more data",
+                    config.clusters
+                ),
+            });
+        }
+
+        // 2. Standardize so mV-scale EMG and mm-scale mocap features are
+        //    commensurate (Sec. 1 lists the resolution mismatch).
+        let scaler = if config.standardize {
+            let z = ZScore::fit(&all_points)?;
+            all_points = z.transform(&all_points)?;
+            Some(z)
+        } else {
+            None
+        };
+
+        // 3. Fuzzy c-means over all window points (Eq. 4).
+        let fcm_config = FcmConfig {
+            clusters: config.clusters,
+            fuzzifier: config.fuzzifier,
+            max_iters: config.fcm_max_iters,
+            tol: 1e-6,
+            restarts: config.fcm_restarts,
+            seed: config.seed,
+        };
+        let fcm = fcm_fit(&all_points, &fcm_config)?;
+
+        // 4. Final per-motion feature vectors (Eqs. 5–8) into the database.
+        let mut db = FeatureDb::new(2 * config.clusters);
+        let mut offset = 0;
+        for (r, &count) in records.iter().zip(&per_record_counts) {
+            let memberships = fcm.memberships.slice_rows(offset, offset + count)?;
+            offset += count;
+            let fv = motion_feature_vector(&memberships)?;
+            db.insert(
+                r.id,
+                RecordMeta {
+                    record_id: r.id,
+                    class: r.class,
+                    participant: r.participant,
+                    trial: r.trial,
+                },
+                fv.into_vec(),
+            )?;
+        }
+
+        Ok(Self {
+            config: config.clone(),
+            limb,
+            window,
+            scaler,
+            fcm,
+            db,
+        })
+    }
+
+    /// The limb this model was trained for.
+    pub fn limb(&self) -> Limb {
+        self.limb
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The fitted fuzzy model (centers + training memberships).
+    pub fn fcm(&self) -> &FcmModel {
+        &self.fcm
+    }
+
+    /// The stored motion database.
+    pub fn db(&self) -> &FeatureDb<RecordMeta> {
+        &self.db
+    }
+
+    /// The window segmentation used at train and query time.
+    pub fn window(&self) -> &WindowSpec {
+        &self.window
+    }
+
+    /// Per-window membership matrix of a query motion against the trained
+    /// centers (Eq. 9 applied per window) — the data behind Fig. 3.
+    pub fn window_memberships(&self, record: &MotionRecord) -> Result<Matrix> {
+        let mut points = record_points(record, &self.window, self.config.modality)?;
+        if let Some(z) = &self.scaler {
+            points = z.transform(&points)?;
+        }
+        let c = self.fcm.num_clusters();
+        let mut out = Matrix::zeros(points.rows(), c);
+        for w in 0..points.rows() {
+            let u = self.fcm.memberships_for(points.row(w))?;
+            out.row_mut(w).copy_from_slice(&u);
+        }
+        Ok(out)
+    }
+
+    /// Per-window highest membership + cluster (Eqs. 5–6) for a query.
+    pub fn window_assignments(&self, record: &MotionRecord) -> Result<Vec<WindowAssignment>> {
+        Ok(window_assignments(&self.window_memberships(record)?)?)
+    }
+
+    /// The query's final `2c`-length feature vector (Sec. 4).
+    pub fn query_feature_vector(&self, record: &MotionRecord) -> Result<Vector> {
+        Ok(motion_feature_vector(&self.window_memberships(record)?)?)
+    }
+
+    /// Retrieves the `k` nearest stored motions for a query record.
+    pub fn retrieve(&self, record: &MotionRecord, k: usize) -> Result<Vec<Neighbor<RecordMeta>>> {
+        let fv = self.query_feature_vector(record)?;
+        Ok(knn(&self.db, fv.as_slice(), k)?)
+    }
+
+    /// Classifies a query motion by majority vote over `knn_k` neighbours.
+    pub fn classify_record(&self, record: &MotionRecord) -> Result<Classification> {
+        let fv = self.query_feature_vector(record)?;
+        let neighbors = knn(&self.db, fv.as_slice(), self.config.knn_k)?;
+        let predicted = classify(&neighbors, |m| m.class).ok_or(KinemyoError::InvalidTrainingData {
+            reason: "no neighbours retrieved".into(),
+        })?;
+        Ok(Classification {
+            predicted,
+            neighbors,
+            feature_vector: fv,
+        })
+    }
+
+    /// Standardizes a raw feature point with the training scaler (no-op
+    /// when standardization is disabled). Used by the streaming path.
+    pub(crate) fn scale_point(&self, point: &mut [f64]) -> Result<()> {
+        if let Some(z) = &self.scaler {
+            z.apply_mut(point)?;
+        }
+        Ok(())
+    }
+
+    /// Feature dimensionality of the window points.
+    pub fn point_dim(&self) -> usize {
+        self.fcm.dim()
+    }
+
+    /// Converts to the on-disk representation (see [`crate::persist`]).
+    pub(crate) fn to_saved(&self) -> crate::persist::SavedModel {
+        crate::persist::SavedModel {
+            version: crate::persist::FORMAT_VERSION,
+            config: self.config.clone(),
+            limb: self.limb,
+            window: self.window,
+            scaler: self.scaler.clone(),
+            fcm: self.fcm.clone(),
+            db: self.db.clone(),
+        }
+    }
+
+    /// Rebuilds a classifier from its on-disk representation.
+    pub(crate) fn from_saved(saved: crate::persist::SavedModel) -> Result<Self> {
+        if saved.version != crate::persist::FORMAT_VERSION {
+            return Err(KinemyoError::InvalidConfig {
+                reason: format!(
+                    "unsupported model format version {} (expected {})",
+                    saved.version,
+                    crate::persist::FORMAT_VERSION
+                ),
+            });
+        }
+        saved.config.validate()?;
+        Ok(Self {
+            config: saved.config,
+            limb: saved.limb,
+            window: saved.window,
+            scaler: saved.scaler,
+            fcm: saved.fcm,
+            db: saved.db,
+        })
+    }
+}
+
+/// Window feature points for one record (the Sec. 3.3 combined points).
+pub(crate) fn record_points(
+    record: &MotionRecord,
+    window: &WindowSpec,
+    modality: Modality,
+) -> Result<Matrix> {
+    let pelvis = pelvis_matrix(&record.pelvis);
+    Ok(window_feature_points(
+        &record.mocap,
+        &pelvis,
+        &record.emg,
+        window,
+        modality,
+    )?)
+}
+
+/// Maps a class to its stable index within the limb's class list.
+pub fn class_index(limb: Limb, class: MotionClass) -> usize {
+    MotionClass::all_for(limb)
+        .iter()
+        .position(|&c| c == class)
+        .expect("class belongs to limb")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kinemyo_biosim::{Dataset, DatasetSpec};
+
+    fn tiny_dataset() -> Dataset {
+        Dataset::generate(DatasetSpec::hand_default().with_size(1, 3)).unwrap()
+    }
+
+    fn train(ds: &Dataset, cfg: &PipelineConfig) -> MotionClassifier {
+        let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+        MotionClassifier::train(&refs, ds.spec.limb, cfg).unwrap()
+    }
+
+    #[test]
+    fn training_produces_expected_shapes() {
+        let ds = tiny_dataset();
+        let cfg = PipelineConfig::default().with_clusters(8);
+        let model = train(&ds, &cfg);
+        assert_eq!(model.db().len(), ds.len());
+        assert_eq!(model.db().dim(), 16); // 2c
+        assert_eq!(model.fcm().num_clusters(), 8);
+        // Combined dim: 4 EMG + 12 mocap = 16.
+        assert_eq!(model.point_dim(), 16);
+        assert_eq!(model.limb(), Limb::RightHand);
+    }
+
+    #[test]
+    fn training_vectors_are_valid_memberships() {
+        let ds = tiny_dataset();
+        let model = train(&ds, &PipelineConfig::default().with_clusters(6));
+        for e in model.db().entries() {
+            assert_eq!(e.vector.len(), 12);
+            for pair in e.vector.chunks(2) {
+                assert!(pair[0] >= 0.0 && pair[1] <= 1.0 + 1e-9);
+                assert!(pair[0] <= pair[1] + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn training_record_queries_close_to_itself() {
+        // A training record queried back through Eq. 9 must retrieve itself
+        // as the nearest neighbour (distance ~0).
+        let ds = tiny_dataset();
+        let model = train(&ds, &PipelineConfig::default().with_clusters(10));
+        let r = &ds.records[0];
+        let neighbors = model.retrieve(r, 1).unwrap();
+        assert_eq!(neighbors[0].id, r.id);
+        assert!(neighbors[0].distance < 1e-9, "self-distance {}", neighbors[0].distance);
+    }
+
+    #[test]
+    fn classify_training_records_with_k1_is_perfect() {
+        // With k = 1 every training record retrieves itself (distance 0),
+        // so classification must be exact. (Quality on held-out queries
+        // with the paper's k = 5 is covered by the integration tests on a
+        // full-size dataset — with only 3 trials per class here, 5
+        // neighbours cannot even contain a same-class majority.)
+        let ds = tiny_dataset();
+        let mut cfg = PipelineConfig::default().with_clusters(12);
+        cfg.knn_k = 1;
+        let model = train(&ds, &cfg);
+        for r in &ds.records {
+            let c = model.classify_record(r).unwrap();
+            assert_eq!(c.predicted, r.class, "record {} misclassified", r.id);
+            assert_eq!(c.neighbors[0].id, r.id);
+        }
+    }
+
+    #[test]
+    fn window_membership_rows_sum_to_one() {
+        let ds = tiny_dataset();
+        let model = train(&ds, &PipelineConfig::default().with_clusters(5));
+        let m = model.window_memberships(&ds.records[0]).unwrap();
+        assert_eq!(m.cols(), 5);
+        assert!(m.rows() > 10);
+        for w in 0..m.rows() {
+            let s: f64 = m.row(w).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_limb_records() {
+        let hand = tiny_dataset();
+        let refs: Vec<&MotionRecord> = hand.records.iter().collect();
+        let err = MotionClassifier::train(&refs, Limb::RightLeg, &PipelineConfig::default());
+        assert!(matches!(err, Err(KinemyoError::InvalidTrainingData { .. })));
+    }
+
+    #[test]
+    fn rejects_empty_training_set() {
+        let err = MotionClassifier::train(&[], Limb::RightHand, &PipelineConfig::default());
+        assert!(matches!(err, Err(KinemyoError::InvalidTrainingData { .. })));
+    }
+
+    #[test]
+    fn rejects_more_clusters_than_windows() {
+        let ds = tiny_dataset();
+        let refs: Vec<&MotionRecord> = ds.records[..2].iter().collect();
+        let cfg = PipelineConfig::default()
+            .with_clusters(10_000)
+            .with_window_ms(200.0);
+        let err = MotionClassifier::train(&refs, Limb::RightHand, &cfg);
+        assert!(matches!(err, Err(KinemyoError::InvalidTrainingData { .. })));
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let ds = tiny_dataset();
+        let cfg = PipelineConfig::default().with_clusters(6);
+        let m1 = train(&ds, &cfg);
+        let m2 = train(&ds, &cfg);
+        for (a, b) in m1.db().entries().iter().zip(m2.db().entries()) {
+            assert_eq!(a.vector, b.vector);
+        }
+    }
+
+    #[test]
+    fn modalities_produce_different_dims() {
+        let ds = tiny_dataset();
+        let emg_model = train(
+            &ds,
+            &PipelineConfig::default()
+                .with_clusters(6)
+                .with_modality(Modality::EmgOnly),
+        );
+        let mocap_model = train(
+            &ds,
+            &PipelineConfig::default()
+                .with_clusters(6)
+                .with_modality(Modality::MocapOnly),
+        );
+        assert_eq!(emg_model.point_dim(), 4);
+        assert_eq!(mocap_model.point_dim(), 12);
+    }
+
+    #[test]
+    fn class_index_is_stable() {
+        assert_eq!(class_index(Limb::RightHand, MotionClass::RaiseArm), 0);
+        assert_eq!(class_index(Limb::RightLeg, MotionClass::Walk), 0);
+        assert_eq!(class_index(Limb::RightLeg, MotionClass::HeelRaise), 5);
+    }
+
+    #[test]
+    fn pelvis_matrix_layout() {
+        let pelvis = vec![Vec3::new(1.0, 2.0, 3.0), Vec3::new(4.0, 5.0, 6.0)];
+        let m = pelvis_matrix(&pelvis);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(1, 2)], 6.0);
+    }
+}

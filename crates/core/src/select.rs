@@ -1,0 +1,175 @@
+//! Unsupervised cluster-count selection.
+//!
+//! The paper sweeps the cluster count 5–40 and observes classification
+//! quality ("the performance of the classification varies on choice of
+//! cluster numbers", Sec. 3.3) — but choosing `c` that way needs labels.
+//! This module picks `c` *without* labels by minimizing the Xie–Beni
+//! validity index of the FCM partition over the window feature points,
+//! which a deployment can run on unlabeled recordings.
+
+use crate::config::PipelineConfig;
+use crate::error::{KinemyoError, Result};
+use crate::pipeline::record_points;
+use kinemyo_biosim::MotionRecord;
+use kinemyo_dsp::WindowSpec;
+use kinemyo_fuzzy::validity::xie_beni;
+use kinemyo_fuzzy::{fcm_fit, FcmConfig};
+use kinemyo_linalg::stats::ZScore;
+use kinemyo_linalg::Matrix;
+
+/// One evaluated candidate cluster count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterCandidate {
+    /// The cluster count.
+    pub clusters: usize,
+    /// Xie–Beni index of the fitted partition (lower is better).
+    pub xie_beni: f64,
+    /// Final FCM objective.
+    pub objective: f64,
+}
+
+/// Result of a cluster-count selection sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSelection {
+    /// The winning (minimum Xie–Beni) cluster count.
+    pub best: usize,
+    /// All evaluated candidates, in the order given.
+    pub candidates: Vec<ClusterCandidate>,
+}
+
+/// Evaluates every candidate cluster count on the records' window feature
+/// points and returns the Xie–Beni-optimal choice.
+///
+/// Uses the same windowing/feature/standardization settings as training
+/// would, so the chosen `c` transfers directly into
+/// [`crate::MotionClassifier::train`].
+pub fn select_cluster_count(
+    records: &[&MotionRecord],
+    config: &PipelineConfig,
+    candidates: &[usize],
+) -> Result<ClusterSelection> {
+    config.validate()?;
+    if records.is_empty() {
+        return Err(KinemyoError::InvalidTrainingData {
+            reason: "no records to select clusters from".into(),
+        });
+    }
+    if candidates.iter().any(|&c| c < 2) {
+        return Err(KinemyoError::InvalidConfig {
+            reason: "cluster candidates must be >= 2 (Xie-Beni needs separation)".into(),
+        });
+    }
+    if candidates.is_empty() {
+        return Err(KinemyoError::InvalidConfig {
+            reason: "no candidate cluster counts".into(),
+        });
+    }
+
+    let window = WindowSpec::from_ms(config.window_ms, config.mocap_fs)?;
+    let mut stacked: Option<Matrix> = None;
+    for r in records {
+        let points = record_points(r, &window, config.modality)?;
+        stacked = Some(match stacked {
+            None => points,
+            Some(acc) => acc.vstack(&points)?,
+        });
+    }
+    let mut points = stacked.expect("at least one record");
+    if config.standardize {
+        let z = ZScore::fit(&points)?;
+        points = z.transform(&points)?;
+    }
+
+    let mut out = Vec::with_capacity(candidates.len());
+    for &c in candidates {
+        if c > points.rows() {
+            return Err(KinemyoError::InvalidTrainingData {
+                reason: format!("{c} clusters exceed {} window points", points.rows()),
+            });
+        }
+        let fcm_config = FcmConfig {
+            clusters: c,
+            fuzzifier: config.fuzzifier,
+            max_iters: config.fcm_max_iters,
+            tol: 1e-6,
+            restarts: config.fcm_restarts,
+            seed: config.seed,
+        };
+        let model = fcm_fit(&points, &fcm_config)?;
+        let xb = xie_beni(&model, &points)?;
+        out.push(ClusterCandidate {
+            clusters: c,
+            xie_beni: xb,
+            objective: model.objective(),
+        });
+    }
+    let best = out
+        .iter()
+        .min_by(|a, b| {
+            a.xie_beni
+                .partial_cmp(&b.xie_beni)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("non-empty candidates")
+        .clusters;
+    Ok(ClusterSelection {
+        best,
+        candidates: out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kinemyo_biosim::{Dataset, DatasetSpec, Limb};
+
+    fn records() -> Dataset {
+        Dataset::generate(DatasetSpec::hand_default().with_size(1, 2)).unwrap()
+    }
+
+    #[test]
+    fn selection_returns_a_candidate() {
+        let ds = records();
+        let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+        let sel = select_cluster_count(
+            &refs,
+            &PipelineConfig::default(),
+            &[4, 8, 12],
+        )
+        .unwrap();
+        assert!([4usize, 8, 12].contains(&sel.best));
+        assert_eq!(sel.candidates.len(), 3);
+        for c in &sel.candidates {
+            assert!(c.xie_beni.is_finite() && c.xie_beni > 0.0);
+            assert!(c.objective.is_finite());
+        }
+        // The winner actually has the minimum index.
+        let min = sel
+            .candidates
+            .iter()
+            .map(|c| c.xie_beni)
+            .fold(f64::INFINITY, f64::min);
+        let winner = sel.candidates.iter().find(|c| c.clusters == sel.best).unwrap();
+        assert_eq!(winner.xie_beni, min);
+        let _ = Limb::RightHand;
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let ds = records();
+        let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+        let a = select_cluster_count(&refs, &PipelineConfig::default(), &[4, 8]).unwrap();
+        let b = select_cluster_count(&refs, &PipelineConfig::default(), &[4, 8]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validation() {
+        let ds = records();
+        let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+        assert!(select_cluster_count(&[], &PipelineConfig::default(), &[4]).is_err());
+        assert!(select_cluster_count(&refs, &PipelineConfig::default(), &[]).is_err());
+        assert!(select_cluster_count(&refs, &PipelineConfig::default(), &[1]).is_err());
+        assert!(select_cluster_count(&refs, &PipelineConfig::default(), &[100_000]).is_err());
+    }
+}

@@ -1,0 +1,303 @@
+//! Online (streaming) classification for prosthetic-control-style use.
+//!
+//! The paper motivates the work with prosthetic control and rehabilitation
+//! of a single limb (Sec. 5). A controller cannot wait for a whole
+//! recorded motion: it consumes synchronized frames as they arrive, emits
+//! a membership assignment per completed window, and can be asked for its
+//! best-guess classification at any time using the windows seen so far.
+
+use crate::error::{KinemyoError, Result};
+use crate::pipeline::{MotionClassifier, RecordMeta};
+use kinemyo_features::motion_vector::WindowAssignment;
+use kinemyo_features::{iav_features, to_pelvis_local, wsvd_features, Modality};
+use kinemyo_linalg::{Matrix, Vector};
+use kinemyo_modb::{classify, knn, Neighbor};
+
+/// A live classification session over a trained [`MotionClassifier`].
+#[derive(Debug)]
+pub struct StreamingSession<'m> {
+    model: &'m MotionClassifier,
+    window_len: usize,
+    mocap_buf: Vec<Vec<f64>>,
+    pelvis_buf: Vec<[f64; 3]>,
+    emg_buf: Vec<Vec<f64>>,
+    /// Per-cluster running min/max of highest memberships (Eqs. 7–8,
+    /// maintained incrementally).
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+    windows_seen: usize,
+    assignments: Vec<WindowAssignment>,
+}
+
+impl<'m> StreamingSession<'m> {
+    /// Starts a session on a trained model.
+    pub fn new(model: &'m MotionClassifier) -> Self {
+        let c = model.fcm().num_clusters();
+        Self {
+            model,
+            window_len: model.window().len(),
+            mocap_buf: Vec::new(),
+            pelvis_buf: Vec::new(),
+            emg_buf: Vec::new(),
+            mins: vec![f64::INFINITY; c],
+            maxs: vec![0.0; c],
+            windows_seen: 0,
+            assignments: Vec::new(),
+        }
+    }
+
+    /// Number of completed windows so far.
+    pub fn windows_seen(&self) -> usize {
+        self.windows_seen
+    }
+
+    /// All window assignments so far.
+    pub fn assignments(&self) -> &[WindowAssignment] {
+        &self.assignments
+    }
+
+    /// Feeds one synchronized frame. Returns `Some(assignment)` whenever a
+    /// window completes.
+    pub fn push_frame(
+        &mut self,
+        mocap_row: &[f64],
+        pelvis: [f64; 3],
+        emg_row: &[f64],
+    ) -> Result<Option<WindowAssignment>> {
+        let limb = self.model.limb();
+        if mocap_row.len() != limb.mocap_cols() || emg_row.len() != limb.emg_channels() {
+            return Err(KinemyoError::InvalidTrainingData {
+                reason: format!(
+                    "frame has ({}, {}) values; limb {limb} needs ({}, {})",
+                    mocap_row.len(),
+                    emg_row.len(),
+                    limb.mocap_cols(),
+                    limb.emg_channels()
+                ),
+            });
+        }
+        self.mocap_buf.push(mocap_row.to_vec());
+        self.pelvis_buf.push(pelvis);
+        self.emg_buf.push(emg_row.to_vec());
+        if self.mocap_buf.len() < self.window_len {
+            return Ok(None);
+        }
+        let assignment = self.flush_window()?;
+        Ok(Some(assignment))
+    }
+
+    /// Converts the buffered frames into one feature point and updates the
+    /// running min/max membership state.
+    fn flush_window(&mut self) -> Result<WindowAssignment> {
+        let mocap = Matrix::from_rows(&std::mem::take(&mut self.mocap_buf))
+            .map_err(KinemyoError::Linalg)?;
+        let pelvis_rows: Vec<Vec<f64>> = std::mem::take(&mut self.pelvis_buf)
+            .into_iter()
+            .map(|p| p.to_vec())
+            .collect();
+        let pelvis = Matrix::from_rows(&pelvis_rows).map_err(KinemyoError::Linalg)?;
+        let emg =
+            Matrix::from_rows(&std::mem::take(&mut self.emg_buf)).map_err(KinemyoError::Linalg)?;
+
+        let range = [(0usize, mocap.rows())];
+        let mut point: Vec<f64> = match self.model.config().modality {
+            Modality::EmgOnly => iav_features(&emg, &range)?.row(0).to_vec(),
+            Modality::MocapOnly => {
+                let local = to_pelvis_local(&mocap, &pelvis)?;
+                wsvd_features(&local, &range)?.row(0).to_vec()
+            }
+            Modality::Combined => {
+                let mut p = iav_features(&emg, &range)?.row(0).to_vec();
+                let local = to_pelvis_local(&mocap, &pelvis)?;
+                p.extend_from_slice(wsvd_features(&local, &range)?.row(0));
+                p
+            }
+        };
+        self.model.scale_point(&mut point)?;
+        let u = self.model.fcm().memberships_for(&point)?;
+        let mut cluster = 0;
+        for (i, &v) in u.iter().enumerate() {
+            if v > u[cluster] {
+                cluster = i;
+            }
+        }
+        let membership = u[cluster];
+        if membership > self.maxs[cluster] {
+            self.maxs[cluster] = membership;
+        }
+        if membership < self.mins[cluster] {
+            self.mins[cluster] = membership;
+        }
+        self.windows_seen += 1;
+        let a = WindowAssignment {
+            cluster,
+            membership,
+        };
+        self.assignments.push(a);
+        Ok(a)
+    }
+
+    /// The current final feature vector (Eqs. 7–8 over windows seen).
+    pub fn feature_vector(&self) -> Vector {
+        let c = self.mins.len();
+        let mut out = Vec::with_capacity(2 * c);
+        for k in 0..c {
+            if self.mins[k].is_infinite() {
+                out.push(0.0);
+                out.push(0.0);
+            } else {
+                out.push(self.mins[k]);
+                out.push(self.maxs[k]);
+            }
+        }
+        Vector::from_vec(out)
+    }
+
+    /// Classifies the motion seen so far; `None` before the first window
+    /// completes.
+    pub fn classify(
+        &self,
+        k: usize,
+    ) -> Result<Option<(kinemyo_biosim::MotionClass, Vec<Neighbor<RecordMeta>>)>> {
+        if self.windows_seen == 0 {
+            return Ok(None);
+        }
+        let fv = self.feature_vector();
+        let neighbors = knn(self.model.db(), fv.as_slice(), k)?;
+        let predicted = classify(&neighbors, |m| m.class);
+        Ok(predicted.map(|p| (p, neighbors)))
+    }
+
+    /// Resets the session for a new motion (the model is reused).
+    pub fn reset(&mut self) {
+        let c = self.mins.len();
+        self.mocap_buf.clear();
+        self.pelvis_buf.clear();
+        self.emg_buf.clear();
+        self.mins = vec![f64::INFINITY; c];
+        self.maxs = vec![0.0; c];
+        self.windows_seen = 0;
+        self.assignments.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::pipeline::MotionClassifier;
+    use kinemyo_biosim::{Dataset, DatasetSpec, Limb, MotionRecord};
+
+    fn model() -> (Dataset, MotionClassifier) {
+        let ds = Dataset::generate(DatasetSpec::hand_default().with_size(1, 3)).unwrap();
+        let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+        let model =
+            MotionClassifier::train(&refs, Limb::RightHand, &PipelineConfig::default().with_clusters(8))
+                .unwrap();
+        (ds, model)
+    }
+
+    fn stream_record(session: &mut StreamingSession<'_>, r: &MotionRecord) {
+        for f in 0..r.frames() {
+            let pelvis = [r.pelvis[f].x, r.pelvis[f].y, r.pelvis[f].z];
+            session
+                .push_frame(r.mocap.row(f), pelvis, r.emg.row(f))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_feature_vector() {
+        let (ds, model) = model();
+        let r = &ds.records[3];
+        let mut session = StreamingSession::new(&model);
+        stream_record(&mut session, r);
+        let batch = model.query_feature_vector(r).unwrap();
+        let streamed = session.feature_vector();
+        assert_eq!(batch.len(), streamed.len());
+        for (a, b) in batch.as_slice().iter().zip(streamed.as_slice()) {
+            assert!((a - b).abs() < 1e-9, "batch {a} vs streamed {b}");
+        }
+    }
+
+    #[test]
+    fn emits_one_assignment_per_window() {
+        let (ds, model) = model();
+        let r = &ds.records[0];
+        let mut session = StreamingSession::new(&model);
+        let mut emitted = 0;
+        for f in 0..r.frames() {
+            let pelvis = [r.pelvis[f].x, r.pelvis[f].y, r.pelvis[f].z];
+            if session
+                .push_frame(r.mocap.row(f), pelvis, r.emg.row(f))
+                .unwrap()
+                .is_some()
+            {
+                emitted += 1;
+            }
+        }
+        assert_eq!(emitted, session.windows_seen());
+        assert_eq!(emitted, r.frames() / model.window().len());
+        assert_eq!(session.assignments().len(), emitted);
+    }
+
+    #[test]
+    fn classify_before_any_window_is_none() {
+        let (_ds, model) = model();
+        let session = StreamingSession::new(&model);
+        assert!(session.classify(5).unwrap().is_none());
+    }
+
+    #[test]
+    fn streaming_classification_of_training_record() {
+        let (ds, model) = model();
+        let r = &ds.records[5];
+        let mut session = StreamingSession::new(&model);
+        stream_record(&mut session, r);
+        let (predicted, neighbors) = session.classify(1).unwrap().unwrap();
+        assert_eq!(neighbors[0].id, r.id, "training record must retrieve itself");
+        assert_eq!(predicted, r.class);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let (ds, model) = model();
+        let mut session = StreamingSession::new(&model);
+        stream_record(&mut session, &ds.records[0]);
+        assert!(session.windows_seen() > 0);
+        session.reset();
+        assert_eq!(session.windows_seen(), 0);
+        assert!(session.classify(5).unwrap().is_none());
+        let fv = session.feature_vector();
+        assert!(fv.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn streaming_matches_batch_for_all_modalities() {
+        use kinemyo_features::Modality;
+        let ds = Dataset::generate(DatasetSpec::hand_default().with_size(1, 2)).unwrap();
+        let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+        for modality in [Modality::EmgOnly, Modality::MocapOnly] {
+            let cfg = PipelineConfig::default()
+                .with_clusters(6)
+                .with_modality(modality);
+            let model = MotionClassifier::train(&refs, Limb::RightHand, &cfg).unwrap();
+            let r = &ds.records[4];
+            let mut session = StreamingSession::new(&model);
+            stream_record(&mut session, r);
+            let batch = model.query_feature_vector(r).unwrap();
+            let streamed = session.feature_vector();
+            for (a, b) in batch.as_slice().iter().zip(streamed.as_slice()) {
+                assert!((a - b).abs() < 1e-9, "{modality:?}: batch {a} vs streamed {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_frames() {
+        let (_ds, model) = model();
+        let mut session = StreamingSession::new(&model);
+        assert!(session.push_frame(&[0.0; 3], [0.0; 3], &[0.0; 4]).is_err());
+        assert!(session.push_frame(&[0.0; 12], [0.0; 3], &[0.0; 1]).is_err());
+    }
+}

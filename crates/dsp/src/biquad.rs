@@ -1,0 +1,379 @@
+//! Second-order IIR sections (biquads) with RBJ "Audio EQ Cookbook" designs.
+//!
+//! All higher-order filters in this crate are built as cascades of these
+//! sections (second-order sections, SOS), which keeps high-order Butterworth
+//! filters numerically stable — important for the 20–450 Hz EMG band-pass
+//! running over minutes of 1 kHz signal.
+
+use crate::error::{DspError, Result};
+use std::f64::consts::PI;
+
+/// Normalized biquad transfer-function coefficients:
+///
+/// `H(z) = (b0 + b1 z⁻¹ + b2 z⁻²) / (1 + a1 z⁻¹ + a2 z⁻²)`
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiquadCoeffs {
+    /// Numerator coefficient b₀.
+    pub b0: f64,
+    /// Numerator coefficient b₁.
+    pub b1: f64,
+    /// Numerator coefficient b₂.
+    pub b2: f64,
+    /// Denominator coefficient a₁ (a₀ normalized to 1).
+    pub a1: f64,
+    /// Denominator coefficient a₂.
+    pub a2: f64,
+}
+
+impl BiquadCoeffs {
+    /// The identity (pass-through) section.
+    pub const IDENTITY: BiquadCoeffs = BiquadCoeffs {
+        b0: 1.0,
+        b1: 0.0,
+        b2: 0.0,
+        a1: 0.0,
+        a2: 0.0,
+    };
+
+    /// Validates design inputs shared by the RBJ cookbook constructors.
+    fn check(f0: f64, fs: f64, q: f64) -> Result<(f64, f64)> {
+        if !(fs > 0.0) || !fs.is_finite() {
+            return Err(DspError::InvalidArgument {
+                reason: format!("sample rate must be positive and finite, got {fs}"),
+            });
+        }
+        if !(f0 > 0.0) || f0 >= fs / 2.0 {
+            return Err(DspError::InvalidDesign {
+                reason: format!("frequency {f0} Hz must lie in (0, Nyquist={}) Hz", fs / 2.0),
+            });
+        }
+        if !(q > 0.0) || !q.is_finite() {
+            return Err(DspError::InvalidDesign {
+                reason: format!("Q must be positive and finite, got {q}"),
+            });
+        }
+        let w0 = 2.0 * PI * f0 / fs;
+        let alpha = w0.sin() / (2.0 * q);
+        Ok((w0, alpha))
+    }
+
+    /// RBJ low-pass biquad with cutoff `f0` (Hz) and quality factor `q`.
+    pub fn lowpass(f0: f64, fs: f64, q: f64) -> Result<Self> {
+        let (w0, alpha) = Self::check(f0, fs, q)?;
+        let cw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Ok(Self {
+            b0: (1.0 - cw) / 2.0 / a0,
+            b1: (1.0 - cw) / a0,
+            b2: (1.0 - cw) / 2.0 / a0,
+            a1: (-2.0 * cw) / a0,
+            a2: (1.0 - alpha) / a0,
+        })
+    }
+
+    /// RBJ high-pass biquad with cutoff `f0` (Hz) and quality factor `q`.
+    pub fn highpass(f0: f64, fs: f64, q: f64) -> Result<Self> {
+        let (w0, alpha) = Self::check(f0, fs, q)?;
+        let cw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Ok(Self {
+            b0: (1.0 + cw) / 2.0 / a0,
+            b1: -(1.0 + cw) / a0,
+            b2: (1.0 + cw) / 2.0 / a0,
+            a1: (-2.0 * cw) / a0,
+            a2: (1.0 - alpha) / a0,
+        })
+    }
+
+    /// RBJ band-pass biquad (constant 0 dB peak gain) centred at `f0`.
+    pub fn bandpass(f0: f64, fs: f64, q: f64) -> Result<Self> {
+        let (w0, alpha) = Self::check(f0, fs, q)?;
+        let cw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Ok(Self {
+            b0: alpha / a0,
+            b1: 0.0,
+            b2: -alpha / a0,
+            a1: (-2.0 * cw) / a0,
+            a2: (1.0 - alpha) / a0,
+        })
+    }
+
+    /// RBJ notch biquad centred at `f0` (e.g. 60 Hz power-line removal).
+    pub fn notch(f0: f64, fs: f64, q: f64) -> Result<Self> {
+        let (w0, alpha) = Self::check(f0, fs, q)?;
+        let cw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Ok(Self {
+            b0: 1.0 / a0,
+            b1: (-2.0 * cw) / a0,
+            b2: 1.0 / a0,
+            a1: (-2.0 * cw) / a0,
+            a2: (1.0 - alpha) / a0,
+        })
+    }
+
+    /// First-order low-pass expressed as a degenerate biquad (for odd-order
+    /// Butterworth cascades).
+    pub fn first_order_lowpass(f0: f64, fs: f64) -> Result<Self> {
+        let (w0, _) = Self::check(f0, fs, 1.0)?;
+        // Bilinear-transformed one-pole low-pass.
+        let k = (w0 / 2.0).tan();
+        let a0 = k + 1.0;
+        Ok(Self {
+            b0: k / a0,
+            b1: k / a0,
+            b2: 0.0,
+            a1: (k - 1.0) / a0,
+            a2: 0.0,
+        })
+    }
+
+    /// First-order high-pass expressed as a degenerate biquad.
+    pub fn first_order_highpass(f0: f64, fs: f64) -> Result<Self> {
+        let (w0, _) = Self::check(f0, fs, 1.0)?;
+        let k = (w0 / 2.0).tan();
+        let a0 = k + 1.0;
+        Ok(Self {
+            b0: 1.0 / a0,
+            b1: -1.0 / a0,
+            b2: 0.0,
+            a1: (k - 1.0) / a0,
+            a2: 0.0,
+        })
+    }
+
+    /// Complex frequency response `H(e^{jω})` at normalized angular
+    /// frequency `w` (radians/sample). Returns `(re, im)`.
+    pub fn response_at(&self, w: f64) -> (f64, f64) {
+        // Evaluate numerator and denominator at z = e^{jw}.
+        let (c1, s1) = (w.cos(), -w.sin()); // z^-1
+        let (c2, s2) = ((2.0 * w).cos(), -(2.0 * w).sin()); // z^-2
+        let num_re = self.b0 + self.b1 * c1 + self.b2 * c2;
+        let num_im = self.b1 * s1 + self.b2 * s2;
+        let den_re = 1.0 + self.a1 * c1 + self.a2 * c2;
+        let den_im = self.a1 * s1 + self.a2 * s2;
+        let den_mag2 = den_re * den_re + den_im * den_im;
+        (
+            (num_re * den_re + num_im * den_im) / den_mag2,
+            (num_im * den_re - num_re * den_im) / den_mag2,
+        )
+    }
+
+    /// Magnitude response at frequency `f` (Hz) for sample rate `fs`.
+    pub fn magnitude_at(&self, f: f64, fs: f64) -> f64 {
+        let (re, im) = self.response_at(2.0 * PI * f / fs);
+        (re * re + im * im).sqrt()
+    }
+
+    /// True when both poles lie strictly inside the unit circle.
+    pub fn is_stable(&self) -> bool {
+        // Jury stability criterion for a 2nd-order polynomial z² + a1 z + a2.
+        self.a2 < 1.0 && (self.a1.abs() < 1.0 + self.a2)
+    }
+}
+
+/// Runtime state for one biquad in Direct Form II transposed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BiquadState {
+    s1: f64,
+    s2: f64,
+}
+
+impl BiquadState {
+    /// Processes one sample through the section.
+    #[inline]
+    pub fn process(&mut self, c: &BiquadCoeffs, x: f64) -> f64 {
+        let y = c.b0 * x + self.s1;
+        self.s1 = c.b1 * x - c.a1 * y + self.s2;
+        self.s2 = c.b2 * x - c.a2 * y;
+        y
+    }
+
+    /// Resets the internal state to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// A cascade of biquad sections with per-section state — the standard
+/// "second-order sections" filter realization.
+#[derive(Debug, Clone)]
+pub struct SosFilter {
+    sections: Vec<BiquadCoeffs>,
+    states: Vec<BiquadState>,
+}
+
+impl SosFilter {
+    /// Builds a cascade from coefficient sections.
+    pub fn new(sections: Vec<BiquadCoeffs>) -> Self {
+        let states = vec![BiquadState::default(); sections.len()];
+        Self { sections, states }
+    }
+
+    /// Number of second-order sections.
+    pub fn num_sections(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// Borrow the coefficient sections.
+    pub fn sections(&self) -> &[BiquadCoeffs] {
+        &self.sections
+    }
+
+    /// Processes one sample, updating internal state.
+    #[inline]
+    pub fn process_sample(&mut self, x: f64) -> f64 {
+        let mut y = x;
+        for (c, s) in self.sections.iter().zip(self.states.iter_mut()) {
+            y = s.process(c, y);
+        }
+        y
+    }
+
+    /// Filters a whole signal, returning a new vector (state carries over
+    /// from any previous calls; use [`SosFilter::reset`] between signals).
+    pub fn process(&mut self, signal: &[f64]) -> Vec<f64> {
+        signal.iter().map(|&x| self.process_sample(x)).collect()
+    }
+
+    /// Zeroes all internal state.
+    pub fn reset(&mut self) {
+        for s in &mut self.states {
+            s.reset();
+        }
+    }
+
+    /// Cascade magnitude response at `f` Hz given sample rate `fs`.
+    pub fn magnitude_at(&self, f: f64, fs: f64) -> f64 {
+        self.sections
+            .iter()
+            .map(|c| c.magnitude_at(f, fs))
+            .product()
+    }
+
+    /// True when every section is stable.
+    pub fn is_stable(&self) -> bool {
+        self.sections.iter().all(BiquadCoeffs::is_stable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowpass_dc_gain_is_unity() {
+        let c = BiquadCoeffs::lowpass(100.0, 1000.0, std::f64::consts::FRAC_1_SQRT_2).unwrap();
+        assert!((c.magnitude_at(0.0, 1000.0) - 1.0).abs() < 1e-9);
+        assert!(c.magnitude_at(499.0, 1000.0) < 0.05);
+        assert!(c.is_stable());
+    }
+
+    #[test]
+    fn highpass_blocks_dc() {
+        let c = BiquadCoeffs::highpass(100.0, 1000.0, std::f64::consts::FRAC_1_SQRT_2).unwrap();
+        assert!(c.magnitude_at(0.0, 1000.0) < 1e-9);
+        assert!((c.magnitude_at(480.0, 1000.0) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn bandpass_peaks_at_center() {
+        let c = BiquadCoeffs::bandpass(100.0, 1000.0, 2.0).unwrap();
+        let peak = c.magnitude_at(100.0, 1000.0);
+        assert!((peak - 1.0).abs() < 1e-6);
+        assert!(c.magnitude_at(10.0, 1000.0) < 0.3);
+        assert!(c.magnitude_at(450.0, 1000.0) < 0.3);
+    }
+
+    #[test]
+    fn notch_kills_center_frequency() {
+        let c = BiquadCoeffs::notch(60.0, 1000.0, 30.0).unwrap();
+        assert!(c.magnitude_at(60.0, 1000.0) < 1e-9);
+        assert!((c.magnitude_at(10.0, 1000.0) - 1.0).abs() < 0.05);
+        assert!((c.magnitude_at(200.0, 1000.0) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn first_order_sections() {
+        let lp = BiquadCoeffs::first_order_lowpass(100.0, 1000.0).unwrap();
+        assert!((lp.magnitude_at(0.0, 1000.0) - 1.0).abs() < 1e-9);
+        // -3 dB at cutoff for first-order
+        assert!((lp.magnitude_at(100.0, 1000.0) - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01);
+        let hp = BiquadCoeffs::first_order_highpass(100.0, 1000.0).unwrap();
+        assert!(hp.magnitude_at(0.0, 1000.0) < 1e-9);
+        assert!((hp.magnitude_at(100.0, 1000.0) - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01);
+    }
+
+    #[test]
+    fn design_rejects_bad_parameters() {
+        assert!(BiquadCoeffs::lowpass(600.0, 1000.0, 0.7).is_err()); // above Nyquist
+        assert!(BiquadCoeffs::lowpass(-5.0, 1000.0, 0.7).is_err());
+        assert!(BiquadCoeffs::lowpass(100.0, 0.0, 0.7).is_err());
+        assert!(BiquadCoeffs::lowpass(100.0, 1000.0, 0.0).is_err());
+        assert!(BiquadCoeffs::notch(100.0, 1000.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn identity_section_passes_through() {
+        let mut f = SosFilter::new(vec![BiquadCoeffs::IDENTITY]);
+        let x = [1.0, -2.0, 3.0];
+        assert_eq!(f.process(&x), x.to_vec());
+    }
+
+    #[test]
+    fn filtering_sine_attenuation_matches_response() {
+        // Filter a 200 Hz sine through a 50 Hz low-pass: steady-state
+        // amplitude should match the theoretical magnitude response.
+        let fs = 1000.0;
+        let c = BiquadCoeffs::lowpass(50.0, fs, std::f64::consts::FRAC_1_SQRT_2).unwrap();
+        let mut f = SosFilter::new(vec![c]);
+        let n = 4000;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * 200.0 * i as f64 / fs).sin())
+            .collect();
+        let y = f.process(&x);
+        // Measure steady-state amplitude over the last quarter.
+        let tail = &y[3 * n / 4..];
+        let amp = tail.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        let expected = c.magnitude_at(200.0, fs);
+        assert!(
+            (amp - expected).abs() < 0.02,
+            "measured {amp}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn cascade_magnitude_is_product() {
+        let c1 = BiquadCoeffs::lowpass(100.0, 1000.0, 0.7).unwrap();
+        let c2 = BiquadCoeffs::highpass(20.0, 1000.0, 0.7).unwrap();
+        let f = SosFilter::new(vec![c1, c2]);
+        let m = f.magnitude_at(60.0, 1000.0);
+        let expected = c1.magnitude_at(60.0, 1000.0) * c2.magnitude_at(60.0, 1000.0);
+        assert!((m - expected).abs() < 1e-12);
+        assert!(f.is_stable());
+        assert_eq!(f.num_sections(), 2);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let c = BiquadCoeffs::lowpass(50.0, 1000.0, 0.7).unwrap();
+        let mut f = SosFilter::new(vec![c]);
+        let y1 = f.process(&[1.0, 1.0, 1.0]);
+        f.reset();
+        let y2 = f.process(&[1.0, 1.0, 1.0]);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn stability_criterion() {
+        let unstable = BiquadCoeffs {
+            b0: 1.0,
+            b1: 0.0,
+            b2: 0.0,
+            a1: -2.1,
+            a2: 1.2,
+        };
+        assert!(!unstable.is_stable());
+    }
+}

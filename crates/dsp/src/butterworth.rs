@@ -1,0 +1,195 @@
+//! Butterworth filter design as second-order-section cascades.
+//!
+//! The Delsys Myomonitor band-passes surface EMG to 20–450 Hz before it is
+//! rectified and down-sampled (paper Sec. 5); [`bandpass`] reproduces that
+//! processing stage. Designs use the standard pole-pair quality factors
+//! `Q_k = 1 / (2 cos θ_k)` with the RBJ bilinear biquads, which matches the
+//! textbook Butterworth magnitude response to within the bilinear warping.
+
+use crate::biquad::{BiquadCoeffs, SosFilter};
+use crate::error::{DspError, Result};
+use std::f64::consts::PI;
+
+/// Quality factors of the pole pairs of an order-`n` Butterworth filter.
+///
+/// For order `n` there are `n / 2` conjugate pole pairs; odd orders have one
+/// extra real pole handled as a first-order section.
+fn butterworth_qs(order: usize) -> Vec<f64> {
+    let pairs = order / 2;
+    // Poles lie at s_k = −sin γ_k ± j·cos γ_k with γ_k = (2k+1)π/(2n); each
+    // conjugate pair is a biquad with ω₀ = 1 and Q = 1/(2 sin γ_k). Odd
+    // orders additionally have a real pole at s = −1 (first-order section).
+    (0..pairs)
+        .map(|k| {
+            let gamma = PI * (2.0 * k as f64 + 1.0) / (2.0 * order as f64);
+            1.0 / (2.0 * gamma.sin())
+        })
+        .collect()
+}
+
+fn check_order(order: usize) -> Result<()> {
+    if order == 0 || order > 16 {
+        return Err(DspError::InvalidDesign {
+            reason: format!("Butterworth order must be in 1..=16, got {order}"),
+        });
+    }
+    Ok(())
+}
+
+/// Designs an order-`order` Butterworth low-pass with cutoff `fc` Hz.
+pub fn lowpass(order: usize, fc: f64, fs: f64) -> Result<SosFilter> {
+    check_order(order)?;
+    let mut sections = Vec::with_capacity(order / 2 + 1);
+    for q in butterworth_qs(order) {
+        sections.push(BiquadCoeffs::lowpass(fc, fs, q)?);
+    }
+    if order % 2 == 1 {
+        sections.push(BiquadCoeffs::first_order_lowpass(fc, fs)?);
+    }
+    Ok(SosFilter::new(sections))
+}
+
+/// Designs an order-`order` Butterworth high-pass with cutoff `fc` Hz.
+pub fn highpass(order: usize, fc: f64, fs: f64) -> Result<SosFilter> {
+    check_order(order)?;
+    let mut sections = Vec::with_capacity(order / 2 + 1);
+    for q in butterworth_qs(order) {
+        sections.push(BiquadCoeffs::highpass(fc, fs, q)?);
+    }
+    if order % 2 == 1 {
+        sections.push(BiquadCoeffs::first_order_highpass(fc, fs)?);
+    }
+    Ok(SosFilter::new(sections))
+}
+
+/// Designs a wide-band band-pass as an order-`order` Butterworth high-pass
+/// at `f_lo` cascaded with an order-`order` low-pass at `f_hi`.
+///
+/// For well-separated edges (the EMG band 20–450 Hz spans more than four
+/// octaves) this per-edge construction is the standard practice and is what
+/// commercial EMG front-ends implement.
+pub fn bandpass(order: usize, f_lo: f64, f_hi: f64, fs: f64) -> Result<SosFilter> {
+    if f_lo >= f_hi {
+        return Err(DspError::InvalidDesign {
+            reason: format!("band edges must satisfy f_lo < f_hi, got {f_lo} >= {f_hi}"),
+        });
+    }
+    let hp = highpass(order, f_lo, fs)?;
+    let lp = lowpass(order, f_hi, fs)?;
+    let mut sections = hp.sections().to_vec();
+    sections.extend_from_slice(lp.sections());
+    Ok(SosFilter::new(sections))
+}
+
+/// The paper's EMG conditioning band-pass: 20–450 Hz at `fs` Hz, 4th order
+/// per edge (Delsys Myomonitor's analog chain equivalent).
+///
+/// ```
+/// let f = kinemyo_dsp::butterworth::emg_bandpass(1000.0).unwrap();
+/// assert!(f.magnitude_at(2.0, 1000.0) < 0.01);          // drift rejected
+/// assert!((f.magnitude_at(150.0, 1000.0) - 1.0).abs() < 0.02); // passband flat
+/// ```
+pub fn emg_bandpass(fs: f64) -> Result<SosFilter> {
+    bandpass(4, 20.0, 450.0, fs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FS: f64 = 1000.0;
+
+    #[test]
+    fn q_values_match_textbook() {
+        // Order 2: single pair with Q = 1/√2.
+        let q2 = butterworth_qs(2);
+        assert_eq!(q2.len(), 1);
+        assert!((q2[0] - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        // Order 4: Q = 1.3066, 0.5412 (γ = π/8, 3π/8).
+        let q4 = butterworth_qs(4);
+        assert!((q4[0] - 1.30656296).abs() < 1e-6);
+        assert!((q4[1] - 0.54119610).abs() < 1e-6);
+        // Order 3: single pair with Q = 1 plus a real pole.
+        let q3 = butterworth_qs(3);
+        assert_eq!(q3.len(), 1);
+        assert!((q3[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lowpass_minus_3db_at_cutoff() {
+        for order in [1, 2, 3, 4, 5, 8] {
+            let f = lowpass(order, 100.0, FS).unwrap();
+            let mag = f.magnitude_at(100.0, FS);
+            assert!(
+                (mag - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02,
+                "order {order}: cutoff magnitude {mag}"
+            );
+            assert!((f.magnitude_at(0.0, FS) - 1.0).abs() < 1e-9);
+            assert!(f.is_stable());
+        }
+    }
+
+    #[test]
+    fn lowpass_rolloff_steepens_with_order() {
+        let m2 = lowpass(2, 100.0, FS).unwrap().magnitude_at(300.0, FS);
+        let m4 = lowpass(4, 100.0, FS).unwrap().magnitude_at(300.0, FS);
+        let m8 = lowpass(8, 100.0, FS).unwrap().magnitude_at(300.0, FS);
+        assert!(m2 > m4 && m4 > m8, "{m2} > {m4} > {m8} expected");
+        // Order-8 should be deeply attenuated 1.5 octaves above cutoff.
+        assert!(m8 < 1e-3);
+    }
+
+    #[test]
+    fn highpass_mirror_properties() {
+        for order in [2, 4, 7] {
+            let f = highpass(order, 100.0, FS).unwrap();
+            assert!(f.magnitude_at(0.0, FS) < 1e-9);
+            let mag = f.magnitude_at(100.0, FS);
+            assert!(
+                (mag - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02,
+                "order {order}: cutoff magnitude {mag}"
+            );
+            assert!((f.magnitude_at(495.0, FS) - 1.0).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn emg_bandpass_shape() {
+        let f = emg_bandpass(FS).unwrap();
+        // Passband nearly flat in the middle.
+        assert!((f.magnitude_at(150.0, FS) - 1.0).abs() < 0.02);
+        // Stopbands attenuated.
+        assert!(f.magnitude_at(2.0, FS) < 0.01, "DC drift must be rejected");
+        assert!(f.magnitude_at(499.0, FS) < 0.35); // close to Nyquist warping limit
+        // Band edges around -3 dB.
+        assert!((f.magnitude_at(20.0, FS) - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05);
+        assert!(f.is_stable());
+    }
+
+    #[test]
+    fn bandpass_rejects_inverted_edges() {
+        assert!(bandpass(4, 450.0, 20.0, FS).is_err());
+        assert!(bandpass(0, 20.0, 450.0, FS).is_err());
+        assert!(bandpass(20, 20.0, 450.0, FS).is_err());
+    }
+
+    #[test]
+    fn dc_is_blocked_by_bandpass_in_time_domain() {
+        let mut f = emg_bandpass(FS).unwrap();
+        // Constant (DC) input should decay to ~0.
+        let y = f.process(&vec![1.0; 3000]);
+        let tail_max = y[2500..].iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        assert!(tail_max < 1e-4, "DC leak: {tail_max}");
+    }
+
+    #[test]
+    fn passband_sine_passes_in_time_domain() {
+        let mut f = emg_bandpass(FS).unwrap();
+        let x: Vec<f64> = (0..4000)
+            .map(|i| (2.0 * PI * 120.0 * i as f64 / FS).sin())
+            .collect();
+        let y = f.process(&x);
+        let amp = y[3000..].iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        assert!((amp - 1.0).abs() < 0.05, "passband amplitude {amp}");
+    }
+}

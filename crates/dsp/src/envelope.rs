@@ -1,0 +1,151 @@
+//! Rectification and envelope extraction for EMG conditioning.
+//!
+//! The paper's acquisition chain full-wave rectifies the band-passed EMG
+//! before down-sampling to 120 Hz (Sec. 5). The moving-statistics helpers
+//! here also back the streaming online classifier in `kinemyo`.
+
+use crate::butterworth;
+use crate::error::{DspError, Result};
+
+/// Full-wave rectification: `|x|` per sample, in place.
+pub fn full_wave_rectify_mut(signal: &mut [f64]) {
+    for v in signal.iter_mut() {
+        *v = v.abs();
+    }
+}
+
+/// Full-wave rectification returning a new vector.
+pub fn full_wave_rectify(signal: &[f64]) -> Vec<f64> {
+    signal.iter().map(|v| v.abs()).collect()
+}
+
+/// Half-wave rectification: negative samples clamped to zero.
+pub fn half_wave_rectify(signal: &[f64]) -> Vec<f64> {
+    signal.iter().map(|v| v.max(0.0)).collect()
+}
+
+/// Centered-causal moving average with window `len` (output aligned to the
+/// trailing edge; the first `len-1` outputs average the available prefix).
+pub fn moving_average(signal: &[f64], len: usize) -> Result<Vec<f64>> {
+    if len == 0 {
+        return Err(DspError::InvalidArgument {
+            reason: "moving_average window must be >= 1".into(),
+        });
+    }
+    let mut out = Vec::with_capacity(signal.len());
+    let mut acc = 0.0;
+    for (i, &x) in signal.iter().enumerate() {
+        acc += x;
+        if i >= len {
+            acc -= signal[i - len];
+        }
+        let n = (i + 1).min(len) as f64;
+        out.push(acc / n);
+    }
+    Ok(out)
+}
+
+/// Trailing moving RMS with window `len`.
+pub fn moving_rms(signal: &[f64], len: usize) -> Result<Vec<f64>> {
+    if len == 0 {
+        return Err(DspError::InvalidArgument {
+            reason: "moving_rms window must be >= 1".into(),
+        });
+    }
+    let mut out = Vec::with_capacity(signal.len());
+    let mut acc = 0.0;
+    for (i, &x) in signal.iter().enumerate() {
+        acc += x * x;
+        if i >= len {
+            let old = signal[i - len];
+            acc -= old * old;
+        }
+        // Clamp tiny negative residue from floating-point cancellation.
+        let n = (i + 1).min(len) as f64;
+        out.push((acc.max(0.0) / n).sqrt());
+    }
+    Ok(out)
+}
+
+/// Classic EMG "linear envelope": full-wave rectification followed by a
+/// low-pass Butterworth smoother at `cutoff_hz`.
+pub fn linear_envelope(signal: &[f64], fs: f64, cutoff_hz: f64) -> Result<Vec<f64>> {
+    let rectified = full_wave_rectify(signal);
+    let mut lp = butterworth::lowpass(2, cutoff_hz, fs)?;
+    Ok(lp.process(&rectified))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_wave_makes_everything_nonnegative() {
+        let x = [-1.0, 2.0, -3.0, 0.0];
+        assert_eq!(full_wave_rectify(&x), vec![1.0, 2.0, 3.0, 0.0]);
+        let mut y = x;
+        full_wave_rectify_mut(&mut y);
+        assert_eq!(y, [1.0, 2.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn half_wave_clamps_negatives() {
+        assert_eq!(half_wave_rectify(&[-1.0, 2.0]), vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn moving_average_of_constant_is_constant() {
+        let y = moving_average(&[3.0; 10], 4).unwrap();
+        for v in y {
+            assert!((v - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn moving_average_known_values() {
+        let y = moving_average(&[1.0, 2.0, 3.0, 4.0], 2).unwrap();
+        assert_eq!(y, vec![1.0, 1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn moving_rms_of_sine_approaches_inv_sqrt2() {
+        let fs = 1000.0;
+        let x: Vec<f64> = (0..2000)
+            .map(|i| (2.0 * std::f64::consts::PI * 50.0 * i as f64 / fs).sin())
+            .collect();
+        let y = moving_rms(&x, 400).unwrap();
+        let last = y[y.len() - 1];
+        assert!((last - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01, "{last}");
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        assert!(moving_average(&[1.0], 0).is_err());
+        assert!(moving_rms(&[1.0], 0).is_err());
+    }
+
+    #[test]
+    fn linear_envelope_tracks_amplitude() {
+        // Amplitude-modulated carrier: envelope should roughly track the
+        // modulation (scaled by the rectified-sine mean 2/π).
+        let fs = 1000.0;
+        let n = 3000;
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                let modulation = if t < 1.5 { 0.2 } else { 1.0 };
+                modulation * (2.0 * std::f64::consts::PI * 100.0 * t).sin()
+            })
+            .collect();
+        let env = linear_envelope(&x, fs, 6.0).unwrap();
+        let early = env[1200];
+        let late = env[2800];
+        assert!(late > 3.0 * early, "envelope must rise: early={early} late={late}");
+    }
+
+    #[test]
+    fn moving_rms_handles_empty() {
+        assert!(moving_rms(&[], 5).unwrap().is_empty());
+        assert!(moving_average(&[], 5).unwrap().is_empty());
+    }
+}

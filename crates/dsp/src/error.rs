@@ -1,0 +1,70 @@
+//! Error types for signal-processing operations.
+
+use std::fmt;
+
+/// Errors produced by `kinemyo-dsp` operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DspError {
+    /// A filter-design parameter was out of range (e.g. cutoff ≥ Nyquist).
+    InvalidDesign {
+        /// Explanation of the design constraint that was violated.
+        reason: String,
+    },
+    /// The input signal is empty or too short for the requested operation.
+    SignalTooShort {
+        /// The operation that needed more samples.
+        op: &'static str,
+        /// Number of samples required.
+        needed: usize,
+        /// Number of samples provided.
+        got: usize,
+    },
+    /// A rate or size argument was invalid (zero, negative, non-finite).
+    InvalidArgument {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::InvalidDesign { reason } => write!(f, "invalid filter design: {reason}"),
+            DspError::SignalTooShort { op, needed, got } => {
+                write!(f, "{op} needs at least {needed} samples, got {got}")
+            }
+            DspError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DspError {}
+
+/// Result alias for DSP operations.
+pub type Result<T> = std::result::Result<T, DspError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DspError::InvalidDesign {
+            reason: "cutoff above Nyquist".into()
+        }
+        .to_string()
+        .contains("Nyquist"));
+        assert!(DspError::SignalTooShort {
+            op: "filtfilt",
+            needed: 10,
+            got: 2
+        }
+        .to_string()
+        .contains("at least 10"));
+        assert!(DspError::InvalidArgument {
+            reason: "zero rate".into()
+        }
+        .to_string()
+        .contains("zero rate"));
+    }
+}

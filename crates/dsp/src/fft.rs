@@ -1,0 +1,265 @@
+//! Radix-2 FFT and EMG spectral descriptors.
+//!
+//! The synthetic EMG generator is validated spectrally (its interference
+//! pattern must live in the 20–450 Hz surface-EMG band), and the fatigue
+//! extension tracks the classic median-frequency downshift. Both need a
+//! power spectrum; this module provides an in-place iterative Cooley–Tukey
+//! FFT plus [`median_frequency`] / [`mean_frequency`].
+
+use crate::error::{DspError, Result};
+use std::f64::consts::PI;
+
+/// A complex number (minimal, local — avoids an external dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    fn mul(self, other: Complex) -> Complex {
+        Complex::new(
+            self.re * other.re - self.im * other.im,
+            self.re * other.im + self.im * other.re,
+        )
+    }
+
+    fn add(self, other: Complex) -> Complex {
+        Complex::new(self.re + other.re, self.im + other.im)
+    }
+
+    fn sub(self, other: Complex) -> Complex {
+        Complex::new(self.re - other.re, self.im - other.im)
+    }
+}
+
+/// In-place iterative radix-2 FFT. `data.len()` must be a power of two.
+pub fn fft_in_place(data: &mut [Complex]) -> Result<()> {
+    let n = data.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(DspError::InvalidArgument {
+            reason: format!("FFT length must be a power of two, got {n}"),
+        });
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly stages.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half].mul(w);
+                chunk[i] = u.add(v);
+                chunk[i + half] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// One-sided power spectral density estimate of a real signal.
+///
+/// The signal is zero-padded to the next power of two. Returns
+/// `(frequencies_hz, power)` of length `nfft/2 + 1`.
+pub fn power_spectrum(signal: &[f64], fs: f64) -> Result<(Vec<f64>, Vec<f64>)> {
+    if signal.is_empty() {
+        return Err(DspError::SignalTooShort {
+            op: "power_spectrum",
+            needed: 1,
+            got: 0,
+        });
+    }
+    if !(fs > 0.0) {
+        return Err(DspError::InvalidArgument {
+            reason: format!("sample rate must be positive, got {fs}"),
+        });
+    }
+    let nfft = signal.len().next_power_of_two();
+    let mut buf = vec![Complex::default(); nfft];
+    // Hann window to control leakage; compensate window power.
+    let mut wsum = 0.0;
+    for (i, &x) in signal.iter().enumerate() {
+        let w = if signal.len() > 1 {
+            0.5 - 0.5 * (2.0 * PI * i as f64 / (signal.len() - 1) as f64).cos()
+        } else {
+            1.0
+        };
+        wsum += w * w;
+        buf[i] = Complex::new(x * w, 0.0);
+    }
+    fft_in_place(&mut buf)?;
+    let half = nfft / 2;
+    let scale = 1.0 / (fs * wsum.max(1e-300));
+    let mut freqs = Vec::with_capacity(half + 1);
+    let mut power = Vec::with_capacity(half + 1);
+    for (k, c) in buf.iter().take(half + 1).enumerate() {
+        freqs.push(k as f64 * fs / nfft as f64);
+        let mut p = c.norm_sq() * scale;
+        if k != 0 && k != half {
+            p *= 2.0; // one-sided fold
+        }
+        power.push(p);
+    }
+    Ok((freqs, power))
+}
+
+/// Median frequency: the frequency splitting total spectral power in half.
+///
+/// The standard EMG fatigue index — median frequency drops as a muscle
+/// fatigues (paper Sec. 7 lists fatigue among the signal-purity effects).
+pub fn median_frequency(signal: &[f64], fs: f64) -> Result<f64> {
+    let (freqs, power) = power_spectrum(signal, fs)?;
+    let total: f64 = power.iter().sum();
+    if total <= 0.0 {
+        return Err(DspError::InvalidArgument {
+            reason: "signal has no spectral power".into(),
+        });
+    }
+    let mut acc = 0.0;
+    for (f, p) in freqs.iter().zip(&power) {
+        acc += p;
+        if acc >= total / 2.0 {
+            return Ok(*f);
+        }
+    }
+    Ok(*freqs.last().expect("non-empty spectrum"))
+}
+
+/// Mean (power-weighted centroid) frequency.
+pub fn mean_frequency(signal: &[f64], fs: f64) -> Result<f64> {
+    let (freqs, power) = power_spectrum(signal, fs)?;
+    let total: f64 = power.iter().sum();
+    if total <= 0.0 {
+        return Err(DspError::InvalidArgument {
+            reason: "signal has no spectral power".into(),
+        });
+    }
+    Ok(freqs.iter().zip(&power).map(|(f, p)| f * p).sum::<f64>() / total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_length_must_be_power_of_two() {
+        let mut data = vec![Complex::default(); 3];
+        assert!(fft_in_place(&mut data).is_err());
+        let mut empty: Vec<Complex> = vec![];
+        assert!(fft_in_place(&mut empty).is_err());
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::default(); 8];
+        data[0] = Complex::new(1.0, 0.0);
+        fft_in_place(&mut data).unwrap();
+        for c in &data {
+            assert!((c.re - 1.0).abs() < 1e-12);
+            assert!(c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_single_tone_peaks_at_bin() {
+        let n = 64;
+        let k0 = 5;
+        let mut data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((2.0 * PI * k0 as f64 * i as f64 / n as f64).cos(), 0.0))
+            .collect();
+        fft_in_place(&mut data).unwrap();
+        // Energy concentrated at bins k0 and n-k0.
+        for (k, c) in data.iter().enumerate() {
+            let mag = c.norm_sq().sqrt();
+            if k == k0 || k == n - k0 {
+                assert!((mag - n as f64 / 2.0).abs() < 1e-9, "bin {k}: {mag}");
+            } else {
+                assert!(mag < 1e-9, "bin {k} leak: {mag}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_identity() {
+        // Σ|x|² = (1/N) Σ|X|²
+        let n = 128;
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64 - 6.0) / 6.0).collect();
+        let mut data: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        fft_in_place(&mut data).unwrap();
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let freq_energy: f64 = data.iter().map(|c| c.norm_sq()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn power_spectrum_peak_location() {
+        let fs = 1000.0;
+        let f0 = 100.0;
+        let x: Vec<f64> = (0..2048)
+            .map(|i| (2.0 * PI * f0 * i as f64 / fs).sin())
+            .collect();
+        let (freqs, power) = power_spectrum(&x, fs).unwrap();
+        let (peak_idx, _) = power
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert!((freqs[peak_idx] - f0).abs() < 2.0, "peak at {}", freqs[peak_idx]);
+    }
+
+    #[test]
+    fn median_frequency_of_tone_is_the_tone() {
+        let fs = 1000.0;
+        let x: Vec<f64> = (0..4096)
+            .map(|i| (2.0 * PI * 150.0 * i as f64 / fs).sin())
+            .collect();
+        let mf = median_frequency(&x, fs).unwrap();
+        assert!((mf - 150.0).abs() < 3.0, "median frequency {mf}");
+    }
+
+    #[test]
+    fn mean_frequency_between_two_tones() {
+        let fs = 1000.0;
+        let x: Vec<f64> = (0..4096)
+            .map(|i| {
+                let t = i as f64 / fs;
+                (2.0 * PI * 100.0 * t).sin() + (2.0 * PI * 200.0 * t).sin()
+            })
+            .collect();
+        let mf = mean_frequency(&x, fs).unwrap();
+        assert!((mf - 150.0).abs() < 5.0, "mean frequency {mf}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(power_spectrum(&[], 1000.0).is_err());
+        assert!(power_spectrum(&[1.0], 0.0).is_err());
+        assert!(median_frequency(&[0.0; 64], 1000.0).is_err());
+        assert!(mean_frequency(&[0.0; 64], 1000.0).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Zero-phase forward–backward IIR filtering.
+//!
+//! Offline feature extraction should not shift the EMG envelope relative to
+//! the motion-capture frames — a phase lag of even a few frames would smear
+//! the synchronization the trigger hardware (paper Fig. 5) exists to
+//! guarantee. `filtfilt` runs the filter forward and then backward so the
+//! net phase response is zero, with reflected edge padding to suppress
+//! start-up transients.
+
+use crate::biquad::SosFilter;
+use crate::error::{DspError, Result};
+
+/// Applies `filter` forward and backward over `signal` with reflected
+/// padding of `pad_len` samples on each side (clamped to `len − 1`).
+///
+/// The filter's internal state is reset before each pass.
+pub fn filtfilt(filter: &mut SosFilter, signal: &[f64], pad_len: usize) -> Result<Vec<f64>> {
+    if signal.len() < 2 {
+        return Err(DspError::SignalTooShort {
+            op: "filtfilt",
+            needed: 2,
+            got: signal.len(),
+        });
+    }
+    let pad = pad_len.min(signal.len() - 1);
+
+    // Odd (antisymmetric) reflection about the end points, the same padding
+    // scipy's filtfilt uses: 2*x[0] − x[pad..1], signal, 2*x[last] − ...
+    let mut padded = Vec::with_capacity(signal.len() + 2 * pad);
+    let first = signal[0];
+    for i in (1..=pad).rev() {
+        padded.push(2.0 * first - signal[i]);
+    }
+    padded.extend_from_slice(signal);
+    let last = signal[signal.len() - 1];
+    for i in 1..=pad {
+        padded.push(2.0 * last - signal[signal.len() - 1 - i]);
+    }
+
+    filter.reset();
+    let mut forward = filter.process(&padded);
+    forward.reverse();
+    filter.reset();
+    let mut backward = filter.process(&forward);
+    backward.reverse();
+    filter.reset();
+
+    Ok(backward[pad..pad + signal.len()].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::butterworth;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn too_short_rejected() {
+        let mut f = butterworth::lowpass(2, 10.0, 100.0).unwrap();
+        assert!(filtfilt(&mut f, &[1.0], 10).is_err());
+    }
+
+    #[test]
+    fn zero_phase_on_sine() {
+        // A passband sine must come out essentially unshifted; a causal
+        // single pass would delay it.
+        let fs = 1000.0;
+        let n = 2000;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * 5.0 * i as f64 / fs).sin())
+            .collect();
+        let mut f = butterworth::lowpass(4, 50.0, fs).unwrap();
+        let y = filtfilt(&mut f, &x, 300).unwrap();
+        // Compare against the input sample-by-sample away from the edges.
+        let mut max_err = 0.0_f64;
+        for i in 300..n - 300 {
+            max_err = max_err.max((y[i] - x[i]).abs());
+        }
+        assert!(max_err < 0.01, "zero-phase error {max_err}");
+    }
+
+    #[test]
+    fn squared_magnitude_response() {
+        // filtfilt applies |H|² — a tone at the cutoff (−3 dB) should come
+        // out at ~0.5 amplitude.
+        let fs = 1000.0;
+        let n = 4000;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * 100.0 * i as f64 / fs).sin())
+            .collect();
+        let mut f = butterworth::lowpass(4, 100.0, fs).unwrap();
+        let y = filtfilt(&mut f, &x, 500).unwrap();
+        let amp = y[1000..3000].iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        assert!((amp - 0.5).abs() < 0.03, "amplitude {amp}");
+    }
+
+    #[test]
+    fn constant_signal_unchanged_by_lowpass() {
+        let mut f = butterworth::lowpass(4, 10.0, 100.0).unwrap();
+        let x = vec![3.0; 100];
+        let y = filtfilt(&mut f, &x, 60).unwrap();
+        for v in &y {
+            assert!((v - 3.0).abs() < 1e-5, "{v}");
+        }
+    }
+
+    #[test]
+    fn output_length_matches_input() {
+        let mut f = butterworth::lowpass(2, 10.0, 100.0).unwrap();
+        let x = vec![1.0; 57];
+        assert_eq!(filtfilt(&mut f, &x, 1000).unwrap().len(), 57);
+    }
+
+    #[test]
+    fn edge_transients_are_suppressed() {
+        // Without padding, a big DC offset creates a start-up transient;
+        // with reflection padding the edges stay near the signal value.
+        let fs = 1000.0;
+        let x = vec![10.0; 500];
+        let mut f = butterworth::lowpass(4, 20.0, fs).unwrap();
+        let y = filtfilt(&mut f, &x, 200).unwrap();
+        assert!((y[0] - 10.0).abs() < 0.05, "left edge {}", y[0]);
+        assert!((y[499] - 10.0).abs() < 0.05, "right edge {}", y[499]);
+    }
+}

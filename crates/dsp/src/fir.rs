@@ -1,0 +1,176 @@
+//! Windowed-sinc FIR filter design and linear-phase filtering.
+//!
+//! Used by the rational resampler's anti-aliasing stage
+//! ([`crate::resample`]) and available directly for linear-phase smoothing.
+
+use crate::error::{DspError, Result};
+use std::f64::consts::PI;
+
+/// Window functions for FIR design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowKind {
+    /// Rectangular (no) window — narrowest main lobe, worst sidelobes.
+    Rectangular,
+    /// Hamming window (−53 dB sidelobes) — the default for resampling.
+    Hamming,
+    /// Hann window (−44 dB sidelobes).
+    Hann,
+    /// Blackman window (−74 dB sidelobes) — widest main lobe.
+    Blackman,
+}
+
+impl WindowKind {
+    /// Evaluates the window at tap `n` of `len` taps.
+    pub fn value(self, n: usize, len: usize) -> f64 {
+        if len <= 1 {
+            return 1.0;
+        }
+        let x = n as f64 / (len - 1) as f64;
+        match self {
+            WindowKind::Rectangular => 1.0,
+            WindowKind::Hamming => 0.54 - 0.46 * (2.0 * PI * x).cos(),
+            WindowKind::Hann => 0.5 - 0.5 * (2.0 * PI * x).cos(),
+            WindowKind::Blackman => {
+                0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos()
+            }
+        }
+    }
+}
+
+/// Designs a low-pass windowed-sinc FIR.
+///
+/// `cutoff` is the normalized cutoff in cycles/sample, in `(0, 0.5)`.
+/// `taps` must be odd so the filter has an integer group delay of
+/// `(taps−1)/2` samples. Coefficients are normalized to unit DC gain.
+pub fn lowpass_fir(taps: usize, cutoff: f64, window: WindowKind) -> Result<Vec<f64>> {
+    if taps < 3 || taps % 2 == 0 {
+        return Err(DspError::InvalidDesign {
+            reason: format!("FIR taps must be odd and >= 3, got {taps}"),
+        });
+    }
+    if !(cutoff > 0.0 && cutoff < 0.5) {
+        return Err(DspError::InvalidDesign {
+            reason: format!("normalized cutoff must be in (0, 0.5), got {cutoff}"),
+        });
+    }
+    let mid = (taps - 1) as f64 / 2.0;
+    let mut h = Vec::with_capacity(taps);
+    for n in 0..taps {
+        let t = n as f64 - mid;
+        let sinc = if t == 0.0 {
+            2.0 * cutoff
+        } else {
+            (2.0 * PI * cutoff * t).sin() / (PI * t)
+        };
+        h.push(sinc * window.value(n, taps));
+    }
+    // Normalize DC gain to exactly 1.
+    let sum: f64 = h.iter().sum();
+    if sum.abs() < 1e-15 {
+        return Err(DspError::InvalidDesign {
+            reason: "degenerate FIR design (zero DC gain)".into(),
+        });
+    }
+    for v in &mut h {
+        *v /= sum;
+    }
+    Ok(h)
+}
+
+/// Direct-form FIR filtering (causal, zero-padded edges): `y[n] = Σ h[k] x[n−k]`.
+pub fn fir_filter(h: &[f64], x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; x.len()];
+    for n in 0..x.len() {
+        let kmax = h.len().min(n + 1);
+        let mut acc = 0.0;
+        for k in 0..kmax {
+            acc += h[k] * x[n - k];
+        }
+        y[n] = acc;
+    }
+    y
+}
+
+/// Magnitude response of an FIR at normalized frequency `f` (cycles/sample).
+pub fn fir_magnitude(h: &[f64], f: f64) -> f64 {
+    let w = 2.0 * PI * f;
+    let (mut re, mut im) = (0.0, 0.0);
+    for (k, &c) in h.iter().enumerate() {
+        re += c * (w * k as f64).cos();
+        im -= c * (w * k as f64).sin();
+    }
+    (re * re + im * im).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_constraints() {
+        assert!(lowpass_fir(4, 0.2, WindowKind::Hamming).is_err()); // even
+        assert!(lowpass_fir(1, 0.2, WindowKind::Hamming).is_err()); // too short
+        assert!(lowpass_fir(11, 0.6, WindowKind::Hamming).is_err()); // cutoff
+        assert!(lowpass_fir(11, 0.0, WindowKind::Hamming).is_err());
+    }
+
+    #[test]
+    fn unit_dc_gain() {
+        for w in [
+            WindowKind::Rectangular,
+            WindowKind::Hamming,
+            WindowKind::Hann,
+            WindowKind::Blackman,
+        ] {
+            let h = lowpass_fir(31, 0.1, w).unwrap();
+            assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!((fir_magnitude(&h, 0.0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn symmetric_linear_phase() {
+        let h = lowpass_fir(21, 0.15, WindowKind::Hamming).unwrap();
+        for k in 0..h.len() / 2 {
+            assert!((h[k] - h[h.len() - 1 - k]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn stopband_attenuation() {
+        let h = lowpass_fir(63, 0.1, WindowKind::Hamming).unwrap();
+        // Well into the stopband the Hamming design gives < -50 dB.
+        let mag = fir_magnitude(&h, 0.25);
+        assert!(mag < 0.004, "stopband magnitude {mag}");
+        // Blackman should do even better.
+        let hb = lowpass_fir(63, 0.1, WindowKind::Blackman).unwrap();
+        assert!(fir_magnitude(&hb, 0.25) < mag);
+    }
+
+    #[test]
+    fn window_endpoints() {
+        assert_eq!(WindowKind::Rectangular.value(0, 10), 1.0);
+        assert!((WindowKind::Hamming.value(0, 11) - 0.08).abs() < 1e-12);
+        assert!(WindowKind::Hann.value(0, 11).abs() < 1e-12);
+        assert_eq!(WindowKind::Hamming.value(0, 1), 1.0);
+    }
+
+    #[test]
+    fn filtering_passes_dc() {
+        let h = lowpass_fir(21, 0.2, WindowKind::Hamming).unwrap();
+        let x = vec![1.0; 200];
+        let y = fir_filter(&h, &x);
+        // After the transient, output equals input (unit DC gain).
+        assert!((y[100] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filtering_attenuates_high_frequency() {
+        let h = lowpass_fir(63, 0.05, WindowKind::Hamming).unwrap();
+        // Nyquist-rate alternation is far in the stopband.
+        let x: Vec<f64> = (0..500).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y = fir_filter(&h, &x);
+        let tail_max = y[200..].iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        assert!(tail_max < 1e-3, "{tail_max}");
+    }
+}

@@ -1,0 +1,122 @@
+//! # kinemyo-dsp
+//!
+//! Signal-processing substrate for the `kinemyo` workspace — everything the
+//! paper's acquisition and conditioning chain (Delsys Myomonitor + MATLAB,
+//! Sec. 5) does to a raw signal, implemented from scratch:
+//!
+//! * [`biquad`] — second-order IIR sections with RBJ cookbook designs;
+//! * [`butterworth`] — Butterworth low/high/band-pass SOS cascades,
+//!   including [`butterworth::emg_bandpass`] (the paper's 20–450 Hz stage);
+//! * [`envelope`] — full-wave rectification, moving statistics, the EMG
+//!   linear envelope;
+//! * [`resample`] — polyphase rational resampling (1000 Hz → 120 Hz is
+//!   ratio 3/25);
+//! * [`filtfilt`] — zero-phase forward–backward filtering;
+//! * [`fir`] — windowed-sinc FIR design;
+//! * [`window`] — tumbling/sliding window segmentation (50–200 ms windows);
+//! * [`fft`] — radix-2 FFT with EMG spectral descriptors (median/mean
+//!   frequency);
+//! * [`stft`] — spectrograms and time-resolved median-frequency tracks
+//!   (the canonical EMG fatigue marker, paper Sec. 7).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+// `!(x > 0.0)` is the NaN-rejecting validation idiom used throughout this
+// workspace: `x <= 0.0` would silently accept NaN.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod biquad;
+pub mod butterworth;
+pub mod envelope;
+pub mod error;
+pub mod fft;
+pub mod filtfilt;
+pub mod fir;
+pub mod resample;
+pub mod stft;
+pub mod window;
+
+pub use biquad::{BiquadCoeffs, SosFilter};
+pub use error::{DspError, Result};
+pub use resample::Resampler;
+pub use window::{ms_to_samples, samples_to_ms, TailPolicy, WindowSpec};
+
+#[cfg(test)]
+mod proptests {
+    use crate::envelope::{full_wave_rectify, moving_average, moving_rms};
+    use crate::window::{TailPolicy, WindowSpec};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn rectified_signal_is_nonnegative(xs in proptest::collection::vec(-1e6..1e6f64, 0..200)) {
+            for v in full_wave_rectify(&xs) {
+                prop_assert!(v >= 0.0);
+            }
+        }
+
+        #[test]
+        fn moving_average_bounded_by_extremes(
+            xs in proptest::collection::vec(-1e3..1e3f64, 1..100),
+            len in 1usize..20,
+        ) {
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for v in moving_average(&xs, len).unwrap() {
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            }
+        }
+
+        #[test]
+        fn moving_rms_nonnegative_and_bounded(
+            xs in proptest::collection::vec(-1e3..1e3f64, 1..100),
+            len in 1usize..20,
+        ) {
+            let hi = xs.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+            for v in moving_rms(&xs, len).unwrap() {
+                prop_assert!(v >= 0.0 && v <= hi + 1e-6);
+            }
+        }
+
+        #[test]
+        fn tumbling_windows_partition_prefix(
+            len in 1usize..30,
+            signal_len in 0usize..300,
+        ) {
+            let w = WindowSpec::tumbling(len).unwrap();
+            let ranges = w.ranges(signal_len);
+            // Consecutive, non-overlapping, all full-length.
+            let mut expected_start = 0;
+            for (s, e) in &ranges {
+                prop_assert_eq!(*s, expected_start);
+                prop_assert_eq!(e - s, len);
+                expected_start = *e;
+            }
+            // They cover all but a tail shorter than `len`.
+            prop_assert!(signal_len - expected_start < len);
+        }
+
+        #[test]
+        fn keep_tail_covers_everything(
+            len in 1usize..30,
+            signal_len in 1usize..300,
+        ) {
+            let w = WindowSpec::new(len, len, TailPolicy::Keep).unwrap();
+            let ranges = w.ranges(signal_len);
+            let covered: usize = ranges.iter().map(|(s, e)| e - s).sum();
+            prop_assert_eq!(covered, signal_len);
+        }
+
+        #[test]
+        fn resampler_output_length_formula(
+            n in 0usize..2000,
+        ) {
+            let r = crate::resample::Resampler::emg_to_mocap();
+            let x = vec![0.0; n];
+            let expected = (n * 3).div_ceil(25);
+            prop_assert_eq!(r.resample(&x).len(), expected);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Rational-ratio polyphase resampling.
+//!
+//! The paper's EMG stream is sampled at 1000 Hz and must be down-sampled to
+//! the motion-capture rate of 120 Hz (Sec. 5). 120/1000 reduces to 3/25, so
+//! the resampler upsamples by `L = 3`, applies an anti-alias low-pass, and
+//! decimates by `M = 25` — implemented in polyphase form so the filter only
+//! ever computes the output samples that survive decimation.
+
+use crate::error::{DspError, Result};
+use crate::fir::{lowpass_fir, WindowKind};
+
+/// Greatest common divisor (Euclid).
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// A rational resampler converting by the factor `up / down`.
+#[derive(Debug, Clone)]
+pub struct Resampler {
+    up: usize,
+    down: usize,
+    /// Anti-alias prototype filter (designed at the upsampled rate).
+    taps: Vec<f64>,
+}
+
+impl Resampler {
+    /// Creates a resampler for the ratio `up / down` (both ≥ 1). The ratio
+    /// is reduced internally, so `Resampler::new(120, 1000)` builds the same
+    /// engine as `Resampler::new(3, 25)`.
+    ///
+    /// `taps_per_phase` controls anti-alias quality; 24 gives > 60 dB
+    /// stopband with a Hamming window and is the default used by
+    /// [`Resampler::emg_to_mocap`].
+    pub fn new(up: usize, down: usize, taps_per_phase: usize) -> Result<Self> {
+        if up == 0 || down == 0 {
+            return Err(DspError::InvalidArgument {
+                reason: "resampling factors must be >= 1".into(),
+            });
+        }
+        if taps_per_phase == 0 {
+            return Err(DspError::InvalidArgument {
+                reason: "taps_per_phase must be >= 1".into(),
+            });
+        }
+        let g = gcd(up, down);
+        let (up, down) = (up / g, down / g);
+        if up == 1 && down == 1 {
+            return Ok(Self {
+                up,
+                down,
+                taps: vec![1.0],
+            });
+        }
+        // Cutoff at the tighter of the two Nyquist limits, relative to the
+        // upsampled rate fs*up; leave a 10% transition margin.
+        let cutoff = 0.5 / up.max(down) as f64 * 0.9;
+        let mut n_taps = taps_per_phase * up.max(down);
+        if n_taps % 2 == 0 {
+            n_taps += 1;
+        }
+        let mut taps = lowpass_fir(n_taps, cutoff, WindowKind::Hamming)?;
+        // Compensate the 1/L amplitude loss of zero-stuffing upsampling.
+        for t in &mut taps {
+            *t *= up as f64;
+        }
+        Ok(Self { up, down, taps })
+    }
+
+    /// The paper's EMG→mocap conversion: 1000 Hz → 120 Hz (ratio 3/25).
+    pub fn emg_to_mocap() -> Self {
+        Self::new(120, 1000, 24).expect("static design parameters are valid")
+    }
+
+    /// Reduced upsampling factor.
+    pub fn up(&self) -> usize {
+        self.up
+    }
+
+    /// Reduced downsampling factor.
+    pub fn down(&self) -> usize {
+        self.down
+    }
+
+    /// Number of prototype filter taps.
+    pub fn num_taps(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Resamples a whole signal.
+    ///
+    /// Output length is `ceil(len * up / down)`; group delay of the
+    /// anti-alias filter is compensated so the output is time-aligned with
+    /// the input (edge samples are zero-padded).
+    pub fn resample(&self, x: &[f64]) -> Vec<f64> {
+        if self.up == 1 && self.down == 1 {
+            return x.to_vec();
+        }
+        let out_len = (x.len() * self.up).div_ceil(self.down);
+        let delay = (self.taps.len() - 1) / 2; // group delay at upsampled rate
+        let mut y = Vec::with_capacity(out_len);
+        for m in 0..out_len {
+            // Index of this output sample on the upsampled grid, shifted so
+            // the linear-phase delay is compensated.
+            let t = m * self.down + delay;
+            // y_up[t] = Σ_k h[k] · x_up[t−k], where x_up[j] = x[j/L] when
+            // L | j. Only k with (t−k) ≡ 0 (mod L) contribute.
+            let mut acc = 0.0;
+            let phase = t % self.up;
+            let mut k = phase; // smallest k ≥ 0 with (t−k) divisible by up
+            while k < self.taps.len() && k <= t {
+                let j = (t - k) / self.up;
+                if j < x.len() {
+                    acc += self.taps[k] * x[j];
+                }
+                k += self.up;
+            }
+            y.push(acc);
+        }
+        y
+    }
+}
+
+/// Integer-factor decimation with anti-alias filtering (convenience wrapper).
+pub fn decimate(x: &[f64], factor: usize) -> Result<Vec<f64>> {
+    if factor == 0 {
+        return Err(DspError::InvalidArgument {
+            reason: "decimation factor must be >= 1".into(),
+        });
+    }
+    Ok(Resampler::new(1, factor, 24)?.resample(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn ratio_is_reduced() {
+        let r = Resampler::new(120, 1000, 24).unwrap();
+        assert_eq!(r.up(), 3);
+        assert_eq!(r.down(), 25);
+        assert!(r.num_taps() > 100);
+    }
+
+    #[test]
+    fn identity_ratio_passthrough() {
+        let r = Resampler::new(5, 5, 8).unwrap();
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(r.resample(&x), x);
+    }
+
+    #[test]
+    fn output_length_is_ceil_scaled() {
+        let r = Resampler::emg_to_mocap();
+        let x = vec![0.0; 1000]; // 1 second at 1000 Hz
+        let y = r.resample(&x);
+        assert_eq!(y.len(), 120); // 1 second at 120 Hz
+        let x2 = vec![0.0; 1500];
+        assert_eq!(r.resample(&x2).len(), 180);
+    }
+
+    #[test]
+    fn dc_preserved() {
+        let r = Resampler::emg_to_mocap();
+        let x = vec![2.5; 2000];
+        let y = r.resample(&x);
+        // Away from the edges, DC must come through at unit gain.
+        for &v in &y[40..y.len() - 40] {
+            assert!((v - 2.5).abs() < 1e-3, "{v}");
+        }
+    }
+
+    #[test]
+    fn low_frequency_sine_survives() {
+        // 10 Hz sine at 1000 Hz → downsample to 120 Hz; amplitude preserved.
+        let fs_in = 1000.0;
+        let x: Vec<f64> = (0..4000)
+            .map(|i| (2.0 * PI * 10.0 * i as f64 / fs_in).sin())
+            .collect();
+        let r = Resampler::emg_to_mocap();
+        let y = r.resample(&x);
+        let mid = &y[100..y.len() - 100];
+        let amp = mid.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        assert!((amp - 1.0).abs() < 0.02, "amplitude {amp}");
+    }
+
+    #[test]
+    fn resampled_sine_frequency_is_correct() {
+        // Count zero crossings of a 5 Hz sine after 1000→120 Hz conversion.
+        let fs_in = 1000.0;
+        let seconds = 4.0;
+        let x: Vec<f64> = (0..(fs_in * seconds) as usize)
+            .map(|i| (2.0 * PI * 5.0 * i as f64 / fs_in).sin())
+            .collect();
+        let y = Resampler::emg_to_mocap().resample(&x);
+        let crossings = y
+            .windows(2)
+            .filter(|w| (w[0] <= 0.0) != (w[1] <= 0.0))
+            .count();
+        // 5 Hz for 4 s → 20 cycles → ~40 crossings.
+        assert!((38..=42).contains(&crossings), "got {crossings} crossings");
+    }
+
+    #[test]
+    fn aliasing_is_suppressed() {
+        // A 55 Hz tone is just below the 60 Hz output Nyquist and must pass;
+        // a 400 Hz tone would alias into the output band and must be killed.
+        let fs_in = 1000.0;
+        let n = 5000;
+        let tone = |f: f64| -> Vec<f64> {
+            (0..n)
+                .map(|i| (2.0 * PI * f * i as f64 / fs_in).sin())
+                .collect()
+        };
+        let r = Resampler::emg_to_mocap();
+        let pass = r.resample(&tone(40.0));
+        let alias = r.resample(&tone(400.0));
+        let amp = |v: &[f64]| {
+            v[60..v.len() - 60]
+                .iter()
+                .fold(0.0_f64, |m, x| m.max(x.abs()))
+        };
+        assert!(amp(&pass) > 0.8, "passband tone lost: {}", amp(&pass));
+        assert!(amp(&alias) < 0.02, "alias leak: {}", amp(&alias));
+    }
+
+    #[test]
+    fn upsampling_interpolates() {
+        let r = Resampler::new(4, 1, 16).unwrap();
+        let fs_in = 100.0;
+        let x: Vec<f64> = (0..400)
+            .map(|i| (2.0 * PI * 3.0 * i as f64 / fs_in).sin())
+            .collect();
+        let y = r.resample(&x);
+        assert_eq!(y.len(), 1600);
+        let amp = y[200..1400].iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        assert!((amp - 1.0).abs() < 0.02, "{amp}");
+    }
+
+    #[test]
+    fn decimate_convenience() {
+        let x = vec![1.0; 1000];
+        let y = decimate(&x, 10).unwrap();
+        assert_eq!(y.len(), 100);
+        assert!((y[50] - 1.0).abs() < 1e-3);
+        assert!(decimate(&x, 0).is_err());
+    }
+
+    #[test]
+    fn invalid_factors_rejected() {
+        assert!(Resampler::new(0, 5, 8).is_err());
+        assert!(Resampler::new(5, 0, 8).is_err());
+        assert!(Resampler::new(3, 25, 0).is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        let r = Resampler::emg_to_mocap();
+        assert!(r.resample(&[]).is_empty());
+    }
+}

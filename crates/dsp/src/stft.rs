@@ -1,0 +1,173 @@
+//! Short-time Fourier analysis: spectrograms and time-resolved EMG
+//! spectral descriptors.
+//!
+//! The paper lists muscle fatigue among the effects that "can cause the
+//! purity of the biomedical signals" (Sec. 7). The canonical fatigue
+//! marker is the downshift of the EMG median frequency over time — a
+//! *time-resolved* quantity, computed here by sliding a windowed FFT
+//! along the signal.
+
+use crate::error::{DspError, Result};
+use crate::fft::{fft_in_place, Complex};
+use std::f64::consts::PI;
+
+/// A magnitude spectrogram.
+#[derive(Debug, Clone)]
+pub struct Spectrogram {
+    /// Center time of each column, seconds.
+    pub times_s: Vec<f64>,
+    /// Frequency of each row, Hz.
+    pub freqs_hz: Vec<f64>,
+    /// Power values, indexed `[column][row]` (time-major).
+    pub power: Vec<Vec<f64>>,
+}
+
+impl Spectrogram {
+    /// Number of time columns.
+    pub fn num_frames(&self) -> usize {
+        self.times_s.len()
+    }
+
+    /// Median frequency of time column `t`, or `None` for a silent column.
+    pub fn median_frequency_at(&self, t: usize) -> Option<f64> {
+        let column = self.power.get(t)?;
+        let total: f64 = column.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut acc = 0.0;
+        for (f, p) in self.freqs_hz.iter().zip(column) {
+            acc += p;
+            if acc >= total / 2.0 {
+                return Some(*f);
+            }
+        }
+        self.freqs_hz.last().copied()
+    }
+
+    /// Median-frequency trajectory over time: `(time_s, median_hz)` for
+    /// every non-silent column.
+    pub fn median_frequency_track(&self) -> Vec<(f64, f64)> {
+        (0..self.num_frames())
+            .filter_map(|t| self.median_frequency_at(t).map(|f| (self.times_s[t], f)))
+            .collect()
+    }
+}
+
+/// Computes the magnitude spectrogram of `signal` with Hann-windowed
+/// segments of `window` samples (power of two) advancing by `hop`.
+pub fn spectrogram(signal: &[f64], fs: f64, window: usize, hop: usize) -> Result<Spectrogram> {
+    if !(fs > 0.0) {
+        return Err(DspError::InvalidArgument {
+            reason: format!("sample rate must be positive, got {fs}"),
+        });
+    }
+    if window == 0 || !window.is_power_of_two() {
+        return Err(DspError::InvalidArgument {
+            reason: format!("window must be a power of two, got {window}"),
+        });
+    }
+    if hop == 0 {
+        return Err(DspError::InvalidArgument {
+            reason: "hop must be >= 1".into(),
+        });
+    }
+    if signal.len() < window {
+        return Err(DspError::SignalTooShort {
+            op: "spectrogram",
+            needed: window,
+            got: signal.len(),
+        });
+    }
+    let half = window / 2;
+    let hann: Vec<f64> = (0..window)
+        .map(|i| 0.5 - 0.5 * (2.0 * PI * i as f64 / (window - 1) as f64).cos())
+        .collect();
+    let freqs_hz: Vec<f64> = (0..=half).map(|k| k as f64 * fs / window as f64).collect();
+
+    let mut times_s = Vec::new();
+    let mut power = Vec::new();
+    let mut buf = vec![Complex::default(); window];
+    let mut start = 0;
+    while start + window <= signal.len() {
+        for (i, slot) in buf.iter_mut().enumerate() {
+            *slot = Complex::new(signal[start + i] * hann[i], 0.0);
+        }
+        fft_in_place(&mut buf)?;
+        let column: Vec<f64> = buf.iter().take(half + 1).map(|c| c.norm_sq()).collect();
+        times_s.push((start + half) as f64 / fs);
+        power.push(column);
+        start += hop;
+    }
+    Ok(Spectrogram {
+        times_s,
+        freqs_hz,
+        power,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_validation() {
+        let x = vec![0.0; 100];
+        assert!(spectrogram(&x, 0.0, 64, 32).is_err());
+        assert!(spectrogram(&x, 1000.0, 60, 32).is_err()); // not power of two
+        assert!(spectrogram(&x, 1000.0, 64, 0).is_err());
+        assert!(spectrogram(&x, 1000.0, 128, 32).is_err()); // too short
+    }
+
+    #[test]
+    fn tone_appears_at_its_frequency_in_every_column() {
+        let fs = 1000.0;
+        let x: Vec<f64> = (0..4000)
+            .map(|i| (2.0 * PI * 125.0 * i as f64 / fs).sin())
+            .collect();
+        let sg = spectrogram(&x, fs, 256, 128).unwrap();
+        assert!(sg.num_frames() > 20);
+        for t in 0..sg.num_frames() {
+            let mf = sg.median_frequency_at(t).unwrap();
+            assert!((mf - 125.0).abs() < 10.0, "column {t}: median {mf}");
+        }
+    }
+
+    #[test]
+    fn chirp_median_frequency_rises() {
+        // Linear chirp 50 → 300 Hz: the median-frequency track must rise.
+        let fs = 1000.0;
+        let n = 6000;
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                let f = 50.0 + 250.0 * t / 6.0;
+                (2.0 * PI * f * t).sin()
+            })
+            .collect();
+        let sg = spectrogram(&x, fs, 256, 128).unwrap();
+        let track = sg.median_frequency_track();
+        let first = track[1].1;
+        let last = track[track.len() - 2].1;
+        assert!(last > first + 100.0, "chirp should rise: {first} → {last}");
+    }
+
+    #[test]
+    fn silence_gives_no_median() {
+        let x = vec![0.0; 1024];
+        let sg = spectrogram(&x, 1000.0, 256, 128).unwrap();
+        assert!(sg.median_frequency_at(0).is_none());
+        assert!(sg.median_frequency_track().is_empty());
+    }
+
+    #[test]
+    fn time_axis_is_monotone_and_scaled() {
+        let x = vec![1.0; 2048];
+        let sg = spectrogram(&x, 1000.0, 256, 256).unwrap();
+        for w in sg.times_s.windows(2) {
+            assert!((w[1] - w[0] - 0.256).abs() < 1e-9);
+        }
+        assert_eq!(sg.freqs_hz.len(), 129);
+        assert_eq!(sg.freqs_hz[128], 500.0);
+    }
+}

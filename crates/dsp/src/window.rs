@@ -1,0 +1,218 @@
+//! Sliding/tumbling window segmentation and time-unit conversions.
+//!
+//! The paper divides every motion (and its EMG streams) into consecutive
+//! windows of 50–200 ms at 120 Hz and extracts one feature vector per
+//! window (Sec. 3, Sec. 5). [`WindowSpec`] captures those parameters and
+//! produces the `(start, end)` frame ranges.
+
+use crate::error::{DspError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Converts a duration in milliseconds to a whole number of samples at
+/// `fs` Hz, rounding to nearest (minimum 1).
+pub fn ms_to_samples(ms: f64, fs: f64) -> Result<usize> {
+    if !(ms > 0.0) || !ms.is_finite() {
+        return Err(DspError::InvalidArgument {
+            reason: format!("window length must be positive ms, got {ms}"),
+        });
+    }
+    if !(fs > 0.0) || !fs.is_finite() {
+        return Err(DspError::InvalidArgument {
+            reason: format!("sample rate must be positive, got {fs}"),
+        });
+    }
+    Ok(((ms / 1000.0 * fs).round() as usize).max(1))
+}
+
+/// Converts a sample count at `fs` Hz to milliseconds.
+pub fn samples_to_ms(samples: usize, fs: f64) -> f64 {
+    samples as f64 / fs * 1000.0
+}
+
+/// How to treat the final partial window of a signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TailPolicy {
+    /// Drop a trailing window shorter than the window length (default; a
+    /// 50 ms tail of a 3 s motion carries negligible information and keeps
+    /// every feature window the same length, which the SVD path needs).
+    #[default]
+    Drop,
+    /// Keep the shorter trailing window.
+    Keep,
+}
+
+/// A window segmentation plan: length and hop in samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSpec {
+    len: usize,
+    hop: usize,
+    tail: TailPolicy,
+}
+
+impl WindowSpec {
+    /// Non-overlapping (tumbling) windows of `len` samples — the paper's
+    /// segmentation.
+    ///
+    /// ```
+    /// use kinemyo_dsp::WindowSpec;
+    ///
+    /// // 100 ms windows at the 120 Hz mocap rate = 12 frames each.
+    /// let w = WindowSpec::from_ms(100.0, 120.0).unwrap();
+    /// assert_eq!(w.len(), 12);
+    /// assert_eq!(w.ranges(30), vec![(0, 12), (12, 24)]); // 6-frame tail dropped
+    /// ```
+    pub fn tumbling(len: usize) -> Result<Self> {
+        Self::new(len, len, TailPolicy::Drop)
+    }
+
+    /// General windows: `len` samples advancing by `hop` each step.
+    pub fn new(len: usize, hop: usize, tail: TailPolicy) -> Result<Self> {
+        if len == 0 || hop == 0 {
+            return Err(DspError::InvalidArgument {
+                reason: format!("window len={len} and hop={hop} must be >= 1"),
+            });
+        }
+        Ok(Self { len, hop, tail })
+    }
+
+    /// Tumbling windows from a duration in milliseconds at `fs` Hz.
+    pub fn from_ms(ms: f64, fs: f64) -> Result<Self> {
+        Self::tumbling(ms_to_samples(ms, fs)?)
+    }
+
+    /// Window length in samples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always false: construction guarantees `len >= 1` (provided so the
+    /// `len` method follows the standard container convention).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Hop (stride) in samples.
+    pub fn hop(&self) -> usize {
+        self.hop
+    }
+
+    /// Returns the `(start, end)` half-open ranges for a signal of
+    /// `signal_len` samples.
+    pub fn ranges(&self, signal_len: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < signal_len {
+            let end = (start + self.len).min(signal_len);
+            let full = end - start == self.len;
+            if full || matches!(self.tail, TailPolicy::Keep) {
+                out.push((start, end));
+            }
+            if !full {
+                break;
+            }
+            start += self.hop;
+        }
+        out
+    }
+
+    /// Number of windows a signal of `signal_len` samples yields.
+    pub fn count(&self, signal_len: usize) -> usize {
+        self.ranges(signal_len).len()
+    }
+
+    /// Iterates the window contents of `signal` as slices.
+    pub fn iter<'a>(&self, signal: &'a [f64]) -> impl Iterator<Item = &'a [f64]> + 'a {
+        self.ranges(signal.len())
+            .into_iter()
+            .map(move |(s, e)| &signal[s..e])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_conversion_paper_values() {
+        // At the 120 Hz mocap rate: 50 ms = 6 frames, 100 ms = 12,
+        // 150 ms = 18, 200 ms = 24.
+        assert_eq!(ms_to_samples(50.0, 120.0).unwrap(), 6);
+        assert_eq!(ms_to_samples(100.0, 120.0).unwrap(), 12);
+        assert_eq!(ms_to_samples(150.0, 120.0).unwrap(), 18);
+        assert_eq!(ms_to_samples(200.0, 120.0).unwrap(), 24);
+        // At the 1000 Hz EMG rate: 50 ms = 50 samples.
+        assert_eq!(ms_to_samples(50.0, 1000.0).unwrap(), 50);
+    }
+
+    #[test]
+    fn conversion_roundtrip() {
+        let s = ms_to_samples(100.0, 120.0).unwrap();
+        assert!((samples_to_ms(s, 120.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conversion_rejects_bad_input() {
+        assert!(ms_to_samples(0.0, 120.0).is_err());
+        assert!(ms_to_samples(-5.0, 120.0).is_err());
+        assert!(ms_to_samples(f64::NAN, 120.0).is_err());
+        assert!(ms_to_samples(100.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn minimum_one_sample() {
+        assert_eq!(ms_to_samples(0.1, 120.0).unwrap(), 1);
+    }
+
+    #[test]
+    fn tumbling_ranges() {
+        let w = WindowSpec::tumbling(4).unwrap();
+        assert_eq!(w.ranges(12), vec![(0, 4), (4, 8), (8, 12)]);
+        assert_eq!(w.count(12), 3);
+    }
+
+    #[test]
+    fn tail_policy_drop_vs_keep() {
+        let drop = WindowSpec::new(5, 5, TailPolicy::Drop).unwrap();
+        assert_eq!(drop.ranges(12), vec![(0, 5), (5, 10)]);
+        let keep = WindowSpec::new(5, 5, TailPolicy::Keep).unwrap();
+        assert_eq!(keep.ranges(12), vec![(0, 5), (5, 10), (10, 12)]);
+    }
+
+    #[test]
+    fn overlapping_windows() {
+        let w = WindowSpec::new(4, 2, TailPolicy::Drop).unwrap();
+        assert_eq!(w.ranges(8), vec![(0, 4), (2, 6), (4, 8)]);
+    }
+
+    #[test]
+    fn short_signal_yields_nothing_or_tail() {
+        let drop = WindowSpec::tumbling(10).unwrap();
+        assert!(drop.ranges(5).is_empty());
+        let keep = WindowSpec::new(10, 10, TailPolicy::Keep).unwrap();
+        assert_eq!(keep.ranges(5), vec![(0, 5)]);
+        assert!(drop.ranges(0).is_empty());
+    }
+
+    #[test]
+    fn exact_multiple_has_no_tail_effect() {
+        let drop = WindowSpec::new(4, 4, TailPolicy::Drop).unwrap();
+        let keep = WindowSpec::new(4, 4, TailPolicy::Keep).unwrap();
+        assert_eq!(drop.ranges(8), keep.ranges(8));
+    }
+
+    #[test]
+    fn iter_yields_window_contents() {
+        let signal: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let w = WindowSpec::tumbling(3).unwrap();
+        let wins: Vec<&[f64]> = w.iter(&signal).collect();
+        assert_eq!(wins.len(), 3);
+        assert_eq!(wins[0], &[0.0, 1.0, 2.0]);
+        assert_eq!(wins[2], &[6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn zero_len_or_hop_rejected() {
+        assert!(WindowSpec::tumbling(0).is_err());
+        assert!(WindowSpec::new(4, 0, TailPolicy::Drop).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Combining the per-window EMG and motion-capture features (Sec. 3.3).
+//!
+//! "Having extracted the feature vectors for each window from motion
+//! capture and EMG, the next step is to combine them by appending one to
+//! other. Thus, m-length EMG feature vector … and n-length motion capture
+//! feature vector form a (m+n)-length feature vector represented as a
+//! point in (m+n)-dimensional feature space."
+
+use crate::error::{FeatureError, Result};
+use crate::iav::iav_features;
+use crate::local_transform::to_pelvis_local;
+use crate::wsvd::wsvd_features;
+use kinemyo_dsp::WindowSpec;
+use kinemyo_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Which feature-space components to build — the modality ablation switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Modality {
+    /// EMG + motion capture combined (the paper's approach).
+    #[default]
+    Combined,
+    /// EMG features only.
+    EmgOnly,
+    /// Motion-capture features only.
+    MocapOnly,
+}
+
+/// Per-window combined feature points for one synchronized recording.
+///
+/// * `mocap_global` — `frames × (3·joints)` joint matrix in capture coords;
+/// * `pelvis` — `frames × 3` pelvis trajectory (for the local transform);
+/// * `emg` — `frames × channels` processed (rectified, 120 Hz) EMG;
+/// * `window` — the segmentation (the paper: tumbling 50–200 ms windows).
+///
+/// Returns a `windows × d` matrix of feature points where
+/// `d = channels + 3·joints` for [`Modality::Combined`].
+pub fn window_feature_points(
+    mocap_global: &Matrix,
+    pelvis: &Matrix,
+    emg: &Matrix,
+    window: &WindowSpec,
+    modality: Modality,
+) -> Result<Matrix> {
+    if mocap_global.rows() != emg.rows() {
+        return Err(FeatureError::ShapeMismatch {
+            reason: format!(
+                "mocap has {} frames but emg has {} — streams must be synchronized",
+                mocap_global.rows(),
+                emg.rows()
+            ),
+        });
+    }
+    let ranges = window.ranges(mocap_global.rows());
+    if ranges.is_empty() {
+        return Err(FeatureError::NoWindows {
+            frames: mocap_global.rows(),
+            window: window.len(),
+        });
+    }
+    match modality {
+        Modality::EmgOnly => iav_features(emg, &ranges),
+        Modality::MocapOnly => {
+            let local = to_pelvis_local(mocap_global, pelvis)?;
+            wsvd_features(&local, &ranges)
+        }
+        Modality::Combined => {
+            let emg_f = iav_features(emg, &ranges)?;
+            let local = to_pelvis_local(mocap_global, pelvis)?;
+            let mocap_f = wsvd_features(&local, &ranges)?;
+            Ok(emg_f.hstack(&mocap_f)?)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scene(frames: usize) -> (Matrix, Matrix, Matrix) {
+        let mocap = Matrix::from_fn(frames, 6, |r, c| (r as f64 * 0.1 + c as f64).sin() * 100.0);
+        let pelvis = Matrix::from_fn(frames, 3, |r, _| r as f64 * 0.01);
+        let emg = Matrix::from_fn(frames, 2, |r, c| ((r + c) as f64 * 0.7).sin().abs() * 1e-3);
+        (mocap, pelvis, emg)
+    }
+
+    #[test]
+    fn combined_dimension_is_m_plus_n() {
+        let (mocap, pelvis, emg) = scene(48);
+        let w = WindowSpec::tumbling(12).unwrap();
+        let f = window_feature_points(&mocap, &pelvis, &emg, &w, Modality::Combined).unwrap();
+        assert_eq!(f.shape(), (4, 2 + 6)); // m=2 EMG + n=3·2 mocap
+    }
+
+    #[test]
+    fn modalities_select_subspaces() {
+        let (mocap, pelvis, emg) = scene(48);
+        let w = WindowSpec::tumbling(12).unwrap();
+        let combined =
+            window_feature_points(&mocap, &pelvis, &emg, &w, Modality::Combined).unwrap();
+        let emg_only = window_feature_points(&mocap, &pelvis, &emg, &w, Modality::EmgOnly).unwrap();
+        let mocap_only =
+            window_feature_points(&mocap, &pelvis, &emg, &w, Modality::MocapOnly).unwrap();
+        assert_eq!(emg_only.cols(), 2);
+        assert_eq!(mocap_only.cols(), 6);
+        // Combined = [EMG | mocap] columns in that order.
+        for r in 0..combined.rows() {
+            for c in 0..2 {
+                assert_eq!(combined[(r, c)], emg_only[(r, c)]);
+            }
+            for c in 0..6 {
+                assert_eq!(combined[(r, 2 + c)], mocap_only[(r, c)]);
+            }
+        }
+    }
+
+    #[test]
+    fn unsynchronized_streams_rejected() {
+        let (mocap, pelvis, _) = scene(48);
+        let emg_short = Matrix::zeros(40, 2);
+        let w = WindowSpec::tumbling(12).unwrap();
+        assert!(
+            window_feature_points(&mocap, &pelvis, &emg_short, &w, Modality::Combined).is_err()
+        );
+    }
+
+    #[test]
+    fn too_short_signal_yields_no_windows_error() {
+        let (mocap, pelvis, emg) = scene(8);
+        let w = WindowSpec::tumbling(12).unwrap();
+        let err = window_feature_points(&mocap, &pelvis, &emg, &w, Modality::Combined);
+        assert!(matches!(err, Err(FeatureError::NoWindows { .. })));
+    }
+
+    #[test]
+    fn translation_of_scene_leaves_mocap_features_unchanged() {
+        // The local transform must make features independent of where in
+        // the lab the motion happened.
+        let (mocap, pelvis, emg) = scene(36);
+        let mocap_moved = mocap.map(|v| v + 2000.0);
+        let pelvis_moved = pelvis.map(|v| v + 2000.0);
+        let w = WindowSpec::tumbling(12).unwrap();
+        let a = window_feature_points(&mocap, &pelvis, &emg, &w, Modality::MocapOnly).unwrap();
+        let b = window_feature_points(&mocap_moved, &pelvis_moved, &emg, &w, Modality::MocapOnly)
+            .unwrap();
+        assert!(a.approx_eq(&b, 1e-6));
+    }
+}

@@ -1,0 +1,284 @@
+//! Alternative EMG window features from the paper's related work.
+//!
+//! The paper (Sec. 2) situates IAV among other classic EMG features:
+//! zero-crossings (Hudgins et al., ref \[7\] — the "time-domain set"
+//! also counting slope-sign changes and waveform length) and the EMG
+//! histogram (Zardoshti-Kermani et al., ref \[15\]). Implementing them
+//! lets the ablation benches ask whether the paper's IAV choice matters.
+//!
+//! The kernels are defined on any sampled signal. On the paper's
+//! *rectified envelope* stream (which is non-negative) zero-crossing-type
+//! features are computed after removing the window mean, which restores
+//! their discriminative meaning (oscillation of activity around its local
+//! level).
+
+use crate::error::{FeatureError, Result};
+use kinemyo_linalg::Matrix;
+
+/// Zero crossings of the mean-removed window with a noise deadband:
+/// counts sign alternations whose amplitude step exceeds `threshold`.
+pub fn zero_crossings(window: &[f64], threshold: f64) -> usize {
+    if window.len() < 2 {
+        return 0;
+    }
+    let mean = window.iter().sum::<f64>() / window.len() as f64;
+    let mut count = 0;
+    let mut prev = window[0] - mean;
+    for &x in &window[1..] {
+        let v = x - mean;
+        if prev * v < 0.0 && (v - prev).abs() > threshold {
+            count += 1;
+        }
+        if v != 0.0 {
+            prev = v;
+        }
+    }
+    count
+}
+
+/// Slope-sign changes with a noise deadband (Hudgins TD feature).
+pub fn slope_sign_changes(window: &[f64], threshold: f64) -> usize {
+    if window.len() < 3 {
+        return 0;
+    }
+    let mut count = 0;
+    for i in 1..window.len() - 1 {
+        let d1 = window[i] - window[i - 1];
+        let d2 = window[i + 1] - window[i];
+        if d1 * d2 < 0.0 && (d1.abs() > threshold || d2.abs() > threshold) {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Waveform length: cumulative absolute first difference (Hudgins TD).
+pub fn waveform_length(window: &[f64]) -> f64 {
+    window.windows(2).map(|w| (w[1] - w[0]).abs()).sum()
+}
+
+/// Willison amplitude: count of consecutive-sample jumps exceeding
+/// `threshold`.
+pub fn willison_amplitude(window: &[f64], threshold: f64) -> usize {
+    window
+        .windows(2)
+        .filter(|w| (w[1] - w[0]).abs() > threshold)
+        .count()
+}
+
+/// EMG histogram (ref \[15\]): the window's samples binned into `bins`
+/// equal-width bins spanning `[lo, hi]`, normalized to sum to 1.
+/// Out-of-range samples clamp into the edge bins.
+pub fn emg_histogram(window: &[f64], bins: usize, lo: f64, hi: f64) -> Result<Vec<f64>> {
+    if bins == 0 {
+        return Err(FeatureError::ShapeMismatch {
+            reason: "histogram needs at least one bin".into(),
+        });
+    }
+    if !(hi > lo) {
+        return Err(FeatureError::ShapeMismatch {
+            reason: format!("histogram range [{lo}, {hi}] is empty"),
+        });
+    }
+    let mut h = vec![0.0; bins];
+    if window.is_empty() {
+        return Ok(h);
+    }
+    let width = (hi - lo) / bins as f64;
+    for &x in window {
+        let idx = (((x - lo) / width).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        h[idx] += 1.0;
+    }
+    let n = window.len() as f64;
+    for v in &mut h {
+        *v /= n;
+    }
+    Ok(h)
+}
+
+/// Which per-channel EMG window feature set to extract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EmgFeatureSet {
+    /// The paper's Integral of Absolute Value (Eq. 1): 1 value/channel.
+    Iav,
+    /// Hudgins time-domain set (ref \[7\]): MAV, zero crossings,
+    /// slope-sign changes, waveform length — 4 values/channel. The
+    /// `deadband` is the noise threshold for the counting features.
+    HudginsTd {
+        /// Noise deadband for ZC/SSC counting.
+        deadband: f64,
+    },
+    /// EMG histogram (ref \[15\]): `bins` values/channel over `[0, hi]`
+    /// (the envelope is non-negative).
+    Histogram {
+        /// Number of histogram bins.
+        bins: usize,
+        /// Upper edge of the binned amplitude range (volts).
+        hi: f64,
+    },
+}
+
+impl EmgFeatureSet {
+    /// Output dimensionality per channel.
+    pub fn dims_per_channel(&self) -> usize {
+        match self {
+            EmgFeatureSet::Iav => 1,
+            EmgFeatureSet::HudginsTd { .. } => 4,
+            EmgFeatureSet::Histogram { bins, .. } => *bins,
+        }
+    }
+}
+
+/// Windowed EMG features for a multi-channel matrix (`frames × channels`)
+/// under the chosen feature set. Returns
+/// `windows × (channels · dims_per_channel)`.
+pub fn emg_features(
+    emg: &Matrix,
+    ranges: &[(usize, usize)],
+    set: EmgFeatureSet,
+) -> Result<Matrix> {
+    let channels = emg.cols();
+    let dpc = set.dims_per_channel();
+    let mut out = Matrix::zeros(ranges.len(), channels * dpc);
+    let mut window_buf: Vec<f64> = Vec::new();
+    for (w, &(start, end)) in ranges.iter().enumerate() {
+        if end > emg.rows() || start > end {
+            return Err(FeatureError::ShapeMismatch {
+                reason: format!(
+                    "window {start}..{end} out of bounds for {} frames",
+                    emg.rows()
+                ),
+            });
+        }
+        for ch in 0..channels {
+            window_buf.clear();
+            window_buf.extend((start..end).map(|f| emg[(f, ch)]));
+            let base = ch * dpc;
+            match set {
+                EmgFeatureSet::Iav => {
+                    out[(w, base)] = window_buf.iter().map(|v| v.abs()).sum();
+                }
+                EmgFeatureSet::HudginsTd { deadband } => {
+                    let n = window_buf.len().max(1) as f64;
+                    out[(w, base)] =
+                        window_buf.iter().map(|v| v.abs()).sum::<f64>() / n; // MAV
+                    out[(w, base + 1)] = zero_crossings(&window_buf, deadband) as f64;
+                    out[(w, base + 2)] = slope_sign_changes(&window_buf, deadband) as f64;
+                    out[(w, base + 3)] = waveform_length(&window_buf);
+                }
+                EmgFeatureSet::Histogram { bins, hi } => {
+                    let h = emg_histogram(&window_buf, bins, 0.0, hi)?;
+                    for (i, v) in h.into_iter().enumerate() {
+                        out[(w, base + i)] = v;
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_crossings_of_alternating_signal() {
+        let x = [1.0, -1.0, 1.0, -1.0, 1.0];
+        assert_eq!(zero_crossings(&x, 0.1), 4);
+        // Below-deadband wiggles are ignored.
+        let tiny = [0.01, -0.01, 0.01, -0.01];
+        assert_eq!(zero_crossings(&tiny, 0.1), 0);
+        assert_eq!(zero_crossings(&[1.0], 0.0), 0);
+    }
+
+    #[test]
+    fn zero_crossings_are_mean_invariant() {
+        let x = [1.0, -1.0, 1.0, -1.0, 1.0];
+        let shifted: Vec<f64> = x.iter().map(|v| v + 100.0).collect();
+        assert_eq!(zero_crossings(&x, 0.1), zero_crossings(&shifted, 0.1));
+    }
+
+    #[test]
+    fn slope_sign_changes_counts_turns() {
+        // up, down, up, down → 3 turning points.
+        let x = [0.0, 1.0, 0.0, 1.0, 0.0];
+        assert_eq!(slope_sign_changes(&x, 0.1), 3);
+        assert_eq!(slope_sign_changes(&[0.0, 1.0], 0.1), 0);
+        // Monotone ramp has none.
+        let ramp = [0.0, 1.0, 2.0, 3.0];
+        assert_eq!(slope_sign_changes(&ramp, 0.1), 0);
+    }
+
+    #[test]
+    fn waveform_length_known() {
+        assert_eq!(waveform_length(&[0.0, 1.0, -1.0]), 3.0);
+        assert_eq!(waveform_length(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn willison_counts_large_jumps() {
+        let x = [0.0, 0.05, 1.0, 1.02, 0.0];
+        assert_eq!(willison_amplitude(&x, 0.5), 2); // 0.05→1.0 and 1.02→0.0
+    }
+
+    #[test]
+    fn histogram_is_normalized_and_clamped() {
+        let x = [0.1, 0.1, 0.9, 5.0, -1.0];
+        let h = emg_histogram(&x, 2, 0.0, 1.0).unwrap();
+        assert_eq!(h.len(), 2);
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(h[0], 3.0 / 5.0); // 0.1, 0.1 and the clamped -1.0
+        assert_eq!(h[1], 2.0 / 5.0); // 0.9 and the clamped 5.0
+        assert!(emg_histogram(&x, 0, 0.0, 1.0).is_err());
+        assert!(emg_histogram(&x, 2, 1.0, 1.0).is_err());
+        assert_eq!(emg_histogram(&[], 3, 0.0, 1.0).unwrap(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn feature_set_dimensions() {
+        assert_eq!(EmgFeatureSet::Iav.dims_per_channel(), 1);
+        assert_eq!(EmgFeatureSet::HudginsTd { deadband: 0.0 }.dims_per_channel(), 4);
+        assert_eq!(
+            EmgFeatureSet::Histogram { bins: 9, hi: 1.0 }.dims_per_channel(),
+            9
+        );
+    }
+
+    #[test]
+    fn windowed_extraction_shapes() {
+        let emg = Matrix::from_fn(24, 2, |r, c| ((r + c) as f64 * 0.9).sin().abs() * 1e-3);
+        let ranges = [(0usize, 12usize), (12, 24)];
+        let iav = emg_features(&emg, &ranges, EmgFeatureSet::Iav).unwrap();
+        assert_eq!(iav.shape(), (2, 2));
+        let td = emg_features(&emg, &ranges, EmgFeatureSet::HudginsTd { deadband: 1e-6 }).unwrap();
+        assert_eq!(td.shape(), (2, 8));
+        let hist = emg_features(
+            &emg,
+            &ranges,
+            EmgFeatureSet::Histogram { bins: 5, hi: 1e-3 },
+        )
+        .unwrap();
+        assert_eq!(hist.shape(), (2, 10));
+        // Histogram rows normalize per channel.
+        for w in 0..2 {
+            let ch0: f64 = (0..5).map(|i| hist[(w, i)]).sum();
+            assert!((ch0 - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn iav_path_matches_dedicated_function() {
+        let emg = Matrix::from_fn(30, 3, |r, c| ((r * 3 + c) as f64).sin());
+        let ranges = [(0usize, 15usize), (15, 30)];
+        let via_set = emg_features(&emg, &ranges, EmgFeatureSet::Iav).unwrap();
+        let direct = crate::iav::iav_features(&emg, &ranges).unwrap();
+        assert!(via_set.approx_eq(&direct, 1e-12));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let emg = Matrix::zeros(5, 1);
+        assert!(emg_features(&emg, &[(0, 9)], EmgFeatureSet::Iav).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types for feature extraction.
+
+use std::fmt;
+
+/// Errors produced by `kinemyo-features`.
+#[derive(Debug)]
+pub enum FeatureError {
+    /// Input shapes are inconsistent (frames, channels, windows).
+    ShapeMismatch {
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+    /// The input is too short to produce any window.
+    NoWindows {
+        /// Signal length in frames.
+        frames: usize,
+        /// Window length in frames.
+        window: usize,
+    },
+    /// A downstream linear-algebra operation failed.
+    Linalg(kinemyo_linalg::LinalgError),
+    /// A downstream DSP operation failed.
+    Dsp(kinemyo_dsp::DspError),
+}
+
+impl fmt::Display for FeatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatureError::ShapeMismatch { reason } => write!(f, "shape mismatch: {reason}"),
+            FeatureError::NoWindows { frames, window } => write!(
+                f,
+                "signal of {frames} frames yields no windows of length {window}"
+            ),
+            FeatureError::Linalg(e) => write!(f, "linalg error: {e}"),
+            FeatureError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FeatureError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FeatureError::Linalg(e) => Some(e),
+            FeatureError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<kinemyo_linalg::LinalgError> for FeatureError {
+    fn from(e: kinemyo_linalg::LinalgError) -> Self {
+        FeatureError::Linalg(e)
+    }
+}
+
+impl From<kinemyo_dsp::DspError> for FeatureError {
+    fn from(e: kinemyo_dsp::DspError) -> Self {
+        FeatureError::Dsp(e)
+    }
+}
+
+/// Result alias for feature extraction.
+pub type Result<T> = std::result::Result<T, FeatureError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(FeatureError::ShapeMismatch {
+            reason: "x".into()
+        }
+        .to_string()
+        .contains("shape mismatch"));
+        assert!(FeatureError::NoWindows {
+            frames: 3,
+            window: 10
+        }
+        .to_string()
+        .contains("no windows"));
+        let e: FeatureError = kinemyo_linalg::LinalgError::Empty { op: "svd" }.into();
+        assert!(e.to_string().contains("linalg"));
+        let d: FeatureError = kinemyo_dsp::DspError::InvalidArgument {
+            reason: "r".into()
+        }
+        .into();
+        assert!(d.to_string().contains("dsp"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Integral of Absolute Value — the paper's EMG feature (Eq. 1).
+//!
+//! For a window `j` of length `w` of an EMG channel `x`:
+//!
+//! `IAV_j = Σ_{i = j·w}^{(j+1)·w − 1} |x_i|`
+//!
+//! computed separately per channel; a window of an `m`-channel recording
+//! becomes an `m`-length feature vector.
+
+use crate::error::{FeatureError, Result};
+use kinemyo_linalg::Matrix;
+
+/// IAV of one signal segment (Eq. 1).
+///
+/// ```
+/// assert_eq!(kinemyo_features::iav(&[1.0, -2.0, 3.0]), 6.0);
+/// ```
+pub fn iav(window: &[f64]) -> f64 {
+    window.iter().map(|v| v.abs()).sum()
+}
+
+/// Mean absolute value — IAV normalized by window length. Provided for
+/// window-size-independent comparisons; the paper uses the raw sum.
+pub fn mav(window: &[f64]) -> f64 {
+    if window.is_empty() {
+        0.0
+    } else {
+        iav(window) / window.len() as f64
+    }
+}
+
+/// Windowed IAV features for a multi-channel EMG matrix
+/// (`frames × channels`).
+///
+/// `ranges` are half-open frame ranges (typically from
+/// [`kinemyo_dsp::WindowSpec::ranges`]). Returns `windows × channels`.
+pub fn iav_features(emg: &Matrix, ranges: &[(usize, usize)]) -> Result<Matrix> {
+    let channels = emg.cols();
+    let mut out = Matrix::zeros(ranges.len(), channels);
+    for (w, &(start, end)) in ranges.iter().enumerate() {
+        if end > emg.rows() || start > end {
+            return Err(FeatureError::ShapeMismatch {
+                reason: format!(
+                    "window {start}..{end} out of bounds for {} frames",
+                    emg.rows()
+                ),
+            });
+        }
+        for ch in 0..channels {
+            let mut acc = 0.0;
+            for frame in start..end {
+                acc += emg[(frame, ch)].abs();
+            }
+            out[(w, ch)] = acc;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iav_of_known_window() {
+        assert_eq!(iav(&[1.0, -2.0, 3.0]), 6.0);
+        assert_eq!(iav(&[]), 0.0);
+        assert_eq!(iav(&[-1.0, -1.0]), 2.0);
+    }
+
+    #[test]
+    fn mav_normalizes() {
+        assert_eq!(mav(&[1.0, -2.0, 3.0]), 2.0);
+        assert_eq!(mav(&[]), 0.0);
+    }
+
+    #[test]
+    fn windowed_features_shape_and_values() {
+        // 2 channels, 6 frames.
+        let emg = Matrix::from_rows(&[
+            vec![1.0, -1.0],
+            vec![-1.0, 2.0],
+            vec![2.0, -3.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![-1.0, 1.0],
+        ])
+        .unwrap();
+        let ranges = [(0, 3), (3, 6)];
+        let f = iav_features(&emg, &ranges).unwrap();
+        assert_eq!(f.shape(), (2, 2));
+        assert_eq!(f[(0, 0)], 4.0); // |1| + |-1| + |2|
+        assert_eq!(f[(0, 1)], 6.0);
+        assert_eq!(f[(1, 0)], 2.0);
+        assert_eq!(f[(1, 1)], 2.0);
+    }
+
+    #[test]
+    fn out_of_bounds_window_rejected() {
+        let emg = Matrix::zeros(4, 1);
+        assert!(iav_features(&emg, &[(0, 5)]).is_err());
+        assert!(iav_features(&emg, &[(3, 2)]).is_err());
+    }
+
+    #[test]
+    fn empty_ranges_give_empty_features() {
+        let emg = Matrix::zeros(4, 2);
+        let f = iav_features(&emg, &[]).unwrap();
+        assert_eq!(f.shape(), (0, 2));
+    }
+
+    #[test]
+    fn iav_scales_with_amplitude() {
+        let quiet: Vec<f64> = (0..50).map(|i| 0.1 * ((i as f64) * 0.7).sin()).collect();
+        let loud: Vec<f64> = quiet.iter().map(|v| v * 10.0).collect();
+        assert!((iav(&loud) - 10.0 * iav(&quiet)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,102 @@
+//! # kinemyo-features
+//!
+//! The paper's feature-extraction pipeline, stage by stage:
+//!
+//! * [`iav`](mod@iav) — Integral of Absolute Value per EMG channel per window
+//!   (Eq. 1);
+//! * [`local_transform`] — pelvis-local re-origin of the motion matrices
+//!   (Sec. 3.2), plus an optional heading-normalizing extension;
+//! * [`wsvd`] — weighted-SVD joint features (Eqs. 2–3), with a mean-pose
+//!   baseline for the ablation study;
+//! * [`combine`] — appending the m-length EMG vector to the n-length mocap
+//!   vector into an (m+n)-d feature point per window (Sec. 3.3), with a
+//!   modality switch (EMG-only / mocap-only / combined);
+//! * [`motion_vector`] — the final 2c-length min/max-of-highest-membership
+//!   motion feature vectors (Eqs. 5–8), with a hard-histogram baseline;
+//! * [`emg_features`](mod@emg_features) — the related work's alternative EMG features
+//!   (Hudgins time-domain set \[7\], EMG histogram \[15\]) for the
+//!   feature-choice ablation.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod combine;
+pub mod emg_features;
+pub mod error;
+pub mod iav;
+pub mod local_transform;
+pub mod motion_vector;
+pub mod wsvd;
+
+pub use combine::{window_feature_points, Modality};
+pub use emg_features::{emg_features, EmgFeatureSet};
+pub use error::{FeatureError, Result};
+pub use iav::{iav, iav_features, mav};
+pub use local_transform::{to_pelvis_local, to_pelvis_local_heading};
+pub use motion_vector::{hard_histogram_vector, motion_feature_vector, window_assignments};
+pub use wsvd::{mean_pose_features, weighted_sv_feature, wsvd_features};
+
+#[cfg(test)]
+mod proptests {
+    use crate::motion_vector::{hard_histogram_vector, motion_feature_vector};
+    use crate::wsvd::weighted_sv_feature;
+    use kinemyo_linalg::Matrix;
+    use proptest::prelude::*;
+
+    /// Random membership matrix with rows summing to 1.
+    fn membership_matrix() -> impl Strategy<Value = Matrix> {
+        (1usize..12, 2usize..8).prop_flat_map(|(n, c)| {
+            proptest::collection::vec(0.001..1.0f64, n * c).prop_map(move |mut data| {
+                for row in data.chunks_mut(c) {
+                    let s: f64 = row.iter().sum();
+                    for v in row.iter_mut() {
+                        *v /= s;
+                    }
+                }
+                Matrix::from_vec(n, c, data).unwrap()
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn final_vector_invariants(m in membership_matrix()) {
+            let f = motion_feature_vector(&m).unwrap();
+            prop_assert_eq!(f.len(), 2 * m.cols());
+            for pair in f.as_slice().chunks(2) {
+                prop_assert!(pair[0] >= 0.0 && pair[1] <= 1.0 + 1e-12);
+                prop_assert!(pair[0] <= pair[1], "min {} > max {}", pair[0], pair[1]);
+            }
+            // The global max of highest memberships must appear somewhere.
+            let hmax = (0..m.rows())
+                .map(|r| m.row(r).iter().cloned().fold(0.0, f64::max))
+                .fold(0.0, f64::max);
+            let fmax = f.as_slice().iter().cloned().fold(0.0, f64::max);
+            prop_assert!((hmax - fmax).abs() < 1e-12);
+        }
+
+        #[test]
+        fn hard_histogram_is_a_distribution(m in membership_matrix()) {
+            let h = hard_histogram_vector(&m).unwrap();
+            let sum: f64 = h.as_slice().iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            for &v in h.as_slice() {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+
+        #[test]
+        fn wsvd_feature_norm_bounded(
+            data in proptest::collection::vec(-500.0..500.0f64, 18..72),
+        ) {
+            let n = data.len() / 3;
+            let w = Matrix::from_vec(n, 3, data[..n * 3].to_vec()).unwrap();
+            let f = weighted_sv_feature(&w).unwrap();
+            let norm = (f[0] * f[0] + f[1] * f[1] + f[2] * f[2]).sqrt();
+            prop_assert!(norm <= 1.0 + 1e-9);
+            prop_assert!(f.iter().all(|v| v.is_finite()));
+        }
+    }
+}

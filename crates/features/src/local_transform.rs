@@ -1,0 +1,188 @@
+//! Pelvis-local transformation of motion-capture data (paper Sec. 3.2).
+//!
+//! "With the global positions, it becomes difficult to analyze the motions
+//! performed at different locations and in different directions. Thus, we
+//! do the local transformation of positional data for each body segment by
+//! shifting the global origin to the pelvis segment because it is the root
+//! of all body segments."
+//!
+//! [`to_pelvis_local`] implements exactly that translation. As an
+//! extension, [`to_pelvis_local_heading`] additionally cancels the
+//! participant's heading so trials *facing* different directions also
+//! align (the paper's translation-only transform leaves heading in the
+//! data; the ablation benches quantify the difference).
+
+use crate::error::{FeatureError, Result};
+use kinemyo_linalg::Matrix;
+
+fn check_shapes(mocap: &Matrix, pelvis: &Matrix) -> Result<()> {
+    if pelvis.cols() != 3 {
+        return Err(FeatureError::ShapeMismatch {
+            reason: format!("pelvis trajectory must have 3 columns, got {}", pelvis.cols()),
+        });
+    }
+    if pelvis.rows() != mocap.rows() {
+        return Err(FeatureError::ShapeMismatch {
+            reason: format!(
+                "pelvis has {} frames but mocap has {}",
+                pelvis.rows(),
+                mocap.rows()
+            ),
+        });
+    }
+    if mocap.cols() % 3 != 0 {
+        return Err(FeatureError::ShapeMismatch {
+            reason: format!("mocap columns ({}) must be a multiple of 3", mocap.cols()),
+        });
+    }
+    Ok(())
+}
+
+/// Shifts every marker of every frame so the pelvis becomes the origin
+/// (the paper's local transformation).
+pub fn to_pelvis_local(mocap: &Matrix, pelvis: &Matrix) -> Result<Matrix> {
+    check_shapes(mocap, pelvis)?;
+    let mut out = mocap.clone();
+    let joints = mocap.cols() / 3;
+    for f in 0..out.rows() {
+        let (px, py, pz) = (pelvis[(f, 0)], pelvis[(f, 1)], pelvis[(f, 2)]);
+        let row = out.row_mut(f);
+        for j in 0..joints {
+            row[j * 3] -= px;
+            row[j * 3 + 1] -= py;
+            row[j * 3 + 2] -= pz;
+        }
+    }
+    Ok(out)
+}
+
+/// Pelvis-local transform that also removes the heading rotation
+/// `heading_rad` (rotation about the vertical Y axis) — aligning trials
+/// performed facing different directions. Extension over the paper.
+pub fn to_pelvis_local_heading(
+    mocap: &Matrix,
+    pelvis: &Matrix,
+    heading_rad: f64,
+) -> Result<Matrix> {
+    let local = to_pelvis_local(mocap, pelvis)?;
+    let (s, c) = (-heading_rad).sin_cos();
+    let mut out = local;
+    let joints = out.cols() / 3;
+    for f in 0..out.rows() {
+        let row = out.row_mut(f);
+        for j in 0..joints {
+            let x = row[j * 3];
+            let z = row[j * 3 + 2];
+            // Rotation about +Y by −heading: x' = c·x + s·z, z' = −s·x + c·z.
+            row[j * 3] = c * x + s * z;
+            row[j * 3 + 2] = -s * x + c * z;
+        }
+    }
+    Ok(out)
+}
+
+/// Extracts the `w×3` joint matrix of joint `j` over frame range
+/// `(start, end)` — the per-joint window the weighted-SVD feature consumes.
+pub fn joint_window(mocap: &Matrix, joint: usize, start: usize, end: usize) -> Result<Matrix> {
+    let joints = mocap.cols() / 3;
+    if joint >= joints {
+        return Err(FeatureError::ShapeMismatch {
+            reason: format!("joint {joint} out of range ({joints} joints)"),
+        });
+    }
+    if end > mocap.rows() || start > end {
+        return Err(FeatureError::ShapeMismatch {
+            reason: format!("window {start}..{end} out of bounds ({} frames)", mocap.rows()),
+        });
+    }
+    let mut out = Matrix::zeros(end - start, 3);
+    for (r, f) in (start..end).enumerate() {
+        out[(r, 0)] = mocap[(f, joint * 3)];
+        out[(r, 1)] = mocap[(f, joint * 3 + 1)];
+        out[(r, 2)] = mocap[(f, joint * 3 + 2)];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_scene() -> (Matrix, Matrix) {
+        // 2 joints, 3 frames; pelvis wandering.
+        let mocap = Matrix::from_rows(&[
+            vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0],
+            vec![11.0, 21.0, 31.0, 41.0, 51.0, 61.0],
+            vec![12.0, 22.0, 32.0, 42.0, 52.0, 62.0],
+        ])
+        .unwrap();
+        let pelvis = Matrix::from_rows(&[
+            vec![10.0, 20.0, 30.0],
+            vec![11.0, 21.0, 31.0],
+            vec![12.0, 22.0, 32.0],
+        ])
+        .unwrap();
+        (mocap, pelvis)
+    }
+
+    #[test]
+    fn pelvis_becomes_origin() {
+        let (mocap, pelvis) = simple_scene();
+        let local = to_pelvis_local(&mocap, &pelvis).unwrap();
+        // Joint 0 coincides with the pelvis → all zeros.
+        for f in 0..3 {
+            assert_eq!(local[(f, 0)], 0.0);
+            assert_eq!(local[(f, 1)], 0.0);
+            assert_eq!(local[(f, 2)], 0.0);
+            // Joint 1 keeps its constant offset (30, 30, 30).
+            assert_eq!(local[(f, 3)], 30.0);
+            assert_eq!(local[(f, 4)], 30.0);
+            assert_eq!(local[(f, 5)], 30.0);
+        }
+    }
+
+    #[test]
+    fn translation_invariance() {
+        // Shifting the whole scene changes nothing after the transform.
+        let (mocap, pelvis) = simple_scene();
+        let shifted_mocap = mocap.map(|v| v + 500.0);
+        let shifted_pelvis = pelvis.map(|v| v + 500.0);
+        let a = to_pelvis_local(&mocap, &pelvis).unwrap();
+        let b = to_pelvis_local(&shifted_mocap, &shifted_pelvis).unwrap();
+        assert!(a.approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn shape_validation() {
+        let (mocap, _) = simple_scene();
+        let bad_pelvis = Matrix::zeros(3, 2);
+        assert!(to_pelvis_local(&mocap, &bad_pelvis).is_err());
+        let short_pelvis = Matrix::zeros(2, 3);
+        assert!(to_pelvis_local(&mocap, &short_pelvis).is_err());
+        let bad_mocap = Matrix::zeros(3, 5);
+        assert!(to_pelvis_local(&bad_mocap, &Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn heading_normalization_aligns_rotated_trials() {
+        // A marker at +Z, scene rotated 90° about Y (so it appears at +X).
+        let pelvis = Matrix::zeros(1, 3);
+        let facing_fwd = Matrix::from_rows(&[vec![0.0, 0.0, 100.0]]).unwrap();
+        let facing_right = Matrix::from_rows(&[vec![100.0, 0.0, 0.0]]).unwrap();
+        let a = to_pelvis_local_heading(&facing_fwd, &pelvis, 0.0).unwrap();
+        let b = to_pelvis_local_heading(&facing_right, &pelvis, std::f64::consts::FRAC_PI_2)
+            .unwrap();
+        assert!(a.approx_eq(&b, 1e-9), "{a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn joint_window_extraction() {
+        let (mocap, _) = simple_scene();
+        let w = joint_window(&mocap, 1, 1, 3).unwrap();
+        assert_eq!(w.shape(), (2, 3));
+        assert_eq!(w[(0, 0)], 41.0);
+        assert_eq!(w[(1, 2)], 62.0);
+        assert!(joint_window(&mocap, 2, 0, 2).is_err());
+        assert!(joint_window(&mocap, 0, 0, 9).is_err());
+    }
+}

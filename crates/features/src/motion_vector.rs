@@ -1,0 +1,189 @@
+//! Final per-motion feature vectors from fuzzy memberships (Eqs. 5–8).
+//!
+//! After fuzzy c-means, every window of a motion has a membership row. For
+//! each window take the *highest* membership `h` and its cluster (Eqs.
+//! 5–6); the motion's final feature vector is, per cluster, the maximum
+//! and minimum of those highest memberships over the windows that mapped
+//! to it (Eqs. 7–8). Clusters no window mapped to contribute `(0, 0)` —
+//! exactly the zero entries visible in the paper's Fig. 4. The final
+//! vector has length `2c`.
+
+use crate::error::{FeatureError, Result};
+use kinemyo_linalg::{Matrix, Vector};
+
+/// Highest membership and its cluster for one window (Eqs. 5–6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowAssignment {
+    /// Index of the max-membership cluster.
+    pub cluster: usize,
+    /// The highest membership value.
+    pub membership: f64,
+}
+
+/// Computes the per-window assignments from a membership matrix
+/// (`windows × clusters`, rows summing to 1).
+pub fn window_assignments(memberships: &Matrix) -> Result<Vec<WindowAssignment>> {
+    if memberships.cols() == 0 {
+        return Err(FeatureError::ShapeMismatch {
+            reason: "membership matrix has no clusters".into(),
+        });
+    }
+    let mut out = Vec::with_capacity(memberships.rows());
+    for w in 0..memberships.rows() {
+        let row = memberships.row(w);
+        let mut best = 0;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        out.push(WindowAssignment {
+            cluster: best,
+            membership: row[best],
+        });
+    }
+    Ok(out)
+}
+
+/// Builds the final `2c`-length motion feature vector (Eqs. 7–8).
+///
+/// Layout: `[min₁, max₁, min₂, max₂, …, min_c, max_c]` — matching the
+/// "min max" per-cluster pairs of the paper's Fig. 4.
+pub fn motion_feature_vector(memberships: &Matrix) -> Result<Vector> {
+    let assignments = window_assignments(memberships)?;
+    let c = memberships.cols();
+    let mut mins = vec![f64::INFINITY; c];
+    let mut maxs = vec![0.0f64; c];
+    for a in &assignments {
+        if a.membership > maxs[a.cluster] {
+            maxs[a.cluster] = a.membership;
+        }
+        if a.membership < mins[a.cluster] {
+            mins[a.cluster] = a.membership;
+        }
+    }
+    let mut out = Vec::with_capacity(2 * c);
+    for k in 0..c {
+        if mins[k].is_infinite() {
+            // No window mapped to this cluster (Fig. 4 zeros).
+            out.push(0.0);
+            out.push(0.0);
+        } else {
+            out.push(mins[k]);
+            out.push(maxs[k]);
+        }
+    }
+    Ok(Vector::from_vec(out))
+}
+
+/// Hard-assignment baseline for the fuzzy-vs-hard ablation: the fraction
+/// of windows assigned to each cluster (a `c`-length normalized
+/// histogram). Uses the same max-membership assignment, but discards the
+/// membership *values* the fuzzy representation keeps.
+pub fn hard_histogram_vector(memberships: &Matrix) -> Result<Vector> {
+    let assignments = window_assignments(memberships)?;
+    let c = memberships.cols();
+    let mut counts = vec![0.0f64; c];
+    for a in &assignments {
+        counts[a.cluster] += 1.0;
+    }
+    let n = assignments.len().max(1) as f64;
+    for v in &mut counts {
+        *v /= n;
+    }
+    Ok(Vector::from_vec(counts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memberships() -> Matrix {
+        // 4 windows, 3 clusters.
+        Matrix::from_rows(&[
+            vec![0.7, 0.2, 0.1],
+            vec![0.6, 0.3, 0.1],
+            vec![0.1, 0.8, 0.1],
+            vec![0.2, 0.5, 0.3],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn assignments_pick_argmax() {
+        let a = window_assignments(&memberships()).unwrap();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0].cluster, 0);
+        assert_eq!(a[0].membership, 0.7);
+        assert_eq!(a[2].cluster, 1);
+        assert_eq!(a[2].membership, 0.8);
+    }
+
+    #[test]
+    fn feature_vector_min_max_layout() {
+        let f = motion_feature_vector(&memberships()).unwrap();
+        assert_eq!(f.len(), 6);
+        // Cluster 0: windows 0 (0.7) and 1 (0.6) → min 0.6, max 0.7.
+        assert_eq!(f[0], 0.6);
+        assert_eq!(f[1], 0.7);
+        // Cluster 1: windows 2 (0.8) and 3 (0.5) → min 0.5, max 0.8.
+        assert_eq!(f[2], 0.5);
+        assert_eq!(f[3], 0.8);
+        // Cluster 2: unvisited → zeros (paper Fig. 4).
+        assert_eq!(f[4], 0.0);
+        assert_eq!(f[5], 0.0);
+    }
+
+    #[test]
+    fn single_window_motion() {
+        let m = Matrix::from_rows(&[vec![0.1, 0.9]]).unwrap();
+        let f = motion_feature_vector(&m).unwrap();
+        assert_eq!(f.as_slice(), &[0.0, 0.0, 0.9, 0.9]);
+    }
+
+    #[test]
+    fn values_always_in_unit_interval() {
+        let f = motion_feature_vector(&memberships()).unwrap();
+        for &v in f.as_slice() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        // min ≤ max within each cluster pair.
+        for pair in f.as_slice().chunks(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+    }
+
+    #[test]
+    fn empty_membership_matrix() {
+        let m = Matrix::zeros(0, 3);
+        let f = motion_feature_vector(&m).unwrap();
+        assert_eq!(f.as_slice(), &[0.0; 6]);
+        assert!(motion_feature_vector(&Matrix::zeros(2, 0)).is_err());
+    }
+
+    #[test]
+    fn hard_histogram_sums_to_one() {
+        let h = hard_histogram_vector(&memberships()).unwrap();
+        assert_eq!(h.len(), 3);
+        assert!((h.as_slice().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(h[0], 0.5);
+        assert_eq!(h[1], 0.5);
+        assert_eq!(h[2], 0.0);
+    }
+
+    #[test]
+    fn similar_motions_have_similar_vectors() {
+        // Two "motions" whose windows visit the same clusters with similar
+        // strengths should land close in final-feature space; a motion
+        // visiting different clusters should not.
+        let m1 = Matrix::from_rows(&[vec![0.8, 0.1, 0.1], vec![0.7, 0.2, 0.1]]).unwrap();
+        let m2 = Matrix::from_rows(&[vec![0.75, 0.15, 0.1], vec![0.72, 0.2, 0.08]]).unwrap();
+        let m3 = Matrix::from_rows(&[vec![0.1, 0.1, 0.8], vec![0.1, 0.2, 0.7]]).unwrap();
+        let f1 = motion_feature_vector(&m1).unwrap();
+        let f2 = motion_feature_vector(&m2).unwrap();
+        let f3 = motion_feature_vector(&m3).unwrap();
+        let d12 = kinemyo_linalg::vector::euclidean(f1.as_slice(), f2.as_slice());
+        let d13 = kinemyo_linalg::vector::euclidean(f1.as_slice(), f3.as_slice());
+        assert!(d12 < d13 / 3.0, "d12={d12} d13={d13}");
+    }
+}

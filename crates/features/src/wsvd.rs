@@ -1,0 +1,206 @@
+//! Weighted-SVD motion-capture features (paper Eqs. 2–3).
+//!
+//! For each joint's `w×3` window `A`, take `A = U Σ Vᵀ` and build the
+//! 3-length feature
+//!
+//! `f = Σ_{k=1..3} (σ_k / Σ_j σ_j) · v_k`
+//!
+//! — the right singular vectors weighted by their normalized singular
+//! values. The paper: "the weighted joint feature vector of length 3
+//! represents the contribution of the corresponding joint to the motion
+//! data in 3D space for the window … and also captures the geometric
+//! similarity of motion matrices."
+
+use crate::error::{FeatureError, Result};
+use crate::local_transform::joint_window;
+use kinemyo_linalg::svd::svd;
+use kinemyo_linalg::Matrix;
+
+/// Weighted sum of right singular vectors for one joint window (Eq. 3).
+///
+/// A perfectly stationary (all-zero after centering… here: all-zero)
+/// window has no singular directions; the feature is the zero vector.
+pub fn weighted_sv_feature(window: &Matrix) -> Result<[f64; 3]> {
+    if window.cols() != 3 {
+        return Err(FeatureError::ShapeMismatch {
+            reason: format!("joint window must have 3 columns, got {}", window.cols()),
+        });
+    }
+    if window.rows() == 0 {
+        return Err(FeatureError::ShapeMismatch {
+            reason: "joint window has no frames".into(),
+        });
+    }
+    let decomposition = svd(window)?;
+    let weights = decomposition.normalized_weights();
+    let mut f = [0.0f64; 3];
+    for (k, &w) in weights.iter().enumerate() {
+        if w == 0.0 {
+            continue;
+        }
+        let v = decomposition.right_singular_vector(k);
+        for (fi, &vi) in f.iter_mut().zip(v) {
+            *fi += w * vi;
+        }
+    }
+    Ok(f)
+}
+
+/// Weighted-SVD features for all joints of a (pelvis-local) motion matrix
+/// over the given frame ranges. Returns `windows × (3 · joints)`.
+pub fn wsvd_features(mocap_local: &Matrix, ranges: &[(usize, usize)]) -> Result<Matrix> {
+    if mocap_local.cols() % 3 != 0 {
+        return Err(FeatureError::ShapeMismatch {
+            reason: format!("mocap columns ({}) must be a multiple of 3", mocap_local.cols()),
+        });
+    }
+    let joints = mocap_local.cols() / 3;
+    let mut out = Matrix::zeros(ranges.len(), joints * 3);
+    for (w, &(start, end)) in ranges.iter().enumerate() {
+        for j in 0..joints {
+            let window = joint_window(mocap_local, j, start, end)?;
+            let f = weighted_sv_feature(&window)?;
+            out[(w, j * 3)] = f[0];
+            out[(w, j * 3 + 1)] = f[1];
+            out[(w, j * 3 + 2)] = f[2];
+        }
+    }
+    Ok(out)
+}
+
+/// Baseline feature for the ablation study: the mean marker position over
+/// the window (3 values per joint), i.e. "where was the joint" instead of
+/// "how did it move".
+pub fn mean_pose_features(mocap_local: &Matrix, ranges: &[(usize, usize)]) -> Result<Matrix> {
+    if mocap_local.cols() % 3 != 0 {
+        return Err(FeatureError::ShapeMismatch {
+            reason: format!("mocap columns ({}) must be a multiple of 3", mocap_local.cols()),
+        });
+    }
+    let cols = mocap_local.cols();
+    let mut out = Matrix::zeros(ranges.len(), cols);
+    for (w, &(start, end)) in ranges.iter().enumerate() {
+        if end > mocap_local.rows() || start >= end {
+            return Err(FeatureError::ShapeMismatch {
+                reason: format!("window {start}..{end} out of bounds"),
+            });
+        }
+        let len = (end - start) as f64;
+        for c in 0..cols {
+            let mut acc = 0.0;
+            for f in start..end {
+                acc += mocap_local[(f, c)];
+            }
+            out[(w, c)] = acc / len;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_window(direction: [f64; 3], n: usize) -> Matrix {
+        // Points marching along a single line: rank-1 joint matrix.
+        Matrix::from_fn(n, 3, |r, c| (r as f64 + 1.0) * direction[c])
+    }
+
+    #[test]
+    fn rank_one_window_recovers_direction() {
+        let dir = [0.6, 0.0, 0.8]; // unit vector
+        let w = line_window(dir, 12);
+        let f = weighted_sv_feature(&w).unwrap();
+        // All weight on v₁ = ±direction; sign convention fixes the larger
+        // component positive, so f ≈ direction.
+        for (fi, di) in f.iter().zip(&dir) {
+            assert!((fi - di).abs() < 1e-9, "{f:?} vs {dir:?}");
+        }
+    }
+
+    #[test]
+    fn zero_window_gives_zero_feature() {
+        let w = Matrix::zeros(10, 3);
+        let f = weighted_sv_feature(&w).unwrap();
+        assert_eq!(f, [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn feature_is_scale_invariant_in_direction() {
+        // Doubling amplitudes leaves normalized weights and directions
+        // unchanged, hence the same feature.
+        let w = Matrix::from_fn(16, 3, |r, c| ((r * 3 + c) as f64 * 0.4).sin());
+        let w2 = w.scaled(2.0);
+        let f1 = weighted_sv_feature(&w).unwrap();
+        let f2 = weighted_sv_feature(&w2).unwrap();
+        for (a, b) in f1.iter().zip(&f2) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn feature_norm_is_bounded_by_one() {
+        // f is a convex combination of unit vectors, so ‖f‖ ≤ 1.
+        for seed in 0..5 {
+            let w = Matrix::from_fn(10, 3, |r, c| ((r * 7 + c * 3 + seed) as f64 * 0.71).sin());
+            let f = weighted_sv_feature(&w).unwrap();
+            let norm = (f[0] * f[0] + f[1] * f[1] + f[2] * f[2]).sqrt();
+            assert!(norm <= 1.0 + 1e-9, "norm {norm}");
+        }
+    }
+
+    #[test]
+    fn different_motion_directions_give_different_features() {
+        let fx = weighted_sv_feature(&line_window([1.0, 0.0, 0.0], 10)).unwrap();
+        let fy = weighted_sv_feature(&line_window([0.0, 1.0, 0.0], 10)).unwrap();
+        let d: f64 = fx.iter().zip(&fy).map(|(a, b)| (a - b).abs()).sum();
+        assert!(d > 1.0, "features must separate motion directions");
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(weighted_sv_feature(&Matrix::zeros(5, 2)).is_err());
+        assert!(weighted_sv_feature(&Matrix::zeros(0, 3)).is_err());
+    }
+
+    #[test]
+    fn multi_joint_features_layout() {
+        // 2 joints, joint 0 moves in x, joint 1 in y.
+        let mocap = Matrix::from_fn(12, 6, |r, c| match c {
+            0 => r as f64,
+            4 => r as f64,
+            _ => 0.0,
+        });
+        let f = wsvd_features(&mocap, &[(0, 6), (6, 12)]).unwrap();
+        assert_eq!(f.shape(), (2, 6));
+        // Joint 0 window feature points along x.
+        assert!(f[(0, 0)] > 0.9);
+        assert!(f[(0, 1)].abs() < 1e-9);
+        // Joint 1 along y.
+        assert!(f[(0, 4)] > 0.9);
+        assert!(f[(0, 3)].abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_pose_baseline() {
+        let mocap = Matrix::from_fn(4, 3, |r, _| r as f64);
+        let f = mean_pose_features(&mocap, &[(0, 2), (2, 4)]).unwrap();
+        assert_eq!(f[(0, 0)], 0.5);
+        assert_eq!(f[(1, 0)], 2.5);
+        assert!(mean_pose_features(&mocap, &[(0, 9)]).is_err());
+        assert!(mean_pose_features(&Matrix::zeros(4, 2), &[(0, 2)]).is_err());
+    }
+
+    #[test]
+    fn paper_window_sizes_all_work() {
+        // 50/100/150/200 ms at 120 Hz → 6/12/18/24-frame windows.
+        for len in [6usize, 12, 18, 24] {
+            let mocap = Matrix::from_fn(48, 3, |r, c| ((r + c) as f64 * 0.3).cos());
+            let ranges: Vec<(usize, usize)> =
+                (0..48 / len).map(|i| (i * len, (i + 1) * len)).collect();
+            let f = wsvd_features(&mocap, &ranges).unwrap();
+            assert_eq!(f.rows(), 48 / len);
+            assert!(!f.has_non_finite());
+        }
+    }
+}

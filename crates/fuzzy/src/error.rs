@@ -1,0 +1,59 @@
+//! Error types for clustering operations.
+
+use std::fmt;
+
+/// Errors produced by `kinemyo-fuzzy` operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FuzzyError {
+    /// A configuration parameter is out of range.
+    InvalidConfig {
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// The dataset cannot be clustered as requested (too few points, empty,
+    /// dimension mismatch with the model).
+    InvalidData {
+        /// Explanation of the data problem.
+        reason: String,
+    },
+    /// The alternating optimization failed to produce finite values.
+    NumericalFailure {
+        /// Explanation of what became non-finite.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FuzzyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzyError::InvalidConfig { reason } => write!(f, "invalid FCM config: {reason}"),
+            FuzzyError::InvalidData { reason } => write!(f, "invalid clustering data: {reason}"),
+            FuzzyError::NumericalFailure { reason } => {
+                write!(f, "numerical failure in clustering: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FuzzyError {}
+
+/// Result alias for clustering operations.
+pub type Result<T> = std::result::Result<T, FuzzyError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(FuzzyError::InvalidConfig { reason: "c=0".into() }
+            .to_string()
+            .contains("c=0"));
+        assert!(FuzzyError::InvalidData { reason: "empty".into() }
+            .to_string()
+            .contains("empty"));
+        assert!(FuzzyError::NumericalFailure { reason: "NaN".into() }
+            .to_string()
+            .contains("NaN"));
+    }
+}

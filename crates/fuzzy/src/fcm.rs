@@ -1,0 +1,583 @@
+//! Fuzzy c-means clustering (Bezdek's alternating optimization).
+//!
+//! This is the clustering stage of the paper's pipeline (Eq. 4):
+//! `[center, U, objFcn] = fcm(points, c)` over the combined EMG + motion
+//! feature points. The implementation follows the standard formulation with
+//! fuzzifier `m` (the paper fixes `m = 2`, "most widely used"), multi-restart
+//! seeding, and explicit handling of points that coincide with a center.
+
+use crate::error::{FuzzyError, Result};
+use kinemyo_linalg::vector::sq_euclidean;
+use kinemyo_linalg::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration for fuzzy c-means.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FcmConfig {
+    /// Number of clusters `c` (the paper sweeps 5–40).
+    pub clusters: usize,
+    /// Fuzzifier `m > 1`; the paper chooses `m = 2` following \[11\].
+    pub fuzzifier: f64,
+    /// Maximum alternating-optimization iterations per restart.
+    pub max_iters: usize,
+    /// Convergence threshold on the relative objective decrease.
+    pub tol: f64,
+    /// Number of random restarts; the best (lowest-objective) run wins.
+    pub restarts: usize,
+    /// RNG seed for reproducible initialization.
+    pub seed: u64,
+}
+
+impl FcmConfig {
+    /// A config with the paper's defaults for a given cluster count.
+    pub fn new(clusters: usize) -> Self {
+        Self {
+            clusters,
+            fuzzifier: 2.0,
+            max_iters: 300,
+            tol: 1e-6,
+            restarts: 3,
+            seed: 0x1CDE_2007,
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the fuzzifier `m`.
+    pub fn with_fuzzifier(mut self, m: f64) -> Self {
+        self.fuzzifier = m;
+        self
+    }
+
+    /// Overrides the restart count.
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts;
+        self
+    }
+
+    fn validate(&self, n_points: usize) -> Result<()> {
+        if self.clusters == 0 {
+            return Err(FuzzyError::InvalidConfig {
+                reason: "cluster count must be >= 1".into(),
+            });
+        }
+        if self.clusters > n_points {
+            return Err(FuzzyError::InvalidData {
+                reason: format!(
+                    "cannot form {} clusters from {} points",
+                    self.clusters, n_points
+                ),
+            });
+        }
+        if !(self.fuzzifier > 1.0) || !self.fuzzifier.is_finite() {
+            return Err(FuzzyError::InvalidConfig {
+                reason: format!("fuzzifier must be > 1, got {}", self.fuzzifier),
+            });
+        }
+        if self.max_iters == 0 || self.restarts == 0 {
+            return Err(FuzzyError::InvalidConfig {
+                reason: "max_iters and restarts must be >= 1".into(),
+            });
+        }
+        if !(self.tol > 0.0) {
+            return Err(FuzzyError::InvalidConfig {
+                reason: format!("tol must be positive, got {}", self.tol),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A fitted fuzzy c-means model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FcmModel {
+    /// Cluster centers, `c × d` (the paper's `center` output).
+    pub centers: Matrix,
+    /// Membership matrix `U`, `n × c`; each row sums to 1 (paper's `U`).
+    pub memberships: Matrix,
+    /// Objective value per iteration of the winning restart (paper's
+    /// `objFcn` history).
+    pub objective_history: Vec<f64>,
+    /// Iterations used by the winning restart.
+    pub iterations: usize,
+    /// Fuzzifier the model was fitted with (needed to project new points).
+    pub fuzzifier: f64,
+}
+
+impl FcmModel {
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.centers.rows()
+    }
+
+    /// Feature-space dimensionality.
+    pub fn dim(&self) -> usize {
+        self.centers.cols()
+    }
+
+    /// Final objective value.
+    pub fn objective(&self) -> f64 {
+        self.objective_history.last().copied().unwrap_or(f64::NAN)
+    }
+
+    /// Membership vector of a *new* point against the fitted centers —
+    /// the paper's Eq. 9 query path:
+    /// `u_j = 1 / Σ_k (‖x − v_j‖ / ‖x − v_k‖)^(2/(m−1))`.
+    pub fn memberships_for(&self, point: &[f64]) -> Result<Vec<f64>> {
+        if point.len() != self.dim() {
+            return Err(FuzzyError::InvalidData {
+                reason: format!(
+                    "point has dimension {}, model expects {}",
+                    point.len(),
+                    self.dim()
+                ),
+            });
+        }
+        Ok(membership_row(&self.centers, point, self.fuzzifier))
+    }
+
+    /// Hard assignment: index of the max-membership cluster for a new point.
+    pub fn predict(&self, point: &[f64]) -> Result<usize> {
+        let u = self.memberships_for(point)?;
+        Ok(argmax(&u))
+    }
+}
+
+/// Index of the maximum element (first on ties). Panics on empty input.
+pub fn argmax(xs: &[f64]) -> usize {
+    assert!(!xs.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Computes the membership row of `point` against `centers` with fuzzifier
+/// `m`. If the point coincides with one or more centers, membership is
+/// split uniformly among the coincident centers (the standard degenerate-
+/// case rule).
+pub(crate) fn membership_row(centers: &Matrix, point: &[f64], m: f64) -> Vec<f64> {
+    let c = centers.rows();
+    let mut d2: Vec<f64> = (0..c)
+        .map(|i| sq_euclidean(centers.row(i), point))
+        .collect();
+    // Degenerate case: coincident with a center.
+    let zero_hits: Vec<usize> = d2
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d == 0.0)
+        .map(|(i, _)| i)
+        .collect();
+    if !zero_hits.is_empty() {
+        let mut u = vec![0.0; c];
+        let share = 1.0 / zero_hits.len() as f64;
+        for i in zero_hits {
+            u[i] = share;
+        }
+        return u;
+    }
+    let exponent = 1.0 / (m - 1.0);
+    // u_i = 1 / Σ_j (d_i / d_j)^(1/(m-1)) over squared distances
+    //     = d_i^(-e) / Σ_j d_j^(-e)
+    for d in &mut d2 {
+        *d = d.powf(-exponent);
+    }
+    let total: f64 = d2.iter().sum();
+    d2.iter().map(|v| v / total).collect()
+}
+
+/// Fits fuzzy c-means to the rows of `data` (`n × d`).
+///
+/// This is the paper's Eq. 4: returns centers, the membership matrix `U`,
+/// and the objective history.
+///
+/// ```
+/// use kinemyo_fuzzy::{fcm_fit, FcmConfig};
+/// use kinemyo_linalg::Matrix;
+///
+/// // Two obvious groups on a line.
+/// let data = Matrix::from_rows(&[
+///     vec![0.0], vec![0.1], vec![0.2],
+///     vec![9.8], vec![9.9], vec![10.0],
+/// ]).unwrap();
+/// let model = fcm_fit(&data, &FcmConfig::new(2)).unwrap();
+/// // Every membership row sums to 1, and the ends are crisply assigned.
+/// let u = model.memberships_for(&[0.05]).unwrap();
+/// assert!((u[0] + u[1] - 1.0).abs() < 1e-9);
+/// assert!(u.iter().cloned().fold(0.0, f64::max) > 0.95);
+/// ```
+pub fn fit(data: &Matrix, config: &FcmConfig) -> Result<FcmModel> {
+    let n = data.rows();
+    let d = data.cols();
+    config.validate(n)?;
+    if d == 0 {
+        return Err(FuzzyError::InvalidData {
+            reason: "points have zero dimensions".into(),
+        });
+    }
+    if data.has_non_finite() {
+        return Err(FuzzyError::InvalidData {
+            reason: "data contains NaN or infinite values".into(),
+        });
+    }
+
+    let mut best: Option<FcmModel> = None;
+    for restart in 0..config.restarts {
+        let seed = config
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(restart as u64 + 1));
+        let model = fit_once(data, config, seed)?;
+        let better = match &best {
+            None => true,
+            Some(b) => model.objective() < b.objective(),
+        };
+        if better {
+            best = Some(model);
+        }
+    }
+    Ok(best.expect("restarts >= 1"))
+}
+
+/// One restart of the alternating optimization.
+fn fit_once(data: &Matrix, config: &FcmConfig, seed: u64) -> Result<FcmModel> {
+    let n = data.rows();
+    let d = data.cols();
+    let c = config.clusters;
+    let m = config.fuzzifier;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // --- k-means++-style center seeding -----------------------------------
+    let mut centers = Matrix::zeros(c, d);
+    let first = rng.random_range(0..n);
+    centers.row_mut(0).copy_from_slice(data.row(first));
+    let mut min_d2 = vec![f64::INFINITY; n];
+    for k in 1..c {
+        for (i, md) in min_d2.iter_mut().enumerate() {
+            let dist = sq_euclidean(data.row(i), centers.row(k - 1));
+            if dist < *md {
+                *md = dist;
+            }
+        }
+        let total: f64 = min_d2.iter().sum();
+        let chosen = if total <= 0.0 {
+            // All points coincide with chosen centers; pick randomly.
+            rng.random_range(0..n)
+        } else {
+            let mut target = rng.random_range(0.0..total);
+            let mut idx = n - 1;
+            for (i, &w) in min_d2.iter().enumerate() {
+                if target < w {
+                    idx = i;
+                    break;
+                }
+                target -= w;
+            }
+            idx
+        };
+        centers.row_mut(k).copy_from_slice(data.row(chosen));
+    }
+
+    // --- Alternating optimization ------------------------------------------
+    let mut memberships = Matrix::zeros(n, c);
+    let mut history = Vec::new();
+    let mut iterations = 0;
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        // Update U from centers.
+        for i in 0..n {
+            let row = membership_row(&centers, data.row(i), m);
+            memberships.row_mut(i).copy_from_slice(&row);
+        }
+        // Update centers from U: v_k = Σ_i u_ik^m x_i / Σ_i u_ik^m.
+        let mut weights = vec![0.0; c];
+        let mut new_centers = Matrix::zeros(c, d);
+        for i in 0..n {
+            let x = data.row(i);
+            for k in 0..c {
+                let w = memberships[(i, k)].powf(m);
+                weights[k] += w;
+                let target = new_centers.row_mut(k);
+                for (t, &xv) in target.iter_mut().zip(x) {
+                    *t += w * xv;
+                }
+            }
+        }
+        for (k, &weight) in weights.iter().enumerate() {
+            if weight > 0.0 {
+                let row = new_centers.row_mut(k);
+                for v in row.iter_mut() {
+                    *v /= weight;
+                }
+            } else {
+                // Empty cluster: re-seed it at a random data point.
+                let idx = rng.random_range(0..n);
+                new_centers.row_mut(k).copy_from_slice(data.row(idx));
+            }
+        }
+        centers = new_centers;
+
+        // Objective J_m = Σ_i Σ_k u_ik^m ‖x_i − v_k‖².
+        let mut obj = 0.0;
+        for i in 0..n {
+            for k in 0..c {
+                obj += memberships[(i, k)].powf(m) * sq_euclidean(data.row(i), centers.row(k));
+            }
+        }
+        if !obj.is_finite() {
+            return Err(FuzzyError::NumericalFailure {
+                reason: format!("objective became non-finite at iteration {iter}"),
+            });
+        }
+        let converged = match history.last() {
+            Some(&prev) => {
+                let prev: f64 = prev;
+                (prev - obj).abs() <= config.tol * prev.max(1e-12)
+            }
+            None => false,
+        };
+        history.push(obj);
+        if converged {
+            break;
+        }
+    }
+
+    // Make U consistent with the *final* centers (the loop updates U before
+    // centers, so the stored rows would otherwise lag half an iteration —
+    // and Eq. 9 projections of training points must match their U rows).
+    for i in 0..n {
+        let row = membership_row(&centers, data.row(i), m);
+        memberships.row_mut(i).copy_from_slice(&row);
+    }
+
+    Ok(FcmModel {
+        centers,
+        memberships,
+        objective_history: history,
+        iterations,
+        fuzzifier: m,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated 2-D blobs, deterministic.
+    fn blobs() -> Matrix {
+        let mut rows = Vec::new();
+        let centers = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+        let mut s = 42u64;
+        let mut rand01 = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for &(cx, cy) in &centers {
+            for _ in 0..30 {
+                rows.push(vec![cx + rand01() - 0.5, cy + rand01() - 0.5]);
+            }
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn memberships_rows_sum_to_one() {
+        let data = blobs();
+        let model = fit(&data, &FcmConfig::new(3)).unwrap();
+        for i in 0..data.rows() {
+            let sum: f64 = model.memberships.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row {i} sums to {sum}");
+            for &u in model.memberships.row(i) {
+                assert!((0.0..=1.0 + 1e-12).contains(&u));
+            }
+        }
+    }
+
+    #[test]
+    fn finds_blob_centers() {
+        let data = blobs();
+        let model = fit(&data, &FcmConfig::new(3)).unwrap();
+        // Each true center should be within 1.0 of some fitted center.
+        for &(cx, cy) in &[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)] {
+            let best = (0..3)
+                .map(|k| sq_euclidean(model.centers.row(k), &[cx, cy]))
+                .fold(f64::INFINITY, f64::min);
+            assert!(best < 1.0, "no center near ({cx},{cy}): {best}");
+        }
+    }
+
+    #[test]
+    fn objective_is_monotonically_nonincreasing() {
+        let data = blobs();
+        let model = fit(&data, &FcmConfig::new(4)).unwrap();
+        for w in model.objective_history.windows(2) {
+            assert!(
+                w[1] <= w[0] * (1.0 + 1e-9),
+                "objective increased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs();
+        let cfg = FcmConfig::new(3).with_seed(7);
+        let m1 = fit(&data, &cfg).unwrap();
+        let m2 = fit(&data, &cfg).unwrap();
+        assert!(m1.centers.approx_eq(&m2.centers, 0.0));
+        assert!(m1.memberships.approx_eq(&m2.memberships, 0.0));
+    }
+
+    #[test]
+    fn blob_points_have_dominant_membership() {
+        let data = blobs();
+        let model = fit(&data, &FcmConfig::new(3)).unwrap();
+        let mut dominant = 0;
+        for i in 0..data.rows() {
+            let row = model.memberships.row(i);
+            if row.iter().cloned().fold(0.0, f64::max) > 0.8 {
+                dominant += 1;
+            }
+        }
+        // Well-separated blobs: almost every point is confidently assigned.
+        assert!(dominant > 80, "only {dominant}/90 dominant");
+    }
+
+    #[test]
+    fn membership_for_new_point_matches_training_formula() {
+        let data = blobs();
+        let model = fit(&data, &FcmConfig::new(3)).unwrap();
+        // A training point re-projected through Eq. 9 should match its U row.
+        let u_train = model.memberships.row(5).to_vec();
+        let u_query = model.memberships_for(data.row(5)).unwrap();
+        for (a, b) in u_train.iter().zip(&u_query) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn coincident_point_gets_full_membership() {
+        let data = blobs();
+        let model = fit(&data, &FcmConfig::new(3)).unwrap();
+        let center0: Vec<f64> = model.centers.row(0).to_vec();
+        let u = model.memberships_for(&center0).unwrap();
+        assert!((u[0] - 1.0).abs() < 1e-12);
+        assert!(u[1].abs() < 1e-12 && u[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_assigns_to_nearest_center_for_m2() {
+        let data = blobs();
+        let model = fit(&data, &FcmConfig::new(3)).unwrap();
+        let far_point = [10.0, 0.3];
+        let k = model.predict(&far_point).unwrap();
+        // The predicted cluster must be the closest center.
+        let dists: Vec<f64> = (0..3)
+            .map(|i| sq_euclidean(model.centers.row(i), &far_point))
+            .collect();
+        assert_eq!(k, argmax(&dists.iter().map(|d| -d).collect::<Vec<_>>()));
+    }
+
+    #[test]
+    fn fuzzifier_controls_softness() {
+        let data = blobs();
+        let crisp = fit(&data, &FcmConfig::new(3).with_fuzzifier(1.5)).unwrap();
+        let soft = fit(&data, &FcmConfig::new(3).with_fuzzifier(4.0)).unwrap();
+        // Average max-membership should be higher for the crisper model.
+        let avg_max = |m: &FcmModel| {
+            let n = m.memberships.rows();
+            (0..n)
+                .map(|i| m.memberships.row(i).iter().cloned().fold(0.0, f64::max))
+                .sum::<f64>()
+                / n as f64
+        };
+        assert!(avg_max(&crisp) > avg_max(&soft) + 0.05);
+    }
+
+    #[test]
+    fn config_validation() {
+        let data = blobs();
+        assert!(fit(&data, &FcmConfig { clusters: 0, ..FcmConfig::new(1) }).is_err());
+        assert!(fit(&data, &FcmConfig::new(1000)).is_err()); // more clusters than points
+        assert!(fit(&data, &FcmConfig::new(3).with_fuzzifier(1.0)).is_err());
+        assert!(fit(&data, &FcmConfig::new(3).with_fuzzifier(f64::NAN)).is_err());
+        let mut cfg = FcmConfig::new(3);
+        cfg.max_iters = 0;
+        assert!(fit(&data, &cfg).is_err());
+        let mut cfg2 = FcmConfig::new(3);
+        cfg2.tol = 0.0;
+        assert!(fit(&data, &cfg2).is_err());
+        let mut cfg3 = FcmConfig::new(3);
+        cfg3.restarts = 0;
+        assert!(fit(&data, &cfg3).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_data() {
+        let mut data = blobs();
+        data[(0, 0)] = f64::NAN;
+        assert!(fit(&data, &FcmConfig::new(3)).is_err());
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch_in_query() {
+        let data = blobs();
+        let model = fit(&data, &FcmConfig::new(3)).unwrap();
+        assert!(model.memberships_for(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn single_cluster_everything_belongs() {
+        let data = blobs();
+        let model = fit(&data, &FcmConfig::new(1)).unwrap();
+        for i in 0..data.rows() {
+            assert!((model.memberships[(i, 0)] - 1.0).abs() < 1e-9);
+        }
+        // Center is the centroid of all points.
+        let mean = data.col_means().unwrap();
+        for (a, b) in model.centers.row(0).iter().zip(mean.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn duplicate_points_do_not_crash() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|_| vec![1.0, 2.0]).collect();
+        let data = Matrix::from_rows(&rows).unwrap();
+        let model = fit(&data, &FcmConfig::new(2)).unwrap();
+        assert!(!model.centers.has_non_finite());
+        assert!(!model.memberships.has_non_finite());
+    }
+
+    #[test]
+    fn argmax_behaviour() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+        assert_eq!(argmax(&[2.0, 2.0]), 0); // first on ties
+    }
+
+    #[test]
+    #[should_panic(expected = "argmax of empty slice")]
+    fn argmax_empty_panics() {
+        argmax(&[]);
+    }
+
+    #[test]
+    fn more_restarts_never_worse() {
+        let data = blobs();
+        let one = fit(&data, &FcmConfig::new(5).with_restarts(1)).unwrap();
+        let five = fit(&data, &FcmConfig::new(5).with_restarts(5)).unwrap();
+        assert!(five.objective() <= one.objective() + 1e-9);
+    }
+}

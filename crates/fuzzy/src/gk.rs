@@ -1,0 +1,460 @@
+//! Gustafson–Kessel fuzzy clustering — FCM with an adaptive per-cluster
+//! metric.
+//!
+//! Classic FCM measures distance with the identity metric, so it prefers
+//! spherical clusters. Gustafson & Kessel replace `‖x − vᵢ‖²` with the
+//! Mahalanobis-style form `(x − vᵢ)ᵀ Aᵢ (x − vᵢ)`, where
+//! `Aᵢ = (ρᵢ · det Fᵢ)^(1/d) · Fᵢ⁻¹` adapts to each cluster's fuzzy
+//! covariance `Fᵢ` under a fixed-volume constraint. Elongated window-point
+//! clouds (e.g. the arc a wrist sweeps during a raise) are exactly the
+//! shapes this handles better — making it a natural extension to the
+//! paper's clustering stage.
+
+use crate::error::{FuzzyError, Result};
+use crate::fcm::argmax;
+use kinemyo_linalg::qr::{determinant, inverse};
+use kinemyo_linalg::Matrix;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration for Gustafson–Kessel clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GkConfig {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Fuzzifier `m > 1` (2 is customary).
+    pub fuzzifier: f64,
+    /// Maximum alternating-optimization iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the membership change (∞-norm).
+    pub tol: f64,
+    /// RNG seed for initialization.
+    pub seed: u64,
+    /// Covariance regularization: `F ← (1−γ)F + γ·scale·I` keeps the
+    /// per-cluster covariances invertible when a cluster collapses onto a
+    /// subspace (frequent for near-identical rest-pose windows).
+    pub regularization: f64,
+}
+
+impl GkConfig {
+    /// Defaults for `clusters` clusters.
+    pub fn new(clusters: usize) -> Self {
+        Self {
+            clusters,
+            fuzzifier: 2.0,
+            max_iters: 100,
+            tol: 1e-5,
+            seed: 0x1CDE_2007,
+            regularization: 1e-3,
+        }
+    }
+
+    fn validate(&self, n: usize, d: usize) -> Result<()> {
+        if self.clusters == 0 {
+            return Err(FuzzyError::InvalidConfig {
+                reason: "cluster count must be >= 1".into(),
+            });
+        }
+        if self.clusters > n {
+            return Err(FuzzyError::InvalidData {
+                reason: format!("cannot form {} clusters from {n} points", self.clusters),
+            });
+        }
+        if d == 0 {
+            return Err(FuzzyError::InvalidData {
+                reason: "points have zero dimensions".into(),
+            });
+        }
+        if !(self.fuzzifier > 1.0) || !self.fuzzifier.is_finite() {
+            return Err(FuzzyError::InvalidConfig {
+                reason: format!("fuzzifier must be > 1, got {}", self.fuzzifier),
+            });
+        }
+        if self.max_iters == 0 {
+            return Err(FuzzyError::InvalidConfig {
+                reason: "max_iters must be >= 1".into(),
+            });
+        }
+        if !(0.0..1.0).contains(&self.regularization) {
+            return Err(FuzzyError::InvalidConfig {
+                reason: format!("regularization must be in [0, 1), got {}", self.regularization),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A fitted Gustafson–Kessel model.
+#[derive(Debug, Clone)]
+pub struct GkModel {
+    /// Cluster centers, `c × d`.
+    pub centers: Matrix,
+    /// Membership matrix, `n × c` (rows sum to 1).
+    pub memberships: Matrix,
+    /// Norm-inducing matrix `Aᵢ` per cluster (`d × d` each).
+    pub norm_matrices: Vec<Matrix>,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Fuzzifier the model was fitted with.
+    pub fuzzifier: f64,
+}
+
+impl GkModel {
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.centers.rows()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.centers.cols()
+    }
+
+    /// Squared GK distance of `point` to cluster `i`.
+    fn sq_distance(&self, point: &[f64], i: usize) -> f64 {
+        let d = self.dim();
+        let mut diff = vec![0.0; d];
+        for (k, v) in diff.iter_mut().enumerate() {
+            *v = point[k] - self.centers[(i, k)];
+        }
+        let a = &self.norm_matrices[i];
+        let mut acc = 0.0;
+        for r in 0..d {
+            let mut row_dot = 0.0;
+            for c in 0..d {
+                row_dot += a[(r, c)] * diff[c];
+            }
+            acc += diff[r] * row_dot;
+        }
+        acc.max(0.0)
+    }
+
+    /// Membership vector of a new point (the GK analogue of Eq. 9).
+    pub fn memberships_for(&self, point: &[f64]) -> Result<Vec<f64>> {
+        if point.len() != self.dim() {
+            return Err(FuzzyError::InvalidData {
+                reason: format!(
+                    "point has dimension {}, model expects {}",
+                    point.len(),
+                    self.dim()
+                ),
+            });
+        }
+        let c = self.num_clusters();
+        let mut d2: Vec<f64> = (0..c).map(|i| self.sq_distance(point, i)).collect();
+        let zero_hits: Vec<usize> = d2
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v == 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        if !zero_hits.is_empty() {
+            let mut u = vec![0.0; c];
+            let share = 1.0 / zero_hits.len() as f64;
+            for i in zero_hits {
+                u[i] = share;
+            }
+            return Ok(u);
+        }
+        let e = 1.0 / (self.fuzzifier - 1.0);
+        for v in d2.iter_mut() {
+            *v = v.powf(-e);
+        }
+        let total: f64 = d2.iter().sum();
+        Ok(d2.into_iter().map(|v| v / total).collect())
+    }
+
+    /// Hard assignment of a new point.
+    pub fn predict(&self, point: &[f64]) -> Result<usize> {
+        Ok(argmax(&self.memberships_for(point)?))
+    }
+}
+
+/// Fits Gustafson–Kessel clustering to the rows of `data`.
+pub fn fit(data: &Matrix, config: &GkConfig) -> Result<GkModel> {
+    let n = data.rows();
+    let d = data.cols();
+    config.validate(n, d)?;
+    if data.has_non_finite() {
+        return Err(FuzzyError::InvalidData {
+            reason: "data contains NaN or infinite values".into(),
+        });
+    }
+    let c = config.clusters;
+    let m = config.fuzzifier;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+    // Initialize memberships randomly (rows normalized).
+    let mut u = Matrix::zeros(n, c);
+    for i in 0..n {
+        let mut total = 0.0;
+        for k in 0..c {
+            let v: f64 = rng.random::<f64>() + 1e-3;
+            u[(i, k)] = v;
+            total += v;
+        }
+        for k in 0..c {
+            u[(i, k)] /= total;
+        }
+    }
+
+    // Data scale for covariance regularization.
+    let mut data_var = 0.0;
+    if let Ok(means) = data.col_means() {
+        for i in 0..n {
+            for (k, &mean) in means.as_slice().iter().enumerate() {
+                let diff = data[(i, k)] - mean;
+                data_var += diff * diff;
+            }
+        }
+        data_var /= (n * d) as f64;
+    }
+    let reg_scale = data_var.max(1e-12);
+
+    let mut centers = Matrix::zeros(c, d);
+    let mut norm_matrices: Vec<Matrix> = vec![Matrix::identity(d); c];
+    let mut iterations = 0;
+
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        // --- Centers: vᵢ = Σ uᵢₖ^m xₖ / Σ uᵢₖ^m ---------------------------
+        for k in 0..c {
+            let mut weight = 0.0;
+            let mut acc = vec![0.0; d];
+            for i in 0..n {
+                let w = u[(i, k)].powf(m);
+                weight += w;
+                for (j, a) in acc.iter_mut().enumerate() {
+                    *a += w * data[(i, j)];
+                }
+            }
+            if weight > 0.0 {
+                for (j, a) in acc.iter().enumerate() {
+                    centers[(k, j)] = a / weight;
+                }
+            }
+        }
+        // --- Fuzzy covariances + norm matrices ----------------------------
+        for k in 0..c {
+            let mut f = Matrix::zeros(d, d);
+            let mut weight = 0.0;
+            for i in 0..n {
+                let w = u[(i, k)].powf(m);
+                weight += w;
+                for r in 0..d {
+                    let dr = data[(i, r)] - centers[(k, r)];
+                    for cc in 0..d {
+                        let dc = data[(i, cc)] - centers[(k, cc)];
+                        f[(r, cc)] += w * dr * dc;
+                    }
+                }
+            }
+            if weight > 0.0 {
+                f.scale_mut(1.0 / weight);
+            }
+            // Regularize toward a scaled identity to stay invertible.
+            let gamma = config.regularization;
+            for r in 0..d {
+                for cc in 0..d {
+                    let target = if r == cc { reg_scale } else { 0.0 };
+                    f[(r, cc)] = (1.0 - gamma) * f[(r, cc)] + gamma * target;
+                }
+            }
+            // Aᵢ = (det F)^(1/d) · F⁻¹ is invariant to scaling F, so
+            // normalize F to unit magnitude first — keeps the inversion
+            // well-conditioned even for near-degenerate clusters whose
+            // covariances are tiny in absolute terms.
+            let scale = f.max_abs();
+            if !(scale > 0.0) {
+                return Err(FuzzyError::NumericalFailure {
+                    reason: format!("cluster {k} covariance vanished"),
+                });
+            }
+            let f_unit = f.scaled(1.0 / scale);
+            let det = determinant(&f_unit).map_err(|e| FuzzyError::NumericalFailure {
+                reason: format!("covariance determinant failed: {e}"),
+            })?;
+            if det <= 0.0 {
+                return Err(FuzzyError::NumericalFailure {
+                    reason: format!("cluster {k} covariance is not positive definite"),
+                });
+            }
+            let f_inv = inverse(&f_unit).map_err(|e| FuzzyError::NumericalFailure {
+                reason: format!("covariance inversion failed: {e}"),
+            })?;
+            norm_matrices[k] = f_inv.scaled(det.powf(1.0 / d as f64));
+        }
+        // --- Memberships ----------------------------------------------------
+        let snapshot = GkModel {
+            centers: centers.clone(),
+            memberships: Matrix::zeros(0, 0),
+            norm_matrices: norm_matrices.clone(),
+            iterations,
+            fuzzifier: m,
+        };
+        let mut max_change = 0.0f64;
+        for i in 0..n {
+            let row = snapshot.memberships_for(data.row(i))?;
+            for (k, &v) in row.iter().enumerate() {
+                max_change = max_change.max((v - u[(i, k)]).abs());
+                u[(i, k)] = v;
+            }
+        }
+        if max_change < config.tol {
+            break;
+        }
+    }
+
+    Ok(GkModel {
+        centers,
+        memberships: u,
+        norm_matrices,
+        iterations,
+        fuzzifier: m,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two elongated, rotated blobs that spherical FCM struggles with.
+    fn elongated_blobs() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let mut s = 5u64;
+        let mut rand01 = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        // Blob 0: long axis along (1, 1); Blob 1: parallel, offset
+        // perpendicular by a distance smaller than the blob length.
+        for label in 0..2usize {
+            let offset = label as f64 * 2.5;
+            for _ in 0..60 {
+                let t = (rand01() - 0.5) * 16.0; // long axis
+                let w = (rand01() - 0.5) * 0.6; // short axis
+                rows.push(vec![t + w - offset, t - w + offset]);
+                labels.push(label);
+            }
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn memberships_sum_to_one() {
+        let (data, _) = elongated_blobs();
+        let model = fit(&data, &GkConfig::new(2)).unwrap();
+        for i in 0..data.rows() {
+            let sum: f64 = model.memberships.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+        assert_eq!(model.num_clusters(), 2);
+        assert_eq!(model.dim(), 2);
+    }
+
+    #[test]
+    fn separates_elongated_blobs() {
+        let (data, labels) = elongated_blobs();
+        let model = fit(&data, &GkConfig::new(2)).unwrap();
+        // Evaluate clustering accuracy under the best label permutation.
+        let mut agree = 0;
+        for i in 0..data.rows() {
+            let hard = argmax(model.memberships.row(i));
+            if hard == labels[i] {
+                agree += 1;
+            }
+        }
+        let n = data.rows();
+        let accuracy = agree.max(n - agree) as f64 / n as f64;
+        assert!(
+            accuracy > 0.9,
+            "GK should separate parallel elongated blobs (accuracy {accuracy})"
+        );
+    }
+
+    #[test]
+    fn gk_beats_fcm_on_anisotropic_data() {
+        let (data, labels) = elongated_blobs();
+        let gk = fit(&data, &GkConfig::new(2)).unwrap();
+        let fcm = crate::fcm::fit(&data, &crate::fcm::FcmConfig::new(2)).unwrap();
+        let accuracy = |assign: &dyn Fn(usize) -> usize| {
+            let agree = (0..data.rows()).filter(|&i| assign(i) == labels[i]).count();
+            let n = data.rows();
+            agree.max(n - agree) as f64 / n as f64
+        };
+        let acc_gk = accuracy(&|i| argmax(gk.memberships.row(i)));
+        let acc_fcm = accuracy(&|i| argmax(fcm.memberships.row(i)));
+        assert!(
+            acc_gk >= acc_fcm,
+            "adaptive metric should not lose on anisotropic blobs: GK {acc_gk} vs FCM {acc_fcm}"
+        );
+    }
+
+    #[test]
+    fn norm_matrices_are_symmetric_positive() {
+        let (data, _) = elongated_blobs();
+        let model = fit(&data, &GkConfig::new(2)).unwrap();
+        for a in &model.norm_matrices {
+            for r in 0..a.rows() {
+                for c in 0..a.cols() {
+                    assert!((a[(r, c)] - a[(c, r)]).abs() < 1e-6, "A must be symmetric");
+                }
+                assert!(a[(r, r)] > 0.0, "diagonal must be positive");
+            }
+        }
+    }
+
+    #[test]
+    fn new_point_membership_and_predict() {
+        let (data, _) = elongated_blobs();
+        let model = fit(&data, &GkConfig::new(2)).unwrap();
+        let u = model.memberships_for(&[0.0, 0.0]).unwrap();
+        assert!((u.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let k = model.predict(&[0.0, 0.0]).unwrap();
+        assert!(k < 2);
+        assert!(model.memberships_for(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn center_point_gets_full_membership() {
+        let (data, _) = elongated_blobs();
+        let model = fit(&data, &GkConfig::new(2)).unwrap();
+        let center: Vec<f64> = model.centers.row(0).to_vec();
+        let u = model.memberships_for(&center).unwrap();
+        assert!((u[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn config_validation() {
+        let (data, _) = elongated_blobs();
+        assert!(fit(&data, &GkConfig { clusters: 0, ..GkConfig::new(1) }).is_err());
+        assert!(fit(&data, &GkConfig::new(10_000)).is_err());
+        assert!(fit(&data, &GkConfig { fuzzifier: 1.0, ..GkConfig::new(2) }).is_err());
+        assert!(fit(&data, &GkConfig { max_iters: 0, ..GkConfig::new(2) }).is_err());
+        assert!(fit(&data, &GkConfig { regularization: 1.5, ..GkConfig::new(2) }).is_err());
+        let mut bad = data.clone();
+        bad[(0, 0)] = f64::NAN;
+        assert!(fit(&bad, &GkConfig::new(2)).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (data, _) = elongated_blobs();
+        let a = fit(&data, &GkConfig::new(3)).unwrap();
+        let b = fit(&data, &GkConfig::new(3)).unwrap();
+        assert!(a.centers.approx_eq(&b.centers, 0.0));
+        assert!(a.memberships.approx_eq(&b.memberships, 0.0));
+    }
+
+    #[test]
+    fn degenerate_duplicate_points() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|_| vec![1.0, 2.0]).collect();
+        let data = Matrix::from_rows(&rows).unwrap();
+        // Heavy regularization keeps covariances invertible.
+        let model = fit(&data, &GkConfig { regularization: 0.5, ..GkConfig::new(2) }).unwrap();
+        assert!(!model.centers.has_non_finite());
+        assert!(!model.memberships.has_non_finite());
+    }
+}

@@ -1,0 +1,266 @@
+//! Hard k-means (Lloyd's algorithm) — the crisp baseline for the
+//! fuzzy-vs-hard ablation.
+//!
+//! The paper argues fuzzy clustering suits the non-stationary EMG better
+//! than traditional (hard) clustering (Sec. 1, Sec. 7). To *test* that
+//! claim rather than assume it, the ablation benches swap FCM for this
+//! k-means and compare classification quality.
+
+use crate::error::{FuzzyError, Result};
+use kinemyo_linalg::vector::sq_euclidean;
+use kinemyo_linalg::Matrix;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration for k-means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// Defaults for `clusters` clusters.
+    pub fn new(clusters: usize) -> Self {
+        Self {
+            clusters,
+            max_iters: 300,
+            seed: 0x1CDE_2007,
+        }
+    }
+}
+
+/// A fitted k-means model.
+#[derive(Debug, Clone)]
+pub struct KMeansModel {
+    /// Cluster centers, `c × d`.
+    pub centers: Matrix,
+    /// Hard label per input point.
+    pub labels: Vec<usize>,
+    /// Sum of squared distances to assigned centers.
+    pub inertia: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+impl KMeansModel {
+    /// Assigns a new point to its nearest center.
+    pub fn predict(&self, point: &[f64]) -> Result<usize> {
+        if point.len() != self.centers.cols() {
+            return Err(FuzzyError::InvalidData {
+                reason: format!(
+                    "point has dimension {}, model expects {}",
+                    point.len(),
+                    self.centers.cols()
+                ),
+            });
+        }
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for k in 0..self.centers.rows() {
+            let d = sq_euclidean(self.centers.row(k), point);
+            if d < best_d {
+                best_d = d;
+                best = k;
+            }
+        }
+        Ok(best)
+    }
+}
+
+/// Fits k-means to the rows of `data`.
+pub fn fit(data: &Matrix, config: &KMeansConfig) -> Result<KMeansModel> {
+    let n = data.rows();
+    let d = data.cols();
+    if config.clusters == 0 {
+        return Err(FuzzyError::InvalidConfig {
+            reason: "cluster count must be >= 1".into(),
+        });
+    }
+    if config.clusters > n {
+        return Err(FuzzyError::InvalidData {
+            reason: format!("cannot form {} clusters from {n} points", config.clusters),
+        });
+    }
+    if data.has_non_finite() {
+        return Err(FuzzyError::InvalidData {
+            reason: "data contains NaN or infinite values".into(),
+        });
+    }
+    let c = config.clusters;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+    // k-means++ seeding.
+    let mut centers = Matrix::zeros(c, d);
+    centers
+        .row_mut(0)
+        .copy_from_slice(data.row(rng.random_range(0..n)));
+    let mut min_d2 = vec![f64::INFINITY; n];
+    for k in 1..c {
+        for (i, md) in min_d2.iter_mut().enumerate() {
+            let dist = sq_euclidean(data.row(i), centers.row(k - 1));
+            if dist < *md {
+                *md = dist;
+            }
+        }
+        let total: f64 = min_d2.iter().sum();
+        let chosen = if total <= 0.0 {
+            rng.random_range(0..n)
+        } else {
+            let mut target = rng.random_range(0.0..total);
+            let mut idx = n - 1;
+            for (i, &w) in min_d2.iter().enumerate() {
+                if target < w {
+                    idx = i;
+                    break;
+                }
+                target -= w;
+            }
+            idx
+        };
+        centers.row_mut(k).copy_from_slice(data.row(chosen));
+    }
+
+    let mut labels = vec![0usize; n];
+    let mut iterations = 0;
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, label) in labels.iter_mut().enumerate() {
+            let mut best = *label;
+            let mut best_d = f64::INFINITY;
+            for k in 0..c {
+                let dist = sq_euclidean(data.row(i), centers.row(k));
+                if dist < best_d {
+                    best_d = dist;
+                    best = k;
+                }
+            }
+            if best != *label {
+                *label = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut counts = vec![0usize; c];
+        let mut sums = Matrix::zeros(c, d);
+        for (i, &label) in labels.iter().enumerate() {
+            counts[label] += 1;
+            let target = sums.row_mut(label);
+            for (t, &x) in target.iter_mut().zip(data.row(i)) {
+                *t += x;
+            }
+        }
+        for (k, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                let row = sums.row_mut(k);
+                for v in row.iter_mut() {
+                    *v /= count as f64;
+                }
+                centers.row_mut(k).copy_from_slice(sums.row(k));
+            } else {
+                // Empty cluster: re-seed at the point farthest from its center.
+                let (far_idx, _) = (0..n)
+                    .map(|i| (i, sq_euclidean(data.row(i), centers.row(labels[i]))))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .expect("n >= 1");
+                centers.row_mut(k).copy_from_slice(data.row(far_idx));
+                changed = true;
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+    }
+
+    let inertia = (0..n)
+        .map(|i| sq_euclidean(data.row(i), centers.row(labels[i])))
+        .sum();
+    Ok(KMeansModel {
+        centers,
+        labels,
+        inertia,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Matrix {
+        let mut rows = Vec::new();
+        let mut s = 11u64;
+        let mut rand01 = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for &(cx, cy) in &[(0.0, 0.0), (8.0, 8.0)] {
+            for _ in 0..20 {
+                rows.push(vec![cx + rand01(), cy + rand01()]);
+            }
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let data = blobs();
+        let m = fit(&data, &KMeansConfig::new(2)).unwrap();
+        // First 20 points share a label; last 20 share the other.
+        let first = m.labels[0];
+        assert!(m.labels[..20].iter().all(|&l| l == first));
+        assert!(m.labels[20..].iter().all(|&l| l != first));
+    }
+
+    #[test]
+    fn inertia_is_small_for_separated_blobs() {
+        let data = blobs();
+        let m = fit(&data, &KMeansConfig::new(2)).unwrap();
+        // Each blob is a unit square of 20 points: inertia well below the
+        // cross-blob distance scale.
+        assert!(m.inertia < 20.0, "inertia {}", m.inertia);
+    }
+
+    #[test]
+    fn predict_matches_training_assignment() {
+        let data = blobs();
+        let m = fit(&data, &KMeansConfig::new(2)).unwrap();
+        for i in 0..data.rows() {
+            assert_eq!(m.predict(data.row(i)).unwrap(), m.labels[i]);
+        }
+        assert!(m.predict(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs();
+        let m1 = fit(&data, &KMeansConfig::new(2)).unwrap();
+        let m2 = fit(&data, &KMeansConfig::new(2)).unwrap();
+        assert!(m1.centers.approx_eq(&m2.centers, 0.0));
+        assert_eq!(m1.labels, m2.labels);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let data = blobs();
+        assert!(fit(&data, &KMeansConfig::new(0)).is_err());
+        assert!(fit(&data, &KMeansConfig::new(1000)).is_err());
+        let mut bad = blobs();
+        bad[(0, 0)] = f64::INFINITY;
+        assert!(fit(&bad, &KMeansConfig::new(2)).is_err());
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0], vec![9.0, 1.0]]).unwrap();
+        let m = fit(&data, &KMeansConfig::new(3)).unwrap();
+        assert!(m.inertia < 1e-18);
+    }
+}

@@ -1,0 +1,104 @@
+//! # kinemyo-fuzzy
+//!
+//! Hand-implemented fuzzy c-means clustering for the `kinemyo` workspace —
+//! the clustering stage of the paper's feature pipeline (Eq. 4, Eq. 9):
+//!
+//! * [`fcm`] — Bezdek alternating optimization with k-means++ seeding,
+//!   multi-restart, degenerate-point handling, and held-out-point
+//!   membership projection ([`fcm::FcmModel::memberships_for`], the paper's
+//!   Eq. 9 query path);
+//! * [`gk`] — Gustafson–Kessel clustering (FCM with an adaptive
+//!   per-cluster metric), an extension for elongated window-point clouds;
+//! * [`kmeans`] — the hard-clustering baseline for the fuzzy-vs-hard
+//!   ablation;
+//! * [`validity`] — partition coefficient/entropy and Xie–Beni indices for
+//!   choosing the cluster count the paper sweeps empirically.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+// `!(x > 0.0)` is the NaN-rejecting validation idiom used throughout this
+// workspace: `x <= 0.0` would silently accept NaN.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod error;
+pub mod fcm;
+pub mod gk;
+pub mod kmeans;
+pub mod validity;
+
+pub use error::{FuzzyError, Result};
+pub use fcm::{argmax, fit as fcm_fit, FcmConfig, FcmModel};
+pub use gk::{fit as gk_fit, GkConfig, GkModel};
+pub use kmeans::{fit as kmeans_fit, KMeansConfig, KMeansModel};
+
+#[cfg(test)]
+mod proptests {
+    use crate::fcm::{fit, FcmConfig};
+    use kinemyo_linalg::Matrix;
+    use proptest::prelude::*;
+
+    fn dataset() -> impl Strategy<Value = Matrix> {
+        // n in 4..40 points, d in 1..5 dims, values bounded.
+        (4usize..40, 1usize..5).prop_flat_map(|(n, d)| {
+            proptest::collection::vec(-50.0..50.0f64, n * d)
+                .prop_map(move |data| Matrix::from_vec(n, d, data).unwrap())
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn membership_rows_always_sum_to_one(data in dataset(), c in 1usize..4) {
+            prop_assume!(c <= data.rows());
+            let cfg = FcmConfig { restarts: 1, max_iters: 50, ..FcmConfig::new(c) };
+            let model = fit(&data, &cfg).unwrap();
+            for i in 0..data.rows() {
+                let sum: f64 = model.memberships.row(i).iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-6, "row {} sums to {}", i, sum);
+                for &u in model.memberships.row(i) {
+                    prop_assert!((-1e-9..=1.0 + 1e-9).contains(&u));
+                }
+            }
+        }
+
+        #[test]
+        fn new_point_memberships_sum_to_one(data in dataset(), c in 2usize..4) {
+            prop_assume!(c <= data.rows());
+            let cfg = FcmConfig { restarts: 1, max_iters: 50, ..FcmConfig::new(c) };
+            let model = fit(&data, &cfg).unwrap();
+            let probe: Vec<f64> = (0..data.cols()).map(|i| i as f64 * 0.37 - 1.0).collect();
+            let u = model.memberships_for(&probe).unwrap();
+            let sum: f64 = u.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn objective_history_nonincreasing(data in dataset(), c in 1usize..4) {
+            prop_assume!(c <= data.rows());
+            let cfg = FcmConfig { restarts: 1, max_iters: 80, ..FcmConfig::new(c) };
+            let model = fit(&data, &cfg).unwrap();
+            for w in model.objective_history.windows(2) {
+                prop_assert!(w[1] <= w[0] * (1.0 + 1e-7) + 1e-9,
+                    "objective increased {} -> {}", w[0], w[1]);
+            }
+        }
+
+        #[test]
+        fn centers_stay_in_data_bounding_box(data in dataset(), c in 1usize..4) {
+            prop_assume!(c <= data.rows());
+            let cfg = FcmConfig { restarts: 1, max_iters: 50, ..FcmConfig::new(c) };
+            let model = fit(&data, &cfg).unwrap();
+            for dim in 0..data.cols() {
+                let col = data.col(dim);
+                let lo = col.as_slice().iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = col.as_slice().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                for k in 0..c {
+                    let v = model.centers[(k, dim)];
+                    prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9,
+                        "center[{},{}]={} outside [{}, {}]", k, dim, v, lo, hi);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Cluster-validity indices for choosing the number of clusters.
+//!
+//! The paper sweeps the cluster count from 5 to 40 and observes the effect
+//! on classification (Sec. 6); these indices give a principled way to pick
+//! `c` without running the full classification loop — a natural extension
+//! a production user would want.
+
+use crate::error::{FuzzyError, Result};
+use crate::fcm::FcmModel;
+use kinemyo_linalg::vector::sq_euclidean;
+use kinemyo_linalg::Matrix;
+
+/// Bezdek's partition coefficient: `PC = (1/n) Σᵢ Σₖ u²ᵢₖ`, in `[1/c, 1]`.
+/// Higher is crisper.
+pub fn partition_coefficient(model: &FcmModel) -> Result<f64> {
+    let u = &model.memberships;
+    let n = u.rows();
+    if n == 0 {
+        return Err(FuzzyError::InvalidData {
+            reason: "model has no membership rows".into(),
+        });
+    }
+    let mut acc = 0.0;
+    for i in 0..n {
+        for &v in u.row(i) {
+            acc += v * v;
+        }
+    }
+    Ok(acc / n as f64)
+}
+
+/// Partition entropy: `PE = −(1/n) Σᵢ Σₖ uᵢₖ ln uᵢₖ`, in `[0, ln c]`.
+/// Lower is crisper.
+pub fn partition_entropy(model: &FcmModel) -> Result<f64> {
+    let u = &model.memberships;
+    let n = u.rows();
+    if n == 0 {
+        return Err(FuzzyError::InvalidData {
+            reason: "model has no membership rows".into(),
+        });
+    }
+    let mut acc = 0.0;
+    for i in 0..n {
+        for &v in u.row(i) {
+            if v > 0.0 {
+                acc -= v * v.ln();
+            }
+        }
+    }
+    Ok(acc / n as f64)
+}
+
+/// Xie–Beni index: compactness over separation,
+/// `XB = Σᵢₖ u²ᵢₖ ‖xᵢ − vₖ‖² / (n · minⱼ≠ₗ ‖vⱼ − vₗ‖²)`. Lower is better.
+pub fn xie_beni(model: &FcmModel, data: &Matrix) -> Result<f64> {
+    let u = &model.memberships;
+    let n = data.rows();
+    let c = model.num_clusters();
+    if n == 0 || u.rows() != n {
+        return Err(FuzzyError::InvalidData {
+            reason: format!(
+                "data rows ({n}) must match membership rows ({})",
+                u.rows()
+            ),
+        });
+    }
+    if c < 2 {
+        return Err(FuzzyError::InvalidConfig {
+            reason: "Xie-Beni requires at least 2 clusters".into(),
+        });
+    }
+    let mut numerator = 0.0;
+    for i in 0..n {
+        for k in 0..c {
+            let uik = u[(i, k)];
+            numerator += uik * uik * sq_euclidean(data.row(i), model.centers.row(k));
+        }
+    }
+    let mut min_sep = f64::INFINITY;
+    for j in 0..c {
+        for l in (j + 1)..c {
+            let d = sq_euclidean(model.centers.row(j), model.centers.row(l));
+            if d < min_sep {
+                min_sep = d;
+            }
+        }
+    }
+    if min_sep <= 0.0 {
+        return Err(FuzzyError::NumericalFailure {
+            reason: "coincident cluster centers (zero separation)".into(),
+        });
+    }
+    Ok(numerator / (n as f64 * min_sep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fcm::{fit, FcmConfig};
+
+    fn blobs(sep: f64) -> Matrix {
+        let mut rows = Vec::new();
+        let mut s = 7u64;
+        let mut rand01 = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for &(cx, cy) in &[(0.0, 0.0), (sep, 0.0)] {
+            for _ in 0..25 {
+                rows.push(vec![cx + rand01() - 0.5, cy + rand01() - 0.5]);
+            }
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn pc_in_range_and_higher_for_separated_blobs() {
+        let tight = blobs(20.0);
+        let loose = blobs(1.0);
+        let m_tight = fit(&tight, &FcmConfig::new(2)).unwrap();
+        let m_loose = fit(&loose, &FcmConfig::new(2)).unwrap();
+        let pc_tight = partition_coefficient(&m_tight).unwrap();
+        let pc_loose = partition_coefficient(&m_loose).unwrap();
+        assert!(pc_tight > 0.5 && pc_tight <= 1.0 + 1e-12);
+        assert!(pc_loose >= 0.5 - 1e-12);
+        assert!(pc_tight > pc_loose, "{pc_tight} vs {pc_loose}");
+    }
+
+    #[test]
+    fn pe_lower_for_crisper_partitions() {
+        let tight = blobs(20.0);
+        let loose = blobs(1.0);
+        let m_tight = fit(&tight, &FcmConfig::new(2)).unwrap();
+        let m_loose = fit(&loose, &FcmConfig::new(2)).unwrap();
+        let pe_tight = partition_entropy(&m_tight).unwrap();
+        let pe_loose = partition_entropy(&m_loose).unwrap();
+        assert!(pe_tight >= 0.0);
+        assert!(pe_tight < pe_loose, "{pe_tight} vs {pe_loose}");
+        // Bounded by ln(c).
+        assert!(pe_loose <= 2.0_f64.ln() + 1e-9);
+    }
+
+    #[test]
+    fn xie_beni_prefers_well_separated() {
+        let tight = blobs(20.0);
+        let loose = blobs(2.0);
+        let m_tight = fit(&tight, &FcmConfig::new(2)).unwrap();
+        let m_loose = fit(&loose, &FcmConfig::new(2)).unwrap();
+        let xb_tight = xie_beni(&m_tight, &tight).unwrap();
+        let xb_loose = xie_beni(&m_loose, &loose).unwrap();
+        assert!(xb_tight < xb_loose, "{xb_tight} vs {xb_loose}");
+    }
+
+    #[test]
+    fn xie_beni_rejects_single_cluster() {
+        let data = blobs(5.0);
+        let m = fit(&data, &FcmConfig::new(1)).unwrap();
+        assert!(xie_beni(&m, &data).is_err());
+    }
+
+    #[test]
+    fn xie_beni_rejects_row_mismatch() {
+        let data = blobs(5.0);
+        let m = fit(&data, &FcmConfig::new(2)).unwrap();
+        let wrong = Matrix::zeros(3, 2);
+        assert!(xie_beni(&m, &wrong).is_err());
+    }
+}

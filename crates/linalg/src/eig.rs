@@ -1,0 +1,240 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//!
+//! The windowed motion-capture feature extractor (paper Eqs. 2–3) needs the
+//! right singular vectors of a tall-thin `w×3` joint matrix `A`; those are
+//! exactly the eigenvectors of the 3×3 Gram matrix `AᵀA`. The Jacobi method
+//! is simple, unconditionally convergent for symmetric input, and extremely
+//! accurate for the tiny matrices this workspace works with.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition `A = Q Λ Qᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymEig {
+    /// Eigenvalues, sorted in descending order.
+    pub eigenvalues: Vec<f64>,
+    /// Orthonormal eigenvectors; column `i` corresponds to `eigenvalues[i]`.
+    pub eigenvectors: Matrix,
+}
+
+/// Maximum number of full Jacobi sweeps before reporting non-convergence.
+const MAX_SWEEPS: usize = 64;
+
+/// Computes the eigendecomposition of a symmetric matrix.
+///
+/// Only the lower/upper symmetric part is assumed meaningful; the input must
+/// be square. Asymmetry beyond a small tolerance is rejected so silent
+/// misuse (e.g. passing a non-Gram matrix) fails loudly.
+pub fn sym_eig(a: &Matrix) -> Result<SymEig> {
+    if !a.is_square() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "sym_eig",
+            lhs: a.shape(),
+            rhs: a.shape(),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Err(LinalgError::Empty { op: "sym_eig" });
+    }
+    let scale = a.max_abs().max(1.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if (a[(i, j)] - a[(j, i)]).abs() > 1e-8 * scale {
+                return Err(LinalgError::InvalidArgument {
+                    reason: format!(
+                        "matrix is not symmetric: a[{i},{j}]={} vs a[{j},{i}]={}",
+                        a[(i, j)],
+                        a[(j, i)]
+                    ),
+                });
+            }
+        }
+    }
+
+    let mut m = a.clone();
+    let mut q = Matrix::identity(n);
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= 1e-14 * scale {
+            return Ok(collect_sorted(m, q));
+        }
+        for p in 0..n {
+            for r in (p + 1)..n {
+                jacobi_rotate(&mut m, &mut q, p, r);
+            }
+        }
+    }
+    Err(LinalgError::NotConverged {
+        algorithm: "jacobi symmetric eigendecomposition",
+        iterations: MAX_SWEEPS,
+    })
+}
+
+/// Applies one Jacobi rotation zeroing `m[p, r]`, accumulating into `q`.
+fn jacobi_rotate(m: &mut Matrix, q: &mut Matrix, p: usize, r: usize) {
+    let apr = m[(p, r)];
+    if apr == 0.0 {
+        return;
+    }
+    let app = m[(p, p)];
+    let arr = m[(r, r)];
+    let theta = (arr - app) / (2.0 * apr);
+    // Choose the smaller-angle root for numerical stability.
+    let t = if theta >= 0.0 {
+        1.0 / (theta + (1.0 + theta * theta).sqrt())
+    } else {
+        1.0 / (theta - (1.0 + theta * theta).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = t * c;
+    let n = m.rows();
+
+    // Update rows/cols p and r of the symmetric matrix.
+    for k in 0..n {
+        let mkp = m[(k, p)];
+        let mkr = m[(k, r)];
+        m[(k, p)] = c * mkp - s * mkr;
+        m[(k, r)] = s * mkp + c * mkr;
+    }
+    for k in 0..n {
+        let mpk = m[(p, k)];
+        let mrk = m[(r, k)];
+        m[(p, k)] = c * mpk - s * mrk;
+        m[(r, k)] = s * mpk + c * mrk;
+    }
+    // Accumulate rotation into the eigenvector matrix.
+    for k in 0..n {
+        let qkp = q[(k, p)];
+        let qkr = q[(k, r)];
+        q[(k, p)] = c * qkp - s * qkr;
+        q[(k, r)] = s * qkp + c * qkr;
+    }
+}
+
+/// Extracts eigenvalues from the (now nearly diagonal) matrix, sorts them in
+/// descending order and permutes eigenvector columns to match.
+fn collect_sorted(m: Matrix, q: Matrix) -> SymEig {
+    let n = m.rows();
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let eigenvalues: Vec<f64> = pairs.iter().map(|&(v, _)| v).collect();
+    let mut eigenvectors = Matrix::zeros(n, n);
+    for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+        for row in 0..n {
+            eigenvectors[(row, new_col)] = q[(row, old_col)];
+        }
+    }
+    SymEig {
+        eigenvalues,
+        eigenvectors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &SymEig) -> Matrix {
+        let lambda = Matrix::from_diag(&e.eigenvalues);
+        e.eigenvectors
+            .matmul(&lambda)
+            .unwrap()
+            .matmul(&e.eigenvectors.transpose())
+            .unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let e = sym_eig(&a).unwrap();
+        assert_eq!(e.eigenvalues, vec![3.0, 2.0, 1.0]);
+        assert!(reconstruct(&e).approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let e = sym_eig(&a).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_fn(4, 4, |i, j| 1.0 / (1.0 + i as f64 + j as f64));
+        let e = sym_eig(&a).unwrap();
+        let qtq = e
+            .eigenvectors
+            .transpose()
+            .matmul(&e.eigenvectors)
+            .unwrap();
+        assert!(qtq.approx_eq(&Matrix::identity(4), 1e-10));
+    }
+
+    #[test]
+    fn reconstruction_of_random_symmetric() {
+        // Deterministic pseudo-random symmetric matrix.
+        let b = Matrix::from_fn(5, 5, |i, j| ((i * 7 + j * 13) as f64 * 0.37).sin());
+        let a = &b + &b.transpose();
+        let e = sym_eig(&a).unwrap();
+        assert!(reconstruct(&e).approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let b = Matrix::from_fn(6, 6, |i, j| ((i + 2 * j) as f64).cos());
+        let a = &b + &b.transpose();
+        let e = sym_eig(&a).unwrap();
+        for w in e.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_non_square_and_non_symmetric() {
+        assert!(sym_eig(&Matrix::zeros(2, 3)).is_err());
+        let a = Matrix::from_vec(2, 2, vec![1.0, 5.0, 0.0, 1.0]).unwrap();
+        assert!(matches!(
+            sym_eig(&a),
+            Err(LinalgError::InvalidArgument { .. })
+        ));
+        assert!(sym_eig(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn gram_eigenvalues_are_nonnegative() {
+        let a = Matrix::from_fn(10, 3, |i, j| ((i * 3 + j) as f64 * 0.71).sin());
+        let g = a.gram();
+        let e = sym_eig(&g).unwrap();
+        for &v in &e.eigenvalues {
+            assert!(v >= -1e-10, "gram eigenvalue {v} should be >= 0");
+        }
+    }
+
+    #[test]
+    fn handles_1x1() {
+        let a = Matrix::from_vec(1, 1, vec![42.0]).unwrap();
+        let e = sym_eig(&a).unwrap();
+        assert_eq!(e.eigenvalues, vec![42.0]);
+        assert_eq!(e.eigenvectors[(0, 0)].abs(), 1.0);
+    }
+
+    #[test]
+    fn repeated_eigenvalues() {
+        let a = Matrix::identity(3).scaled(2.0);
+        let e = sym_eig(&a).unwrap();
+        for &v in &e.eigenvalues {
+            assert!((v - 2.0).abs() < 1e-12);
+        }
+        assert!(reconstruct(&e).approx_eq(&a, 1e-10));
+    }
+}

@@ -1,0 +1,130 @@
+//! Error types for linear-algebra operations.
+
+use std::fmt;
+
+/// Errors produced by `kinemyo-linalg` operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// The operation requires a non-empty matrix or vector.
+    Empty {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+    },
+    /// An iterative algorithm did not converge within its iteration budget.
+    NotConverged {
+        /// Name of the algorithm that failed to converge.
+        algorithm: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The matrix is singular (or numerically so) and the operation is undefined.
+    Singular {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index as `(row, col)`.
+        index: (usize, usize),
+        /// The matrix shape as `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// A scalar argument was invalid (NaN, out of range, ...).
+    InvalidArgument {
+        /// Explanation of what was wrong with the argument.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::Empty { op } => write!(f, "{op} requires a non-empty operand"),
+            LinalgError::NotConverged {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            LinalgError::Singular { op } => write!(f, "matrix is singular in {op}"),
+            LinalgError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            LinalgError::InvalidArgument { reason } => {
+                write!(f, "invalid argument: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = LinalgError::DimensionMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(
+            e.to_string(),
+            "dimension mismatch in matmul: lhs is 2x3, rhs is 4x5"
+        );
+    }
+
+    #[test]
+    fn display_not_converged() {
+        let e = LinalgError::NotConverged {
+            algorithm: "jacobi-svd",
+            iterations: 30,
+        };
+        assert!(e.to_string().contains("jacobi-svd"));
+        assert!(e.to_string().contains("30"));
+    }
+
+    #[test]
+    fn display_other_variants() {
+        assert!(LinalgError::Empty { op: "mean" }.to_string().contains("mean"));
+        assert!(LinalgError::Singular { op: "solve" }
+            .to_string()
+            .contains("singular"));
+        assert!(LinalgError::IndexOutOfBounds {
+            index: (9, 9),
+            shape: (2, 2)
+        }
+        .to_string()
+        .contains("out of bounds"));
+        assert!(LinalgError::InvalidArgument {
+            reason: "negative tolerance".into()
+        }
+        .to_string()
+        .contains("negative tolerance"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&LinalgError::Empty { op: "x" });
+    }
+}

@@ -1,0 +1,105 @@
+//! # kinemyo-linalg
+//!
+//! Self-contained dense linear algebra for the `kinemyo` workspace — the
+//! Rust reproduction of *"Integration of Motion Capture and EMG data for
+//! Classifying the Human Motions"* (Pradhan et al., ICDE 2007).
+//!
+//! The paper's feature pipeline needs exactly this toolbox:
+//!
+//! * a dense row-major [`Matrix`] for motion "joint matrices" (frames ×
+//!   3-per-joint columns) and feature-point collections;
+//! * [`svd()`](fn@svd) / [`Svd`] for the weighted-SVD window features (Eq. 2–3),
+//!   with two independently implemented algorithms cross-validated in tests;
+//! * a symmetric [`eig`](mod@eig) Jacobi solver (Gram-matrix route for
+//!   tall-thin windows);
+//! * [`qr`](mod@qr) factorization / least squares (detrending,
+//!   calibration fits);
+//! * [`stats`](mod@stats) kernels and the [`stats::ZScore`] feature
+//!   scaler.
+//!
+//! Everything is implemented from scratch on `std` only: the workspace
+//! deliberately avoids external numerics crates so the whole reproduction is
+//! auditable end to end.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod eig;
+pub mod error;
+pub mod matrix;
+pub mod qr;
+pub mod stats;
+pub mod svd;
+pub mod vector;
+
+pub use error::{LinalgError, Result};
+pub use matrix::Matrix;
+pub use svd::{svd, Svd};
+pub use vector::Vector;
+
+#[cfg(test)]
+mod proptests {
+    use crate::matrix::Matrix;
+    use crate::svd::{svd_golub_reinsch, svd_jacobi};
+    use proptest::prelude::*;
+
+    fn small_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+        (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+            proptest::collection::vec(-100.0..100.0f64, r * c)
+                .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn svd_reconstruction_holds(a in small_matrix(12, 6)) {
+            let s = crate::svd::svd(&a).unwrap();
+            let recon = s.reconstruct();
+            let denom = a.frobenius_norm().max(1.0);
+            prop_assert!((&recon - &a).frobenius_norm() / denom < 1e-8);
+        }
+
+        #[test]
+        fn svd_values_agree_between_algorithms(a in small_matrix(10, 4)) {
+            let sj = svd_jacobi(&a).unwrap();
+            let sg = svd_golub_reinsch(&a).unwrap();
+            for (x, y) in sj.singular_values.iter().zip(&sg.singular_values) {
+                prop_assert!((x - y).abs() < 1e-6 * (1.0 + x.abs()));
+            }
+        }
+
+        #[test]
+        fn svd_frobenius_identity(a in small_matrix(10, 5)) {
+            // ‖A‖_F² = Σ σᵢ²
+            let s = crate::svd::svd(&a).unwrap();
+            let sum_sq: f64 = s.singular_values.iter().map(|v| v * v).sum();
+            let f2 = a.frobenius_norm().powi(2);
+            prop_assert!((sum_sq - f2).abs() < 1e-6 * (1.0 + f2));
+        }
+
+        #[test]
+        fn transpose_is_involution(a in small_matrix(8, 8)) {
+            prop_assert!(a.transpose().transpose().approx_eq(&a, 0.0));
+        }
+
+        #[test]
+        fn matmul_identity_is_noop(a in small_matrix(6, 6)) {
+            if a.is_square() {
+                let i = Matrix::identity(a.rows());
+                prop_assert!(a.matmul(&i).unwrap().approx_eq(&a, 1e-12));
+            }
+        }
+
+        #[test]
+        fn gram_is_psd(a in small_matrix(10, 4)) {
+            let g = a.gram();
+            let e = crate::eig::sym_eig(&g).unwrap();
+            let scale = g.max_abs().max(1.0);
+            for &v in &e.eigenvalues {
+                prop_assert!(v >= -1e-8 * scale);
+            }
+        }
+    }
+}

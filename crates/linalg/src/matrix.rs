@@ -1,0 +1,816 @@
+//! Dense row-major matrix of `f64` values.
+//!
+//! This is the workhorse type of the workspace: motion "joint matrices"
+//! (one row per captured frame, three columns per joint), EMG channel
+//! matrices, and feature-point collections are all represented as
+//! [`Matrix`] values.
+
+use crate::error::{LinalgError, Result};
+use crate::vector::Vector;
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense, row-major matrix of `f64`.
+///
+/// Storage is a single contiguous `Vec<f64>`; element `(r, c)` lives at
+/// `r * cols + c`. Row-major order matches how motion frames arrive (one
+/// frame per row), keeping windowed feature extraction cache-friendly.
+#[derive(Clone, PartialEq, Serialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl<'de> Deserialize<'de> for Matrix {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> std::result::Result<Self, D::Error> {
+        #[derive(Deserialize)]
+        struct Raw {
+            rows: usize,
+            cols: usize,
+            data: Vec<f64>,
+        }
+        let raw = Raw::deserialize(deserializer)?;
+        Matrix::from_vec(raw.rows, raw.cols, raw.data).map_err(|e| D::Error::custom(e.to_string()))
+    }
+}
+
+impl Matrix {
+    /// Creates a matrix from raw row-major data.
+    ///
+    /// Returns an error when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidArgument {
+                reason: format!(
+                    "data length {} does not match shape {}x{}",
+                    data.len(),
+                    rows,
+                    cols
+                ),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n`-by-`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a slice of rows.
+    ///
+    /// Returns an error if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Ok(Self::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != cols {
+                return Err(LinalgError::InvalidArgument {
+                    reason: format!(
+                        "row {} has length {}, expected {}",
+                        i,
+                        row.len(),
+                        cols
+                    ),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m.data[i * n + i] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// True when the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// True when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow the underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its row-major storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Checked element access.
+    pub fn get(&self, r: usize, c: usize) -> Result<f64> {
+        if r >= self.rows || c >= self.cols {
+            return Err(LinalgError::IndexOutOfBounds {
+                index: (r, c),
+                shape: (self.rows, self.cols),
+            });
+        }
+        Ok(self.data[r * self.cols + c])
+    }
+
+    /// Checked element write.
+    pub fn set(&mut self, r: usize, c: usize, value: f64) -> Result<()> {
+        if r >= self.rows || c >= self.cols {
+            return Err(LinalgError::IndexOutOfBounds {
+                index: (r, c),
+                shape: (self.rows, self.cols),
+            });
+        }
+        self.data[r * self.cols + c] = value;
+        Ok(())
+    }
+
+    /// Borrow row `r` as a slice. Panics if out of bounds.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as a slice. Panics if out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new [`Vector`]. Panics if out of bounds.
+    pub fn col(&self, c: usize) -> Vector {
+        assert!(c < self.cols, "col {} out of bounds ({} cols)", c, self.cols);
+        Vector::from_iter((0..self.rows).map(|r| self.data[r * self.cols + c]))
+    }
+
+    /// Overwrites column `c` with `values`.
+    pub fn set_col(&mut self, c: usize, values: &[f64]) -> Result<()> {
+        if c >= self.cols || values.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "set_col",
+                lhs: (self.rows, self.cols),
+                rhs: (values.len(), 1),
+            });
+        }
+        for (r, &v) in values.iter().enumerate() {
+            self.data[r * self.cols + c] = v;
+        }
+        Ok(())
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1)).take(self.rows)
+    }
+
+    /// Returns a new matrix holding rows `r0..r1` (half-open).
+    pub fn slice_rows(&self, r0: usize, r1: usize) -> Result<Matrix> {
+        if r0 > r1 || r1 > self.rows {
+            return Err(LinalgError::InvalidArgument {
+                reason: format!(
+                    "row slice {}..{} invalid for {} rows",
+                    r0, r1, self.rows
+                ),
+            });
+        }
+        Ok(Matrix {
+            rows: r1 - r0,
+            cols: self.cols,
+            data: self.data[r0 * self.cols..r1 * self.cols].to_vec(),
+        })
+    }
+
+    /// Returns a new matrix holding columns `c0..c1` (half-open).
+    pub fn slice_cols(&self, c0: usize, c1: usize) -> Result<Matrix> {
+        if c0 > c1 || c1 > self.cols {
+            return Err(LinalgError::InvalidArgument {
+                reason: format!(
+                    "col slice {}..{} invalid for {} cols",
+                    c0, c1, self.cols
+                ),
+            });
+        }
+        let w = c1 - c0;
+        let mut data = Vec::with_capacity(self.rows * w);
+        for r in 0..self.rows {
+            data.extend_from_slice(&self.data[r * self.cols + c0..r * self.cols + c1]);
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: w,
+            data,
+        })
+    }
+
+    /// Horizontally concatenates `self` and `other` (same row count).
+    pub fn hstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "hstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(other.row(r));
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols,
+            data,
+        })
+    }
+
+    /// Vertically concatenates `self` and `other` (same column count).
+    pub fn vstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "vstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order keeps the inner loop contiguous over both the
+        // output row and the rhs row, which matters for the larger feature
+        // matrices in the evaluation sweeps.
+        for i in 0..self.rows {
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vector> {
+        if self.cols != v.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut out = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(v) {
+                acc += a * b;
+            }
+            out.push(acc);
+        }
+        Ok(Vector::from_vec(out))
+    }
+
+    /// Computes `selfᵀ * self`, the Gram matrix of the columns.
+    ///
+    /// This is the input to the small symmetric eigenproblem used by the
+    /// windowed SVD feature path.
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let mut out = Matrix::zeros(n, n);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..n {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for (j, &rj) in row.iter().enumerate().skip(i) {
+                    out.data[i * n + j] += ri * rj;
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..n {
+            for j in 0..i {
+                out.data[i * n + j] = out.data[j * n + i];
+            }
+        }
+        out
+    }
+
+    /// Scales every element by `s` in place.
+    pub fn scale_mut(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Returns a scaled copy.
+    pub fn scaled(&self, s: f64) -> Matrix {
+        let mut m = self.clone();
+        m.scale_mut(s);
+        m
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_mut(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns a copy with `f` applied to every element.
+    pub fn map(&self, f: impl FnMut(f64) -> f64) -> Matrix {
+        let mut m = self.clone();
+        m.map_mut(f);
+        m
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute element value (∞-norm of the flattened data).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Column means as a vector of length `cols`.
+    pub fn col_means(&self) -> Result<Vector> {
+        if self.rows == 0 {
+            return Err(LinalgError::Empty { op: "col_means" });
+        }
+        let mut sums = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (s, v) in sums.iter_mut().zip(self.row(r)) {
+                *s += v;
+            }
+        }
+        let n = self.rows as f64;
+        for s in &mut sums {
+            *s /= n;
+        }
+        Ok(Vector::from_vec(sums))
+    }
+
+    /// Subtracts `v` from every row in place (e.g. mean-centering).
+    pub fn sub_row_vector_mut(&mut self, v: &[f64]) -> Result<()> {
+        if v.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "sub_row_vector",
+                lhs: self.shape(),
+                rhs: (1, v.len()),
+            });
+        }
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (x, s) in row.iter_mut().zip(v) {
+                *x -= s;
+            }
+        }
+        Ok(())
+    }
+
+    /// True when every element of `self` is within `tol` of `other`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({}, {}) out of bounds for {}x{}",
+            r,
+            c,
+            self.rows,
+            self.cols
+        );
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({}, {}) out of bounds for {}x{}",
+            r,
+            c,
+            self.rows,
+            self.cols
+        );
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix add shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix sub shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, s: f64) -> Matrix {
+        self.scaled(s)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        self.scaled(-1.0)
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:10.4}", self.data[r * self.cols + c])?;
+            }
+            if self.cols > 8 {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m22(a: f64, b: f64, c: f64, d: f64) -> Matrix {
+        Matrix::from_vec(2, 2, vec![a, b, c, d]).unwrap()
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_len() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(1, 1)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn from_rows_consistency() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m[(1, 0)], 3.0);
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        let empty = Matrix::from_rows(&[]).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn from_fn_and_diag() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f64);
+        assert_eq!(m[(1, 2)], 12.0);
+        let d = Matrix::from_diag(&[1.0, 2.0]);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn get_set_checked() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(0, 1, 5.0).unwrap();
+        assert_eq!(m.get(0, 1).unwrap(), 5.0);
+        assert!(m.get(2, 0).is_err());
+        assert!(m.set(0, 2, 1.0).is_err());
+    }
+
+    #[test]
+    fn row_col_access() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0).as_slice(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn set_col_roundtrip() {
+        let mut m = Matrix::zeros(3, 2);
+        m.set_col(1, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(m.col(1).as_slice(), &[1.0, 2.0, 3.0]);
+        assert!(m.set_col(5, &[1.0, 2.0, 3.0]).is_err());
+        assert!(m.set_col(0, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn slicing_rows_and_cols() {
+        let m = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f64);
+        let s = m.slice_rows(1, 3).unwrap();
+        assert_eq!(s.shape(), (2, 3));
+        assert_eq!(s[(0, 0)], 3.0);
+        let c = m.slice_cols(1, 3).unwrap();
+        assert_eq!(c.shape(), (4, 2));
+        assert_eq!(c[(0, 0)], 1.0);
+        assert!(m.slice_rows(3, 1).is_err());
+        assert!(m.slice_cols(0, 9).is_err());
+    }
+
+    #[test]
+    fn stacking() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(5.0, 6.0, 7.0, 8.0);
+        let h = a.hstack(&b).unwrap();
+        assert_eq!(h.shape(), (2, 4));
+        assert_eq!(h.row(0), &[1.0, 2.0, 5.0, 6.0]);
+        let v = a.vstack(&b).unwrap();
+        assert_eq!(v.shape(), (4, 2));
+        assert_eq!(v.row(2), &[5.0, 6.0]);
+        let bad = Matrix::zeros(3, 2);
+        assert!(a.hstack(&bad).is_err());
+        let bad2 = Matrix::zeros(2, 3);
+        assert!(a.vstack(&bad2).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f64);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (5, 3));
+        assert_eq!(t[(2, 1)], m[(1, 2)]);
+        assert!(t.transpose().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = Matrix::from_fn(3, 3, |r, c| (r + c) as f64);
+        let i = Matrix::identity(3);
+        assert!(m.matmul(&i).unwrap().approx_eq(&m, 1e-12));
+        assert!(i.matmul(&m).unwrap().approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(5.0, 6.0, 7.0, 8.0);
+        let p = a.matmul(&b).unwrap();
+        assert!(p.approx_eq(&m22(19.0, 22.0, 43.0, 50.0), 1e-12));
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matvec_works() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let v = a.matvec(&[1.0, 1.0]).unwrap();
+        assert_eq!(v.as_slice(), &[3.0, 7.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let a = Matrix::from_fn(5, 3, |r, c| ((r * 3 + c) as f64).sin());
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a).unwrap();
+        assert!(g.approx_eq(&explicit, 1e-12));
+    }
+
+    #[test]
+    fn scaling_and_mapping() {
+        let m = m22(1.0, -2.0, 3.0, -4.0);
+        let s = m.scaled(2.0);
+        assert_eq!(s[(1, 1)], -8.0);
+        let abs = m.map(f64::abs);
+        assert_eq!(abs[(0, 1)], 2.0);
+    }
+
+    #[test]
+    fn norms() {
+        let m = m22(3.0, 0.0, 0.0, 4.0);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(m.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn col_means_and_centering() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0]]).unwrap();
+        let means = m.col_means().unwrap();
+        assert_eq!(means.as_slice(), &[2.0, 20.0]);
+        m.sub_row_vector_mut(means.as_slice()).unwrap();
+        assert_eq!(m.row(0), &[-1.0, -10.0]);
+        assert_eq!(m.row(1), &[1.0, 10.0]);
+        assert!(Matrix::zeros(0, 2).col_means().is_err());
+    }
+
+    #[test]
+    fn ops_traits() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(4.0, 3.0, 2.0, 1.0);
+        assert!((&a + &b).approx_eq(&Matrix::filled(2, 2, 5.0), 1e-12));
+        assert!((&a - &a).approx_eq(&Matrix::zeros(2, 2), 1e-12));
+        assert_eq!((&a * 2.0)[(1, 1)], 8.0);
+        assert_eq!((-&a)[(0, 0)], -1.0);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(!m.has_non_finite());
+        m[(0, 0)] = f64::NAN;
+        assert!(m.has_non_finite());
+    }
+
+    #[test]
+    fn iter_rows_covers_all() {
+        let m = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f64);
+        let rows: Vec<&[f64]> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn debug_format_is_bounded() {
+        let m = Matrix::zeros(20, 20);
+        let s = format!("{:?}", m);
+        assert!(s.contains("Matrix 20x20"));
+        assert!(s.contains("..."));
+    }
+}

@@ -1,0 +1,365 @@
+//! Householder QR decomposition and least-squares solving.
+//!
+//! Used by the DSP crate for filter-design fitting and by detrending
+//! utilities; also a general-purpose building block a downstream user of a
+//! numerics crate expects to find.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// QR decomposition `A = Q R` with `Q` orthonormal (`m×n`, thin) and `R`
+/// upper triangular (`n×n`), for `m ≥ n`.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Orthonormal factor, `m×n`.
+    pub q: Matrix,
+    /// Upper-triangular factor, `n×n`.
+    pub r: Matrix,
+}
+
+/// Computes the thin QR decomposition of `a` (requires `rows ≥ cols`).
+pub fn qr(a: &Matrix) -> Result<Qr> {
+    let (m, n) = a.shape();
+    if a.is_empty() {
+        return Err(LinalgError::Empty { op: "qr" });
+    }
+    if m < n {
+        return Err(LinalgError::InvalidArgument {
+            reason: format!("qr requires rows >= cols, got {m}x{n}"),
+        });
+    }
+    // Householder vectors stored implicitly; accumulate Q explicitly since
+    // the matrices in this workspace are small.
+    let mut r = a.clone();
+    let mut q_full = Matrix::identity(m);
+
+    for k in 0..n {
+        // Build the Householder reflector for column k.
+        let mut norm_x = 0.0;
+        for i in k..m {
+            norm_x += r[(i, k)] * r[(i, k)];
+        }
+        let norm_x = norm_x.sqrt();
+        if norm_x == 0.0 {
+            continue;
+        }
+        let alpha = if r[(k, k)] >= 0.0 { -norm_x } else { norm_x };
+        let mut v = vec![0.0; m - k];
+        v[0] = r[(k, k)] - alpha;
+        for i in (k + 1)..m {
+            v[i - k] = r[(i, k)];
+        }
+        let vnorm_sq: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm_sq == 0.0 {
+            continue;
+        }
+        // Apply H = I - 2 v vᵀ / (vᵀ v) to R (columns k..n).
+        for j in k..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i - k] * r[(i, j)];
+            }
+            let f = 2.0 * dot / vnorm_sq;
+            for i in k..m {
+                r[(i, j)] -= f * v[i - k];
+            }
+        }
+        // Apply H to Q_full from the right: Q ← Q Hᵀ = Q H (H symmetric).
+        for i in 0..m {
+            let mut dot = 0.0;
+            for j in k..m {
+                dot += q_full[(i, j)] * v[j - k];
+            }
+            let f = 2.0 * dot / vnorm_sq;
+            for j in k..m {
+                q_full[(i, j)] -= f * v[j - k];
+            }
+        }
+    }
+
+    // Thin factors.
+    let q = q_full.slice_cols(0, n)?;
+    let mut r_thin = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            r_thin[(i, j)] = r[(i, j)];
+        }
+    }
+    Ok(Qr { q, r: r_thin })
+}
+
+/// Solves the least-squares problem `min ‖A x − b‖₂` via QR.
+///
+/// Errors if `A` is rank deficient (zero diagonal in `R`).
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vector> {
+    let (m, n) = a.shape();
+    if b.len() != m {
+        return Err(LinalgError::DimensionMismatch {
+            op: "lstsq",
+            lhs: (m, n),
+            rhs: (b.len(), 1),
+        });
+    }
+    let Qr { q, r } = qr(a)?;
+    // x = R⁻¹ Qᵀ b by back substitution.
+    let qtb = q.transpose().matvec(b)?;
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut acc = qtb[i];
+        for j in (i + 1)..n {
+            acc -= r[(i, j)] * x[j];
+        }
+        let d = r[(i, i)];
+        if d.abs() < 1e-12 * r.max_abs().max(1.0) {
+            return Err(LinalgError::Singular { op: "lstsq" });
+        }
+        x[i] = acc / d;
+    }
+    Ok(Vector::from_vec(x))
+}
+
+/// Solves the square linear system `A x = b` (via QR; errors when singular).
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vector> {
+    if !a.is_square() {
+        return Err(LinalgError::InvalidArgument {
+            reason: format!("solve requires a square matrix, got {:?}", a.shape()),
+        });
+    }
+    lstsq(a, b)
+}
+
+/// Inverse of a square matrix via QR (column-by-column solve).
+///
+/// Errors when the matrix is singular. Intended for the small matrices of
+/// this workspace (e.g. the per-cluster covariance matrices of
+/// Gustafson–Kessel clustering).
+pub fn inverse(a: &Matrix) -> Result<Matrix> {
+    if !a.is_square() {
+        return Err(LinalgError::InvalidArgument {
+            reason: format!("inverse requires a square matrix, got {:?}", a.shape()),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Err(LinalgError::Empty { op: "inverse" });
+    }
+    let decomposition = qr(a)?;
+    let qt = decomposition.q.transpose();
+    let mut inv = Matrix::zeros(n, n);
+    let mut e = vec![0.0; n];
+    for col in 0..n {
+        e[col] = 1.0;
+        // Solve R x = Qᵀ e by back substitution.
+        let qtb = qt.matvec(&e)?;
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = qtb[i];
+            for j in (i + 1)..n {
+                acc -= decomposition.r[(i, j)] * x[j];
+            }
+            let d = decomposition.r[(i, i)];
+            if d.abs() < 1e-12 * decomposition.r.max_abs().max(1.0) {
+                return Err(LinalgError::Singular { op: "inverse" });
+            }
+            x[i] = acc / d;
+        }
+        inv.set_col(col, &x)?;
+        e[col] = 0.0;
+    }
+    Ok(inv)
+}
+
+/// Determinant of a square matrix by Gaussian elimination with partial
+/// pivoting (sign-exact, O(n³); ample for the small covariance matrices
+/// this workspace inverts).
+pub fn determinant(a: &Matrix) -> Result<f64> {
+    if !a.is_square() {
+        return Err(LinalgError::InvalidArgument {
+            reason: format!("determinant requires a square matrix, got {:?}", a.shape()),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Err(LinalgError::Empty { op: "determinant" });
+    }
+    // Gaussian elimination with partial pivoting — O(n³), exact sign.
+    let mut m = a.clone();
+    let mut det = 1.0f64;
+    for col in 0..n {
+        // Pivot selection.
+        let mut pivot = col;
+        for r in (col + 1)..n {
+            if m[(r, col)].abs() > m[(pivot, col)].abs() {
+                pivot = r;
+            }
+        }
+        let p = m[(pivot, col)];
+        if p == 0.0 {
+            return Ok(0.0);
+        }
+        if pivot != col {
+            for c in 0..n {
+                let tmp = m[(col, c)];
+                m[(col, c)] = m[(pivot, c)];
+                m[(pivot, c)] = tmp;
+            }
+            det = -det;
+        }
+        det *= p;
+        for r in (col + 1)..n {
+            let factor = m[(r, col)] / p;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let sub = factor * m[(col, c)];
+                m[(r, c)] -= sub;
+            }
+        }
+    }
+    Ok(det)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn qr_reconstructs() {
+        let a = pseudo_random(8, 4, 1);
+        let d = qr(&a).unwrap();
+        let recon = d.q.matmul(&d.r).unwrap();
+        assert!(recon.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn q_is_orthonormal() {
+        let a = pseudo_random(10, 5, 2);
+        let d = qr(&a).unwrap();
+        let qtq = d.q.transpose().matmul(&d.q).unwrap();
+        assert!(qtq.approx_eq(&Matrix::identity(5), 1e-10));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = pseudo_random(6, 4, 3);
+        let d = qr(&a).unwrap();
+        for i in 0..4 {
+            for j in 0..i {
+                assert!(d.r[(i, j)].abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_rejects_wide_and_empty() {
+        assert!(qr(&Matrix::zeros(2, 3)).is_err());
+        assert!(qr(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // [[2, 0], [0, 4]] x = [2, 8] → x = [1, 2]
+        let a = Matrix::from_vec(2, 2, vec![2.0, 0.0, 0.0, 4.0]).unwrap();
+        let x = solve(&a, &[2.0, 8.0]).unwrap();
+        assert!(x.approx_eq(&Vector::from_vec(vec![1.0, 2.0]), 1e-12));
+    }
+
+    #[test]
+    fn solve_random_system_roundtrip() {
+        let a = pseudo_random(5, 5, 7);
+        let x_true = vec![1.0, -2.0, 0.5, 3.0, -1.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = solve(&a, b.as_slice()).unwrap();
+        assert!(x.approx_eq(&Vector::from_vec(x_true), 1e-8));
+    }
+
+    #[test]
+    fn lstsq_overdetermined() {
+        // Fit y = 2t + 1 through noiseless samples.
+        let ts: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let a = Matrix::from_fn(10, 2, |r, c| if c == 0 { 1.0 } else { ts[r] });
+        let b: Vec<f64> = ts.iter().map(|t| 2.0 * t + 1.0).collect();
+        let x = lstsq(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_detection() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert!(matches!(
+            solve(&a, &[1.0, 2.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_rejects_non_square() {
+        assert!(solve(&Matrix::zeros(3, 2), &[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn lstsq_rejects_bad_rhs() {
+        let a = Matrix::identity(3);
+        assert!(lstsq(&a, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = pseudo_random(5, 5, 21);
+        let inv = inverse(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(5), 1e-8));
+        let prod2 = inv.matmul(&a).unwrap();
+        assert!(prod2.approx_eq(&Matrix::identity(5), 1e-8));
+    }
+
+    #[test]
+    fn inverse_of_diagonal() {
+        let d = Matrix::from_diag(&[2.0, 4.0, 0.5]);
+        let inv = inverse(&d).unwrap();
+        assert!(inv.approx_eq(&Matrix::from_diag(&[0.5, 0.25, 2.0]), 1e-12));
+    }
+
+    #[test]
+    fn inverse_rejects_singular_and_nonsquare() {
+        let s = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert!(inverse(&s).is_err());
+        assert!(inverse(&Matrix::zeros(2, 3)).is_err());
+        assert!(inverse(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        assert_eq!(determinant(&Matrix::identity(4)).unwrap(), 1.0);
+        let d = Matrix::from_diag(&[2.0, 3.0, -1.0]);
+        assert!((determinant(&d).unwrap() + 6.0).abs() < 1e-12);
+        // Row swap flips sign: [[0,1],[1,0]] has det -1.
+        let p = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        assert!((determinant(&p).unwrap() + 1.0).abs() < 1e-12);
+        let singular = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert_eq!(determinant(&singular).unwrap(), 0.0);
+        assert!(determinant(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn determinant_matches_product_rule() {
+        let a = pseudo_random(4, 4, 31);
+        let b = pseudo_random(4, 4, 32);
+        let det_ab = determinant(&a.matmul(&b).unwrap()).unwrap();
+        let prod = determinant(&a).unwrap() * determinant(&b).unwrap();
+        assert!((det_ab - prod).abs() < 1e-8 * prod.abs().max(1.0));
+    }
+}

@@ -1,0 +1,286 @@
+//! Descriptive statistics over slices, plus feature-scaling helpers.
+//!
+//! The evaluation harness and feature normalizers use these; they are kept
+//! here (rather than in `features`) because they are generic numeric
+//! kernels with no domain knowledge.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean. Errors on empty input.
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(LinalgError::Empty { op: "mean" });
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance (divides by `n`). Errors on empty input.
+pub fn variance(xs: &[f64]) -> Result<f64> {
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample variance (divides by `n−1`). Errors when fewer than two samples.
+pub fn sample_variance(xs: &[f64]) -> Result<f64> {
+    if xs.len() < 2 {
+        return Err(LinalgError::InvalidArgument {
+            reason: "sample_variance needs at least 2 samples".into(),
+        });
+    }
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> Result<f64> {
+    Ok(variance(xs)?.sqrt())
+}
+
+/// Minimum value. Errors on empty input; NaNs are ignored unless all-NaN.
+pub fn min(xs: &[f64]) -> Result<f64> {
+    xs.iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.min(v)))
+        })
+        .ok_or(LinalgError::Empty { op: "min" })
+}
+
+/// Maximum value. Errors on empty input; NaNs are ignored unless all-NaN.
+pub fn max(xs: &[f64]) -> Result<f64> {
+    xs.iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.max(v)))
+        })
+        .ok_or(LinalgError::Empty { op: "max" })
+}
+
+/// Root-mean-square of a signal segment.
+pub fn rms(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(LinalgError::Empty { op: "rms" });
+    }
+    Ok((xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt())
+}
+
+/// Median (interpolated for even lengths). Errors on empty input.
+pub fn median(xs: &[f64]) -> Result<f64> {
+    percentile(xs, 50.0)
+}
+
+/// Linear-interpolated percentile, `p ∈ [0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(LinalgError::Empty { op: "percentile" });
+    }
+    if !(0.0..=100.0).contains(&p) {
+        return Err(LinalgError::InvalidArgument {
+            reason: format!("percentile {p} outside [0, 100]"),
+        });
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let frac = rank - lo as f64;
+        Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Pearson correlation between two equal-length slices.
+pub fn pearson(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "pearson",
+            lhs: (a.len(), 1),
+            rhs: (b.len(), 1),
+        });
+    }
+    let ma = mean(a)?;
+    let mb = mean(b)?;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let dx = x - ma;
+        let dy = y - mb;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va == 0.0 || vb == 0.0 {
+        return Err(LinalgError::Singular { op: "pearson" });
+    }
+    Ok(cov / (va.sqrt() * vb.sqrt()))
+}
+
+/// Per-column z-score parameters learned from a data matrix.
+///
+/// Used to standardize combined feature points before clustering so the
+/// millivolt-scale EMG features and millimetre-scale mocap features (paper
+/// Sec. 1 notes the differing resolutions) contribute comparably.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZScore {
+    /// Column means.
+    pub means: Vec<f64>,
+    /// Column standard deviations, floored to avoid division by ~0.
+    pub stds: Vec<f64>,
+}
+
+impl ZScore {
+    /// Learns parameters from the rows of `data`.
+    pub fn fit(data: &Matrix) -> Result<Self> {
+        if data.rows() == 0 {
+            return Err(LinalgError::Empty { op: "ZScore::fit" });
+        }
+        let means = data.col_means()?.into_vec();
+        let mut stds = vec![0.0; data.cols()];
+        for r in 0..data.rows() {
+            for (c, v) in data.row(r).iter().enumerate() {
+                let d = v - means[c];
+                stds[c] += d * d;
+            }
+        }
+        let n = data.rows() as f64;
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant column: leave values centered but unscaled
+            }
+        }
+        Ok(Self { means, stds })
+    }
+
+    /// Applies the transform to one point in place.
+    pub fn apply_mut(&self, point: &mut [f64]) -> Result<()> {
+        if point.len() != self.means.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "ZScore::apply",
+                lhs: (point.len(), 1),
+                rhs: (self.means.len(), 1),
+            });
+        }
+        for ((x, m), s) in point.iter_mut().zip(&self.means).zip(&self.stds) {
+            *x = (*x - m) / s;
+        }
+        Ok(())
+    }
+
+    /// Returns a standardized copy of the whole matrix.
+    pub fn transform(&self, data: &Matrix) -> Result<Matrix> {
+        let mut out = data.clone();
+        for r in 0..out.rows() {
+            self.apply_mut(out.row_mut(r))?;
+        }
+        Ok(out)
+    }
+
+    /// Dimensionality this scaler was fitted on.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs).unwrap(), 5.0);
+        assert_eq!(variance(&xs).unwrap(), 4.0);
+        assert_eq!(std_dev(&xs).unwrap(), 2.0);
+        assert!(mean(&[]).is_err());
+    }
+
+    #[test]
+    fn sample_variance_bessel() {
+        let xs = [1.0, 2.0, 3.0];
+        assert!((sample_variance(&xs).unwrap() - 1.0).abs() < 1e-12);
+        assert!(sample_variance(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn min_max_ignore_nan() {
+        let xs = [3.0, f64::NAN, -1.0, 2.0];
+        assert_eq!(min(&xs).unwrap(), -1.0);
+        assert_eq!(max(&xs).unwrap(), 3.0);
+        assert!(min(&[f64::NAN]).is_err());
+        assert!(max(&[]).is_err());
+    }
+
+    #[test]
+    fn rms_of_constant() {
+        assert!((rms(&[2.0; 10]).unwrap() - 2.0).abs() < 1e-12);
+        assert!(rms(&[]).is_err());
+    }
+
+    #[test]
+    fn median_and_percentile() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+        assert_eq!(percentile(&[0.0, 10.0], 0.0).unwrap(), 0.0);
+        assert_eq!(percentile(&[0.0, 10.0], 100.0).unwrap(), 10.0);
+        assert_eq!(percentile(&[0.0, 10.0], 25.0).unwrap(), 2.5);
+        assert!(percentile(&[1.0], 101.0).is_err());
+        assert!(percentile(&[], 50.0).is_err());
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+        assert!(pearson(&a, &[1.0]).is_err());
+        assert!(pearson(&a, &[5.0; 4]).is_err());
+    }
+
+    #[test]
+    fn zscore_standardizes() {
+        let data = Matrix::from_rows(&[
+            vec![1.0, 100.0],
+            vec![2.0, 200.0],
+            vec![3.0, 300.0],
+        ])
+        .unwrap();
+        let z = ZScore::fit(&data).unwrap();
+        assert_eq!(z.dim(), 2);
+        let t = z.transform(&data).unwrap();
+        // Columns now have mean 0, std 1.
+        for c in 0..2 {
+            let col: Vec<f64> = (0..3).map(|r| t[(r, c)]).collect();
+            assert!(mean(&col).unwrap().abs() < 1e-12);
+            assert!((std_dev(&col).unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zscore_constant_column_is_safe() {
+        let data = Matrix::from_rows(&[vec![5.0, 1.0], vec![5.0, 2.0]]).unwrap();
+        let z = ZScore::fit(&data).unwrap();
+        let t = z.transform(&data).unwrap();
+        assert!(t[(0, 0)].abs() < 1e-12);
+        assert!(!t.has_non_finite());
+    }
+
+    #[test]
+    fn zscore_dimension_checked() {
+        let data = Matrix::identity(2);
+        let z = ZScore::fit(&data).unwrap();
+        let mut short = [1.0];
+        assert!(z.apply_mut(&mut short).is_err());
+        assert!(ZScore::fit(&Matrix::zeros(0, 2)).is_err());
+    }
+}

@@ -1,0 +1,837 @@
+//! Singular value decomposition.
+//!
+//! The paper's motion-capture feature extractor (Eqs. 2–3) takes the SVD of
+//! each `w×3` joint-matrix window `A = U Σ Vᵀ` and sums the right singular
+//! vectors weighted by their normalized singular values. This module
+//! provides two independent implementations:
+//!
+//! * [`svd_golub_reinsch`] — Householder bidiagonalization followed by
+//!   implicit-shift QR iteration (Golub & Van Loan, *Matrix Computations*,
+//!   the reference the paper itself cites \[4\]).
+//! * [`svd_jacobi`] — one-sided (Hestenes) Jacobi column orthogonalization;
+//!   slower but unconditionally convergent and extremely accurate for the
+//!   small matrices the feature path produces.
+//!
+//! Both are exposed so tests can cross-validate them; [`svd`] is the default
+//! entry point (Golub–Reinsch with a Jacobi fallback on the rare
+//! non-convergence).
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// A thin singular value decomposition `A = U Σ Vᵀ`.
+///
+/// For an `m×n` input with `k = min(m, n)`: `u` is `m×k`, `singular_values`
+/// has length `k` (sorted descending, non-negative), and `vt` is `k×n`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (columns), `m×k`.
+    pub u: Matrix,
+    /// Singular values, descending and non-negative.
+    pub singular_values: Vec<f64>,
+    /// Transposed right singular vectors, `k×n` (row `i` is vᵢᵀ).
+    pub vt: Matrix,
+}
+
+impl Svd {
+    /// Number of singular values, `min(m, n)`.
+    pub fn rank_bound(&self) -> usize {
+        self.singular_values.len()
+    }
+
+    /// Right singular vector `i` as an owned vec (row `i` of `vt`).
+    pub fn right_singular_vector(&self, i: usize) -> &[f64] {
+        self.vt.row(i)
+    }
+
+    /// Reconstructs `U Σ Vᵀ`; used by tests to bound the residual.
+    pub fn reconstruct(&self) -> Matrix {
+        let k = self.singular_values.len();
+        let mut us = self.u.clone();
+        for c in 0..k {
+            for r in 0..us.rows() {
+                us[(r, c)] *= self.singular_values[c];
+            }
+        }
+        us.matmul(&self.vt).expect("shapes are consistent")
+    }
+
+    /// Numerical rank with tolerance relative to the largest singular value.
+    pub fn rank(&self, rel_tol: f64) -> usize {
+        let s0 = self.singular_values.first().copied().unwrap_or(0.0);
+        let thresh = s0 * rel_tol;
+        self.singular_values.iter().filter(|&&s| s > thresh).count()
+    }
+
+    /// Normalized singular values (summing to 1), the weights of Eq. 3.
+    ///
+    /// Returns all-zero weights for an all-zero matrix (a stationary window).
+    pub fn normalized_weights(&self) -> Vec<f64> {
+        let total: f64 = self.singular_values.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.singular_values.len()];
+        }
+        self.singular_values.iter().map(|s| s / total).collect()
+    }
+}
+
+/// Computes the thin SVD of `a`.
+///
+/// Dispatches to Golub–Reinsch; if that fails to converge (rare, pathological
+/// inputs) falls back to the unconditionally convergent one-sided Jacobi.
+///
+/// ```
+/// use kinemyo_linalg::{svd, Matrix};
+///
+/// let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+/// let s = svd(&a).unwrap();
+/// assert_eq!(s.singular_values.len(), 3);
+/// assert!((s.singular_values[0] - 3.0).abs() < 1e-12); // sorted descending
+/// assert!((&s.reconstruct() - &a).frobenius_norm() < 1e-12);
+/// ```
+pub fn svd(a: &Matrix) -> Result<Svd> {
+    if a.is_empty() {
+        return Err(LinalgError::Empty { op: "svd" });
+    }
+    match svd_golub_reinsch(a) {
+        Ok(s) => Ok(s),
+        Err(LinalgError::NotConverged { .. }) => svd_jacobi(a),
+        Err(e) => Err(e),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// One-sided (Hestenes) Jacobi
+// ---------------------------------------------------------------------------
+
+/// Maximum number of sweeps for the one-sided Jacobi iteration.
+const JACOBI_MAX_SWEEPS: usize = 60;
+
+/// One-sided Jacobi SVD.
+///
+/// Orthogonalizes the columns of `A` by plane rotations; the rotations
+/// accumulate into `V`, the resulting column norms are the singular values
+/// and the normalized columns form `U`.
+pub fn svd_jacobi(a: &Matrix) -> Result<Svd> {
+    if a.is_empty() {
+        return Err(LinalgError::Empty { op: "svd_jacobi" });
+    }
+    if a.rows() < a.cols() {
+        // Work on the transpose and swap factors: A = (U' Σ V'ᵀ)ᵀ = V' Σ U'ᵀ.
+        let t = svd_jacobi(&a.transpose())?;
+        let u = t.vt.transpose();
+        let vt = t.u.transpose();
+        return Ok(apply_sign_convention(Svd {
+            u,
+            singular_values: t.singular_values,
+            vt,
+        }));
+    }
+
+    let m = a.rows();
+    let n = a.cols();
+    let mut w = a.clone(); // working copy whose columns get orthogonalized
+    let mut v = Matrix::identity(n);
+    let eps = f64::EPSILON * (m as f64).sqrt();
+
+    let mut converged = false;
+    for _ in 0..JACOBI_MAX_SWEEPS {
+        converged = true;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let (mut alpha, mut beta, mut gamma) = (0.0, 0.0, 0.0);
+                for r in 0..m {
+                    let wp = w[(r, p)];
+                    let wq = w[(r, q)];
+                    alpha += wp * wp;
+                    beta += wq * wq;
+                    gamma += wp * wq;
+                }
+                if gamma.abs() <= eps * (alpha * beta).sqrt() || gamma == 0.0 {
+                    continue;
+                }
+                converged = false;
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for r in 0..m {
+                    let wp = w[(r, p)];
+                    let wq = w[(r, q)];
+                    w[(r, p)] = c * wp - s * wq;
+                    w[(r, q)] = s * wp + c * wq;
+                }
+                for r in 0..n {
+                    let vp = v[(r, p)];
+                    let vq = v[(r, q)];
+                    v[(r, p)] = c * vp - s * vq;
+                    v[(r, q)] = s * vp + c * vq;
+                }
+            }
+        }
+        if converged {
+            break;
+        }
+    }
+    if !converged {
+        return Err(LinalgError::NotConverged {
+            algorithm: "one-sided jacobi svd",
+            iterations: JACOBI_MAX_SWEEPS,
+        });
+    }
+
+    // Extract singular values (column norms) and sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = (0..n)
+        .map(|c| {
+            let col = w.col(c);
+            col.norm()
+        })
+        .collect();
+    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut u = Matrix::zeros(m, n);
+    let mut vt = Matrix::zeros(n, n);
+    let mut singular_values = Vec::with_capacity(n);
+    for (new_idx, &old_idx) in order.iter().enumerate() {
+        let s = norms[old_idx];
+        singular_values.push(s);
+        if s > 0.0 {
+            for r in 0..m {
+                u[(r, new_idx)] = w[(r, old_idx)] / s;
+            }
+        }
+        for r in 0..n {
+            vt[(new_idx, r)] = v[(r, old_idx)];
+        }
+    }
+    complete_u_basis(&mut u, &singular_values);
+
+    Ok(apply_sign_convention(Svd {
+        u,
+        singular_values,
+        vt,
+    }))
+}
+
+/// Fills in U columns associated with zero singular values so that U stays
+/// orthonormal even for rank-deficient input (e.g. a perfectly stationary
+/// motion window where a joint does not move at all).
+fn complete_u_basis(u: &mut Matrix, singular_values: &[f64]) {
+    let m = u.rows();
+    let k = u.cols();
+    for c in 0..k {
+        if singular_values[c] > 0.0 {
+            continue;
+        }
+        // Gram-Schmidt a standard basis vector against the existing columns.
+        'candidates: for e in 0..m {
+            let mut cand = vec![0.0; m];
+            cand[e] = 1.0;
+            for other in 0..k {
+                if other == c {
+                    continue;
+                }
+                let mut proj = 0.0;
+                for r in 0..m {
+                    proj += cand[r] * u[(r, other)];
+                }
+                for r in 0..m {
+                    cand[r] -= proj * u[(r, other)];
+                }
+            }
+            let nrm = cand.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if nrm > 1e-6 {
+                for r in 0..m {
+                    u[(r, c)] = cand[r] / nrm;
+                }
+                break 'candidates;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golub-Reinsch (bidiagonalization + implicit-shift QR)
+// ---------------------------------------------------------------------------
+
+/// Maximum QR iterations per singular value.
+const GR_MAX_ITERS: usize = 75;
+
+/// Golub–Reinsch SVD: Householder bidiagonalization followed by implicit
+/// shifted QR on the bidiagonal form.
+pub fn svd_golub_reinsch(a: &Matrix) -> Result<Svd> {
+    if a.is_empty() {
+        return Err(LinalgError::Empty {
+            op: "svd_golub_reinsch",
+        });
+    }
+    if a.rows() < a.cols() {
+        let t = svd_golub_reinsch(&a.transpose())?;
+        return Ok(apply_sign_convention(Svd {
+            u: t.vt.transpose(),
+            singular_values: t.singular_values,
+            vt: t.u.transpose(),
+        }));
+    }
+
+    let m = a.rows();
+    let n = a.cols();
+    let mut u = a.clone(); // overwritten in place, becomes U (m×n)
+    let mut w = vec![0.0_f64; n]; // singular values
+    let mut v = Matrix::zeros(n, n);
+    let mut rv1 = vec![0.0_f64; n]; // superdiagonal workspace
+
+    // --- Householder reduction to bidiagonal form -------------------------
+    let mut g = 0.0_f64;
+    let mut scale = 0.0_f64;
+    let mut anorm = 0.0_f64;
+    let mut l = 0usize;
+    for i in 0..n {
+        l = i + 1;
+        rv1[i] = scale * g;
+        g = 0.0;
+        let mut s = 0.0;
+        scale = 0.0;
+        if i < m {
+            for k in i..m {
+                scale += u[(k, i)].abs();
+            }
+            if scale != 0.0 {
+                for k in i..m {
+                    u[(k, i)] /= scale;
+                    s += u[(k, i)] * u[(k, i)];
+                }
+                let f = u[(i, i)];
+                g = -sign(s.sqrt(), f);
+                let h = f * g - s;
+                u[(i, i)] = f - g;
+                for j in l..n {
+                    let mut s2 = 0.0;
+                    for k in i..m {
+                        s2 += u[(k, i)] * u[(k, j)];
+                    }
+                    let f2 = s2 / h;
+                    for k in i..m {
+                        let add = f2 * u[(k, i)];
+                        u[(k, j)] += add;
+                    }
+                }
+                for k in i..m {
+                    u[(k, i)] *= scale;
+                }
+            }
+        }
+        w[i] = scale * g;
+        g = 0.0;
+        s = 0.0;
+        scale = 0.0;
+        if i < m && i != n - 1 {
+            for k in l..n {
+                scale += u[(i, k)].abs();
+            }
+            if scale != 0.0 {
+                for k in l..n {
+                    u[(i, k)] /= scale;
+                    s += u[(i, k)] * u[(i, k)];
+                }
+                let f = u[(i, l)];
+                g = -sign(s.sqrt(), f);
+                let h = f * g - s;
+                u[(i, l)] = f - g;
+                for k in l..n {
+                    rv1[k] = u[(i, k)] / h;
+                }
+                for j in l..m {
+                    let mut s2 = 0.0;
+                    for k in l..n {
+                        s2 += u[(j, k)] * u[(i, k)];
+                    }
+                    for k in l..n {
+                        let add = s2 * rv1[k];
+                        u[(j, k)] += add;
+                    }
+                }
+                for k in l..n {
+                    u[(i, k)] *= scale;
+                }
+            }
+        }
+        anorm = anorm.max(w[i].abs() + rv1[i].abs());
+    }
+
+    // --- Accumulate right-hand transformations (V) ------------------------
+    for i in (0..n).rev() {
+        if i < n - 1 {
+            if g != 0.0 {
+                for j in l..n {
+                    v[(j, i)] = (u[(i, j)] / u[(i, l)]) / g;
+                }
+                for j in l..n {
+                    let mut s = 0.0;
+                    for k in l..n {
+                        s += u[(i, k)] * v[(k, j)];
+                    }
+                    for k in l..n {
+                        let add = s * v[(k, i)];
+                        v[(k, j)] += add;
+                    }
+                }
+            }
+            for j in l..n {
+                v[(i, j)] = 0.0;
+                v[(j, i)] = 0.0;
+            }
+        }
+        v[(i, i)] = 1.0;
+        g = rv1[i];
+        l = i;
+    }
+
+    // --- Accumulate left-hand transformations (U) -------------------------
+    for i in (0..n.min(m)).rev() {
+        let l2 = i + 1;
+        g = w[i];
+        for j in l2..n {
+            u[(i, j)] = 0.0;
+        }
+        if g != 0.0 {
+            let ginv = 1.0 / g;
+            for j in l2..n {
+                let mut s = 0.0;
+                for k in l2..m {
+                    s += u[(k, i)] * u[(k, j)];
+                }
+                let f = (s / u[(i, i)]) * ginv;
+                for k in i..m {
+                    let add = f * u[(k, i)];
+                    u[(k, j)] += add;
+                }
+            }
+            for j in i..m {
+                u[(j, i)] *= ginv;
+            }
+        } else {
+            for j in i..m {
+                u[(j, i)] = 0.0;
+            }
+        }
+        u[(i, i)] += 1.0;
+    }
+
+    // --- Diagonalize the bidiagonal form ----------------------------------
+    let eps = f64::EPSILON;
+    for k in (0..n).rev() {
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            if iterations > GR_MAX_ITERS {
+                return Err(LinalgError::NotConverged {
+                    algorithm: "golub-reinsch svd",
+                    iterations: GR_MAX_ITERS,
+                });
+            }
+            // Test for splitting. rv1[0] is always zero so ls reaches 0 safely.
+            let mut ls = k;
+            let mut flag = true;
+            while ls > 0 {
+                if rv1[ls].abs() <= eps * anorm {
+                    flag = false;
+                    break;
+                }
+                if w[ls - 1].abs() <= eps * anorm {
+                    break;
+                }
+                ls -= 1;
+            }
+            if ls == 0 {
+                flag = false;
+            }
+            if flag {
+                // Cancellation of rv1[ls] when w[ls-1] is negligible.
+                let nm = ls - 1;
+                let mut c = 0.0;
+                let mut s = 1.0;
+                for i in ls..=k {
+                    let f = s * rv1[i];
+                    rv1[i] *= c;
+                    if f.abs() <= eps * anorm {
+                        break;
+                    }
+                    g = w[i];
+                    let h = f64::hypot(f, g);
+                    w[i] = h;
+                    let hinv = 1.0 / h;
+                    c = g * hinv;
+                    s = -f * hinv;
+                    for j in 0..m {
+                        let y = u[(j, nm)];
+                        let z = u[(j, i)];
+                        u[(j, nm)] = y * c + z * s;
+                        u[(j, i)] = z * c - y * s;
+                    }
+                }
+            }
+            let z = w[k];
+            if ls == k {
+                // Converged: make the singular value non-negative.
+                if z < 0.0 {
+                    w[k] = -z;
+                    for j in 0..n {
+                        v[(j, k)] = -v[(j, k)];
+                    }
+                }
+                break;
+            }
+            // Wilkinson shift from the bottom 2x2 minor.
+            let mut x = w[ls];
+            let nm = k - 1;
+            let y0 = w[nm];
+            g = rv1[nm];
+            let h0 = rv1[k];
+            let mut f = ((y0 - z) * (y0 + z) + (g - h0) * (g + h0)) / (2.0 * h0 * y0);
+            g = f64::hypot(f, 1.0);
+            f = ((x - z) * (x + z) + h0 * ((y0 / (f + sign(g, f))) - h0)) / x;
+            // Implicit QR transformation, chasing the bulge down the band.
+            let mut c = 1.0;
+            let mut s = 1.0;
+            for j in ls..=nm {
+                let i = j + 1;
+                g = rv1[i];
+                let mut y = w[i];
+                let mut h = s * g;
+                g *= c;
+                let mut zr = f64::hypot(f, h);
+                rv1[j] = zr;
+                c = f / zr;
+                s = h / zr;
+                f = x * c + g * s;
+                g = g * c - x * s;
+                h = y * s;
+                y *= c;
+                for jj in 0..n {
+                    let xv = v[(jj, j)];
+                    let zv = v[(jj, i)];
+                    v[(jj, j)] = xv * c + zv * s;
+                    v[(jj, i)] = zv * c - xv * s;
+                }
+                zr = f64::hypot(f, h);
+                w[j] = zr;
+                if zr != 0.0 {
+                    let zinv = 1.0 / zr;
+                    c = f * zinv;
+                    s = h * zinv;
+                }
+                f = c * g + s * y;
+                x = c * y - s * g;
+                for jj in 0..m {
+                    let yu = u[(jj, j)];
+                    let zu = u[(jj, i)];
+                    u[(jj, j)] = yu * c + zu * s;
+                    u[(jj, i)] = zu * c - yu * s;
+                }
+            }
+            rv1[ls] = 0.0;
+            rv1[k] = f;
+            w[k] = x;
+        }
+    }
+
+    if w.iter().any(|v| !v.is_finite()) {
+        // Pathological cancellation; let the caller fall back to Jacobi.
+        return Err(LinalgError::NotConverged {
+            algorithm: "golub-reinsch svd (non-finite result)",
+            iterations: GR_MAX_ITERS,
+        });
+    }
+
+    // Sort singular values descending, permuting U and V columns.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| w[j].partial_cmp(&w[i]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut u_sorted = Matrix::zeros(m, n);
+    let mut vt = Matrix::zeros(n, n);
+    let mut singular_values = Vec::with_capacity(n);
+    for (new_idx, &old_idx) in order.iter().enumerate() {
+        singular_values.push(w[old_idx]);
+        for r in 0..m {
+            u_sorted[(r, new_idx)] = u[(r, old_idx)];
+        }
+        for r in 0..n {
+            vt[(new_idx, r)] = v[(r, old_idx)];
+        }
+    }
+
+    Ok(apply_sign_convention(Svd {
+        u: u_sorted,
+        singular_values,
+        vt,
+    }))
+}
+
+/// `sign(a, b)`: |a| carrying the sign of `b` (Fortran SIGN intrinsic).
+#[inline]
+fn sign(a: f64, b: f64) -> f64 {
+    if b >= 0.0 {
+        a.abs()
+    } else {
+        -a.abs()
+    }
+}
+
+/// Fixes signs deterministically: for each right singular vector, the
+/// component of largest magnitude is made non-negative (flipping the paired
+/// left singular vector to preserve the product). This makes independent
+/// implementations directly comparable and makes the Eq. 3 feature vectors
+/// reproducible across runs.
+fn apply_sign_convention(mut s: Svd) -> Svd {
+    let k = s.singular_values.len();
+    let n = s.vt.cols();
+    let m = s.u.rows();
+    for i in 0..k {
+        let mut max_abs = 0.0;
+        let mut max_val = 0.0;
+        for c in 0..n {
+            let v = s.vt[(i, c)];
+            if v.abs() > max_abs {
+                max_abs = v.abs();
+                max_val = v;
+            }
+        }
+        if max_val < 0.0 {
+            for c in 0..n {
+                s.vt[(i, c)] = -s.vt[(i, c)];
+            }
+            for r in 0..m {
+                s.u[(r, i)] = -s.u[(r, i)];
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::dot;
+
+    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // Deterministic LCG so tests need no external RNG.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+    }
+
+    fn check_svd(a: &Matrix, s: &Svd, tol: f64) {
+        // Reconstruction
+        let recon = s.reconstruct();
+        let resid = (&recon - a).frobenius_norm();
+        let denom = a.frobenius_norm().max(1.0);
+        assert!(
+            resid / denom < tol,
+            "reconstruction residual too large: {} for {:?}",
+            resid / denom,
+            a.shape()
+        );
+        // Orthonormality of U columns
+        let utu = s.u.transpose().matmul(&s.u).unwrap();
+        assert!(
+            utu.approx_eq(&Matrix::identity(utu.rows()), 1e-8),
+            "UᵀU not identity"
+        );
+        // Orthonormality of V rows
+        let vvt = s.vt.matmul(&s.vt.transpose()).unwrap();
+        assert!(
+            vvt.approx_eq(&Matrix::identity(vvt.rows()), 1e-8),
+            "VVᵀ not identity"
+        );
+        // Singular values descending and non-negative
+        for w in s.singular_values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        for &sv in &s.singular_values {
+            assert!(sv >= 0.0);
+        }
+    }
+
+    #[test]
+    fn identity_svd() {
+        let a = Matrix::identity(3);
+        for f in [svd_jacobi, svd_golub_reinsch] {
+            let s = f(&a).unwrap();
+            check_svd(&a, &s, 1e-12);
+            for &sv in &s.singular_values {
+                assert!((sv - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn known_diagonal() {
+        let a = Matrix::from_diag(&[1.0, 5.0, 3.0]);
+        for f in [svd_jacobi, svd_golub_reinsch] {
+            let s = f(&a).unwrap();
+            assert!((s.singular_values[0] - 5.0).abs() < 1e-10);
+            assert!((s.singular_values[1] - 3.0).abs() < 1e-10);
+            assert!((s.singular_values[2] - 1.0).abs() < 1e-10);
+            check_svd(&a, &s, 1e-10);
+        }
+    }
+
+    #[test]
+    fn tall_thin_random() {
+        for seed in 1..6u64 {
+            let a = pseudo_random(24, 3, seed);
+            let sj = svd_jacobi(&a).unwrap();
+            let sg = svd_golub_reinsch(&a).unwrap();
+            check_svd(&a, &sj, 1e-9);
+            check_svd(&a, &sg, 1e-9);
+            // Cross-validate singular values between the implementations.
+            for (x, y) in sj.singular_values.iter().zip(&sg.singular_values) {
+                assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_matrix() {
+        let a = pseudo_random(3, 10, 7);
+        for f in [svd_jacobi, svd_golub_reinsch] {
+            let s = f(&a).unwrap();
+            assert_eq!(s.u.shape(), (3, 3));
+            assert_eq!(s.vt.shape(), (3, 10));
+            check_svd(&a, &s, 1e-9);
+        }
+    }
+
+    #[test]
+    fn square_random_cross_validation() {
+        for seed in 10..14u64 {
+            let a = pseudo_random(8, 8, seed);
+            let sj = svd_jacobi(&a).unwrap();
+            let sg = svd_golub_reinsch(&a).unwrap();
+            for (x, y) in sj.singular_values.iter().zip(&sg.singular_values) {
+                assert!((x - y).abs() < 1e-7 * (1.0 + x.abs()), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficient_matrix() {
+        // Column 2 = 2 * column 0 → rank 2 at most.
+        let a = Matrix::from_fn(6, 3, |r, c| match c {
+            0 => (r as f64 + 1.0).sin(),
+            1 => (r as f64 + 1.0).cos(),
+            _ => 2.0 * (r as f64 + 1.0).sin(),
+        });
+        for f in [svd_jacobi, svd_golub_reinsch] {
+            let s = f(&a).unwrap();
+            check_svd(&a, &s, 1e-9);
+            assert_eq!(s.rank(1e-9), 2);
+            assert!(s.singular_values[2].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Matrix::zeros(5, 3);
+        for f in [svd_jacobi, svd_golub_reinsch] {
+            let s = f(&a).unwrap();
+            for &sv in &s.singular_values {
+                assert_eq!(sv, 0.0);
+            }
+            assert!(s.reconstruct().approx_eq(&a, 1e-12));
+            assert_eq!(s.normalized_weights(), vec![0.0; 3]);
+        }
+        // Jacobi keeps U orthonormal even here via basis completion.
+        let s = svd_jacobi(&a).unwrap();
+        let utu = s.u.transpose().matmul(&s.u).unwrap();
+        assert!(utu.approx_eq(&Matrix::identity(3), 1e-9));
+    }
+
+    #[test]
+    fn single_column() {
+        let a = Matrix::from_vec(4, 1, vec![1.0, 2.0, 2.0, 0.0]).unwrap();
+        let s = svd(&a).unwrap();
+        assert!((s.singular_values[0] - 3.0).abs() < 1e-12);
+        check_svd(&a, &s, 1e-12);
+    }
+
+    #[test]
+    fn single_row() {
+        let a = Matrix::from_vec(1, 3, vec![3.0, 0.0, 4.0]).unwrap();
+        let s = svd(&a).unwrap();
+        assert!((s.singular_values[0] - 5.0).abs() < 1e-12);
+        check_svd(&a, &s, 1e-12);
+    }
+
+    #[test]
+    fn normalized_weights_sum_to_one() {
+        let a = pseudo_random(20, 3, 42);
+        let s = svd(&a).unwrap();
+        let w = s.normalized_weights();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for (i, &wi) in w.iter().enumerate() {
+            assert!(wi >= 0.0, "weight {i} negative: {wi}");
+        }
+    }
+
+    #[test]
+    fn sign_convention_is_deterministic() {
+        let a = pseudo_random(12, 3, 99);
+        let s1 = svd_jacobi(&a).unwrap();
+        let s2 = svd_golub_reinsch(&a).unwrap();
+        // With distinct singular values, both implementations must agree on
+        // right singular vectors exactly (up to numerical noise), thanks to
+        // the sign convention.
+        for i in 0..3 {
+            for c in 0..3 {
+                assert!(
+                    (s1.vt[(i, c)] - s2.vt[(i, c)]).abs() < 1e-7,
+                    "vt[{i},{c}] differs: {} vs {}",
+                    s1.vt[(i, c)],
+                    s2.vt[(i, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_is_error() {
+        assert!(svd(&Matrix::zeros(0, 3)).is_err());
+        assert!(svd_jacobi(&Matrix::zeros(3, 0)).is_err());
+        assert!(svd_golub_reinsch(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn spectral_norm_matches_two_norm_bound() {
+        // ‖A‖₂ = σ₁ ≤ ‖A‖_F, with equality iff rank 1.
+        let a = pseudo_random(10, 4, 5);
+        let s = svd(&a).unwrap();
+        assert!(s.singular_values[0] <= a.frobenius_norm() + 1e-12);
+        let sum_sq: f64 = s.singular_values.iter().map(|v| v * v).sum();
+        assert!((sum_sq.sqrt() - a.frobenius_norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_window_shape_from_paper() {
+        // 200 ms at 120 Hz = 24 frames; joint matrix is 24×3 (paper Sec. 5-6).
+        let a = pseudo_random(24, 3, 2007);
+        let s = svd(&a).unwrap();
+        assert_eq!(s.singular_values.len(), 3);
+        check_svd(&a, &s, 1e-10);
+    }
+
+    #[test]
+    fn dot_helper_consistency() {
+        // sanity: column extraction + dot matches gram entries
+        let a = pseudo_random(9, 3, 3);
+        let g = a.gram();
+        let c0 = a.col(0);
+        let c1 = a.col(1);
+        assert!((dot(c0.as_slice(), c1.as_slice()) - g[(0, 1)]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,336 @@
+//! A thin owned vector type plus the free-function kernels (dot products,
+//! norms, distances) used across the workspace.
+
+use crate::error::{LinalgError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// An owned vector of `f64`.
+///
+/// Feature points (combined EMG + motion-capture window features) and final
+/// per-motion feature vectors are `Vector`s.
+#[derive(Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Creates a vector from an owned `Vec<f64>`.
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        Self { data }
+    }
+
+
+    /// Creates a zero vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        Self { data: vec![0.0; n] }
+    }
+
+    /// Vector length (number of components).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the vector has no components.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the components.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the components.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the underlying `Vec`.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm(&self) -> f64 {
+        norm(&self.data)
+    }
+
+    /// Dot product with another vector.
+    pub fn dot(&self, other: &Vector) -> Result<f64> {
+        if self.len() != other.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "dot",
+                lhs: (self.len(), 1),
+                rhs: (other.len(), 1),
+            });
+        }
+        Ok(dot(&self.data, &other.data))
+    }
+
+    /// Scales each component in place.
+    pub fn scale_mut(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Returns a unit-norm copy, or an error for the zero vector.
+    pub fn normalized(&self) -> Result<Vector> {
+        let n = self.norm();
+        if n == 0.0 {
+            return Err(LinalgError::Singular { op: "normalize" });
+        }
+        let mut v = self.clone();
+        v.scale_mut(1.0 / n);
+        Ok(v)
+    }
+
+    /// Appends the components of `other`, consuming `self`.
+    ///
+    /// This is the Section 3.3 "combining" operation: an m-length EMG feature
+    /// vector appended to an n-length mocap feature vector.
+    pub fn concat(mut self, other: &Vector) -> Vector {
+        self.data.extend_from_slice(&other.data);
+        self
+    }
+
+    /// True when every component is within `tol` of `other`'s.
+    pub fn approx_eq(&self, other: &Vector, tol: f64) -> bool {
+        self.len() == other.len()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl Add<&Vector> for &Vector {
+    type Output = Vector;
+
+    fn add(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "vector add length mismatch");
+        Vector::from_iter(self.data.iter().zip(&rhs.data).map(|(a, b)| a + b))
+    }
+}
+
+impl Sub<&Vector> for &Vector {
+    type Output = Vector;
+
+    fn sub(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "vector sub length mismatch");
+        Vector::from_iter(self.data.iter().zip(&rhs.data).map(|(a, b)| a - b))
+    }
+}
+
+impl Mul<f64> for &Vector {
+    type Output = Vector;
+
+    fn mul(self, s: f64) -> Vector {
+        Vector::from_iter(self.data.iter().map(|v| v * s))
+    }
+}
+
+impl fmt::Debug for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vector[")?;
+        for (i, v) in self.data.iter().take(12).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.data.len() > 12 {
+            write!(f, ", ... ({} total)", self.data.len())?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Self {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(data: Vec<f64>) -> Self {
+        Self { data }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Free-function kernels over plain slices. These are deliberately slice-based
+// so callers holding rows of a `Matrix` can use them without copies.
+// ---------------------------------------------------------------------------
+
+/// Dot product of two equal-length slices. Panics on length mismatch.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+#[inline]
+pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "sq_euclidean length mismatch");
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance between two equal-length slices.
+///
+/// This is the distance the paper's Eq. 9 uses between a query feature point
+/// and a cluster centroid, and the metric used by the kNN classifier.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    sq_euclidean(a, b).sqrt()
+}
+
+/// Manhattan (L1) distance between two equal-length slices.
+#[inline]
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "manhattan length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Chebyshev (L∞) distance between two equal-length slices.
+#[inline]
+pub fn chebyshev(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "chebyshev length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let v = Vector::from_vec(vec![1.0, 2.0]);
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+        assert!(Vector::zeros(0).is_empty());
+        let w: Vector = vec![3.0].into();
+        assert_eq!(w[0], 3.0);
+        let it = Vector::from_iter((0..3).map(|i| i as f64));
+        assert_eq!(it.as_slice(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn norm_and_dot() {
+        let v = Vector::from_vec(vec![3.0, 4.0]);
+        assert!((v.norm() - 5.0).abs() < 1e-12);
+        let w = Vector::from_vec(vec![1.0, 0.0]);
+        assert_eq!(v.dot(&w).unwrap(), 3.0);
+        assert!(v.dot(&Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Vector::from_vec(vec![0.0, 2.0]);
+        let u = v.normalized().unwrap();
+        assert!((u.norm() - 1.0).abs() < 1e-12);
+        assert!(Vector::zeros(3).normalized().is_err());
+    }
+
+    #[test]
+    fn concat_appends() {
+        let a = Vector::from_vec(vec![1.0, 2.0]);
+        let b = Vector::from_vec(vec![3.0]);
+        let c = a.concat(&b);
+        assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn arithmetic_traits() {
+        let a = Vector::from_vec(vec![1.0, 2.0]);
+        let b = Vector::from_vec(vec![3.0, 4.0]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 6.0]);
+        assert_eq!((&b - &a).as_slice(), &[2.0, 2.0]);
+        assert_eq!((&a * 3.0).as_slice(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn index_mut_works() {
+        let mut v = Vector::zeros(2);
+        v[1] = 7.0;
+        assert_eq!(v.as_slice(), &[0.0, 7.0]);
+        v.as_mut_slice()[0] = 1.0;
+        assert_eq!(v.into_vec(), vec![1.0, 7.0]);
+    }
+
+    #[test]
+    fn distances() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert!((euclidean(&a, &b) - 5.0).abs() < 1e-12);
+        assert!((sq_euclidean(&a, &b) - 25.0).abs() < 1e-12);
+        assert!((manhattan(&a, &b) - 7.0).abs() < 1e-12);
+        assert!((chebyshev(&a, &b) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Vector::from_vec(vec![1.0, 2.0]);
+        let b = Vector::from_vec(vec![1.0 + 1e-9, 2.0]);
+        assert!(a.approx_eq(&b, 1e-8));
+        assert!(!a.approx_eq(&b, 1e-10));
+        assert!(!a.approx_eq(&Vector::zeros(3), 1.0));
+    }
+
+    #[test]
+    fn debug_format_truncates() {
+        let v = Vector::zeros(100);
+        let s = format!("{:?}", v);
+        assert!(s.contains("100 total"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dot length mismatch")]
+    fn dot_panics_on_mismatch() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Dynamic time warping — the classic raw-signal similarity baseline.
+//!
+//! The paper's related work (Keogh et al., ref \[8\]) retrieves motions by
+//! time-series similarity on the raw signals instead of extracting
+//! low-dimensional feature vectors. This module implements multivariate
+//! DTW with a Sakoe–Chiba band so the ablation benches can compare the
+//! paper's pipeline against a direct raw-signal 1-NN classifier on both
+//! accuracy and query cost.
+
+use crate::error::{DbError, Result};
+use kinemyo_linalg::vector::sq_euclidean;
+use kinemyo_linalg::Matrix;
+
+/// DTW distance between two multivariate series (`rows` = time,
+/// `cols` = dimensions; both must share the dimension count).
+///
+/// ```
+/// use kinemyo_linalg::Matrix;
+/// use kinemyo_modb::dtw_distance;
+///
+/// let a = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![0.0]]).unwrap();
+/// let shifted = Matrix::from_rows(&[vec![0.0], vec![0.0], vec![1.0], vec![0.0]]).unwrap();
+/// // Warping absorbs the shift entirely.
+/// assert!(dtw_distance(&a, &shifted, None).unwrap() < 1e-12);
+/// ```
+///
+/// `band` is the Sakoe–Chiba constraint half-width in frames (after
+/// accounting for the length difference, which is always allowed);
+/// `None` means unconstrained. The returned value is the square root of
+/// the accumulated per-frame squared Euclidean costs.
+pub fn dtw_distance(a: &Matrix, b: &Matrix, band: Option<usize>) -> Result<f64> {
+    if a.cols() != b.cols() {
+        return Err(DbError::DimensionMismatch {
+            expected: a.cols(),
+            got: b.cols(),
+        });
+    }
+    let (n, m) = (a.rows(), b.rows());
+    if n == 0 || m == 0 {
+        return Err(DbError::InvalidArgument {
+            reason: "DTW requires non-empty series".into(),
+        });
+    }
+    // Effective band: at least the length difference, else no path exists.
+    let diff = n.abs_diff(m);
+    let w = band.map(|b| b.max(diff)).unwrap_or(usize::MAX);
+
+    // Two-row DP over the cost matrix.
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        curr[0] = f64::INFINITY;
+        let (j_lo, j_hi) = if w == usize::MAX {
+            (1, m)
+        } else {
+            (i.saturating_sub(w).max(1), (i + w).min(m))
+        };
+        // Outside the band stays at infinity.
+        for v in curr[1..j_lo].iter_mut() {
+            *v = f64::INFINITY;
+        }
+        for v in curr[j_hi + 1..].iter_mut() {
+            *v = f64::INFINITY;
+        }
+        for j in j_lo..=j_hi {
+            let cost = sq_euclidean(a.row(i - 1), b.row(j - 1));
+            let best_prev = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            curr[j] = cost + best_prev;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    let total = prev[m];
+    if !total.is_finite() {
+        return Err(DbError::InvalidArgument {
+            reason: format!("band {w} admits no warping path for lengths {n} and {m}"),
+        });
+    }
+    Ok(total.sqrt())
+}
+
+/// A 1-NN raw-signal classifier by DTW distance — the baseline the
+/// feature pipeline is compared against.
+#[derive(Debug, Clone)]
+pub struct DtwClassifier<M> {
+    series: Vec<Matrix>,
+    metas: Vec<M>,
+    ids: Vec<usize>,
+    band: Option<usize>,
+    dim: usize,
+}
+
+impl<M: Clone> DtwClassifier<M> {
+    /// Builds a classifier over reference series (all sharing `dim` cols).
+    pub fn new(band: Option<usize>) -> Self {
+        Self {
+            series: Vec::new(),
+            metas: Vec::new(),
+            ids: Vec::new(),
+            band,
+            dim: 0,
+        }
+    }
+
+    /// Adds a reference series.
+    pub fn insert(&mut self, id: usize, meta: M, series: Matrix) -> Result<()> {
+        if series.rows() == 0 {
+            return Err(DbError::InvalidArgument {
+                reason: format!("series {id} is empty"),
+            });
+        }
+        if self.series.is_empty() {
+            self.dim = series.cols();
+        } else if series.cols() != self.dim {
+            return Err(DbError::DimensionMismatch {
+                expected: self.dim,
+                got: series.cols(),
+            });
+        }
+        self.series.push(series);
+        self.metas.push(meta);
+        self.ids.push(id);
+        Ok(())
+    }
+
+    /// Number of reference series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when no references are stored.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Returns `(id, meta, distance)` of the `k` nearest references.
+    pub fn knn(&self, query: &Matrix, k: usize) -> Result<Vec<(usize, M, f64)>> {
+        if k == 0 {
+            return Err(DbError::InvalidArgument {
+                reason: "k must be >= 1".into(),
+            });
+        }
+        if self.is_empty() {
+            return Err(DbError::Empty);
+        }
+        let mut scored: Vec<(f64, usize)> = Vec::with_capacity(self.series.len());
+        for (i, s) in self.series.iter().enumerate() {
+            scored.push((dtw_distance(query, s, self.band)?, i));
+        }
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        Ok(scored
+            .into_iter()
+            .take(k)
+            .map(|(d, i)| (self.ids[i], self.metas[i].clone(), d))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: &[f64]) -> Matrix {
+        Matrix::from_fn(values.len(), 1, |r, _| values[r])
+    }
+
+    #[test]
+    fn identical_series_have_zero_distance() {
+        let a = series(&[1.0, 2.0, 3.0, 2.0, 1.0]);
+        assert_eq!(dtw_distance(&a, &a, None).unwrap(), 0.0);
+        assert_eq!(dtw_distance(&a, &a, Some(1)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn time_shift_is_mostly_absorbed() {
+        // The same bump shifted by two frames: DTW warps it away almost
+        // entirely, Euclidean alignment would not.
+        let a = series(&[0.0, 0.0, 1.0, 2.0, 1.0, 0.0, 0.0, 0.0]);
+        let b = series(&[0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0, 0.0]);
+        let dtw = dtw_distance(&a, &b, None).unwrap();
+        let lockstep: f64 = (0..8)
+            .map(|i| (a[(i, 0)] - b[(i, 0)]).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dtw < lockstep / 2.0, "dtw {dtw} vs lockstep {lockstep}");
+    }
+
+    #[test]
+    fn different_lengths_are_allowed() {
+        let a = series(&[0.0, 1.0, 2.0, 1.0, 0.0]);
+        let b = series(&[0.0, 1.0, 1.5, 2.0, 1.5, 1.0, 0.0]);
+        let d = dtw_distance(&a, &b, None).unwrap();
+        assert!(d.is_finite() && d > 0.0);
+        // Band narrower than the length difference is widened, not fatal.
+        let d2 = dtw_distance(&a, &b, Some(0)).unwrap();
+        assert!(d2 >= d);
+    }
+
+    #[test]
+    fn band_tightens_monotonically() {
+        let a = Matrix::from_fn(30, 2, |r, c| ((r + c) as f64 * 0.4).sin());
+        let b = Matrix::from_fn(30, 2, |r, c| ((r + c) as f64 * 0.4 + 0.8).sin());
+        let unconstrained = dtw_distance(&a, &b, None).unwrap();
+        let wide = dtw_distance(&a, &b, Some(10)).unwrap();
+        let narrow = dtw_distance(&a, &b, Some(1)).unwrap();
+        assert!(unconstrained <= wide + 1e-12);
+        assert!(wide <= narrow + 1e-12);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let a = series(&[1.0]);
+        let b = Matrix::zeros(3, 2);
+        assert!(dtw_distance(&a, &b, None).is_err()); // dim mismatch
+        assert!(dtw_distance(&a, &Matrix::zeros(0, 1), None).is_err());
+    }
+
+    #[test]
+    fn classifier_finds_matching_shape() {
+        let mut clf: DtwClassifier<&'static str> = DtwClassifier::new(Some(5));
+        // Two bump shapes and a ramp, as references.
+        clf.insert(0, "bump", series(&[0.0, 1.0, 2.0, 1.0, 0.0, 0.0])).unwrap();
+        clf.insert(1, "bump", series(&[0.0, 0.0, 1.0, 2.0, 1.0, 0.0])).unwrap();
+        clf.insert(2, "ramp", series(&[0.0, 0.5, 1.0, 1.5, 2.0, 2.5])).unwrap();
+        assert_eq!(clf.len(), 3);
+        // A shifted bump must match the bumps, not the ramp.
+        let q = series(&[0.0, 0.0, 0.0, 1.0, 2.0, 1.0]);
+        let r = clf.knn(&q, 2).unwrap();
+        assert_eq!(r[0].1, "bump");
+        assert_eq!(r[1].1, "bump");
+        assert!(r[0].2 <= r[1].2);
+    }
+
+    #[test]
+    fn classifier_validation() {
+        let mut clf: DtwClassifier<()> = DtwClassifier::new(None);
+        assert!(clf.is_empty());
+        assert!(clf.knn(&series(&[1.0]), 1).is_err());
+        clf.insert(0, (), series(&[1.0, 2.0])).unwrap();
+        assert!(clf.insert(1, (), Matrix::zeros(2, 3)).is_err()); // dim
+        assert!(clf.insert(1, (), Matrix::zeros(0, 1)).is_err()); // empty
+        assert!(clf.knn(&series(&[1.0]), 0).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Error types for the motion feature database.
+
+use std::fmt;
+
+/// Errors produced by `kinemyo-modb`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Query dimensionality does not match the stored vectors.
+    DimensionMismatch {
+        /// Dimension of the stored vectors.
+        expected: usize,
+        /// Dimension of the query.
+        got: usize,
+    },
+    /// The database holds no entries.
+    Empty,
+    /// An argument was invalid (k = 0, bad reference count, ...).
+    InvalidArgument {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::DimensionMismatch { expected, got } => write!(
+                f,
+                "query dimension {got} does not match stored dimension {expected}"
+            ),
+            DbError::Empty => write!(f, "the database is empty"),
+            DbError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Result alias for database operations.
+pub type Result<T> = std::result::Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DbError::DimensionMismatch {
+            expected: 4,
+            got: 2
+        }
+        .to_string()
+        .contains("dimension 2"));
+        assert!(DbError::Empty.to_string().contains("empty"));
+        assert!(DbError::InvalidArgument { reason: "k=0".into() }
+            .to_string()
+            .contains("k=0"));
+    }
+}

@@ -1,0 +1,364 @@
+//! iDistance index (Yu, Ooi, Tan & Jagadish, VLDB '01 — the paper's
+//! reference \[14\]).
+//!
+//! Points are partitioned around reference points; each point is mapped to
+//! the one-dimensional key `i·C + d(p, refᵢ)` (its partition index times a
+//! separation constant plus its distance to the partition's reference).
+//! kNN proceeds by expanding a search radius `r`: for every partition
+//! whose ball intersects the query sphere, the key range
+//! `[i·C + max(0, d(q, refᵢ) − r), i·C + min(r_iᵐᵃˣ, d(q, refᵢ) + r)]` is
+//! scanned. The search stops when the kth-best distance is ≤ r, which
+//! guarantees exactness.
+
+use crate::error::{DbError, Result};
+use crate::knn::Neighbor;
+use crate::store::FeatureDb;
+use kinemyo_linalg::vector::euclidean;
+
+/// An exact iDistance index over a snapshot of a [`FeatureDb`].
+#[derive(Debug, Clone)]
+pub struct IDistance<M> {
+    /// Reference point per partition.
+    refs: Vec<Vec<f64>>,
+    /// Maximum distance of any member to its reference, per partition.
+    max_radius: Vec<f64>,
+    /// Separation constant (> any partition radius).
+    c: f64,
+    /// Sorted (key, point index) pairs — the 1-D B⁺-tree surrogate.
+    keys: Vec<(f64, usize)>,
+    points: Vec<Vec<f64>>,
+    ids: Vec<usize>,
+    metas: Vec<M>,
+    dim: usize,
+}
+
+/// Deterministic farthest-point sampling for reference selection: spreads
+/// the references across the data without an RNG.
+fn select_references(points: &[Vec<f64>], count: usize) -> Vec<Vec<f64>> {
+    let mut refs: Vec<Vec<f64>> = Vec::with_capacity(count);
+    if points.is_empty() || count == 0 {
+        return refs;
+    }
+    refs.push(points[0].clone());
+    let mut min_d: Vec<f64> = points
+        .iter()
+        .map(|p| euclidean(p, &refs[0]))
+        .collect();
+    while refs.len() < count.min(points.len()) {
+        let (far_idx, _) = min_d
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("points non-empty");
+        let new_ref = points[far_idx].clone();
+        for (d, p) in min_d.iter_mut().zip(points) {
+            let nd = euclidean(p, &new_ref);
+            if nd < *d {
+                *d = nd;
+            }
+        }
+        refs.push(new_ref);
+    }
+    refs
+}
+
+impl<M: Clone> IDistance<M> {
+    /// Builds the index with `partitions` reference points (clamped to the
+    /// number of stored motions; at least 1).
+    pub fn build(db: &FeatureDb<M>, partitions: usize) -> Result<Self> {
+        if partitions == 0 {
+            return Err(DbError::InvalidArgument {
+                reason: "iDistance needs at least one partition".into(),
+            });
+        }
+        let points: Vec<Vec<f64>> = db.entries().iter().map(|e| e.vector.clone()).collect();
+        let ids: Vec<usize> = db.entries().iter().map(|e| e.id).collect();
+        let metas: Vec<M> = db.entries().iter().map(|e| e.meta.clone()).collect();
+        let refs = select_references(&points, partitions);
+        let nparts = refs.len().max(1);
+
+        // Assign each point to its nearest reference.
+        let mut assignment = vec![0usize; points.len()];
+        let mut max_radius = vec![0.0f64; nparts];
+        let mut dists = vec![0.0f64; points.len()];
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (j, r) in refs.iter().enumerate() {
+                let d = euclidean(p, r);
+                if d < best_d {
+                    best_d = d;
+                    best = j;
+                }
+            }
+            assignment[i] = best;
+            dists[i] = best_d;
+            if best_d > max_radius[best] {
+                max_radius[best] = best_d;
+            }
+        }
+        let c = max_radius.iter().cloned().fold(0.0, f64::max) + 1.0;
+        let mut keys: Vec<(f64, usize)> = (0..points.len())
+            .map(|i| (assignment[i] as f64 * c + dists[i], i))
+            .collect();
+        keys.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        Ok(Self {
+            refs,
+            max_radius,
+            c,
+            keys,
+            points,
+            ids,
+            metas,
+            dim: db.dim(),
+        })
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of partitions actually in use.
+    pub fn partitions(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Exact kNN by iterative radius expansion.
+    pub fn knn(&self, query: &[f64], k: usize) -> Result<Vec<Neighbor<M>>> {
+        if k == 0 {
+            return Err(DbError::InvalidArgument {
+                reason: "k must be >= 1".into(),
+            });
+        }
+        if query.len() != self.dim {
+            return Err(DbError::DimensionMismatch {
+                expected: self.dim,
+                got: query.len(),
+            });
+        }
+        if self.is_empty() {
+            return Err(DbError::Empty);
+        }
+
+        let q_ref_d: Vec<f64> = self.refs.iter().map(|r| euclidean(query, r)).collect();
+        let mut visited = vec![false; self.points.len()];
+        let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+
+        let mut r = self.c / 16.0;
+        loop {
+            for (part, &qd) in q_ref_d.iter().enumerate() {
+                // Query sphere does not intersect the partition ball.
+                if qd - r > self.max_radius[part] {
+                    continue;
+                }
+                let lo = part as f64 * self.c + (qd - r).max(0.0);
+                let hi = part as f64 * self.c + (qd + r).min(self.max_radius[part]);
+                let start = self
+                    .keys
+                    .partition_point(|&(key, _)| key < lo);
+                for &(key, idx) in &self.keys[start..] {
+                    if key > hi {
+                        break;
+                    }
+                    if visited[idx] {
+                        continue;
+                    }
+                    visited[idx] = true;
+                    let d = euclidean(&self.points[idx], query);
+                    if best.len() < k || d < best[best.len() - 1].0 {
+                        let pos = best
+                            .binary_search_by(|(bd, _)| {
+                                bd.partial_cmp(&d).unwrap_or(std::cmp::Ordering::Equal)
+                            })
+                            .unwrap_or_else(|p| p);
+                        best.insert(pos, (d, idx));
+                        if best.len() > k {
+                            best.pop();
+                        }
+                    }
+                }
+            }
+            let kth = if best.len() >= k.min(self.points.len()) {
+                best.last().map(|&(d, _)| d).unwrap_or(f64::INFINITY)
+            } else {
+                f64::INFINITY
+            };
+            // Exactness: every unexplored point is farther than r from the
+            // query, so once kth ≤ r no better point can exist.
+            if kth <= r {
+                break;
+            }
+            r *= 2.0;
+            // Safety: once r covers every partition entirely, one more pass
+            // visits everything.
+            if r > 4.0 * self.c * (self.refs.len() as f64 + 1.0) {
+                // Final exhaustive sweep (degenerate data scales).
+                for (idx, seen) in visited.iter_mut().enumerate() {
+                    if *seen {
+                        continue;
+                    }
+                    *seen = true;
+                    let d = euclidean(&self.points[idx], query);
+                    if best.len() < k || d < best[best.len() - 1].0 {
+                        let pos = best
+                            .binary_search_by(|(bd, _)| {
+                                bd.partial_cmp(&d).unwrap_or(std::cmp::Ordering::Equal)
+                            })
+                            .unwrap_or_else(|p| p);
+                        best.insert(pos, (d, idx));
+                        if best.len() > k {
+                            best.pop();
+                        }
+                    }
+                }
+                break;
+            }
+        }
+
+        Ok(best
+            .into_iter()
+            .map(|(d, i)| Neighbor {
+                id: self.ids[i],
+                meta: self.metas[i].clone(),
+                distance: d,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::knn;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_db(n: usize, dim: usize, seed: u64) -> FeatureDb<usize> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut db = FeatureDb::new(dim);
+        for i in 0..n {
+            let v: Vec<f64> = (0..dim).map(|_| rng.random::<f64>() * 10.0).collect();
+            db.insert(i, i % 5, v).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn agrees_with_linear_scan() {
+        for seed in 0..5u64 {
+            let db = random_db(300, 8, seed);
+            let index = IDistance::build(&db, 12).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed + 50);
+            for _ in 0..20 {
+                let q: Vec<f64> = (0..8).map(|_| rng.random::<f64>() * 10.0).collect();
+                let exact = knn(&db, &q, 5).unwrap();
+                let fast = index.knn(&q, 5).unwrap();
+                assert_eq!(exact.len(), fast.len());
+                for (a, b) in exact.iter().zip(&fast) {
+                    assert!(
+                        (a.distance - b.distance).abs() < 1e-12,
+                        "exact {} vs idistance {}",
+                        a.distance,
+                        b.distance
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reference_selection_spreads() {
+        let points: Vec<Vec<f64>> = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![10.0, 10.0],
+            vec![10.0, 9.9],
+            vec![0.0, 10.0],
+        ];
+        let refs = select_references(&points, 3);
+        assert_eq!(refs.len(), 3);
+        // The three corners should be picked, not two neighbours.
+        let d01 = euclidean(&refs[0], &refs[1]);
+        let d02 = euclidean(&refs[0], &refs[2]);
+        assert!(d01 > 5.0 && d02 > 5.0);
+    }
+
+    #[test]
+    fn more_partitions_than_points_is_fine() {
+        let db = random_db(3, 2, 1);
+        let index = IDistance::build(&db, 50).unwrap();
+        assert_eq!(index.partitions(), 3);
+        let r = index.knn(&[1.0, 1.0], 2).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let mut db: FeatureDb<()> = FeatureDb::new(2);
+        for i in 0..20 {
+            db.insert(i, (), vec![3.0, 3.0]).unwrap();
+        }
+        let index = IDistance::build(&db, 4).unwrap();
+        let r = index.knn(&[3.0, 3.0], 5).unwrap();
+        assert_eq!(r.len(), 5);
+        for n in r {
+            assert_eq!(n.distance, 0.0);
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let db = random_db(10, 3, 2);
+        assert!(IDistance::build(&db, 0).is_err());
+        let index = IDistance::build(&db, 2).unwrap();
+        assert!(index.knn(&[0.0], 1).is_err());
+        assert!(index.knn(&[0.0; 3], 0).is_err());
+        let empty: FeatureDb<()> = FeatureDb::new(2);
+        let ei = IDistance::build(&empty, 2).unwrap();
+        assert!(ei.is_empty());
+        assert!(ei.knn(&[0.0, 0.0], 1).is_err());
+    }
+
+    #[test]
+    fn k_exceeding_size_returns_everything() {
+        let db = random_db(7, 2, 3);
+        let index = IDistance::build(&db, 3).unwrap();
+        let r = index.knn(&[5.0, 5.0], 50).unwrap();
+        assert_eq!(r.len(), 7);
+        for w in r.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn clustered_data_agreement() {
+        // The unit-interval feature vectors of the paper live in [0,1]^2c;
+        // verify on that scale too.
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let mut db: FeatureDb<usize> = FeatureDb::new(12);
+        for i in 0..150 {
+            let center = (i % 3) as f64 * 0.3;
+            let v: Vec<f64> = (0..12)
+                .map(|_| center + rng.random::<f64>() * 0.1)
+                .collect();
+            db.insert(i, i % 3, v).unwrap();
+        }
+        let index = IDistance::build(&db, 6).unwrap();
+        for _ in 0..10 {
+            let q: Vec<f64> = (0..12).map(|_| rng.random::<f64>()).collect();
+            let exact = knn(&db, &q, 5).unwrap();
+            let fast = index.knn(&q, 5).unwrap();
+            for (a, b) in exact.iter().zip(&fast) {
+                assert!((a.distance - b.distance).abs() < 1e-12);
+            }
+        }
+    }
+}

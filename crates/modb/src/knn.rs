@@ -1,0 +1,169 @@
+//! Exact k-nearest-neighbour search by linear scan — the paper's stated
+//! baseline ("we can use any searching technique like linear search to get
+//! the nearest neighbors and to classify the query motion", Sec. 4).
+
+use crate::error::{DbError, Result};
+use crate::store::FeatureDb;
+use kinemyo_linalg::vector::euclidean;
+
+/// One retrieved neighbour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Neighbor<M> {
+    /// Stored entry id.
+    pub id: usize,
+    /// Metadata of the stored entry.
+    pub meta: M,
+    /// Euclidean distance to the query.
+    pub distance: f64,
+}
+
+/// Returns the `k` nearest stored motions to `query`, closest first.
+///
+/// ```
+/// use kinemyo_modb::{knn, FeatureDb};
+///
+/// let mut db = FeatureDb::new(2);
+/// db.insert(0, "walk", vec![0.0, 0.0]).unwrap();
+/// db.insert(1, "kick", vec![1.0, 1.0]).unwrap();
+/// let nearest = knn(&db, &[0.1, 0.0], 1).unwrap();
+/// assert_eq!(nearest[0].meta, "walk");
+/// ```
+pub fn knn<M: Clone>(db: &FeatureDb<M>, query: &[f64], k: usize) -> Result<Vec<Neighbor<M>>> {
+    if k == 0 {
+        return Err(DbError::InvalidArgument {
+            reason: "k must be >= 1".into(),
+        });
+    }
+    db.check_query(query)?;
+    // Max-heap of the current best k by distance, implemented with a
+    // simple sorted insert (k is small — the paper uses k = 5).
+    let mut best: Vec<Neighbor<M>> = Vec::with_capacity(k + 1);
+    for e in db.entries() {
+        let d = euclidean(&e.vector, query);
+        if best.len() < k || d < best[best.len() - 1].distance {
+            let pos = best
+                .binary_search_by(|n| {
+                    n.distance
+                        .partial_cmp(&d)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap_or_else(|p| p);
+            best.insert(
+                pos,
+                Neighbor {
+                    id: e.id,
+                    meta: e.meta.clone(),
+                    distance: d,
+                },
+            );
+            if best.len() > k {
+                best.pop();
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Majority-vote classification over the `k` nearest neighbours; ties are
+/// broken by the closer neighbour set (summed inverse rank).
+pub fn classify<M, L>(neighbors: &[Neighbor<M>], label_of: impl Fn(&M) -> L) -> Option<L>
+where
+    L: Clone + Eq + std::hash::Hash,
+{
+    use std::collections::HashMap;
+    if neighbors.is_empty() {
+        return None;
+    }
+    let mut scores: HashMap<L, (usize, f64)> = HashMap::new();
+    for (rank, n) in neighbors.iter().enumerate() {
+        let entry = scores.entry(label_of(&n.meta)).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 += 1.0 / (rank + 1) as f64;
+    }
+    scores
+        .into_iter()
+        .max_by(|a, b| {
+            (a.1 .0, a.1 .1)
+                .partial_cmp(&(b.1 .0, b.1 .1))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(label, _)| label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> FeatureDb<&'static str> {
+        let mut db = FeatureDb::new(2);
+        db.insert(0, "a", vec![0.0, 0.0]).unwrap();
+        db.insert(1, "a", vec![0.1, 0.0]).unwrap();
+        db.insert(2, "b", vec![5.0, 5.0]).unwrap();
+        db.insert(3, "b", vec![5.1, 5.0]).unwrap();
+        db.insert(4, "c", vec![-3.0, 4.0]).unwrap();
+        db
+    }
+
+    #[test]
+    fn nearest_is_exact() {
+        let db = db();
+        let r = knn(&db, &[0.04, 0.0], 2).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].id, 0);
+        assert_eq!(r[1].id, 1);
+        assert!(r[0].distance <= r[1].distance);
+    }
+
+    #[test]
+    fn k_larger_than_db_returns_all_sorted() {
+        let db = db();
+        let r = knn(&db, &[0.0, 0.0], 100).unwrap();
+        assert_eq!(r.len(), 5);
+        for w in r.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn distances_are_euclidean() {
+        let db = db();
+        let r = knn(&db, &[0.0, 0.0], 5).unwrap();
+        let c = r.iter().find(|n| n.id == 4).unwrap();
+        assert!((c.distance - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_queries_rejected() {
+        let db = db();
+        assert!(knn(&db, &[0.0], 1).is_err());
+        assert!(knn(&db, &[0.0, 0.0], 0).is_err());
+        let empty: FeatureDb<()> = FeatureDb::new(2);
+        assert!(knn(&empty, &[0.0, 0.0], 1).is_err());
+    }
+
+    #[test]
+    fn classify_majority() {
+        let db = db();
+        let r = knn(&db, &[0.0, 0.1], 3).unwrap();
+        // Neighbours: two "a" and one other → "a".
+        assert_eq!(classify(&r, |m| *m), Some("a"));
+    }
+
+    #[test]
+    fn classify_tie_prefers_closer() {
+        let neighbors = vec![
+            Neighbor { id: 0, meta: "x", distance: 0.1 },
+            Neighbor { id: 1, meta: "y", distance: 0.2 },
+            Neighbor { id: 2, meta: "y", distance: 0.3 },
+            Neighbor { id: 3, meta: "x", distance: 0.4 },
+        ];
+        // 2 vs 2; x has ranks 1 and 4 (1.25), y has 2 and 3 (0.833) → x.
+        assert_eq!(classify(&neighbors, |m| *m), Some("x"));
+    }
+
+    #[test]
+    fn classify_empty_is_none() {
+        let empty: Vec<Neighbor<&str>> = vec![];
+        assert_eq!(classify(&empty, |m| *m), None);
+    }
+}

@@ -1,0 +1,110 @@
+//! # kinemyo-modb
+//!
+//! The motion feature-vector database of the paper's Sec. 4: stores final
+//! `2c`-length motion feature vectors and answers content-based retrieval
+//! queries.
+//!
+//! * [`store`] — the append-only [`store::FeatureDb`] plus a thread-safe
+//!   [`store::SharedDb`] wrapper;
+//! * [`knn`](mod@knn) — exact linear-scan kNN (the paper's stated search) and
+//!   majority-vote classification;
+//! * [`vptree`] — an exact metric-tree index;
+//! * [`idistance`] — the iDistance index the paper cites (\[14\], Yu et
+//!   al., VLDB '01), exact via radius expansion;
+//! * [`metrics`] — misclassification rate, kNN correct-%, confusion
+//!   matrices (the Sec. 6 quantities);
+//! * [`dtw`] — a dynamic-time-warping raw-signal baseline (the related
+//!   work's alternative to feature extraction, refs \[8\]/\[13\]).
+//!
+//! All three search paths return identical neighbour sets (tested).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod dtw;
+pub mod error;
+pub mod idistance;
+pub mod knn;
+pub mod metrics;
+pub mod store;
+pub mod vptree;
+
+pub use dtw::{dtw_distance, DtwClassifier};
+pub use error::{DbError, Result};
+pub use idistance::IDistance;
+pub use knn::{classify, knn, Neighbor};
+pub use metrics::{knn_correct_pct, mean_pct, ConfusionMatrix};
+pub use store::{Entry, FeatureDb, SharedDb};
+pub use vptree::VpTree;
+
+#[cfg(test)]
+mod proptests {
+    use crate::idistance::IDistance;
+    use crate::knn::knn;
+    use crate::store::FeatureDb;
+    use crate::vptree::VpTree;
+    use proptest::prelude::*;
+
+    fn db_and_query() -> impl Strategy<Value = (FeatureDb<usize>, Vec<f64>, usize)> {
+        (2usize..60, 1usize..6).prop_flat_map(|(n, dim)| {
+            (
+                proptest::collection::vec(0.0..1.0f64, n * dim),
+                proptest::collection::vec(0.0..1.0f64, dim),
+                1usize..8,
+            )
+                .prop_map(move |(data, query, k)| {
+                    let mut db = FeatureDb::new(dim);
+                    for (i, chunk) in data.chunks(dim).enumerate() {
+                        db.insert(i, i % 3, chunk.to_vec()).unwrap();
+                    }
+                    (db, query, k)
+                })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn all_indexes_agree((db, query, k) in db_and_query()) {
+            let exact = knn(&db, &query, k).unwrap();
+            let vp = VpTree::build(&db).knn(&query, k).unwrap();
+            let idist = IDistance::build(&db, 4).unwrap().knn(&query, k).unwrap();
+            prop_assert_eq!(exact.len(), vp.len());
+            prop_assert_eq!(exact.len(), idist.len());
+            for i in 0..exact.len() {
+                prop_assert!((exact[i].distance - vp[i].distance).abs() < 1e-12);
+                prop_assert!((exact[i].distance - idist[i].distance).abs() < 1e-12);
+            }
+        }
+
+        #[test]
+        fn dtw_basic_metric_properties(
+            a in proptest::collection::vec(-10.0..10.0f64, 2..40),
+            b in proptest::collection::vec(-10.0..10.0f64, 2..40),
+        ) {
+            use crate::dtw::dtw_distance;
+            use kinemyo_linalg::Matrix;
+            let ma = Matrix::from_fn(a.len(), 1, |r, _| a[r]);
+            let mb = Matrix::from_fn(b.len(), 1, |r, _| b[r]);
+            let dab = dtw_distance(&ma, &mb, None).unwrap();
+            let dba = dtw_distance(&mb, &ma, None).unwrap();
+            prop_assert!(dab >= 0.0);
+            prop_assert!((dab - dba).abs() < 1e-9, "symmetry: {} vs {}", dab, dba);
+            prop_assert!(dtw_distance(&ma, &ma, None).unwrap() < 1e-12);
+            // Banding can only increase the optimal cost.
+            let banded = dtw_distance(&ma, &mb, Some(2)).unwrap();
+            prop_assert!(banded + 1e-9 >= dab);
+        }
+
+        #[test]
+        fn knn_results_sorted_and_bounded((db, query, k) in db_and_query()) {
+            let r = knn(&db, &query, k).unwrap();
+            prop_assert!(r.len() <= k);
+            prop_assert!(r.len() == k.min(db.len()));
+            for w in r.windows(2) {
+                prop_assert!(w[0].distance <= w[1].distance);
+            }
+        }
+    }
+}

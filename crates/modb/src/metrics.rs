@@ -1,0 +1,157 @@
+//! Retrieval/classification metrics — the quantities the paper's Sec. 6
+//! reports: misclassification rate (Figs. 6–7) and the percentage of
+//! correctly classified motions among the k retrieved (Figs. 8–9).
+
+use crate::error::{DbError, Result};
+
+/// A square confusion matrix over `n` classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    n: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix over `n` classes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            counts: vec![0; n * n],
+        }
+    }
+
+    /// Records a prediction.
+    pub fn record(&mut self, truth: usize, predicted: usize) -> Result<()> {
+        if truth >= self.n || predicted >= self.n {
+            return Err(DbError::InvalidArgument {
+                reason: format!(
+                    "labels ({truth}, {predicted}) out of range for {} classes",
+                    self.n
+                ),
+            });
+        }
+        self.counts[truth * self.n + predicted] += 1;
+        Ok(())
+    }
+
+    /// Count at `(truth, predicted)`.
+    pub fn get(&self, truth: usize, predicted: usize) -> usize {
+        self.counts[truth * self.n + predicted]
+    }
+
+    /// Total recorded predictions.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.n
+    }
+
+    /// Overall accuracy (diagonal mass). NaN-free: 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.n).map(|i| self.get(i, i)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Misclassification rate in percent — the paper's Figs. 6–7 metric.
+    pub fn misclassification_pct(&self) -> f64 {
+        (1.0 - self.accuracy()) * 100.0
+    }
+
+    /// Per-class recall (diagonal over row sum); `None` when a class has
+    /// no recorded ground-truth examples.
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: usize = (0..self.n).map(|p| self.get(class, p)).sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.get(class, class) as f64 / row as f64)
+        }
+    }
+}
+
+/// Fraction (in percent) of retrieved neighbours whose label matches the
+/// query label — the paper's "kNN classified percent" (Figs. 8–9):
+/// "the percentage of returned motions in k which are actually present in
+/// the same group of query motion. The other returned motions are false
+/// alarms."
+pub fn knn_correct_pct<L: PartialEq>(query_label: &L, retrieved_labels: &[L]) -> f64 {
+    if retrieved_labels.is_empty() {
+        return 0.0;
+    }
+    let hits = retrieved_labels
+        .iter()
+        .filter(|l| *l == query_label)
+        .count();
+    hits as f64 / retrieved_labels.len() as f64 * 100.0
+}
+
+/// Aggregates a set of per-query percentages into their mean.
+pub fn mean_pct(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0).unwrap();
+        cm.record(0, 1).unwrap();
+        cm.record(1, 1).unwrap();
+        cm.record(2, 2).unwrap();
+        assert_eq!(cm.get(0, 1), 1);
+        assert_eq!(cm.total(), 4);
+        assert_eq!(cm.classes(), 3);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-12);
+        assert!((cm.misclassification_pct() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_per_class() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 0).unwrap();
+        cm.record(0, 0).unwrap();
+        cm.record(0, 1).unwrap();
+        assert!((cm.recall(0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cm.recall(1), None);
+    }
+
+    #[test]
+    fn out_of_range_labels_rejected() {
+        let mut cm = ConfusionMatrix::new(2);
+        assert!(cm.record(2, 0).is_err());
+        assert!(cm.record(0, 5).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_metrics() {
+        let cm = ConfusionMatrix::new(4);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.misclassification_pct(), 100.0);
+    }
+
+    #[test]
+    fn knn_percentage() {
+        assert_eq!(knn_correct_pct(&"a", &["a", "a", "b", "a", "c"]), 60.0);
+        assert_eq!(knn_correct_pct(&"a", &[]), 0.0);
+        assert_eq!(knn_correct_pct(&1, &[1, 1, 1]), 100.0);
+    }
+
+    #[test]
+    fn mean_percentage() {
+        assert_eq!(mean_pct(&[50.0, 100.0]), 75.0);
+        assert_eq!(mean_pct(&[]), 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! The feature-vector store: motions as low-dimensional points with
+//! attached metadata.
+//!
+//! The paper performs "content-based retrieval for the given query
+//! matrices from our database … by just comparing with low-dimensional
+//! feature vectors of motions in database" (Sec. 4). This store holds
+//! those final `2c`-length vectors plus whatever metadata the caller
+//! attaches (class label, participant, trial).
+
+use crate::error::{DbError, Result};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One stored motion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Entry<M> {
+    /// Caller-assigned identifier.
+    pub id: usize,
+    /// Attached metadata (class label, participant, ...).
+    pub meta: M,
+    /// The motion's final feature vector.
+    pub vector: Vec<f64>,
+}
+
+/// An append-only store of motion feature vectors with fixed
+/// dimensionality.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureDb<M> {
+    dim: usize,
+    entries: Vec<Entry<M>>,
+}
+
+impl<M> FeatureDb<M> {
+    /// Creates an empty database for `dim`-dimensional vectors.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored motions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no motions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a motion; rejects vectors of the wrong dimension or with
+    /// non-finite components.
+    pub fn insert(&mut self, id: usize, meta: M, vector: Vec<f64>) -> Result<()> {
+        if vector.len() != self.dim {
+            return Err(DbError::DimensionMismatch {
+                expected: self.dim,
+                got: vector.len(),
+            });
+        }
+        if vector.iter().any(|v| !v.is_finite()) {
+            return Err(DbError::InvalidArgument {
+                reason: format!("vector for id {id} contains non-finite values"),
+            });
+        }
+        self.entries.push(Entry { id, meta, vector });
+        Ok(())
+    }
+
+    /// Borrow all entries.
+    pub fn entries(&self) -> &[Entry<M>] {
+        &self.entries
+    }
+
+    /// Looks up an entry by id (linear; ids need not be dense).
+    pub fn get(&self, id: usize) -> Option<&Entry<M>> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// Validates a query vector's dimensionality.
+    pub fn check_query(&self, query: &[f64]) -> Result<()> {
+        if query.len() != self.dim {
+            return Err(DbError::DimensionMismatch {
+                expected: self.dim,
+                got: query.len(),
+            });
+        }
+        if self.entries.is_empty() {
+            return Err(DbError::Empty);
+        }
+        Ok(())
+    }
+}
+
+/// A thread-safe handle over a [`FeatureDb`]: readers (query sweeps running
+/// on a crossbeam scope) proceed in parallel while a writer (the streaming
+/// ingestion path) appends new motions.
+#[derive(Debug, Clone)]
+pub struct SharedDb<M> {
+    inner: Arc<RwLock<FeatureDb<M>>>,
+}
+
+impl<M: Clone> SharedDb<M> {
+    /// Wraps a database for shared access.
+    pub fn new(db: FeatureDb<M>) -> Self {
+        Self {
+            inner: Arc::new(RwLock::new(db)),
+        }
+    }
+
+    /// Inserts under the write lock.
+    pub fn insert(&self, id: usize, meta: M, vector: Vec<f64>) -> Result<()> {
+        self.inner.write().insert(id, meta, vector)
+    }
+
+    /// Number of stored motions.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Runs `f` with read access to the underlying database.
+    pub fn with_read<T>(&self, f: impl FnOnce(&FeatureDb<M>) -> T) -> T {
+        f(&self.inner.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut db: FeatureDb<&'static str> = FeatureDb::new(2);
+        db.insert(7, "walk", vec![1.0, 2.0]).unwrap();
+        db.insert(9, "kick", vec![3.0, 4.0]).unwrap();
+        assert_eq!(db.len(), 2);
+        assert!(!db.is_empty());
+        assert_eq!(db.get(9).unwrap().meta, "kick");
+        assert!(db.get(1).is_none());
+        assert_eq!(db.dim(), 2);
+    }
+
+    #[test]
+    fn dimension_enforced() {
+        let mut db: FeatureDb<()> = FeatureDb::new(3);
+        assert!(matches!(
+            db.insert(0, (), vec![1.0]),
+            Err(DbError::DimensionMismatch { expected: 3, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let mut db: FeatureDb<()> = FeatureDb::new(1);
+        assert!(db.insert(0, (), vec![f64::NAN]).is_err());
+        assert!(db.insert(0, (), vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn query_checks() {
+        let mut db: FeatureDb<()> = FeatureDb::new(2);
+        assert!(matches!(db.check_query(&[1.0, 2.0]), Err(DbError::Empty)));
+        db.insert(0, (), vec![0.0, 0.0]).unwrap();
+        assert!(db.check_query(&[1.0]).is_err());
+        assert!(db.check_query(&[1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn shared_db_concurrent_reads() {
+        let db: FeatureDb<u32> = FeatureDb::new(1);
+        let shared = SharedDb::new(db);
+        shared.insert(0, 5, vec![1.0]).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = shared.clone();
+                s.spawn(move || {
+                    assert_eq!(h.len(), 1);
+                    h.with_read(|db| assert_eq!(db.get(0).unwrap().meta, 5));
+                });
+            }
+        });
+        assert!(!shared.is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut db: FeatureDb<String> = FeatureDb::new(2);
+        db.insert(1, "raise-arm".into(), vec![0.25, 0.75]).unwrap();
+        let json = serde_json::to_string(&db).unwrap();
+        let back: FeatureDb<String> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.get(1).unwrap().vector, vec![0.25, 0.75]);
+    }
+}

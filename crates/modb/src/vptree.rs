@@ -1,0 +1,263 @@
+//! Vantage-point tree: an exact metric index for kNN queries.
+//!
+//! A classic baseline the iDistance literature (the paper's refs \[13\],
+//! \[14\]) compares against. Exactness is tested against the linear scan.
+
+use crate::error::{DbError, Result};
+use crate::knn::Neighbor;
+use crate::store::FeatureDb;
+use kinemyo_linalg::vector::euclidean;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Index into the owning tree's point arrays.
+    point: usize,
+    /// Median distance separating inside from outside.
+    radius: f64,
+    inside: Option<usize>,
+    outside: Option<usize>,
+}
+
+/// An exact vantage-point tree over a snapshot of a [`FeatureDb`].
+#[derive(Debug, Clone)]
+pub struct VpTree<M> {
+    nodes: Vec<Node>,
+    root: Option<usize>,
+    points: Vec<Vec<f64>>,
+    ids: Vec<usize>,
+    metas: Vec<M>,
+    dim: usize,
+}
+
+impl<M: Clone> VpTree<M> {
+    /// Builds the tree from the current contents of `db`.
+    pub fn build(db: &FeatureDb<M>) -> Self {
+        let points: Vec<Vec<f64>> = db.entries().iter().map(|e| e.vector.clone()).collect();
+        let ids: Vec<usize> = db.entries().iter().map(|e| e.id).collect();
+        let metas: Vec<M> = db.entries().iter().map(|e| e.meta.clone()).collect();
+        let mut tree = Self {
+            nodes: Vec::with_capacity(points.len()),
+            root: None,
+            points,
+            ids,
+            metas,
+            dim: db.dim(),
+        };
+        let mut indices: Vec<usize> = (0..tree.points.len()).collect();
+        tree.root = tree.build_rec(&mut indices);
+        tree
+    }
+
+    fn build_rec(&mut self, indices: &mut [usize]) -> Option<usize> {
+        if indices.is_empty() {
+            return None;
+        }
+        // Vantage point: the first index (points arrive in insertion order;
+        // deterministic and adequate for the moderate sizes here).
+        let vantage = indices[0];
+        let rest = &mut indices[1..];
+        if rest.is_empty() {
+            let node_idx = self.nodes.len();
+            self.nodes.push(Node {
+                point: vantage,
+                radius: 0.0,
+                inside: None,
+                outside: None,
+            });
+            return Some(node_idx);
+        }
+        // Partition the rest by the median distance to the vantage point.
+        let vantage_point = self.points[vantage].clone();
+        let mut dists: Vec<(f64, usize)> = rest
+            .iter()
+            .map(|&i| (euclidean(&self.points[i], &vantage_point), i))
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mid = dists.len() / 2;
+        let radius = dists[mid].0;
+        let mut inside: Vec<usize> = dists[..mid].iter().map(|&(_, i)| i).collect();
+        let mut outside: Vec<usize> = dists[mid..].iter().map(|&(_, i)| i).collect();
+
+        let node_idx = self.nodes.len();
+        self.nodes.push(Node {
+            point: vantage,
+            radius,
+            inside: None,
+            outside: None,
+        });
+        let inside_child = self.build_rec(&mut inside);
+        let outside_child = self.build_rec(&mut outside);
+        self.nodes[node_idx].inside = inside_child;
+        self.nodes[node_idx].outside = outside_child;
+        Some(node_idx)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Exact k-nearest-neighbour query.
+    pub fn knn(&self, query: &[f64], k: usize) -> Result<Vec<Neighbor<M>>> {
+        if k == 0 {
+            return Err(DbError::InvalidArgument {
+                reason: "k must be >= 1".into(),
+            });
+        }
+        if query.len() != self.dim {
+            return Err(DbError::DimensionMismatch {
+                expected: self.dim,
+                got: query.len(),
+            });
+        }
+        if self.is_empty() {
+            return Err(DbError::Empty);
+        }
+        let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        self.search(self.root, query, k, &mut best);
+        Ok(best
+            .into_iter()
+            .map(|(d, i)| Neighbor {
+                id: self.ids[i],
+                meta: self.metas[i].clone(),
+                distance: d,
+            })
+            .collect())
+    }
+
+    fn search(&self, node: Option<usize>, query: &[f64], k: usize, best: &mut Vec<(f64, usize)>) {
+        let Some(idx) = node else { return };
+        let node = &self.nodes[idx];
+        let d = euclidean(&self.points[node.point], query);
+
+        if best.len() < k || d < best[best.len() - 1].0 {
+            let pos = best
+                .binary_search_by(|(bd, _)| {
+                    bd.partial_cmp(&d).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap_or_else(|p| p);
+            best.insert(pos, (d, node.point));
+            if best.len() > k {
+                best.pop();
+            }
+        }
+        let tau = if best.len() == k {
+            best[best.len() - 1].0
+        } else {
+            f64::INFINITY
+        };
+        // Search the more promising side first, prune the other if the
+        // annulus |d − radius| exceeds the current kth distance.
+        if d < node.radius {
+            self.search(node.inside, query, k, best);
+            let tau = if best.len() == k {
+                best[best.len() - 1].0
+            } else {
+                f64::INFINITY
+            };
+            if node.radius - d <= tau {
+                self.search(node.outside, query, k, best);
+            }
+        } else {
+            self.search(node.outside, query, k, best);
+            let tau = if best.len() == k {
+                best[best.len() - 1].0
+            } else {
+                f64::INFINITY
+            };
+            if d - node.radius <= tau {
+                self.search(node.inside, query, k, best);
+            }
+        }
+        let _ = tau;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::knn;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_db(n: usize, dim: usize, seed: u64) -> FeatureDb<usize> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut db = FeatureDb::new(dim);
+        for i in 0..n {
+            let v: Vec<f64> = (0..dim).map(|_| rng.random::<f64>() * 10.0).collect();
+            db.insert(i, i % 7, v).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn agrees_with_linear_scan() {
+        for seed in 0..5u64 {
+            let db = random_db(200, 6, seed);
+            let tree = VpTree::build(&db);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed + 100);
+            for _ in 0..20 {
+                let q: Vec<f64> = (0..6).map(|_| rng.random::<f64>() * 10.0).collect();
+                let exact = knn(&db, &q, 5).unwrap();
+                let fast = tree.knn(&q, 5).unwrap();
+                assert_eq!(exact.len(), fast.len());
+                for (a, b) in exact.iter().zip(&fast) {
+                    assert!((a.distance - b.distance).abs() < 1e-12, "distances differ");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let mut db: FeatureDb<()> = FeatureDb::new(2);
+        db.insert(42, (), vec![1.0, 1.0]).unwrap();
+        let tree = VpTree::build(&db);
+        assert_eq!(tree.len(), 1);
+        let r = tree.knn(&[0.0, 0.0], 3).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].id, 42);
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let mut db: FeatureDb<()> = FeatureDb::new(1);
+        for i in 0..10 {
+            db.insert(i, (), vec![5.0]).unwrap();
+        }
+        let tree = VpTree::build(&db);
+        let r = tree.knn(&[5.0], 4).unwrap();
+        assert_eq!(r.len(), 4);
+        for n in r {
+            assert_eq!(n.distance, 0.0);
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let db = random_db(10, 3, 1);
+        let tree = VpTree::build(&db);
+        assert!(tree.knn(&[0.0], 1).is_err());
+        assert!(tree.knn(&[0.0, 0.0, 0.0], 0).is_err());
+        let empty: FeatureDb<()> = FeatureDb::new(2);
+        let etree = VpTree::build(&empty);
+        assert!(etree.is_empty());
+        assert!(etree.knn(&[0.0, 0.0], 1).is_err());
+    }
+
+    #[test]
+    fn results_sorted_by_distance() {
+        let db = random_db(100, 4, 9);
+        let tree = VpTree::build(&db);
+        let r = tree.knn(&[5.0, 5.0, 5.0, 5.0], 10).unwrap();
+        for w in r.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+}

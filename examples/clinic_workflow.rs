@@ -1,0 +1,71 @@
+//! Clinic workflow: train once, persist the model, reload it in a later
+//! session and keep classifying — the deployment pattern the paper's
+//! prosthetic-control and rehabilitation motivation implies.
+//!
+//! ```bash
+//! cargo run --release --example clinic_workflow
+//! ```
+
+use kinemyo::biosim::{Dataset, DatasetSpec};
+use kinemyo::{stratified_split, MotionClassifier, PipelineConfig, select_cluster_count};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model_path = std::env::temp_dir().join("kinemyo_clinic_model.json");
+
+    // ---- Session 1: calibration day --------------------------------------
+    println!("[session 1] capturing calibration trials ...");
+    let dataset = Dataset::generate(DatasetSpec::leg_default().with_size(1, 5))?;
+    let (train, _) = stratified_split(&dataset.records, 1);
+
+    // Pick the cluster count without labels (Xie-Beni).
+    let base = PipelineConfig::default().with_window_ms(150.0);
+    let selection = select_cluster_count(&train, &base, &[4, 6, 8, 12])?;
+    println!(
+        "[session 1] unsupervised cluster selection chose c = {} from {:?}",
+        selection.best,
+        selection.candidates.iter().map(|c| c.clusters).collect::<Vec<_>>()
+    );
+
+    let model = MotionClassifier::train(&train, dataset.spec.limb, &base.with_clusters(selection.best))?;
+    model.save_json(&model_path)?;
+    println!(
+        "[session 1] model saved to {} ({:.1} KiB)",
+        model_path.display(),
+        std::fs::metadata(&model_path)?.len() as f64 / 1024.0
+    );
+    drop(model);
+
+    // ---- Session 2: a later day, fresh process ---------------------------
+    println!("\n[session 2] loading persisted model ...");
+    let model = MotionClassifier::load_json(&model_path)?;
+    println!(
+        "[session 2] restored: {} motions, {} clusters, limb {}",
+        model.db().len(),
+        model.fcm().num_clusters(),
+        model.limb()
+    );
+    // New recordings from the same patient (new seed → new trials).
+    let todays = Dataset::generate(
+        DatasetSpec::leg_default().with_size(1, 2).with_seed(777),
+    )?;
+    let mut correct = 0;
+    for r in &todays.records {
+        let c = model.classify_record(r)?;
+        let ok = c.predicted == r.class;
+        correct += ok as usize;
+        println!(
+            "  record {:>2} truth={:<11} predicted={:<11} {}",
+            r.id,
+            r.class.to_string(),
+            c.predicted.to_string(),
+            if ok { "✓" } else { "✗" }
+        );
+    }
+    println!(
+        "\n{}/{} of today's motions recognized by the restored model",
+        correct,
+        todays.len()
+    );
+    std::fs::remove_file(&model_path).ok();
+    Ok(())
+}

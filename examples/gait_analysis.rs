@@ -1,0 +1,83 @@
+//! Gait / lower-limb analysis: the paper motivates the integration of
+//! motion capture and EMG with "gait analysis and several orthopedic
+//! applications". This example evaluates the right-leg pipeline and prints
+//! a per-class clinical-style report: confusion matrix, per-class recall,
+//! and the EMG channel balance (front-shin vs back-shin activity) that a
+//! physical therapist would inspect.
+//!
+//! ```bash
+//! cargo run --release --example gait_analysis
+//! ```
+
+use kinemyo::biosim::{Dataset, DatasetSpec, Limb, MotionClass};
+use kinemyo::{class_index, evaluate, stratified_split, PipelineConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("generating right-leg test bed ...");
+    let dataset = Dataset::generate(DatasetSpec::leg_default().with_size(3, 6))?;
+    let classes = MotionClass::all_for(Limb::RightLeg);
+
+    // EMG balance per class: mean front-shin vs back-shin envelope.
+    println!("\nEMG channel balance (mean envelope, µV):");
+    println!("{:>12} {:>12} {:>12} {:>8}", "class", "front shin", "back shin", "ratio");
+    for &class in classes {
+        let (mut front, mut back, mut n) = (0.0, 0.0, 0usize);
+        for r in dataset.records.iter().filter(|r| r.class == class) {
+            for f in 0..r.frames() {
+                front += r.emg[(f, 0)];
+                back += r.emg[(f, 1)];
+            }
+            n += r.frames();
+        }
+        let (front, back) = (front / n as f64 * 1e6, back / n as f64 * 1e6);
+        println!(
+            "{:>12} {:>12.2} {:>12.2} {:>8.2}",
+            class.to_string(),
+            front,
+            back,
+            front / back.max(1e-9)
+        );
+    }
+
+    // Train/evaluate with the paper's defaults.
+    let (train, queries) = stratified_split(&dataset.records, 2);
+    let config = PipelineConfig::default()
+        .with_window_ms(150.0)
+        .with_clusters(15);
+    let outcome = evaluate(&train, &queries, Limb::RightLeg, &config)?;
+
+    println!(
+        "\nclassification over {} held-out trials: misclassification {:.1}%, kNN-correct {:.1}%",
+        outcome.queries, outcome.misclassification_pct, outcome.knn_correct_pct
+    );
+
+    // Confusion matrix.
+    println!("\nconfusion matrix (rows = truth, cols = predicted):");
+    print!("{:>12}", "");
+    for &c in classes {
+        print!("{:>11}", c.to_string());
+    }
+    println!();
+    for &truth in classes {
+        print!("{:>12}", truth.to_string());
+        for &pred in classes {
+            print!(
+                "{:>11}",
+                outcome.confusion.get(
+                    class_index(Limb::RightLeg, truth),
+                    class_index(Limb::RightLeg, pred)
+                )
+            );
+        }
+        println!();
+    }
+
+    println!("\nper-class recall:");
+    for &c in classes {
+        match outcome.confusion.recall(class_index(Limb::RightLeg, c)) {
+            Some(r) => println!("  {:<12} {:>6.1}%", c.to_string(), r * 100.0),
+            None => println!("  {:<12} (no queries)", c.to_string()),
+        }
+    }
+    Ok(())
+}

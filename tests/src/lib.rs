@@ -1,0 +1,47 @@
+//! Shared fixtures for the cross-crate integration tests (the tests live
+//! in `tests/tests/`).
+//!
+//! Dataset generation is the slow part of every integration test, so the
+//! standard fixtures are built once per process and shared.
+
+#![deny(missing_docs)]
+
+use kinemyo::biosim::{Dataset, DatasetSpec, Limb};
+use std::sync::OnceLock;
+
+/// A small-but-meaningful hand test bed: 2 participants × 4 trials of each
+/// of the 6 classes (48 records), built once.
+pub fn hand_dataset() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(|| {
+        Dataset::generate(DatasetSpec::hand_default().with_size(2, 4))
+            .expect("hand dataset generates")
+    })
+}
+
+/// A small-but-meaningful leg test bed (48 records), built once.
+pub fn leg_dataset() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(|| {
+        Dataset::generate(DatasetSpec::leg_default().with_size(2, 4))
+            .expect("leg dataset generates")
+    })
+}
+
+/// A small whole-body test bed (all 12 classes), built once.
+pub fn whole_body_dataset() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(|| {
+        Dataset::generate(DatasetSpec::whole_body_default().with_size(1, 3))
+            .expect("whole-body dataset generates")
+    })
+}
+
+/// Dataset for a given limb.
+pub fn dataset_for(limb: Limb) -> &'static Dataset {
+    match limb {
+        Limb::RightHand => hand_dataset(),
+        Limb::RightLeg => leg_dataset(),
+        Limb::WholeBody => whole_body_dataset(),
+    }
+}

@@ -1,0 +1,121 @@
+//! End-to-end integration tests: the full acquisition → features →
+//! clustering → retrieval pipeline must hit the paper's quality band on
+//! held-out queries, deterministically.
+
+use kinemyo::biosim::Limb;
+use kinemyo::{evaluate, stratified_split, MotionClassifier, PipelineConfig, StreamingSession};
+use kinemyo_integration_tests::{dataset_for, hand_dataset};
+
+#[test]
+fn hand_pipeline_reaches_paper_quality_band() {
+    let ds = hand_dataset();
+    let (train, queries) = stratified_split(&ds.records, 1);
+    let config = PipelineConfig::default()
+        .with_window_ms(100.0)
+        .with_clusters(12);
+    let out = evaluate(&train, &queries, Limb::RightHand, &config).expect("evaluation runs");
+    // The paper reports 10–20 % misclassification and ~80 % kNN-correct;
+    // we gate loosely so seeds cannot flake the suite.
+    assert!(
+        out.misclassification_pct <= 30.0,
+        "hand misclassification {:.1}% too high",
+        out.misclassification_pct
+    );
+    assert!(
+        out.knn_correct_pct >= 55.0,
+        "hand kNN-correct {:.1}% too low",
+        out.knn_correct_pct
+    );
+}
+
+#[test]
+fn leg_pipeline_reaches_paper_quality_band() {
+    let ds = dataset_for(Limb::RightLeg);
+    let (train, queries) = stratified_split(&ds.records, 1);
+    let config = PipelineConfig::default()
+        .with_window_ms(150.0)
+        .with_clusters(12);
+    let out = evaluate(&train, &queries, Limb::RightLeg, &config).expect("evaluation runs");
+    assert!(
+        out.misclassification_pct <= 30.0,
+        "leg misclassification {:.1}% too high",
+        out.misclassification_pct
+    );
+    assert!(
+        out.knn_correct_pct >= 55.0,
+        "leg kNN-correct {:.1}% too low",
+        out.knn_correct_pct
+    );
+}
+
+#[test]
+fn evaluation_is_deterministic() {
+    let ds = hand_dataset();
+    let (train, queries) = stratified_split(&ds.records, 1);
+    let config = PipelineConfig::default().with_clusters(10);
+    let a = evaluate(&train, &queries, Limb::RightHand, &config).unwrap();
+    let b = evaluate(&train, &queries, Limb::RightHand, &config).unwrap();
+    assert_eq!(a.misclassification_pct, b.misclassification_pct);
+    assert_eq!(a.knn_correct_pct, b.knn_correct_pct);
+}
+
+#[test]
+fn streaming_and_batch_agree_on_every_query() {
+    let ds = hand_dataset();
+    let (train, queries) = stratified_split(&ds.records, 1);
+    let config = PipelineConfig::default().with_clusters(10);
+    let model = MotionClassifier::train(&train, Limb::RightHand, &config).unwrap();
+    let mut session = StreamingSession::new(&model);
+    for q in queries.iter().take(6) {
+        session.reset();
+        for f in 0..q.frames() {
+            let pelvis = [q.pelvis[f].x, q.pelvis[f].y, q.pelvis[f].z];
+            session
+                .push_frame(q.mocap.row(f), pelvis, q.emg.row(f))
+                .unwrap();
+        }
+        let batch = model.query_feature_vector(q).unwrap();
+        let streamed = session.feature_vector();
+        for (a, b) in batch.as_slice().iter().zip(streamed.as_slice()) {
+            assert!((a - b).abs() < 1e-9, "batch {a} != streamed {b}");
+        }
+        let batch_class = model.classify_record(q).unwrap().predicted;
+        let (stream_class, _) = session.classify(5).unwrap().expect("windows seen");
+        assert_eq!(batch_class, stream_class);
+    }
+}
+
+#[test]
+fn window_size_changes_window_counts_consistently() {
+    let ds = hand_dataset();
+    let r = &ds.records[0];
+    let (train, _) = stratified_split(&ds.records, 1);
+    for (ms, expected_len) in [(50.0, 6usize), (100.0, 12), (200.0, 24)] {
+        let config = PipelineConfig::default()
+            .with_window_ms(ms)
+            .with_clusters(8);
+        let model = MotionClassifier::train(&train, Limb::RightHand, &config).unwrap();
+        assert_eq!(model.window().len(), expected_len);
+        let m = model.window_memberships(r).unwrap();
+        assert_eq!(m.rows(), r.frames() / expected_len);
+    }
+}
+
+#[test]
+fn final_vectors_live_in_unit_hypercube() {
+    let ds = hand_dataset();
+    let (train, queries) = stratified_split(&ds.records, 1);
+    let config = PipelineConfig::default().with_clusters(10);
+    let model = MotionClassifier::train(&train, Limb::RightHand, &config).unwrap();
+    for e in model.db().entries() {
+        for &v in &e.vector {
+            assert!((0.0..=1.0 + 1e-9).contains(&v));
+        }
+    }
+    for q in &queries {
+        let fv = model.query_feature_vector(q).unwrap();
+        for &v in fv.as_slice() {
+            assert!((0.0..=1.0 + 1e-9).contains(&v));
+        }
+    }
+}

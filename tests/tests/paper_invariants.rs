@@ -1,0 +1,173 @@
+//! Integration tests for the qualitative claims behind the paper's
+//! figures: synchronized modality activity (Fig. 2), same-class cluster
+//! overlap (Fig. 3), and final-vector separability (Fig. 4).
+
+use kinemyo::biosim::{Limb, MotionClass, MotionRecord};
+use kinemyo::{MotionClassifier, PipelineConfig};
+use kinemyo_integration_tests::hand_dataset;
+use kinemyo_linalg::vector::euclidean;
+use std::collections::BTreeSet;
+
+fn trained_model() -> (&'static [MotionRecord], MotionClassifier) {
+    let ds = hand_dataset();
+    let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+    let config = PipelineConfig::default()
+        .with_clusters(6)
+        .with_window_ms(100.0);
+    let model = MotionClassifier::train(&refs, Limb::RightHand, &config).unwrap();
+    (&ds.records, model)
+}
+
+/// Fig. 2: the biceps envelope peak and the wrist vertical excursion peak
+/// of a raise-arm trial must be synchronized to within a second.
+#[test]
+fn fig2_emg_and_motion_are_synchronized() {
+    let ds = hand_dataset();
+    for r in ds.records.iter().filter(|r| r.class == MotionClass::RaiseArm) {
+        let biceps: Vec<f64> = (0..r.frames()).map(|f| r.emg[(f, 0)]).collect();
+        let wrist_y: Vec<f64> = (0..r.frames()).map(|f| r.mocap[(f, 7)]).collect();
+        // Biceps fires while the arm rises: the peak EMG frame must come
+        // before or near the first frame of peak height.
+        let peak_y = wrist_y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let first_high = wrist_y
+            .iter()
+            .position(|&y| y > peak_y - 50.0)
+            .expect("arm rises");
+        let peak_emg = biceps
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        let gap_s = (peak_emg as f64 - first_high as f64).abs() / 120.0;
+        assert!(
+            gap_s < 1.5,
+            "record {}: biceps peak at {peak_emg}, arm-high at {first_high} ({gap_s:.2} s apart)",
+            r.id
+        );
+    }
+}
+
+/// Fig. 3: two trials of the same class visit more of the same clusters
+/// than trials of different classes.
+#[test]
+fn fig3_same_class_clusters_overlap_more() {
+    let (records, model) = trained_model();
+    let visited = |r: &MotionRecord| -> BTreeSet<usize> {
+        model
+            .window_assignments(r)
+            .unwrap()
+            .iter()
+            .map(|a| a.cluster)
+            .collect()
+    };
+    let jaccard = |a: &BTreeSet<usize>, b: &BTreeSet<usize>| -> f64 {
+        a.intersection(b).count() as f64 / a.union(b).count().max(1) as f64
+    };
+    let raise: Vec<_> = records
+        .iter()
+        .filter(|r| r.class == MotionClass::RaiseArm)
+        .take(2)
+        .map(visited)
+        .collect();
+    let throw: Vec<_> = records
+        .iter()
+        .filter(|r| r.class == MotionClass::ThrowBall)
+        .take(2)
+        .map(visited)
+        .collect();
+    let same = (jaccard(&raise[0], &raise[1]) + jaccard(&throw[0], &throw[1])) / 2.0;
+    let cross = (jaccard(&raise[0], &throw[0]) + jaccard(&raise[1], &throw[1])) / 2.0;
+    assert!(
+        same > cross,
+        "same-class Jaccard {same:.3} must exceed cross-class {cross:.3}"
+    );
+}
+
+/// Fig. 4: final feature vectors of same-class motions are closer than
+/// those of different classes (averaged over all pairs).
+#[test]
+fn fig4_final_vectors_separate_classes() {
+    let (records, model) = trained_model();
+    let vectors: Vec<(MotionClass, Vec<f64>)> = records
+        .iter()
+        .map(|r| {
+            (
+                r.class,
+                model.query_feature_vector(r).unwrap().into_vec(),
+            )
+        })
+        .collect();
+    let mut same = (0.0, 0usize);
+    let mut cross = (0.0, 0usize);
+    for i in 0..vectors.len() {
+        for j in (i + 1)..vectors.len() {
+            let d = euclidean(&vectors[i].1, &vectors[j].1);
+            if vectors[i].0 == vectors[j].0 {
+                same.0 += d;
+                same.1 += 1;
+            } else {
+                cross.0 += d;
+                cross.1 += 1;
+            }
+        }
+    }
+    let mean_same = same.0 / same.1 as f64;
+    let mean_cross = cross.0 / cross.1 as f64;
+    assert!(
+        mean_cross > 1.3 * mean_same,
+        "cross-class distance {mean_cross:.3} must clearly exceed same-class {mean_same:.3}"
+    );
+}
+
+/// Sec. 1: the EMG of two same-class trials differs strongly even though
+/// the motions are semantically identical (the non-stationarity premise).
+#[test]
+fn emg_nonstationarity_premise_holds() {
+    let ds = hand_dataset();
+    let raises: Vec<&MotionRecord> = ds
+        .records
+        .iter()
+        .filter(|r| r.class == MotionClass::RaiseArm && r.participant == 0)
+        .collect();
+    assert!(raises.len() >= 2);
+    let (a, b) = (raises[0], raises[1]);
+    let n = a.frames().min(b.frames());
+    let mut diff = 0.0;
+    let mut scale = 0.0;
+    for f in 0..n {
+        diff += (a.emg[(f, 0)] - b.emg[(f, 0)]).abs();
+        scale += a.emg[(f, 0)].abs() + b.emg[(f, 0)].abs();
+    }
+    let rel = diff / (scale / 2.0);
+    assert!(
+        rel > 0.3,
+        "same-class EMG trials should differ substantially (relative diff {rel:.3})"
+    );
+}
+
+/// The local transform makes classification invariant to where in the lab
+/// the motion was performed (Sec. 3.2's purpose).
+#[test]
+fn classification_is_translation_invariant() {
+    let (records, model) = trained_model();
+    let r = &records[10];
+    let mut moved = r.clone();
+    // Shift the whole capture 3 m in x and 2 m in z.
+    for f in 0..moved.mocap.rows() {
+        let row = moved.mocap.row_mut(f);
+        for j in 0..row.len() / 3 {
+            row[j * 3] += 3000.0;
+            row[j * 3 + 2] += 2000.0;
+        }
+    }
+    for p in &mut moved.pelvis {
+        p.x += 3000.0;
+        p.z += 2000.0;
+    }
+    let original = model.query_feature_vector(r).unwrap();
+    let shifted = model.query_feature_vector(&moved).unwrap();
+    for (a, b) in original.as_slice().iter().zip(shifted.as_slice()) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+}

@@ -1,0 +1,59 @@
+//! Integration tests for retrieval-path consistency: the three index
+//! structures must return identical neighbours for *real* trained motion
+//! vectors (not just synthetic ones), and classification must not depend
+//! on which index is used.
+
+use kinemyo::biosim::{Limb, MotionRecord};
+use kinemyo::{stratified_split, MotionClassifier, PipelineConfig};
+use kinemyo_integration_tests::hand_dataset;
+use kinemyo_modb::{classify, knn, IDistance, VpTree};
+
+#[test]
+fn all_indexes_agree_on_trained_vectors() {
+    let ds = hand_dataset();
+    let (train, queries) = stratified_split(&ds.records, 1);
+    let config = PipelineConfig::default().with_clusters(12);
+    let model = MotionClassifier::train(&train, Limb::RightHand, &config).unwrap();
+    let vp = VpTree::build(model.db());
+    let idist = IDistance::build(model.db(), 6).unwrap();
+
+    for q in &queries {
+        let fv = model.query_feature_vector(q).unwrap();
+        let exact = knn(model.db(), fv.as_slice(), 5).unwrap();
+        let via_vp = vp.knn(fv.as_slice(), 5).unwrap();
+        let via_id = idist.knn(fv.as_slice(), 5).unwrap();
+        assert_eq!(exact.len(), via_vp.len());
+        assert_eq!(exact.len(), via_id.len());
+        for i in 0..exact.len() {
+            assert!(
+                (exact[i].distance - via_vp[i].distance).abs() < 1e-12,
+                "vp-tree distance mismatch at rank {i}"
+            );
+            assert!(
+                (exact[i].distance - via_id[i].distance).abs() < 1e-12,
+                "idistance distance mismatch at rank {i}"
+            );
+        }
+        // Majority vote must therefore be identical too.
+        let c_exact = classify(&exact, |m| m.class);
+        let c_vp = classify(&via_vp, |m| m.class);
+        let c_id = classify(&via_id, |m| m.class);
+        assert_eq!(c_exact, c_vp);
+        assert_eq!(c_exact, c_id);
+    }
+}
+
+#[test]
+fn self_queries_retrieve_self_first_through_any_index() {
+    let ds = hand_dataset();
+    let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+    let config = PipelineConfig::default().with_clusters(10);
+    let model = MotionClassifier::train(&refs, Limb::RightHand, &config).unwrap();
+    let vp = VpTree::build(model.db());
+    let idist = IDistance::build(model.db(), 8).unwrap();
+    for r in ds.records.iter().step_by(7) {
+        let fv = model.query_feature_vector(r).unwrap();
+        assert_eq!(vp.knn(fv.as_slice(), 1).unwrap()[0].id, r.id);
+        assert_eq!(idist.knn(fv.as_slice(), 1).unwrap()[0].id, r.id);
+    }
+}

@@ -1,0 +1,102 @@
+//! Integration tests for the whole-body extension (the paper's Sec. 5
+//! flexibility claim) and the CLI-facing persistence formats.
+
+use kinemyo::biosim::{Limb, MotionClass};
+use kinemyo::{evaluate, stratified_split, MotionClassifier, PipelineConfig};
+use kinemyo_integration_tests::whole_body_dataset;
+
+#[test]
+fn whole_body_records_have_combined_shape() {
+    let ds = whole_body_dataset();
+    assert_eq!(ds.classes().len(), 12);
+    for r in &ds.records {
+        assert_eq!(r.mocap.cols(), 21, "7 segments x 3");
+        assert_eq!(r.emg.cols(), 6, "all 6 EMG channels");
+    }
+}
+
+#[test]
+fn arm_motions_keep_leg_channels_quiet_and_vice_versa() {
+    let ds = whole_body_dataset();
+    let mean_channel = |class: MotionClass, ch: usize| -> f64 {
+        let mut acc = 0.0;
+        let mut n = 0usize;
+        for r in ds.records.iter().filter(|r| r.class == class) {
+            for f in 0..r.frames() {
+                acc += r.emg[(f, ch)];
+            }
+            n += r.frames();
+        }
+        acc / n as f64
+    };
+    // Channel 0 = biceps, channel 4 = front shin in whole-body order.
+    let biceps_arm = mean_channel(MotionClass::DrinkCup, 0);
+    let biceps_leg = mean_channel(MotionClass::ToeTap, 0);
+    let shin_arm = mean_channel(MotionClass::DrinkCup, 4);
+    let shin_leg = mean_channel(MotionClass::ToeTap, 4);
+    // The rectified envelope has a noise floor (~tens of µV), so the quiet
+    // channel is not zero — require a clear factor above it.
+    assert!(
+        biceps_arm > 1.5 * biceps_leg,
+        "biceps should fire for drinking, not toe taps ({biceps_arm} vs {biceps_leg})"
+    );
+    assert!(
+        shin_leg > 3.0 * shin_arm,
+        "front shin should fire for toe taps, not drinking ({shin_leg} vs {shin_arm})"
+    );
+}
+
+#[test]
+fn whole_body_classification_succeeds_on_12_classes() {
+    let ds = whole_body_dataset();
+    let (train, queries) = stratified_split(&ds.records, 1);
+    let config = PipelineConfig::default().with_clusters(12);
+    let out = evaluate(&train, &queries, Limb::WholeBody, &config).expect("evaluation runs");
+    assert_eq!(out.queries, 12);
+    // 12-way chance is ~92% misclassification; gate well below that.
+    assert!(
+        out.misclassification_pct <= 50.0,
+        "whole-body misclassification {:.1}% too high",
+        out.misclassification_pct
+    );
+}
+
+#[test]
+fn whole_body_model_persists() {
+    let ds = whole_body_dataset();
+    let refs: Vec<_> = ds.records.iter().collect();
+    let config = PipelineConfig::default().with_clusters(10);
+    let model = MotionClassifier::train(&refs, Limb::WholeBody, &config).unwrap();
+    let path = std::env::temp_dir().join("kinemyo_whole_body_model.json");
+    model.save_json(&path).unwrap();
+    let loaded = MotionClassifier::load_json(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded.limb(), Limb::WholeBody);
+    let r = &ds.records[0];
+    assert_eq!(
+        model.classify_record(r).unwrap().predicted,
+        loaded.classify_record(r).unwrap().predicted
+    );
+}
+
+#[test]
+fn binary_and_json_dataset_formats_agree() {
+    let ds = whole_body_dataset();
+    let dir = std::env::temp_dir();
+    let jpath = dir.join("kinemyo_wb.json");
+    let bpath = dir.join("kinemyo_wb.kmyo");
+    ds.save_json(&jpath).unwrap();
+    ds.save_binary(&bpath).unwrap();
+    let from_json = kinemyo::biosim::Dataset::load_json(&jpath).unwrap();
+    let from_bin = kinemyo::biosim::Dataset::load_binary(&bpath).unwrap();
+    let jbytes = std::fs::metadata(&jpath).unwrap().len();
+    let bbytes = std::fs::metadata(&bpath).unwrap().len();
+    std::fs::remove_file(&jpath).ok();
+    std::fs::remove_file(&bpath).ok();
+    assert_eq!(from_json.len(), from_bin.len());
+    for (a, b) in from_json.records.iter().zip(&from_bin.records) {
+        assert!(a.mocap.approx_eq(&b.mocap, 0.0));
+        assert!(a.emg.approx_eq(&b.emg, 0.0));
+    }
+    assert!(bbytes * 2 < jbytes, "binary ({bbytes}) should be < half of JSON ({jbytes})");
+}
