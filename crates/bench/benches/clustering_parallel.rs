@@ -1,0 +1,115 @@
+//! Criterion benchmarks for the parallel FCM hot path: the same
+//! fig6-scale workload (thousands of 16-d window points, paper-default
+//! cluster counts) fitted under different [`ThreadPolicy`] settings.
+//!
+//! The interesting comparisons:
+//!
+//! * `fcm_fit_threads/*` — one restart, scaling of the fused
+//!   membership/center/objective pass with worker count. The chunked
+//!   reduction is deterministic, so every thread count produces the
+//!   bit-identical model; only wall-clock changes.
+//! * `fcm_restarts_threads/*` — four k-means++ restarts, where the
+//!   concurrent-restart scheduler can run whole fits side by side even
+//!   when a single pass is too small to split profitably.
+//! * `classify_batch_threads/*` — the end-user query path: a trained
+//!   classifier answering a visit's worth of queries through
+//!   `classify_batch` under each policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kinemyo::biosim::{Dataset, DatasetSpec, MotionRecord};
+use kinemyo::{MotionClassifier, PipelineConfig, ThreadPolicy};
+use kinemyo_fuzzy::{fcm_fit, FcmConfig};
+use kinemyo_linalg::Matrix;
+use std::hint::black_box;
+
+/// Deterministic blobs in 16-d (the combined hand feature dimension),
+/// sized like the paper's Fig. 6 sweep input (~2.4k window points).
+fn points(n: usize) -> Matrix {
+    Matrix::from_fn(n, 16, |r, c| {
+        let blob = (r % 8) as f64;
+        blob + ((r * 31 + c * 17) as f64 * 0.61).sin() * 0.3
+    })
+}
+
+/// Thread policies compared by every group, labelled for report output.
+fn policies() -> Vec<(&'static str, ThreadPolicy)> {
+    vec![
+        ("seq", ThreadPolicy::Sequential),
+        ("t2", ThreadPolicy::Fixed(2)),
+        ("t4", ThreadPolicy::Fixed(4)),
+    ]
+}
+
+fn bench_fit_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fcm_fit_threads");
+    group.sample_size(10);
+    let data = points(2400);
+    for (label, policy) in policies() {
+        let config = FcmConfig {
+            restarts: 1,
+            max_iters: 50,
+            ..FcmConfig::new(20)
+        }
+        .with_threads(policy);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n2400_c20_{label}")),
+            &config,
+            |b, config| {
+                b.iter(|| fcm_fit(black_box(&data), black_box(config)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_restarts_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fcm_restarts_threads");
+    group.sample_size(10);
+    let data = points(1200);
+    for (label, policy) in policies() {
+        let config = FcmConfig {
+            restarts: 4,
+            max_iters: 40,
+            ..FcmConfig::new(15)
+        }
+        .with_threads(policy);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n1200_c15_r4_{label}")),
+            &config,
+            |b, config| {
+                b.iter(|| fcm_fit(black_box(&data), black_box(config)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_classify_batch_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify_batch_threads");
+    group.sample_size(10);
+    let dataset = Dataset::generate(DatasetSpec::hand_default().with_size(2, 3)).unwrap();
+    let train: Vec<&MotionRecord> = dataset.records.iter().collect();
+    let queries: Vec<&MotionRecord> = dataset.records.iter().collect();
+    for (label, policy) in policies() {
+        let config = PipelineConfig::default()
+            .with_clusters(12)
+            .with_threads(policy);
+        let model = MotionClassifier::train(&train, dataset.spec.limb, &config).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("q{}_{label}", queries.len())),
+            &model,
+            |b, model| {
+                b.iter(|| model.classify_batch(black_box(&queries)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fit_threads,
+    bench_restarts_threads,
+    bench_classify_batch_threads
+);
+criterion_main!(benches);

@@ -22,9 +22,7 @@ fn db(n: usize) -> FeatureDb<usize> {
 }
 
 fn query(i: usize) -> Vec<f64> {
-    (0..30)
-        .map(|c| ((i * 3 + c) % 17) as f64 / 17.0)
-        .collect()
+    (0..30).map(|c| ((i * 3 + c) % 17) as f64 / 17.0).collect()
 }
 
 fn bench_retrieval(c: &mut Criterion) {

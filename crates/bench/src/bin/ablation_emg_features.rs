@@ -22,7 +22,13 @@ fn main() {
     let sets = [
         ("iav (paper)", EmgFeatureSet::Iav),
         ("hudgins-td", EmgFeatureSet::HudginsTd { deadband: 2e-5 }),
-        ("histogram-9", EmgFeatureSet::Histogram { bins: 9, hi: 1.2e-3 }),
+        (
+            "histogram-9",
+            EmgFeatureSet::Histogram {
+                bins: 9,
+                hi: 1.2e-3,
+            },
+        ),
     ];
     let mut rows = Vec::new();
     for modality in [Modality::Combined, Modality::EmgOnly] {

@@ -24,8 +24,10 @@ fn main() {
         let ds = Dataset::generate(spec).expect("dataset generation succeeds");
         let (train, query) = stratified_split(&ds.records, 2);
         for window_ms in [100.0, 200.0] {
-            for (name, kind) in [("wsvd", FeatureKind::Wsvd), ("mean-pose", FeatureKind::MeanPose)]
-            {
+            for (name, kind) in [
+                ("wsvd", FeatureKind::Wsvd),
+                ("mean-pose", FeatureKind::MeanPose),
+            ] {
                 let cfg = VariantConfig {
                     window_ms,
                     feature: kind,

@@ -45,18 +45,27 @@ fn main() {
     let mut all = Vec::new();
 
     let standard = DatasetSpec::hand_default().with_seed(experiment_seed());
-    all.extend(eval_all("standard", &Dataset::generate(standard.clone()).unwrap()));
+    all.extend(eval_all(
+        "standard",
+        &Dataset::generate(standard.clone()).unwrap(),
+    ));
 
     let mut bad_optics = standard.clone();
     bad_optics.mocap_noise.jitter_mm = 12.0;
     bad_optics.mocap_noise.sway_mm = 60.0;
-    all.extend(eval_all("degraded-mocap", &Dataset::generate(bad_optics).unwrap()));
+    all.extend(eval_all(
+        "degraded-mocap",
+        &Dataset::generate(bad_optics).unwrap(),
+    ));
 
     let mut bad_emg = standard;
     bad_emg.emg.gain_cv = 0.6;
     bad_emg.emg.thermal_rel = 0.08;
     bad_emg.emg.powerline_rel = 0.10;
-    all.extend(eval_all("degraded-emg", &Dataset::generate(bad_emg).unwrap()));
+    all.extend(eval_all(
+        "degraded-emg",
+        &Dataset::generate(bad_emg).unwrap(),
+    ));
 
     println!(
         "\nJSON:{}",

@@ -44,7 +44,11 @@ fn main() {
     for rate in [0.01, 0.05] {
         let mut spec = base.clone();
         spec.mocap_noise.dropout_rate = rate;
-        run(&format!("marker dropout {:.0}%/frame", rate * 100.0), spec, &mut rows);
+        run(
+            &format!("marker dropout {:.0}%/frame", rate * 100.0),
+            spec,
+            &mut rows,
+        );
     }
 
     let mut noisy_pl = base.clone();

@@ -39,8 +39,8 @@ fn main() {
         .with_clusters(15)
         .with_seed(experiment_seed());
     let t0 = Instant::now();
-    let model = kinemyo::MotionClassifier::train(&train, Limb::RightHand, &cfg)
-        .expect("training succeeds");
+    let model =
+        kinemyo::MotionClassifier::train(&train, Limb::RightHand, &cfg).expect("training succeeds");
     let pipeline_train = t0.elapsed();
     let t0 = Instant::now();
     let out = kinemyo::eval::evaluate_with_model(&model, &queries).expect("evaluation succeeds");
@@ -57,7 +57,7 @@ fn main() {
 
     // --- DTW baseline ----------------------------------------------------
     let decimate = 8; // 120 Hz → 15 Hz frames for tractable O(n·m) DP
-    // Standardize channels using the training data statistics.
+                      // Standardize channels using the training data statistics.
     let mut stacked: Option<Matrix> = None;
     for r in &train {
         let s = dtw_series(r, decimate);
@@ -70,7 +70,9 @@ fn main() {
     let mut clf: DtwClassifier<MotionClass> = DtwClassifier::new(Some(20));
     let t0 = Instant::now();
     for r in &train {
-        let s = scaler.transform(&dtw_series(r, decimate)).expect("fitted dims");
+        let s = scaler
+            .transform(&dtw_series(r, decimate))
+            .expect("fitted dims");
         clf.insert(r.id, r.class, s).expect("consistent dims");
     }
     let dtw_build = t0.elapsed();
@@ -78,7 +80,9 @@ fn main() {
     let t0 = Instant::now();
     let mut wrong = 0usize;
     for q in &queries {
-        let s = scaler.transform(&dtw_series(q, decimate)).expect("fitted dims");
+        let s = scaler
+            .transform(&dtw_series(q, decimate))
+            .expect("fitted dims");
         let nearest = clf.knn(&s, 1).expect("non-empty classifier");
         if nearest[0].1 != q.class {
             wrong += 1;

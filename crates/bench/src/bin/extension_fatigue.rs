@@ -31,17 +31,14 @@ fn main() {
             ..EmgSynthConfig::clean()
         };
         let mut rng = ChaCha8Rng::seed_from_u64(experiment_seed());
-        let raw = synthesize_channel(&act, 120.0, 10.0, &cfg, &mut rng)
-            .expect("synthesis succeeds");
+        let raw =
+            synthesize_channel(&act, 120.0, 10.0, &cfg, &mut rng).expect("synthesis succeeds");
         let sg = spectrogram(&raw, 1000.0, 1024, 1000).expect("spectrogram succeeds");
         tracks.push(sg.median_frequency_track());
     }
     let n = tracks[0].len().min(tracks[1].len());
-    for i in 0..n {
-        println!(
-            "{:>8.1} {:>10.1} {:>10.1}",
-            tracks[0][i].0, tracks[0][i].1, tracks[1][i].1
-        );
+    for (fresh, fatigued) in tracks[0].iter().zip(&tracks[1]) {
+        println!("{:>8.1} {:>10.1} {:>10.1}", fresh.0, fresh.1, fatigued.1);
     }
     let drop = tracks[1][0].1 - tracks[1][n - 1].1;
     println!("\nfatigued-trial median-frequency drop: {drop:.1} Hz (fresh stays flat)");

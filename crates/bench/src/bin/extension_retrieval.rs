@@ -23,7 +23,11 @@ fn main() {
         select_cluster_count(&train, &base, &[5, 10, 15, 20, 25]).expect("selection succeeds");
     println!("Xie-Beni cluster selection (lower is better):");
     for c in &selection.candidates {
-        let marker = if c.clusters == selection.best { "  <- selected" } else { "" };
+        let marker = if c.clusters == selection.best {
+            "  <- selected"
+        } else {
+            ""
+        };
         println!("  c={:<3} XB={:.4}{marker}", c.clusters, c.xie_beni);
     }
 
@@ -31,7 +35,11 @@ fn main() {
     let model =
         MotionClassifier::train(&train, Limb::RightHand, &config).expect("training succeeds");
 
-    println!("\nprecision-at-k over {} queries (c = {}):", queries.len(), selection.best);
+    println!(
+        "\nprecision-at-k over {} queries (c = {}):",
+        queries.len(),
+        selection.best
+    );
     println!("{:>4} {:>12}", "k", "P@k (%)");
     let mut rows = Vec::new();
     for k in 1..=10usize {

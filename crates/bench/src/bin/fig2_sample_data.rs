@@ -26,7 +26,10 @@ fn main() {
         .expect("raise-arm record exists");
 
     let frames = r.frames();
-    println!("frames: {frames} at 120 Hz ({:.1} s)", frames as f64 / 120.0);
+    println!(
+        "frames: {frames} at 120 Hz ({:.1} s)",
+        frames as f64 / 120.0
+    );
 
     // Channel 0 = biceps, channel 2 = upper forearm (Limb::RightHand order).
     let biceps: Vec<f64> = (0..frames).map(|f| r.emg[(f, 0)]).collect();
@@ -38,13 +41,31 @@ fn main() {
 
     let stride = (frames / 48).max(1);
     let ds_series = |v: &[f64]| -> Vec<f64> { v.iter().step_by(stride).copied().collect() };
-    println!("\nRight Hand Biceps (EMG, V)      {}", sparkline(&ds_series(&biceps)));
-    println!("Right Hand Upper ForeArm (EMG)  {}", sparkline(&ds_series(&forearm)));
-    println!("Right Hand Wrist X (mm)         {}", sparkline(&ds_series(&wrist_x)));
-    println!("Right Hand Wrist Y (mm)         {}", sparkline(&ds_series(&wrist_y)));
-    println!("Right Hand Wrist Z (mm)         {}", sparkline(&ds_series(&wrist_z)));
+    println!(
+        "\nRight Hand Biceps (EMG, V)      {}",
+        sparkline(&ds_series(&biceps))
+    );
+    println!(
+        "Right Hand Upper ForeArm (EMG)  {}",
+        sparkline(&ds_series(&forearm))
+    );
+    println!(
+        "Right Hand Wrist X (mm)         {}",
+        sparkline(&ds_series(&wrist_x))
+    );
+    println!(
+        "Right Hand Wrist Y (mm)         {}",
+        sparkline(&ds_series(&wrist_y))
+    );
+    println!(
+        "Right Hand Wrist Z (mm)         {}",
+        sparkline(&ds_series(&wrist_z))
+    );
 
-    println!("\n{:>8} {:>14} {:>14} {:>10} {:>10} {:>10}", "frame", "biceps (V)", "forearm (V)", "x (mm)", "y (mm)", "z (mm)");
+    println!(
+        "\n{:>8} {:>14} {:>14} {:>10} {:>10} {:>10}",
+        "frame", "biceps (V)", "forearm (V)", "x (mm)", "y (mm)", "z (mm)"
+    );
     for f in (0..frames).step_by((frames / 24).max(1)) {
         println!(
             "{f:>8} {:>14.6e} {:>14.6e} {:>10.1} {:>10.1} {:>10.1}",

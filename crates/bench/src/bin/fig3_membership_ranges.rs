@@ -53,7 +53,10 @@ fn main() {
         // Per cluster: range of highest memberships among windows that
         // mapped there (the vertical bars of Fig. 3).
         println!("\n{label} ({} windows)", assignments.len());
-        println!("{:>8} {:>8} {:>10} {:>10}", "cluster", "windows", "min h", "max h");
+        println!(
+            "{:>8} {:>8} {:>10} {:>10}",
+            "cluster", "windows", "min h", "max h"
+        );
         let c = model.fcm().num_clusters();
         let mut row = Vec::new();
         for k in 0..c {
@@ -87,8 +90,7 @@ fn main() {
             .map(|a| a.cluster)
             .collect()
     };
-    let jaccard = |a: &std::collections::BTreeSet<usize>,
-                   b: &std::collections::BTreeSet<usize>| {
+    let jaccard = |a: &std::collections::BTreeSet<usize>, b: &std::collections::BTreeSet<usize>| {
         let inter = a.intersection(b).count() as f64;
         let union = a.union(b).count() as f64;
         if union == 0.0 {

@@ -64,7 +64,10 @@ fn main() {
     let d = |a: usize, b: usize| euclidean(&vectors[a].1, &vectors[b].1);
     let same = (d(0, 1) + d(2, 3)) / 2.0;
     let cross = (d(0, 2) + d(0, 3) + d(1, 2) + d(1, 3)) / 4.0;
-    println!("\nmean distance: same-class {same:.3}, cross-class {cross:.3} (ratio {:.2}x)", cross / same.max(1e-9));
+    println!(
+        "\nmean distance: same-class {same:.3}, cross-class {cross:.3} (ratio {:.2}x)",
+        cross / same.max(1e-9)
+    );
     let json = serde_json::json!({
         "figure": "fig4",
         "seed": experiment_seed(),

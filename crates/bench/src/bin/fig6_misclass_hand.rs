@@ -7,8 +7,7 @@
 use kinemyo::biosim::Limb;
 use kinemyo::sweep;
 use kinemyo_bench::{
-    repeats,
-    base_config, evaluation_dataset, experiment_seed, print_sweep_json, print_sweep_table,
+    base_config, evaluation_dataset, experiment_seed, print_sweep_json, print_sweep_table, repeats,
     sparkline, sweep_grids,
 };
 
@@ -24,8 +23,16 @@ fn main() {
         dataset.spec.trials_per_class
     );
     let (windows, clusters) = sweep_grids();
-    let points = sweep(&dataset.records, limb, &windows, &clusters, &base_config(), 3, repeats())
-        .expect("sweep succeeds");
+    let points = sweep(
+        &dataset.records,
+        limb,
+        &windows,
+        &clusters,
+        &base_config(),
+        3,
+        repeats(),
+    )
+    .expect("sweep succeeds");
 
     print_sweep_table("Mis-classification rate (%)", &points, |p| {
         p.misclassification_pct

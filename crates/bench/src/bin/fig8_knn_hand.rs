@@ -6,8 +6,8 @@
 use kinemyo::biosim::Limb;
 use kinemyo::sweep;
 use kinemyo_bench::{
-    base_config, evaluation_dataset, experiment_seed, print_sweep_json, print_sweep_table,
-    repeats, sparkline, sweep_grids,
+    base_config, evaluation_dataset, experiment_seed, print_sweep_json, print_sweep_table, repeats,
+    sparkline, sweep_grids,
 };
 
 fn main() {
@@ -22,8 +22,16 @@ fn main() {
         dataset.spec.trials_per_class
     );
     let (windows, clusters) = sweep_grids();
-    let points = sweep(&dataset.records, limb, &windows, &clusters, &base_config(), 3, repeats())
-        .expect("sweep succeeds");
+    let points = sweep(
+        &dataset.records,
+        limb,
+        &windows,
+        &clusters,
+        &base_config(),
+        3,
+        repeats(),
+    )
+    .expect("sweep succeeds");
 
     print_sweep_table("kNN classified percent (%)", &points, |p| p.knn_correct_pct);
     for &w in &windows {

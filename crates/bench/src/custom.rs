@@ -143,7 +143,9 @@ pub fn evaluate_variant(
         ClusterKind::Fuzzy => {
             let model = fcm_fit(
                 &stacked,
-                &FcmConfig::new(cfg.clusters).with_seed(cfg.seed).with_restarts(2),
+                &FcmConfig::new(cfg.clusters)
+                    .with_seed(cfg.seed)
+                    .with_restarts(2),
             )
             .expect("fcm converges");
             let mut offset = 0;
@@ -240,7 +242,10 @@ fn evaluate_queries(
         let points = variant_points(q, window, cfg);
         let points = scaler.transform(&points).expect("fitted dims");
         let c = db.dim()
-            / if matches!(cfg.cluster, ClusterKind::Fuzzy | ClusterKind::GustafsonKessel) {
+            / if matches!(
+                cfg.cluster,
+                ClusterKind::Fuzzy | ClusterKind::GustafsonKessel
+            ) {
                 2
             } else {
                 1
@@ -264,10 +269,7 @@ fn evaluate_queries(
         let labels: Vec<MotionClass> = neighbors.iter().map(|n| n.meta).collect();
         pcts.push(knn_correct_pct(&q.class, &labels));
     }
-    (
-        wrong as f64 / queries.len() as f64 * 100.0,
-        mean_pct(&pcts),
-    )
+    (wrong as f64 / queries.len() as f64 * 100.0, mean_pct(&pcts))
 }
 
 #[cfg(test)]
@@ -284,7 +286,10 @@ mod tests {
             &train,
             &query,
             Limb::RightHand,
-            &VariantConfig { clusters: 8, ..VariantConfig::default() },
+            &VariantConfig {
+                clusters: 8,
+                ..VariantConfig::default()
+            },
         );
         assert!((0.0..=100.0).contains(&mis));
         assert!((0.0..=100.0).contains(&knn_pct));

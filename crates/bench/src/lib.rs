@@ -22,7 +22,9 @@ pub const PAPER_CLUSTERS: [usize; 8] = [5, 10, 15, 20, 25, 30, 35, 40];
 /// Returns `true` when `KINEMYO_QUICK=1` — figure binaries then run a
 /// reduced grid so smoke tests stay fast.
 pub fn quick_mode() -> bool {
-    std::env::var("KINEMYO_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("KINEMYO_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Master seed used by all experiments; override with `KINEMYO_SEED`.
@@ -75,11 +77,7 @@ pub fn base_config() -> PipelineConfig {
 /// Prints a sweep as one aligned table per metric selector, with cluster
 /// counts as rows and window sizes as columns — directly comparable to the
 /// paper's figure axes.
-pub fn print_sweep_table(
-    title: &str,
-    points: &[SweepPoint],
-    metric: impl Fn(&SweepPoint) -> f64,
-) {
+pub fn print_sweep_table(title: &str, points: &[SweepPoint], metric: impl Fn(&SweepPoint) -> f64) {
     let mut windows: Vec<f64> = points.iter().map(|p| p.window_ms).collect();
     windows.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     windows.dedup();

@@ -155,7 +155,10 @@ pub fn synchronize<R: Rng>(
             emg[(i, ch)] = v;
         }
     }
-    Ok(SynchronizedStreams { mocap: mocap_t, emg })
+    Ok(SynchronizedStreams {
+        mocap: mocap_t,
+        emg,
+    })
 }
 
 #[cfg(test)]
@@ -184,7 +187,7 @@ mod tests {
         let cfg = AcquisitionConfig::default();
         let out = process_emg_channel(&burst_signal(), &cfg).unwrap();
         assert_eq!(out.len(), 360); // 3 s at 120 Hz
-        // Envelope positive during the burst, near zero outside.
+                                    // Envelope positive during the burst, near zero outside.
         let mid: f64 = out[140..220].iter().sum::<f64>() / 80.0;
         let head: f64 = out[10..90].iter().sum::<f64>() / 80.0;
         assert!(mid > 10.0 * head.max(1e-9), "mid {mid} head {head}");
@@ -231,7 +234,10 @@ mod tests {
     fn apply_offset_shifts_correctly() {
         let raw = vec![1.0, 2.0, 3.0, 4.0, 5.0];
         assert_eq!(apply_trigger_offset(&raw, 2), vec![3.0, 4.0, 5.0, 0.0, 0.0]);
-        assert_eq!(apply_trigger_offset(&raw, -2), vec![0.0, 0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(
+            apply_trigger_offset(&raw, -2),
+            vec![0.0, 0.0, 1.0, 2.0, 3.0]
+        );
         assert_eq!(apply_trigger_offset(&raw, 0), raw);
         assert_eq!(apply_trigger_offset(&raw, 99), vec![0.0; 5]);
         assert_eq!(apply_trigger_offset(&raw, -99), vec![0.0; 5]);
@@ -259,9 +265,15 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let bad = AcquisitionConfig { mocap_fs: 0.0, ..Default::default() };
+        let bad = AcquisitionConfig {
+            mocap_fs: 0.0,
+            ..Default::default()
+        };
         assert!(process_emg_channel(&[0.0; 100], &bad).is_err());
-        let bad2 = AcquisitionConfig { trigger_jitter_ms: -1.0, ..Default::default() };
+        let bad2 = AcquisitionConfig {
+            trigger_jitter_ms: -1.0,
+            ..Default::default()
+        };
         assert!(process_emg_channel(&[0.0; 100], &bad2).is_err());
     }
 

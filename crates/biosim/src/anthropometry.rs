@@ -100,7 +100,11 @@ mod tests {
         let mut arms = Vec::new();
         for _ in 0..50 {
             let a = Anthropometry::sample(&mut rng);
-            assert!(a.upper_arm_mm > 240.0 && a.upper_arm_mm < 390.0, "{}", a.upper_arm_mm);
+            assert!(
+                a.upper_arm_mm > 240.0 && a.upper_arm_mm < 390.0,
+                "{}",
+                a.upper_arm_mm
+            );
             assert!(a.shank_mm > 300.0 && a.shank_mm < 520.0);
             arms.push(a.upper_arm_mm);
         }

@@ -189,11 +189,7 @@ impl Dataset {
                             .map(|i| (act[(i, m)] * gain).min(1.0))
                             .collect();
                         raw_channels.push(synthesize_channel(
-                            &envelope,
-                            track.fs,
-                            duration_s,
-                            &spec.emg,
-                            &mut trng,
+                            &envelope, track.fs, duration_s, &spec.emg, &mut trng,
                         )?);
                     }
                     let synced = synchronize(

@@ -203,7 +203,10 @@ mod tests {
         assert_eq!(emg.len(), 3000);
         let active = seg_rms(&emg, 1200, 1900);
         let rest = seg_rms(&emg, 100, 900);
-        assert!(active > 20.0 * rest.max(1e-12), "active {active}, rest {rest}");
+        assert!(
+            active > 20.0 * rest.max(1e-12),
+            "active {active}, rest {rest}"
+        );
         // Active RMS near MVC scale.
         assert!(active > 0.3e-3 && active < 3.0e-3, "active rms {active}");
     }
@@ -246,10 +249,10 @@ mod tests {
     fn trials_differ_given_different_rng_states() {
         let act = step_activation();
         let cfg = EmgSynthConfig::realistic();
-        let a = synthesize_channel(&act, 120.0, 3.0, &cfg, &mut ChaCha8Rng::seed_from_u64(10))
-            .unwrap();
-        let b = synthesize_channel(&act, 120.0, 3.0, &cfg, &mut ChaCha8Rng::seed_from_u64(11))
-            .unwrap();
+        let a =
+            synthesize_channel(&act, 120.0, 3.0, &cfg, &mut ChaCha8Rng::seed_from_u64(10)).unwrap();
+        let b =
+            synthesize_channel(&act, 120.0, 3.0, &cfg, &mut ChaCha8Rng::seed_from_u64(11)).unwrap();
         let diff: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
         assert!(diff > 0.0, "same-motion trials must have different EMG");
         // But the envelope correlates: both active in the middle.
@@ -261,10 +264,10 @@ mod tests {
     fn deterministic_given_same_seed() {
         let act = step_activation();
         let cfg = EmgSynthConfig::realistic();
-        let a = synthesize_channel(&act, 120.0, 3.0, &cfg, &mut ChaCha8Rng::seed_from_u64(5))
-            .unwrap();
-        let b = synthesize_channel(&act, 120.0, 3.0, &cfg, &mut ChaCha8Rng::seed_from_u64(5))
-            .unwrap();
+        let a =
+            synthesize_channel(&act, 120.0, 3.0, &cfg, &mut ChaCha8Rng::seed_from_u64(5)).unwrap();
+        let b =
+            synthesize_channel(&act, 120.0, 3.0, &cfg, &mut ChaCha8Rng::seed_from_u64(5)).unwrap();
         assert_eq!(a, b);
     }
 
@@ -276,7 +279,10 @@ mod tests {
         let emg = synthesize_channel(&act, 120.0, 3.0, &cfg, &mut rng).unwrap();
         let rms = seg_rms(&emg, 0, emg.len());
         assert!(rms > 1e-6, "rest should still show noise, got {rms}");
-        assert!(rms < 0.3e-3, "rest noise should be far below MVC, got {rms}");
+        assert!(
+            rms < 0.3e-3,
+            "rest noise should be far below MVC, got {rms}"
+        );
     }
 
     #[test]

@@ -82,10 +82,7 @@ mod tests {
             reason: "zero participants".into(),
         };
         assert!(e.to_string().contains("zero participants"));
-        let dsp: BiosimError = kinemyo_dsp::DspError::InvalidArgument {
-            reason: "x".into(),
-        }
-        .into();
+        let dsp: BiosimError = kinemyo_dsp::DspError::InvalidArgument { reason: "x".into() }.into();
         assert!(dsp.to_string().contains("dsp error"));
         let la: BiosimError = kinemyo_linalg::LinalgError::Empty { op: "svd" }.into();
         assert!(la.to_string().contains("linalg error"));

@@ -370,8 +370,14 @@ mod tests {
     #[test]
     fn durations_scale_with_speed() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let fast = TrialStyle { speed: 1.2, ..TrialStyle::nominal() };
-        let slow = TrialStyle { speed: 0.8, ..TrialStyle::nominal() };
+        let fast = TrialStyle {
+            speed: 1.2,
+            ..TrialStyle::nominal()
+        };
+        let slow = TrialStyle {
+            speed: 0.8,
+            ..TrialStyle::nominal()
+        };
         let t_fast = generate_angles(MotionClass::RaiseArm, &fast, 120.0, &mut rng);
         let t_slow = generate_angles(MotionClass::RaiseArm, &slow, 120.0, &mut rng);
         assert!(t_slow.frames.len() > t_fast.frames.len());
@@ -426,7 +432,10 @@ mod tests {
             .map(|f| f.elbow_flexion)
             .fold(f64::INFINITY, f64::min);
         // Rapid extension = strongly negative flexion velocity.
-        assert!(min_elbow_vel < -3.0, "elbow extension velocity {min_elbow_vel}");
+        assert!(
+            min_elbow_vel < -3.0,
+            "elbow extension velocity {min_elbow_vel}"
+        );
         // Much faster than the drink-cup motion's extension.
         let td = track(MotionClass::DrinkCup, 4);
         let vd = td.velocities();
@@ -434,7 +443,10 @@ mod tests {
             .iter()
             .map(|f| f.elbow_flexion)
             .fold(f64::INFINITY, f64::min);
-        assert!(min_elbow_vel < 2.0 * min_drink, "{min_elbow_vel} vs {min_drink}");
+        assert!(
+            min_elbow_vel < 2.0 * min_drink,
+            "{min_elbow_vel} vs {min_drink}"
+        );
     }
 
     #[test]

@@ -163,7 +163,11 @@ mod tests {
     fn punch_fires_triceps() {
         let t = track(MotionClass::Punch);
         let e = excitations(Limb::RightHand, &t);
-        assert!(channel_peak(&e, 1) > 0.5, "triceps peak {}", channel_peak(&e, 1));
+        assert!(
+            channel_peak(&e, 1) > 0.5,
+            "triceps peak {}",
+            channel_peak(&e, 1)
+        );
         // And grips hard → lower forearm active.
         assert!(channel_peak(&e, 3) > 0.4);
     }
@@ -198,8 +202,16 @@ mod tests {
         let e_drink = excitations(Limb::RightHand, &track(MotionClass::DrinkCup));
         // Ballistic elbow extension saturates the triceps; the slow cup
         // return does not get near saturation.
-        assert!(channel_peak(&e_throw, 1) > 0.9, "throw triceps {}", channel_peak(&e_throw, 1));
-        assert!(channel_peak(&e_drink, 1) < 0.8, "drink triceps {}", channel_peak(&e_drink, 1));
+        assert!(
+            channel_peak(&e_throw, 1) > 0.9,
+            "throw triceps {}",
+            channel_peak(&e_throw, 1)
+        );
+        assert!(
+            channel_peak(&e_drink, 1) < 0.8,
+            "drink triceps {}",
+            channel_peak(&e_drink, 1)
+        );
         // And the grip-driven forearm channels separate them further.
         assert!(channel_peak(&e_throw, 3) > channel_peak(&e_drink, 3));
     }

@@ -359,7 +359,10 @@ mod tests {
         let rest = sk.marker_positions(Limb::RightHand, &rest_angles(), pelvis);
         let up = sk.marker_positions(Limb::RightHand, &raised, pelvis);
         assert!(up[2].y > rest[2].y + 200.0, "wrist must rise substantially");
-        assert!(up[2].z > rest[2].z + 200.0, "forward elevation moves wrist forward");
+        assert!(
+            up[2].z > rest[2].z + 200.0,
+            "forward elevation moves wrist forward"
+        );
     }
 
     #[test]
@@ -372,7 +375,10 @@ mod tests {
             ..Default::default()
         };
         let f = sk.marker_positions(Limb::RightLeg, &flexed, pelvis);
-        assert!(f[0].z < rest[0].z - 200.0, "ankle goes behind when knee flexes");
+        assert!(
+            f[0].z < rest[0].z - 200.0,
+            "ankle goes behind when knee flexes"
+        );
         assert!(f[0].y > rest[0].y + 100.0, "ankle rises when knee flexes");
     }
 
@@ -422,7 +428,12 @@ mod tests {
     fn render_shapes_match_limb() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let sk = skeleton();
-        let track = generate_angles(MotionClass::RaiseArm, &TrialStyle::nominal(), 120.0, &mut rng);
+        let track = generate_angles(
+            MotionClass::RaiseArm,
+            &TrialStyle::nominal(),
+            120.0,
+            &mut rng,
+        );
         let r = render_mocap(
             Limb::RightHand,
             &track,
@@ -465,7 +476,12 @@ mod tests {
     fn dropouts_are_gap_filled_smoothly() {
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         let sk = skeleton();
-        let track = generate_angles(MotionClass::WaveHand, &TrialStyle::nominal(), 120.0, &mut rng);
+        let track = generate_angles(
+            MotionClass::WaveHand,
+            &TrialStyle::nominal(),
+            120.0,
+            &mut rng,
+        );
         let clean = render_mocap(
             Limb::RightHand,
             &track,
@@ -495,7 +511,8 @@ mod tests {
         let mut max_err = 0.0f64;
         for f in 0..clean.joint_matrix.rows() {
             for c in 0..clean.joint_matrix.cols() {
-                max_err = max_err.max((noisy.joint_matrix[(f, c)] - clean.joint_matrix[(f, c)]).abs());
+                max_err =
+                    max_err.max((noisy.joint_matrix[(f, c)] - clean.joint_matrix[(f, c)]).abs());
             }
         }
         assert!(max_err < 150.0, "gap-fill error {max_err} mm too large");
@@ -511,8 +528,22 @@ mod tests {
             offset: Vec3::new(500.0, 0.0, 0.0),
             facing_rad: 0.0,
         };
-        let a = render_mocap(Limb::RightHand, &track, &sk, &Placement::identity(), &MocapNoise::none(), &mut ChaCha8Rng::seed_from_u64(1));
-        let b = render_mocap(Limb::RightHand, &track, &sk, &off, &MocapNoise::none(), &mut ChaCha8Rng::seed_from_u64(1));
+        let a = render_mocap(
+            Limb::RightHand,
+            &track,
+            &sk,
+            &Placement::identity(),
+            &MocapNoise::none(),
+            &mut ChaCha8Rng::seed_from_u64(1),
+        );
+        let b = render_mocap(
+            Limb::RightHand,
+            &track,
+            &sk,
+            &off,
+            &MocapNoise::none(),
+            &mut ChaCha8Rng::seed_from_u64(1),
+        );
         for i in 0..a.joint_matrix.rows() {
             for c in (0..12).step_by(3) {
                 assert!((b.joint_matrix[(i, c)] - a.joint_matrix[(i, c)] - 500.0).abs() < 1e-9);

@@ -31,10 +31,7 @@ impl std::error::Error for ArgError {}
 /// Parses `args` (without the program name). `switch_names` lists the
 /// bare flags that take no value; everything else starting with `--`
 /// must be followed by a value.
-pub fn parse(
-    args: &[String],
-    switch_names: &[&str],
-) -> std::result::Result<ParsedArgs, ArgError> {
+pub fn parse(args: &[String], switch_names: &[&str]) -> std::result::Result<ParsedArgs, ArgError> {
     let mut iter = args.iter();
     let command = iter
         .next()

@@ -4,8 +4,9 @@
 //! separate from `main` so the integration tests can drive them directly.
 
 use crate::args::{ArgError, ParsedArgs};
-use kinemyo::biosim::{Dataset, DatasetSpec, Limb, MotionClass};
-use kinemyo::{class_index, stratified_split, MotionClassifier, PipelineConfig};
+use kinemyo::biosim::{Dataset, DatasetSpec};
+use kinemyo::class_index;
+use kinemyo::prelude::*;
 use std::error::Error;
 use std::path::Path;
 
@@ -373,8 +374,11 @@ mod tests {
         assert!(run(&p).is_err());
         let p = parse(&s(&["generate", "--limb", "tail", "--out", "x.json"]), &[]).unwrap();
         assert!(run(&p).is_err());
-        let p = parse(&s(&["train", "--dataset", "/nonexistent.json", "--out", "m.json"]), &[])
-            .unwrap();
+        let p = parse(
+            &s(&["train", "--dataset", "/nonexistent.json", "--out", "m.json"]),
+            &[],
+        )
+        .unwrap();
         assert!(run(&p).is_err());
         let p = parse(&s(&["generate", "--typo", "1", "--out", "x.json"]), &[]).unwrap();
         assert!(run(&p).is_err());
@@ -386,7 +390,14 @@ mod tests {
         let model_path = tmp("missing_rec_model.json");
         let p = parse(
             &s(&[
-                "generate", "--limb", "leg", "--participants", "1", "--trials", "1", "--out",
+                "generate",
+                "--limb",
+                "leg",
+                "--participants",
+                "1",
+                "--trials",
+                "1",
+                "--out",
                 ds_path.to_str().unwrap(),
             ]),
             &[],

@@ -2,6 +2,7 @@
 
 use crate::error::{KinemyoError, Result};
 use kinemyo_features::Modality;
+use kinemyo_fuzzy::ThreadPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Full configuration of the classification pipeline.
@@ -31,6 +32,11 @@ pub struct PipelineConfig {
     /// paper notes the EMG (mV) and mocap (mm) resolutions differ by
     /// orders of magnitude; standardization puts them on a common scale.
     pub standardize: bool,
+    /// Worker-thread policy for training (feature extraction + FCM) and
+    /// batched queries. Every policy produces the identical model — see
+    /// [`ThreadPolicy`].
+    #[serde(default)]
+    pub threads: ThreadPolicy,
 }
 
 impl Default for PipelineConfig {
@@ -46,11 +52,16 @@ impl Default for PipelineConfig {
             fcm_max_iters: 200,
             modality: Modality::Combined,
             standardize: true,
+            threads: ThreadPolicy::default(),
         }
     }
 }
 
 impl PipelineConfig {
+    /// Starts a [`PipelineConfigBuilder`] from the paper's defaults.
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder::new()
+    }
     /// Sets the window length (ms).
     pub fn with_window_ms(mut self, ms: f64) -> Self {
         self.window_ms = ms;
@@ -72,6 +83,12 @@ impl PipelineConfig {
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread policy.
+    pub fn with_threads(mut self, threads: ThreadPolicy) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -107,7 +124,114 @@ impl PipelineConfig {
                 reason: "fcm_restarts and fcm_max_iters must be >= 1".into(),
             });
         }
+        if let Err(reason) = self.threads.validate() {
+            return Err(KinemyoError::InvalidConfig { reason });
+        }
         Ok(())
+    }
+}
+
+/// Builder for [`PipelineConfig`] that validates once, at [`build`].
+///
+/// The plain struct-literal / `with_*` path on [`PipelineConfig`] keeps
+/// working; the builder is for call sites that assemble a config in stages
+/// and want the invalid states rejected in one place:
+///
+/// ```
+/// use kinemyo::prelude::*;
+///
+/// let config = PipelineConfig::builder()
+///     .clusters(20)
+///     .window_ms(150.0)
+///     .threads(ThreadPolicy::Fixed(2))
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.clusters, 20);
+/// assert!(PipelineConfig::builder().clusters(0).build().is_err());
+/// ```
+///
+/// [`build`]: PipelineConfigBuilder::build
+#[derive(Debug, Clone, Default)]
+pub struct PipelineConfigBuilder {
+    config: PipelineConfig,
+}
+
+impl PipelineConfigBuilder {
+    /// Starts from the paper's default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Window length in milliseconds.
+    pub fn window_ms(mut self, ms: f64) -> Self {
+        self.config.window_ms = ms;
+        self
+    }
+
+    /// Frame rate of the synchronized streams, Hz.
+    pub fn mocap_fs(mut self, fs: f64) -> Self {
+        self.config.mocap_fs = fs;
+        self
+    }
+
+    /// Number of fuzzy clusters.
+    pub fn clusters(mut self, c: usize) -> Self {
+        self.config.clusters = c;
+        self
+    }
+
+    /// Fuzzifier `m`.
+    pub fn fuzzifier(mut self, m: f64) -> Self {
+        self.config.fuzzifier = m;
+        self
+    }
+
+    /// Neighbours retrieved by the kNN classifier.
+    pub fn knn_k(mut self, k: usize) -> Self {
+        self.config.knn_k = k;
+        self
+    }
+
+    /// RNG seed for FCM initialization.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// FCM restart count.
+    pub fn fcm_restarts(mut self, restarts: usize) -> Self {
+        self.config.fcm_restarts = restarts;
+        self
+    }
+
+    /// FCM iteration cap per restart.
+    pub fn fcm_max_iters(mut self, iters: usize) -> Self {
+        self.config.fcm_max_iters = iters;
+        self
+    }
+
+    /// Feature modality (ablation switch).
+    pub fn modality(mut self, modality: Modality) -> Self {
+        self.config.modality = modality;
+        self
+    }
+
+    /// Whether to z-score feature dimensions before clustering.
+    pub fn standardize(mut self, on: bool) -> Self {
+        self.config.standardize = on;
+        self
+    }
+
+    /// Worker-thread policy.
+    pub fn threads(mut self, threads: ThreadPolicy) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Validates the assembled configuration and returns it.
+    pub fn build(self) -> Result<PipelineConfig> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -140,14 +264,75 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        assert!(PipelineConfig::default().with_window_ms(0.0).validate().is_err());
-        assert!(PipelineConfig::default().with_clusters(0).validate().is_err());
-        let c = PipelineConfig { knn_k: 0, ..Default::default() };
+        assert!(PipelineConfig::default()
+            .with_window_ms(0.0)
+            .validate()
+            .is_err());
+        assert!(PipelineConfig::default()
+            .with_clusters(0)
+            .validate()
+            .is_err());
+        let c = PipelineConfig {
+            knn_k: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = PipelineConfig { fuzzifier: 1.0, ..Default::default() };
+        let c = PipelineConfig {
+            fuzzifier: 1.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = PipelineConfig { fcm_restarts: 0, ..Default::default() };
+        let c = PipelineConfig {
+            fcm_restarts: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
+        let c = PipelineConfig {
+            threads: ThreadPolicy::Fixed(0),
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_validates_at_build() {
+        let c = PipelineConfig::builder()
+            .window_ms(150.0)
+            .clusters(25)
+            .seed(9)
+            .modality(Modality::EmgOnly)
+            .threads(ThreadPolicy::Fixed(2))
+            .knn_k(3)
+            .fcm_restarts(4)
+            .fcm_max_iters(50)
+            .fuzzifier(2.5)
+            .mocap_fs(60.0)
+            .standardize(false)
+            .build()
+            .unwrap();
+        assert_eq!(c.window_ms, 150.0);
+        assert_eq!(c.clusters, 25);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.modality, Modality::EmgOnly);
+        assert_eq!(c.threads, ThreadPolicy::Fixed(2));
+        assert_eq!(c.knn_k, 3);
+        assert_eq!(c.fcm_restarts, 4);
+        assert_eq!(c.fcm_max_iters, 50);
+        assert_eq!(c.fuzzifier, 2.5);
+        assert_eq!(c.mocap_fs, 60.0);
+        assert!(!c.standardize);
+
+        assert!(PipelineConfig::builder().clusters(0).build().is_err());
+        assert!(PipelineConfig::builder().fuzzifier(1.0).build().is_err());
+        assert!(PipelineConfig::builder()
+            .threads(ThreadPolicy::Fixed(0))
+            .build()
+            .is_err());
+        // Defaults build cleanly.
+        assert_eq!(
+            PipelineConfig::builder().build().unwrap(),
+            PipelineConfig::default()
+        );
     }
 
     #[test]

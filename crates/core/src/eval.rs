@@ -34,7 +34,10 @@ pub fn stratified_split(
     use std::collections::HashMap;
     let mut cells: HashMap<(usize, &'static str), Vec<&MotionRecord>> = HashMap::new();
     for r in records {
-        cells.entry((r.participant, r.class.name())).or_default().push(r);
+        cells
+            .entry((r.participant, r.class.name()))
+            .or_default()
+            .push(r);
     }
     let mut train = Vec::new();
     let mut query = Vec::new();
@@ -74,7 +77,9 @@ pub fn evaluate(
     evaluate_with_model(&model, queries)
 }
 
-/// Evaluates queries against an already-trained model.
+/// Evaluates queries against an already-trained model. Queries run as one
+/// [`MotionClassifier::classify_batch`] call, so they fan out across the
+/// model's thread policy; the metrics are accumulated in input order.
 pub fn evaluate_with_model(
     model: &MotionClassifier,
     queries: &[&MotionRecord],
@@ -83,8 +88,8 @@ pub fn evaluate_with_model(
     let n_classes = kinemyo_biosim::MotionClass::all_for(limb).len();
     let mut confusion = ConfusionMatrix::new(n_classes);
     let mut knn_pcts = Vec::with_capacity(queries.len());
-    for q in queries {
-        let c = model.classify_record(q)?;
+    for (q, result) in queries.iter().zip(model.classify_batch(queries)) {
+        let c = result?;
         confusion
             .record(class_index(limb, q.class), class_index(limb, c.predicted))
             .map_err(KinemyoError::Db)?;
@@ -171,11 +176,16 @@ pub fn sweep(
                 let (window_ms, clusters) = cells[i];
                 let point = (0..repeats)
                     .map(|rep| {
+                        // The sweep already saturates the cores with one
+                        // cell per thread; nested FCM parallelism would
+                        // only oversubscribe (results are policy-invariant
+                        // anyway).
                         let config = base
                             .clone()
                             .with_window_ms(window_ms)
                             .with_clusters(clusters)
-                            .with_seed(base.seed.wrapping_add(rep as u64 * 0x9E37));
+                            .with_seed(base.seed.wrapping_add(rep as u64 * 0x9E37))
+                            .with_threads(kinemyo_fuzzy::ThreadPolicy::Sequential);
                         evaluate(&train, &queries, limb, &config)
                     })
                     .try_fold((0.0, 0.0), |(mc, kn), outcome| {
@@ -290,11 +300,25 @@ mod tests {
     #[test]
     fn sweep_validates_inputs() {
         let ds = dataset();
-        assert!(sweep(&ds.records, Limb::RightHand, &[], &[5], &PipelineConfig::default(), 1, 1)
-            .is_err());
-        assert!(
-            sweep(&ds.records, Limb::RightHand, &[100.0], &[], &PipelineConfig::default(), 1, 1)
-                .is_err()
-        );
+        assert!(sweep(
+            &ds.records,
+            Limb::RightHand,
+            &[],
+            &[5],
+            &PipelineConfig::default(),
+            1,
+            1
+        )
+        .is_err());
+        assert!(sweep(
+            &ds.records,
+            Limb::RightHand,
+            &[100.0],
+            &[],
+            &PipelineConfig::default(),
+            1,
+            1
+        )
+        .is_err());
     }
 }

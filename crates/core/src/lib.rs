@@ -61,7 +61,7 @@ pub mod pipeline;
 pub mod select;
 pub mod stream;
 
-pub use config::PipelineConfig;
+pub use config::{PipelineConfig, PipelineConfigBuilder};
 pub use error::{KinemyoError, Result};
 pub use eval::{evaluate, stratified_split, sweep, EvalOutcome, SweepPoint};
 pub use pipeline::{class_index, pelvis_matrix, Classification, MotionClassifier, RecordMeta};
@@ -71,3 +71,30 @@ pub use stream::StreamingSession;
 // Re-export the pieces examples and downstream users need most.
 pub use kinemyo_biosim as biosim;
 pub use kinemyo_features::Modality;
+pub use kinemyo_fuzzy::ThreadPolicy;
+
+/// The one-line import for typical users: configuration, training,
+/// classification, streaming, and evaluation entry points.
+///
+/// ```
+/// use kinemyo::prelude::*;
+///
+/// let config = PipelineConfig::builder().clusters(8).build().unwrap();
+/// # let _ = config;
+/// ```
+pub mod prelude {
+    pub use crate::config::{PipelineConfig, PipelineConfigBuilder};
+    // `crate::error::Result` is deliberately NOT re-exported: a glob import
+    // would shadow `std::result::Result` and break the ubiquitous
+    // `fn main() -> Result<(), Box<dyn Error>>` pattern in user code.
+    pub use crate::error::KinemyoError;
+    pub use crate::eval::{
+        evaluate, evaluate_with_model, stratified_split, sweep, EvalOutcome, SweepPoint,
+    };
+    pub use crate::pipeline::{Classification, MotionClassifier, RecordMeta};
+    pub use crate::select::{select_cluster_count, ClusterSelection};
+    pub use crate::stream::StreamingSession;
+    pub use kinemyo_biosim::{Limb, MotionClass, MotionRecord};
+    pub use kinemyo_features::Modality;
+    pub use kinemyo_fuzzy::ThreadPolicy;
+}

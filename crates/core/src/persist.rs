@@ -88,9 +88,7 @@ mod tests {
             let a = model.classify_record(r).unwrap();
             let b = loaded.classify_record(r).unwrap();
             assert_eq!(a.predicted, b.predicted);
-            assert!(a
-                .feature_vector
-                .approx_eq(&b.feature_vector, 0.0));
+            assert!(a.feature_vector.approx_eq(&b.feature_vector, 0.0));
         }
     }
 

@@ -13,13 +13,17 @@ use crate::config::PipelineConfig;
 use crate::error::{KinemyoError, Result};
 use kinemyo_biosim::{Limb, MotionClass, MotionRecord, Vec3};
 use kinemyo_dsp::WindowSpec;
-use kinemyo_features::motion_vector::{motion_feature_vector, window_assignments, WindowAssignment};
+use kinemyo_features::motion_vector::{
+    motion_feature_vector, window_assignments, WindowAssignment,
+};
 use kinemyo_features::{window_feature_points, Modality};
 use kinemyo_fuzzy::{fcm_fit, FcmConfig, FcmModel};
 use kinemyo_linalg::stats::ZScore;
 use kinemyo_linalg::{Matrix, Vector};
-use kinemyo_modb::{classify, knn, FeatureDb, Neighbor};
+use kinemyo_modb::{classify, knn, DbReadGuard, FeatureDb, Neighbor, SharedDb};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Metadata attached to every stored motion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -55,14 +59,33 @@ pub fn pelvis_matrix(pelvis: &[Vec3]) -> Matrix {
 }
 
 /// A trained motion classifier.
-#[derive(Debug, Clone)]
+///
+/// The stored feature database lives behind a [`SharedDb`], so batched
+/// queries ([`classify_batch`](Self::classify_batch)) and streaming
+/// sessions can read it from several threads at once.
+#[derive(Debug)]
 pub struct MotionClassifier {
     config: PipelineConfig,
     limb: Limb,
     window: WindowSpec,
     scaler: Option<ZScore>,
     fcm: FcmModel,
-    db: FeatureDb<RecordMeta>,
+    db: SharedDb<RecordMeta>,
+}
+
+impl Clone for MotionClassifier {
+    /// Deep copy: the clone gets its own database, detached from later
+    /// inserts into the original (matching the pre-`SharedDb` semantics).
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config.clone(),
+            limb: self.limb,
+            window: self.window,
+            scaler: self.scaler.clone(),
+            fcm: self.fcm.clone(),
+            db: SharedDb::new(self.db.snapshot()),
+        }
+    }
 }
 
 impl MotionClassifier {
@@ -90,19 +113,92 @@ impl MotionClassifier {
         }
         let window = WindowSpec::from_ms(config.window_ms, config.mocap_fs)?;
 
-        // 1. Per-window combined feature points for every record.
-        let mut per_record_counts = Vec::with_capacity(records.len());
-        let mut stacked: Option<Matrix> = None;
-        for r in records {
-            let points = record_points(r, &window, config.modality)?;
-            per_record_counts.push(points.rows());
-            stacked = Some(match stacked {
-                None => points,
-                Some(s) => s.vstack(&points)?,
-            });
+        // 1. Per-window combined feature points for every record, written
+        //    straight into one preallocated matrix (the former one-vstack-
+        //    per-record chain re-copied all previous rows each time,
+        //    i.e. quadratic in the record count). Window counts are known
+        //    up front from the segmentation, so each record owns a
+        //    disjoint row range and extraction parallelizes cleanly.
+        let per_record_counts: Vec<usize> = records
+            .iter()
+            .map(|r| window.count(r.mocap.rows()))
+            .collect();
+        for (r, &count) in records.iter().zip(&per_record_counts) {
+            if count == 0 {
+                // Reproduce the extraction error (NoWindows) for the first
+                // too-short record, as the sequential path did.
+                record_points(r, &window, config.modality)?;
+            }
         }
-        let mut all_points = stacked.expect("at least one record");
         let total_windows: usize = per_record_counts.iter().sum();
+        let dim = match config.modality {
+            Modality::Combined => emg_cols + mocap_cols,
+            Modality::EmgOnly => emg_cols,
+            Modality::MocapOnly => mocap_cols,
+        };
+        let mut all_points = Matrix::zeros(total_windows, dim);
+        {
+            // Disjoint per-record destination slices of the point matrix.
+            let mut slices: Vec<(usize, &MotionRecord, &mut [f64])> =
+                Vec::with_capacity(records.len());
+            let mut rest = all_points.as_mut_slice();
+            for (i, (r, &count)) in records.iter().zip(&per_record_counts).enumerate() {
+                let (head, tail) = rest.split_at_mut(count * dim);
+                slices.push((i, r, head));
+                rest = tail;
+            }
+
+            let extract = |record: &MotionRecord, dst: &mut [f64]| -> Result<()> {
+                let points = record_points(record, &window, config.modality)?;
+                debug_assert_eq!(points.as_slice().len(), dst.len());
+                dst.copy_from_slice(points.as_slice());
+                Ok(())
+            };
+
+            let workers = config.threads.workers().min(records.len());
+            if workers <= 1 {
+                for (_, r, dst) in slices {
+                    extract(r, dst)?;
+                }
+            } else {
+                // Strided static assignment; on error, the lowest record
+                // index wins so the reported failure is deterministic.
+                let mut per_worker: Vec<Vec<(usize, &MotionRecord, &mut [f64])>> =
+                    (0..workers).map(|_| Vec::new()).collect();
+                for (pos, item) in slices.into_iter().enumerate() {
+                    per_worker[pos % workers].push(item);
+                }
+                let mut first_error: Option<(usize, KinemyoError)> = None;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = per_worker
+                        .into_iter()
+                        .map(|items| {
+                            scope.spawn(|| {
+                                let mut err = None;
+                                for (i, r, dst) in items {
+                                    if let Err(e) = extract(r, dst) {
+                                        err = Some((i, e));
+                                        break;
+                                    }
+                                }
+                                err
+                            })
+                        })
+                        .collect();
+                    for handle in handles {
+                        if let Some((i, e)) = handle.join().expect("extraction worker panicked") {
+                            match &first_error {
+                                Some((j, _)) if *j <= i => {}
+                                _ => first_error = Some((i, e)),
+                            }
+                        }
+                    }
+                });
+                if let Some((_, e)) = first_error {
+                    return Err(e);
+                }
+            }
+        }
         if total_windows < config.clusters {
             return Err(KinemyoError::InvalidTrainingData {
                 reason: format!(
@@ -130,6 +226,7 @@ impl MotionClassifier {
             tol: 1e-6,
             restarts: config.fcm_restarts,
             seed: config.seed,
+            threads: config.threads,
         };
         let fcm = fcm_fit(&all_points, &fcm_config)?;
 
@@ -158,7 +255,7 @@ impl MotionClassifier {
             window,
             scaler,
             fcm,
-            db,
+            db: SharedDb::new(db),
         })
     }
 
@@ -177,8 +274,18 @@ impl MotionClassifier {
         &self.fcm
     }
 
-    /// The stored motion database.
-    pub fn db(&self) -> &FeatureDb<RecordMeta> {
+    /// Read access to the stored motion database. The returned guard
+    /// derefs to [`FeatureDb`]; `&model.db()` coerces to
+    /// `&FeatureDb<RecordMeta>` wherever one is expected. Hold it briefly —
+    /// a concurrent writer blocks until it is dropped.
+    pub fn db(&self) -> DbReadGuard<'_, RecordMeta> {
+        self.db.read()
+    }
+
+    /// The thread-safe handle to the stored motion database, for callers
+    /// that append motions (streaming ingestion) or share it across
+    /// threads themselves.
+    pub fn shared_db(&self) -> &SharedDb<RecordMeta> {
         &self.db
     }
 
@@ -216,21 +323,59 @@ impl MotionClassifier {
     /// Retrieves the `k` nearest stored motions for a query record.
     pub fn retrieve(&self, record: &MotionRecord, k: usize) -> Result<Vec<Neighbor<RecordMeta>>> {
         let fv = self.query_feature_vector(record)?;
-        Ok(knn(&self.db, fv.as_slice(), k)?)
+        Ok(knn(&self.db.read(), fv.as_slice(), k)?)
     }
 
     /// Classifies a query motion by majority vote over `knn_k` neighbours.
     pub fn classify_record(&self, record: &MotionRecord) -> Result<Classification> {
         let fv = self.query_feature_vector(record)?;
-        let neighbors = knn(&self.db, fv.as_slice(), self.config.knn_k)?;
-        let predicted = classify(&neighbors, |m| m.class).ok_or(KinemyoError::InvalidTrainingData {
-            reason: "no neighbours retrieved".into(),
-        })?;
+        let neighbors = knn(&self.db.read(), fv.as_slice(), self.config.knn_k)?;
+        let predicted =
+            classify(&neighbors, |m| m.class).ok_or(KinemyoError::InvalidTrainingData {
+                reason: "no neighbours retrieved".into(),
+            })?;
         Ok(Classification {
             predicted,
             neighbors,
             feature_vector: fv,
         })
+    }
+
+    /// Classifies a batch of query motions, fanning the queries across
+    /// worker threads per the config's thread policy (each worker reads
+    /// the shared database concurrently).
+    ///
+    /// Results are in input order and identical to calling
+    /// [`classify_record`](Self::classify_record) on each record; one
+    /// failing query does not abort the rest of the batch.
+    pub fn classify_batch(&self, records: &[&MotionRecord]) -> Vec<Result<Classification>> {
+        let workers = self.config.threads.workers().min(records.len());
+        if workers <= 1 {
+            return records.iter().map(|r| self.classify_record(r)).collect();
+        }
+        let slots: Vec<Mutex<Option<Result<Classification>>>> =
+            records.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= records.len() {
+                        break;
+                    }
+                    let result = self.classify_record(records[i]);
+                    *slots[i].lock().expect("query slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("query slot poisoned")
+                    .expect("every query index was claimed")
+            })
+            .collect()
     }
 
     /// Standardizes a raw feature point with the training scaler (no-op
@@ -256,7 +401,7 @@ impl MotionClassifier {
             window: self.window,
             scaler: self.scaler.clone(),
             fcm: self.fcm.clone(),
-            db: self.db.clone(),
+            db: self.db.snapshot(),
         }
     }
 
@@ -278,7 +423,7 @@ impl MotionClassifier {
             window: saved.window,
             scaler: saved.scaler,
             fcm: saved.fcm,
-            db: saved.db,
+            db: SharedDb::new(saved.db),
         })
     }
 }
@@ -356,7 +501,11 @@ mod tests {
         let r = &ds.records[0];
         let neighbors = model.retrieve(r, 1).unwrap();
         assert_eq!(neighbors[0].id, r.id);
-        assert!(neighbors[0].distance < 1e-9, "self-distance {}", neighbors[0].distance);
+        assert!(
+            neighbors[0].distance < 1e-9,
+            "self-distance {}",
+            neighbors[0].distance
+        );
     }
 
     #[test]
@@ -450,6 +599,72 @@ mod tests {
         assert_eq!(class_index(Limb::RightHand, MotionClass::RaiseArm), 0);
         assert_eq!(class_index(Limb::RightLeg, MotionClass::Walk), 0);
         assert_eq!(class_index(Limb::RightLeg, MotionClass::HeelRaise), 5);
+    }
+
+    #[test]
+    fn classify_batch_matches_sequential_classify() {
+        use kinemyo_fuzzy::ThreadPolicy;
+        let ds = tiny_dataset();
+        let cfg = PipelineConfig::default()
+            .with_clusters(8)
+            .with_threads(ThreadPolicy::Fixed(4));
+        let model = train(&ds, &cfg);
+        let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+        let batch = model.classify_batch(&refs);
+        assert_eq!(batch.len(), refs.len());
+        for (r, b) in refs.iter().zip(&batch) {
+            let s = model.classify_record(r).unwrap();
+            let b = b.as_ref().unwrap();
+            assert_eq!(b.predicted, s.predicted);
+            assert_eq!(b.feature_vector.as_slice(), s.feature_vector.as_slice());
+            let b_ids: Vec<usize> = b.neighbors.iter().map(|n| n.id).collect();
+            let s_ids: Vec<usize> = s.neighbors.iter().map(|n| n.id).collect();
+            assert_eq!(b_ids, s_ids);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let ds = tiny_dataset();
+        let model = train(&ds, &PipelineConfig::default().with_clusters(6));
+        assert!(model.classify_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn training_is_thread_count_invariant() {
+        use kinemyo_fuzzy::ThreadPolicy;
+        let ds = tiny_dataset();
+        let base = PipelineConfig::default().with_clusters(6);
+        let seq = train(&ds, &base.clone().with_threads(ThreadPolicy::Sequential));
+        let par = train(&ds, &base.with_threads(ThreadPolicy::Fixed(4)));
+        assert!(seq.fcm().centers.approx_eq(&par.fcm().centers, 0.0));
+        assert!(seq.fcm().memberships.approx_eq(&par.fcm().memberships, 0.0));
+        for (a, b) in seq.db().entries().iter().zip(par.db().entries()) {
+            assert_eq!(a.vector, b.vector);
+        }
+    }
+
+    #[test]
+    fn cloned_model_db_is_detached() {
+        let ds = tiny_dataset();
+        let model = train(&ds, &PipelineConfig::default().with_clusters(6));
+        let cloned = model.clone();
+        let dim = model.db().dim();
+        model
+            .shared_db()
+            .insert(
+                9999,
+                RecordMeta {
+                    record_id: 9999,
+                    class: ds.records[0].class,
+                    participant: 0,
+                    trial: 0,
+                },
+                vec![0.5; dim],
+            )
+            .unwrap();
+        assert_eq!(model.db().len(), ds.len() + 1);
+        assert_eq!(cloned.db().len(), ds.len());
     }
 
     #[test]

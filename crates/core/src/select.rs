@@ -94,6 +94,7 @@ pub fn select_cluster_count(
             tol: 1e-6,
             restarts: config.fcm_restarts,
             seed: config.seed,
+            threads: config.threads,
         };
         let model = fcm_fit(&points, &fcm_config)?;
         let xb = xie_beni(&model, &points)?;
@@ -131,12 +132,7 @@ mod tests {
     fn selection_returns_a_candidate() {
         let ds = records();
         let refs: Vec<&MotionRecord> = ds.records.iter().collect();
-        let sel = select_cluster_count(
-            &refs,
-            &PipelineConfig::default(),
-            &[4, 8, 12],
-        )
-        .unwrap();
+        let sel = select_cluster_count(&refs, &PipelineConfig::default(), &[4, 8, 12]).unwrap();
         assert!([4usize, 8, 12].contains(&sel.best));
         assert_eq!(sel.candidates.len(), 3);
         for c in &sel.candidates {
@@ -149,7 +145,11 @@ mod tests {
             .iter()
             .map(|c| c.xie_beni)
             .fold(f64::INFINITY, f64::min);
-        let winner = sel.candidates.iter().find(|c| c.clusters == sel.best).unwrap();
+        let winner = sel
+            .candidates
+            .iter()
+            .find(|c| c.clusters == sel.best)
+            .unwrap();
         assert_eq!(winner.xie_beni, min);
         let _ = Limb::RightHand;
     }

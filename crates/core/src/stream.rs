@@ -163,7 +163,7 @@ impl<'m> StreamingSession<'m> {
             return Ok(None);
         }
         let fv = self.feature_vector();
-        let neighbors = knn(self.model.db(), fv.as_slice(), k)?;
+        let neighbors = knn(&self.model.db(), fv.as_slice(), k)?;
         let predicted = classify(&neighbors, |m| m.class);
         Ok(predicted.map(|p| (p, neighbors)))
     }
@@ -191,9 +191,12 @@ mod tests {
     fn model() -> (Dataset, MotionClassifier) {
         let ds = Dataset::generate(DatasetSpec::hand_default().with_size(1, 3)).unwrap();
         let refs: Vec<&MotionRecord> = ds.records.iter().collect();
-        let model =
-            MotionClassifier::train(&refs, Limb::RightHand, &PipelineConfig::default().with_clusters(8))
-                .unwrap();
+        let model = MotionClassifier::train(
+            &refs,
+            Limb::RightHand,
+            &PipelineConfig::default().with_clusters(8),
+        )
+        .unwrap();
         (ds, model)
     }
 
@@ -255,7 +258,10 @@ mod tests {
         let mut session = StreamingSession::new(&model);
         stream_record(&mut session, r);
         let (predicted, neighbors) = session.classify(1).unwrap().unwrap();
-        assert_eq!(neighbors[0].id, r.id, "training record must retrieve itself");
+        assert_eq!(
+            neighbors[0].id, r.id,
+            "training record must retrieve itself"
+        );
         assert_eq!(predicted, r.class);
     }
 
@@ -288,7 +294,10 @@ mod tests {
             let batch = model.query_feature_vector(r).unwrap();
             let streamed = session.feature_vector();
             for (a, b) in batch.as_slice().iter().zip(streamed.as_slice()) {
-                assert!((a - b).abs() < 1e-9, "{modality:?}: batch {a} vs streamed {b}");
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "{modality:?}: batch {a} vs streamed {b}"
+                );
             }
         }
     }

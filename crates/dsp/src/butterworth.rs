@@ -161,7 +161,7 @@ mod tests {
         // Stopbands attenuated.
         assert!(f.magnitude_at(2.0, FS) < 0.01, "DC drift must be rejected");
         assert!(f.magnitude_at(499.0, FS) < 0.35); // close to Nyquist warping limit
-        // Band edges around -3 dB.
+                                                   // Band edges around -3 dB.
         assert!((f.magnitude_at(20.0, FS) - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05);
         assert!(f.is_stable());
     }

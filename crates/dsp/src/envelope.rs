@@ -115,7 +115,10 @@ mod tests {
             .collect();
         let y = moving_rms(&x, 400).unwrap();
         let last = y[y.len() - 1];
-        assert!((last - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01, "{last}");
+        assert!(
+            (last - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01,
+            "{last}"
+        );
     }
 
     #[test]
@@ -140,7 +143,10 @@ mod tests {
         let env = linear_envelope(&x, fs, 6.0).unwrap();
         let early = env[1200];
         let late = env[2800];
-        assert!(late > 3.0 * early, "envelope must rise: early={early} late={late}");
+        assert!(
+            late > 3.0 * early,
+            "envelope must rise: early={early} late={late}"
+        );
     }
 
     #[test]

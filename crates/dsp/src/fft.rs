@@ -229,7 +229,11 @@ mod tests {
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap();
-        assert!((freqs[peak_idx] - f0).abs() < 2.0, "peak at {}", freqs[peak_idx]);
+        assert!(
+            (freqs[peak_idx] - f0).abs() < 2.0,
+            "peak at {}",
+            freqs[peak_idx]
+        );
     }
 
     #[test]

@@ -30,9 +30,7 @@ impl WindowKind {
             WindowKind::Rectangular => 1.0,
             WindowKind::Hamming => 0.54 - 0.46 * (2.0 * PI * x).cos(),
             WindowKind::Hann => 0.5 - 0.5 * (2.0 * PI * x).cos(),
-            WindowKind::Blackman => {
-                0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos()
-            }
+            WindowKind::Blackman => 0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos(),
         }
     }
 }
@@ -168,7 +166,9 @@ mod tests {
     fn filtering_attenuates_high_frequency() {
         let h = lowpass_fir(63, 0.05, WindowKind::Hamming).unwrap();
         // Nyquist-rate alternation is far in the stopband.
-        let x: Vec<f64> = (0..500).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x: Vec<f64> = (0..500)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let y = fir_filter(&h, &x);
         let tail_max = y[200..].iter().fold(0.0_f64, |m, v| m.max(v.abs()));
         assert!(tail_max < 1e-3, "{tail_max}");

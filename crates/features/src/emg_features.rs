@@ -75,7 +75,7 @@ pub fn emg_histogram(window: &[f64], bins: usize, lo: f64, hi: f64) -> Result<Ve
             reason: "histogram needs at least one bin".into(),
         });
     }
-    if !(hi > lo) {
+    if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
         return Err(FeatureError::ShapeMismatch {
             reason: format!("histogram range [{lo}, {hi}] is empty"),
         });
@@ -132,11 +132,7 @@ impl EmgFeatureSet {
 /// Windowed EMG features for a multi-channel matrix (`frames × channels`)
 /// under the chosen feature set. Returns
 /// `windows × (channels · dims_per_channel)`.
-pub fn emg_features(
-    emg: &Matrix,
-    ranges: &[(usize, usize)],
-    set: EmgFeatureSet,
-) -> Result<Matrix> {
+pub fn emg_features(emg: &Matrix, ranges: &[(usize, usize)], set: EmgFeatureSet) -> Result<Matrix> {
     let channels = emg.cols();
     let dpc = set.dims_per_channel();
     let mut out = Matrix::zeros(ranges.len(), channels * dpc);
@@ -160,8 +156,7 @@ pub fn emg_features(
                 }
                 EmgFeatureSet::HudginsTd { deadband } => {
                     let n = window_buf.len().max(1) as f64;
-                    out[(w, base)] =
-                        window_buf.iter().map(|v| v.abs()).sum::<f64>() / n; // MAV
+                    out[(w, base)] = window_buf.iter().map(|v| v.abs()).sum::<f64>() / n; // MAV
                     out[(w, base + 1)] = zero_crossings(&window_buf, deadband) as f64;
                     out[(w, base + 2)] = slope_sign_changes(&window_buf, deadband) as f64;
                     out[(w, base + 3)] = waveform_length(&window_buf);
@@ -238,7 +233,10 @@ mod tests {
     #[test]
     fn feature_set_dimensions() {
         assert_eq!(EmgFeatureSet::Iav.dims_per_channel(), 1);
-        assert_eq!(EmgFeatureSet::HudginsTd { deadband: 0.0 }.dims_per_channel(), 4);
+        assert_eq!(
+            EmgFeatureSet::HudginsTd { deadband: 0.0 }.dims_per_channel(),
+            4
+        );
         assert_eq!(
             EmgFeatureSet::Histogram { bins: 9, hi: 1.0 }.dims_per_channel(),
             9

@@ -68,11 +68,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(FeatureError::ShapeMismatch {
-            reason: "x".into()
-        }
-        .to_string()
-        .contains("shape mismatch"));
+        assert!(FeatureError::ShapeMismatch { reason: "x".into() }
+            .to_string()
+            .contains("shape mismatch"));
         assert!(FeatureError::NoWindows {
             frames: 3,
             window: 10
@@ -81,10 +79,7 @@ mod tests {
         .contains("no windows"));
         let e: FeatureError = kinemyo_linalg::LinalgError::Empty { op: "svd" }.into();
         assert!(e.to_string().contains("linalg"));
-        let d: FeatureError = kinemyo_dsp::DspError::InvalidArgument {
-            reason: "r".into()
-        }
-        .into();
+        let d: FeatureError = kinemyo_dsp::DspError::InvalidArgument { reason: "r".into() }.into();
         assert!(d.to_string().contains("dsp"));
     }
 }

@@ -18,7 +18,10 @@ use kinemyo_linalg::Matrix;
 fn check_shapes(mocap: &Matrix, pelvis: &Matrix) -> Result<()> {
     if pelvis.cols() != 3 {
         return Err(FeatureError::ShapeMismatch {
-            reason: format!("pelvis trajectory must have 3 columns, got {}", pelvis.cols()),
+            reason: format!(
+                "pelvis trajectory must have 3 columns, got {}",
+                pelvis.cols()
+            ),
         });
     }
     if pelvis.rows() != mocap.rows() {
@@ -92,7 +95,10 @@ pub fn joint_window(mocap: &Matrix, joint: usize, start: usize, end: usize) -> R
     }
     if end > mocap.rows() || start > end {
         return Err(FeatureError::ShapeMismatch {
-            reason: format!("window {start}..{end} out of bounds ({} frames)", mocap.rows()),
+            reason: format!(
+                "window {start}..{end} out of bounds ({} frames)",
+                mocap.rows()
+            ),
         });
     }
     let mut out = Matrix::zeros(end - start, 3);
@@ -170,8 +176,8 @@ mod tests {
         let facing_fwd = Matrix::from_rows(&[vec![0.0, 0.0, 100.0]]).unwrap();
         let facing_right = Matrix::from_rows(&[vec![100.0, 0.0, 0.0]]).unwrap();
         let a = to_pelvis_local_heading(&facing_fwd, &pelvis, 0.0).unwrap();
-        let b = to_pelvis_local_heading(&facing_right, &pelvis, std::f64::consts::FRAC_PI_2)
-            .unwrap();
+        let b =
+            to_pelvis_local_heading(&facing_right, &pelvis, std::f64::consts::FRAC_PI_2).unwrap();
         assert!(a.approx_eq(&b, 1e-9), "{a:?} vs {b:?}");
     }
 

@@ -51,7 +51,10 @@ pub fn weighted_sv_feature(window: &Matrix) -> Result<[f64; 3]> {
 pub fn wsvd_features(mocap_local: &Matrix, ranges: &[(usize, usize)]) -> Result<Matrix> {
     if mocap_local.cols() % 3 != 0 {
         return Err(FeatureError::ShapeMismatch {
-            reason: format!("mocap columns ({}) must be a multiple of 3", mocap_local.cols()),
+            reason: format!(
+                "mocap columns ({}) must be a multiple of 3",
+                mocap_local.cols()
+            ),
         });
     }
     let joints = mocap_local.cols() / 3;
@@ -74,7 +77,10 @@ pub fn wsvd_features(mocap_local: &Matrix, ranges: &[(usize, usize)]) -> Result<
 pub fn mean_pose_features(mocap_local: &Matrix, ranges: &[(usize, usize)]) -> Result<Matrix> {
     if mocap_local.cols() % 3 != 0 {
         return Err(FeatureError::ShapeMismatch {
-            reason: format!("mocap columns ({}) must be a multiple of 3", mocap_local.cols()),
+            reason: format!(
+                "mocap columns ({}) must be a multiple of 3",
+                mocap_local.cols()
+            ),
         });
     }
     let cols = mocap_local.cols();

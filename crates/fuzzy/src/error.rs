@@ -46,14 +46,20 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(FuzzyError::InvalidConfig { reason: "c=0".into() }
-            .to_string()
-            .contains("c=0"));
-        assert!(FuzzyError::InvalidData { reason: "empty".into() }
-            .to_string()
-            .contains("empty"));
-        assert!(FuzzyError::NumericalFailure { reason: "NaN".into() }
-            .to_string()
-            .contains("NaN"));
+        assert!(FuzzyError::InvalidConfig {
+            reason: "c=0".into()
+        }
+        .to_string()
+        .contains("c=0"));
+        assert!(FuzzyError::InvalidData {
+            reason: "empty".into()
+        }
+        .to_string()
+        .contains("empty"));
+        assert!(FuzzyError::NumericalFailure {
+            reason: "NaN".into()
+        }
+        .to_string()
+        .contains("NaN"));
     }
 }

@@ -5,14 +5,34 @@
 //! feature points. The implementation follows the standard formulation with
 //! fuzzifier `m` (the paper fixes `m = 2`, "most widely used"), multi-restart
 //! seeding, and explicit handling of points that coincide with a center.
+//!
+//! # Parallel execution and determinism
+//!
+//! Each alternating-optimization iteration is one fused pass over the data
+//! that updates the membership rows *and* accumulates the center numerators,
+//! denominators, and objective in fixed [`CHUNK_ROWS`]-row chunks. Chunk
+//! boundaries never depend on the worker count and per-chunk partials are
+//! reduced in chunk-index order on the calling thread, so the fitted model
+//! is bitwise identical under [`ThreadPolicy::Sequential`] and any
+//! `Fixed(n)`/`Auto` policy. Restarts run concurrently when threads remain,
+//! and the winner is chosen by `(objective, restart index)` exactly as the
+//! sequential first-strictly-better rule would.
 
 use crate::error::{FuzzyError, Result};
+use crate::thread::ThreadPolicy;
 use kinemyo_linalg::vector::sq_euclidean;
 use kinemyo_linalg::Matrix;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Rows per work chunk in the fused membership/center pass. Fixed (never
+/// derived from the worker count) so the floating-point reduction order —
+/// and therefore the fitted model — is identical for every [`ThreadPolicy`].
+pub const CHUNK_ROWS: usize = 128;
 
 /// Configuration for fuzzy c-means.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -29,6 +49,10 @@ pub struct FcmConfig {
     pub restarts: usize,
     /// RNG seed for reproducible initialization.
     pub seed: u64,
+    /// Worker-thread policy for the fused iteration pass and for running
+    /// restarts concurrently. Results are identical for every policy.
+    #[serde(default)]
+    pub threads: ThreadPolicy,
 }
 
 impl FcmConfig {
@@ -41,6 +65,7 @@ impl FcmConfig {
             tol: 1e-6,
             restarts: 3,
             seed: 0x1CDE_2007,
+            threads: ThreadPolicy::default(),
         }
     }
 
@@ -59,6 +84,12 @@ impl FcmConfig {
     /// Overrides the restart count.
     pub fn with_restarts(mut self, restarts: usize) -> Self {
         self.restarts = restarts;
+        self
+    }
+
+    /// Overrides the worker-thread policy.
+    pub fn with_threads(mut self, threads: ThreadPolicy) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -91,6 +122,9 @@ impl FcmConfig {
                 reason: format!("tol must be positive, got {}", self.tol),
             });
         }
+        if let Err(reason) = self.threads.validate() {
+            return Err(FuzzyError::InvalidConfig { reason });
+        }
         Ok(())
     }
 }
@@ -103,7 +137,9 @@ pub struct FcmModel {
     /// Membership matrix `U`, `n × c`; each row sums to 1 (paper's `U`).
     pub memberships: Matrix,
     /// Objective value per iteration of the winning restart (paper's
-    /// `objFcn` history).
+    /// `objFcn` history). Entry `t` is `J_m` evaluated at the freshly
+    /// updated memberships against the centers they were computed from,
+    /// i.e. `J(U_{t+1}, V_t)` — a monotonically nonincreasing sequence.
     pub objective_history: Vec<f64>,
     /// Iterations used by the winning restart.
     pub iterations: usize,
@@ -168,32 +204,50 @@ pub fn argmax(xs: &[f64]) -> usize {
 /// case rule).
 pub(crate) fn membership_row(centers: &Matrix, point: &[f64], m: f64) -> Vec<f64> {
     let c = centers.rows();
-    let mut d2: Vec<f64> = (0..c)
-        .map(|i| sq_euclidean(centers.row(i), point))
-        .collect();
-    // Degenerate case: coincident with a center.
-    let zero_hits: Vec<usize> = d2
-        .iter()
-        .enumerate()
-        .filter(|(_, &d)| d == 0.0)
-        .map(|(i, _)| i)
-        .collect();
-    if !zero_hits.is_empty() {
-        let mut u = vec![0.0; c];
-        let share = 1.0 / zero_hits.len() as f64;
-        for i in zero_hits {
-            u[i] = share;
+    let mut d2 = vec![0.0; c];
+    let mut u = vec![0.0; c];
+    membership_row_into(centers, point, m, &mut d2, &mut u);
+    u
+}
+
+/// Allocation-free core of [`membership_row`]: fills `d2` with the squared
+/// distances to each center and `u` with the membership row. `d2` is left
+/// intact so callers can reuse it for the objective.
+fn membership_row_into(centers: &Matrix, point: &[f64], m: f64, d2: &mut [f64], u: &mut [f64]) {
+    let c = centers.rows();
+    for (k, d) in d2.iter_mut().enumerate() {
+        *d = sq_euclidean(centers.row(k), point);
+    }
+    // Degenerate case: coincident with one or more centers.
+    let zero_hits = d2.iter().filter(|&&d| d == 0.0).count();
+    if zero_hits > 0 {
+        let share = 1.0 / zero_hits as f64;
+        for k in 0..c {
+            u[k] = if d2[k] == 0.0 { share } else { 0.0 };
         }
-        return u;
+        return;
     }
     let exponent = 1.0 / (m - 1.0);
     // u_i = 1 / Σ_j (d_i / d_j)^(1/(m-1)) over squared distances
     //     = d_i^(-e) / Σ_j d_j^(-e)
-    for d in &mut d2 {
-        *d = d.powf(-exponent);
+    let mut total = 0.0;
+    for (uk, &dk) in u.iter_mut().zip(d2.iter()) {
+        *uk = dk.powf(-exponent);
+        total += *uk;
     }
-    let total: f64 = d2.iter().sum();
-    d2.iter().map(|v| v / total).collect()
+    for uk in u.iter_mut() {
+        *uk /= total;
+    }
+}
+
+/// `u^m`, with the `m = 2` fast path (the paper's choice of fuzzifier).
+#[inline]
+fn pow_m(u: f64, m: f64) -> f64 {
+    if m == 2.0 {
+        u * u
+    } else {
+        u.powf(m)
+    }
 }
 
 /// Fits fuzzy c-means to the rows of `data` (`n × d`).
@@ -231,12 +285,57 @@ pub fn fit(data: &Matrix, config: &FcmConfig) -> Result<FcmModel> {
         });
     }
 
+    let workers = config.threads.workers();
+    let seeds: Vec<u64> = (0..config.restarts)
+        .map(|restart| {
+            config
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(restart as u64 + 1))
+        })
+        .collect();
+
+    let results: Vec<Result<FcmModel>> = if workers <= 1 || config.restarts <= 1 {
+        // All threads go to the inner fused pass.
+        seeds
+            .iter()
+            .map(|&seed| fit_once(data, config, seed, workers))
+            .collect()
+    } else {
+        // Split threads between concurrent restarts and the inner pass.
+        // Any split yields the same model: each restart is independent and
+        // the inner pass is itself thread-count invariant.
+        let concurrent = config.restarts.min(workers);
+        let inner = (workers / concurrent).max(1);
+        let slots: Vec<Mutex<Option<Result<FcmModel>>>> =
+            seeds.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..concurrent {
+                scope.spawn(|| loop {
+                    let r = next.fetch_add(1, Ordering::Relaxed);
+                    if r >= seeds.len() {
+                        break;
+                    }
+                    let result = fit_once(data, config, seeds[r], inner);
+                    *slots[r].lock().expect("fcm restart slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("fcm restart slot poisoned")
+                    .expect("every restart index was claimed")
+            })
+            .collect()
+    };
+
+    // First strictly-lower objective wins — identical to running the
+    // restarts sequentially, regardless of completion order above.
     let mut best: Option<FcmModel> = None;
-    for restart in 0..config.restarts {
-        let seed = config
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(restart as u64 + 1));
-        let model = fit_once(data, config, seed)?;
+    for result in results {
+        let model = result?;
         let better = match &best {
             None => true,
             Some(b) => model.objective() < b.objective(),
@@ -248,8 +347,106 @@ pub fn fit(data: &Matrix, config: &FcmConfig) -> Result<FcmModel> {
     Ok(best.expect("restarts >= 1"))
 }
 
-/// One restart of the alternating optimization.
-fn fit_once(data: &Matrix, config: &FcmConfig, seed: u64) -> Result<FcmModel> {
+/// Per-chunk partial results of one fused iteration pass.
+struct ChunkPartial {
+    /// `Σ_i u_ik^m` for each cluster `k`, over this chunk's rows.
+    weights: Vec<f64>,
+    /// `Σ_i u_ik^m x_i`, row-major `c × d`, over this chunk's rows.
+    sums: Vec<f64>,
+    /// `Σ_i Σ_k u_ik^m ‖x_i − v_k‖²` over this chunk's rows (objective
+    /// contribution, evaluated against the pass's input centers).
+    obj: f64,
+}
+
+/// One fused pass over the data: recomputes every membership row from
+/// `centers` (writing into `memberships`) and accumulates per-chunk center
+/// numerators/denominators and objective partials.
+///
+/// Work is split into [`CHUNK_ROWS`]-row chunks handed to workers in a fixed
+/// stride; the returned partials are ordered by chunk index, so reducing
+/// them front-to-back gives the same floating-point result for any worker
+/// count.
+fn fused_pass(
+    data: &Matrix,
+    centers: &Matrix,
+    memberships: &mut Matrix,
+    m: f64,
+    workers: usize,
+) -> Vec<ChunkPartial> {
+    let c = centers.rows();
+    let u_chunks: Vec<&mut [f64]> = memberships
+        .as_mut_slice()
+        .chunks_mut(CHUNK_ROWS * c)
+        .collect();
+    let n_chunks = u_chunks.len();
+
+    let process = |chunk_idx: usize, u_rows: &mut [f64]| -> ChunkPartial {
+        let d = data.cols();
+        let mut partial = ChunkPartial {
+            weights: vec![0.0; c],
+            sums: vec![0.0; c * d],
+            obj: 0.0,
+        };
+        let mut d2 = vec![0.0; c];
+        for (r, u) in u_rows.chunks_mut(c).enumerate() {
+            let x = data.row(chunk_idx * CHUNK_ROWS + r);
+            membership_row_into(centers, x, m, &mut d2, u);
+            for k in 0..c {
+                let w = pow_m(u[k], m);
+                partial.weights[k] += w;
+                partial.obj += w * d2[k];
+                for (t, &xv) in partial.sums[k * d..(k + 1) * d].iter_mut().zip(x) {
+                    *t += w * xv;
+                }
+            }
+        }
+        partial
+    };
+
+    if workers <= 1 || n_chunks <= 1 {
+        return u_chunks
+            .into_iter()
+            .enumerate()
+            .map(|(i, u_rows)| process(i, u_rows))
+            .collect();
+    }
+
+    // Strided static assignment: worker w takes chunks w, w+W, w+2W, …
+    // Each worker returns (chunk index, partial) pairs; the join below
+    // re-orders them by index so the reduction is chunk-ordered.
+    let w = workers.min(n_chunks);
+    let mut per_worker: Vec<Vec<(usize, &mut [f64])>> = (0..w).map(|_| Vec::new()).collect();
+    for (i, chunk) in u_chunks.into_iter().enumerate() {
+        per_worker[i % w].push((i, chunk));
+    }
+    let mut partials: Vec<Option<ChunkPartial>> = (0..n_chunks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = per_worker
+            .into_iter()
+            .map(|chunks| {
+                scope.spawn(|| {
+                    chunks
+                        .into_iter()
+                        .map(|(i, u_rows)| (i, process(i, u_rows)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, partial) in handle.join().expect("fcm worker panicked") {
+                partials[i] = Some(partial);
+            }
+        }
+    });
+    partials
+        .into_iter()
+        .map(|p| p.expect("every chunk processed exactly once"))
+        .collect()
+}
+
+/// One restart of the alternating optimization, using up to `workers`
+/// threads for the fused iteration pass.
+fn fit_once(data: &Matrix, config: &FcmConfig, seed: u64, workers: usize) -> Result<FcmModel> {
     let n = data.rows();
     let d = data.cols();
     let c = config.clusters;
@@ -288,51 +485,50 @@ fn fit_once(data: &Matrix, config: &FcmConfig, seed: u64) -> Result<FcmModel> {
     }
 
     // --- Alternating optimization ------------------------------------------
+    // Each iteration is ONE fused pass: update U from the current centers
+    // and, in the same sweep, accumulate the next centers' numerators and
+    // denominators plus the objective J_m = Σ_i Σ_k u_ik^m ‖x_i − v_k‖²
+    // evaluated at (U_new, V_current). AO theory gives
+    // J(U_{t+1}, V_t) ≤ J(U_t, V_t) ≤ J(U_t, V_{t-1}), so the recorded
+    // history is still monotonically nonincreasing while each iteration
+    // touches every point–center distance exactly once.
     let mut memberships = Matrix::zeros(n, c);
     let mut history = Vec::new();
     let mut iterations = 0;
     for iter in 0..config.max_iters {
         iterations = iter + 1;
-        // Update U from centers.
-        for i in 0..n {
-            let row = membership_row(&centers, data.row(i), m);
-            memberships.row_mut(i).copy_from_slice(&row);
-        }
-        // Update centers from U: v_k = Σ_i u_ik^m x_i / Σ_i u_ik^m.
+        let partials = fused_pass(data, &centers, &mut memberships, m, workers);
+
+        // Ordered (chunk-index) reduction: identical for any worker count.
         let mut weights = vec![0.0; c];
-        let mut new_centers = Matrix::zeros(c, d);
-        for i in 0..n {
-            let x = data.row(i);
-            for k in 0..c {
-                let w = memberships[(i, k)].powf(m);
-                weights[k] += w;
-                let target = new_centers.row_mut(k);
-                for (t, &xv) in target.iter_mut().zip(x) {
-                    *t += w * xv;
-                }
+        let mut sums = vec![0.0; c * d];
+        let mut obj = 0.0;
+        for partial in &partials {
+            for (w, &pw) in weights.iter_mut().zip(&partial.weights) {
+                *w += pw;
             }
+            for (s, &ps) in sums.iter_mut().zip(&partial.sums) {
+                *s += ps;
+            }
+            obj += partial.obj;
         }
+
+        // Update centers from the reduced sums: v_k = Σ u^m x / Σ u^m.
         for (k, &weight) in weights.iter().enumerate() {
+            let row = centers.row_mut(k);
             if weight > 0.0 {
-                let row = new_centers.row_mut(k);
-                for v in row.iter_mut() {
-                    *v /= weight;
+                for (v, &s) in row.iter_mut().zip(&sums[k * d..(k + 1) * d]) {
+                    *v = s / weight;
                 }
             } else {
-                // Empty cluster: re-seed it at a random data point.
+                // Empty cluster: re-seed it at a random data point. The RNG
+                // stays on this thread, so draws are in cluster order and
+                // independent of the worker count.
                 let idx = rng.random_range(0..n);
-                new_centers.row_mut(k).copy_from_slice(data.row(idx));
+                row.copy_from_slice(data.row(idx));
             }
         }
-        centers = new_centers;
 
-        // Objective J_m = Σ_i Σ_k u_ik^m ‖x_i − v_k‖².
-        let mut obj = 0.0;
-        for i in 0..n {
-            for k in 0..c {
-                obj += memberships[(i, k)].powf(m) * sq_euclidean(data.row(i), centers.row(k));
-            }
-        }
         if !obj.is_finite() {
             return Err(FuzzyError::NumericalFailure {
                 reason: format!("objective became non-finite at iteration {iter}"),
@@ -354,10 +550,7 @@ fn fit_once(data: &Matrix, config: &FcmConfig, seed: u64) -> Result<FcmModel> {
     // Make U consistent with the *final* centers (the loop updates U before
     // centers, so the stored rows would otherwise lag half an iteration —
     // and Eq. 9 projections of training points must match their U rows).
-    for i in 0..n {
-        let row = membership_row(&centers, data.row(i), m);
-        memberships.row_mut(i).copy_from_slice(&row);
-    }
+    fused_pass(data, &centers, &mut memberships, m, workers);
 
     Ok(FcmModel {
         centers,
@@ -378,7 +571,9 @@ mod tests {
         let centers = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
         let mut s = 42u64;
         let mut rand01 = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 11) as f64 / (1u64 << 53) as f64
         };
         for &(cx, cy) in &centers {
@@ -508,7 +703,14 @@ mod tests {
     #[test]
     fn config_validation() {
         let data = blobs();
-        assert!(fit(&data, &FcmConfig { clusters: 0, ..FcmConfig::new(1) }).is_err());
+        assert!(fit(
+            &data,
+            &FcmConfig {
+                clusters: 0,
+                ..FcmConfig::new(1)
+            }
+        )
+        .is_err());
         assert!(fit(&data, &FcmConfig::new(1000)).is_err()); // more clusters than points
         assert!(fit(&data, &FcmConfig::new(3).with_fuzzifier(1.0)).is_err());
         assert!(fit(&data, &FcmConfig::new(3).with_fuzzifier(f64::NAN)).is_err());
@@ -579,5 +781,76 @@ mod tests {
         let one = fit(&data, &FcmConfig::new(5).with_restarts(1)).unwrap();
         let five = fit(&data, &FcmConfig::new(5).with_restarts(5)).unwrap();
         assert!(five.objective() <= one.objective() + 1e-9);
+    }
+
+    /// Blobs dataset big enough to span several `CHUNK_ROWS` chunks, so the
+    /// parallel path genuinely exercises multi-chunk reduction.
+    fn big_blobs() -> Matrix {
+        let mut rows = Vec::new();
+        let centers = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0), (10.0, 10.0)];
+        let mut s = 7u64;
+        let mut rand01 = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for &(cx, cy) in &centers {
+            for _ in 0..(CHUNK_ROWS) {
+                rows.push(vec![cx + rand01() - 0.5, cy + rand01() - 0.5]);
+            }
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn thread_count_invariant_bitwise() {
+        let data = big_blobs();
+        let base = FcmConfig::new(4).with_seed(11).with_restarts(2);
+        let seq = fit(&data, &base.clone().with_threads(ThreadPolicy::Sequential)).unwrap();
+        for n in [2usize, 3, 4, 7] {
+            let par = fit(&data, &base.clone().with_threads(ThreadPolicy::Fixed(n))).unwrap();
+            assert!(
+                seq.centers.approx_eq(&par.centers, 0.0),
+                "centers differ at {n} threads"
+            );
+            assert!(
+                seq.memberships.approx_eq(&par.memberships, 0.0),
+                "memberships differ at {n} threads"
+            );
+            assert_eq!(
+                seq.objective_history, par.objective_history,
+                "objective history differs at {n} threads"
+            );
+            assert_eq!(seq.iterations, par.iterations);
+        }
+    }
+
+    #[test]
+    fn auto_policy_matches_sequential() {
+        let data = big_blobs();
+        let base = FcmConfig::new(3).with_seed(5);
+        let seq = fit(&data, &base.clone().with_threads(ThreadPolicy::Sequential)).unwrap();
+        let auto = fit(&data, &base.with_threads(ThreadPolicy::Auto)).unwrap();
+        assert!(seq.centers.approx_eq(&auto.centers, 0.0));
+        assert!(seq.memberships.approx_eq(&auto.memberships, 0.0));
+    }
+
+    #[test]
+    fn concurrent_restarts_pick_same_winner() {
+        let data = big_blobs();
+        // More restarts than threads forces the work-stealing restart loop.
+        let base = FcmConfig::new(5).with_seed(3).with_restarts(6);
+        let seq = fit(&data, &base.clone().with_threads(ThreadPolicy::Sequential)).unwrap();
+        let par = fit(&data, &base.with_threads(ThreadPolicy::Fixed(4))).unwrap();
+        assert_eq!(seq.objective(), par.objective());
+        assert!(seq.centers.approx_eq(&par.centers, 0.0));
+    }
+
+    #[test]
+    fn fixed_zero_threads_rejected() {
+        let data = blobs();
+        let cfg = FcmConfig::new(3).with_threads(ThreadPolicy::Fixed(0));
+        assert!(fit(&data, &cfg).is_err());
     }
 }

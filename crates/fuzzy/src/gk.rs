@@ -78,7 +78,10 @@ impl GkConfig {
         }
         if !(0.0..1.0).contains(&self.regularization) {
             return Err(FuzzyError::InvalidConfig {
-                reason: format!("regularization must be in [0, 1), got {}", self.regularization),
+                reason: format!(
+                    "regularization must be in [0, 1), got {}",
+                    self.regularization
+                ),
             });
         }
         Ok(())
@@ -325,7 +328,9 @@ mod tests {
         let mut labels = Vec::new();
         let mut s = 5u64;
         let mut rand01 = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 11) as f64 / (1u64 << 53) as f64
         };
         // Blob 0: long axis along (1, 1); Blob 1: parallel, offset
@@ -360,9 +365,9 @@ mod tests {
         let model = fit(&data, &GkConfig::new(2)).unwrap();
         // Evaluate clustering accuracy under the best label permutation.
         let mut agree = 0;
-        for i in 0..data.rows() {
+        for (i, &label) in labels.iter().enumerate() {
             let hard = argmax(model.memberships.row(i));
-            if hard == labels[i] {
+            if hard == label {
                 agree += 1;
             }
         }
@@ -429,11 +434,39 @@ mod tests {
     #[test]
     fn config_validation() {
         let (data, _) = elongated_blobs();
-        assert!(fit(&data, &GkConfig { clusters: 0, ..GkConfig::new(1) }).is_err());
+        assert!(fit(
+            &data,
+            &GkConfig {
+                clusters: 0,
+                ..GkConfig::new(1)
+            }
+        )
+        .is_err());
         assert!(fit(&data, &GkConfig::new(10_000)).is_err());
-        assert!(fit(&data, &GkConfig { fuzzifier: 1.0, ..GkConfig::new(2) }).is_err());
-        assert!(fit(&data, &GkConfig { max_iters: 0, ..GkConfig::new(2) }).is_err());
-        assert!(fit(&data, &GkConfig { regularization: 1.5, ..GkConfig::new(2) }).is_err());
+        assert!(fit(
+            &data,
+            &GkConfig {
+                fuzzifier: 1.0,
+                ..GkConfig::new(2)
+            }
+        )
+        .is_err());
+        assert!(fit(
+            &data,
+            &GkConfig {
+                max_iters: 0,
+                ..GkConfig::new(2)
+            }
+        )
+        .is_err());
+        assert!(fit(
+            &data,
+            &GkConfig {
+                regularization: 1.5,
+                ..GkConfig::new(2)
+            }
+        )
+        .is_err());
         let mut bad = data.clone();
         bad[(0, 0)] = f64::NAN;
         assert!(fit(&bad, &GkConfig::new(2)).is_err());
@@ -453,7 +486,14 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..20).map(|_| vec![1.0, 2.0]).collect();
         let data = Matrix::from_rows(&rows).unwrap();
         // Heavy regularization keeps covariances invertible.
-        let model = fit(&data, &GkConfig { regularization: 0.5, ..GkConfig::new(2) }).unwrap();
+        let model = fit(
+            &data,
+            &GkConfig {
+                regularization: 0.5,
+                ..GkConfig::new(2)
+            },
+        )
+        .unwrap();
         assert!(!model.centers.has_non_finite());
         assert!(!model.memberships.has_non_finite());
     }

@@ -198,7 +198,9 @@ mod tests {
         let mut rows = Vec::new();
         let mut s = 11u64;
         let mut rand01 = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 11) as f64 / (1u64 << 53) as f64
         };
         for &(cx, cy) in &[(0.0, 0.0), (8.0, 8.0)] {

@@ -24,12 +24,14 @@ pub mod error;
 pub mod fcm;
 pub mod gk;
 pub mod kmeans;
+pub mod thread;
 pub mod validity;
 
 pub use error::{FuzzyError, Result};
 pub use fcm::{argmax, fit as fcm_fit, FcmConfig, FcmModel};
 pub use gk::{fit as gk_fit, GkConfig, GkModel};
 pub use kmeans::{fit as kmeans_fit, KMeansConfig, KMeansModel};
+pub use thread::ThreadPolicy;
 
 #[cfg(test)]
 mod proptests {

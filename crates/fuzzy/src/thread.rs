@@ -1,0 +1,86 @@
+//! Thread-count policy for the parallel clustering and pipeline stages.
+//!
+//! Every parallel loop in the workspace decomposes its work into fixed-size
+//! chunks and reduces partial results in chunk order, so the numerical
+//! output is bitwise identical for every [`ThreadPolicy`] — the policy only
+//! controls how many OS threads chew through the chunk list.
+
+use serde::{Deserialize, Serialize};
+
+/// How many worker threads a parallel stage may use.
+///
+/// Results are deterministic and identical across policies (see the module
+/// docs); pick a policy purely on resource grounds. `Auto` is the default
+/// everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ThreadPolicy {
+    /// Run on the calling thread only; no worker threads are spawned.
+    Sequential,
+    /// One worker per available CPU core, as reported by the OS (falls
+    /// back to 1 if the core count cannot be determined).
+    #[default]
+    Auto,
+    /// Exactly this many worker threads. Must be `>= 1`; `Fixed(0)` is
+    /// rejected by configuration validation.
+    Fixed(usize),
+}
+
+impl ThreadPolicy {
+    /// The number of worker threads this policy resolves to on the current
+    /// machine. `Fixed(0)` resolves to 1 so an unvalidated config still
+    /// cannot deadlock, but validation rejects it first.
+    pub fn workers(&self) -> usize {
+        match self {
+            ThreadPolicy::Sequential => 1,
+            ThreadPolicy::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            ThreadPolicy::Fixed(n) => (*n).max(1),
+        }
+    }
+
+    /// Validates the policy, rejecting `Fixed(0)`.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        match self {
+            ThreadPolicy::Fixed(0) => {
+                Err("ThreadPolicy::Fixed(0) is invalid; use at least 1 thread".into())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_is_one_worker() {
+        assert_eq!(ThreadPolicy::Sequential.workers(), 1);
+    }
+
+    #[test]
+    fn auto_is_at_least_one_worker() {
+        assert!(ThreadPolicy::Auto.workers() >= 1);
+    }
+
+    #[test]
+    fn fixed_resolves_to_itself() {
+        assert_eq!(ThreadPolicy::Fixed(3).workers(), 3);
+        assert_eq!(ThreadPolicy::Fixed(1).workers(), 1);
+    }
+
+    #[test]
+    fn fixed_zero_rejected_but_resolves_safely() {
+        assert!(ThreadPolicy::Fixed(0).validate().is_err());
+        assert_eq!(ThreadPolicy::Fixed(0).workers(), 1);
+        assert!(ThreadPolicy::Sequential.validate().is_ok());
+        assert!(ThreadPolicy::Auto.validate().is_ok());
+        assert!(ThreadPolicy::Fixed(8).validate().is_ok());
+    }
+
+    #[test]
+    fn default_is_auto() {
+        assert_eq!(ThreadPolicy::default(), ThreadPolicy::Auto);
+    }
+}

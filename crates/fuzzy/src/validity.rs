@@ -58,10 +58,7 @@ pub fn xie_beni(model: &FcmModel, data: &Matrix) -> Result<f64> {
     let c = model.num_clusters();
     if n == 0 || u.rows() != n {
         return Err(FuzzyError::InvalidData {
-            reason: format!(
-                "data rows ({n}) must match membership rows ({})",
-                u.rows()
-            ),
+            reason: format!("data rows ({n}) must match membership rows ({})", u.rows()),
         });
     }
     if c < 2 {
@@ -102,7 +99,9 @@ mod tests {
         let mut rows = Vec::new();
         let mut s = 7u64;
         let mut rand01 = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 11) as f64 / (1u64 << 53) as f64
         };
         for &(cx, cy) in &[(0.0, 0.0), (sep, 0.0)] {

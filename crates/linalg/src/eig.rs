@@ -172,11 +172,7 @@ mod tests {
     fn eigenvectors_are_orthonormal() {
         let a = Matrix::from_fn(4, 4, |i, j| 1.0 / (1.0 + i as f64 + j as f64));
         let e = sym_eig(&a).unwrap();
-        let qtq = e
-            .eigenvectors
-            .transpose()
-            .matmul(&e.eigenvectors)
-            .unwrap();
+        let qtq = e.eigenvectors.transpose().matmul(&e.eigenvectors).unwrap();
         assert!(qtq.approx_eq(&Matrix::identity(4), 1e-10));
     }
 

@@ -57,7 +57,10 @@ impl fmt::Display for LinalgError {
             LinalgError::NotConverged {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
             LinalgError::Singular { op } => write!(f, "matrix is singular in {op}"),
             LinalgError::IndexOutOfBounds { index, shape } => write!(
                 f,
@@ -105,7 +108,9 @@ mod tests {
 
     #[test]
     fn display_other_variants() {
-        assert!(LinalgError::Empty { op: "mean" }.to_string().contains("mean"));
+        assert!(LinalgError::Empty { op: "mean" }
+            .to_string()
+            .contains("mean"));
         assert!(LinalgError::Singular { op: "solve" }
             .to_string()
             .contains("singular"));

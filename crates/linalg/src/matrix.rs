@@ -94,12 +94,7 @@ impl Matrix {
         for (i, row) in rows.iter().enumerate() {
             if row.len() != cols {
                 return Err(LinalgError::InvalidArgument {
-                    reason: format!(
-                        "row {} has length {}, expected {}",
-                        i,
-                        row.len(),
-                        cols
-                    ),
+                    reason: format!("row {} has length {}, expected {}", i, row.len(), cols),
                 });
             }
             data.extend_from_slice(row);
@@ -205,20 +200,35 @@ impl Matrix {
     /// Borrow row `r` as a slice. Panics if out of bounds.
     #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
-        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Mutably borrow row `r` as a slice. Panics if out of bounds.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
-        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Copies column `c` into a new [`Vector`]. Panics if out of bounds.
     pub fn col(&self, c: usize) -> Vector {
-        assert!(c < self.cols, "col {} out of bounds ({} cols)", c, self.cols);
+        assert!(
+            c < self.cols,
+            "col {} out of bounds ({} cols)",
+            c,
+            self.cols
+        );
         Vector::from_iter((0..self.rows).map(|r| self.data[r * self.cols + c]))
     }
 
@@ -246,10 +256,7 @@ impl Matrix {
     pub fn slice_rows(&self, r0: usize, r1: usize) -> Result<Matrix> {
         if r0 > r1 || r1 > self.rows {
             return Err(LinalgError::InvalidArgument {
-                reason: format!(
-                    "row slice {}..{} invalid for {} rows",
-                    r0, r1, self.rows
-                ),
+                reason: format!("row slice {}..{} invalid for {} rows", r0, r1, self.rows),
             });
         }
         Ok(Matrix {
@@ -263,10 +270,7 @@ impl Matrix {
     pub fn slice_cols(&self, c0: usize, c1: usize) -> Result<Matrix> {
         if c0 > c1 || c1 > self.cols {
             return Err(LinalgError::InvalidArgument {
-                reason: format!(
-                    "col slice {}..{} invalid for {} cols",
-                    c0, c1, self.cols
-                ),
+                reason: format!("col slice {}..{} invalid for {} cols", c0, c1, self.cols),
             });
         }
         let w = c1 - c0;

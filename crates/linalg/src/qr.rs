@@ -155,8 +155,8 @@ pub fn inverse(a: &Matrix) -> Result<Matrix> {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut acc = qtb[i];
-            for j in (i + 1)..n {
-                acc -= decomposition.r[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= decomposition.r[(i, j)] * xj;
             }
             let d = decomposition.r[(i, i)];
             if d.abs() < 1e-12 * decomposition.r.max_abs().max(1.0) {
@@ -226,7 +226,9 @@ mod tests {
     use super::*;
 
     fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
-        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         Matrix::from_fn(rows, cols, |_, _| {
             state = state
                 .wrapping_mul(2862933555777941757)

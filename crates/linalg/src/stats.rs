@@ -249,12 +249,8 @@ mod tests {
 
     #[test]
     fn zscore_standardizes() {
-        let data = Matrix::from_rows(&[
-            vec![1.0, 100.0],
-            vec![2.0, 200.0],
-            vec![3.0, 300.0],
-        ])
-        .unwrap();
+        let data =
+            Matrix::from_rows(&[vec![1.0, 100.0], vec![2.0, 200.0], vec![3.0, 300.0]]).unwrap();
         let z = ZScore::fit(&data).unwrap();
         assert_eq!(z.dim(), 2);
         let t = z.transform(&data).unwrap();

@@ -188,7 +188,11 @@ pub fn svd_jacobi(a: &Matrix) -> Result<Svd> {
             col.norm()
         })
         .collect();
-    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&i, &j| {
+        norms[j]
+            .partial_cmp(&norms[i])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let mut u = Matrix::zeros(m, n);
     let mut vt = Matrix::zeros(n, n);

@@ -21,7 +21,6 @@ impl Vector {
         Self { data }
     }
 
-
     /// Creates a zero vector of length `n`.
     pub fn zeros(n: usize) -> Self {
         Self { data: vec![0.0; n] }

@@ -219,9 +219,12 @@ mod tests {
     fn classifier_finds_matching_shape() {
         let mut clf: DtwClassifier<&'static str> = DtwClassifier::new(Some(5));
         // Two bump shapes and a ramp, as references.
-        clf.insert(0, "bump", series(&[0.0, 1.0, 2.0, 1.0, 0.0, 0.0])).unwrap();
-        clf.insert(1, "bump", series(&[0.0, 0.0, 1.0, 2.0, 1.0, 0.0])).unwrap();
-        clf.insert(2, "ramp", series(&[0.0, 0.5, 1.0, 1.5, 2.0, 2.5])).unwrap();
+        clf.insert(0, "bump", series(&[0.0, 1.0, 2.0, 1.0, 0.0, 0.0]))
+            .unwrap();
+        clf.insert(1, "bump", series(&[0.0, 0.0, 1.0, 2.0, 1.0, 0.0]))
+            .unwrap();
+        clf.insert(2, "ramp", series(&[0.0, 0.5, 1.0, 1.5, 2.0, 2.5]))
+            .unwrap();
         assert_eq!(clf.len(), 3);
         // A shifted bump must match the bumps, not the ramp.
         let q = series(&[0.0, 0.0, 0.0, 1.0, 2.0, 1.0]);

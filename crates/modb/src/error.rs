@@ -52,8 +52,10 @@ mod tests {
         .to_string()
         .contains("dimension 2"));
         assert!(DbError::Empty.to_string().contains("empty"));
-        assert!(DbError::InvalidArgument { reason: "k=0".into() }
-            .to_string()
-            .contains("k=0"));
+        assert!(DbError::InvalidArgument {
+            reason: "k=0".into()
+        }
+        .to_string()
+        .contains("k=0"));
     }
 }

@@ -40,10 +40,7 @@ fn select_references(points: &[Vec<f64>], count: usize) -> Vec<Vec<f64>> {
         return refs;
     }
     refs.push(points[0].clone());
-    let mut min_d: Vec<f64> = points
-        .iter()
-        .map(|p| euclidean(p, &refs[0]))
-        .collect();
+    let mut min_d: Vec<f64> = points.iter().map(|p| euclidean(p, &refs[0])).collect();
     while refs.len() < count.min(points.len()) {
         let (far_idx, _) = min_d
             .iter()
@@ -160,9 +157,7 @@ impl<M: Clone> IDistance<M> {
                 }
                 let lo = part as f64 * self.c + (qd - r).max(0.0);
                 let hi = part as f64 * self.c + (qd + r).min(self.max_radius[part]);
-                let start = self
-                    .keys
-                    .partition_point(|&(key, _)| key < lo);
+                let start = self.keys.partition_point(|&(key, _)| key < lo);
                 for &(key, idx) in &self.keys[start..] {
                     if key > hi {
                         break;

@@ -152,10 +152,26 @@ mod tests {
     #[test]
     fn classify_tie_prefers_closer() {
         let neighbors = vec![
-            Neighbor { id: 0, meta: "x", distance: 0.1 },
-            Neighbor { id: 1, meta: "y", distance: 0.2 },
-            Neighbor { id: 2, meta: "y", distance: 0.3 },
-            Neighbor { id: 3, meta: "x", distance: 0.4 },
+            Neighbor {
+                id: 0,
+                meta: "x",
+                distance: 0.1,
+            },
+            Neighbor {
+                id: 1,
+                meta: "y",
+                distance: 0.2,
+            },
+            Neighbor {
+                id: 2,
+                meta: "y",
+                distance: 0.3,
+            },
+            Neighbor {
+                id: 3,
+                meta: "x",
+                distance: 0.4,
+            },
         ];
         // 2 vs 2; x has ranks 1 and 4 (1.25), y has 2 and 3 (0.833) → x.
         assert_eq!(classify(&neighbors, |m| *m), Some("x"));

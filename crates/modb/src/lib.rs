@@ -34,7 +34,7 @@ pub use error::{DbError, Result};
 pub use idistance::IDistance;
 pub use knn::{classify, knn, Neighbor};
 pub use metrics::{knn_correct_pct, mean_pct, ConfusionMatrix};
-pub use store::{Entry, FeatureDb, SharedDb};
+pub use store::{DbReadGuard, Entry, FeatureDb, SharedDb};
 pub use vptree::VpTree;
 
 #[cfg(test)]

@@ -12,6 +12,10 @@ use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
+/// Read guard over a [`SharedDb`]'s underlying [`FeatureDb`]. Derefs to
+/// [`FeatureDb`], so `&guard` coerces to `&FeatureDb<M>` at call sites.
+pub type DbReadGuard<'a, M> = parking_lot::RwLockReadGuard<'a, FeatureDb<M>>;
+
 /// One stored motion.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Entry<M> {
@@ -133,6 +137,19 @@ impl<M: Clone> SharedDb<M> {
     pub fn with_read<T>(&self, f: impl FnOnce(&FeatureDb<M>) -> T) -> T {
         f(&self.inner.read())
     }
+
+    /// Acquires the read lock and returns the guard, which derefs to the
+    /// underlying [`FeatureDb`]. Hold it briefly: a writer (streaming
+    /// ingestion) blocks until every guard is dropped.
+    pub fn read(&self) -> DbReadGuard<'_, M> {
+        self.inner.read()
+    }
+
+    /// Clones the underlying database out of the handle (used by model
+    /// persistence, which serializes a plain [`FeatureDb`]).
+    pub fn snapshot(&self) -> FeatureDb<M> {
+        self.inner.read().clone()
+    }
 }
 
 #[cfg(test)]
@@ -156,7 +173,10 @@ mod tests {
         let mut db: FeatureDb<()> = FeatureDb::new(3);
         assert!(matches!(
             db.insert(0, (), vec![1.0]),
-            Err(DbError::DimensionMismatch { expected: 3, got: 1 })
+            Err(DbError::DimensionMismatch {
+                expected: 3,
+                got: 1
+            })
         ));
     }
 
@@ -191,6 +211,23 @@ mod tests {
             }
         });
         assert!(!shared.is_empty());
+    }
+
+    #[test]
+    fn shared_db_read_guard_and_snapshot() {
+        let mut db: FeatureDb<u32> = FeatureDb::new(2);
+        db.insert(3, 9, vec![0.5, 0.5]).unwrap();
+        let shared = SharedDb::new(db);
+        {
+            let guard = shared.read();
+            assert_eq!(guard.len(), 1);
+            assert_eq!(guard.get(3).unwrap().meta, 9);
+        }
+        let snap = shared.snapshot();
+        shared.insert(4, 1, vec![0.0, 1.0]).unwrap();
+        // The snapshot is detached from later writes.
+        assert_eq!(snap.len(), 1);
+        assert_eq!(shared.len(), 2);
     }
 
     #[test]

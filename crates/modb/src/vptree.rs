@@ -137,9 +137,7 @@ impl<M: Clone> VpTree<M> {
 
         if best.len() < k || d < best[best.len() - 1].0 {
             let pos = best
-                .binary_search_by(|(bd, _)| {
-                    bd.partial_cmp(&d).unwrap_or(std::cmp::Ordering::Equal)
-                })
+                .binary_search_by(|(bd, _)| bd.partial_cmp(&d).unwrap_or(std::cmp::Ordering::Equal))
                 .unwrap_or_else(|p| p);
             best.insert(pos, (d, node.point));
             if best.len() > k {

@@ -7,7 +7,7 @@
 //! ```
 
 use kinemyo::biosim::{Dataset, DatasetSpec};
-use kinemyo::{stratified_split, MotionClassifier, PipelineConfig, select_cluster_count};
+use kinemyo::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model_path = std::env::temp_dir().join("kinemyo_clinic_model.json");
@@ -23,10 +23,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "[session 1] unsupervised cluster selection chose c = {} from {:?}",
         selection.best,
-        selection.candidates.iter().map(|c| c.clusters).collect::<Vec<_>>()
+        selection
+            .candidates
+            .iter()
+            .map(|c| c.clusters)
+            .collect::<Vec<_>>()
     );
 
-    let model = MotionClassifier::train(&train, dataset.spec.limb, &base.with_clusters(selection.best))?;
+    let model = MotionClassifier::train(
+        &train,
+        dataset.spec.limb,
+        &base.with_clusters(selection.best),
+    )?;
     model.save_json(&model_path)?;
     println!(
         "[session 1] model saved to {} ({:.1} KiB)",
@@ -45,12 +53,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         model.limb()
     );
     // New recordings from the same patient (new seed → new trials).
-    let todays = Dataset::generate(
-        DatasetSpec::leg_default().with_size(1, 2).with_seed(777),
-    )?;
+    let todays = Dataset::generate(DatasetSpec::leg_default().with_size(1, 2).with_seed(777))?;
+    // Classify the whole visit in one batched call — queries fan out
+    // across worker threads per the model's thread policy.
+    let queries: Vec<&MotionRecord> = todays.records.iter().collect();
     let mut correct = 0;
-    for r in &todays.records {
-        let c = model.classify_record(r)?;
+    for (r, result) in queries.iter().zip(model.classify_batch(&queries)) {
+        let c = result?;
         let ok = c.predicted == r.class;
         correct += ok as usize;
         println!(

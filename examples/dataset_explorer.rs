@@ -7,7 +7,8 @@
 //! cargo run --release --example dataset_explorer
 //! ```
 
-use kinemyo::biosim::{Dataset, DatasetSpec, MotionClass};
+use kinemyo::biosim::{Dataset, DatasetSpec};
+use kinemyo::prelude::*;
 use kinemyo_linalg::stats;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -20,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "class", "trials", "mean dur (s)", "biceps RMS (µV)", "wrist range (mm)"
     );
     for &class in MotionClass::all_for(dataset.spec.limb) {
-        let records: Vec<_> = dataset.records.iter().filter(|r| r.class == class).collect();
+        let records: Vec<_> = dataset
+            .records
+            .iter()
+            .filter(|r| r.class == class)
+            .collect();
         let durations: Vec<f64> = records.iter().map(|r| r.frames() as f64 / 120.0).collect();
         // Biceps = EMG channel 0 for the hand limb.
         let mut rms_values = Vec::new();
@@ -46,11 +51,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = std::env::temp_dir().join("kinemyo_dataset.json");
     dataset.save_json(&path)?;
     let bytes = std::fs::metadata(&path)?.len();
-    println!("\nsaved {} records to {} ({:.1} MiB)", dataset.len(), path.display(), bytes as f64 / (1024.0 * 1024.0));
+    println!(
+        "\nsaved {} records to {} ({:.1} MiB)",
+        dataset.len(),
+        path.display(),
+        bytes as f64 / (1024.0 * 1024.0)
+    );
     let reloaded = Dataset::load_json(&path)?;
     assert_eq!(reloaded.len(), dataset.len());
-    assert!(reloaded.records[0].mocap.approx_eq(&dataset.records[0].mocap, 0.0));
-    println!("reload verified: {} records, bit-identical mocap matrices", reloaded.len());
+    assert!(reloaded.records[0]
+        .mocap
+        .approx_eq(&dataset.records[0].mocap, 0.0));
+    println!(
+        "reload verified: {} records, bit-identical mocap matrices",
+        reloaded.len()
+    );
     std::fs::remove_file(&path).ok();
     Ok(())
 }

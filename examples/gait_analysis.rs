@@ -9,8 +9,9 @@
 //! cargo run --release --example gait_analysis
 //! ```
 
-use kinemyo::biosim::{Dataset, DatasetSpec, Limb, MotionClass};
-use kinemyo::{class_index, evaluate, stratified_split, PipelineConfig};
+use kinemyo::biosim::{Dataset, DatasetSpec};
+use kinemyo::class_index;
+use kinemyo::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("generating right-leg test bed ...");
@@ -19,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // EMG balance per class: mean front-shin vs back-shin envelope.
     println!("\nEMG channel balance (mean envelope, µV):");
-    println!("{:>12} {:>12} {:>12} {:>8}", "class", "front shin", "back shin", "ratio");
+    println!(
+        "{:>12} {:>12} {:>12} {:>8}",
+        "class", "front shin", "back shin", "ratio"
+    );
     for &class in classes {
         let (mut front, mut back, mut n) = (0.0, 0.0, 0usize);
         for r in dataset.records.iter().filter(|r| r.class == class) {

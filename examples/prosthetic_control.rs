@@ -8,8 +8,8 @@
 //! cargo run --release --example prosthetic_control
 //! ```
 
-use kinemyo::biosim::{Dataset, DatasetSpec, Limb, MotionRecord};
-use kinemyo::{MotionClassifier, PipelineConfig, StreamingSession};
+use kinemyo::biosim::{Dataset, DatasetSpec};
+use kinemyo::prelude::*;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = Dataset::generate(DatasetSpec::hand_default().with_size(2, 5))?;
     // Train on all but the last trial per (participant, class).
     let (train, queries): (Vec<&MotionRecord>, Vec<&MotionRecord>) =
-        kinemyo::stratified_split(&dataset.records, 1);
+        stratified_split(&dataset.records, 1);
     let config = PipelineConfig::default()
         .with_window_ms(100.0)
         .with_clusters(12);
@@ -64,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!(
                 "  final: {} ({}) — top neighbour {} at {:.3}",
                 final_class,
-                if final_class == q.class { "correct" } else { "WRONG" },
+                if final_class == q.class {
+                    "correct"
+                } else {
+                    "WRONG"
+                },
                 neighbors[0].meta.class,
                 neighbors[0].distance
             );

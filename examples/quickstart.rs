@@ -6,7 +6,7 @@
 //! ```
 
 use kinemyo::biosim::{Dataset, DatasetSpec};
-use kinemyo::{stratified_split, MotionClassifier, PipelineConfig};
+use kinemyo::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A small right-hand test bed: 2 participants × 4 trials of each of
@@ -23,13 +23,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Hold the last trial of every (participant, class) out as queries.
     let (train, queries) = stratified_split(&dataset.records, 1);
-    println!("  {} training motions, {} queries", train.len(), queries.len());
+    println!(
+        "  {} training motions, {} queries",
+        train.len(),
+        queries.len()
+    );
 
     // 3. Train: window features (IAV + weighted SVD) → fuzzy c-means →
     //    2c-length min/max membership vectors → feature database.
-    let config = PipelineConfig::default()
-        .with_window_ms(100.0)
-        .with_clusters(12);
+    let config = PipelineConfig::builder()
+        .window_ms(100.0)
+        .clusters(12)
+        .build()?;
     let model = MotionClassifier::train(&train, dataset.spec.limb, &config)?;
     println!(
         "trained: {} motions in db, {} clusters, {}-d window points\n",

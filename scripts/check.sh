@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints, and the full test suite.
+# Run before sending a PR; CI runs the same three steps.
+#
+#   scripts/check.sh          # everything
+#   scripts/check.sh --quick  # skip the test suite (fmt + clippy only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" != "--quick" ]]; then
+    echo "==> cargo test"
+    cargo test --workspace
+fi
+
+echo "OK"

@@ -15,7 +15,11 @@ fn records_are_frame_aligned_across_modalities() {
         assert_eq!(r.pelvis.len(), r.mocap.rows());
         // Durations land near the class's nominal trial length.
         let dur = r.frames() as f64 / 120.0;
-        assert!((3.0..=14.0).contains(&dur), "record {} duration {dur}", r.id);
+        assert!(
+            (3.0..=14.0).contains(&dur),
+            "record {} duration {dur}",
+            r.id
+        );
     }
 }
 
@@ -116,7 +120,10 @@ fn dataset_persistence_roundtrip_preserves_classification() {
     let m1 = MotionClassifier::train(&refs, Limb::RightHand, &config).unwrap();
     let m2 = MotionClassifier::train(&refs2, Limb::RightHand, &config).unwrap();
     for (a, b) in m1.db().entries().iter().zip(m2.db().entries()) {
-        assert_eq!(a.vector, b.vector, "training must be identical after JSON roundtrip");
+        assert_eq!(
+            a.vector, b.vector,
+            "training must be identical after JSON roundtrip"
+        );
     }
 }
 

@@ -23,7 +23,11 @@ fn trained_model() -> (&'static [MotionRecord], MotionClassifier) {
 #[test]
 fn fig2_emg_and_motion_are_synchronized() {
     let ds = hand_dataset();
-    for r in ds.records.iter().filter(|r| r.class == MotionClass::RaiseArm) {
+    for r in ds
+        .records
+        .iter()
+        .filter(|r| r.class == MotionClass::RaiseArm)
+    {
         let biceps: Vec<f64> = (0..r.frames()).map(|f| r.emg[(f, 0)]).collect();
         let wrist_y: Vec<f64> = (0..r.frames()).map(|f| r.mocap[(f, 7)]).collect();
         // Biceps fires while the arm rises: the peak EMG frame must come
@@ -91,12 +95,7 @@ fn fig4_final_vectors_separate_classes() {
     let (records, model) = trained_model();
     let vectors: Vec<(MotionClass, Vec<f64>)> = records
         .iter()
-        .map(|r| {
-            (
-                r.class,
-                model.query_feature_vector(r).unwrap().into_vec(),
-            )
-        })
+        .map(|r| (r.class, model.query_feature_vector(r).unwrap().into_vec()))
         .collect();
     let mut same = (0.0, 0usize);
     let mut cross = (0.0, 0usize);

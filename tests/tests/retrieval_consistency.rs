@@ -14,12 +14,12 @@ fn all_indexes_agree_on_trained_vectors() {
     let (train, queries) = stratified_split(&ds.records, 1);
     let config = PipelineConfig::default().with_clusters(12);
     let model = MotionClassifier::train(&train, Limb::RightHand, &config).unwrap();
-    let vp = VpTree::build(model.db());
-    let idist = IDistance::build(model.db(), 6).unwrap();
+    let vp = VpTree::build(&model.db());
+    let idist = IDistance::build(&model.db(), 6).unwrap();
 
     for q in &queries {
         let fv = model.query_feature_vector(q).unwrap();
-        let exact = knn(model.db(), fv.as_slice(), 5).unwrap();
+        let exact = knn(&model.db(), fv.as_slice(), 5).unwrap();
         let via_vp = vp.knn(fv.as_slice(), 5).unwrap();
         let via_id = idist.knn(fv.as_slice(), 5).unwrap();
         assert_eq!(exact.len(), via_vp.len());
@@ -49,8 +49,8 @@ fn self_queries_retrieve_self_first_through_any_index() {
     let refs: Vec<&MotionRecord> = ds.records.iter().collect();
     let config = PipelineConfig::default().with_clusters(10);
     let model = MotionClassifier::train(&refs, Limb::RightHand, &config).unwrap();
-    let vp = VpTree::build(model.db());
-    let idist = IDistance::build(model.db(), 8).unwrap();
+    let vp = VpTree::build(&model.db());
+    let idist = IDistance::build(&model.db(), 8).unwrap();
     for r in ds.records.iter().step_by(7) {
         let fv = model.query_feature_vector(r).unwrap();
         assert_eq!(vp.knn(fv.as_slice(), 1).unwrap()[0].id, r.id);

@@ -98,5 +98,8 @@ fn binary_and_json_dataset_formats_agree() {
         assert!(a.mocap.approx_eq(&b.mocap, 0.0));
         assert!(a.emg.approx_eq(&b.emg, 0.0));
     }
-    assert!(bbytes * 2 < jbytes, "binary ({bbytes}) should be < half of JSON ({jbytes})");
+    assert!(
+        bbytes * 2 < jbytes,
+        "binary ({bbytes}) should be < half of JSON ({jbytes})"
+    );
 }
