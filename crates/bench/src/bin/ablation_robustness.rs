@@ -5,8 +5,11 @@
 //!
 //! Run with `cargo run --release -p kinemyo-bench --bin ablation_robustness`.
 
-use kinemyo::biosim::{Dataset, DatasetSpec, Limb};
-use kinemyo::{evaluate, stratified_split, PipelineConfig};
+use kinemyo::biosim::{inject_faults, Dataset, DatasetSpec, FaultSpec, Limb, MotionRecord};
+use kinemyo::{
+    evaluate, evaluate_guarded, stratified_split, GuardConfig, GuardedClassifier, MotionClassifier,
+    PipelineConfig,
+};
 use kinemyo_bench::experiment_seed;
 
 fn run(label: &str, spec: DatasetSpec, rows: &mut Vec<serde_json::Value>) {
@@ -25,6 +28,59 @@ fn run(label: &str, spec: DatasetSpec, rows: &mut Vec<serde_json::Value>) {
         "misclassification_pct": out.misclassification_pct,
         "knn_correct_pct": out.knn_correct_pct,
     }));
+}
+
+/// Accuracy vs injected sensor-fault rate, bare pipeline vs fault guard.
+/// Training always sees clean records (faults are an acquisition-time
+/// phenomenon); queries are corrupted with [`FaultSpec::from_rate`]. The
+/// bare pipeline's typed rejections of corrupt queries count as errors —
+/// that is exactly the degradation the guard exists to absorb.
+fn fault_sweep(base: DatasetSpec, rows: &mut Vec<serde_json::Value>) {
+    let ds = Dataset::generate(base).expect("dataset generates");
+    let (train, clean_queries) = stratified_split(&ds.records, 2);
+    let cfg = PipelineConfig::default()
+        .with_clusters(15)
+        .with_seed(experiment_seed());
+    let bare = MotionClassifier::train(&train, Limb::RightHand, &cfg).expect("bare model trains");
+    let guarded = GuardedClassifier::train(&train, Limb::RightHand, &cfg, GuardConfig::default())
+        .expect("guarded model trains");
+
+    println!("\nSensor-fault sweep (same clean-trained models, corrupted queries):");
+    for rate in [0.0, 0.02, 0.05, 0.10] {
+        let spec = FaultSpec::from_rate(rate, experiment_seed() ^ 0xFA17);
+        let faulted: Vec<MotionRecord> = clean_queries
+            .iter()
+            .map(|r| inject_faults(r, &spec).0)
+            .collect();
+        let queries: Vec<&MotionRecord> = faulted.iter().collect();
+
+        let mut off_errors = 0usize;
+        for q in &queries {
+            match bare.classify_record(q) {
+                Ok(c) if c.predicted == q.class => {}
+                _ => off_errors += 1,
+            }
+        }
+        let off_pct = off_errors as f64 / queries.len() as f64 * 100.0;
+        let on = evaluate_guarded(&guarded, &queries).expect("guarded evaluation succeeds");
+        println!(
+            "fault rate {:>4.1}%: misclass guard-off {:>6.2}%  guard-on {:>6.2}%   \
+             (fallback windows {}, quarantined {})",
+            rate * 100.0,
+            off_pct,
+            on.misclassification_pct,
+            on.health.windows_fallback_mocap + on.health.windows_fallback_emg,
+            on.health.windows_quarantined
+        );
+        rows.push(serde_json::json!({
+            "config": format!("fault rate {:.2}", rate),
+            "fault_rate": rate,
+            "misclassification_pct_guard_off": off_pct,
+            "misclassification_pct_guard_on": on.misclassification_pct,
+            "windows_fallback": on.health.windows_fallback_mocap + on.health.windows_fallback_emg,
+            "windows_quarantined": on.health.windows_quarantined,
+        }));
+    }
 }
 
 fn main() {
@@ -56,6 +112,8 @@ fn main() {
     run("strong 60 Hz pickup, no notch", noisy_pl.clone(), &mut rows);
     noisy_pl.acquisition.notch_60hz = true;
     run("strong 60 Hz pickup + notch", noisy_pl, &mut rows);
+
+    fault_sweep(base, &mut rows);
 
     println!(
         "\nJSON:{}",

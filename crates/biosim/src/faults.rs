@@ -1,0 +1,433 @@
+//! Sensor-fault injection: the realistic failure taxonomy of a live
+//! mocap + EMG acquisition rig, applied to already-synchronized records.
+//!
+//! The paper's motivating application is online prosthetic control
+//! (Sec. 5), where the clean laboratory assumptions of [`crate::dataset`]
+//! break: optical markers occlude whole frames, EMG electrodes detach
+//! (flatline) or pop against the amplifier rail (saturation), cabling
+//! glitches produce non-finite samples, and the two streams drift out of
+//! sync when the trigger clock wanders. This module injects each of those
+//! faults deterministically (seeded per record) and reports exactly what
+//! it did in a [`FaultLog`], so the guard layer's detection counts can be
+//! checked against ground truth.
+//!
+//! Faults compose: a single [`FaultSpec`] can enable any subset, and
+//! [`FaultSpec::from_rate`] scales the whole taxonomy from one severity
+//! scalar for sweeps.
+
+use crate::dataset::MotionRecord;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Composable, seeded specification of the injected sensor faults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Seed for the fault RNG; combined with the record id, so every
+    /// record gets an independent but reproducible fault pattern.
+    pub seed: u64,
+    /// Per-frame probability that the whole mocap frame (all markers and
+    /// the pelvis) is lost — modeled as a NaN row, the way a real
+    /// reconstruction pipeline reports an occluded frame.
+    pub mocap_drop_rate: f64,
+    /// Per-sample probability that an EMG sample becomes NaN (cable or
+    /// ADC glitch).
+    pub emg_nan_rate: f64,
+    /// Per-frame, per-channel probability that an electrode-detach
+    /// episode starts (the channel flatlines at exactly 0 V).
+    pub emg_dropout_rate: f64,
+    /// Length of each dropout episode, frames.
+    pub emg_dropout_len: usize,
+    /// Per-frame, per-channel probability that an electrode-pop episode
+    /// starts (the channel pins to the saturation rail).
+    pub emg_saturation_rate: f64,
+    /// Length of each saturation episode, frames.
+    pub emg_saturation_len: usize,
+    /// The amplifier rail the saturated samples pin to, volts.
+    pub saturation_volts: f64,
+    /// Bound on the inter-stream desync drift, frames. The EMG stream's
+    /// read position random-walks within `±desync_max_frames` of the mocap
+    /// clock.
+    pub desync_max_frames: usize,
+    /// Frames between random-walk steps of the desync offset (0 disables
+    /// desync entirely).
+    pub desync_step_frames: usize,
+}
+
+impl FaultSpec {
+    /// A spec that injects nothing (useful as a sweep baseline).
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            mocap_drop_rate: 0.0,
+            emg_nan_rate: 0.0,
+            emg_dropout_rate: 0.0,
+            emg_dropout_len: 30,
+            emg_saturation_rate: 0.0,
+            emg_saturation_len: 10,
+            saturation_volts: 5e-3,
+            desync_max_frames: 0,
+            desync_step_frames: 0,
+        }
+    }
+
+    /// Scales the whole fault taxonomy from one severity scalar in
+    /// `[0, 1]`: `rate` is the mocap frame-drop probability, and the other
+    /// fault classes are derived at realistic relative frequencies.
+    pub fn from_rate(rate: f64, seed: u64) -> Self {
+        Self {
+            mocap_drop_rate: rate,
+            emg_nan_rate: rate * 0.2,
+            emg_dropout_rate: rate * 0.05,
+            emg_saturation_rate: rate * 0.025,
+            desync_max_frames: if rate > 0.0 { 4 } else { 0 },
+            desync_step_frames: if rate > 0.0 { 30 } else { 0 },
+            ..Self::none(seed)
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// True when the spec injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.mocap_drop_rate <= 0.0
+            && self.emg_nan_rate <= 0.0
+            && self.emg_dropout_rate <= 0.0
+            && self.emg_saturation_rate <= 0.0
+            && (self.desync_max_frames == 0 || self.desync_step_frames == 0)
+    }
+}
+
+/// Ground-truth log of the faults actually injected into one record.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultLog {
+    /// Mocap frames replaced by NaN rows.
+    pub mocap_frames_dropped: usize,
+    /// EMG samples replaced by NaN.
+    pub emg_nan_samples: usize,
+    /// EMG samples flattened to 0 V by dropout episodes.
+    pub emg_flatline_samples: usize,
+    /// EMG samples pinned to the saturation rail.
+    pub emg_saturated_samples: usize,
+    /// Largest absolute desync offset reached, frames.
+    pub max_desync_frames: usize,
+    /// Number of frames at which the two streams were out of sync.
+    pub desynced_frames: usize,
+}
+
+impl FaultLog {
+    /// Merges another log's counts into this one (for dataset totals).
+    pub fn merge(&mut self, other: &FaultLog) {
+        self.mocap_frames_dropped += other.mocap_frames_dropped;
+        self.emg_nan_samples += other.emg_nan_samples;
+        self.emg_flatline_samples += other.emg_flatline_samples;
+        self.emg_saturated_samples += other.emg_saturated_samples;
+        self.max_desync_frames = self.max_desync_frames.max(other.max_desync_frames);
+        self.desynced_frames += other.desynced_frames;
+    }
+
+    /// Total corrupted EMG samples across all fault classes.
+    pub fn emg_samples_corrupted(&self) -> usize {
+        self.emg_nan_samples + self.emg_flatline_samples + self.emg_saturated_samples
+    }
+}
+
+/// Applies `spec` to a clean record, returning the corrupted copy and the
+/// exact log of what was injected. Deterministic in `(spec.seed,
+/// record.id)`; the input record is untouched.
+///
+/// Injection order is fixed — desync, dropout, saturation, NaN, mocap
+/// drops — so later faults can overwrite earlier ones exactly as a real
+/// rig would (a NaN glitch on a detached electrode is still a NaN).
+pub fn inject_faults(record: &MotionRecord, spec: &FaultSpec) -> (MotionRecord, FaultLog) {
+    let mut out = record.clone();
+    let mut log = FaultLog::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(
+        spec.seed ^ (record.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    let frames = out.mocap.rows();
+    let channels = out.emg.cols();
+
+    // 1. Bounded desync drift: the EMG content at frame f is what the
+    //    muscle produced at frame f - d(f), where d random-walks within
+    //    ±desync_max_frames. Positive d = EMG lags the mocap clock.
+    if spec.desync_max_frames > 0 && spec.desync_step_frames > 0 {
+        let original = out.emg.clone();
+        let max = spec.desync_max_frames as i64;
+        let mut d: i64 = 0;
+        for f in 0..frames {
+            if f > 0 && f % spec.desync_step_frames == 0 {
+                d += if rng.random_bool(0.5) { 1 } else { -1 };
+                d = d.clamp(-max, max);
+            }
+            if d != 0 {
+                log.desynced_frames += 1;
+                log.max_desync_frames = log.max_desync_frames.max(d.unsigned_abs() as usize);
+            }
+            let src = (f as i64 - d).clamp(0, frames as i64 - 1) as usize;
+            for ch in 0..channels {
+                out.emg[(f, ch)] = original[(src, ch)];
+            }
+        }
+    }
+
+    // 2. Electrode-detach episodes: exact 0 V flatline per channel.
+    if spec.emg_dropout_rate > 0.0 {
+        inject_episodes(
+            &mut out,
+            &mut rng,
+            spec.emg_dropout_rate,
+            spec.emg_dropout_len,
+            |_| 0.0,
+            &mut log.emg_flatline_samples,
+        );
+    }
+
+    // 3. Electrode-pop episodes: samples pin to the amplifier rail.
+    if spec.emg_saturation_rate > 0.0 {
+        let rail = spec.saturation_volts;
+        inject_episodes(
+            &mut out,
+            &mut rng,
+            spec.emg_saturation_rate,
+            spec.emg_saturation_len,
+            |_| rail,
+            &mut log.emg_saturated_samples,
+        );
+    }
+
+    // 4. Non-finite EMG samples.
+    if spec.emg_nan_rate > 0.0 {
+        for f in 0..frames {
+            for ch in 0..channels {
+                if rng.random_bool(spec.emg_nan_rate.min(1.0)) {
+                    if out.emg[(f, ch)].is_finite() {
+                        // Don't double-count a sample a previous NaN pass
+                        // (there is none today) already hit.
+                        log.emg_nan_samples += 1;
+                    }
+                    out.emg[(f, ch)] = f64::NAN;
+                }
+            }
+        }
+    }
+
+    // 5. Dropped mocap frames: the whole marker row plus the pelvis.
+    if spec.mocap_drop_rate > 0.0 {
+        let cols = out.mocap.cols();
+        for f in 0..frames {
+            if rng.random_bool(spec.mocap_drop_rate.min(1.0)) {
+                for c in 0..cols {
+                    out.mocap[(f, c)] = f64::NAN;
+                }
+                out.pelvis[f] = crate::vec3::Vec3::new(f64::NAN, f64::NAN, f64::NAN);
+                log.mocap_frames_dropped += 1;
+            }
+        }
+    }
+
+    (out, log)
+}
+
+/// Injects constant-value episodes (flatline or rail) per channel,
+/// counting every sample written.
+fn inject_episodes<R: Rng>(
+    out: &mut MotionRecord,
+    rng: &mut R,
+    start_rate: f64,
+    len: usize,
+    value: impl Fn(f64) -> f64,
+    counter: &mut usize,
+) {
+    let frames = out.emg.rows();
+    let channels = out.emg.cols();
+    for ch in 0..channels {
+        let mut remaining = 0usize;
+        for f in 0..frames {
+            if remaining == 0 && rng.random_bool(start_rate.min(1.0)) {
+                remaining = len.max(1);
+            }
+            if remaining > 0 {
+                out.emg[(f, ch)] = value(out.emg[(f, ch)]);
+                *counter += 1;
+                remaining -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, DatasetSpec};
+
+    fn record() -> MotionRecord {
+        let mut spec = DatasetSpec::hand_default();
+        spec.participants = 1;
+        spec.trials_per_class = 1;
+        Dataset::generate(spec).unwrap().records.remove(0)
+    }
+
+    #[test]
+    fn none_spec_is_identity() {
+        let r = record();
+        let (faulted, log) = inject_faults(&r, &FaultSpec::none(1));
+        assert_eq!(log, FaultLog::default());
+        assert!(faulted.mocap.approx_eq(&r.mocap, 0.0));
+        assert!(faulted.emg.approx_eq(&r.emg, 0.0));
+        assert!(FaultSpec::none(1).is_none());
+        assert!(!FaultSpec::from_rate(0.1, 1).is_none());
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let r = record();
+        let spec = FaultSpec::from_rate(0.05, 99);
+        let (a, la) = inject_faults(&r, &spec);
+        let (b, lb) = inject_faults(&r, &spec);
+        assert_eq!(la, lb);
+        for f in 0..a.mocap.rows() {
+            for c in 0..a.mocap.cols() {
+                let (x, y) = (a.mocap[(f, c)], b.mocap[(f, c)]);
+                assert!(x == y || (x.is_nan() && y.is_nan()));
+            }
+        }
+    }
+
+    #[test]
+    fn mocap_drop_counts_match_nan_rows() {
+        let r = record();
+        let spec = FaultSpec {
+            mocap_drop_rate: 0.03,
+            ..FaultSpec::none(7)
+        };
+        let (faulted, log) = inject_faults(&r, &spec);
+        let nan_rows = (0..faulted.mocap.rows())
+            .filter(|&f| faulted.mocap.row(f).iter().all(|v| v.is_nan()))
+            .count();
+        assert!(log.mocap_frames_dropped > 0, "rate 3% over ~400 frames");
+        assert_eq!(nan_rows, log.mocap_frames_dropped);
+        // Pelvis of a dropped frame is NaN too.
+        let f = (0..faulted.mocap.rows())
+            .find(|&f| faulted.mocap[(f, 0)].is_nan())
+            .unwrap();
+        assert!(faulted.pelvis[f].x.is_nan());
+    }
+
+    #[test]
+    fn emg_nan_counts_match() {
+        let r = record();
+        let spec = FaultSpec {
+            emg_nan_rate: 0.01,
+            ..FaultSpec::none(11)
+        };
+        let (faulted, log) = inject_faults(&r, &spec);
+        let nan_samples = (0..faulted.emg.rows())
+            .flat_map(|f| (0..faulted.emg.cols()).map(move |c| (f, c)))
+            .filter(|&(f, c)| faulted.emg[(f, c)].is_nan())
+            .count();
+        assert!(log.emg_nan_samples > 0);
+        assert_eq!(nan_samples, log.emg_nan_samples);
+        // Mocap untouched.
+        assert!(faulted.mocap.approx_eq(&r.mocap, 0.0));
+    }
+
+    #[test]
+    fn dropout_episodes_flatline_exact_zero() {
+        let r = record();
+        let spec = FaultSpec {
+            emg_dropout_rate: 0.01,
+            emg_dropout_len: 20,
+            ..FaultSpec::none(13)
+        };
+        let (faulted, log) = inject_faults(&r, &spec);
+        assert!(log.emg_flatline_samples >= 20, "at least one episode");
+        let zeros = (0..faulted.emg.rows())
+            .flat_map(|f| (0..faulted.emg.cols()).map(move |c| (f, c)))
+            .filter(|&(f, c)| faulted.emg[(f, c)] == 0.0 && r.emg[(f, c)] != 0.0)
+            .count();
+        assert!(zeros > 0);
+    }
+
+    #[test]
+    fn saturation_pins_to_rail() {
+        let r = record();
+        let spec = FaultSpec {
+            emg_saturation_rate: 0.01,
+            emg_saturation_len: 10,
+            saturation_volts: 4.2e-3,
+            ..FaultSpec::none(17)
+        };
+        let (faulted, log) = inject_faults(&r, &spec);
+        assert!(log.emg_saturated_samples >= 10);
+        let at_rail = (0..faulted.emg.rows())
+            .flat_map(|f| (0..faulted.emg.cols()).map(move |c| (f, c)))
+            .filter(|&(f, c)| faulted.emg[(f, c)] == 4.2e-3)
+            .count();
+        assert_eq!(at_rail, log.emg_saturated_samples);
+    }
+
+    #[test]
+    fn desync_is_bounded_and_logged() {
+        let r = record();
+        let spec = FaultSpec {
+            desync_max_frames: 5,
+            desync_step_frames: 10,
+            ..FaultSpec::none(19)
+        };
+        let (faulted, log) = inject_faults(&r, &spec);
+        assert!(log.max_desync_frames <= 5);
+        assert!(log.desynced_frames > 0, "a random walk leaves zero quickly");
+        // Values are permuted, never invented: every faulted sample exists
+        // in the original channel.
+        for ch in 0..faulted.emg.cols() {
+            for f in 0..faulted.emg.rows() {
+                let v = faulted.emg[(f, ch)];
+                let lo = f.saturating_sub(5);
+                let hi = (f + 6).min(faulted.emg.rows());
+                assert!(
+                    (lo..hi).any(|s| r.emg[(s, ch)] == v),
+                    "sample at frame {f} not within ±5 of source"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_rate_scales_monotonically() {
+        let r = record();
+        let (_, lo) = inject_faults(&r, &FaultSpec::from_rate(0.01, 23));
+        let (_, hi) = inject_faults(&r, &FaultSpec::from_rate(0.10, 23));
+        assert!(hi.mocap_frames_dropped > lo.mocap_frames_dropped);
+        assert!(hi.emg_samples_corrupted() > lo.emg_samples_corrupted());
+    }
+
+    #[test]
+    fn log_merge_accumulates() {
+        let mut a = FaultLog {
+            mocap_frames_dropped: 2,
+            emg_nan_samples: 3,
+            max_desync_frames: 1,
+            ..FaultLog::default()
+        };
+        let b = FaultLog {
+            mocap_frames_dropped: 5,
+            emg_flatline_samples: 7,
+            max_desync_frames: 4,
+            desynced_frames: 9,
+            ..FaultLog::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.mocap_frames_dropped, 7);
+        assert_eq!(a.emg_nan_samples, 3);
+        assert_eq!(a.emg_flatline_samples, 7);
+        assert_eq!(a.max_desync_frames, 4);
+        assert_eq!(a.desynced_frames, 9);
+        assert_eq!(a.emg_samples_corrupted(), 10);
+    }
+}

@@ -20,7 +20,10 @@
 //!   conditioning chain (20–450 Hz band-pass → full-wave rectification →
 //!   down-sampling to 120 Hz);
 //! * [`dataset`] — the full test bed: participants × classes × trials,
-//!   deterministic per seed, JSON-serializable.
+//!   deterministic per seed, JSON-serializable;
+//! * [`faults`] — seeded sensor-fault injection (dropped mocap frames, EMG
+//!   dropout/saturation, NaN glitches, inter-stream desync) for testing the
+//!   core crate's graceful-degradation layer.
 //!
 //! See `DESIGN.md` §2 for why each substitution preserves the behaviour the
 //! paper's evaluation depends on.
@@ -37,6 +40,7 @@ pub mod binfmt;
 pub mod dataset;
 pub mod emg;
 pub mod error;
+pub mod faults;
 pub mod limb;
 pub mod motion;
 pub mod muscle;
@@ -48,6 +52,7 @@ pub use acquisition::AcquisitionConfig;
 pub use dataset::{Dataset, DatasetSpec, MotionRecord};
 pub use emg::EmgSynthConfig;
 pub use error::{BiosimError, Result};
+pub use faults::{inject_faults, FaultLog, FaultSpec};
 pub use limb::{Limb, MotionClass, Muscle, Segment};
 pub use skeleton::{MocapNoise, Placement, Skeleton};
 pub use vec3::Vec3;

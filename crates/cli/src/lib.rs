@@ -7,6 +7,9 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+// `!(x >= 0.0)` is the NaN-rejecting validation idiom used throughout this
+// workspace: `x < 0.0` would silently accept NaN.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod args;
 pub mod commands;

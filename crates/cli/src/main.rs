@@ -5,7 +5,7 @@ use kinemyo_cli::commands::{run, USAGE};
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let parsed = match parse(&raw, &["confusion", "quick"]) {
+    let parsed = match parse(&raw, &["confusion", "quick", "guard", "health"]) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");

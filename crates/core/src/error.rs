@@ -15,6 +15,20 @@ pub enum KinemyoError {
         /// Explanation of the data problem.
         reason: String,
     },
+    /// Sensor input is corrupt beyond what the pipeline can absorb
+    /// (non-finite frames, or a query whose every window was quarantined
+    /// by the fault guard).
+    CorruptInput {
+        /// What was corrupt and where.
+        reason: String,
+    },
+    /// An internal invariant failed (a worker panicked or a lock was
+    /// poisoned). Surfaced as a typed error so batch callers keep their
+    /// remaining results instead of the process aborting.
+    Internal {
+        /// Description of the violated invariant.
+        reason: String,
+    },
     /// Feature extraction failed.
     Feature(kinemyo_features::FeatureError),
     /// Clustering failed.
@@ -36,6 +50,8 @@ impl fmt::Display for KinemyoError {
             KinemyoError::InvalidTrainingData { reason } => {
                 write!(f, "invalid training data: {reason}")
             }
+            KinemyoError::CorruptInput { reason } => write!(f, "corrupt input: {reason}"),
+            KinemyoError::Internal { reason } => write!(f, "internal error: {reason}"),
             KinemyoError::Feature(e) => write!(f, "feature extraction: {e}"),
             KinemyoError::Fuzzy(e) => write!(f, "clustering: {e}"),
             KinemyoError::Db(e) => write!(f, "database: {e}"),
@@ -98,5 +114,13 @@ mod tests {
         assert!(fe.to_string().contains("feature extraction"));
         let de: KinemyoError = kinemyo_modb::DbError::Empty.into();
         assert!(de.to_string().contains("database"));
+        let ce = KinemyoError::CorruptInput {
+            reason: "NaN frame".into(),
+        };
+        assert!(ce.to_string().contains("corrupt input"));
+        let ie = KinemyoError::Internal {
+            reason: "worker panicked".into(),
+        };
+        assert!(ie.to_string().contains("internal error"));
     }
 }

@@ -41,6 +41,9 @@
 //!   cluster parameter sweeps behind Figs. 6–9 (Sec. 6);
 //! * [`stream`] — online per-window classification for prosthetic-control
 //!   style consumers;
+//! * [`guard`] — sensor-fault supervision: gap-fill, modality fallback,
+//!   stream resync and structured health reporting over the streaming and
+//!   batch query paths;
 //! * [`config`] — [`PipelineConfig`].
 //!
 //! Substrates live in sibling crates: `kinemyo-biosim` (synthetic
@@ -56,6 +59,7 @@
 pub mod config;
 pub mod error;
 pub mod eval;
+pub mod guard;
 pub mod persist;
 pub mod pipeline;
 pub mod select;
@@ -64,6 +68,10 @@ pub mod stream;
 pub use config::{PipelineConfig, PipelineConfigBuilder};
 pub use error::{KinemyoError, Result};
 pub use eval::{evaluate, stratified_split, sweep, EvalOutcome, SweepPoint};
+pub use guard::{
+    evaluate_guarded, GuardConfig, GuardedClassification, GuardedClassifier, GuardedEvalOutcome,
+    GuardedSession, SessionHealth, WindowStatus,
+};
 pub use pipeline::{class_index, pelvis_matrix, Classification, MotionClassifier, RecordMeta};
 pub use select::{select_cluster_count, ClusterSelection};
 pub use stream::StreamingSession;
@@ -90,6 +98,10 @@ pub mod prelude {
     pub use crate::error::KinemyoError;
     pub use crate::eval::{
         evaluate, evaluate_with_model, stratified_split, sweep, EvalOutcome, SweepPoint,
+    };
+    pub use crate::guard::{
+        evaluate_guarded, GuardConfig, GuardedClassification, GuardedClassifier,
+        GuardedEvalOutcome, GuardedSession, SessionHealth, WindowStatus,
     };
     pub use crate::pipeline::{Classification, MotionClassifier, RecordMeta};
     pub use crate::select::{select_cluster_count, ClusterSelection};

@@ -169,33 +169,47 @@ impl MotionClassifier {
                     per_worker[pos % workers].push(item);
                 }
                 let mut first_error: Option<(usize, KinemyoError)> = None;
+                let mut worker_panicked = false;
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = per_worker
                         .into_iter()
                         .map(|items| {
                             scope.spawn(|| {
-                                let mut err = None;
-                                for (i, r, dst) in items {
-                                    if let Err(e) = extract(r, dst) {
-                                        err = Some((i, e));
-                                        break;
+                                // catch_unwind keeps one worker's panic from
+                                // aborting the whole training call (scope
+                                // re-raises joined panics otherwise); it
+                                // surfaces as a typed Internal error below.
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    let mut err = None;
+                                    for (i, r, dst) in items {
+                                        if let Err(e) = extract(r, dst) {
+                                            err = Some((i, e));
+                                            break;
+                                        }
                                     }
-                                }
-                                err
+                                    err
+                                }))
                             })
                         })
                         .collect();
                     for handle in handles {
-                        if let Some((i, e)) = handle.join().expect("extraction worker panicked") {
-                            match &first_error {
+                        match handle.join() {
+                            Ok(Ok(Some((i, e)))) => match &first_error {
                                 Some((j, _)) if *j <= i => {}
                                 _ => first_error = Some((i, e)),
-                            }
+                            },
+                            Ok(Ok(None)) => {}
+                            Ok(Err(_)) | Err(_) => worker_panicked = true,
                         }
                     }
                 });
                 if let Some((_, e)) = first_error {
                     return Err(e);
+                }
+                if worker_panicked {
+                    return Err(KinemyoError::Internal {
+                        reason: "a feature-extraction worker panicked".into(),
+                    });
                 }
             }
         }
@@ -363,17 +377,33 @@ impl MotionClassifier {
                     if i >= records.len() {
                         break;
                     }
-                    let result = self.classify_record(records[i]);
-                    *slots[i].lock().expect("query slot poisoned") = Some(result);
+                    // A panicking query must cost only its own slot, not
+                    // the batch: scope would re-raise the panic on join.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.classify_record(records[i])
+                    }))
+                    .unwrap_or_else(|_| {
+                        Err(KinemyoError::Internal {
+                            reason: format!("query worker panicked on record index {i}"),
+                        })
+                    });
+                    // A poisoned slot means a previous holder panicked
+                    // after writing; the value is still ours to replace.
+                    *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
                 });
             }
         });
         slots
             .into_iter()
-            .map(|slot| {
+            .enumerate()
+            .map(|(i, slot)| {
                 slot.into_inner()
-                    .expect("query slot poisoned")
-                    .expect("every query index was claimed")
+                    .unwrap_or_else(|p| p.into_inner())
+                    .unwrap_or_else(|| {
+                        Err(KinemyoError::Internal {
+                            reason: format!("query index {i} was never claimed by a worker"),
+                        })
+                    })
             })
             .collect()
     }

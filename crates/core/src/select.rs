@@ -54,14 +54,14 @@ pub fn select_cluster_count(
             reason: "no records to select clusters from".into(),
         });
     }
-    if candidates.iter().any(|&c| c < 2) {
-        return Err(KinemyoError::InvalidConfig {
-            reason: "cluster candidates must be >= 2 (Xie-Beni needs separation)".into(),
-        });
-    }
     if candidates.is_empty() {
         return Err(KinemyoError::InvalidConfig {
             reason: "no candidate cluster counts".into(),
+        });
+    }
+    if candidates.iter().any(|&c| c < 2) {
+        return Err(KinemyoError::InvalidConfig {
+            reason: "cluster candidates must be >= 2 (Xie-Beni needs separation)".into(),
         });
     }
 
@@ -74,7 +74,11 @@ pub fn select_cluster_count(
             Some(acc) => acc.vstack(&points)?,
         });
     }
-    let mut points = stacked.expect("at least one record");
+    // `records` was checked non-empty above, but fail typed rather than
+    // panic if that invariant ever drifts.
+    let mut points = stacked.ok_or_else(|| KinemyoError::InvalidTrainingData {
+        reason: "no window feature points were extracted".into(),
+    })?;
     if config.standardize {
         let z = ZScore::fit(&points)?;
         points = z.transform(&points)?;
@@ -111,7 +115,9 @@ pub fn select_cluster_count(
                 .partial_cmp(&b.xie_beni)
                 .unwrap_or(std::cmp::Ordering::Equal)
         })
-        .expect("non-empty candidates")
+        .ok_or_else(|| KinemyoError::InvalidConfig {
+            reason: "no candidate cluster counts".into(),
+        })?
         .clusters;
     Ok(ClusterSelection {
         best,
@@ -171,5 +177,19 @@ mod tests {
         assert!(select_cluster_count(&refs, &PipelineConfig::default(), &[]).is_err());
         assert!(select_cluster_count(&refs, &PipelineConfig::default(), &[1]).is_err());
         assert!(select_cluster_count(&refs, &PipelineConfig::default(), &[100_000]).is_err());
+    }
+
+    #[test]
+    fn empty_records_is_a_typed_error() {
+        let err = select_cluster_count(&[], &PipelineConfig::default(), &[4]).unwrap_err();
+        assert!(matches!(err, KinemyoError::InvalidTrainingData { .. }));
+    }
+
+    #[test]
+    fn empty_candidates_is_a_typed_error() {
+        let ds = records();
+        let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+        let err = select_cluster_count(&refs, &PipelineConfig::default(), &[]).unwrap_err();
+        assert!(matches!(err, KinemyoError::InvalidConfig { .. }));
     }
 }

@@ -13,6 +13,111 @@ use kinemyo_features::{iav_features, to_pelvis_local, wsvd_features, Modality};
 use kinemyo_linalg::{Matrix, Vector};
 use kinemyo_modb::{classify, knn, Neighbor};
 
+/// Incremental min/max-membership state (Eqs. 7–8 maintained one window
+/// at a time). Shared by [`StreamingSession`] and the fault-guarded
+/// session in [`crate::guard`], which runs one tracker per modality.
+#[derive(Debug, Clone)]
+pub(crate) struct MembershipTracker {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+    windows: usize,
+}
+
+impl MembershipTracker {
+    /// A tracker over `clusters` fuzzy clusters with no windows observed.
+    pub(crate) fn new(clusters: usize) -> Self {
+        Self {
+            mins: vec![f64::INFINITY; clusters],
+            maxs: vec![0.0; clusters],
+            windows: 0,
+        }
+    }
+
+    /// Folds one window's highest membership into the running min/max.
+    pub(crate) fn observe(&mut self, a: WindowAssignment) {
+        if a.membership > self.maxs[a.cluster] {
+            self.maxs[a.cluster] = a.membership;
+        }
+        if a.membership < self.mins[a.cluster] {
+            self.mins[a.cluster] = a.membership;
+        }
+        self.windows += 1;
+    }
+
+    /// Number of windows observed.
+    pub(crate) fn windows(&self) -> usize {
+        self.windows
+    }
+
+    /// The `2c`-length feature vector over the windows observed so far.
+    /// Clusters never visited contribute `(0, 0)` — the INFINITY sentinel
+    /// in `mins` must not leak out.
+    pub(crate) fn final_vector(&self) -> Vector {
+        let c = self.mins.len();
+        let mut out = Vec::with_capacity(2 * c);
+        for k in 0..c {
+            if self.mins[k].is_infinite() {
+                out.push(0.0);
+                out.push(0.0);
+            } else {
+                out.push(self.mins[k]);
+                out.push(self.maxs[k]);
+            }
+        }
+        Vector::from_vec(out)
+    }
+
+    /// Forgets all observed windows.
+    pub(crate) fn reset(&mut self) {
+        self.mins.fill(f64::INFINITY);
+        self.maxs.fill(0.0);
+        self.windows = 0;
+    }
+}
+
+/// Computes one window's feature point under `model`'s modality and
+/// returns its highest-membership assignment against the trained centers.
+/// The matrices hold exactly the window's frames; for `EmgOnly` models the
+/// mocap/pelvis inputs are not read (and vice versa), which is what lets
+/// the guard layer classify a window whose other stream is dead.
+pub(crate) fn assign_window(
+    model: &MotionClassifier,
+    mocap: &Matrix,
+    pelvis: &Matrix,
+    emg: &Matrix,
+) -> Result<WindowAssignment> {
+    let frames = match model.config().modality {
+        Modality::EmgOnly => emg.rows(),
+        _ => mocap.rows(),
+    };
+    let range = [(0usize, frames)];
+    let mut point: Vec<f64> = match model.config().modality {
+        Modality::EmgOnly => iav_features(emg, &range)?.row(0).to_vec(),
+        Modality::MocapOnly => {
+            let local = to_pelvis_local(mocap, pelvis)?;
+            wsvd_features(&local, &range)?.row(0).to_vec()
+        }
+        Modality::Combined => {
+            let mut p = iav_features(emg, &range)?.row(0).to_vec();
+            let local = to_pelvis_local(mocap, pelvis)?;
+            p.extend_from_slice(wsvd_features(&local, &range)?.row(0));
+            p
+        }
+    };
+    model.scale_point(&mut point)?;
+    let u = model.fcm().memberships_for(&point)?;
+    let mut cluster = 0;
+    for (i, &v) in u.iter().enumerate() {
+        if v > u[cluster] {
+            cluster = i;
+        }
+    }
+    Ok(WindowAssignment {
+        cluster,
+        membership: u[cluster],
+    })
+}
+
 /// A live classification session over a trained [`MotionClassifier`].
 #[derive(Debug)]
 pub struct StreamingSession<'m> {
@@ -21,11 +126,7 @@ pub struct StreamingSession<'m> {
     mocap_buf: Vec<Vec<f64>>,
     pelvis_buf: Vec<[f64; 3]>,
     emg_buf: Vec<Vec<f64>>,
-    /// Per-cluster running min/max of highest memberships (Eqs. 7–8,
-    /// maintained incrementally).
-    mins: Vec<f64>,
-    maxs: Vec<f64>,
-    windows_seen: usize,
+    tracker: MembershipTracker,
     assignments: Vec<WindowAssignment>,
 }
 
@@ -39,16 +140,14 @@ impl<'m> StreamingSession<'m> {
             mocap_buf: Vec::new(),
             pelvis_buf: Vec::new(),
             emg_buf: Vec::new(),
-            mins: vec![f64::INFINITY; c],
-            maxs: vec![0.0; c],
-            windows_seen: 0,
+            tracker: MembershipTracker::new(c),
             assignments: Vec::new(),
         }
     }
 
     /// Number of completed windows so far.
     pub fn windows_seen(&self) -> usize {
-        self.windows_seen
+        self.tracker.windows()
     }
 
     /// All window assignments so far.
@@ -58,6 +157,11 @@ impl<'m> StreamingSession<'m> {
 
     /// Feeds one synchronized frame. Returns `Some(assignment)` whenever a
     /// window completes.
+    ///
+    /// A frame with the wrong arity or non-finite values is rejected with
+    /// a typed error and **not** buffered; the session stays usable for
+    /// subsequent frames. Callers that want corrupt frames absorbed
+    /// instead of rejected should use [`crate::guard::GuardedSession`].
     pub fn push_frame(
         &mut self,
         mocap_row: &[f64],
@@ -74,6 +178,21 @@ impl<'m> StreamingSession<'m> {
                     limb.mocap_cols(),
                     limb.emg_channels()
                 ),
+            });
+        }
+        if let Some(i) = mocap_row.iter().position(|v| !v.is_finite()) {
+            return Err(KinemyoError::CorruptInput {
+                reason: format!("mocap value at column {i} is not finite"),
+            });
+        }
+        if pelvis.iter().any(|v| !v.is_finite()) {
+            return Err(KinemyoError::CorruptInput {
+                reason: "pelvis position is not finite".into(),
+            });
+        }
+        if let Some(ch) = emg_row.iter().position(|v| !v.is_finite()) {
+            return Err(KinemyoError::CorruptInput {
+                reason: format!("emg sample at channel {ch} is not finite"),
             });
         }
         self.mocap_buf.push(mocap_row.to_vec());
@@ -99,58 +218,15 @@ impl<'m> StreamingSession<'m> {
         let emg =
             Matrix::from_rows(&std::mem::take(&mut self.emg_buf)).map_err(KinemyoError::Linalg)?;
 
-        let range = [(0usize, mocap.rows())];
-        let mut point: Vec<f64> = match self.model.config().modality {
-            Modality::EmgOnly => iav_features(&emg, &range)?.row(0).to_vec(),
-            Modality::MocapOnly => {
-                let local = to_pelvis_local(&mocap, &pelvis)?;
-                wsvd_features(&local, &range)?.row(0).to_vec()
-            }
-            Modality::Combined => {
-                let mut p = iav_features(&emg, &range)?.row(0).to_vec();
-                let local = to_pelvis_local(&mocap, &pelvis)?;
-                p.extend_from_slice(wsvd_features(&local, &range)?.row(0));
-                p
-            }
-        };
-        self.model.scale_point(&mut point)?;
-        let u = self.model.fcm().memberships_for(&point)?;
-        let mut cluster = 0;
-        for (i, &v) in u.iter().enumerate() {
-            if v > u[cluster] {
-                cluster = i;
-            }
-        }
-        let membership = u[cluster];
-        if membership > self.maxs[cluster] {
-            self.maxs[cluster] = membership;
-        }
-        if membership < self.mins[cluster] {
-            self.mins[cluster] = membership;
-        }
-        self.windows_seen += 1;
-        let a = WindowAssignment {
-            cluster,
-            membership,
-        };
+        let a = assign_window(self.model, &mocap, &pelvis, &emg)?;
+        self.tracker.observe(a);
         self.assignments.push(a);
         Ok(a)
     }
 
     /// The current final feature vector (Eqs. 7–8 over windows seen).
     pub fn feature_vector(&self) -> Vector {
-        let c = self.mins.len();
-        let mut out = Vec::with_capacity(2 * c);
-        for k in 0..c {
-            if self.mins[k].is_infinite() {
-                out.push(0.0);
-                out.push(0.0);
-            } else {
-                out.push(self.mins[k]);
-                out.push(self.maxs[k]);
-            }
-        }
-        Vector::from_vec(out)
+        self.tracker.final_vector()
     }
 
     /// Classifies the motion seen so far; `None` before the first window
@@ -159,7 +235,7 @@ impl<'m> StreamingSession<'m> {
         &self,
         k: usize,
     ) -> Result<Option<(kinemyo_biosim::MotionClass, Vec<Neighbor<RecordMeta>>)>> {
-        if self.windows_seen == 0 {
+        if self.tracker.windows() == 0 {
             return Ok(None);
         }
         let fv = self.feature_vector();
@@ -170,13 +246,10 @@ impl<'m> StreamingSession<'m> {
 
     /// Resets the session for a new motion (the model is reused).
     pub fn reset(&mut self) {
-        let c = self.mins.len();
         self.mocap_buf.clear();
         self.pelvis_buf.clear();
         self.emg_buf.clear();
-        self.mins = vec![f64::INFINITY; c];
-        self.maxs = vec![0.0; c];
-        self.windows_seen = 0;
+        self.tracker.reset();
         self.assignments.clear();
     }
 }
@@ -308,5 +381,129 @@ mod tests {
         let mut session = StreamingSession::new(&model);
         assert!(session.push_frame(&[0.0; 3], [0.0; 3], &[0.0; 4]).is_err());
         assert!(session.push_frame(&[0.0; 12], [0.0; 3], &[0.0; 1]).is_err());
+    }
+
+    #[test]
+    fn nan_frame_is_rejected_and_session_continues() {
+        let (ds, model) = model();
+        let r = &ds.records[0];
+        let mut session = StreamingSession::new(&model);
+
+        let mut bad_mocap = r.mocap.row(0).to_vec();
+        bad_mocap[4] = f64::NAN;
+        let err = session.push_frame(&bad_mocap, [0.0; 3], r.emg.row(0));
+        assert!(matches!(err, Err(KinemyoError::CorruptInput { .. })));
+
+        let mut bad_emg = r.emg.row(0).to_vec();
+        bad_emg[1] = f64::INFINITY;
+        let err = session.push_frame(r.mocap.row(0), [0.0; 3], &bad_emg);
+        assert!(matches!(err, Err(KinemyoError::CorruptInput { .. })));
+
+        let err = session.push_frame(r.mocap.row(0), [0.0, f64::NAN, 0.0], r.emg.row(0));
+        assert!(matches!(err, Err(KinemyoError::CorruptInput { .. })));
+
+        // Rejected frames were not buffered: the session still produces
+        // the exact batch feature vector from the clean frames.
+        for f in 0..r.frames() {
+            let pelvis = [r.pelvis[f].x, r.pelvis[f].y, r.pelvis[f].z];
+            session
+                .push_frame(r.mocap.row(f), pelvis, r.emg.row(f))
+                .unwrap();
+        }
+        let batch = model.query_feature_vector(r).unwrap();
+        for (a, b) in batch
+            .as_slice()
+            .iter()
+            .zip(session.feature_vector().as_slice())
+        {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wrong_arity_mid_stream_does_not_corrupt_state() {
+        let (ds, model) = model();
+        let r = &ds.records[1];
+        let mut session = StreamingSession::new(&model);
+        let half = model.window().len() / 2;
+        for f in 0..half {
+            let pelvis = [r.pelvis[f].x, r.pelvis[f].y, r.pelvis[f].z];
+            session
+                .push_frame(r.mocap.row(f), pelvis, r.emg.row(f))
+                .unwrap();
+        }
+        assert!(session.push_frame(&[0.0; 2], [0.0; 3], &[0.0; 4]).is_err());
+        // Remaining clean frames still complete the window.
+        let mut completed = 0;
+        for f in half..r.frames() {
+            let pelvis = [r.pelvis[f].x, r.pelvis[f].y, r.pelvis[f].z];
+            if session
+                .push_frame(r.mocap.row(f), pelvis, r.emg.row(f))
+                .unwrap()
+                .is_some()
+            {
+                completed += 1;
+            }
+        }
+        assert!(completed > 0);
+        assert_eq!(session.windows_seen(), completed);
+    }
+
+    #[test]
+    fn incomplete_window_yields_no_classification() {
+        let (ds, model) = model();
+        let r = &ds.records[2];
+        let mut session = StreamingSession::new(&model);
+        // One frame short of a full window: nothing ever completes.
+        for f in 0..model.window().len() - 1 {
+            let pelvis = [r.pelvis[f].x, r.pelvis[f].y, r.pelvis[f].z];
+            let out = session
+                .push_frame(r.mocap.row(f), pelvis, r.emg.row(f))
+                .unwrap();
+            assert!(out.is_none());
+        }
+        assert_eq!(session.windows_seen(), 0);
+        assert!(session.classify(5).unwrap().is_none());
+        let fv = session.feature_vector();
+        assert!(fv.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn unvisited_clusters_produce_no_sentinels() {
+        // With far more clusters than completed windows, most clusters are
+        // never visited; their (min, max) pairs must come out (0, 0) — no
+        // INFINITY sentinel may leak into the final vector.
+        let ds = Dataset::generate(DatasetSpec::hand_default().with_size(1, 3)).unwrap();
+        let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+        let model = MotionClassifier::train(
+            &refs,
+            Limb::RightHand,
+            &PipelineConfig::default().with_clusters(24),
+        )
+        .unwrap();
+        let r = &ds.records[0];
+        let mut session = StreamingSession::new(&model);
+        // Exactly two windows.
+        for f in 0..2 * model.window().len() {
+            let pelvis = [r.pelvis[f].x, r.pelvis[f].y, r.pelvis[f].z];
+            session
+                .push_frame(r.mocap.row(f), pelvis, r.emg.row(f))
+                .unwrap();
+        }
+        assert_eq!(session.windows_seen(), 2);
+        let fv = session.feature_vector();
+        assert_eq!(fv.len(), 48);
+        let visited: std::collections::HashSet<usize> =
+            session.assignments().iter().map(|a| a.cluster).collect();
+        for k in 0..24 {
+            let (lo, hi) = (fv.as_slice()[2 * k], fv.as_slice()[2 * k + 1]);
+            assert!(lo.is_finite() && hi.is_finite(), "sentinel leaked at {k}");
+            assert!(lo <= hi + 1e-12);
+            if !visited.contains(&k) {
+                assert_eq!((lo, hi), (0.0, 0.0));
+            } else {
+                assert!(hi > 0.0);
+            }
+        }
     }
 }

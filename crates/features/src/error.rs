@@ -17,6 +17,13 @@ pub enum FeatureError {
         /// Window length in frames.
         window: usize,
     },
+    /// The input contains NaN or infinite samples. Raised *before* any
+    /// arithmetic so a corrupt sensor sample becomes a typed error instead
+    /// of silently poisoning cluster centers downstream.
+    NonFinite {
+        /// Which input and where the bad sample was found.
+        context: String,
+    },
     /// A downstream linear-algebra operation failed.
     Linalg(kinemyo_linalg::LinalgError),
     /// A downstream DSP operation failed.
@@ -31,6 +38,9 @@ impl fmt::Display for FeatureError {
                 f,
                 "signal of {frames} frames yields no windows of length {window}"
             ),
+            FeatureError::NonFinite { context } => {
+                write!(f, "non-finite input: {context}")
+            }
             FeatureError::Linalg(e) => write!(f, "linalg error: {e}"),
             FeatureError::Dsp(e) => write!(f, "dsp error: {e}"),
         }
@@ -77,6 +87,11 @@ mod tests {
         }
         .to_string()
         .contains("no windows"));
+        assert!(FeatureError::NonFinite {
+            context: "emg window 3".into()
+        }
+        .to_string()
+        .contains("non-finite"));
         let e: FeatureError = kinemyo_linalg::LinalgError::Empty { op: "svd" }.into();
         assert!(e.to_string().contains("linalg"));
         let d: FeatureError = kinemyo_dsp::DspError::InvalidArgument { reason: "r".into() }.into();

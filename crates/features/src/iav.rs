@@ -49,7 +49,13 @@ pub fn iav_features(emg: &Matrix, ranges: &[(usize, usize)]) -> Result<Matrix> {
         for ch in 0..channels {
             let mut acc = 0.0;
             for frame in start..end {
-                acc += emg[(frame, ch)].abs();
+                let v = emg[(frame, ch)];
+                if !v.is_finite() {
+                    return Err(FeatureError::NonFinite {
+                        context: format!("emg sample at frame {frame}, channel {ch}"),
+                    });
+                }
+                acc += v.abs();
             }
             out[(w, ch)] = acc;
         }
@@ -107,6 +113,19 @@ mod tests {
         let emg = Matrix::zeros(4, 2);
         let f = iav_features(&emg, &[]).unwrap();
         assert_eq!(f.shape(), (0, 2));
+    }
+
+    #[test]
+    fn non_finite_samples_rejected() {
+        let mut emg = Matrix::zeros(4, 2);
+        emg[(2, 1)] = f64::NAN;
+        let err = iav_features(&emg, &[(0, 4)]);
+        assert!(matches!(err, Err(FeatureError::NonFinite { .. })));
+        emg[(2, 1)] = f64::INFINITY;
+        assert!(matches!(
+            iav_features(&emg, &[(0, 4)]),
+            Err(FeatureError::NonFinite { .. })
+        ));
     }
 
     #[test]

@@ -31,6 +31,13 @@ pub fn weighted_sv_feature(window: &Matrix) -> Result<[f64; 3]> {
             reason: "joint window has no frames".into(),
         });
     }
+    if window.has_non_finite() {
+        // SVD on NaN input can fail to converge or emit NaN features;
+        // reject before any arithmetic.
+        return Err(FeatureError::NonFinite {
+            context: "mocap joint window contains NaN or infinite values".into(),
+        });
+    }
     let decomposition = svd(window)?;
     let weights = decomposition.normalized_weights();
     let mut f = [0.0f64; 3];
@@ -167,6 +174,22 @@ mod tests {
     fn shape_validation() {
         assert!(weighted_sv_feature(&Matrix::zeros(5, 2)).is_err());
         assert!(weighted_sv_feature(&Matrix::zeros(0, 3)).is_err());
+    }
+
+    #[test]
+    fn non_finite_window_rejected() {
+        let mut w = line_window([1.0, 0.0, 0.0], 8);
+        w[(3, 1)] = f64::NAN;
+        assert!(matches!(
+            weighted_sv_feature(&w),
+            Err(FeatureError::NonFinite { .. })
+        ));
+        let mut mocap = Matrix::from_fn(12, 3, |r, _| r as f64);
+        mocap[(5, 2)] = f64::INFINITY;
+        assert!(matches!(
+            wsvd_features(&mocap, &[(0, 12)]),
+            Err(FeatureError::NonFinite { .. })
+        ));
     }
 
     #[test]

@@ -176,6 +176,13 @@ impl FcmModel {
                 ),
             });
         }
+        if let Some(i) = point.iter().position(|v| !v.is_finite()) {
+            // A NaN distance would silently yield a NaN membership row and
+            // poison every min/max feature vector built from it.
+            return Err(FuzzyError::InvalidData {
+                reason: format!("query point has non-finite value at dimension {i}"),
+            });
+        }
         Ok(membership_row(&self.centers, point, self.fuzzifier))
     }
 
@@ -737,6 +744,15 @@ mod tests {
         let data = blobs();
         let model = fit(&data, &FcmConfig::new(3)).unwrap();
         assert!(model.memberships_for(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_query_point() {
+        let data = blobs();
+        let model = fit(&data, &FcmConfig::new(3)).unwrap();
+        assert!(model.memberships_for(&[f64::NAN, 1.0]).is_err());
+        assert!(model.memberships_for(&[1.0, f64::INFINITY]).is_err());
+        assert!(model.predict(&[f64::NAN, 0.0]).is_err());
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Seeded end-to-end sensor-fault tests across biosim, core and the guard:
+//! the guard must absorb every fault class without a panic and report
+//! exactly what was injected; the bare pipeline must reject corrupt
+//! queries with typed errors, never a panic.
+
+use kinemyo::biosim::{inject_faults, FaultLog, FaultSpec, MotionRecord};
+use kinemyo::prelude::*;
+use kinemyo_integration_tests::hand_dataset;
+
+const FAULT_SEED: u64 = 0x2007_FA17;
+
+/// Clean-trained guarded model plus the held-out queries.
+fn guarded_model() -> (GuardedClassifier, Vec<&'static MotionRecord>) {
+    let ds = hand_dataset();
+    let (train, queries) = stratified_split(&ds.records, 2);
+    let config = PipelineConfig::default().with_clusters(10).with_seed(7);
+    let model = GuardedClassifier::train(&train, ds.spec.limb, &config, GuardConfig::default())
+        .expect("guarded model trains");
+    (model, queries)
+}
+
+#[test]
+fn guard_absorbs_faults_and_reports_them_exactly() {
+    let (model, queries) = guarded_model();
+    let spec = FaultSpec::from_rate(0.05, FAULT_SEED);
+
+    let mut injected = FaultLog::default();
+    let mut health = SessionHealth::default();
+    let mut usable = 0usize;
+    let mut errors = 0usize;
+    for q in &queries {
+        let (fq, log) = inject_faults(q, &spec);
+        injected.merge(&log);
+        let mut s = model.session();
+        for f in 0..fq.frames() {
+            let pelvis = [fq.pelvis[f].x, fq.pelvis[f].y, fq.pelvis[f].z];
+            // Value faults (NaN, flatline, saturation, drift) are absorbed
+            // and counted — only structural faults (wrong arity) error.
+            s.push_frame(fq.mocap.row(f), pelvis, fq.emg.row(f))
+                .expect("value faults must not be push errors");
+        }
+        s.finish().expect("finish never fails on value faults");
+        match s.classify(3).expect("classify returns typed results") {
+            Some(c) => {
+                assert!(
+                    c.feature_vector.as_slice().iter().all(|v| v.is_finite()),
+                    "record {}: NaN leaked into the feature vector",
+                    q.id
+                );
+                usable += 1;
+                errors += (c.predicted != q.class) as usize;
+            }
+            None => errors += 1,
+        }
+        health.merge(s.health());
+    }
+
+    // The health report is ground truth, not an estimate: every injected
+    // fault the guard can observe is counted exactly.
+    assert!(
+        injected.mocap_frames_dropped > 0,
+        "fault spec injected nothing"
+    );
+    assert!(injected.emg_nan_samples > 0);
+    assert_eq!(health.mocap_frames_dropped, injected.mocap_frames_dropped);
+    assert_eq!(health.emg_samples_non_finite, injected.emg_nan_samples);
+    // The guard repaired short gaps rather than quarantining everything.
+    assert!(health.mocap_frames_filled > 0);
+
+    // Degradation envelope: most queries stay usable and accuracy stays
+    // far from chance (1/6 classes ⇒ ~83% error when guessing).
+    assert!(
+        usable * 2 > queries.len(),
+        "only {usable}/{} queries usable",
+        queries.len()
+    );
+    let misclass_pct = errors as f64 / queries.len() as f64 * 100.0;
+    assert!(
+        misclass_pct <= 50.0,
+        "guarded misclassification {misclass_pct:.1}% under 5% faults"
+    );
+}
+
+#[test]
+fn dead_channels_are_detected_under_heavy_dropout() {
+    let (model, queries) = guarded_model();
+    // Long, frequent dropout episodes: whole windows of flatlined EMG.
+    let spec = FaultSpec {
+        emg_dropout_rate: 0.02,
+        emg_dropout_len: 60,
+        ..FaultSpec::none(FAULT_SEED)
+    };
+    let mut flagged = 0usize;
+    for q in queries.iter().take(4) {
+        let (fq, log) = inject_faults(q, &spec);
+        assert!(log.emg_flatline_samples > 0);
+        let c = model
+            .classify_record(&fq)
+            .expect("dropout degrades, never aborts");
+        flagged += c.health.dead_channel_windows.iter().sum::<usize>();
+    }
+    assert!(flagged > 0, "no dead-channel window was flagged");
+}
+
+#[test]
+fn bare_pipeline_rejects_faulty_queries_with_typed_errors() {
+    let (model, queries) = guarded_model();
+    let spec = FaultSpec::from_rate(0.05, FAULT_SEED);
+    let mut rejected = 0usize;
+    for q in &queries {
+        let (fq, _) = inject_faults(q, &spec);
+        // The unguarded pipeline: every outcome must be a value or a typed
+        // error — reaching the end of this loop proves nothing panicked.
+        match model.primary().classify_record(&fq) {
+            Ok(c) => assert!(c.feature_vector.as_slice().iter().all(|v| v.is_finite())),
+            Err(e) => {
+                rejected += 1;
+                // A real error type with a readable message, not a panic.
+                assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+    assert!(
+        rejected > 0,
+        "5% faults include NaN samples; some query must be rejected"
+    );
+}
+
+#[test]
+fn fault_injection_is_deterministic_in_the_seed() {
+    let ds = hand_dataset();
+    let spec = FaultSpec::from_rate(0.10, FAULT_SEED);
+    let r = &ds.records[0];
+    let (a, log_a) = inject_faults(r, &spec);
+    let (b, log_b) = inject_faults(r, &spec);
+    assert_eq!(log_a, log_b);
+    // Bit-exact corrupted streams (NaN-safe comparison via bit patterns).
+    for f in 0..a.frames() {
+        for ch in 0..a.emg.cols() {
+            assert_eq!(a.emg[(f, ch)].to_bits(), b.emg[(f, ch)].to_bits());
+        }
+        for m in 0..a.mocap.cols() {
+            assert_eq!(a.mocap[(f, m)].to_bits(), b.mocap[(f, m)].to_bits());
+        }
+    }
+    // A different seed produces a different corruption pattern.
+    let (_, log_c) = inject_faults(r, &spec.clone().with_seed(FAULT_SEED + 1));
+    assert_ne!(log_a, log_c);
+}
