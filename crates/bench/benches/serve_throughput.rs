@@ -1,0 +1,90 @@
+//! Criterion benchmarks for the `kinemyo-serve` daemon over real
+//! loopback sockets: end-to-end request latency at micro-batch budgets
+//! of 1, 8 and 64, so the coalescing win (and its latency cost) is
+//! measured, not assumed.
+//!
+//! Each iteration sends a fixed burst of `classify` requests from a few
+//! persistent client connections and waits for every response — the
+//! measured quantity is whole round trips through accept → queue →
+//! batcher → worker → reply, not serialization in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kinemyo::biosim::{Dataset, DatasetSpec, MotionRecord};
+use kinemyo::{MotionClassifier, PipelineConfig};
+use kinemyo_serve::{ServeClient, ServeConfig, Server};
+use std::time::Duration;
+
+/// Requests per measured burst (split across the client threads).
+const BURST: usize = 32;
+/// Persistent loopback connections driving the burst.
+const CLIENTS: usize = 4;
+
+fn trained_model() -> (MotionClassifier, Vec<MotionRecord>) {
+    let ds = Dataset::generate(DatasetSpec::hand_default().with_size(1, 3)).unwrap();
+    let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+    let config = PipelineConfig::default().with_clusters(10);
+    let model = MotionClassifier::train(&refs, ds.spec.limb, &config).unwrap();
+    (model, ds.records.clone())
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    // The bench is meaningless without a live JSON backend (the offline
+    // stub build compiles serde_json but cannot encode at runtime).
+    if serde_json::to_string(&0u32).is_err() {
+        eprintln!("skipping serve_throughput: serde_json stub build");
+        return;
+    }
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BURST as u64));
+
+    for batch_max in [1usize, 8, 64] {
+        let (model, records) = trained_model();
+        let config = ServeConfig::default()
+            .with_batch_max(batch_max)
+            .with_batch_wait(Duration::from_millis(2))
+            .with_workers(2)
+            .with_queue_capacity(2 * BURST);
+        let server = Server::start(model, config).expect("server starts");
+        let addr = server.local_addr();
+
+        group.bench_with_input(
+            BenchmarkId::new("loopback_burst32", batch_max),
+            &batch_max,
+            |b, _| {
+                b.iter(|| {
+                    let per_client = BURST / CLIENTS;
+                    std::thread::scope(|scope| {
+                        for t in 0..CLIENTS {
+                            let records = &records;
+                            scope.spawn(move || {
+                                let mut client = ServeClient::connect(addr).expect("connect");
+                                client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+                                for i in 0..per_client {
+                                    client
+                                        .classify(&records[(t + i) % records.len()])
+                                        .expect("classify served");
+                                }
+                            });
+                        }
+                    });
+                });
+            },
+        );
+
+        server.shutdown();
+        let stats = server.wait();
+        eprintln!(
+            "batch_max={batch_max}: served={} batches={} mean-batch={:.2} p50={}us p99={}us",
+            stats.served,
+            stats.batches,
+            stats.served as f64 / stats.batches.max(1) as f64,
+            stats.p50_latency_us,
+            stats.p99_latency_us
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

@@ -39,6 +39,15 @@ COMMANDS:
              [--guard]   classify through the fault guard (gap-fill,
              modality fallback, resync) instead of the bare pipeline
              [--health]  print the merged degradation report (needs --guard)
+  serve      run the classification daemon (blocks until 'shutdown')
+             --model MODEL.json  [--addr HOST:PORT (default 127.0.0.1:0)]
+             [--queue N] [--batch-max N] [--batch-wait-ms MS]
+             [--workers N] [--deadline-ms MS]
+             [--port-file PATH]  write the bound address for scripts
+  client     talk to a running daemon
+             --addr HOST:PORT  [--op classify|classify-batch|health|
+             stats|reload|shutdown (default health)]  [--timeout-ms MS]
+             classify ops need --dataset PATH [--record ID]
   help       show this text
 ";
 
@@ -367,6 +376,8 @@ pub fn run(args: &ParsedArgs) -> CliResult {
         "train" => train(args),
         "classify" => classify(args),
         "evaluate" => evaluate_cmd(args),
+        "serve" => crate::serving::serve(args),
+        "client" => crate::serving::client(args),
         "help" => {
             println!("{USAGE}");
             Ok(())

@@ -1,0 +1,175 @@
+//! `kinemyo serve` and `kinemyo client`: the daemon front end.
+//!
+//! `serve` loads a saved model, binds a TCP listener and blocks until a
+//! client sends `shutdown`; `client` speaks the newline-delimited JSON
+//! protocol for every operation the server understands, so the whole
+//! serve path can be driven from the shell (and from `scripts/check.sh`).
+
+use crate::args::{ArgError, ParsedArgs};
+use crate::commands::load_dataset;
+use kinemyo_serve::{BatchItem, Response, ServeClient, ServeConfig, Server};
+use std::error::Error;
+use std::path::Path;
+use std::time::Duration;
+
+type CliResult = std::result::Result<(), Box<dyn Error>>;
+
+/// `kinemyo serve`.
+pub fn serve(args: &ParsedArgs) -> CliResult {
+    args.check_allowed(&[
+        "model",
+        "addr",
+        "queue",
+        "batch-max",
+        "batch-wait-ms",
+        "workers",
+        "deadline-ms",
+        "port-file",
+    ])?;
+    let model_path = Path::new(args.require("model")?).to_owned();
+    let config = ServeConfig::default()
+        .with_addr(args.get("addr").unwrap_or("127.0.0.1:0"))
+        .with_queue_capacity(args.get_or("queue", 256usize)?)
+        .with_batch_max(args.get_or("batch-max", 16usize)?)
+        .with_batch_wait(Duration::from_millis(args.get_or("batch-wait-ms", 2u64)?))
+        .with_workers(args.get_or("workers", 2usize)?)
+        .with_request_deadline(Duration::from_millis(args.get_or("deadline-ms", 5000u64)?));
+    let server = Server::start_from_file(&model_path, config)?;
+    let addr = server.local_addr();
+    // Scripts race against daemon startup; the port file is their signal
+    // that the listener is bound (and, with port 0, where it landed).
+    if let Some(port_file) = args.get("port-file") {
+        std::fs::write(port_file, format!("{addr}\n"))?;
+    }
+    println!("serving {} on {addr}", model_path.display());
+    eprintln!("send a 'shutdown' request to stop (kinemyo client --addr {addr} --op shutdown)");
+    let stats = server.wait();
+    println!(
+        "server stopped: served={} shed={} failed={} expired={} batches={} reloads={} \
+         p50={}us p99={}us",
+        stats.served,
+        stats.shed,
+        stats.failed,
+        stats.deadline_expired,
+        stats.batches,
+        stats.reloads,
+        stats.p50_latency_us,
+        stats.p99_latency_us
+    );
+    Ok(())
+}
+
+/// `kinemyo client`.
+pub fn client(args: &ParsedArgs) -> CliResult {
+    args.check_allowed(&["addr", "op", "dataset", "record", "timeout-ms"])?;
+    let addr = args.require("addr")?;
+    let op = args.get("op").unwrap_or("health");
+    let mut client = ServeClient::connect(addr)?;
+    client.set_timeout(Some(Duration::from_millis(
+        args.get_or("timeout-ms", 30_000u64)?,
+    )))?;
+    match op {
+        "classify" | "classify-batch" => {
+            let ds = load_dataset(Path::new(args.require("dataset")?))?;
+            let only: Option<usize> = match args.get("record") {
+                Some(raw) => Some(
+                    raw.parse()
+                        .map_err(|_| ArgError(format!("--record: cannot parse '{raw}'")))?,
+                ),
+                None => None,
+            };
+            let records: Vec<_> = ds
+                .records
+                .iter()
+                .filter(|r| only.map_or(true, |id| r.id == id))
+                .cloned()
+                .collect();
+            if records.is_empty() {
+                return Err(Box::new(ArgError("no matching records".into())));
+            }
+            let items: Vec<BatchItem> = if op == "classify" {
+                // One request per record: exercises the single-classify path.
+                let mut items = Vec::with_capacity(records.len());
+                for r in &records {
+                    match client.classify(r) {
+                        Ok(result) => items.push(BatchItem::Ok { result }),
+                        Err(kinemyo_serve::CallOutcome::Rejected(resp)) => {
+                            items.push(rejection_to_item(*resp))
+                        }
+                        Err(kinemyo_serve::CallOutcome::Transport(e)) => return Err(Box::new(e)),
+                    }
+                }
+                items
+            } else {
+                client.classify_batch(&records).map_err(Box::new)?
+            };
+            let mut correct = 0usize;
+            let mut answered = 0usize;
+            for (r, item) in records.iter().zip(&items) {
+                match item {
+                    BatchItem::Ok { result } => {
+                        answered += 1;
+                        let ok = result.predicted == r.class;
+                        correct += ok as usize;
+                        println!(
+                            "record {:>4}  truth={:<12} predicted={:<12} {}",
+                            r.id,
+                            r.class.to_string(),
+                            result.predicted.to_string(),
+                            if ok { "ok" } else { "WRONG" }
+                        );
+                    }
+                    BatchItem::Overloaded => {
+                        println!("record {:>4}  overloaded (shed by server)", r.id)
+                    }
+                    BatchItem::DeadlineExceeded { waited_ms } => {
+                        println!("record {:>4}  deadline exceeded after {waited_ms} ms", r.id)
+                    }
+                    BatchItem::Failed { message } => {
+                        println!("record {:>4}  failed: {message}", r.id)
+                    }
+                }
+            }
+            if answered > 0 {
+                println!(
+                    "{correct}/{answered} correct ({:.1}%)",
+                    correct as f64 / answered as f64 * 100.0
+                );
+            }
+            Ok(())
+        }
+        "health" => print_response(client.health()?),
+        "stats" => print_response(client.call(&kinemyo_serve::Request::Stats)?),
+        "reload" => print_response(client.reload()?),
+        "shutdown" => print_response(client.shutdown()?),
+        other => Err(Box::new(ArgError(format!(
+            "unknown op '{other}' (expected classify, classify-batch, health, stats, \
+             reload or shutdown)"
+        )))),
+    }
+}
+
+/// Maps a whole-request rejection onto the equivalent per-item outcome
+/// so single and batch classify print through the same code path.
+fn rejection_to_item(resp: Response) -> BatchItem {
+    match resp {
+        Response::Overloaded { .. } => BatchItem::Overloaded,
+        Response::DeadlineExceeded { waited_ms } => BatchItem::DeadlineExceeded { waited_ms },
+        Response::ShuttingDown => BatchItem::Failed {
+            message: "server is shutting down".into(),
+        },
+        other => BatchItem::Failed {
+            message: format!("{other:?}"),
+        },
+    }
+}
+
+/// Prints a control-plane response as one JSON line (errors become
+/// process failures so scripts can branch on the exit code).
+fn print_response(resp: Response) -> CliResult {
+    if let Response::Error { message } = &resp {
+        return Err(Box::new(ArgError(format!("server error: {message}"))));
+    }
+    println!("{}", serde_json::to_string(&resp)?);
+    Ok(())
+}

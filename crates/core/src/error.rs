@@ -29,6 +29,20 @@ pub enum KinemyoError {
         /// Description of the violated invariant.
         reason: String,
     },
+    /// A saved model file could not be read or decoded (missing,
+    /// truncated, or not JSON). Distinct from [`Self::InvalidConfig`] so
+    /// operators can tell a corrupt artifact from a bad parameter.
+    ModelFormat {
+        /// What was wrong with the file.
+        reason: String,
+    },
+    /// A saved model declares a format version this build cannot load.
+    ModelVersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build writes and reads.
+        expected: u32,
+    },
     /// Feature extraction failed.
     Feature(kinemyo_features::FeatureError),
     /// Clustering failed.
@@ -52,6 +66,11 @@ impl fmt::Display for KinemyoError {
             }
             KinemyoError::CorruptInput { reason } => write!(f, "corrupt input: {reason}"),
             KinemyoError::Internal { reason } => write!(f, "internal error: {reason}"),
+            KinemyoError::ModelFormat { reason } => write!(f, "model file: {reason}"),
+            KinemyoError::ModelVersionMismatch { found, expected } => write!(
+                f,
+                "unsupported model format version {found} (this build expects {expected})"
+            ),
             KinemyoError::Feature(e) => write!(f, "feature extraction: {e}"),
             KinemyoError::Fuzzy(e) => write!(f, "clustering: {e}"),
             KinemyoError::Db(e) => write!(f, "database: {e}"),
@@ -122,5 +141,15 @@ mod tests {
             reason: "worker panicked".into(),
         };
         assert!(ie.to_string().contains("internal error"));
+        let mf = KinemyoError::ModelFormat {
+            reason: "truncated".into(),
+        };
+        assert!(mf.to_string().contains("truncated"));
+        let mv = KinemyoError::ModelVersionMismatch {
+            found: 999,
+            expected: 1,
+        };
+        let msg = mv.to_string();
+        assert!(msg.contains("999") && msg.contains('1'), "{msg}");
     }
 }

@@ -44,6 +44,9 @@
 //! * [`guard`] — sensor-fault supervision: gap-fill, modality fallback,
 //!   stream resync and structured health reporting over the streaming and
 //!   batch query paths;
+//! * [`shared`] — [`SharedModel`]: an atomically swappable `Arc` handle
+//!   to the current model, the hot-reload primitive used by the
+//!   `kinemyo-serve` daemon;
 //! * [`config`] — [`PipelineConfig`].
 //!
 //! Substrates live in sibling crates: `kinemyo-biosim` (synthetic
@@ -63,6 +66,7 @@ pub mod guard;
 pub mod persist;
 pub mod pipeline;
 pub mod select;
+pub mod shared;
 pub mod stream;
 
 pub use config::{PipelineConfig, PipelineConfigBuilder};
@@ -74,6 +78,7 @@ pub use guard::{
 };
 pub use pipeline::{class_index, pelvis_matrix, Classification, MotionClassifier, RecordMeta};
 pub use select::{select_cluster_count, ClusterSelection};
+pub use shared::SharedModel;
 pub use stream::StreamingSession;
 
 // Re-export the pieces examples and downstream users need most.
@@ -105,6 +110,7 @@ pub mod prelude {
     };
     pub use crate::pipeline::{Classification, MotionClassifier, RecordMeta};
     pub use crate::select::{select_cluster_count, ClusterSelection};
+    pub use crate::shared::SharedModel;
     pub use crate::stream::StreamingSession;
     pub use kinemyo_biosim::{Limb, MotionClass, MotionRecord};
     pub use kinemyo_features::Modality;

@@ -51,13 +51,44 @@ impl MotionClassifier {
     }
 
     /// Loads a model previously written by [`MotionClassifier::save_json`].
+    ///
+    /// Failure modes are typed: a missing/unreadable file, a truncated or
+    /// non-JSON artifact ([`KinemyoError::ModelFormat`]), and a format
+    /// version from a different build
+    /// ([`KinemyoError::ModelVersionMismatch`], carrying both the found
+    /// and the expected version) are all distinguishable by the caller —
+    /// a serving daemon keeps its current model and reports the reason
+    /// instead of dying on an opaque serde message.
     pub fn load_json(path: &Path) -> Result<Self> {
-        let json = std::fs::read_to_string(path).map_err(|e| KinemyoError::InvalidConfig {
+        let json = std::fs::read_to_string(path).map_err(|e| KinemyoError::ModelFormat {
             reason: format!("could not read {}: {e}", path.display()),
         })?;
+        // Peek at the version before strict decoding so a model written
+        // by a newer build reports a version mismatch (with both
+        // numbers), not a shape error about whatever field changed.
+        #[derive(Deserialize)]
+        struct VersionOnly {
+            version: u32,
+        }
+        let head: VersionOnly =
+            serde_json::from_str(&json).map_err(|e| KinemyoError::ModelFormat {
+                reason: format!(
+                    "{} is truncated or not a kinemyo model (JSON error: {e})",
+                    path.display()
+                ),
+            })?;
+        if head.version != FORMAT_VERSION {
+            return Err(KinemyoError::ModelVersionMismatch {
+                found: head.version,
+                expected: FORMAT_VERSION,
+            });
+        }
         let saved: SavedModel =
-            serde_json::from_str(&json).map_err(|e| KinemyoError::InvalidConfig {
-                reason: format!("model deserialization failed: {e}"),
+            serde_json::from_str(&json).map_err(|e| KinemyoError::ModelFormat {
+                reason: format!(
+                    "{} is truncated or not a kinemyo model (JSON error: {e})",
+                    path.display()
+                ),
             })?;
         Self::from_saved(saved)
     }
@@ -93,16 +124,66 @@ mod tests {
     }
 
     #[test]
-    fn load_rejects_garbage() {
+    fn load_rejects_garbage_with_typed_error() {
         let path = std::env::temp_dir().join("kinemyo_model_garbage.json");
         std::fs::write(&path, "{\"not\": \"a model\"}").unwrap();
-        assert!(MotionClassifier::load_json(&path).is_err());
+        let err = MotionClassifier::load_json(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
-        assert!(MotionClassifier::load_json(Path::new("/nonexistent/m.json")).is_err());
+        assert!(matches!(err, KinemyoError::ModelFormat { .. }), "{err}");
+        let err = MotionClassifier::load_json(Path::new("/nonexistent/m.json")).unwrap_err();
+        assert!(matches!(err, KinemyoError::ModelFormat { .. }), "{err}");
+    }
+
+    /// True when the real serde_json backend is linked in; tests that
+    /// must *write* a valid model file first skip under the offline
+    /// compile-only stub (see `.claude/skills/verify`).
+    fn json_available() -> bool {
+        serde_json::to_string(&0u32).is_ok()
     }
 
     #[test]
-    fn version_mismatch_is_rejected() {
+    fn load_rejects_truncated_file_with_typed_error() {
+        if !json_available() {
+            eprintln!("skipping: serde_json stub build");
+            return;
+        }
+        let ds = Dataset::generate(DatasetSpec::hand_default().with_size(1, 2)).unwrap();
+        let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+        let model = MotionClassifier::train(
+            &refs,
+            Limb::RightHand,
+            &PipelineConfig::default().with_clusters(5),
+        )
+        .unwrap();
+        let path = std::env::temp_dir().join("kinemyo_model_truncated.json");
+        model.save_json(&path).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &json[..json.len() / 2]).unwrap();
+        let err = MotionClassifier::load_json(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        match err {
+            KinemyoError::ModelFormat { reason } => {
+                assert!(reason.contains("truncated"), "{reason}")
+            }
+            other => panic!("expected ModelFormat, got {other}"),
+        }
+    }
+
+    #[test]
+    fn version_mismatch_reports_found_and_expected() {
+        // The Display assertions at the end run everywhere; the
+        // file-based path needs a real JSON backend.
+        let msg = KinemyoError::ModelVersionMismatch {
+            found: 999,
+            expected: FORMAT_VERSION,
+        }
+        .to_string();
+        assert!(msg.contains("999"), "{msg}");
+        assert!(msg.contains(&FORMAT_VERSION.to_string()), "{msg}");
+        if !json_available() {
+            eprintln!("skipping file roundtrip: serde_json stub build");
+            return;
+        }
         let ds = Dataset::generate(DatasetSpec::hand_default().with_size(1, 2)).unwrap();
         let refs: Vec<&MotionRecord> = ds.records.iter().collect();
         let model = MotionClassifier::train(
@@ -116,8 +197,14 @@ mod tests {
         let json = serde_json::to_string(&saved).unwrap();
         let path = std::env::temp_dir().join("kinemyo_model_badversion.json");
         std::fs::write(&path, json).unwrap();
-        let err = MotionClassifier::load_json(&path);
+        let err = MotionClassifier::load_json(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
-        assert!(err.is_err());
+        match err {
+            KinemyoError::ModelVersionMismatch { found, expected } => {
+                assert_eq!(found, 999);
+                assert_eq!(expected, FORMAT_VERSION);
+            }
+            other => panic!("expected ModelVersionMismatch, got {other}"),
+        }
     }
 }

@@ -39,7 +39,11 @@ pub struct RecordMeta {
 }
 
 /// Result of classifying one query motion.
-#[derive(Debug, Clone)]
+///
+/// Serializable so the wire protocol (`kinemyo-serve`) and offline
+/// tooling can move classification results between processes verbatim
+/// (`serde_json`'s `float_roundtrip` keeps the vectors bit-exact).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Classification {
     /// Majority-vote class over the k nearest neighbours.
     pub predicted: MotionClass,
@@ -438,12 +442,9 @@ impl MotionClassifier {
     /// Rebuilds a classifier from its on-disk representation.
     pub(crate) fn from_saved(saved: crate::persist::SavedModel) -> Result<Self> {
         if saved.version != crate::persist::FORMAT_VERSION {
-            return Err(KinemyoError::InvalidConfig {
-                reason: format!(
-                    "unsupported model format version {} (expected {})",
-                    saved.version,
-                    crate::persist::FORMAT_VERSION
-                ),
+            return Err(KinemyoError::ModelVersionMismatch {
+                found: saved.version,
+                expected: crate::persist::FORMAT_VERSION,
             });
         }
         saved.config.validate()?;

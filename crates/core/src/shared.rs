@@ -1,0 +1,145 @@
+//! Atomically swappable shared handle to a trained model.
+//!
+//! A serving process holds one trained [`MotionClassifier`] and fans
+//! queries across threads; an operator occasionally retrains and wants
+//! the running process to pick up the new model without a restart and
+//! without interrupting queries that are mid-flight. [`SharedModel`] is
+//! that handle: readers take a cheap `Arc` snapshot ([`SharedModel::load`],
+//! one `RwLock` read + one refcount bump), and a writer swaps in a
+//! replacement ([`SharedModel::swap`]) that only subsequent `load`s see.
+//! Requests already running keep their snapshot alive until they drop it,
+//! so a reload never invalidates in-flight work.
+
+use crate::pipeline::MotionClassifier;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cloneable, thread-safe handle to the current model. All clones point
+/// at the same slot: a [`swap`](Self::swap) through any clone is visible
+/// to every other clone's next [`load`](Self::load).
+#[derive(Debug, Clone)]
+pub struct SharedModel {
+    inner: Arc<Slot>,
+}
+
+#[derive(Debug)]
+struct Slot {
+    current: RwLock<Arc<MotionClassifier>>,
+    generation: AtomicU64,
+}
+
+impl SharedModel {
+    /// Wraps a freshly trained or loaded model. Generation starts at 0.
+    pub fn new(model: MotionClassifier) -> Self {
+        Self::from_arc(Arc::new(model))
+    }
+
+    /// Wraps an already shared model.
+    pub fn from_arc(model: Arc<MotionClassifier>) -> Self {
+        Self {
+            inner: Arc::new(Slot {
+                current: RwLock::new(model),
+                generation: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Snapshot of the current model. The returned `Arc` stays valid (and
+    /// keeps the model alive) across any number of concurrent swaps.
+    pub fn load(&self) -> Arc<MotionClassifier> {
+        self.inner.current.read().clone()
+    }
+
+    /// Replaces the current model, returning the previous one. Bumps
+    /// [`generation`](Self::generation). In-flight readers holding the
+    /// old `Arc` are unaffected.
+    pub fn swap(&self, next: MotionClassifier) -> Arc<MotionClassifier> {
+        self.swap_arc(Arc::new(next))
+    }
+
+    /// [`swap`](Self::swap) for an already shared replacement.
+    pub fn swap_arc(&self, next: Arc<MotionClassifier>) -> Arc<MotionClassifier> {
+        let mut guard = self.inner.current.write();
+        let old = std::mem::replace(&mut *guard, next);
+        // Bump while the write lock is held so (model, generation) pairs
+        // observed under a read lock are never torn.
+        self.inner.generation.fetch_add(1, Ordering::Release);
+        old
+    }
+
+    /// Number of swaps performed on this handle since creation.
+    pub fn generation(&self) -> u64 {
+        self.inner.generation.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use kinemyo_biosim::{Dataset, DatasetSpec, Limb, MotionRecord};
+
+    fn tiny_model(clusters: usize) -> MotionClassifier {
+        let ds = Dataset::generate(DatasetSpec::hand_default().with_size(1, 2)).unwrap();
+        let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+        MotionClassifier::train(
+            &refs,
+            Limb::RightHand,
+            &PipelineConfig::default().with_clusters(clusters),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn load_swap_generation() {
+        let shared = SharedModel::new(tiny_model(4));
+        assert_eq!(shared.generation(), 0);
+        let before = shared.load();
+        assert_eq!(before.fcm().num_clusters(), 4);
+
+        let old = shared.swap(tiny_model(5));
+        assert_eq!(shared.generation(), 1);
+        assert_eq!(old.fcm().num_clusters(), 4);
+        assert_eq!(shared.load().fcm().num_clusters(), 5);
+        // The pre-swap snapshot is still alive and unchanged.
+        assert_eq!(before.fcm().num_clusters(), 4);
+    }
+
+    #[test]
+    fn clones_share_the_slot() {
+        let a = SharedModel::new(tiny_model(4));
+        let b = a.clone();
+        b.swap(tiny_model(6));
+        assert_eq!(a.load().fcm().num_clusters(), 6);
+        assert_eq!(a.generation(), 1);
+        assert_eq!(b.generation(), 1);
+    }
+
+    #[test]
+    fn concurrent_loads_during_swaps_see_whole_models() {
+        let shared = SharedModel::new(tiny_model(4));
+        std::thread::scope(|scope| {
+            let readers: Vec<_> = (0..4)
+                .map(|_| {
+                    let shared = &shared;
+                    scope.spawn(move || {
+                        for _ in 0..200 {
+                            let m = shared.load();
+                            let c = m.fcm().num_clusters();
+                            assert!(c == 4 || c == 5, "torn model: {c} clusters");
+                        }
+                    })
+                })
+                .collect();
+            let m5 = tiny_model(5);
+            let m4 = tiny_model(4);
+            shared.swap(m5);
+            shared.swap(m4);
+            for r in readers {
+                r.join().unwrap();
+            }
+        });
+        assert_eq!(shared.generation(), 2);
+    }
+}

@@ -5,9 +5,10 @@
 use crate::error::{DbError, Result};
 use crate::store::FeatureDb;
 use kinemyo_linalg::vector::euclidean;
+use serde::{Deserialize, Serialize};
 
 /// One retrieved neighbour.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Neighbor<M> {
     /// Stored entry id.
     pub id: usize,

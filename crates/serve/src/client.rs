@@ -1,0 +1,121 @@
+//! Blocking client for the newline-delimited JSON protocol.
+//!
+//! One connection, synchronous request/response. Used by the
+//! `kinemyo client` subcommand, the loopback benchmarks, and the
+//! end-to-end tests; third parties can speak the protocol with nothing
+//! but a TCP socket and a JSON library.
+
+use crate::protocol::{read_frame, write_frame, BatchItem, Request, Response, ServeError};
+use crate::stats::StatsSnapshot;
+use kinemyo::pipeline::Classification;
+use kinemyo_biosim::MotionRecord;
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected protocol client.
+#[derive(Debug)]
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Caps how long [`ServeClient::call`] waits for a response.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ServeError> {
+        self.writer.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one request and reads its response.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ServeError> {
+        write_frame(&mut self.writer, request)?;
+        read_frame(&mut self.reader)
+    }
+
+    /// Classifies one record, unwrapping the success case. Typed
+    /// rejections (`overloaded`, `shutting_down`, ...) surface as the
+    /// raw [`Response`] in the error position so callers can branch.
+    pub fn classify(&mut self, record: &MotionRecord) -> Result<Classification, CallOutcome> {
+        let response = self
+            .call(&Request::Classify {
+                record: record.clone(),
+            })
+            .map_err(CallOutcome::Transport)?;
+        match response {
+            Response::Result { result } => Ok(result),
+            other => Err(CallOutcome::Rejected(Box::new(other))),
+        }
+    }
+
+    /// Classifies a batch, returning per-item outcomes in input order.
+    pub fn classify_batch(
+        &mut self,
+        records: &[MotionRecord],
+    ) -> Result<Vec<BatchItem>, CallOutcome> {
+        let response = self
+            .call(&Request::ClassifyBatch {
+                records: records.to_vec(),
+            })
+            .map_err(CallOutcome::Transport)?;
+        match response {
+            Response::BatchResult { results } => Ok(results),
+            other => Err(CallOutcome::Rejected(Box::new(other))),
+        }
+    }
+
+    /// Fetches the server stats snapshot.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, CallOutcome> {
+        match self.call(&Request::Stats).map_err(CallOutcome::Transport)? {
+            Response::Stats { stats } => Ok(stats),
+            other => Err(CallOutcome::Rejected(Box::new(other))),
+        }
+    }
+
+    /// Probes server health (generation, motion count, limb, uptime).
+    pub fn health(&mut self) -> Result<Response, ServeError> {
+        self.call(&Request::Health)
+    }
+
+    /// Asks the server to re-read its model file.
+    pub fn reload(&mut self) -> Result<Response, ServeError> {
+        self.call(&Request::Reload)
+    }
+
+    /// Asks the server to drain and exit; returns the ack.
+    pub fn shutdown(&mut self) -> Result<Response, ServeError> {
+        self.call(&Request::Shutdown)
+    }
+}
+
+/// Why a typed convenience call did not produce its success value.
+#[derive(Debug)]
+pub enum CallOutcome {
+    /// The socket or framing failed.
+    Transport(ServeError),
+    /// The server answered, but with a non-success response
+    /// (`overloaded`, `shutting_down`, `deadline_exceeded`, `error`).
+    Rejected(Box<Response>),
+}
+
+impl std::fmt::Display for CallOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallOutcome::Transport(e) => write!(f, "transport: {e}"),
+            CallOutcome::Rejected(r) => write!(f, "rejected: {r:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CallOutcome {}

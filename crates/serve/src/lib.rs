@@ -1,0 +1,65 @@
+//! # kinemyo-serve
+//!
+//! A production-shaped classification daemon for the kinemyo pipeline:
+//! newline-delimited JSON over TCP, a bounded request queue with explicit
+//! load shedding, a micro-batcher that coalesces concurrent queries onto
+//! [`MotionClassifier::classify_batch`](kinemyo::MotionClassifier::classify_batch),
+//! hot model reload through an atomically swappable
+//! [`SharedModel`](kinemyo::SharedModel), per-request deadlines, and a
+//! graceful drain shutdown. Plain `std::net` + OS threads — no async
+//! runtime.
+//!
+//! ## Architecture
+//!
+//! ```text
+//! clients ──TCP──► acceptor ──► connection threads
+//!                                   │ try_send (shed on full)
+//!                                   ▼
+//!                     bounded job queue (sync_channel)
+//!                                   ▼
+//!                     micro-batcher (size/time budget)
+//!                                   ▼
+//!                     worker pool ── classify_batch ──► per-job replies
+//! ```
+//!
+//! Backpressure is honest end to end: every queue is bounded, and a full
+//! queue produces a typed `overloaded` response instead of latency.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use kinemyo_serve::{ServeClient, ServeConfig, Server};
+//! # use kinemyo::{MotionClassifier, PipelineConfig};
+//! # use kinemyo_biosim::{Dataset, DatasetSpec};
+//! # let dataset = Dataset::generate(DatasetSpec::hand_default().with_size(1, 2)).unwrap();
+//! # let refs: Vec<_> = dataset.records.iter().collect();
+//! # let model = MotionClassifier::train(&refs, dataset.spec.limb,
+//! #     &PipelineConfig::default()).unwrap();
+//!
+//! let server = Server::start(model, ServeConfig::default()).unwrap();
+//! let addr = server.local_addr();
+//!
+//! let mut client = ServeClient::connect(addr).unwrap();
+//! let result = client.classify(&dataset.records[0]).unwrap();
+//! println!("predicted {:?}", result.predicted);
+//!
+//! server.shutdown();
+//! let stats = server.wait();
+//! assert_eq!(stats.served, 1);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use client::{CallOutcome, ServeClient};
+pub use protocol::{
+    decode_frame, read_frame, write_frame, BatchItem, Request, Response, ServeError,
+    MAX_FRAME_BYTES,
+};
+pub use server::{ServeConfig, Server};
+pub use stats::{StatsCollector, StatsSnapshot, BATCH_BOUNDS, LATENCY_BOUNDS_US};

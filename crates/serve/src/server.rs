@@ -1,0 +1,767 @@
+//! The classification daemon: acceptor → bounded queue → micro-batcher →
+//! worker pool, with hot model reload and graceful drain.
+//!
+//! Thread layout (all plain std threads; no async runtime):
+//!
+//! ```text
+//! acceptor ──spawns──▶ connection threads (one per client)
+//!                         │  try_send — full queue ⇒ typed `overloaded`
+//!                         ▼
+//!                 bounded job queue (sync_channel)
+//!                         │
+//!                      batcher  — coalesces ≤ batch_max jobs per
+//!                         │       batch_wait, expires stale jobs
+//!                         ▼
+//!                 bounded batch channel
+//!                         │
+//!                  worker pool (×N) — SharedModel::load() once per
+//!                         │           batch ⇒ reload-safe snapshot
+//!                         ▼
+//!            MotionClassifier::classify_batch
+//! ```
+//!
+//! Shedding happens at the *entrance*: a connection thread's `try_send`
+//! onto the bounded queue either succeeds or immediately produces a
+//! typed `overloaded` response, so memory use is constant no matter the
+//! offered load. Shutdown is a drain: the flag stops new work, queued
+//! jobs still get answers, and every thread exits through channel
+//! disconnection — no thread is ever killed mid-request.
+
+use crate::protocol::{
+    decode_frame, write_frame, BatchItem, Request, Response, ServeError, MAX_FRAME_BYTES,
+};
+use crate::stats::{StatsCollector, StatsSnapshot};
+use kinemyo::{MotionClassifier, SharedModel};
+use kinemyo_biosim::MotionRecord;
+use parking_lot::Mutex;
+use std::io::{BufRead, BufReader, ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server`]. The defaults suit an interactive
+/// deployment: shallow queue (bounded latency), small batch window
+/// (coalesce bursts without adding visible delay).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Bounded request-queue capacity; arrivals beyond it are shed.
+    pub queue_capacity: usize,
+    /// Most jobs coalesced into one `classify_batch` call.
+    pub batch_max: usize,
+    /// How long the batcher waits to fill a batch after the first job.
+    pub batch_wait: Duration,
+    /// Worker threads executing batches.
+    pub workers: usize,
+    /// Queue-time budget per request; jobs older than this are expired
+    /// with a typed `deadline_exceeded` instead of being computed.
+    pub request_deadline: Duration,
+    /// Artificial delay before each batch executes. A fault-injection
+    /// knob in the spirit of `kinemyo-biosim::faults`: tests and load
+    /// experiments use it to make overload and drain scenarios
+    /// deterministic. Keep at zero in production.
+    pub worker_delay: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            queue_capacity: 256,
+            batch_max: 16,
+            batch_wait: Duration::from_millis(2),
+            workers: 2,
+            request_deadline: Duration::from_secs(5),
+            worker_delay: Duration::ZERO,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the listen address.
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the bounded queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the micro-batch size budget.
+    pub fn with_batch_max(mut self, batch_max: usize) -> Self {
+        self.batch_max = batch_max;
+        self
+    }
+
+    /// Sets the micro-batch time budget.
+    pub fn with_batch_wait(mut self, batch_wait: Duration) -> Self {
+        self.batch_wait = batch_wait;
+        self
+    }
+
+    /// Sets the worker-pool size.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the per-request queue-time budget.
+    pub fn with_request_deadline(mut self, deadline: Duration) -> Self {
+        self.request_deadline = deadline;
+        self
+    }
+
+    /// Sets the fault-injection worker delay (tests only).
+    pub fn with_worker_delay(mut self, delay: Duration) -> Self {
+        self.worker_delay = delay;
+        self
+    }
+
+    /// Rejects configurations that would deadlock or never serve.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.queue_capacity == 0 {
+            return Err(ServeError::Config {
+                reason: "queue_capacity must be >= 1 (0 would rendezvous every request)".into(),
+            });
+        }
+        if self.batch_max == 0 {
+            return Err(ServeError::Config {
+                reason: "batch_max must be >= 1".into(),
+            });
+        }
+        if self.workers == 0 {
+            return Err(ServeError::Config {
+                reason: "workers must be >= 1".into(),
+            });
+        }
+        if self.request_deadline.is_zero() {
+            return Err(ServeError::Config {
+                reason: "request_deadline must be > 0".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One queued classification job. `resp` routes the answer back to the
+/// connection thread that submitted it; `index` is its position within
+/// the client's request (0 for single classifies).
+struct Job {
+    record: MotionRecord,
+    index: usize,
+    resp: mpsc::Sender<(usize, BatchItem)>,
+    enqueued: Instant,
+    deadline: Instant,
+}
+
+/// State shared by every server thread.
+struct ServerShared {
+    model: SharedModel,
+    model_path: Option<PathBuf>,
+    stats: StatsCollector,
+    shutting_down: AtomicBool,
+    started: Instant,
+    config: ServeConfig,
+}
+
+impl ServerShared {
+    fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis().min(u64::MAX as u128) as u64
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        self.stats
+            .snapshot(self.uptime_ms(), self.model.generation())
+    }
+}
+
+/// A running classification daemon. Dropping the handle shuts the
+/// server down and joins every thread.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    acceptor: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Starts a server around a freshly trained/loaded model. `reload`
+    /// requests will be refused (there is no file to re-read); use
+    /// [`Server::start_from_file`] for reloadable deployments.
+    pub fn start(model: MotionClassifier, config: ServeConfig) -> Result<Self, ServeError> {
+        Self::start_shared(SharedModel::new(model), None, config)
+    }
+
+    /// Loads a saved model and starts a server that can hot-reload it:
+    /// a `reload` request re-reads `path` and atomically swaps the new
+    /// model in while in-flight requests finish on the old one.
+    pub fn start_from_file(path: &Path, config: ServeConfig) -> Result<Self, ServeError> {
+        let model = MotionClassifier::load_json(path)?;
+        Self::start_shared(SharedModel::new(model), Some(path.to_owned()), config)
+    }
+
+    /// Starts a server over an externally owned [`SharedModel`] handle
+    /// (the caller may swap models itself, e.g. after in-process
+    /// retraining).
+    pub fn start_shared(
+        model: SharedModel,
+        model_path: Option<PathBuf>,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        config.validate()?;
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let shared = Arc::new(ServerShared {
+            model,
+            model_path,
+            stats: StatsCollector::new(),
+            shutting_down: AtomicBool::new(false),
+            started: Instant::now(),
+            config: config.clone(),
+        });
+
+        // Bounded end to end: queue (admission), batch channel
+        // (dispatch). When workers fall behind, the batch channel fills,
+        // then the queue fills, then arrivals shed — memory stays flat.
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue_capacity);
+        let (batch_tx, batch_rx) = mpsc::sync_channel::<Vec<Job>>(config.workers);
+        let batch_rx = Arc::new(Mutex::new(batch_rx));
+
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let batch_rx = Arc::clone(&batch_rx);
+                std::thread::Builder::new()
+                    .name(format!("kinemyo-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&batch_rx, &shared))
+                    .map_err(ServeError::Io)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("kinemyo-serve-batcher".into())
+                .spawn(move || batcher_loop(&job_rx, &batch_tx, &shared))
+                .map_err(ServeError::Io)?
+        };
+
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("kinemyo-serve-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &shared, &conns, &job_tx))
+                .map_err(ServeError::Io)?
+        };
+
+        Ok(Self {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            batcher: Some(batcher),
+            workers,
+            conns,
+        })
+    }
+
+    /// The address the server is listening on (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the server counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// The shared model handle (swap through it for in-process reload).
+    pub fn model(&self) -> SharedModel {
+        self.shared.model.clone()
+    }
+
+    /// True once shutdown has begun (via this handle or a client
+    /// `shutdown` request).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::Acquire)
+    }
+
+    /// Begins a graceful shutdown: stop admitting work, drain the
+    /// queue, answer everything in flight. Returns immediately; use
+    /// [`Server::wait`] (or drop the handle) to block until drained.
+    pub fn shutdown(&self) {
+        self.shared.shutting_down.store(true, Ordering::Release);
+    }
+
+    /// Blocks until the server has fully drained and every thread has
+    /// exited. Returns the final stats snapshot. If shutdown has not
+    /// been requested yet, this waits for a client `shutdown` request —
+    /// the blocking call a daemon `main` wants.
+    pub fn wait(mut self) -> StatsSnapshot {
+        self.join_all();
+        self.shared.snapshot()
+    }
+
+    fn join_all(&mut self) {
+        // Join order mirrors the drain cascade: the acceptor exits on
+        // the flag and drops its queue sender; connection threads exit
+        // (flag, ≤ the 100 ms read timeout) and drop theirs; the
+        // batcher then sees the queue disconnect *after* consuming
+        // every queued job, drops the batch sender; workers finish the
+        // remaining batches and exit.
+        if let Some(h) = self.acceptor.take() {
+            h.join().ok();
+        }
+        loop {
+            let handles: Vec<_> = self.conns.lock().drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                h.join().ok();
+            }
+        }
+        if let Some(h) = self.batcher.take() {
+            h.join().ok();
+        }
+        for h in self.workers.drain(..) {
+            h.join().ok();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+        self.join_all();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("shutting_down", &self.is_shutting_down())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Accepts connections until shutdown; owns the original queue sender
+/// and hands a clone to each connection thread.
+fn acceptor_loop(
+    listener: &TcpListener,
+    shared: &Arc<ServerShared>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    job_tx: &SyncSender<Job>,
+) {
+    while !shared.shutting_down.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.stats.record_connection();
+                let shared = Arc::clone(shared);
+                let job_tx = job_tx.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("kinemyo-serve-conn".into())
+                    .spawn(move || connection_loop(stream, &shared, &job_tx));
+                if let Ok(handle) = spawned {
+                    conns.lock().push(handle);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Serves one client: read frame → dispatch → write frame, until EOF,
+/// error, or shutdown.
+fn connection_loop(stream: TcpStream, shared: &Arc<ServerShared>, job_tx: &SyncSender<Job>) {
+    stream.set_nodelay(true).ok();
+    // The periodic timeout is the shutdown poll: an idle connection
+    // notices the drain flag within 100 ms instead of pinning `join`.
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    // `take` hard-bounds how much of an unterminated frame we will ever
+    // buffer; the limit is topped back up after each completed frame.
+    let mut reader = BufReader::new(read_half.take(MAX_FRAME_BYTES as u64 + 1));
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF (or the take-limit; both end the conn)
+            Ok(_) => {
+                if line.len() > MAX_FRAME_BYTES {
+                    let resp = Response::Error {
+                        message: ServeError::FrameTooLarge {
+                            got: line.len(),
+                            max: MAX_FRAME_BYTES,
+                        }
+                        .to_string(),
+                    };
+                    write_frame(&mut writer, &resp).ok();
+                    break;
+                }
+                if line.trim().is_empty() {
+                    // Blank keep-alive line; ignore.
+                    line.clear();
+                    reader.get_mut().set_limit(MAX_FRAME_BYTES as u64 + 1);
+                    continue;
+                }
+                let (resp, close) = dispatch(&line, shared, job_tx);
+                line.clear();
+                reader.get_mut().set_limit(MAX_FRAME_BYTES as u64 + 1);
+                if write_frame(&mut writer, &resp).is_err() || close {
+                    break;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if line.len() > MAX_FRAME_BYTES {
+                    let resp = Response::Error {
+                        message: ServeError::FrameTooLarge {
+                            got: line.len(),
+                            max: MAX_FRAME_BYTES,
+                        }
+                        .to_string(),
+                    };
+                    write_frame(&mut writer, &resp).ok();
+                    break;
+                }
+                if shared.shutting_down.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Handles one decoded frame. Returns the response and whether the
+/// connection should close afterwards.
+fn dispatch(line: &str, shared: &Arc<ServerShared>, job_tx: &SyncSender<Job>) -> (Response, bool) {
+    let request: Request = match decode_frame(line) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.stats.record_malformed();
+            return (
+                Response::Error {
+                    message: e.to_string(),
+                },
+                false,
+            );
+        }
+    };
+    match request {
+        Request::Classify { record } => {
+            if shared.shutting_down.load(Ordering::Acquire) {
+                shared.stats.record_rejected_shutdown();
+                return (Response::ShuttingDown, false);
+            }
+            let mut items = submit_and_wait(vec![record], shared, job_tx);
+            let response = match items.pop().expect("one item per record") {
+                BatchItem::Ok { result } => Response::Result { result },
+                BatchItem::Overloaded => Response::Overloaded {
+                    queue_capacity: shared.config.queue_capacity,
+                },
+                BatchItem::DeadlineExceeded { waited_ms } => {
+                    Response::DeadlineExceeded { waited_ms }
+                }
+                BatchItem::Failed { message } => Response::Error { message },
+            };
+            (response, false)
+        }
+        Request::ClassifyBatch { records } => {
+            if shared.shutting_down.load(Ordering::Acquire) {
+                shared.stats.record_rejected_shutdown();
+                return (Response::ShuttingDown, false);
+            }
+            let results = submit_and_wait(records, shared, job_tx);
+            (Response::BatchResult { results }, false)
+        }
+        Request::Health => {
+            let model = shared.model.load();
+            let motions = model.db().len();
+            (
+                Response::Health {
+                    model_generation: shared.model.generation(),
+                    motions,
+                    limb: model.limb(),
+                    uptime_ms: shared.uptime_ms(),
+                },
+                false,
+            )
+        }
+        Request::Stats => (
+            Response::Stats {
+                stats: shared.snapshot(),
+            },
+            false,
+        ),
+        Request::Reload => (do_reload(shared), false),
+        Request::Shutdown => {
+            shared.shutting_down.store(true, Ordering::Release);
+            // Ack, then close; the drain cascade takes it from here.
+            (Response::ShuttingDown, true)
+        }
+    }
+}
+
+/// Enqueues each record as a job and collects per-item outcomes in
+/// input order. Items that cannot be admitted are answered immediately
+/// (`overloaded`), without failing their siblings.
+fn submit_and_wait(
+    records: Vec<MotionRecord>,
+    shared: &Arc<ServerShared>,
+    job_tx: &SyncSender<Job>,
+) -> Vec<BatchItem> {
+    let n = records.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let (resp_tx, resp_rx) = mpsc::channel();
+    let mut items: Vec<Option<BatchItem>> = (0..n).map(|_| None).collect();
+    let mut pending = 0usize;
+    let now = Instant::now();
+    let deadline = now + shared.config.request_deadline;
+    for (index, record) in records.into_iter().enumerate() {
+        let job = Job {
+            record,
+            index,
+            resp: resp_tx.clone(),
+            enqueued: now,
+            deadline,
+        };
+        match job_tx.try_send(job) {
+            Ok(()) => {
+                shared.stats.queue_entered();
+                pending += 1;
+            }
+            Err(TrySendError::Full(_)) => {
+                shared.stats.record_shed();
+                items[index] = Some(BatchItem::Overloaded);
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                items[index] = Some(BatchItem::Failed {
+                    message: "server pipeline stopped".into(),
+                });
+            }
+        }
+    }
+    drop(resp_tx);
+    // Backstop well past the deadline: if a response ever went missing
+    // (a worker died), the client gets a typed failure, not a hang.
+    let hard_stop = deadline + Duration::from_secs(30);
+    while pending > 0 {
+        let budget = hard_stop
+            .saturating_duration_since(Instant::now())
+            .max(Duration::from_millis(1));
+        match resp_rx.recv_timeout(budget) {
+            Ok((index, item)) => {
+                if items[index].is_none() {
+                    pending -= 1;
+                }
+                items[index] = Some(item);
+            }
+            Err(_) => break,
+        }
+    }
+    items
+        .into_iter()
+        .map(|slot| {
+            slot.unwrap_or(BatchItem::Failed {
+                message: "response lost (worker gave no answer)".into(),
+            })
+        })
+        .collect()
+}
+
+/// Re-reads the model file and swaps it in atomically. Any failure
+/// keeps the current model serving.
+fn do_reload(shared: &Arc<ServerShared>) -> Response {
+    let Some(path) = &shared.model_path else {
+        return Response::Error {
+            message: "server was not started from a model file; nothing to reload".into(),
+        };
+    };
+    match MotionClassifier::load_json(path) {
+        Ok(next) => {
+            let current = shared.model.load();
+            if next.limb() != current.limb() {
+                return Response::Error {
+                    message: format!(
+                        "reload refused: file is a {} model but this server serves {}",
+                        next.limb(),
+                        current.limb()
+                    ),
+                };
+            }
+            shared.model.swap(next);
+            shared.stats.record_reload();
+            let swapped = shared.model.load();
+            let motions = swapped.db().len();
+            Response::Reloaded {
+                model_generation: shared.model.generation(),
+                motions,
+            }
+        }
+        Err(e) => Response::Error {
+            message: format!("reload failed, keeping current model: {e}"),
+        },
+    }
+}
+
+/// Coalesces queued jobs into batches within the time/size budget and
+/// expires jobs that outlived their deadline.
+fn batcher_loop(
+    job_rx: &Receiver<Job>,
+    batch_tx: &SyncSender<Vec<Job>>,
+    shared: &Arc<ServerShared>,
+) {
+    let config = &shared.config;
+    loop {
+        // Anchor job: block until work arrives or every sender is gone
+        // (the drain cascade's end-of-input signal).
+        let first = match job_rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        shared.stats.queue_left();
+        let mut jobs = vec![first];
+        let batch_deadline = Instant::now() + config.batch_wait;
+        while jobs.len() < config.batch_max {
+            let now = Instant::now();
+            if now >= batch_deadline {
+                // Budget spent: still take whatever is already queued.
+                match job_rx.try_recv() {
+                    Ok(job) => {
+                        shared.stats.queue_left();
+                        jobs.push(job);
+                        continue;
+                    }
+                    Err(_) => break,
+                }
+            }
+            match job_rx.recv_timeout(batch_deadline - now) {
+                Ok(job) => {
+                    shared.stats.queue_left();
+                    jobs.push(job);
+                }
+                Err(_) => break,
+            }
+        }
+        let now = Instant::now();
+        jobs.retain(|job| {
+            if now > job.deadline {
+                shared.stats.record_deadline_expired();
+                let waited_ms = now.duration_since(job.enqueued).as_millis() as u64;
+                job.resp
+                    .send((job.index, BatchItem::DeadlineExceeded { waited_ms }))
+                    .ok();
+                false
+            } else {
+                true
+            }
+        });
+        if jobs.is_empty() {
+            continue;
+        }
+        if batch_tx.send(jobs).is_err() {
+            break; // workers gone; nothing left to do
+        }
+    }
+}
+
+/// Executes batches: one model snapshot per batch (reload-safe), fan
+/// out through `classify_batch`, route answers back per job.
+fn worker_loop(batch_rx: &Arc<Mutex<Receiver<Vec<Job>>>>, shared: &Arc<ServerShared>) {
+    loop {
+        // Hold the receiver lock only for the dequeue so the pool
+        // drains batches concurrently.
+        let next = { batch_rx.lock().recv() };
+        let Ok(jobs) = next else { break };
+        if !shared.config.worker_delay.is_zero() {
+            std::thread::sleep(shared.config.worker_delay);
+        }
+        let model = shared.model.load();
+        shared.stats.record_batch(jobs.len());
+        let refs: Vec<&MotionRecord> = jobs.iter().map(|job| &job.record).collect();
+        let results = model.classify_batch(&refs);
+        for (job, result) in jobs.iter().zip(results) {
+            shared.stats.record_latency(job.enqueued.elapsed());
+            let item = match result {
+                Ok(classification) => {
+                    shared.stats.record_served();
+                    BatchItem::Ok {
+                        result: classification,
+                    }
+                }
+                Err(e) => {
+                    shared.stats.record_failed();
+                    BatchItem::Failed {
+                        message: e.to_string(),
+                    }
+                }
+            };
+            job.resp.send((job.index, item)).ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_rejects_degenerate_knobs() {
+        assert!(ServeConfig::default().validate().is_ok());
+        assert!(ServeConfig::default()
+            .with_queue_capacity(0)
+            .validate()
+            .is_err());
+        assert!(ServeConfig::default().with_batch_max(0).validate().is_err());
+        assert!(ServeConfig::default().with_workers(0).validate().is_err());
+        assert!(ServeConfig::default()
+            .with_request_deadline(Duration::ZERO)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn config_builders_set_fields() {
+        let c = ServeConfig::default()
+            .with_addr("0.0.0.0:9000")
+            .with_queue_capacity(7)
+            .with_batch_max(3)
+            .with_batch_wait(Duration::from_millis(9))
+            .with_workers(5)
+            .with_request_deadline(Duration::from_secs(1))
+            .with_worker_delay(Duration::from_millis(1));
+        assert_eq!(c.addr, "0.0.0.0:9000");
+        assert_eq!(c.queue_capacity, 7);
+        assert_eq!(c.batch_max, 3);
+        assert_eq!(c.batch_wait, Duration::from_millis(9));
+        assert_eq!(c.workers, 5);
+        assert_eq!(c.request_deadline, Duration::from_secs(1));
+        assert_eq!(c.worker_delay, Duration::from_millis(1));
+    }
+}

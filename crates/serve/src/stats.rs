@@ -1,0 +1,317 @@
+//! Lock-free server counters: request outcomes, queue depth, batch-size
+//! and latency histograms.
+//!
+//! The collector is a bag of atomics touched on the hot path; the
+//! [`StatsSnapshot`] read model is assembled on demand for the `stats`
+//! request. Latency percentiles come from a fixed-bucket histogram —
+//! O(1) per observation, a few hundred bytes of state, no allocation and
+//! no dependency — at the cost of quantiles being rounded up to a bucket
+//! boundary.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds (inclusive, µs) of the latency buckets; one overflow
+/// bucket follows. Spacing is roughly ×2.5 from 100 µs to 10 s, which
+/// brackets everything from a warm micro-batch to a pathological stall.
+pub const LATENCY_BOUNDS_US: [u64; 16] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000, 10_000_000,
+];
+
+/// Upper bounds (inclusive) of the batch-size buckets; one overflow
+/// bucket follows.
+pub const BATCH_BOUNDS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+const LAT_BUCKETS: usize = LATENCY_BOUNDS_US.len() + 1;
+const BATCH_BUCKETS: usize = BATCH_BOUNDS.len() + 1;
+
+/// Hot-path counters, shared across server threads behind an `Arc`.
+#[derive(Debug, Default)]
+pub struct StatsCollector {
+    served: AtomicU64,
+    shed: AtomicU64,
+    failed: AtomicU64,
+    deadline_expired: AtomicU64,
+    malformed: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    reloads: AtomicU64,
+    connections: AtomicU64,
+    batches: AtomicU64,
+    queue_depth: AtomicI64,
+    batch_hist: [AtomicU64; BATCH_BUCKETS],
+    latency_hist: [AtomicU64; LAT_BUCKETS],
+}
+
+impl StatsCollector {
+    /// Fresh collector with every counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A request was classified and answered.
+    pub fn record_served(&self) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request was shed because the queue was full.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The pipeline returned an error for a request.
+    pub fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request expired in the queue.
+    pub fn record_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A frame could not be decoded.
+    pub fn record_malformed(&self) {
+        self.malformed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request arrived after shutdown began and was refused.
+    pub fn record_rejected_shutdown(&self) {
+        self.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A model reload succeeded.
+    pub fn record_reload(&self) {
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A client connection was accepted.
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job entered the bounded queue.
+    pub fn queue_entered(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job left the bounded queue (into a batch).
+    pub fn queue_left(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A batch of `size` jobs was dispatched to a worker.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let idx = BATCH_BOUNDS
+            .iter()
+            .position(|&b| size <= b)
+            .unwrap_or(BATCH_BOUNDS.len());
+        self.batch_hist[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request's queue-to-answer latency.
+    pub fn record_latency(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let idx = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        self.latency_hist[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Assembles the read model. Counters keep running while the
+    /// snapshot is taken; the result is consistent to within the
+    /// requests in flight at that instant.
+    pub fn snapshot(&self, uptime_ms: u64, model_generation: u64) -> StatsSnapshot {
+        let latency_hist: Vec<u64> = self
+            .latency_hist
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        StatsSnapshot {
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed).max(0) as u64,
+            p50_latency_us: quantile_us(&latency_hist, 0.50),
+            p99_latency_us: quantile_us(&latency_hist, 0.99),
+            batch_hist: self
+                .batch_hist
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            latency_hist,
+            uptime_ms,
+            model_generation,
+        }
+    }
+}
+
+/// The `q`-quantile over a `LATENCY_BOUNDS_US`-shaped histogram,
+/// reported as the matching bucket's upper bound (rounded up; the
+/// overflow bucket reports the last bound). 0 when empty.
+fn quantile_us(hist: &[u64], q: f64) -> u64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut cum = 0u64;
+    for (i, &count) in hist.iter().enumerate() {
+        cum += count;
+        if cum >= rank {
+            return LATENCY_BOUNDS_US
+                .get(i)
+                .copied()
+                .unwrap_or(LATENCY_BOUNDS_US[LATENCY_BOUNDS_US.len() - 1]);
+        }
+    }
+    LATENCY_BOUNDS_US[LATENCY_BOUNDS_US.len() - 1]
+}
+
+/// Point-in-time view of the server counters; the payload of the
+/// `stats` response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Requests classified and answered.
+    pub served: u64,
+    /// Requests shed on a full queue.
+    pub shed: u64,
+    /// Requests whose classification returned a typed error.
+    pub failed: u64,
+    /// Requests expired in the queue.
+    pub deadline_expired: u64,
+    /// Frames that failed to decode.
+    pub malformed: u64,
+    /// Requests refused because shutdown had begun.
+    pub rejected_shutdown: u64,
+    /// Successful model reloads.
+    pub reloads: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Batches dispatched to workers.
+    pub batches: u64,
+    /// Jobs sitting in the bounded queue right now.
+    pub queue_depth: u64,
+    /// Median queue-to-answer latency, µs (bucket upper bound).
+    pub p50_latency_us: u64,
+    /// 99th-percentile queue-to-answer latency, µs (bucket upper bound).
+    pub p99_latency_us: u64,
+    /// Batch-size histogram; buckets per [`BATCH_BOUNDS`] + overflow.
+    pub batch_hist: Vec<u64>,
+    /// Latency histogram; buckets per [`LATENCY_BOUNDS_US`] + overflow.
+    pub latency_hist: Vec<u64>,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Model swaps since the server started.
+    pub model_generation: u64,
+}
+
+impl StatsSnapshot {
+    /// Total requests that received any terminal answer through the
+    /// queue path (served + shed + failed + expired). Malformed frames
+    /// and shutdown rejections are counted separately.
+    pub fn total_answered(&self) -> u64 {
+        self.served + self.shed + self.failed + self.deadline_expired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_counters_accumulate() {
+        let c = StatsCollector::new();
+        c.record_served();
+        c.record_served();
+        c.record_shed();
+        c.record_failed();
+        c.record_deadline_expired();
+        c.record_malformed();
+        c.record_rejected_shutdown();
+        c.record_reload();
+        c.record_connection();
+        let s = c.snapshot(1234, 2);
+        assert_eq!(s.served, 2);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.deadline_expired, 1);
+        assert_eq!(s.malformed, 1);
+        assert_eq!(s.rejected_shutdown, 1);
+        assert_eq!(s.reloads, 1);
+        assert_eq!(s.connections, 1);
+        assert_eq!(s.total_answered(), 5);
+        assert_eq!(s.uptime_ms, 1234);
+        assert_eq!(s.model_generation, 2);
+    }
+
+    #[test]
+    fn queue_depth_tracks_enter_and_leave() {
+        let c = StatsCollector::new();
+        c.queue_entered();
+        c.queue_entered();
+        c.queue_left();
+        assert_eq!(c.snapshot(0, 0).queue_depth, 1);
+        c.queue_left();
+        c.queue_left(); // spurious extra leave clamps at 0 in the snapshot
+        assert_eq!(c.snapshot(0, 0).queue_depth, 0);
+    }
+
+    #[test]
+    fn batch_histogram_buckets_by_size() {
+        let c = StatsCollector::new();
+        c.record_batch(1);
+        c.record_batch(2);
+        c.record_batch(3); // ≤4
+        c.record_batch(64);
+        c.record_batch(65); // overflow
+        let s = c.snapshot(0, 0);
+        assert_eq!(s.batches, 5);
+        assert_eq!(s.batch_hist[0], 1); // ≤1
+        assert_eq!(s.batch_hist[1], 1); // ≤2
+        assert_eq!(s.batch_hist[2], 1); // ≤4
+        assert_eq!(s.batch_hist[6], 1); // ≤64
+        assert_eq!(s.batch_hist[7], 1); // >64
+        assert_eq!(s.batch_hist.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn latency_quantiles_round_up_to_bucket_bounds() {
+        let c = StatsCollector::new();
+        for _ in 0..99 {
+            c.record_latency(Duration::from_micros(80)); // ≤100 bucket
+        }
+        c.record_latency(Duration::from_millis(40)); // ≤50_000 bucket
+        let s = c.snapshot(0, 0);
+        assert_eq!(s.p50_latency_us, 100);
+        assert_eq!(s.p99_latency_us, 100);
+        assert_eq!(s.latency_hist.iter().sum::<u64>(), 100);
+
+        // With 2% slow observations the p99 lands in the slow bucket.
+        let c = StatsCollector::new();
+        for _ in 0..98 {
+            c.record_latency(Duration::from_micros(80));
+        }
+        c.record_latency(Duration::from_millis(40));
+        c.record_latency(Duration::from_millis(40));
+        assert_eq!(c.snapshot(0, 0).p99_latency_us, 50_000);
+    }
+
+    #[test]
+    fn empty_and_overflow_quantiles_are_defined() {
+        let c = StatsCollector::new();
+        assert_eq!(c.snapshot(0, 0).p50_latency_us, 0);
+        c.record_latency(Duration::from_secs(3600)); // overflow bucket
+        let s = c.snapshot(0, 0);
+        assert_eq!(s.p50_latency_us, *LATENCY_BOUNDS_US.last().unwrap());
+        assert_eq!(*s.latency_hist.last().unwrap(), 1);
+    }
+}

@@ -17,6 +17,30 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [[ "${1:-}" != "--quick" ]]; then
     echo "==> cargo test"
     cargo test --workspace
+
+    echo "==> serve smoke test (train -> serve -> client -> shutdown)"
+    SMOKE_DIR="$(mktemp -d)"
+    trap 'kill "${SERVE_PID:-}" 2>/dev/null; rm -rf "$SMOKE_DIR"' EXIT
+    cargo run -q -p kinemyo-cli -- generate --limb hand --participants 1 \
+        --trials 2 --out "$SMOKE_DIR/ds.kmyo"
+    cargo run -q -p kinemyo-cli -- train --dataset "$SMOKE_DIR/ds.kmyo" \
+        --clusters 6 --out "$SMOKE_DIR/model.json"
+    cargo run -q -p kinemyo-cli -- serve --model "$SMOKE_DIR/model.json" \
+        --addr 127.0.0.1:0 --port-file "$SMOKE_DIR/port" &
+    SERVE_PID=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$SMOKE_DIR/port" ]] && break
+        sleep 0.1
+    done
+    [[ -s "$SMOKE_DIR/port" ]] || { echo "server never bound"; exit 1; }
+    ADDR="$(tr -d '[:space:]' < "$SMOKE_DIR/port")"
+    cargo run -q -p kinemyo-cli -- client --addr "$ADDR" --op health
+    cargo run -q -p kinemyo-cli -- client --addr "$ADDR" --op classify \
+        --dataset "$SMOKE_DIR/ds.kmyo" --record 0
+    cargo run -q -p kinemyo-cli -- client --addr "$ADDR" --op stats
+    cargo run -q -p kinemyo-cli -- client --addr "$ADDR" --op shutdown
+    wait "$SERVE_PID"
+    SERVE_PID=""
 fi
 
 echo "OK"

@@ -1,0 +1,410 @@
+//! End-to-end tests for the `kinemyo-serve` daemon over real loopback
+//! sockets: served results must be bit-identical to offline
+//! classification, overload must shed with typed responses, reload must
+//! never lose an in-flight request, shutdown must drain, and the server
+//! stats must reconcile with a client-side tally.
+//!
+//! Every test speaks the actual wire protocol (JSON over TCP), so they
+//! are skipped under the offline stub build where `serde_json` cannot
+//! move data at runtime (see `.claude/skills/verify`).
+
+use kinemyo::biosim::MotionRecord;
+use kinemyo::{stratified_split, MotionClassifier, PipelineConfig};
+use kinemyo_integration_tests::hand_dataset;
+use kinemyo_serve::{BatchItem, CallOutcome, Response, ServeClient, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// True when the real serde_json backend is linked in.
+fn json_available() -> bool {
+    serde_json::to_string(&0u32).is_ok()
+}
+
+/// Small trained model + held-out queries from the shared hand fixture.
+fn trained_model() -> (MotionClassifier, Vec<MotionRecord>) {
+    let ds = hand_dataset();
+    let (train, queries) = stratified_split(&ds.records, 1);
+    let config = PipelineConfig::default().with_clusters(8);
+    let model = MotionClassifier::train(&train, ds.spec.limb, &config).expect("training succeeds");
+    let queries = queries.into_iter().cloned().collect();
+    (model, queries)
+}
+
+fn tmp_model_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "kinemyo_serving_{name}_{}.json",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn served_results_are_bit_identical_to_offline() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (model, queries) = trained_model();
+    // Offline ground truth first; the model then moves into the server.
+    let offline: Vec<String> = queries
+        .iter()
+        .map(|q| serde_json::to_string(&model.classify_record(q).unwrap()).unwrap())
+        .collect();
+
+    let server = Server::start(model, ServeConfig::default()).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // Single-classify path.
+    let served = client.classify(&queries[0]).expect("classify succeeds");
+    assert_eq!(
+        serde_json::to_string(&served).unwrap(),
+        offline[0],
+        "served single classification differs from offline"
+    );
+
+    // Batch path: every item, in order, byte-for-byte.
+    let items = client.classify_batch(&queries).expect("batch succeeds");
+    assert_eq!(items.len(), queries.len());
+    for (i, item) in items.iter().enumerate() {
+        match item {
+            BatchItem::Ok { result } => assert_eq!(
+                serde_json::to_string(result).unwrap(),
+                offline[i],
+                "served item {i} differs from offline"
+            ),
+            other => panic!("item {i} was not served: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn overload_sheds_with_typed_responses_and_counts_them() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (model, queries) = trained_model();
+    // Tiny queue + slow single worker: a burst must overflow admission.
+    let config = ServeConfig::default()
+        .with_queue_capacity(2)
+        .with_batch_max(1)
+        .with_workers(1)
+        .with_worker_delay(Duration::from_millis(300));
+    let server = Server::start(model, config).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+
+    let burst: Vec<MotionRecord> = (0..32)
+        .map(|i| queries[i % queries.len()].clone())
+        .collect();
+    let items = client.classify_batch(&burst).expect("batch answers");
+    assert_eq!(items.len(), burst.len());
+    let ok = items
+        .iter()
+        .filter(|i| matches!(i, BatchItem::Ok { .. }))
+        .count();
+    let shed = items
+        .iter()
+        .filter(|i| matches!(i, BatchItem::Overloaded))
+        .count();
+    let expired = items
+        .iter()
+        .filter(|i| matches!(i, BatchItem::DeadlineExceeded { .. }))
+        .count();
+    assert_eq!(ok + shed + expired, burst.len(), "no item may be lost");
+    assert!(ok > 0, "some items must be admitted and served");
+    assert!(
+        shed > 0,
+        "a full queue must shed, got {ok} ok / {shed} shed"
+    );
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.served, ok as u64);
+    assert_eq!(stats.shed, shed as u64);
+    assert_eq!(stats.deadline_expired, expired as u64);
+}
+
+#[test]
+fn concurrent_clients_survive_hot_reload_without_losing_responses() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (model, queries) = trained_model();
+    let path = tmp_model_path("reload");
+    model.save_json(&path).expect("model saves");
+
+    let server = Server::start_from_file(&path, ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 12;
+    let tallies: Vec<(usize, usize)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                let queries = &queries;
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect(addr).expect("connect");
+                    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+                    let mut ok = 0usize;
+                    let mut shed = 0usize;
+                    for i in 0..PER_CLIENT {
+                        match client.classify(&queries[(t + i) % queries.len()]) {
+                            Ok(_) => ok += 1,
+                            Err(CallOutcome::Rejected(resp)) => match *resp {
+                                Response::Overloaded { .. } => shed += 1,
+                                other => panic!("unexpected rejection: {other:?}"),
+                            },
+                            Err(CallOutcome::Transport(e)) => panic!("transport failed: {e}"),
+                        }
+                    }
+                    (ok, shed)
+                })
+            })
+            .collect();
+
+        // Hammer reloads from a separate control connection while the
+        // client threads are mid-traffic.
+        let mut control = ServeClient::connect(addr).expect("control connect");
+        control.set_timeout(Some(Duration::from_secs(30))).unwrap();
+        for _ in 0..5 {
+            match control.reload().expect("reload call") {
+                Response::Reloaded { .. } => {}
+                other => panic!("reload failed: {other:?}"),
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+
+    let total_ok: usize = tallies.iter().map(|(ok, _)| ok).sum();
+    let total_shed: usize = tallies.iter().map(|(_, shed)| shed).sum();
+    assert_eq!(
+        total_ok + total_shed,
+        CLIENTS * PER_CLIENT,
+        "every request must get exactly one terminal answer"
+    );
+
+    // The server's books must agree with the client-side tally, and the
+    // reloads must have actually swapped the model.
+    let mut client = ServeClient::connect(addr).unwrap();
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.served, total_ok as u64);
+    assert_eq!(stats.shed, total_shed as u64);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.deadline_expired, 0);
+    assert_eq!(stats.reloads, 5);
+    assert_eq!(stats.model_generation, 5);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_and_the_connection_survives() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (model, _) = trained_model();
+    let server = Server::start(model, ServeConfig::default()).unwrap();
+
+    // Raw socket: no client-side validation in the way.
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    writer.write_all(b"this is not json\n").unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let resp: Response = serde_json::from_str(line.trim_end()).unwrap();
+    assert!(
+        matches!(resp, Response::Error { .. }),
+        "malformed frame must get a typed error, got {resp:?}"
+    );
+
+    // The same connection keeps working afterwards.
+    writer.write_all(b"{\"op\":\"health\"}\n").unwrap();
+    writer.flush().unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let resp: Response = serde_json::from_str(line.trim_end()).unwrap();
+    match resp {
+        Response::Health { motions, .. } => assert!(motions > 0),
+        other => panic!("expected health, got {other:?}"),
+    }
+
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    assert_eq!(client.stats().expect("stats").malformed, 1);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (model, queries) = trained_model();
+    // Slow worker so the batch is demonstrably still in flight when the
+    // shutdown request lands.
+    let config = ServeConfig::default()
+        .with_batch_max(2)
+        .with_workers(1)
+        .with_worker_delay(Duration::from_millis(100));
+    let server = Server::start(model, config).unwrap();
+    let addr = server.local_addr();
+
+    let in_flight: Vec<MotionRecord> = (0..6).map(|i| queries[i % queries.len()].clone()).collect();
+    let worker = std::thread::spawn(move || {
+        let mut client = ServeClient::connect(addr).expect("connect");
+        client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+        client.classify_batch(&in_flight).expect("batch answers")
+    });
+
+    // Give the batch time to enter the queue, then pull the plug.
+    std::thread::sleep(Duration::from_millis(120));
+    let mut control = ServeClient::connect(addr).expect("control connect");
+    control.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let ack = control.shutdown().expect("shutdown call");
+    assert!(matches!(ack, Response::ShuttingDown), "got {ack:?}");
+
+    // Every in-flight item must still be answered with a real result.
+    let items = worker.join().unwrap();
+    assert_eq!(items.len(), 6);
+    for (i, item) in items.iter().enumerate() {
+        assert!(
+            matches!(item, BatchItem::Ok { .. }),
+            "in-flight item {i} was dropped by shutdown: {item:?}"
+        );
+    }
+
+    // wait() joins every thread and hands back the final books.
+    let stats = server.wait();
+    assert_eq!(stats.served, 6);
+    assert_eq!(stats.failed, 0);
+    assert!(
+        stats.batches >= 3,
+        "batch_max=2 ⇒ ≥3 batches, got {}",
+        stats.batches
+    );
+}
+
+#[test]
+fn requests_after_shutdown_are_refused_with_a_typed_response() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (model, queries) = trained_model();
+    let server = Server::start(model, ServeConfig::default()).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // One real request, then shutdown, then another on the SAME frame
+    // batch: dispatch checks the flag per request, so the second must be
+    // refused (its connection is still being read when the flag flips).
+    assert!(client.classify(&queries[0]).is_ok());
+    let ack = client.shutdown().expect("shutdown ack");
+    assert!(matches!(ack, Response::ShuttingDown));
+
+    // The ack closes the control connection; a classify afterwards can
+    // only fail — either refused with `shutting_down` or the socket is
+    // already gone. It must never hang or return a result.
+    match client.classify(&queries[0]) {
+        Err(CallOutcome::Rejected(resp)) => {
+            assert!(matches!(*resp, Response::ShuttingDown), "got {resp:?}")
+        }
+        Err(CallOutcome::Transport(_)) => {}
+        Ok(_) => panic!("served a request after shutdown"),
+    }
+
+    let stats = server.wait();
+    assert_eq!(stats.served, 1);
+}
+
+#[test]
+fn stats_reconcile_with_a_single_client_tally() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (model, queries) = trained_model();
+    let server = Server::start(model, ServeConfig::default()).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    let k = 20usize;
+    for i in 0..k {
+        client
+            .classify(&queries[i % queries.len()])
+            .expect("classify succeeds");
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.served, k as u64);
+    assert_eq!(stats.total_answered(), k as u64);
+    assert_eq!(stats.queue_depth, 0, "queue must be drained at rest");
+    assert!(stats.batches >= 1 && stats.batches <= k as u64);
+    assert_eq!(stats.batch_hist.iter().sum::<u64>(), stats.batches);
+    assert_eq!(stats.latency_hist.iter().sum::<u64>(), k as u64);
+    assert!(stats.p50_latency_us > 0);
+    assert!(stats.p99_latency_us >= stats.p50_latency_us);
+    assert_eq!(stats.connections, 1);
+    assert_eq!(stats.model_generation, 0);
+    assert!(stats.uptime_ms > 0);
+
+    // Health agrees with the stats view of the world.
+    match client.health().expect("health") {
+        Response::Health {
+            model_generation,
+            motions,
+            ..
+        } => {
+            assert_eq!(model_generation, 0);
+            assert!(motions > 0);
+        }
+        other => panic!("expected health, got {other:?}"),
+    }
+}
+
+#[test]
+fn server_starts_accepts_and_drains_without_json() {
+    // Deliberately NO json_available() guard: binding, accepting and the
+    // shutdown drain cascade involve no serialization, so this exercises
+    // the thread machinery even under the offline stub build.
+    let (model, _) = trained_model();
+    let server = Server::start(model, ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+    assert_ne!(addr.port(), 0, "ephemeral port must be resolved");
+
+    // Open (and hold) a silent connection; the acceptor must pick it up.
+    let _stream = TcpStream::connect(addr).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.stats().connections == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "acceptor never registered the connection"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Shutdown must unwind acceptor → connection → batcher → workers
+    // even with a client still connected and silent.
+    server.shutdown();
+    let stats = server.wait();
+    assert_eq!(stats.connections, 1, "acceptor must have seen the client");
+    assert_eq!(stats.served, 0);
+}
+
+#[test]
+fn config_validation_refuses_to_start_degenerate_servers() {
+    // Pure validation — no JSON needed, runs under the stub build too.
+    let err = ServeConfig::default().with_workers(0).validate();
+    assert!(err.is_err());
+    let err = ServeConfig::default().with_queue_capacity(0).validate();
+    assert!(err.is_err());
+}
