@@ -1,0 +1,118 @@
+//! The `// analyze: allow(LINT_ID) reason` escape hatch.
+//!
+//! A suppression must (a) name the lint it silences, (b) carry a non-empty
+//! written reason, and (c) actually match a violation — a malformed or
+//! unused directive is itself reported, so stale hatches cannot rot in
+//! place. A directive applies to the line it shares with code, or — when
+//! written on a line of its own — to the next line that has code.
+
+use crate::lexer::{Comment, Tok};
+
+/// One parsed (or malformed) suppression directive.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// Line the comment appears on.
+    pub line: u32,
+    /// Line of code this directive suppresses.
+    pub target_line: u32,
+    /// Lint id inside `allow(…)`; empty when unparseable.
+    pub lint: String,
+    /// Justification text after the closing paren.
+    pub reason: String,
+    /// True when the directive is recognizably `analyze:` but broken
+    /// (missing `allow(…)`, empty lint id, or empty reason).
+    pub malformed: bool,
+    /// Set during matching: a well-formed directive that suppressed
+    /// at least one diagnostic.
+    pub used: bool,
+}
+
+/// Extracts every `analyze:` directive from `comments`, resolving each to
+/// its target line using the code-token line set.
+pub fn collect(comments: &[Comment], tokens: &[Tok]) -> Vec<Directive> {
+    let mut code_lines: Vec<u32> = tokens.iter().map(|t| t.line).collect();
+    code_lines.sort_unstable();
+    code_lines.dedup();
+
+    let mut out = Vec::new();
+    for c in comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("analyze:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (lint, reason, malformed) = parse_allow(rest);
+        let target_line = if code_lines.binary_search(&c.line).is_ok() {
+            c.line
+        } else {
+            // Comment-only line: applies to the next code line.
+            match code_lines.iter().find(|&&l| l > c.line) {
+                Some(&l) => l,
+                None => c.line,
+            }
+        };
+        out.push(Directive {
+            line: c.line,
+            target_line,
+            lint,
+            reason,
+            malformed,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Parses `allow(lint-id) reason…`; returns `(lint, reason, malformed)`.
+fn parse_allow(s: &str) -> (String, String, bool) {
+    let Some(body) = s.strip_prefix("allow(") else {
+        return (String::new(), String::new(), true);
+    };
+    let Some(close) = body.find(')') else {
+        return (String::new(), String::new(), true);
+    };
+    let lint = body[..close].trim().to_string();
+    let reason = body[close + 1..]
+        .trim_start_matches([':', '-', '—'])
+        .trim()
+        .to_string();
+    let malformed = lint.is_empty() || reason.is_empty();
+    (lint, reason, malformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn parses_well_formed_directive() {
+        let l = lex("let x = 1; // analyze: allow(panic-free-libs) invariant: n >= 1");
+        let d = collect(&l.comments, &l.tokens);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].lint, "panic-free-libs");
+        assert_eq!(d[0].reason, "invariant: n >= 1");
+        assert!(!d[0].malformed);
+        assert_eq!(d[0].target_line, 1);
+    }
+
+    #[test]
+    fn comment_only_line_targets_next_code_line() {
+        let l = lex("// analyze: allow(unseeded-rng) fixture\nlet x = 1;");
+        let d = collect(&l.comments, &l.tokens);
+        assert_eq!(d[0].target_line, 2);
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let l = lex("let x = 1; // analyze: allow(panic-free-libs)");
+        let d = collect(&l.comments, &l.tokens);
+        assert!(d[0].malformed);
+    }
+
+    #[test]
+    fn unrelated_comments_are_ignored() {
+        let l = lex("// plain comment\nlet x = 1;");
+        assert!(collect(&l.comments, &l.tokens).is_empty());
+    }
+}

@@ -1,0 +1,402 @@
+//! A minimal Rust lexer: just enough tokenization for pattern-level lints.
+//!
+//! The lints in this crate match on token *sequences* (method-call chains,
+//! macro invocations, attribute contents), so the lexer's only obligations
+//! are (a) never mistaking comment/string/char contents for code, (b) never
+//! splitting a float literal like `1.0` into `1 . 0` (which would fake a
+//! method call), and (c) accurate line numbers. Everything else — keywords
+//! vs identifiers, compound operators — is left to the lint matchers.
+
+/// Token category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `partial_cmp`, `HashMap`, …).
+    Ident,
+    /// Single punctuation character (`.`, `(`, `::` arrives as two `:`).
+    Punct,
+    /// String/char/byte/numeric literal (contents are not inspected).
+    Lit,
+    /// Lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+}
+
+/// One lexed token with its starting line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block) with the line it starts on.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Lexer output: code tokens plus comments (for `// analyze:` directives).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Unrecognized bytes become single-char punctuation; the
+/// lexer never fails (a file that does not parse as Rust will simply
+/// produce garbage tokens that match no lint pattern).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let at = |i: usize| -> Option<char> { b.get(i).copied() };
+
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if at(i + 1) == Some('/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && b[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: b[start..j].iter().collect(),
+                });
+                i = j;
+            }
+            '/' if at(i + 1) == Some('*') => {
+                let start_line = line;
+                let text_start = i + 2;
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && at(j + 1) == Some('*') {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && at(j + 1) == Some('/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let text_end = j.saturating_sub(2).max(text_start);
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: b[text_start..text_end].iter().collect(),
+                });
+                i = j;
+            }
+            '"' => {
+                let start_line = line;
+                i = skip_string(&b, i + 1, &mut line);
+                out.tokens.push(Tok {
+                    kind: TokKind::Lit,
+                    text: "\"\"".into(),
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // Lifetime ('a, '_) vs char literal ('x', '\n', '\u{..}').
+                let is_lifetime = match at(i + 1) {
+                    Some(c1) if c1 == '_' || c1.is_alphabetic() => at(i + 2) != Some('\''),
+                    _ => false,
+                };
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < n && (b[j] == '_' || b[j].is_alphanumeric()) {
+                        j += 1;
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: b[i..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let start_line = line;
+                    let mut j = i + 1;
+                    while j < n {
+                        match b[j] {
+                            '\\' => j += 2,
+                            '\'' => {
+                                j += 1;
+                                break;
+                            }
+                            '\n' => {
+                                line += 1;
+                                j += 1;
+                            }
+                            _ => j += 1,
+                        }
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Lit,
+                        text: "''".into(),
+                        line: start_line,
+                    });
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start_line = line;
+                let mut j = i;
+                while j < n && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+                    // Exponent sign: 1e-3 / 2.5E+7.
+                    if (b[j] == 'e' || b[j] == 'E')
+                        && matches!(at(j + 1), Some('+') | Some('-'))
+                        && at(j + 2).is_some_and(|d| d.is_ascii_digit())
+                    {
+                        j += 2;
+                    }
+                    j += 1;
+                }
+                // Fractional part — but not a `..` range and not `1.method()`.
+                if at(j) == Some('.') && at(j + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    j += 1;
+                    while j < n && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+                        if (b[j] == 'e' || b[j] == 'E')
+                            && matches!(at(j + 1), Some('+') | Some('-'))
+                            && at(j + 2).is_some_and(|d| d.is_ascii_digit())
+                        {
+                            j += 2;
+                        }
+                        j += 1;
+                    }
+                } else if at(j) == Some('.') && at(j + 1) != Some('.') {
+                    // Trailing-dot float like `1.` (not a range start).
+                    j += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Lit,
+                    text: b[i..j].iter().collect(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            c if c == '_' || c.is_alphabetic() => {
+                // Possible raw-string / byte-string prefix.
+                if let Some((end, start_line)) = try_prefixed_string(&b, i, &mut line) {
+                    out.tokens.push(Tok {
+                        kind: TokKind::Lit,
+                        text: "\"\"".into(),
+                        line: start_line,
+                    });
+                    i = end;
+                    continue;
+                }
+                // Raw identifier r#foo.
+                let mut j = i;
+                if b[j] == 'r' && at(j + 1) == Some('#') && at(j + 2).is_some_and(is_ident_start) {
+                    j += 2;
+                }
+                let word_start = j;
+                while j < n && (b[j] == '_' || b[j].is_alphanumeric()) {
+                    j += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[word_start..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            other => {
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text: other.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+/// Skips a (non-raw) string body starting just after the opening quote;
+/// returns the index just past the closing quote.
+fn skip_string(b: &[char], mut j: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    while j < n {
+        match b[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// If position `i` starts a raw/byte string (`r"…"`, `r#"…"#`, `b"…"`,
+/// `br#"…"#`, `c"…"`) or byte char (`b'x'`), returns `(end_index,
+/// start_line)`.
+fn try_prefixed_string(b: &[char], i: usize, line: &mut u32) -> Option<(usize, u32)> {
+    let n = b.len();
+    let start_line = *line;
+    let at = |k: usize| -> Option<char> { b.get(k).copied() };
+    let mut j = i;
+    let mut raw = false;
+    match b[j] {
+        'r' => {
+            raw = true;
+            j += 1;
+        }
+        'b' | 'c' => {
+            j += 1;
+            if at(j) == Some('r') {
+                raw = true;
+                j += 1;
+            } else if at(j) == Some('\'') {
+                // Byte char b'x'.
+                let mut k = j + 1;
+                while k < n {
+                    match b[k] {
+                        '\\' => k += 2,
+                        '\'' => return Some((k + 1, start_line)),
+                        _ => k += 1,
+                    }
+                }
+                return Some((k, start_line));
+            }
+        }
+        _ => return None,
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while at(j) == Some('#') {
+            hashes += 1;
+            j += 1;
+        }
+        if at(j) != Some('"') {
+            return None; // `r#ident` or plain identifier starting with r/b.
+        }
+        j += 1;
+        // Scan for `"` followed by `hashes` hashes.
+        while j < n {
+            if b[j] == '\n' {
+                *line += 1;
+                j += 1;
+                continue;
+            }
+            if b[j] == '"' {
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while seen < hashes && at(k) == Some('#') {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return Some((k, start_line));
+                }
+            }
+            j += 1;
+        }
+        Some((j, start_line))
+    } else {
+        if at(j) != Some('"') {
+            return None;
+        }
+        let end = skip_string(b, j + 1, line);
+        Some((end, start_line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn floats_do_not_produce_dot_puncts() {
+        let l = lex("let x = 1.0 + 2.5e-3;");
+        assert!(!l.tokens.iter().any(|t| t.is_punct('.')));
+    }
+
+    #[test]
+    fn ranges_keep_their_dots() {
+        let l = lex("for i in 0..n {}");
+        let dots = l.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let l = lex("// partial_cmp\nlet s = \"partial_cmp\"; /* unwrap() */");
+        assert!(idents("").is_empty());
+        assert!(!l.tokens.iter().any(|t| t.is_ident("partial_cmp")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(l.comments.len(), 2);
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let l = lex("fn f<'a>(x: &'a str) { let r = r#\"unwrap()\"#; }");
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Lifetime));
+    }
+
+    #[test]
+    fn char_literals_are_not_lifetimes() {
+        let l = lex("let c = 'x'; let nl = '\\n';");
+        assert!(!l.tokens.iter().any(|t| t.kind == TokKind::Lifetime));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let l = lex("let a = \"x\ny\";\nlet b = 1; /* c\nd */\nlet e = 2;");
+        let e = l.tokens.iter().find(|t| t.is_ident("e")).unwrap();
+        assert_eq!(e.line, 5);
+    }
+
+    #[test]
+    fn method_chain_tokens() {
+        let l = lex("v.sort_by(|a, b| a.partial_cmp(b).unwrap());");
+        let seq: Vec<&str> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(seq.windows(2).any(|w| w == [".", "partial_cmp"]));
+        assert!(seq.windows(2).any(|w| w == [".", "unwrap"]));
+    }
+}

@@ -1,0 +1,191 @@
+//! `kinemyo-analyze` — workspace-wide determinism & numeric-safety lints.
+//!
+//! The reproduction's core guarantee (bit-identical FCM memberships at any
+//! thread count; served results bit-identical to offline) is enforced at
+//! build time by this tool: it lexes every `.rs` file in the workspace,
+//! reconstructs just enough structure (test spans, fn bodies, call chains)
+//! to check kinemyo-specific invariants clippy cannot express, and fails
+//! the build on violations. See DESIGN.md §11 for the lint catalog and
+//! the escape-hatch policy.
+//!
+//! The crate is dependency-free on purpose: it runs as the first CI gate,
+//! before the rest of the workspace compiles, and must work offline.
+
+#![forbid(unsafe_code)]
+
+pub mod directives;
+pub mod lexer;
+pub mod lints;
+pub mod spans;
+pub mod walk;
+
+use std::fmt;
+use std::path::Path;
+
+/// One finding, after suppression directives were applied.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Path as given to [`analyze_source`] (workspace-relative in CLI use).
+    pub path: String,
+    pub line: u32,
+    pub lint: String,
+    pub message: String,
+    /// True when an `// analyze: allow` directive silenced this finding.
+    pub suppressed: bool,
+    /// The directive's written reason, when suppressed.
+    pub reason: Option<String>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Result of analyzing one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Active violations (not suppressed), in line order.
+    pub violations: Vec<Diagnostic>,
+    /// Findings silenced by a well-formed directive, kept for reporting.
+    pub suppressed: Vec<Diagnostic>,
+}
+
+/// Analyzes one file's source text. `crate_name` scopes the per-crate
+/// lints (`panic-free-libs`, `unseeded-rng`).
+pub fn analyze_source(path: &str, crate_name: &str, src: &str) -> FileReport {
+    let lexed = lexer::lex(src);
+    let raw = lints::run_all(&lexed.tokens, &lints::FileCtx { crate_name });
+    let mut dirs = directives::collect(&lexed.comments, &lexed.tokens);
+
+    let mut report = FileReport::default();
+    for d in raw {
+        let hit = dirs
+            .iter_mut()
+            .find(|dir| !dir.malformed && dir.target_line == d.line && dir.lint == d.lint);
+        match hit {
+            Some(dir) => {
+                dir.used = true;
+                report.suppressed.push(Diagnostic {
+                    path: path.into(),
+                    line: d.line,
+                    lint: d.lint.into(),
+                    message: d.message,
+                    suppressed: true,
+                    reason: Some(dir.reason.clone()),
+                });
+            }
+            None => report.violations.push(Diagnostic {
+                path: path.into(),
+                line: d.line,
+                lint: d.lint.into(),
+                message: d.message,
+                suppressed: false,
+                reason: None,
+            }),
+        }
+    }
+    // Suppressions are themselves linted: broken or stale ones fail the
+    // build so the escape hatch cannot silently rot.
+    for dir in &dirs {
+        if dir.malformed {
+            report.violations.push(Diagnostic {
+                path: path.into(),
+                line: dir.line,
+                lint: "malformed-suppression".into(),
+                message: "expected `// analyze: allow(<lint-id>) <non-empty reason>`".into(),
+                suppressed: false,
+                reason: None,
+            });
+        } else if !dir.used {
+            report.violations.push(Diagnostic {
+                path: path.into(),
+                line: dir.line,
+                lint: "unused-suppression".into(),
+                message: format!(
+                    "allow({}) matches no violation on line {}; remove the stale directive",
+                    dir.lint, dir.target_line
+                ),
+                suppressed: false,
+                reason: None,
+            });
+        }
+    }
+    report.violations.sort_by_key(|a| (a.line, a.lint.clone()));
+    report
+}
+
+/// Workspace-level summary.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    pub violations: Vec<Diagnostic>,
+    pub suppressed: Vec<Diagnostic>,
+    pub files_scanned: usize,
+}
+
+/// Walks the workspace at `root` and analyzes every `.rs` file.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
+    let mut report = WorkspaceReport::default();
+    for file in walk::rust_files(root)? {
+        let src = std::fs::read_to_string(&file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .into_owned();
+        let crate_name = walk::crate_name_of(root, &file);
+        let fr = analyze_source(&rel, &crate_name, &src);
+        report.violations.extend(fr.violations);
+        report.suppressed.extend(fr.suppressed);
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_matches_and_is_counted() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    \
+                   x.unwrap() // analyze: allow(panic-free-libs) caller validated\n}\n";
+        let r = analyze_source("a.rs", "linalg", src);
+        assert!(r.violations.is_empty(), "violations: {:?}", r.violations);
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressed[0].reason.as_deref(), Some("caller validated"));
+    }
+
+    #[test]
+    fn unused_suppression_is_a_violation() {
+        let src = "// analyze: allow(panic-free-libs) nothing here\nfn f() {}\n";
+        let r = analyze_source("a.rs", "linalg", src);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].lint, "unused-suppression");
+    }
+
+    #[test]
+    fn malformed_suppression_is_a_violation() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    \
+                   x.unwrap() // analyze: allow(panic-free-libs)\n}\n";
+        let r = analyze_source("a.rs", "linalg", src);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.lint == "malformed-suppression"));
+        // The unwrap itself stays un-suppressed.
+        assert!(r.violations.iter().any(|v| v.lint == "panic-free-libs"));
+    }
+
+    #[test]
+    fn display_format_is_greppable() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let r = analyze_source("crates/linalg/src/x.rs", "linalg", src);
+        let line = r.violations[0].to_string();
+        assert!(line.starts_with("crates/linalg/src/x.rs:1: [panic-free-libs]"));
+    }
+}

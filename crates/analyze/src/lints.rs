@@ -1,0 +1,395 @@
+//! The kinemyo lint catalog: determinism and numeric-safety invariants
+//! that clippy cannot express. Each lint is a pure function over the
+//! lexed token stream plus file context; see DESIGN.md §11 for the
+//! catalog rationale and the policy for adding new lints.
+
+use crate::lexer::{Tok, TokKind};
+use crate::spans::{fn_spans, match_paren, test_mask};
+
+/// Crates whose non-test library code must not contain panicking calls.
+pub const PANIC_FREE_CRATES: [&str; 5] = ["linalg", "dsp", "features", "fuzzy", "modb"];
+
+/// Crate exempt from `unseeded-rng` (it owns entropy-based simulation).
+pub const RNG_EXEMPT_CRATE: &str = "biosim";
+
+/// All lint ids, for `--list` and directive validation.
+pub const LINT_IDS: [&str; 7] = [
+    "float-total-order",
+    "hash-iter-numeric",
+    "panic-free-libs",
+    "lock-poison-policy",
+    "unseeded-rng",
+    "malformed-suppression",
+    "unused-suppression",
+];
+
+/// One raw finding, before suppression directives are applied.
+#[derive(Debug, Clone)]
+pub struct RawDiag {
+    pub line: u32,
+    pub lint: &'static str,
+    pub message: String,
+}
+
+/// Per-file lint context.
+pub struct FileCtx<'a> {
+    /// Crate directory name (`linalg`, `core`, …) or `tests` / `examples`.
+    pub crate_name: &'a str,
+}
+
+/// Runs every lint over one file's token stream.
+pub fn run_all(tokens: &[Tok], ctx: &FileCtx) -> Vec<RawDiag> {
+    let in_test = test_mask(tokens);
+    let mut diags = Vec::new();
+    float_total_order(tokens, &mut diags);
+    hash_iter_numeric(tokens, &in_test, &mut diags);
+    panic_free_libs(tokens, &in_test, ctx, &mut diags);
+    lock_poison_policy(tokens, &in_test, &mut diags);
+    unseeded_rng(tokens, ctx, &mut diags);
+    // One diagnostic per (line, lint): a comparator can trip both the
+    // partial_cmp and the unwrap_or(Ordering::Equal) pattern.
+    diags.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
+    diags.dedup_by(|a, b| a.line == b.line && a.lint == b.lint);
+    diags
+}
+
+/// Comparator callees whose closure argument must yield a *total* order.
+const ORDER_SINKS: [&str; 6] = [
+    "sort_by",
+    "sort_unstable_by",
+    "max_by",
+    "min_by",
+    "binary_search_by",
+    "partition_point",
+];
+
+/// **float-total-order** — `partial_cmp` inside an ordering comparator, or
+/// an `unwrap_or(Ordering::Equal)` NaN-masking comparator, anywhere in the
+/// workspace (tests included: a NaN-reordered test vector hides real
+/// regressions). The fix is `f64::total_cmp`.
+fn float_total_order(tokens: &[Tok], out: &mut Vec<RawDiag>) {
+    let n = tokens.len();
+    for i in 0..n {
+        if tokens[i].kind == TokKind::Ident
+            && ORDER_SINKS.contains(&tokens[i].text.as_str())
+            && i + 1 < n
+            && tokens[i + 1].is_punct('(')
+        {
+            let end = match_paren(tokens, i + 1);
+            for t in &tokens[i + 2..end] {
+                if t.is_ident("partial_cmp") {
+                    out.push(RawDiag {
+                        line: t.line,
+                        lint: "float-total-order",
+                        message: format!(
+                            "partial_cmp inside {}: panics or silently reorders on NaN; \
+                             use f64::total_cmp",
+                            tokens[i].text
+                        ),
+                    });
+                }
+            }
+        }
+        // unwrap_or(Ordering::Equal) — masks NaN as equality anywhere.
+        if tokens[i].is_ident("unwrap_or") && i + 1 < n && tokens[i + 1].is_punct('(') {
+            let end = match_paren(tokens, i + 1);
+            let args = &tokens[i + 2..end];
+            let masks_nan = args.iter().any(|t| t.is_ident("Ordering"))
+                && args.iter().any(|t| t.is_ident("Equal"));
+            if masks_nan {
+                out.push(RawDiag {
+                    line: tokens[i].line,
+                    lint: "float-total-order",
+                    message: "unwrap_or(Ordering::Equal) silently treats NaN as equal and \
+                              reorders nondeterministically; use f64::total_cmp"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+/// Iteration-signal idents for `hash-iter-numeric`.
+const ITER_SIGNALS: [&str; 6] = ["iter", "into_iter", "keys", "values", "values_mut", "drain"];
+/// Float-accumulation-signal idents for `hash-iter-numeric`.
+const FLOAT_SIGNALS: [&str; 7] = ["f64", "f32", "sum", "fold", "max_by", "min_by", "product"];
+
+/// **hash-iter-numeric** — a function that iterates a `HashMap`/`HashSet`
+/// *and* accumulates floats: the iteration order is randomized per process,
+/// so any float reduction over it is nondeterministic. Require `BTreeMap`/
+/// `BTreeSet` or an explicit sort of the keys. Test code is exempt (tests
+/// assert on outcomes, not reduction order).
+fn hash_iter_numeric(tokens: &[Tok], in_test: &[bool], out: &mut Vec<RawDiag>) {
+    for &(start, end) in &fn_spans(tokens) {
+        if in_test[start] {
+            continue;
+        }
+        let body = &tokens[start..=end];
+        let hash_tok = body
+            .iter()
+            .find(|t| t.is_ident("HashMap") || t.is_ident("HashSet"));
+        let Some(hash_tok) = hash_tok else { continue };
+        let iterates = body
+            .iter()
+            .any(|t| t.is_ident("for") || ITER_SIGNALS.contains(&t.text.as_str()));
+        let accumulates = body.iter().enumerate().any(|(j, t)| {
+            (t.kind == TokKind::Ident && FLOAT_SIGNALS.contains(&t.text.as_str()))
+                || (t.is_punct('+') && body.get(j + 1).is_some_and(|u| u.is_punct('=')))
+        });
+        if iterates && accumulates {
+            out.push(RawDiag {
+                line: hash_tok.line,
+                lint: "hash-iter-numeric",
+                message: "HashMap/HashSet iteration feeds a float reduction; iteration order \
+                          is nondeterministic — use BTreeMap/BTreeSet or sort keys first"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// Macros that unconditionally panic.
+const PANIC_MACROS: [&str; 4] = ["panic", "todo", "unimplemented", "unreachable"];
+
+/// **panic-free-libs** — `.unwrap()` / `.expect(…)` / panicking macros in
+/// the non-test library code of the numeric crates. Slice indexing is
+/// deliberately out of scope: `Matrix`/`Vector` indexing is the kernels'
+/// core idiom and its bounds are invariant-checked at construction.
+fn panic_free_libs(tokens: &[Tok], in_test: &[bool], ctx: &FileCtx, out: &mut Vec<RawDiag>) {
+    if !PANIC_FREE_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    let n = tokens.len();
+    for i in 0..n {
+        if in_test[i] {
+            continue;
+        }
+        let t = &tokens[i];
+        // `.unwrap()` / `.expect(` as method calls only.
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && i + 1 < n
+            && tokens[i + 1].is_punct('(')
+        {
+            out.push(RawDiag {
+                line: t.line,
+                lint: "panic-free-libs",
+                message: format!(
+                    ".{}() in panic-free crate `{}`; return a typed error, or justify with \
+                     `// analyze: allow(panic-free-libs) <reason>`",
+                    t.text, ctx.crate_name
+                ),
+            });
+        }
+        if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && i + 1 < n
+            && tokens[i + 1].is_punct('!')
+        {
+            out.push(RawDiag {
+                line: t.line,
+                lint: "panic-free-libs",
+                message: format!(
+                    "{}! in panic-free crate `{}`; return a typed error, or justify with \
+                     `// analyze: allow(panic-free-libs) <reason>`",
+                    t.text, ctx.crate_name
+                ),
+            });
+        }
+    }
+}
+
+/// Lock methods whose `Result<Guard, PoisonError>` must use the blessed
+/// recovery idiom.
+const LOCK_METHODS: [&str; 4] = ["lock", "read", "write", "into_inner"];
+/// Forbidden immediate consumers of a std lock result.
+const LOCK_SINKS: [&str; 3] = ["unwrap", "expect", "unwrap_or"];
+
+/// **lock-poison-policy** — every `std::sync` lock acquisition must recover
+/// from poisoning the same way: `.unwrap_or_else(|p| p.into_inner())`. A
+/// poisoned slot's value is still ours to overwrite or read; panicking on
+/// poison turns one worker's panic into a cascade (and `expect` messages
+/// had drifted into three different idioms across the workspace). Files
+/// that never touch `std::sync::{Mutex, RwLock}` are exempt, so
+/// `parking_lot` users and io `read`/`write` calls are not flagged.
+fn lock_poison_policy(tokens: &[Tok], in_test: &[bool], out: &mut Vec<RawDiag>) {
+    let uses_std_sync = tokens.windows(5).any(|w| {
+        w[0].is_ident("std")
+            && w[1].is_punct(':')
+            && w[2].is_punct(':')
+            && w[3].is_ident("sync")
+            && w[4].is_punct(':')
+    });
+    let has_lock_type = tokens
+        .iter()
+        .any(|t| t.is_ident("Mutex") || t.is_ident("RwLock"));
+    if !uses_std_sync || !has_lock_type {
+        return;
+    }
+    let n = tokens.len();
+    for i in 0..n {
+        if in_test[i] {
+            continue;
+        }
+        // Pattern: `.` lock_method `(` `)` `.` sink `(`
+        if tokens[i].is_punct('.')
+            && i + 5 < n
+            && tokens[i + 1].kind == TokKind::Ident
+            && LOCK_METHODS.contains(&tokens[i + 1].text.as_str())
+            && tokens[i + 2].is_punct('(')
+            && tokens[i + 3].is_punct(')')
+            && tokens[i + 4].is_punct('.')
+            && tokens[i + 5].kind == TokKind::Ident
+            && LOCK_SINKS.contains(&tokens[i + 5].text.as_str())
+        {
+            out.push(RawDiag {
+                line: tokens[i + 5].line,
+                lint: "lock-poison-policy",
+                message: format!(
+                    ".{}().{}(…) on a std::sync lock: use the one blessed recovery idiom \
+                     `.unwrap_or_else(|p| p.into_inner())`",
+                    tokens[i + 1].text,
+                    tokens[i + 5].text
+                ),
+            });
+        }
+    }
+}
+
+/// Identifiers that construct nondeterministically-seeded RNGs.
+const ENTROPY_IDENTS: [&str; 4] = ["thread_rng", "from_entropy", "from_os_rng", "OsRng"];
+
+/// **unseeded-rng** — constructing an RNG from ambient entropy outside
+/// `biosim`. Every pipeline stage must be replayable from a config seed;
+/// entropy is only allowed in the simulator crate that explicitly owns it.
+fn unseeded_rng(tokens: &[Tok], ctx: &FileCtx, out: &mut Vec<RawDiag>) {
+    if ctx.crate_name == RNG_EXEMPT_CRATE {
+        return;
+    }
+    let n = tokens.len();
+    for i in 0..n {
+        let t = &tokens[i];
+        if t.kind == TokKind::Ident && ENTROPY_IDENTS.contains(&t.text.as_str()) {
+            out.push(RawDiag {
+                line: t.line,
+                lint: "unseeded-rng",
+                message: format!(
+                    "`{}` constructs an unseeded RNG outside `biosim`; derive the generator \
+                     from an explicit config seed (e.g. ChaCha8Rng::seed_from_u64)",
+                    t.text
+                ),
+            });
+        }
+        // `rand::rng()` / `rand::random(...)` free functions.
+        if t.is_ident("rand")
+            && i + 3 < n
+            && tokens[i + 1].is_punct(':')
+            && tokens[i + 2].is_punct(':')
+            && (tokens[i + 3].is_ident("rng") || tokens[i + 3].is_ident("random"))
+        {
+            out.push(RawDiag {
+                line: t.line,
+                lint: "unseeded-rng",
+                message: format!(
+                    "`rand::{}` uses the ambient thread RNG outside `biosim`; derive the \
+                     generator from an explicit config seed",
+                    tokens[i + 3].text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn diags(src: &str, crate_name: &str) -> Vec<RawDiag> {
+        let l = lex(src);
+        run_all(&l.tokens, &FileCtx { crate_name })
+    }
+
+    #[test]
+    fn flags_partial_cmp_in_sort_by() {
+        let d = diags(
+            "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }",
+            "core",
+        );
+        assert!(d.iter().any(|x| x.lint == "float-total-order"));
+    }
+
+    #[test]
+    fn total_cmp_is_clean() {
+        let d = diags(
+            "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.total_cmp(b)); }",
+            "core",
+        );
+        assert!(d.iter().all(|x| x.lint != "float-total-order"));
+    }
+
+    #[test]
+    fn flags_hash_iteration_with_float_accumulation() {
+        let src = "fn f() { let m: HashMap<u32, f64> = HashMap::new(); \
+                   let mut s = 0.0; for (_, v) in m.iter() { s += v; } }";
+        let d = diags(src, "core");
+        assert!(d.iter().any(|x| x.lint == "hash-iter-numeric"));
+    }
+
+    #[test]
+    fn btreemap_is_clean() {
+        let src = "fn f() { let m: BTreeMap<u32, f64> = BTreeMap::new(); \
+                   let mut s = 0.0; for (_, v) in m.iter() { s += v; } }";
+        let d = diags(src, "core");
+        assert!(d.iter().all(|x| x.lint != "hash-iter-numeric"));
+    }
+
+    #[test]
+    fn unwrap_flagged_only_in_panic_free_crates() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(diags(src, "linalg")
+            .iter()
+            .any(|x| x.lint == "panic-free-libs"));
+        assert!(diags(src, "serve")
+            .iter()
+            .all(|x| x.lint != "panic-free-libs"));
+    }
+
+    #[test]
+    fn unwrap_not_flagged_in_test_code() {
+        let src = "#[cfg(test)] mod tests { fn t(x: Option<u32>) -> u32 { x.unwrap() } }";
+        assert!(diags(src, "linalg")
+            .iter()
+            .all(|x| x.lint != "panic-free-libs"));
+    }
+
+    #[test]
+    fn lock_expect_flagged_with_std_sync() {
+        let src = "use std::sync::Mutex;\nfn f(m: &Mutex<u32>) { *m.lock().expect(\"p\") += 1; }";
+        let d = diags(src, "core");
+        assert!(d.iter().any(|x| x.lint == "lock-poison-policy"));
+    }
+
+    #[test]
+    fn blessed_idiom_is_clean_and_parking_lot_exempt() {
+        let blessed = "use std::sync::Mutex;\nfn f(m: &Mutex<u32>) { \
+                       *m.lock().unwrap_or_else(|p| p.into_inner()) += 1; }";
+        assert!(diags(blessed, "core")
+            .iter()
+            .all(|x| x.lint != "lock-poison-policy"));
+        let pl = "use parking_lot::Mutex;\nfn f(m: &Mutex<u32>) { *m.lock() += 1; }";
+        assert!(diags(pl, "core")
+            .iter()
+            .all(|x| x.lint != "lock-poison-policy"));
+    }
+
+    #[test]
+    fn entropy_rng_flagged_outside_biosim() {
+        let src = "fn f() { let r = rand::rng(); }";
+        assert!(diags(src, "fuzzy").iter().any(|x| x.lint == "unseeded-rng"));
+        assert!(diags(src, "biosim")
+            .iter()
+            .all(|x| x.lint != "unseeded-rng"));
+    }
+}

@@ -1,0 +1,114 @@
+//! CLI driver: `kinemyo-analyze [--root <path>] [--list] [--verbose]`.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut list = false;
+    let mut verbose = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root requires a path"),
+            },
+            "--list" => list = true,
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if list {
+        for id in kinemyo_analyze::lints::LINT_IDS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = root.unwrap_or_else(default_root);
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "kinemyo-analyze: {} does not look like a workspace root (no Cargo.toml); \
+             pass --root",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let report = match kinemyo_analyze::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("kinemyo-analyze: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+    if verbose {
+        for s in &report.suppressed {
+            println!(
+                "{}:{}: [{}] suppressed — {}",
+                s.path,
+                s.line,
+                s.lint,
+                s.reason.as_deref().unwrap_or("")
+            );
+        }
+    }
+    println!(
+        "kinemyo-analyze: {} violation{}, {} suppressed, {} files scanned",
+        report.violations.len(),
+        if report.violations.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+        report.suppressed.len(),
+        report.files_scanned
+    );
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Workspace root: two levels above this crate's manifest when built by
+/// cargo, the current directory otherwise.
+fn default_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let p = PathBuf::from(dir);
+            p.ancestors().nth(2).map(PathBuf::from).unwrap_or(p)
+        }
+        None => PathBuf::from("."),
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("kinemyo-analyze: {msg}");
+    print_help();
+    ExitCode::from(2)
+}
+
+fn print_help() {
+    eprintln!(
+        "usage: kinemyo-analyze [--root <workspace-root>] [--list] [--verbose]\n\
+         \n\
+         Lints every .rs file in the workspace for determinism and\n\
+         numeric-safety invariants. Suppress one finding with\n\
+         `// analyze: allow(<lint-id>) <reason>` on (or directly above)\n\
+         the offending line."
+    );
+}

@@ -1,0 +1,143 @@
+//! Structural span analysis over the token stream: which tokens live in
+//! `#[cfg(test)]` / `#[test]` code, and where each `fn` body begins/ends.
+//!
+//! Brace matching is exact because the lexer already removed comments,
+//! strings and char literals — every `{`/`}` token is real code structure.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Marks every token that belongs to test-only code: an item annotated with
+/// `#[test]`, `#[cfg(test)]` (including `cfg(all(test, …))`), or any
+/// attribute mentioning `test`.
+pub fn test_mask(tokens: &[Tok]) -> Vec<bool> {
+    let n = tokens.len();
+    let mut mask = vec![false; n];
+    let mut i = 0usize;
+    while i < n {
+        if tokens[i].is_punct('#') && i + 1 < n && tokens[i + 1].is_punct('[') {
+            let attr_end = match_bracket(tokens, i + 1, '[', ']');
+            let is_test = tokens[i + 2..attr_end]
+                .iter()
+                .any(|t| t.is_ident("test") || t.is_ident("tests"));
+            if is_test {
+                // Skip any further attributes between this one and the item.
+                let mut k = attr_end + 1;
+                while k + 1 < n && tokens[k].is_punct('#') && tokens[k + 1].is_punct('[') {
+                    k = match_bracket(tokens, k + 1, '[', ']') + 1;
+                }
+                // Find the item body (`{ … }`) or terminator (`;`).
+                let mut m = k;
+                while m < n && !tokens[m].is_punct('{') && !tokens[m].is_punct(';') {
+                    m += 1;
+                }
+                let end = if m < n && tokens[m].is_punct('{') {
+                    match_bracket(tokens, m, '{', '}')
+                } else {
+                    m.min(n.saturating_sub(1))
+                };
+                for slot in mask.iter_mut().take(end + 1).skip(i) {
+                    *slot = true;
+                }
+                i = attr_end + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Token-index ranges `(start, end)` (inclusive) of every `fn` item from
+/// the `fn` keyword through its closing body brace. Nested fns produce
+/// their own (inner) spans as well.
+pub fn fn_spans(tokens: &[Tok]) -> Vec<(usize, usize)> {
+    let n = tokens.len();
+    let mut spans = Vec::new();
+    for i in 0..n {
+        if tokens[i].is_ident("fn") {
+            let mut m = i + 1;
+            while m < n && !tokens[m].is_punct('{') && !tokens[m].is_punct(';') {
+                m += 1;
+            }
+            if m < n && tokens[m].is_punct('{') {
+                spans.push((i, match_bracket(tokens, m, '{', '}')));
+            }
+        }
+    }
+    spans
+}
+
+/// Index of the token closing the bracket opened at `open_idx`; saturates
+/// at the last token on unbalanced input.
+pub fn match_bracket(tokens: &[Tok], open_idx: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.kind == TokKind::Punct {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Index of the token closing the parenthesized argument list that starts
+/// at `open_idx` (which must be a `(`).
+pub fn match_paren(tokens: &[Tok], open_idx: usize) -> usize {
+    match_bracket(tokens, open_idx, '(', ')')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }";
+        let l = lex(src);
+        let mask = test_mask(&l.tokens);
+        let unwraps: Vec<bool> = l
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| mask[i])
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+    }
+
+    #[test]
+    fn test_attr_fn_is_masked() {
+        let src = "#[test]\nfn t() { y.unwrap(); }\nfn lib() { x.unwrap(); }";
+        let l = lex(src);
+        let mask = test_mask(&l.tokens);
+        let unwraps: Vec<bool> = l
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| mask[i])
+            .collect();
+        assert_eq!(unwraps, vec![true, false]);
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies() {
+        let src = "fn a() { 1 } fn b() { { 2 } }";
+        let l = lex(src);
+        let spans = fn_spans(&l.tokens);
+        assert_eq!(spans.len(), 2);
+        for (s, e) in spans {
+            assert!(l.tokens[s].is_ident("fn"));
+            assert!(l.tokens[e].is_punct('}'));
+        }
+    }
+}

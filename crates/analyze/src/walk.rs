@@ -1,0 +1,74 @@
+//! Workspace file discovery: every `.rs` file under the workspace root,
+//! minus build output, VCS internals, and the analyzer's own deliberately
+//! bad lint fixtures.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "results", "fixtures"];
+
+/// Recursively collects `.rs` files under `root`, sorted for stable output.
+pub fn rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    visit(root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn visit(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            visit(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Infers the crate directory name from a workspace-relative path:
+/// `crates/linalg/src/svd.rs` → `linalg`; top-level `tests/` and
+/// `examples/` map to their directory name.
+pub fn crate_name_of(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    let mut components = rel.components().map(|c| c.as_os_str().to_string_lossy());
+    match components.next().as_deref() {
+        Some("crates") => components
+            .next()
+            .map(|c| c.into_owned())
+            .unwrap_or_else(|| "unknown".into()),
+        Some(first) => first.to_string(),
+        None => "unknown".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_name_resolution() {
+        let root = Path::new("/ws");
+        assert_eq!(
+            crate_name_of(root, Path::new("/ws/crates/linalg/src/svd.rs")),
+            "linalg"
+        );
+        assert_eq!(
+            crate_name_of(root, Path::new("/ws/tests/tests/paper_invariants.rs")),
+            "tests"
+        );
+        assert_eq!(
+            crate_name_of(root, Path::new("/ws/examples/quickstart.rs")),
+            "examples"
+        );
+    }
+}

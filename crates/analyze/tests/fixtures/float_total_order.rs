@@ -1,0 +1,6 @@
+//! Known-bad: `partial_cmp` inside a sort comparator panics (or silently
+//! reorders) the moment a NaN reaches it. Fix: `f64::total_cmp`.
+
+fn sort_scores(scores: &mut Vec<f64>) {
+    scores.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+}

@@ -1,0 +1,13 @@
+//! Known-bad: a float reduction over `HashMap` iteration order — the order
+//! is randomized per process, so the sum's rounding differs run to run.
+//! Fix: `BTreeMap`, or sort the keys before reducing.
+
+use std::collections::HashMap;
+
+fn total_energy(channels: &HashMap<u32, f64>) -> f64 {
+    let mut sum = 0.0;
+    for v in channels.values() {
+        sum += v;
+    }
+    sum
+}

@@ -1,0 +1,9 @@
+//! Known-bad: panicking on a poisoned `std::sync` lock cascades one
+//! worker's panic into every thread that touches the lock afterwards.
+//! Fix: the blessed idiom `.unwrap_or_else(|p| p.into_inner())`.
+
+use std::sync::Mutex;
+
+fn bump(counter: &Mutex<u64>) {
+    *counter.lock().unwrap() += 1;
+}

@@ -1,0 +1,7 @@
+//! Known-bad: an allow directive without a reason is malformed — it does
+//! NOT silence the finding, and is itself reported.
+
+fn head(values: &[f64]) -> f64 {
+    // analyze: allow(panic-free-libs)
+    *values.first().unwrap()
+}

@@ -1,0 +1,6 @@
+//! Known-bad: `.unwrap()` in the non-test code of a numeric library crate.
+//! Fix: return the crate's typed error, or justify with an allow directive.
+
+fn head(values: &[f64]) -> f64 {
+    *values.first().unwrap()
+}

@@ -1,0 +1,8 @@
+//! The escape hatch: the same defect as `panic_free_libs.rs`, but carrying
+//! a well-formed `// analyze: allow` directive with a reason — the finding
+//! is recorded as suppressed, not as a violation.
+
+fn head(values: &[f64]) -> f64 {
+    // analyze: allow(panic-free-libs) fixture demonstrating the escape hatch
+    *values.first().unwrap()
+}

@@ -1,0 +1,7 @@
+//! Known-bad: an ambient-entropy RNG outside `biosim` makes the pipeline
+//! unreplayable. Fix: derive the generator from an explicit config seed.
+
+fn jitter() -> f64 {
+    let mut g = rand::rng();
+    g.random()
+}

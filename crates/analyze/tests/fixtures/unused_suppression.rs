@@ -1,0 +1,5 @@
+//! Known-bad: a stale allow directive matching no violation — reported so
+//! the escape hatch cannot silently rot as the code under it changes.
+
+// analyze: allow(float-total-order) nothing to silence here
+fn noop() {}

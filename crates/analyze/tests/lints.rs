@@ -1,0 +1,121 @@
+//! Fixture-driven end-to-end checks for the analyzer: every lint fires
+//! exactly once on its known-bad snippet (`tests/fixtures/`), the allow
+//! escape hatch suppresses without hiding, and the workspace itself scans
+//! clean. The fixtures live under a `fixtures/` directory precisely so the
+//! workspace walk skips them.
+
+use kinemyo_analyze::{analyze_source, analyze_workspace, FileReport};
+use std::path::Path;
+
+fn analyze_fixture(name: &str, crate_name: &str) -> FileReport {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    analyze_source(name, crate_name, &src)
+}
+
+/// The fixture must produce exactly one violation, of the expected lint.
+fn assert_fires_once(name: &str, crate_name: &str, lint: &str) {
+    let r = analyze_fixture(name, crate_name);
+    assert_eq!(
+        r.violations.len(),
+        1,
+        "{name}: expected exactly one violation, got {:?}",
+        r.violations
+    );
+    assert_eq!(r.violations[0].lint, lint, "{name}: wrong lint");
+    assert!(
+        r.suppressed.is_empty(),
+        "{name}: nothing should be suppressed"
+    );
+}
+
+#[test]
+fn float_total_order_fires_once() {
+    assert_fires_once("float_total_order.rs", "core", "float-total-order");
+}
+
+#[test]
+fn hash_iter_numeric_fires_once() {
+    assert_fires_once("hash_iter_numeric.rs", "core", "hash-iter-numeric");
+}
+
+#[test]
+fn panic_free_libs_fires_once() {
+    assert_fires_once("panic_free_libs.rs", "linalg", "panic-free-libs");
+}
+
+#[test]
+fn panic_free_fixture_is_clean_outside_scoped_crates() {
+    let r = analyze_fixture("panic_free_libs.rs", "serve");
+    assert!(r.violations.is_empty(), "got {:?}", r.violations);
+}
+
+#[test]
+fn lock_poison_fires_once() {
+    assert_fires_once("lock_poison.rs", "core", "lock-poison-policy");
+}
+
+#[test]
+fn unseeded_rng_fires_once() {
+    assert_fires_once("unseeded_rng.rs", "fuzzy", "unseeded-rng");
+}
+
+#[test]
+fn unseeded_rng_fixture_is_clean_in_biosim() {
+    let r = analyze_fixture("unseeded_rng.rs", "biosim");
+    assert!(r.violations.is_empty(), "got {:?}", r.violations);
+}
+
+#[test]
+fn allow_directive_suppresses_and_is_reported() {
+    let r = analyze_fixture("suppressed_ok.rs", "linalg");
+    assert!(r.violations.is_empty(), "got {:?}", r.violations);
+    assert_eq!(r.suppressed.len(), 1);
+    assert_eq!(r.suppressed[0].lint, "panic-free-libs");
+    assert_eq!(
+        r.suppressed[0].reason.as_deref(),
+        Some("fixture demonstrating the escape hatch")
+    );
+}
+
+#[test]
+fn malformed_directive_does_not_suppress() {
+    let r = analyze_fixture("malformed_suppression.rs", "linalg");
+    let lints: Vec<&str> = r.violations.iter().map(|v| v.lint.as_str()).collect();
+    assert!(lints.contains(&"malformed-suppression"), "got {lints:?}");
+    // The defect under the broken directive stays a violation.
+    assert!(lints.contains(&"panic-free-libs"), "got {lints:?}");
+    assert!(r.suppressed.is_empty());
+}
+
+#[test]
+fn stale_directive_fires_once() {
+    assert_fires_once("unused_suppression.rs", "core", "unused-suppression");
+}
+
+/// The gate itself: the workspace must scan clean, and every surviving
+/// suppression must carry a written reason.
+#[test]
+fn workspace_scans_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let report = analyze_workspace(root).expect("workspace walk");
+    assert!(report.files_scanned > 50, "walk looks broken");
+    let rendered: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+    assert!(
+        report.violations.is_empty(),
+        "workspace has violations:\n{}",
+        rendered.join("\n")
+    );
+    for s in &report.suppressed {
+        assert!(
+            s.reason.as_deref().is_some_and(|r| !r.trim().is_empty()),
+            "suppression without reason: {s}"
+        );
+    }
+}

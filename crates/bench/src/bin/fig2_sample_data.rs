@@ -77,13 +77,13 @@ fn main() {
     let peak_emg_frame = biceps
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .expect("non-empty");
     let peak_y_frame = wrist_y
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .expect("non-empty");
     println!(

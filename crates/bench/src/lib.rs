@@ -6,6 +6,7 @@
 //! text tables plus machine-readable JSON lines (prefix `JSON:`), so the
 //! results in `EXPERIMENTS.md` can be traced to a command.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
@@ -79,7 +80,7 @@ pub fn base_config() -> PipelineConfig {
 /// paper's figure axes.
 pub fn print_sweep_table(title: &str, points: &[SweepPoint], metric: impl Fn(&SweepPoint) -> f64) {
     let mut windows: Vec<f64> = points.iter().map(|p| p.window_ms).collect();
-    windows.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    windows.sort_by(|a, b| a.total_cmp(b));
     windows.dedup();
     let mut clusters: Vec<usize> = points.iter().map(|p| p.clusters).collect();
     clusters.sort_unstable();

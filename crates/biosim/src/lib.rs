@@ -28,6 +28,7 @@
 //! See `DESIGN.md` §2 for why each substitution preserves the behaviour the
 //! paper's evaluation depends on.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 // `!(x > 0.0)` is the NaN-rejecting validation idiom used throughout this

@@ -158,7 +158,7 @@ impl fmt::Display for Limb {
 /// The paper's examples are "raise arm" and "throw ball" (Figs. 2–4); the
 /// remaining classes populate the test bed of "different human motions
 /// performed by different participants" (Sec. 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MotionClass {
     // ---- right-hand classes ----
     /// Raise the arm forward overhead and lower it (paper Fig. 2).

@@ -31,8 +31,10 @@ pub fn stratified_split(
     records: &[MotionRecord],
     queries_per_cell: usize,
 ) -> (Vec<&MotionRecord>, Vec<&MotionRecord>) {
-    use std::collections::HashMap;
-    let mut cells: HashMap<(usize, &'static str), Vec<&MotionRecord>> = HashMap::new();
+    // BTreeMap so the (participant, class) cells iterate in key order —
+    // the split is byte-identical run to run.
+    use std::collections::BTreeMap;
+    let mut cells: BTreeMap<(usize, &'static str), Vec<&MotionRecord>> = BTreeMap::new();
     for r in records {
         cells
             .entry((r.participant, r.class.name()))
@@ -41,10 +43,7 @@ pub fn stratified_split(
     }
     let mut train = Vec::new();
     let mut query = Vec::new();
-    let mut keys: Vec<_> = cells.keys().copied().collect();
-    keys.sort_unstable();
-    for key in keys {
-        let mut cell = cells.remove(&key).expect("key exists");
+    for (_, mut cell) in cells {
         cell.sort_by_key(|r| r.trial);
         let n = cell.len();
         let q = queries_per_cell.min(n.saturating_sub(1));
@@ -198,14 +197,19 @@ pub fn sweep(
                         knn_correct_pct: kn / repeats as f64,
                     })
                     .map_err(|e| e.to_string());
-                results.lock().expect("no poisoning").push(point);
+                // A poisoned collector still holds every point pushed so
+                // far; recover it rather than cascading the panic.
+                results
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push(point);
             });
         }
     })
     .expect("sweep threads do not panic");
 
     let mut points = Vec::with_capacity(cells.len());
-    for r in results.into_inner().expect("no poisoning") {
+    for r in results.into_inner().unwrap_or_else(|p| p.into_inner()) {
         match r {
             Ok(p) => points.push(p),
             Err(e) => {
@@ -216,9 +220,9 @@ pub fn sweep(
         }
     }
     points.sort_by(|a, b| {
-        (a.window_ms, a.clusters)
-            .partial_cmp(&(b.window_ms, b.clusters))
-            .unwrap_or(std::cmp::Ordering::Equal)
+        a.window_ms
+            .total_cmp(&b.window_ms)
+            .then(a.clusters.cmp(&b.clusters))
     });
     Ok(points)
 }
@@ -269,6 +273,31 @@ mod tests {
         assert!((0.0..=100.0).contains(&out.misclassification_pct));
         assert!((0.0..=100.0).contains(&out.knn_correct_pct));
         assert_eq!(out.confusion.total(), 6);
+    }
+
+    #[test]
+    fn evaluate_twice_is_bit_identical() {
+        // The determinism contract end to end: same records, same config,
+        // two independent train+evaluate runs — metrics agree to the bit,
+        // not within a tolerance. Guards the BTreeMap split and total_cmp
+        // comparators against a nondeterminism regression.
+        let ds = dataset();
+        let config = PipelineConfig::default().with_clusters(8);
+        let (train, query) = stratified_split(&ds.records, 1);
+        let a = evaluate(&train, &query, Limb::RightHand, &config).unwrap();
+        let (train2, query2) = stratified_split(&ds.records, 1);
+        let b = evaluate(&train2, &query2, Limb::RightHand, &config).unwrap();
+        assert_eq!(
+            a.misclassification_pct.to_bits(),
+            b.misclassification_pct.to_bits()
+        );
+        assert_eq!(a.knn_correct_pct.to_bits(), b.knn_correct_pct.to_bits());
+        assert_eq!(a.confusion.classes(), b.confusion.classes());
+        for t in 0..a.confusion.classes() {
+            for p in 0..a.confusion.classes() {
+                assert_eq!(a.confusion.get(t, p), b.confusion.get(t, p));
+            }
+        }
     }
 
     #[test]

@@ -53,6 +53,7 @@
 //! lab), `kinemyo-features` (Eqs. 1–3, 5–8), `kinemyo-fuzzy` (Eq. 4, 9),
 //! `kinemyo-modb` (retrieval), `kinemyo-dsp`, `kinemyo-linalg`.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 // `!(x > 0.0)` is the NaN-rejecting validation idiom used throughout this

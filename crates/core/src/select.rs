@@ -110,11 +110,7 @@ pub fn select_cluster_count(
     }
     let best = out
         .iter()
-        .min_by(|a, b| {
-            a.xie_beni
-                .partial_cmp(&b.xie_beni)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+        .min_by(|a, b| a.xie_beni.total_cmp(&b.xie_beni))
         .ok_or_else(|| KinemyoError::InvalidConfig {
             reason: "no candidate cluster counts".into(),
         })?

@@ -147,6 +147,7 @@ pub fn median_frequency(signal: &[f64], fs: f64) -> Result<f64> {
             return Ok(*f);
         }
     }
+    // analyze: allow(panic-free-libs) power_spectrum rejects empty input, so freqs is non-empty
     Ok(*freqs.last().expect("non-empty spectrum"))
 }
 
@@ -227,7 +228,7 @@ mod tests {
         let (peak_idx, _) = power
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap();
         assert!(
             (freqs[peak_idx] - f0).abs() < 2.0,

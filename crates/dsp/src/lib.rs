@@ -19,6 +19,7 @@
 //! * [`stft`] — spectrograms and time-resolved median-frequency tracks
 //!   (the canonical EMG fatigue marker, paper Sec. 7).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 // `!(x > 0.0)` is the NaN-rejecting validation idiom used throughout this

@@ -72,6 +72,7 @@ impl Resampler {
 
     /// The paper's EMG→mocap conversion: 1000 Hz → 120 Hz (ratio 3/25).
     pub fn emg_to_mocap() -> Self {
+        // analyze: allow(panic-free-libs) constant arguments, validated by unit test
         Self::new(120, 1000, 24).expect("static design parameters are valid")
     }
 

@@ -17,6 +17,7 @@
 //!   (Hudgins time-domain set \[7\], EMG histogram \[15\]) for the
 //!   feature-choice ablation.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

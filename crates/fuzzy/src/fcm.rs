@@ -324,7 +324,9 @@ pub fn fit(data: &Matrix, config: &FcmConfig) -> Result<FcmModel> {
                         break;
                     }
                     let result = fit_once(data, config, seeds[r], inner);
-                    *slots[r].lock().expect("fcm restart slot poisoned") = Some(result);
+                    // A poisoned slot still holds the last written value;
+                    // recover it rather than cascading the panic.
+                    *slots[r].lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
                 });
             }
         });
@@ -332,8 +334,12 @@ pub fn fit(data: &Matrix, config: &FcmConfig) -> Result<FcmModel> {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("fcm restart slot poisoned")
-                    .expect("every restart index was claimed")
+                    .unwrap_or_else(|p| p.into_inner())
+                    .unwrap_or_else(|| {
+                        Err(FuzzyError::NumericalFailure {
+                            reason: "internal: a restart slot was never filled".into(),
+                        })
+                    })
             })
             .collect()
     };
@@ -351,7 +357,9 @@ pub fn fit(data: &Matrix, config: &FcmConfig) -> Result<FcmModel> {
             best = Some(model);
         }
     }
-    Ok(best.expect("restarts >= 1"))
+    best.ok_or_else(|| FuzzyError::InvalidConfig {
+        reason: "restarts must be >= 1".into(),
+    })
 }
 
 /// Per-chunk partial results of one fused iteration pass.
@@ -440,6 +448,7 @@ fn fused_pass(
             })
             .collect();
         for handle in handles {
+            // analyze: allow(panic-free-libs) re-raises a scoped worker's panic; no Result channel exists here
             for (i, partial) in handle.join().expect("fcm worker panicked") {
                 partials[i] = Some(partial);
             }
@@ -447,6 +456,7 @@ fn fused_pass(
     });
     partials
         .into_iter()
+        // analyze: allow(panic-free-libs) strided assignment covers every chunk index exactly once
         .map(|p| p.expect("every chunk processed exactly once"))
         .collect()
 }

@@ -168,7 +168,8 @@ pub fn fit(data: &Matrix, config: &KMeansConfig) -> Result<KMeansModel> {
                 // Empty cluster: re-seed at the point farthest from its center.
                 let (far_idx, _) = (0..n)
                     .map(|i| (i, sq_euclidean(data.row(i), centers.row(labels[i]))))
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    // analyze: allow(panic-free-libs) c <= n is validated, so 0..n is non-empty
                     .expect("n >= 1");
                 centers.row_mut(k).copy_from_slice(data.row(far_idx));
                 changed = true;
@@ -257,6 +258,30 @@ mod tests {
         let mut bad = blobs();
         bad[(0, 0)] = f64::INFINITY;
         assert!(fit(&bad, &KMeansConfig::new(2)).is_err());
+    }
+
+    #[test]
+    fn nan_input_is_rejected_not_reordered() {
+        // Regression for the old `partial_cmp(..).unwrap()` re-seed
+        // comparator: NaN must surface as a typed error up front, never
+        // reach the comparator, and never panic.
+        let mut bad = blobs();
+        bad[(3, 1)] = f64::NAN;
+        assert!(matches!(
+            fit(&bad, &KMeansConfig::new(2)),
+            Err(FuzzyError::InvalidData { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_duplicates_exercise_reseed_path() {
+        // Every point identical: a cluster must go empty, forcing the
+        // farthest-point re-seed whose comparator sees all-equal
+        // distances. Must converge without panicking.
+        let data = Matrix::from_fn(8, 2, |_, _| 2.0);
+        let m = fit(&data, &KMeansConfig::new(2)).unwrap();
+        assert_eq!(m.labels.len(), 8);
+        assert_eq!(m.inertia, 0.0);
     }
 
     #[test]

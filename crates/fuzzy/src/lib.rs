@@ -14,6 +14,7 @@
 //! * [`validity`] — partition coefficient/entropy and Xie–Beni indices for
 //!   choosing the cluster count the paper sweeps empirically.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 // `!(x > 0.0)` is the NaN-rejecting validation idiom used throughout this

@@ -124,7 +124,7 @@ fn jacobi_rotate(m: &mut Matrix, q: &mut Matrix, p: usize, r: usize) {
 fn collect_sorted(m: Matrix, q: Matrix) -> SymEig {
     let n = m.rows();
     let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
-    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    pairs.sort_by(|a, b| b.0.total_cmp(&a.0));
     let eigenvalues: Vec<f64> = pairs.iter().map(|&(v, _)| v).collect();
     let mut eigenvectors = Matrix::zeros(n, n);
     for (new_col, &(_, old_col)) in pairs.iter().enumerate() {

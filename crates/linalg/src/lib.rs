@@ -21,6 +21,7 @@
 //! deliberately avoids external numerics crates so the whole reproduction is
 //! auditable end to end.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -84,7 +84,7 @@ pub fn percentile(xs: &[f64], p: f64) -> Result<f64> {
         });
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -208,6 +208,25 @@ mod tests {
         let xs = [1.0, 2.0, 3.0];
         assert!((sample_variance(&xs).unwrap() - 1.0).abs() < 1e-12);
         assert!(sample_variance(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn total_order_pins_signed_zero_subnormals_and_nan() {
+        // Pins the IEEE-754 total order every comparator in this workspace
+        // (stats, eig, svd, dtw, vptree) now sorts by: -NaN < -subnormal <
+        // -0.0 < +0.0 < +subnormal < +NaN, bit-exactly, every run.
+        let sub = f64::MIN_POSITIVE / 4.0;
+        assert!(sub > 0.0 && !sub.is_normal(), "expected a subnormal");
+        let mut v = [0.0, -sub, f64::NAN, -0.0, sub, -f64::NAN];
+        v.sort_by(|a, b| a.total_cmp(b));
+        assert!(v[0].is_nan() && v[0].is_sign_negative());
+        assert_eq!(v[1].to_bits(), (-sub).to_bits());
+        assert_eq!(v[2].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(v[3].to_bits(), 0.0f64.to_bits());
+        assert_eq!(v[4].to_bits(), sub.to_bits());
+        assert!(v[5].is_nan() && v[5].is_sign_positive());
+        // And the percentile kernel built on it stays well-defined.
+        assert_eq!(median(&[-0.0, 0.0, -sub, sub]).unwrap(), 0.0);
     }
 
     #[test]

@@ -53,6 +53,7 @@ impl Svd {
                 us[(r, c)] *= self.singular_values[c];
             }
         }
+        // analyze: allow(panic-free-libs) u is m×k and vt is k×n by construction
         us.matmul(&self.vt).expect("shapes are consistent")
     }
 
@@ -188,11 +189,7 @@ pub fn svd_jacobi(a: &Matrix) -> Result<Svd> {
             col.norm()
         })
         .collect();
-    order.sort_by(|&i, &j| {
-        norms[j]
-            .partial_cmp(&norms[i])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&i, &j| norms[j].total_cmp(&norms[i]));
 
     let mut u = Matrix::zeros(m, n);
     let mut vt = Matrix::zeros(n, n);
@@ -551,7 +548,7 @@ pub fn svd_golub_reinsch(a: &Matrix) -> Result<Svd> {
 
     // Sort singular values descending, permuting U and V columns.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| w[j].partial_cmp(&w[i]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&i, &j| w[j].total_cmp(&w[i]));
     let mut u_sorted = Matrix::zeros(m, n);
     let mut vt = Matrix::zeros(n, n);
     let mut singular_values = Vec::with_capacity(n);

@@ -147,7 +147,7 @@ impl<M: Clone> DtwClassifier<M> {
         for (i, s) in self.series.iter().enumerate() {
             scored.push((dtw_distance(query, s, self.band)?, i));
         }
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
         Ok(scored
             .into_iter()
             .take(k)

@@ -45,7 +45,8 @@ fn select_references(points: &[Vec<f64>], count: usize) -> Vec<Vec<f64>> {
         let (far_idx, _) = min_d
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            // analyze: allow(panic-free-libs) min_d mirrors `points`, checked non-empty above
             .expect("points non-empty");
         let new_ref = points[far_idx].clone();
         for (d, p) in min_d.iter_mut().zip(points) {
@@ -98,7 +99,7 @@ impl<M: Clone> IDistance<M> {
         let mut keys: Vec<(f64, usize)> = (0..points.len())
             .map(|i| (assignment[i] as f64 * c + dists[i], i))
             .collect();
-        keys.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        keys.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         Ok(Self {
             refs,
@@ -169,9 +170,7 @@ impl<M: Clone> IDistance<M> {
                     let d = euclidean(&self.points[idx], query);
                     if best.len() < k || d < best[best.len() - 1].0 {
                         let pos = best
-                            .binary_search_by(|(bd, _)| {
-                                bd.partial_cmp(&d).unwrap_or(std::cmp::Ordering::Equal)
-                            })
+                            .binary_search_by(|(bd, _)| bd.total_cmp(&d))
                             .unwrap_or_else(|p| p);
                         best.insert(pos, (d, idx));
                         if best.len() > k {
@@ -203,9 +202,7 @@ impl<M: Clone> IDistance<M> {
                     let d = euclidean(&self.points[idx], query);
                     if best.len() < k || d < best[best.len() - 1].0 {
                         let pos = best
-                            .binary_search_by(|(bd, _)| {
-                                bd.partial_cmp(&d).unwrap_or(std::cmp::Ordering::Equal)
-                            })
+                            .binary_search_by(|(bd, _)| bd.total_cmp(&d))
                             .unwrap_or_else(|p| p);
                         best.insert(pos, (d, idx));
                         if best.len() > k {

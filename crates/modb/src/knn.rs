@@ -43,11 +43,7 @@ pub fn knn<M: Clone>(db: &FeatureDb<M>, query: &[f64], k: usize) -> Result<Vec<N
         let d = euclidean(&e.vector, query);
         if best.len() < k || d < best[best.len() - 1].distance {
             let pos = best
-                .binary_search_by(|n| {
-                    n.distance
-                        .partial_cmp(&d)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
+                .binary_search_by(|n| n.distance.total_cmp(&d))
                 .unwrap_or_else(|p| p);
             best.insert(
                 pos,
@@ -67,15 +63,19 @@ pub fn knn<M: Clone>(db: &FeatureDb<M>, query: &[f64], k: usize) -> Result<Vec<N
 
 /// Majority-vote classification over the `k` nearest neighbours; ties are
 /// broken by the closer neighbour set (summed inverse rank).
+///
+/// Scores accumulate in a `BTreeMap` keyed by label (hence the `Ord`
+/// bound): the vote tally is iterated in label order, so the winner is
+/// deterministic even when counts and rank scores tie exactly.
 pub fn classify<M, L>(neighbors: &[Neighbor<M>], label_of: impl Fn(&M) -> L) -> Option<L>
 where
-    L: Clone + Eq + std::hash::Hash,
+    L: Clone + Ord,
 {
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
     if neighbors.is_empty() {
         return None;
     }
-    let mut scores: HashMap<L, (usize, f64)> = HashMap::new();
+    let mut scores: BTreeMap<L, (usize, f64)> = BTreeMap::new();
     for (rank, n) in neighbors.iter().enumerate() {
         let entry = scores.entry(label_of(&n.meta)).or_insert((0, 0.0));
         entry.0 += 1;
@@ -83,11 +83,7 @@ where
     }
     scores
         .into_iter()
-        .max_by(|a, b| {
-            (a.1 .0, a.1 .1)
-                .partial_cmp(&(b.1 .0, b.1 .1))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+        .max_by(|a, b| a.1 .0.cmp(&b.1 .0).then(a.1 .1.total_cmp(&b.1 .1)))
         .map(|(label, _)| label)
 }
 

@@ -18,6 +18,7 @@
 //!
 //! All three search paths return identical neighbour sets (tested).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -72,7 +72,7 @@ impl<M: Clone> VpTree<M> {
             .iter()
             .map(|&i| (euclidean(&self.points[i], &vantage_point), i))
             .collect();
-        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mid = dists.len() / 2;
         let radius = dists[mid].0;
         let mut inside: Vec<usize> = dists[..mid].iter().map(|&(_, i)| i).collect();
@@ -137,7 +137,7 @@ impl<M: Clone> VpTree<M> {
 
         if best.len() < k || d < best[best.len() - 1].0 {
             let pos = best
-                .binary_search_by(|(bd, _)| bd.partial_cmp(&d).unwrap_or(std::cmp::Ordering::Equal))
+                .binary_search_by(|(bd, _)| bd.total_cmp(&d))
                 .unwrap_or_else(|p| p);
             best.insert(pos, (d, node.point));
             if best.len() > k {

@@ -48,6 +48,7 @@
 //! assert_eq!(stats.served, 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

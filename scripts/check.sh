@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
-# Repo-wide hygiene gate: formatting, lints, and the full test suite.
-# Run before sending a PR; CI runs the same three steps.
+# Repo-wide hygiene gate: formatting, lints, the kinemyo analyzer, and the
+# full test suite. Run before sending a PR; CI runs the same steps.
 #
 #   scripts/check.sh          # everything
-#   scripts/check.sh --quick  # skip the test suite (fmt + clippy only)
+#   scripts/check.sh --quick  # skip the test suite (fmt + clippy + analyze)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -13,6 +13,9 @@ cargo fmt --all -- --check
 
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> kinemyo-analyze (determinism & numeric-safety lints)"
+cargo run -q -p kinemyo-analyze
 
 if [[ "${1:-}" != "--quick" ]]; then
     echo "==> cargo test"

@@ -40,7 +40,7 @@ fn fig2_emg_and_motion_are_synchronized() {
         let peak_emg = biceps
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap();
         let gap_s = (peak_emg as f64 - first_high as f64).abs() / 120.0;
