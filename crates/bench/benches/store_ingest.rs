@@ -1,0 +1,99 @@
+//! Criterion benchmarks for the durable motion store: WAL-append
+//! throughput with and without fsync-on-commit, snapshot writing, and
+//! cold recovery (snapshot + WAL replay) time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kinemyo_store::{DurableDb, MetaCodec, StoreConfig};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const DIM: usize = 30;
+
+/// Minimal 8-byte metadata so the bench isolates the storage layer from
+/// the pipeline's richer `RecordMeta`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Tag(u64);
+
+impl MetaCodec for Tag {
+    fn encode_meta(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_le_bytes());
+    }
+    fn decode_meta(bytes: &[u8]) -> Option<Self> {
+        let arr: [u8; 8] = bytes.try_into().ok()?;
+        Some(Tag(u64::from_le_bytes(arr)))
+    }
+}
+
+fn vector(i: usize) -> Vec<f64> {
+    (0..DIM).map(|c| ((i * 3 + c) % 17) as f64 / 17.0).collect()
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "kinemyo_bench_store_{tag}_{}_{n}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_append_dim30");
+    for &fsync in &[false, true] {
+        let dir = fresh_dir(if fsync { "fsync" } else { "nosync" });
+        let config = StoreConfig {
+            fsync_on_commit: fsync,
+            ..StoreConfig::default()
+        };
+        let store = DurableDb::<Tag>::create(&dir, DIM, config).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("append", if fsync { "fsync" } else { "nosync" }),
+            &store,
+            |b, store| {
+                b.iter(|| {
+                    let id = store.next_id();
+                    store
+                        .insert(id, Tag(id as u64), black_box(vector(id)))
+                        .unwrap()
+                });
+            },
+        );
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
+fn bench_snapshot_and_recovery(c: &mut Criterion) {
+    const ENTRIES: usize = 2_000;
+    let dir = fresh_dir("recover");
+    let config = StoreConfig {
+        fsync_on_commit: false,
+        ..StoreConfig::default()
+    };
+    let store = DurableDb::<Tag>::create(&dir, DIM, config.clone()).unwrap();
+    for i in 0..ENTRIES {
+        store.insert(i, Tag(i as u64), vector(i)).unwrap();
+    }
+
+    let mut group = c.benchmark_group("store_n2000_dim30");
+    group.sample_size(10);
+    group.bench_function("snapshot", |b| {
+        b.iter(|| store.persist().unwrap());
+    });
+    drop(store);
+    group.bench_function("recover", |b| {
+        b.iter(|| {
+            let reopened = DurableDb::<Tag>::open(&dir, config.clone()).unwrap();
+            assert_eq!(black_box(&reopened).len(), ENTRIES);
+        });
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_append, bench_snapshot_and_recovery);
+criterion_main!(benches);

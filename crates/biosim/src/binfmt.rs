@@ -20,8 +20,9 @@ const MAGIC: u32 = 0x4B4D_594F;
 /// Current format version.
 const VERSION: u16 = 1;
 
-/// Stable wire code for each motion class.
-fn class_code(class: MotionClass) -> u8 {
+/// Stable wire code for each motion class, shared by every kinemyo
+/// on-disk format (dataset files here, store entry metadata upstream).
+pub fn class_code(class: MotionClass) -> u8 {
     match class {
         MotionClass::RaiseArm => 0,
         MotionClass::ThrowBall => 1,
@@ -38,8 +39,8 @@ fn class_code(class: MotionClass) -> u8 {
     }
 }
 
-/// Inverse of [`class_code`].
-fn class_from_code(code: u8) -> Option<MotionClass> {
+/// Inverse of [`class_code`]; `None` for codes no class maps to.
+pub fn class_from_code(code: u8) -> Option<MotionClass> {
     Some(match code {
         0 => MotionClass::RaiseArm,
         1 => MotionClass::ThrowBall,

@@ -50,6 +50,7 @@ pub mod skeleton;
 pub mod vec3;
 
 pub use acquisition::AcquisitionConfig;
+pub use binfmt::{class_code, class_from_code};
 pub use dataset::{Dataset, DatasetSpec, MotionRecord};
 pub use emg::EmgSynthConfig;
 pub use error::{BiosimError, Result};

@@ -7,11 +7,18 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+/// Commands that take a second positional word (`kinemyo db ingest ...`).
+/// Any other command still rejects stray positionals.
+const MULTI_WORD_COMMANDS: &[&str] = &["db"];
+
 /// Parsed command line: the subcommand plus its options.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParsedArgs {
     /// The leading positional subcommand.
     pub command: String,
+    /// Second positional word, only for [`MULTI_WORD_COMMANDS`]
+    /// (`db init`, `db ingest`, ...).
+    pub subcommand: Option<String>,
     options: BTreeMap<String, String>,
     switches: BTreeSet<String>,
 }
@@ -42,6 +49,19 @@ pub fn parse(args: &[String], switch_names: &[&str]) -> std::result::Result<Pars
             "expected a subcommand, got option '{command}'"
         )));
     }
+    let mut iter = iter.peekable();
+    let subcommand = if MULTI_WORD_COMMANDS.contains(&command.as_str()) {
+        match iter.peek() {
+            Some(next) if !next.starts_with('-') => iter.next().cloned(),
+            _ => {
+                return Err(ArgError(format!(
+                    "'{command}' needs a subcommand (e.g. '{command} stats')"
+                )))
+            }
+        }
+    } else {
+        None
+    };
     let switch_set: BTreeSet<&str> = switch_names.iter().copied().collect();
     let mut options = BTreeMap::new();
     let mut switches = BTreeSet::new();
@@ -65,6 +85,7 @@ pub fn parse(args: &[String], switch_names: &[&str]) -> std::result::Result<Pars
     }
     Ok(ParsedArgs {
         command,
+        subcommand,
         options,
         switches,
     })
@@ -156,6 +177,20 @@ mod tests {
         let p = parse(&s(&["cmd", "--clusters", "abc"]), &[]).unwrap();
         assert!(p.get_or::<usize>("clusters", 1).is_err());
         assert!(p.require("absent").is_err());
+    }
+
+    #[test]
+    fn multi_word_commands_take_a_subcommand() {
+        let p = parse(&s(&["db", "ingest", "--dir", "/tmp/store"]), &[]).unwrap();
+        assert_eq!(p.command, "db");
+        assert_eq!(p.subcommand.as_deref(), Some("ingest"));
+        assert_eq!(p.get("dir"), Some("/tmp/store"));
+        // Missing or option-shaped subcommand is a parse error...
+        assert!(parse(&s(&["db"]), &[]).is_err());
+        assert!(parse(&s(&["db", "--dir", "x"]), &[]).is_err());
+        // ...and single-word commands still reject stray positionals.
+        assert!(parse(&s(&["train", "stray"]), &[]).is_err());
+        assert_eq!(parse(&s(&["train"]), &[]).unwrap().subcommand, None);
     }
 
     #[test]

@@ -28,6 +28,8 @@ COMMANDS:
   train      train a classifier and save it
              --dataset PATH  --out MODEL.json
              [--clusters N] [--window-ms MS] [--seed N]
+             [--index-appends N]  rebuild the hybrid kNN index after N
+             appends (0 = linear scan, the default)
   classify   classify records with a trained model
              --model MODEL.json  --dataset PATH  [--record ID]
   evaluate   train/query split evaluation (paper Sec. 6 metrics)
@@ -44,10 +46,19 @@ COMMANDS:
              [--queue N] [--batch-max N] [--batch-wait-ms MS]
              [--workers N] [--deadline-ms MS]
              [--port-file PATH]  write the bound address for scripts
+             [--store DIR]  durable motion store: WAL-log every insert
+             and recover ingested motions bit-identically on restart
   client     talk to a running daemon
-             --addr HOST:PORT  [--op classify|classify-batch|health|
-             stats|reload|shutdown (default health)]  [--timeout-ms MS]
-             classify ops need --dataset PATH [--record ID]
+             --addr HOST:PORT  [--op classify|classify-batch|insert|
+             health|stats|reload|persist|compact|shutdown (default
+             health)]  [--timeout-ms MS]
+             classify/insert ops need --dataset PATH [--record ID]
+  db         manage a durable motion store offline
+             init     --dir DIR  (--model MODEL.json | --dim N)
+             ingest   --dir DIR --model MODEL.json --dataset PATH
+                      [--record ID]
+             stats    --dir DIR
+             compact  --dir DIR
   help       show this text
 ";
 
@@ -159,12 +170,20 @@ fn pipeline_config(args: &ParsedArgs) -> std::result::Result<PipelineConfig, Arg
     Ok(PipelineConfig::default()
         .with_clusters(args.get_or("clusters", 15usize)?)
         .with_window_ms(args.get_or("window-ms", 100.0f64)?)
-        .with_seed(args.get_or("seed", 0x1CDE_2007u64)?))
+        .with_seed(args.get_or("seed", 0x1CDE_2007u64)?)
+        .with_index_rebuild_appends(args.get_or("index-appends", 0usize)?))
 }
 
 /// `kinemyo train`.
 pub fn train(args: &ParsedArgs) -> CliResult {
-    args.check_allowed(&["dataset", "out", "clusters", "window-ms", "seed"])?;
+    args.check_allowed(&[
+        "dataset",
+        "out",
+        "clusters",
+        "window-ms",
+        "seed",
+        "index-appends",
+    ])?;
     let ds = load_dataset(Path::new(args.require("dataset")?))?;
     let config = pipeline_config(args)?;
     let refs: Vec<_> = ds.records.iter().collect();
@@ -239,6 +258,7 @@ pub fn evaluate_cmd(args: &ParsedArgs) -> CliResult {
         "clusters",
         "window-ms",
         "seed",
+        "index-appends",
         "queries-per-cell",
         "confusion",
         "faults",
@@ -378,6 +398,7 @@ pub fn run(args: &ParsedArgs) -> CliResult {
         "evaluate" => evaluate_cmd(args),
         "serve" => crate::serving::serve(args),
         "client" => crate::serving::client(args),
+        "db" => crate::db::run_db(args),
         "help" => {
             println!("{USAGE}");
             Ok(())

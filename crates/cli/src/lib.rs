@@ -13,4 +13,5 @@
 
 pub mod args;
 pub mod commands;
+pub mod db;
 pub mod serving;

@@ -25,15 +25,19 @@ pub fn serve(args: &ParsedArgs) -> CliResult {
         "workers",
         "deadline-ms",
         "port-file",
+        "store",
     ])?;
     let model_path = Path::new(args.require("model")?).to_owned();
-    let config = ServeConfig::default()
+    let mut config = ServeConfig::default()
         .with_addr(args.get("addr").unwrap_or("127.0.0.1:0"))
         .with_queue_capacity(args.get_or("queue", 256usize)?)
         .with_batch_max(args.get_or("batch-max", 16usize)?)
         .with_batch_wait(Duration::from_millis(args.get_or("batch-wait-ms", 2u64)?))
         .with_workers(args.get_or("workers", 2usize)?)
         .with_request_deadline(Duration::from_millis(args.get_or("deadline-ms", 5000u64)?));
+    if let Some(dir) = args.get("store") {
+        config = config.with_store_dir(dir);
+    }
     let server = Server::start_from_file(&model_path, config)?;
     let addr = server.local_addr();
     // Scripts race against daemon startup; the port file is their signal
@@ -138,13 +142,38 @@ pub fn client(args: &ParsedArgs) -> CliResult {
             }
             Ok(())
         }
+        "insert" => {
+            let ds = load_dataset(Path::new(args.require("dataset")?))?;
+            let only: Option<usize> = match args.get("record") {
+                Some(raw) => Some(
+                    raw.parse()
+                        .map_err(|_| ArgError(format!("--record: cannot parse '{raw}'")))?,
+                ),
+                None => None,
+            };
+            let mut inserted = 0usize;
+            for r in ds
+                .records
+                .iter()
+                .filter(|r| only.map_or(true, |id| r.id == id))
+            {
+                print_response(client.insert(r)?)?;
+                inserted += 1;
+            }
+            if inserted == 0 {
+                return Err(Box::new(ArgError("no matching records".into())));
+            }
+            Ok(())
+        }
         "health" => print_response(client.health()?),
         "stats" => print_response(client.call(&kinemyo_serve::Request::Stats)?),
         "reload" => print_response(client.reload()?),
+        "persist" => print_response(client.persist()?),
+        "compact" => print_response(client.compact()?),
         "shutdown" => print_response(client.shutdown()?),
         other => Err(Box::new(ArgError(format!(
-            "unknown op '{other}' (expected classify, classify-batch, health, stats, \
-             reload or shutdown)"
+            "unknown op '{other}' (expected classify, classify-batch, insert, health, \
+             stats, reload, persist, compact or shutdown)"
         )))),
     }
 }

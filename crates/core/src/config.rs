@@ -37,6 +37,13 @@ pub struct PipelineConfig {
     /// [`ThreadPolicy`].
     #[serde(default)]
     pub threads: ThreadPolicy,
+    /// Index-staleness policy for live ingestion: rebuild the metric
+    /// index once this many motions have been appended since the last
+    /// build, scanning the shorter tail linearly in the meantime. `0`
+    /// (the default) disables indexing entirely — every query is a pure
+    /// linear scan, the paper's stated search.
+    #[serde(default)]
+    pub index_rebuild_appends: usize,
 }
 
 impl Default for PipelineConfig {
@@ -53,6 +60,7 @@ impl Default for PipelineConfig {
             modality: Modality::Combined,
             standardize: true,
             threads: ThreadPolicy::default(),
+            index_rebuild_appends: 0,
         }
     }
 }
@@ -89,6 +97,13 @@ impl PipelineConfig {
     /// Sets the worker-thread policy.
     pub fn with_threads(mut self, threads: ThreadPolicy) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the index-staleness threshold (appends between metric-index
+    /// rebuilds; 0 keeps the pure linear scan).
+    pub fn with_index_rebuild_appends(mut self, appends: usize) -> Self {
+        self.index_rebuild_appends = appends;
         self
     }
 
@@ -228,6 +243,13 @@ impl PipelineConfigBuilder {
         self
     }
 
+    /// Index-staleness threshold (appends between metric-index rebuilds;
+    /// 0 keeps the pure linear scan).
+    pub fn index_rebuild_appends(mut self, appends: usize) -> Self {
+        self.config.index_rebuild_appends = appends;
+        self
+    }
+
     /// Validates the assembled configuration and returns it.
     pub fn build(self) -> Result<PipelineConfig> {
         self.config.validate()?;
@@ -333,6 +355,34 @@ mod tests {
             PipelineConfig::builder().build().unwrap(),
             PipelineConfig::default()
         );
+    }
+
+    #[test]
+    fn index_rebuild_appends_knob() {
+        assert_eq!(PipelineConfig::default().index_rebuild_appends, 0);
+        let c = PipelineConfig::default().with_index_rebuild_appends(64);
+        assert_eq!(c.index_rebuild_appends, 64);
+        assert!(c.validate().is_ok());
+        let b = PipelineConfig::builder()
+            .index_rebuild_appends(8)
+            .build()
+            .unwrap();
+        assert_eq!(b.index_rebuild_appends, 8);
+    }
+
+    #[test]
+    fn old_config_json_without_index_field_loads() {
+        if serde_json::to_string(&0u32).is_err() {
+            return; // serde_json stub build
+        }
+        // A config file written before `index_rebuild_appends` existed.
+        let json = r#"{
+            "window_ms": 100.0, "mocap_fs": 120.0, "clusters": 15,
+            "fuzzifier": 2.0, "knn_k": 5, "seed": 1, "fcm_restarts": 2,
+            "fcm_max_iters": 200, "standardize": true
+        }"#;
+        let back: PipelineConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(back.index_rebuild_appends, 0);
     }
 
     #[test]

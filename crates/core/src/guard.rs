@@ -35,7 +35,7 @@ use crate::stream::{assign_window, MembershipTracker};
 use kinemyo_biosim::{Limb, MotionClass, MotionRecord};
 use kinemyo_features::Modality;
 use kinemyo_linalg::{Matrix, Vector};
-use kinemyo_modb::{classify, knn, Neighbor};
+use kinemyo_modb::{classify, Neighbor};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -807,7 +807,7 @@ impl<'m> GuardedSession<'m> {
             return Ok(None);
         };
         let fv = tracker.final_vector();
-        let neighbors = knn(&model.db(), fv.as_slice(), k)?;
+        let neighbors = model.neighbors(fv.as_slice(), k)?;
         let Some(predicted) = classify(&neighbors, |m| m.class) else {
             return Ok(None);
         };

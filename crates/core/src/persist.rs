@@ -40,14 +40,37 @@ pub(crate) const FORMAT_VERSION: u32 = 1;
 
 impl MotionClassifier {
     /// Saves the trained model as JSON at `path`.
+    ///
+    /// The write is atomic: the JSON goes to `<path>.tmp`, is fsynced,
+    /// and is renamed over `path` — a crash mid-save leaves either the
+    /// previous model or the new one, never a truncated file.
     pub fn save_json(&self, path: &Path) -> Result<()> {
         let saved = self.to_saved();
         let json = serde_json::to_string(&saved).map_err(|e| KinemyoError::InvalidConfig {
             reason: format!("model serialization failed: {e}"),
         })?;
-        std::fs::write(path, json).map_err(|e| KinemyoError::InvalidConfig {
-            reason: format!("could not write {}: {e}", path.display()),
-        })
+        let tmp = path.with_extension(match path.extension() {
+            Some(ext) => format!("{}.tmp", ext.to_string_lossy()),
+            None => "tmp".to_string(),
+        });
+        let write_err = |e: std::io::Error, p: &Path| KinemyoError::InvalidConfig {
+            reason: format!("could not write {}: {e}", p.display()),
+        };
+        let mut file = std::fs::File::create(&tmp).map_err(|e| write_err(e, &tmp))?;
+        use std::io::Write;
+        file.write_all(json.as_bytes())
+            .map_err(|e| write_err(e, &tmp))?;
+        file.sync_all().map_err(|e| write_err(e, &tmp))?;
+        drop(file);
+        std::fs::rename(&tmp, path).map_err(|e| write_err(e, path))?;
+        // Make the rename itself durable where the platform allows it;
+        // the model file is already safe on disk either way.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = std::fs::File::open(dir) {
+                d.sync_all().ok();
+            }
+        }
+        Ok(())
     }
 
     /// Loads a model previously written by [`MotionClassifier::save_json`].
@@ -121,6 +144,33 @@ mod tests {
             assert_eq!(a.predicted, b.predicted);
             assert!(a.feature_vector.approx_eq(&b.feature_vector, 0.0));
         }
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_tmp_file() {
+        if !json_available() {
+            eprintln!("skipping: serde_json stub build");
+            return;
+        }
+        let ds = Dataset::generate(DatasetSpec::hand_default().with_size(1, 2)).unwrap();
+        let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+        let model = MotionClassifier::train(
+            &refs,
+            Limb::RightHand,
+            &PipelineConfig::default().with_clusters(5),
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join("kinemyo_model_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        // Pre-existing file: an interrupted save must never truncate it,
+        // and a completed save replaces it wholesale.
+        std::fs::write(&path, "{\"previous\": true}").unwrap();
+        model.save_json(&path).unwrap();
+        assert!(!dir.join("model.json.tmp").exists(), "tmp file left behind");
+        let loaded = MotionClassifier::load_json(&path).unwrap();
+        assert_eq!(loaded.db().len(), model.db().len());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::config::PipelineConfig;
 use crate::error::{KinemyoError, Result};
-use kinemyo_biosim::{Limb, MotionClass, MotionRecord, Vec3};
+use kinemyo_biosim::{class_code, class_from_code, Limb, MotionClass, MotionRecord, Vec3};
 use kinemyo_dsp::WindowSpec;
 use kinemyo_features::motion_vector::{
     motion_feature_vector, window_assignments, WindowAssignment,
@@ -20,7 +20,8 @@ use kinemyo_features::{window_feature_points, Modality};
 use kinemyo_fuzzy::{fcm_fit, FcmConfig, FcmModel};
 use kinemyo_linalg::stats::ZScore;
 use kinemyo_linalg::{Matrix, Vector};
-use kinemyo_modb::{classify, knn, DbReadGuard, FeatureDb, Neighbor, SharedDb};
+use kinemyo_modb::{classify, knn, DbReadGuard, FeatureDb, HybridIndex, Neighbor, SharedDb};
+use kinemyo_store::MetaCodec;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -36,6 +37,38 @@ pub struct RecordMeta {
     pub participant: usize,
     /// Trial index.
     pub trial: usize,
+}
+
+/// Exact wire size of an encoded [`RecordMeta`].
+const META_WIRE_BYTES: usize = 8 + 1 + 8 + 8;
+
+/// Binary layout for the durable store (DESIGN.md §12): little-endian
+/// `u64 record_id | u8 class code | u64 participant | u64 trial`. The
+/// class rides as its stable biosim wire code so the persisted payload
+/// stays self-contained and serde-free.
+impl MetaCodec for RecordMeta {
+    fn encode_meta(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.record_id as u64).to_le_bytes());
+        out.push(class_code(self.class));
+        out.extend_from_slice(&(self.participant as u64).to_le_bytes());
+        out.extend_from_slice(&(self.trial as u64).to_le_bytes());
+    }
+
+    fn decode_meta(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != META_WIRE_BYTES {
+            return None;
+        }
+        let usize_at = |i: usize| -> Option<usize> {
+            let raw = u64::from_le_bytes(bytes.get(i..i + 8)?.try_into().ok()?);
+            usize::try_from(raw).ok()
+        };
+        Some(RecordMeta {
+            record_id: usize_at(0)?,
+            class: class_from_code(*bytes.get(8)?)?,
+            participant: usize_at(9)?,
+            trial: usize_at(17)?,
+        })
+    }
 }
 
 /// Result of classifying one query motion.
@@ -75,11 +108,17 @@ pub struct MotionClassifier {
     scaler: Option<ZScore>,
     fcm: FcmModel,
     db: SharedDb<RecordMeta>,
+    /// Lazily built hybrid kNN index (VP-tree over the stable prefix,
+    /// linear scan over the appended tail). Rebuilt once the tail
+    /// reaches `config.index_rebuild_appends`; `None` until the first
+    /// indexed query, and never populated when the knob is 0.
+    index: Mutex<Option<HybridIndex<RecordMeta>>>,
 }
 
 impl Clone for MotionClassifier {
     /// Deep copy: the clone gets its own database, detached from later
     /// inserts into the original (matching the pre-`SharedDb` semantics).
+    /// The index cache starts cold — it rebuilds on first use.
     fn clone(&self) -> Self {
         Self {
             config: self.config.clone(),
@@ -88,6 +127,7 @@ impl Clone for MotionClassifier {
             scaler: self.scaler.clone(),
             fcm: self.fcm.clone(),
             db: SharedDb::new(self.db.snapshot()),
+            index: Mutex::new(None),
         }
     }
 }
@@ -274,6 +314,7 @@ impl MotionClassifier {
             scaler,
             fcm,
             db: SharedDb::new(db),
+            index: Mutex::new(None),
         })
     }
 
@@ -338,16 +379,47 @@ impl MotionClassifier {
         Ok(motion_feature_vector(&self.window_memberships(record)?)?)
     }
 
+    /// k-nearest stored motions for an already-extracted feature vector.
+    ///
+    /// With `index_rebuild_appends == 0` (the default) this is the plain
+    /// linear scan. Otherwise queries go through a cached
+    /// [`HybridIndex`]: exact answers at any point, with the VP-tree
+    /// rebuilt only once the tail of motions appended since the last
+    /// build reaches the configured threshold.
+    pub(crate) fn neighbors(&self, query: &[f64], k: usize) -> Result<Vec<Neighbor<RecordMeta>>> {
+        let db = self.db.read();
+        if self.config.index_rebuild_appends == 0 {
+            return Ok(knn(&db, query, k)?);
+        }
+        let mut cache = self.index.lock().unwrap_or_else(|p| p.into_inner());
+        let rebuild = match cache.as_ref() {
+            // A database shorter than the indexed prefix is not the
+            // append-only db the index was built from; start over.
+            Some(idx) => {
+                db.len() < idx.covered()
+                    || idx.stale_appends(&db) >= self.config.index_rebuild_appends
+            }
+            None => true,
+        };
+        if rebuild {
+            *cache = Some(HybridIndex::build(&db));
+        }
+        match cache.as_ref() {
+            Some(idx) => Ok(idx.knn(&db, query, k)?),
+            None => Ok(knn(&db, query, k)?),
+        }
+    }
+
     /// Retrieves the `k` nearest stored motions for a query record.
     pub fn retrieve(&self, record: &MotionRecord, k: usize) -> Result<Vec<Neighbor<RecordMeta>>> {
         let fv = self.query_feature_vector(record)?;
-        Ok(knn(&self.db.read(), fv.as_slice(), k)?)
+        self.neighbors(fv.as_slice(), k)
     }
 
     /// Classifies a query motion by majority vote over `knn_k` neighbours.
     pub fn classify_record(&self, record: &MotionRecord) -> Result<Classification> {
         let fv = self.query_feature_vector(record)?;
-        let neighbors = knn(&self.db.read(), fv.as_slice(), self.config.knn_k)?;
+        let neighbors = self.neighbors(fv.as_slice(), self.config.knn_k)?;
         let predicted =
             classify(&neighbors, |m| m.class).ok_or(KinemyoError::InvalidTrainingData {
                 reason: "no neighbours retrieved".into(),
@@ -455,6 +527,7 @@ impl MotionClassifier {
             scaler: saved.scaler,
             fcm: saved.fcm,
             db: SharedDb::new(saved.db),
+            index: Mutex::new(None),
         })
     }
 }
@@ -704,5 +777,97 @@ mod tests {
         let m = pelvis_matrix(&pelvis);
         assert_eq!(m.shape(), (2, 3));
         assert_eq!(m[(1, 2)], 6.0);
+    }
+
+    #[test]
+    fn record_meta_codec_roundtrips_and_rejects_malformed() {
+        let meta = RecordMeta {
+            record_id: 42,
+            class: MotionClass::Punch,
+            participant: 3,
+            trial: 17,
+        };
+        let mut bytes = Vec::new();
+        meta.encode_meta(&mut bytes);
+        assert_eq!(bytes.len(), META_WIRE_BYTES);
+        assert_eq!(RecordMeta::decode_meta(&bytes), Some(meta));
+        // Truncated, extended, and unknown-class payloads must all fail.
+        assert_eq!(RecordMeta::decode_meta(&bytes[..bytes.len() - 1]), None);
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert_eq!(RecordMeta::decode_meta(&longer), None);
+        let mut bad_class = bytes.clone();
+        bad_class[8] = 200;
+        assert_eq!(RecordMeta::decode_meta(&bad_class), None);
+        assert_eq!(RecordMeta::decode_meta(&[]), None);
+    }
+
+    #[test]
+    fn record_meta_codec_covers_every_class() {
+        for limb in [Limb::RightHand, Limb::RightLeg] {
+            for &class in MotionClass::all_for(limb) {
+                let meta = RecordMeta {
+                    record_id: 1,
+                    class,
+                    participant: 0,
+                    trial: 0,
+                };
+                let mut bytes = Vec::new();
+                meta.encode_meta(&mut bytes);
+                assert_eq!(RecordMeta::decode_meta(&bytes), Some(meta));
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_lookup_matches_linear_scan() {
+        let ds = tiny_dataset();
+        let linear_cfg = PipelineConfig::default().with_clusters(8);
+        let indexed_cfg = linear_cfg.clone().with_index_rebuild_appends(1);
+        let linear = train(&ds, &linear_cfg);
+        let indexed = train(&ds, &indexed_cfg);
+        for r in &ds.records {
+            let a = linear.classify_record(r).unwrap();
+            let b = indexed.classify_record(r).unwrap();
+            assert_eq!(a.predicted, b.predicted);
+            let a_ids: Vec<usize> = a.neighbors.iter().map(|n| n.id).collect();
+            let b_ids: Vec<usize> = b.neighbors.iter().map(|n| n.id).collect();
+            assert_eq!(a_ids, b_ids, "record {}", r.id);
+        }
+    }
+
+    #[test]
+    fn indexed_lookup_sees_appends_immediately() {
+        // With a high rebuild threshold the tree goes stale, but the tail
+        // scan must still surface motions appended after the index build.
+        let ds = tiny_dataset();
+        let cfg = PipelineConfig::default()
+            .with_clusters(8)
+            .with_index_rebuild_appends(1000);
+        let model = train(&ds, &cfg);
+        let r = &ds.records[0];
+        // Build the index, then append an exact duplicate of r's vector.
+        let fv = model.query_feature_vector(r).unwrap();
+        let _ = model.retrieve(r, 1).unwrap();
+        // Clone before inserting: a `db()` read guard alive inside the
+        // insert statement would deadlock against its write lock.
+        let duplicate = model.db().entries()[0].vector.clone();
+        model
+            .shared_db()
+            .insert(
+                9999,
+                RecordMeta {
+                    record_id: 9999,
+                    class: r.class,
+                    participant: 0,
+                    trial: 0,
+                },
+                duplicate,
+            )
+            .unwrap();
+        let neighbors = model.neighbors(fv.as_slice(), 2).unwrap();
+        let ids: Vec<usize> = neighbors.iter().map(|n| n.id).collect();
+        assert!(ids.contains(&9999), "appended motion missing: {ids:?}");
+        assert!(ids.contains(&r.id), "original motion missing: {ids:?}");
     }
 }

@@ -11,7 +11,7 @@ use crate::pipeline::{MotionClassifier, RecordMeta};
 use kinemyo_features::motion_vector::WindowAssignment;
 use kinemyo_features::{iav_features, to_pelvis_local, wsvd_features, Modality};
 use kinemyo_linalg::{Matrix, Vector};
-use kinemyo_modb::{classify, knn, Neighbor};
+use kinemyo_modb::{classify, Neighbor};
 
 /// Incremental min/max-membership state (Eqs. 7–8 maintained one window
 /// at a time). Shared by [`StreamingSession`] and the fault-guarded
@@ -239,7 +239,7 @@ impl<'m> StreamingSession<'m> {
             return Ok(None);
         }
         let fv = self.feature_vector();
-        let neighbors = knn(&self.model.db(), fv.as_slice(), k)?;
+        let neighbors = self.model.neighbors(fv.as_slice(), k)?;
         let predicted = classify(&neighbors, |m| m.class);
         Ok(predicted.map(|p| (p, neighbors)))
     }

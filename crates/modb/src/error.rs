@@ -12,6 +12,11 @@ pub enum DbError {
         /// Dimension of the query.
         got: usize,
     },
+    /// An insert reused an id already present in the database.
+    DuplicateId {
+        /// The id that was already taken.
+        id: usize,
+    },
     /// The database holds no entries.
     Empty,
     /// An argument was invalid (k = 0, bad reference count, ...).
@@ -28,6 +33,9 @@ impl fmt::Display for DbError {
                 f,
                 "query dimension {got} does not match stored dimension {expected}"
             ),
+            DbError::DuplicateId { id } => {
+                write!(f, "an entry with id {id} already exists")
+            }
             DbError::Empty => write!(f, "the database is empty"),
             DbError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
         }
@@ -52,6 +60,7 @@ mod tests {
         .to_string()
         .contains("dimension 2"));
         assert!(DbError::Empty.to_string().contains("empty"));
+        assert!(DbError::DuplicateId { id: 7 }.to_string().contains('7'));
         assert!(DbError::InvalidArgument {
             reason: "k=0".into()
         }

@@ -1,0 +1,199 @@
+//! Hybrid index: a VP-tree over the stable prefix of an append-only
+//! database plus a linear scan over the tail appended since the tree was
+//! built.
+//!
+//! A live-ingesting daemon appends motions continuously, and rebuilding a
+//! metric index on every insert would make writes O(n log n). The hybrid
+//! splits the database at the build point: the immutable prefix is served
+//! by the exact [`VpTree`], the (short) tail by the same linear scan
+//! [`knn`](crate::knn::knn) uses, and the two candidate lists are merged.
+//! Because the database is append-only, the prefix never changes under the
+//! tree and results stay exact. Callers rebuild when
+//! [`stale_appends`](HybridIndex::stale_appends) crosses their threshold.
+
+use crate::error::{DbError, Result};
+use crate::knn::{scan_entries, Neighbor};
+use crate::store::FeatureDb;
+use crate::vptree::VpTree;
+
+/// An exact kNN index over an append-only [`FeatureDb`]: VP-tree over the
+/// first [`covered`](Self::covered) entries, linear scan over the rest.
+#[derive(Debug, Clone)]
+pub struct HybridIndex<M> {
+    tree: VpTree<M>,
+    covered: usize,
+}
+
+impl<M: Clone> HybridIndex<M> {
+    /// Builds the index over the current contents of `db`; entries
+    /// appended afterwards are handled by the tail scan.
+    pub fn build(db: &FeatureDb<M>) -> Self {
+        Self {
+            tree: VpTree::build(db),
+            covered: db.len(),
+        }
+    }
+
+    /// Number of database entries covered by the tree (the prefix length
+    /// at build time).
+    pub fn covered(&self) -> usize {
+        self.covered
+    }
+
+    /// How many entries have been appended to `db` since this index was
+    /// built — the tail the query path scans linearly.
+    pub fn stale_appends<N>(&self, db: &FeatureDb<N>) -> usize {
+        db.len().saturating_sub(self.covered)
+    }
+
+    /// Exact k-nearest-neighbour query over prefix + tail.
+    ///
+    /// `db` must be the same append-only database the index was built
+    /// from: if it has fewer entries than the tree covers, the prefix
+    /// assumption is broken and the query is rejected.
+    pub fn knn(&self, db: &FeatureDb<M>, query: &[f64], k: usize) -> Result<Vec<Neighbor<M>>> {
+        if k == 0 {
+            return Err(DbError::InvalidArgument {
+                reason: "k must be >= 1".into(),
+            });
+        }
+        db.check_query(query)?;
+        if db.len() < self.covered {
+            return Err(DbError::InvalidArgument {
+                reason: format!(
+                    "database has {} entries but the index covers {}; hybrid queries \
+                     require the append-only database the index was built from",
+                    db.len(),
+                    self.covered
+                ),
+            });
+        }
+        let from_tree = if self.covered > 0 {
+            self.tree.knn(query, k)?
+        } else {
+            Vec::new()
+        };
+        let tail = db.entries().get(self.covered..).unwrap_or(&[]);
+        let from_tail = scan_entries(tail, query, k);
+
+        // Merge the two sorted candidate lists; on exact distance ties the
+        // prefix (earlier database position) wins, matching the linear
+        // scan's preference for earlier entries at the cut boundary.
+        let mut merged = Vec::with_capacity(k);
+        let (mut i, mut j) = (0, 0);
+        while merged.len() < k && (i < from_tree.len() || j < from_tail.len()) {
+            let take_tree = match (from_tree.get(i), from_tail.get(j)) {
+                (Some(a), Some(b)) => a.distance.total_cmp(&b.distance).is_le(),
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_tree {
+                merged.push(from_tree[i].clone());
+                i += 1;
+            } else {
+                merged.push(from_tail[j].clone());
+                j += 1;
+            }
+        }
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::knn;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_db(n: usize, dim: usize, seed: u64) -> FeatureDb<usize> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut db = FeatureDb::new(dim);
+        for i in 0..n {
+            let v: Vec<f64> = (0..dim).map(|_| rng.random::<f64>() * 10.0).collect();
+            db.insert(i, i % 7, v).unwrap();
+        }
+        db
+    }
+
+    fn append_tail(db: &mut FeatureDb<usize>, n: usize, seed: u64) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let dim = db.dim();
+        let start = db.max_id().map_or(0, |m| m + 1);
+        for i in 0..n {
+            let v: Vec<f64> = (0..dim).map(|_| rng.random::<f64>() * 10.0).collect();
+            db.insert(start + i, (start + i) % 7, v).unwrap();
+        }
+    }
+
+    #[test]
+    fn agrees_with_linear_scan_at_any_tail_length() {
+        for tail in [0usize, 1, 7, 50] {
+            let mut db = random_db(120, 5, 3);
+            let index = HybridIndex::build(&db);
+            append_tail(&mut db, tail, 77);
+            assert_eq!(index.stale_appends(&db), tail);
+            let mut rng = ChaCha8Rng::seed_from_u64(500);
+            for _ in 0..15 {
+                let q: Vec<f64> = (0..5).map(|_| rng.random::<f64>() * 10.0).collect();
+                let exact = knn(&db, &q, 5).unwrap();
+                let hybrid = index.knn(&db, &q, 5).unwrap();
+                assert_eq!(exact.len(), hybrid.len());
+                for (a, b) in exact.iter().zip(&hybrid) {
+                    assert!(
+                        (a.distance - b.distance).abs() < 1e-12,
+                        "distances differ with tail {tail}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_prefix_is_pure_linear() {
+        let mut db: FeatureDb<usize> = FeatureDb::new(2);
+        let index = HybridIndex::build(&db);
+        assert_eq!(index.covered(), 0);
+        db.insert(0, 0, vec![0.0, 0.0]).unwrap();
+        db.insert(1, 1, vec![3.0, 4.0]).unwrap();
+        let r = index.knn(&db, &[0.0, 0.0], 2).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].id, 0);
+        assert!((r[1].distance - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn results_sorted_and_bounded() {
+        let mut db = random_db(60, 3, 11);
+        let index = HybridIndex::build(&db);
+        append_tail(&mut db, 30, 12);
+        let r = index.knn(&db, &[5.0, 5.0, 5.0], 10).unwrap();
+        assert_eq!(r.len(), 10);
+        for w in r.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn shrunk_db_rejected() {
+        let db = random_db(10, 2, 1);
+        let index = HybridIndex::build(&db);
+        let smaller = random_db(5, 2, 1);
+        assert!(matches!(
+            index.knn(&smaller, &[0.0, 0.0], 1),
+            Err(DbError::InvalidArgument { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let db = random_db(10, 2, 4);
+        let index = HybridIndex::build(&db);
+        assert!(index.knn(&db, &[0.0], 1).is_err());
+        assert!(index.knn(&db, &[0.0, 0.0], 0).is_err());
+        let empty: FeatureDb<usize> = FeatureDb::new(2);
+        let eindex = HybridIndex::build(&empty);
+        assert!(eindex.knn(&empty, &[0.0, 0.0], 1).is_err());
+    }
+}

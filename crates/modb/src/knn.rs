@@ -3,7 +3,7 @@
 //! the nearest neighbors and to classify the query motion", Sec. 4).
 
 use crate::error::{DbError, Result};
-use crate::store::FeatureDb;
+use crate::store::{Entry, FeatureDb};
 use kinemyo_linalg::vector::euclidean;
 use serde::{Deserialize, Serialize};
 
@@ -36,10 +36,21 @@ pub fn knn<M: Clone>(db: &FeatureDb<M>, query: &[f64], k: usize) -> Result<Vec<N
         });
     }
     db.check_query(query)?;
+    Ok(scan_entries(db.entries(), query, k))
+}
+
+/// Linear top-`k` scan over a slice of entries, closest first. The shared
+/// core of [`knn`] and the tail scan of
+/// [`HybridIndex`](crate::hybrid::HybridIndex); callers validate the query.
+pub(crate) fn scan_entries<M: Clone>(
+    entries: &[Entry<M>],
+    query: &[f64],
+    k: usize,
+) -> Vec<Neighbor<M>> {
     // Max-heap of the current best k by distance, implemented with a
     // simple sorted insert (k is small — the paper uses k = 5).
     let mut best: Vec<Neighbor<M>> = Vec::with_capacity(k + 1);
-    for e in db.entries() {
+    for e in entries {
         let d = euclidean(&e.vector, query);
         if best.len() < k || d < best[best.len() - 1].distance {
             let pos = best
@@ -58,7 +69,7 @@ pub fn knn<M: Clone>(db: &FeatureDb<M>, query: &[f64], k: usize) -> Result<Vec<N
             }
         }
     }
-    Ok(best)
+    best
 }
 
 /// Majority-vote classification over the `k` nearest neighbours; ties are

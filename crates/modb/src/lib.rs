@@ -9,6 +9,9 @@
 //! * [`knn`](mod@knn) — exact linear-scan kNN (the paper's stated search) and
 //!   majority-vote classification;
 //! * [`vptree`] — an exact metric-tree index;
+//! * [`hybrid`] — [`hybrid::HybridIndex`]: VP-tree over the stable prefix
+//!   of an append-only database plus a linear tail scan, for live
+//!   ingestion without per-insert rebuilds;
 //! * [`idistance`] — the iDistance index the paper cites (\[14\], Yu et
 //!   al., VLDB '01), exact via radius expansion;
 //! * [`metrics`] — misclassification rate, kNN correct-%, confusion
@@ -24,6 +27,7 @@
 
 pub mod dtw;
 pub mod error;
+pub mod hybrid;
 pub mod idistance;
 pub mod knn;
 pub mod metrics;
@@ -32,6 +36,7 @@ pub mod vptree;
 
 pub use dtw::{dtw_distance, DtwClassifier};
 pub use error::{DbError, Result};
+pub use hybrid::HybridIndex;
 pub use idistance::IDistance;
 pub use knn::{classify, knn, Neighbor};
 pub use metrics::{knn_correct_pct, mean_pct, ConfusionMatrix};
@@ -76,6 +81,30 @@ mod proptests {
             for i in 0..exact.len() {
                 prop_assert!((exact[i].distance - vp[i].distance).abs() < 1e-12);
                 prop_assert!((exact[i].distance - idist[i].distance).abs() < 1e-12);
+            }
+        }
+
+        #[test]
+        fn hybrid_agrees_at_any_split((db, query, k) in db_and_query(), split_pct in 0usize..=100) {
+            use crate::hybrid::HybridIndex;
+            // Rebuild a prefix database, index it, then append the tail —
+            // the hybrid must stay exact regardless of where the split
+            // falls.
+            let split = db.len() * split_pct / 100;
+            let mut grown = FeatureDb::new(db.dim());
+            for e in db.entries().iter().take(split) {
+                grown.insert(e.id, e.meta, e.vector.clone()).unwrap();
+            }
+            let index = HybridIndex::build(&grown);
+            for e in db.entries().iter().skip(split) {
+                grown.insert(e.id, e.meta, e.vector.clone()).unwrap();
+            }
+            prop_assert_eq!(index.stale_appends(&grown), db.len() - split);
+            let exact = knn(&db, &query, k).unwrap();
+            let hybrid = index.knn(&grown, &query, k).unwrap();
+            prop_assert_eq!(exact.len(), hybrid.len());
+            for i in 0..exact.len() {
+                prop_assert!((exact[i].distance - hybrid[i].distance).abs() < 1e-12);
             }
         }
 

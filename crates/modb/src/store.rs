@@ -10,6 +10,7 @@
 use crate::error::{DbError, Result};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Read guard over a [`SharedDb`]'s underlying [`FeatureDb`]. Derefs to
@@ -29,10 +30,43 @@ pub struct Entry<M> {
 
 /// An append-only store of motion feature vectors with fixed
 /// dimensionality.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Ids are unique: a second insert with an id already present is rejected
+/// with [`DbError::DuplicateId`] instead of silently shadowing the first
+/// entry. Lookups by id go through a sorted index and cost O(log n).
+#[derive(Debug, Clone, Serialize)]
 pub struct FeatureDb<M> {
     dim: usize,
     entries: Vec<Entry<M>>,
+    /// id → position in `entries`. Rebuilt on deserialization; never
+    /// part of the wire format.
+    #[serde(skip)]
+    by_id: BTreeMap<usize, usize>,
+}
+
+// Manual impl: the derived one would leave `by_id` empty (it is skipped on
+// the wire), so every entry is re-inserted through `insert`, which also
+// re-validates dimensions/finiteness and rejects duplicate ids coming from
+// a hand-edited or corrupted file. The serialized shape stays `{dim,
+// entries}`, identical to the previous derive.
+impl<'de, M: Deserialize<'de>> Deserialize<'de> for FeatureDb<M> {
+    fn deserialize<D>(deserializer: D) -> std::result::Result<Self, D::Error>
+    where
+        D: serde::Deserializer<'de>,
+    {
+        #[derive(Deserialize)]
+        struct Raw<M> {
+            dim: usize,
+            entries: Vec<Entry<M>>,
+        }
+        let raw = Raw::<M>::deserialize(deserializer)?;
+        let mut db = FeatureDb::new(raw.dim);
+        for e in raw.entries {
+            db.insert(e.id, e.meta, e.vector)
+                .map_err(serde::de::Error::custom)?;
+        }
+        Ok(db)
+    }
 }
 
 impl<M> FeatureDb<M> {
@@ -41,6 +75,7 @@ impl<M> FeatureDb<M> {
         Self {
             dim,
             entries: Vec::new(),
+            by_id: BTreeMap::new(),
         }
     }
 
@@ -59,8 +94,8 @@ impl<M> FeatureDb<M> {
         self.entries.is_empty()
     }
 
-    /// Inserts a motion; rejects vectors of the wrong dimension or with
-    /// non-finite components.
+    /// Inserts a motion; rejects vectors of the wrong dimension, vectors
+    /// with non-finite components, and ids that are already present.
     pub fn insert(&mut self, id: usize, meta: M, vector: Vec<f64>) -> Result<()> {
         if vector.len() != self.dim {
             return Err(DbError::DimensionMismatch {
@@ -73,6 +108,10 @@ impl<M> FeatureDb<M> {
                 reason: format!("vector for id {id} contains non-finite values"),
             });
         }
+        if self.by_id.contains_key(&id) {
+            return Err(DbError::DuplicateId { id });
+        }
+        self.by_id.insert(id, self.entries.len());
         self.entries.push(Entry { id, meta, vector });
         Ok(())
     }
@@ -82,9 +121,20 @@ impl<M> FeatureDb<M> {
         &self.entries
     }
 
-    /// Looks up an entry by id (linear; ids need not be dense).
+    /// Looks up an entry by id through the sorted index: O(log n); ids
+    /// need not be dense.
     pub fn get(&self, id: usize) -> Option<&Entry<M>> {
-        self.entries.iter().find(|e| e.id == id)
+        self.by_id.get(&id).and_then(|&i| self.entries.get(i))
+    }
+
+    /// True when an entry with this id exists.
+    pub fn contains_id(&self, id: usize) -> bool {
+        self.by_id.contains_key(&id)
+    }
+
+    /// The largest id currently stored, if any.
+    pub fn max_id(&self) -> Option<usize> {
+        self.by_id.keys().next_back().copied()
     }
 
     /// Validates a query vector's dimensionality.
@@ -169,6 +219,35 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_ids_rejected() {
+        let mut db: FeatureDb<u8> = FeatureDb::new(1);
+        db.insert(4, 1, vec![0.0]).unwrap();
+        assert!(matches!(
+            db.insert(4, 2, vec![1.0]),
+            Err(DbError::DuplicateId { id: 4 })
+        ));
+        // The failed insert must not have shadowed or appended anything.
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get(4).unwrap().meta, 1);
+    }
+
+    #[test]
+    fn id_index_queries() {
+        let mut db: FeatureDb<()> = FeatureDb::new(1);
+        assert_eq!(db.max_id(), None);
+        assert!(!db.contains_id(0));
+        for id in [10, 3, 42] {
+            db.insert(id, (), vec![0.5]).unwrap();
+        }
+        assert!(db.contains_id(3));
+        assert!(!db.contains_id(4));
+        assert_eq!(db.max_id(), Some(42));
+        for id in [10, 3, 42] {
+            assert_eq!(db.get(id).unwrap().id, id);
+        }
+    }
+
+    #[test]
     fn dimension_enforced() {
         let mut db: FeatureDb<()> = FeatureDb::new(3);
         assert!(matches!(
@@ -238,5 +317,16 @@ mod tests {
         let back: FeatureDb<String> = serde_json::from_str(&json).unwrap();
         assert_eq!(back.len(), 1);
         assert_eq!(back.get(1).unwrap().vector, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn deserialize_rejects_duplicate_ids() {
+        if serde_json::to_string(&0u32).is_err() {
+            return; // serde_json unavailable in this environment
+        }
+        let json = r#"{"dim":1,"entries":[
+            {"id":1,"meta":"a","vector":[0.0]},
+            {"id":1,"meta":"b","vector":[1.0]}]}"#;
+        assert!(serde_json::from_str::<FeatureDb<String>>(json).is_err());
     }
 }

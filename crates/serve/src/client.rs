@@ -83,6 +83,24 @@ impl ServeClient {
         }
     }
 
+    /// Ingests one motion into the server's live database; answers
+    /// `Response::Inserted` with the assigned id on success.
+    pub fn insert(&mut self, record: &MotionRecord) -> Result<Response, ServeError> {
+        self.call(&Request::Insert {
+            record: record.clone(),
+        })
+    }
+
+    /// Asks the server to write a new durable-store snapshot.
+    pub fn persist(&mut self) -> Result<Response, ServeError> {
+        self.call(&Request::Persist)
+    }
+
+    /// Asks the server to snapshot and reclaim superseded store files.
+    pub fn compact(&mut self) -> Result<Response, ServeError> {
+        self.call(&Request::Compact)
+    }
+
     /// Probes server health (generation, motion count, limb, uptime).
     pub fn health(&mut self) -> Result<Response, ServeError> {
         self.call(&Request::Health)

@@ -9,6 +9,12 @@
 //! graceful drain shutdown. Plain `std::net` + OS threads — no async
 //! runtime.
 //!
+//! With a store directory configured
+//! ([`ServeConfig::with_store_dir`](server::ServeConfig::with_store_dir)),
+//! `insert` requests are WAL-logged through a
+//! [`kinemyo_store::DurableDb`] before they are acknowledged, and a
+//! restarted daemon recovers every ingested motion bit-identically.
+//!
 //! ## Architecture
 //!
 //! ```text

@@ -39,6 +39,19 @@ pub enum Request {
         /// The query motions.
         records: Vec<MotionRecord>,
     },
+    /// Ingest one motion into the live database: the record is run
+    /// through the feature pipeline and the resulting vector is appended
+    /// — WAL-logged first when the server has a durable store, so an
+    /// acknowledged insert survives restarts and power cuts.
+    Insert {
+        /// The motion to ingest (mocap ‖ EMG, synchronized).
+        record: MotionRecord,
+    },
+    /// Write a new store snapshot generation and rotate the WAL onto it.
+    Persist,
+    /// [`Request::Persist`], then delete every store file the new
+    /// snapshot supersedes.
+    Compact,
     /// Liveness + current-model probe.
     Health,
     /// Server counters snapshot.
@@ -106,6 +119,36 @@ pub enum Response {
         /// What went wrong.
         message: String,
     },
+    /// Answer to a successful [`Request::Insert`].
+    Inserted {
+        /// Database id assigned to the ingested motion.
+        id: usize,
+        /// Motions in the visible database after the insert.
+        motions: usize,
+        /// True when the insert was WAL-logged to a durable store before
+        /// being acknowledged; false means it lives only in memory.
+        durable: bool,
+    },
+    /// Answer to a successful [`Request::Persist`].
+    Persisted {
+        /// Generation the new snapshot established.
+        generation: u64,
+        /// Entries captured in it.
+        entries: usize,
+        /// Its size in bytes.
+        bytes: u64,
+    },
+    /// Answer to a successful [`Request::Compact`].
+    Compacted {
+        /// Generation the compaction snapshot established.
+        generation: u64,
+        /// Entries captured in it.
+        entries: usize,
+        /// Obsolete files deleted.
+        files_removed: usize,
+        /// Bytes those files occupied.
+        bytes_reclaimed: u64,
+    },
     /// Answer to [`Request::Health`].
     Health {
         /// Number of model swaps since the server started.
@@ -153,6 +196,8 @@ pub enum ServeError {
     Closed,
     /// The model could not be loaded (startup or reload).
     Model(kinemyo::KinemyoError),
+    /// The durable store could not be opened or recovered at startup.
+    Store(kinemyo_store::StoreError),
     /// Invalid server configuration.
     Config {
         /// The violated constraint.
@@ -170,6 +215,7 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Closed => write!(f, "connection closed by peer"),
             ServeError::Model(e) => write!(f, "model error: {e}"),
+            ServeError::Store(e) => write!(f, "store error: {e}"),
             ServeError::Config { reason } => write!(f, "invalid serve config: {reason}"),
         }
     }
@@ -180,6 +226,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Io(e) => Some(e),
             ServeError::Model(e) => Some(e),
+            ServeError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -194,6 +241,12 @@ impl From<std::io::Error> for ServeError {
 impl From<kinemyo::KinemyoError> for ServeError {
     fn from(e: kinemyo::KinemyoError) -> Self {
         ServeError::Model(e)
+    }
+}
+
+impl From<kinemyo_store::StoreError> for ServeError {
+    fn from(e: kinemyo_store::StoreError) -> Self {
+        ServeError::Store(e)
     }
 }
 
@@ -288,6 +341,60 @@ mod tests {
         assert!(json.contains("shutting_down"), "{json}");
         let back: Response = decode_frame(&json).unwrap();
         assert!(matches!(back, Response::ShuttingDown));
+    }
+
+    #[test]
+    fn store_ops_roundtrip_on_the_wire() {
+        if !json_available() {
+            eprintln!("skipping: serde_json stub build");
+            return;
+        }
+        let json = serde_json::to_string(&Request::Persist).unwrap();
+        assert!(json.contains("\"op\":\"persist\""), "{json}");
+        assert!(matches!(
+            decode_frame::<Request>(&json).unwrap(),
+            Request::Persist
+        ));
+        let json = serde_json::to_string(&Request::Compact).unwrap();
+        assert!(matches!(
+            decode_frame::<Request>(&json).unwrap(),
+            Request::Compact
+        ));
+        let json = serde_json::to_string(&Response::Inserted {
+            id: 41,
+            motions: 42,
+            durable: true,
+        })
+        .unwrap();
+        assert!(json.contains("\"status\":\"inserted\""), "{json}");
+        match decode_frame::<Response>(&json).unwrap() {
+            Response::Inserted {
+                id,
+                motions,
+                durable,
+            } => {
+                assert_eq!(id, 41);
+                assert_eq!(motions, 42);
+                assert!(durable);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let json = serde_json::to_string(&Response::Persisted {
+            generation: 3,
+            entries: 9,
+            bytes: 1024,
+        })
+        .unwrap();
+        assert!(json.contains("\"status\":\"persisted\""), "{json}");
+        let json = serde_json::to_string(&Response::Compacted {
+            generation: 4,
+            entries: 9,
+            files_removed: 2,
+            bytes_reclaimed: 2048,
+        })
+        .unwrap();
+        assert!(json.contains("\"status\":\"compacted\""), "{json}");
+        assert!(json.contains("\"bytes_reclaimed\":2048"), "{json}");
     }
 
     #[test]

@@ -31,8 +31,10 @@ use crate::protocol::{
     decode_frame, write_frame, BatchItem, Request, Response, ServeError, MAX_FRAME_BYTES,
 };
 use crate::stats::{StatsCollector, StatsSnapshot};
+use kinemyo::pipeline::RecordMeta;
 use kinemyo::{MotionClassifier, SharedModel};
 use kinemyo_biosim::MotionRecord;
+use kinemyo_store::{DurableDb, StoreConfig};
 use parking_lot::Mutex;
 use std::io::{BufRead, BufReader, ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -66,6 +68,12 @@ pub struct ServeConfig {
     /// experiments use it to make overload and drain scenarios
     /// deterministic. Keep at zero in production.
     pub worker_delay: Duration,
+    /// Directory of the durable store backing `insert` requests. When
+    /// set, the store is opened (or created) at startup, its recovered
+    /// motions are grafted into the model's database, and every ingest
+    /// is WAL-logged before it is acknowledged. `None` keeps ingestion
+    /// memory-only.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +86,7 @@ impl Default for ServeConfig {
             workers: 2,
             request_deadline: Duration::from_secs(5),
             worker_delay: Duration::ZERO,
+            store_dir: None,
         }
     }
 }
@@ -125,6 +134,12 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the durable-store directory backing `insert` requests.
+    pub fn with_store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store_dir = Some(dir.into());
+        self
+    }
+
     /// Rejects configurations that would deadlock or never serve.
     pub fn validate(&self) -> Result<(), ServeError> {
         if self.queue_capacity == 0 {
@@ -166,6 +181,12 @@ struct Job {
 struct ServerShared {
     model: SharedModel,
     model_path: Option<PathBuf>,
+    /// Durable store grafted onto the model's database; `None` when the
+    /// server was started without a store directory.
+    store: Option<DurableDb<RecordMeta>>,
+    /// Serializes id allocation with the insert that claims the id, so
+    /// two concurrent ingests can never race to the same fresh id.
+    ingest: Mutex<()>,
     stats: StatsCollector,
     shutting_down: AtomicBool,
     started: Instant,
@@ -219,6 +240,17 @@ impl Server {
         config: ServeConfig,
     ) -> Result<Self, ServeError> {
         config.validate()?;
+        // Open (or create) the durable store before accepting work:
+        // recovered motions are replayed into the model's database here,
+        // so the first query already sees everything ever acknowledged.
+        let store = match &config.store_dir {
+            Some(dir) => Some(DurableDb::open_or_create_into(
+                dir,
+                StoreConfig::default(),
+                model.load().shared_db().clone(),
+            )?),
+            None => None,
+        };
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -226,6 +258,8 @@ impl Server {
         let shared = Arc::new(ServerShared {
             model,
             model_path,
+            store,
+            ingest: Mutex::new(()),
             stats: StatsCollector::new(),
             shutting_down: AtomicBool::new(false),
             started: Instant::now(),
@@ -497,6 +531,15 @@ fn dispatch(line: &str, shared: &Arc<ServerShared>, job_tx: &SyncSender<Job>) ->
             let results = submit_and_wait(records, shared, job_tx);
             (Response::BatchResult { results }, false)
         }
+        Request::Insert { record } => {
+            if shared.shutting_down.load(Ordering::Acquire) {
+                shared.stats.record_rejected_shutdown();
+                return (Response::ShuttingDown, false);
+            }
+            (do_insert(record, shared), false)
+        }
+        Request::Persist => (do_persist(shared), false),
+        Request::Compact => (do_compact(shared), false),
         Request::Health => {
             let model = shared.model.load();
             let motions = model.db().len();
@@ -594,6 +637,100 @@ fn submit_and_wait(
         .collect()
 }
 
+/// Ingests one motion: feature-extract with the current model, assign a
+/// fresh id, append to the visible database — through the durable store
+/// (WAL first) when one is configured.
+fn do_insert(record: MotionRecord, shared: &Arc<ServerShared>) -> Response {
+    let model = shared.model.load();
+    let fv = match model.query_feature_vector(&record) {
+        Ok(fv) => fv,
+        Err(e) => {
+            shared.stats.record_failed();
+            return Response::Error {
+                message: format!("insert failed: {e}"),
+            };
+        }
+    };
+    let meta = RecordMeta {
+        record_id: record.id,
+        class: record.class,
+        participant: record.participant,
+        trial: record.trial,
+    };
+    let _serialized = shared.ingest.lock();
+    let inserted = match &shared.store {
+        Some(store) => {
+            let id = store.next_id();
+            store
+                .insert(id, meta, fv.into_vec())
+                .map(|()| id)
+                .map_err(|e| e.to_string())
+        }
+        None => {
+            let db = model.shared_db();
+            let id = db.with_read(|db| db.max_id().map_or(0, |m| m + 1));
+            db.insert(id, meta, fv.into_vec())
+                .map(|()| id)
+                .map_err(|e| e.to_string())
+        }
+    };
+    match inserted {
+        Ok(id) => {
+            shared.stats.record_ingested();
+            Response::Inserted {
+                id,
+                motions: model.db().len(),
+                durable: shared.store.is_some(),
+            }
+        }
+        Err(message) => {
+            shared.stats.record_failed();
+            Response::Error {
+                message: format!("insert failed: {message}"),
+            }
+        }
+    }
+}
+
+/// Snapshots the durable store ([`Request::Persist`]).
+fn do_persist(shared: &Arc<ServerShared>) -> Response {
+    let Some(store) = &shared.store else {
+        return Response::Error {
+            message: "server has no durable store (start it with a store directory)".into(),
+        };
+    };
+    match store.persist() {
+        Ok(info) => Response::Persisted {
+            generation: info.generation,
+            entries: info.entries,
+            bytes: info.bytes,
+        },
+        Err(e) => Response::Error {
+            message: format!("persist failed: {e}"),
+        },
+    }
+}
+
+/// Snapshots and reclaims superseded store files ([`Request::Compact`]).
+fn do_compact(shared: &Arc<ServerShared>) -> Response {
+    let Some(store) = &shared.store else {
+        return Response::Error {
+            message: "server has no durable store (start it with a store directory)".into(),
+        };
+    };
+    match store.compact() {
+        Ok(info) => Response::Compacted {
+            generation: info.generation,
+            entries: info.entries,
+            files_removed: info.files_removed,
+            bytes_reclaimed: info.bytes_reclaimed,
+        },
+        Err(e) => Response::Error {
+            message: format!("compact failed: {e}"),
+        },
+    }
+}
+
 /// Re-reads the model file and swaps it in atomically. Any failure
 /// keeps the current model serving.
 fn do_reload(shared: &Arc<ServerShared>) -> Response {
@@ -613,6 +750,19 @@ fn do_reload(shared: &Arc<ServerShared>) -> Response {
                         current.limb()
                     ),
                 };
+            }
+            // Re-graft the durable store before the swap: every ingested
+            // motion is replayed into the new model's database, so the
+            // moment the swap lands, queries see training + ingested
+            // entries exactly as before. Failure keeps the old model.
+            if let Some(store) = &shared.store {
+                if let Err(e) = store.rebind(next.shared_db().clone()) {
+                    return Response::Error {
+                        message: format!(
+                            "reload refused: could not re-graft the durable store: {e}"
+                        ),
+                    };
+                }
             }
             shared.model.swap(next);
             shared.stats.record_reload();

@@ -31,6 +31,7 @@ const BATCH_BUCKETS: usize = BATCH_BOUNDS.len() + 1;
 #[derive(Debug, Default)]
 pub struct StatsCollector {
     served: AtomicU64,
+    ingested: AtomicU64,
     shed: AtomicU64,
     failed: AtomicU64,
     deadline_expired: AtomicU64,
@@ -53,6 +54,11 @@ impl StatsCollector {
     /// A request was classified and answered.
     pub fn record_served(&self) {
         self.served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A motion was ingested into the live database.
+    pub fn record_ingested(&self) {
+        self.ingested.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A request was shed because the queue was full.
@@ -131,6 +137,7 @@ impl StatsCollector {
             .collect();
         StatsSnapshot {
             served: self.served.load(Ordering::Relaxed),
+            ingested: self.ingested.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
@@ -182,6 +189,9 @@ fn quantile_us(hist: &[u64], q: f64) -> u64 {
 pub struct StatsSnapshot {
     /// Requests classified and answered.
     pub served: u64,
+    /// Motions ingested into the live database.
+    #[serde(default)]
+    pub ingested: u64,
     /// Requests shed on a full queue.
     pub shed: u64,
     /// Requests whose classification returned a typed error.
@@ -232,6 +242,7 @@ mod tests {
         let c = StatsCollector::new();
         c.record_served();
         c.record_served();
+        c.record_ingested();
         c.record_shed();
         c.record_failed();
         c.record_deadline_expired();
@@ -241,6 +252,7 @@ mod tests {
         c.record_connection();
         let s = c.snapshot(1234, 2);
         assert_eq!(s.served, 2);
+        assert_eq!(s.ingested, 1);
         assert_eq!(s.shed, 1);
         assert_eq!(s.failed, 1);
         assert_eq!(s.deadline_expired, 1);

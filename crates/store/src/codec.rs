@@ -1,0 +1,83 @@
+//! Binary metadata codec.
+//!
+//! The store persists `Entry<M>` without serde so that recovery works in
+//! any build environment and the wire format is pinned by this crate
+//! alone. Metadata types opt in by implementing [`MetaCodec`]: an exact,
+//! self-contained little-endian encoding. The contract is a strict
+//! round-trip — `decode_meta(encode_meta(m)) == Some(m)` — and decoders
+//! must reject trailing or missing bytes with `None` so a corrupted
+//! payload can never alias a valid one.
+
+/// Exact binary round-trip codec for entry metadata.
+pub trait MetaCodec: Sized {
+    /// Appends the encoded form to `out`.
+    fn encode_meta(&self, out: &mut Vec<u8>);
+    /// Decodes from exactly `bytes`; `None` on any malformation
+    /// (checksum integrity is already guaranteed by the frame layer, so
+    /// `None` means a format or version mismatch).
+    fn decode_meta(bytes: &[u8]) -> Option<Self>;
+}
+
+impl MetaCodec for () {
+    fn encode_meta(&self, _out: &mut Vec<u8>) {}
+    fn decode_meta(bytes: &[u8]) -> Option<Self> {
+        bytes.is_empty().then_some(())
+    }
+}
+
+impl MetaCodec for u64 {
+    fn encode_meta(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode_meta(bytes: &[u8]) -> Option<Self> {
+        let arr: [u8; 8] = bytes.try_into().ok()?;
+        Some(u64::from_le_bytes(arr))
+    }
+}
+
+impl MetaCodec for usize {
+    fn encode_meta(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode_meta(out);
+    }
+    fn decode_meta(bytes: &[u8]) -> Option<Self> {
+        u64::decode_meta(bytes).map(|v| v as usize)
+    }
+}
+
+impl MetaCodec for String {
+    fn encode_meta(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode_meta(bytes: &[u8]) -> Option<Self> {
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<M: MetaCodec + PartialEq + std::fmt::Debug>(m: M) {
+        let mut buf = Vec::new();
+        m.encode_meta(&mut buf);
+        assert_eq!(M::decode_meta(&buf), Some(m));
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(());
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(usize::MAX);
+        roundtrip(String::from("raise-arm/participant 3"));
+        roundtrip(String::new());
+    }
+
+    #[test]
+    fn wrong_lengths_rejected() {
+        assert_eq!(<()>::decode_meta(&[1]), None);
+        assert_eq!(u64::decode_meta(&[0; 7]), None);
+        assert_eq!(u64::decode_meta(&[0; 9]), None);
+        assert_eq!(String::decode_meta(&[0xFF, 0xFE]), None);
+    }
+}

@@ -1,0 +1,993 @@
+//! [`DurableDb`]: the crash-safe facade over [`SharedDb`].
+//!
+//! Every insert is framed, appended to the active WAL segment, and (by
+//! default) fsynced *before* it is applied to the in-memory database —
+//! the log is the commit point, so an entry a reader has seen can never
+//! be lost to a crash. Startup recovery loads the newest snapshot, then
+//! replays the WAL segments of its generation in order, truncating a torn
+//! tail in the final segment, and rebuilds the exact in-memory state —
+//! ids, metadata, and `f64` vectors bit-identical.
+//!
+//! The durable store can own its database (`create`/`open`) or graft onto
+//! an existing one (`open_into`), the mode `kinemyo-serve` uses: the
+//! model's training entries stay in memory only, while entries ingested
+//! through the store are both logged and inserted into the model's
+//! [`SharedDb`] so queries see them immediately.
+
+use crate::codec::MetaCodec;
+use crate::error::{io_err, Result, StoreError};
+use crate::record::{decode_entry, encode_entry};
+use crate::snapshot::{parse_snapshot_name, read_snapshot, remove_stale_tmp_files, write_snapshot};
+use crate::wal::{
+    parse_segment_name, read_segment, sync_dir, truncate_segment, SegmentHeader, SegmentWriter,
+};
+use kinemyo_modb::{DbError, Entry, FeatureDb, SharedDb};
+use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
+
+/// Tunables for a [`DurableDb`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Rotate the active WAL segment once it exceeds this many bytes.
+    pub max_segment_bytes: u64,
+    /// `fdatasync` every append before acknowledging it. Disabling this
+    /// trades the durability of the most recent appends for throughput;
+    /// recovery correctness is unaffected.
+    pub fsync_on_commit: bool,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            max_segment_bytes: 4 << 20,
+            fsync_on_commit: true,
+        }
+    }
+}
+
+impl StoreConfig {
+    fn validate(&self) -> Result<()> {
+        if self.max_segment_bytes < 1024 {
+            return Err(StoreError::InvalidConfig {
+                reason: format!(
+                    "max_segment_bytes {} is below the 1024-byte floor",
+                    self.max_segment_bytes
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Point-in-time description of a store, as reported by
+/// [`DurableDb::stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Current snapshot generation (0 before the first snapshot).
+    pub generation: u64,
+    /// Entries owned by the store (ingested, not model-training ones).
+    pub entries: usize,
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Live WAL segments of the current generation.
+    pub segments: usize,
+    /// Total bytes across those segments.
+    pub wal_bytes: u64,
+    /// Bytes of the current snapshot (0 before the first snapshot).
+    pub snapshot_bytes: u64,
+    /// Appends since the last snapshot (the index-staleness signal).
+    pub appends_since_snapshot: u64,
+}
+
+/// Result of [`DurableDb::persist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Generation the new snapshot established.
+    pub generation: u64,
+    /// Entries captured in it.
+    pub entries: usize,
+    /// Its size in bytes.
+    pub bytes: u64,
+}
+
+/// Result of [`DurableDb::compact`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactInfo {
+    /// Generation the compaction snapshot established.
+    pub generation: u64,
+    /// Entries captured in it.
+    pub entries: usize,
+    /// Obsolete files (old snapshots + covered segments) deleted.
+    pub files_removed: usize,
+    /// Bytes those files occupied.
+    pub bytes_reclaimed: u64,
+}
+
+struct Writer<M> {
+    /// The store's own contents — exactly what snapshots capture and
+    /// recovery rebuilds.
+    owned: FeatureDb<M>,
+    /// The externally visible database every insert is applied to after
+    /// logging. In grafted mode this is the model's db and is a strict
+    /// superset of `owned`.
+    shared: SharedDb<M>,
+    segment: SegmentWriter,
+    generation: u64,
+    seq: u64,
+    appends_since_snapshot: u64,
+}
+
+/// A crash-safe, append-only motion database: WAL-logged inserts over a
+/// [`SharedDb`], with snapshots and compaction.
+pub struct DurableDb<M> {
+    dir: PathBuf,
+    config: StoreConfig,
+    inner: Mutex<Writer<M>>,
+}
+
+/// Everything recovery learned from the directory.
+struct Recovered<M> {
+    generation: u64,
+    dim: usize,
+    entries: Vec<Entry<M>>,
+    /// The final live segment to continue appending to, if any.
+    active: Option<(PathBuf, SegmentHeader, u64)>,
+    last_seq: u64,
+}
+
+/// Snapshot files found on disk, as `(generation, path)`.
+type SnapshotFiles = Vec<(u64, PathBuf)>;
+/// WAL segment files found on disk, as `(generation, seq, path)`.
+type SegmentFiles = Vec<(u64, u64, PathBuf)>;
+
+fn list_store_files(dir: &Path) -> Result<(SnapshotFiles, SegmentFiles)> {
+    let mut snapshots = Vec::new();
+    let mut segments = Vec::new();
+    for entry in std::fs::read_dir(dir).map_err(|e| io_err(dir, e))? {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(gen) = parse_snapshot_name(&name) {
+            snapshots.push((gen, entry.path()));
+        } else if let Some((gen, seq)) = parse_segment_name(&name) {
+            segments.push((gen, seq, entry.path()));
+        }
+    }
+    snapshots.sort_by_key(|&(g, _)| g);
+    segments.sort_by_key(|&(g, s, _)| (g, s));
+    Ok((snapshots, segments))
+}
+
+fn recover<M: MetaCodec>(dir: &Path) -> Result<Recovered<M>> {
+    if !dir.is_dir() {
+        return Err(StoreError::NotAStore {
+            dir: dir.to_path_buf(),
+        });
+    }
+    remove_stale_tmp_files(dir)?;
+    let (snapshots, segments) = list_store_files(dir)?;
+    if snapshots.is_empty() && segments.is_empty() {
+        return Err(StoreError::NotAStore {
+            dir: dir.to_path_buf(),
+        });
+    }
+
+    let (generation, mut dim, mut entries) = match snapshots.last() {
+        Some((gen, path)) => {
+            let (header, entries) = read_snapshot::<M>(path)?;
+            if header.generation != *gen {
+                return Err(StoreError::Corrupt {
+                    path: path.clone(),
+                    offset: 0,
+                    reason: format!(
+                        "file name says generation {gen}, header says {}",
+                        header.generation
+                    ),
+                });
+            }
+            (*gen, Some(header.dim as usize), entries)
+        }
+        None => (0, None, Vec::new()),
+    };
+
+    // Only segments of the current generation are live; older ones are
+    // fully covered by the snapshot. Newer ones would mean a snapshot
+    // vanished.
+    let live: Vec<&(u64, u64, PathBuf)> = segments
+        .iter()
+        .filter(|&&(g, _, _)| g == generation)
+        .collect();
+    if let Some(&(g, _, ref p)) = segments.iter().find(|&&(g, _, _)| g > generation) {
+        return Err(StoreError::Corrupt {
+            path: p.clone(),
+            offset: 0,
+            reason: format!(
+                "segment of generation {g} present but newest snapshot is generation \
+                 {generation}; its base snapshot is missing"
+            ),
+        });
+    }
+
+    let mut active = None;
+    let mut last_seq = 0;
+    for (i, &&(g, seq, ref path)) in live.iter().enumerate() {
+        let is_last = i + 1 == live.len();
+        if seq != (i as u64) + 1 {
+            return Err(StoreError::Corrupt {
+                path: path.clone(),
+                offset: 0,
+                reason: format!("segment sequence gap: expected seq {}, found {seq}", i + 1),
+            });
+        }
+        let contents = read_segment(path)?;
+        let header = match contents.header {
+            Some(h) => h,
+            None if is_last => {
+                // The crash hit during segment creation, before the header
+                // frame was durable. Nothing in the file is usable;
+                // remove it and let the caller recreate the active
+                // segment.
+                if dim.is_none() {
+                    // No snapshot and no earlier segment: the store never
+                    // finished initialising, so not even dim is known.
+                    return Err(StoreError::NotAStore {
+                        dir: dir.to_path_buf(),
+                    });
+                }
+                std::fs::remove_file(path).map_err(|e| io_err(path, e))?;
+                sync_dir(dir)?;
+                last_seq = seq.saturating_sub(1);
+                continue;
+            }
+            None => {
+                return Err(StoreError::Corrupt {
+                    path: path.clone(),
+                    offset: 0,
+                    reason: "torn header in a non-final segment".into(),
+                })
+            }
+        };
+        if header.generation != g || header.seq != seq {
+            return Err(StoreError::Corrupt {
+                path: path.clone(),
+                offset: 0,
+                reason: format!(
+                    "file name says generation {g} seq {seq}, header says generation {} seq {}",
+                    header.generation, header.seq
+                ),
+            });
+        }
+        match dim {
+            Some(d) if d != header.dim as usize => {
+                return Err(StoreError::Corrupt {
+                    path: path.clone(),
+                    offset: 0,
+                    reason: format!("segment dim {} disagrees with store dim {d}", header.dim),
+                })
+            }
+            Some(_) => {}
+            None => dim = Some(header.dim as usize),
+        }
+        if let Some(reason) = contents.invalid_tail {
+            if !is_last {
+                return Err(StoreError::Corrupt {
+                    path: path.clone(),
+                    offset: contents.valid_len,
+                    reason: format!("invalid frame in a non-final segment: {reason}"),
+                });
+            }
+            // The torn tail of the active segment at crash time: discard
+            // it physically so the next append continues on clean bytes.
+            truncate_segment(path, contents.valid_len)?;
+        }
+        let mut frame_offset = (crate::record::FRAME_HEADER_BYTES + header.encode().len()) as u64;
+        for payload in &contents.payloads {
+            entries.push(decode_entry::<M>(payload, path, frame_offset)?);
+            frame_offset += (crate::record::FRAME_HEADER_BYTES + payload.len()) as u64;
+        }
+        if is_last {
+            active = Some((path.clone(), header, contents.valid_len));
+        }
+        last_seq = seq;
+    }
+
+    let dim = dim.ok_or_else(|| StoreError::NotAStore {
+        dir: dir.to_path_buf(),
+    })?;
+    Ok(Recovered {
+        generation,
+        dim,
+        entries,
+        active,
+        last_seq,
+    })
+}
+
+impl<M: MetaCodec + Clone> DurableDb<M> {
+    /// Initialises a fresh store in `dir` (created if absent), owning an
+    /// empty database of `dim`-dimensional vectors. Fails with
+    /// [`StoreError::AlreadyExists`] if `dir` already holds store files.
+    pub fn create(dir: &Path, dim: usize, config: StoreConfig) -> Result<Self> {
+        config.validate()?;
+        if dim == 0 || dim > u32::MAX as usize {
+            return Err(StoreError::InvalidConfig {
+                reason: format!("dim {dim} out of range (1..=u32::MAX)"),
+            });
+        }
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        let (snapshots, segments) = list_store_files(dir)?;
+        if !snapshots.is_empty() || !segments.is_empty() {
+            return Err(StoreError::AlreadyExists {
+                dir: dir.to_path_buf(),
+            });
+        }
+        let segment = SegmentWriter::create(
+            dir,
+            SegmentHeader {
+                generation: 0,
+                seq: 1,
+                dim: dim as u32,
+            },
+        )?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            config,
+            inner: Mutex::new(Writer {
+                owned: FeatureDb::new(dim),
+                shared: SharedDb::new(FeatureDb::new(dim)),
+                segment,
+                generation: 0,
+                seq: 1,
+                appends_since_snapshot: 0,
+            }),
+        })
+    }
+
+    /// Opens an existing store, recovering its contents into a database
+    /// the store owns.
+    pub fn open(dir: &Path, config: StoreConfig) -> Result<Self> {
+        config.validate()?;
+        let recovered = recover::<M>(dir)?;
+        let shared = SharedDb::new(FeatureDb::new(recovered.dim));
+        Self::attach(dir, config, recovered, shared)
+    }
+
+    /// Opens an existing store and replays its contents *into* `shared`
+    /// (the serve daemon's model database). Every recovered entry is
+    /// inserted into `shared`; dimensionality must match and recovered
+    /// ids must not collide with entries already present.
+    pub fn open_into(dir: &Path, config: StoreConfig, shared: SharedDb<M>) -> Result<Self> {
+        config.validate()?;
+        let recovered = recover::<M>(dir)?;
+        let shared_dim = shared.with_read(|db| db.dim());
+        if shared_dim != recovered.dim {
+            return Err(StoreError::Db(DbError::DimensionMismatch {
+                expected: shared_dim,
+                got: recovered.dim,
+            }));
+        }
+        Self::attach(dir, config, recovered, shared)
+    }
+
+    /// [`open_into`](Self::open_into) when the directory holds a store,
+    /// [`create`](Self::create)-like initialisation grafted onto `shared`
+    /// otherwise.
+    pub fn open_or_create_into(
+        dir: &Path,
+        config: StoreConfig,
+        shared: SharedDb<M>,
+    ) -> Result<Self> {
+        match Self::open_into(dir, config.clone(), shared.clone()) {
+            Err(StoreError::NotAStore { .. }) => {
+                let dim = shared.with_read(|db| db.dim());
+                let created = Self::create(dir, dim, config)?;
+                created.inner.lock().shared = shared;
+                Ok(created)
+            }
+            other => other,
+        }
+    }
+
+    fn attach(
+        dir: &Path,
+        config: StoreConfig,
+        recovered: Recovered<M>,
+        shared: SharedDb<M>,
+    ) -> Result<Self> {
+        let mut owned = FeatureDb::new(recovered.dim);
+        for e in &recovered.entries {
+            owned.insert(e.id, e.meta.clone(), e.vector.clone())?;
+            shared.insert(e.id, e.meta.clone(), e.vector.clone())?;
+        }
+        let (segment, seq) = match recovered.active {
+            Some((path, header, valid_len)) => {
+                (SegmentWriter::reopen(&path, header, valid_len)?, header.seq)
+            }
+            None => {
+                let seq = recovered.last_seq + 1;
+                (
+                    SegmentWriter::create(
+                        dir,
+                        SegmentHeader {
+                            generation: recovered.generation,
+                            seq,
+                            dim: recovered.dim as u32,
+                        },
+                    )?,
+                    seq,
+                )
+            }
+        };
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            config,
+            inner: Mutex::new(Writer {
+                owned,
+                shared,
+                segment,
+                generation: recovered.generation,
+                seq,
+                appends_since_snapshot: 0,
+            }),
+        })
+    }
+
+    /// The externally visible database (the one queries run against).
+    pub fn shared(&self) -> SharedDb<M> {
+        self.inner.lock().shared.clone()
+    }
+
+    /// Durably inserts one entry: validated, WAL-appended (fsynced when
+    /// configured), then applied to the visible database — in that order,
+    /// so a reader can never observe an unlogged entry.
+    pub fn insert(&self, id: usize, meta: M, vector: Vec<f64>) -> Result<()> {
+        let mut w = self.inner.lock();
+        if vector.len() != w.owned.dim() {
+            return Err(StoreError::Db(DbError::DimensionMismatch {
+                expected: w.owned.dim(),
+                got: vector.len(),
+            }));
+        }
+        if vector.iter().any(|v| !v.is_finite()) {
+            return Err(StoreError::Db(DbError::InvalidArgument {
+                reason: format!("vector for id {id} contains non-finite values"),
+            }));
+        }
+        // The duplicate check runs against the *visible* database, so ids
+        // also can't collide with a grafted model's training entries.
+        if w.shared.with_read(|db| db.contains_id(id)) {
+            return Err(StoreError::Db(DbError::DuplicateId { id }));
+        }
+        if w.segment.bytes() >= self.config.max_segment_bytes {
+            let header = SegmentHeader {
+                generation: w.generation,
+                seq: w.seq + 1,
+                dim: w.owned.dim() as u32,
+            };
+            w.segment = SegmentWriter::create(&self.dir, header)?;
+            w.seq += 1;
+        }
+        let payload = encode_entry(id, &meta, &vector);
+        w.segment.append(&payload, self.config.fsync_on_commit)?;
+        w.owned.insert(id, meta.clone(), vector.clone())?;
+        w.shared.insert(id, meta, vector)?;
+        w.appends_since_snapshot += 1;
+        Ok(())
+    }
+
+    /// Writes a new snapshot generation and rotates the WAL onto it. The
+    /// write-temp-then-rename dance means a crash at any point leaves
+    /// either the old generation or the new one, never a torn snapshot.
+    pub fn persist(&self) -> Result<SnapshotInfo> {
+        let mut w = self.inner.lock();
+        let generation = w.generation + 1;
+        let (_, bytes) = write_snapshot(
+            &self.dir,
+            generation,
+            w.owned.dim() as u32,
+            w.owned.entries(),
+        )?;
+        let header = SegmentHeader {
+            generation,
+            seq: 1,
+            dim: w.owned.dim() as u32,
+        };
+        w.segment = SegmentWriter::create(&self.dir, header)?;
+        w.generation = generation;
+        w.seq = 1;
+        w.appends_since_snapshot = 0;
+        Ok(SnapshotInfo {
+            generation,
+            entries: w.owned.len(),
+            bytes,
+        })
+    }
+
+    /// [`persist`](Self::persist), then reclaims every file the new
+    /// snapshot supersedes: older snapshots and the WAL segments of
+    /// earlier generations.
+    pub fn compact(&self) -> Result<CompactInfo> {
+        let info = self.persist()?;
+        // Hold the writer lock across reclamation so a concurrent persist
+        // can't interleave file creation with deletion.
+        let _w = self.inner.lock();
+        let (snapshots, segments) = list_store_files(&self.dir)?;
+        let mut files_removed = 0;
+        let mut bytes_reclaimed = 0u64;
+        let doomed = snapshots
+            .iter()
+            .filter(|&&(g, _)| g < info.generation)
+            .map(|(_, p)| p)
+            .chain(
+                segments
+                    .iter()
+                    .filter(|&&(g, _, _)| g < info.generation)
+                    .map(|(_, _, p)| p),
+            );
+        for path in doomed {
+            // A concurrent compact may have beaten us to a file; a missing
+            // one is already the desired end state.
+            let len = match std::fs::metadata(path) {
+                Ok(m) => m.len(),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(io_err(path, e)),
+            };
+            match std::fs::remove_file(path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(io_err(path, e)),
+            }
+            files_removed += 1;
+            bytes_reclaimed += len;
+        }
+        if files_removed > 0 {
+            sync_dir(&self.dir)?;
+        }
+        Ok(CompactInfo {
+            generation: info.generation,
+            entries: info.entries,
+            files_removed,
+            bytes_reclaimed,
+        })
+    }
+
+    /// Re-grafts the store onto a different visible database — the serve
+    /// daemon's hot-reload path. Every store-owned entry is inserted into
+    /// `next` (dimensions must match, ids must be free), and only then
+    /// does `next` become the insert target.
+    pub fn rebind(&self, next: SharedDb<M>) -> Result<()> {
+        let mut w = self.inner.lock();
+        let next_dim = next.with_read(|db| db.dim());
+        if next_dim != w.owned.dim() {
+            return Err(StoreError::Db(DbError::DimensionMismatch {
+                expected: w.owned.dim(),
+                got: next_dim,
+            }));
+        }
+        for e in w.owned.entries() {
+            next.insert(e.id, e.meta.clone(), e.vector.clone())?;
+        }
+        w.shared = next;
+        Ok(())
+    }
+
+    /// Number of store-owned entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().owned.len()
+    }
+
+    /// True when the store owns no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.inner.lock().owned.dim()
+    }
+
+    /// Appends since the last snapshot.
+    pub fn appends_since_snapshot(&self) -> u64 {
+        self.inner.lock().appends_since_snapshot
+    }
+
+    /// The smallest id strictly greater than everything in the visible
+    /// database — a convenient fresh id for the next ingested motion.
+    pub fn next_id(&self) -> usize {
+        self.inner
+            .lock()
+            .shared
+            .with_read(|db| db.max_id().map_or(0, |m| m + 1))
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Scans the directory and reports the store's current shape.
+    pub fn stats(&self) -> Result<StoreStats> {
+        let w = self.inner.lock();
+        let (snapshots, segments) = list_store_files(&self.dir)?;
+        let snapshot_bytes = match snapshots.iter().rev().find(|&&(g, _)| g == w.generation) {
+            Some((_, p)) => std::fs::metadata(p).map_err(|e| io_err(p, e))?.len(),
+            None => 0,
+        };
+        let mut wal_bytes = 0u64;
+        let mut live_segments = 0usize;
+        for (g, _, p) in &segments {
+            if *g == w.generation {
+                wal_bytes += std::fs::metadata(p).map_err(|e| io_err(p, e))?.len();
+                live_segments += 1;
+            }
+        }
+        Ok(StoreStats {
+            generation: w.generation,
+            entries: w.owned.len(),
+            dim: w.owned.dim(),
+            segments: live_segments,
+            wal_bytes,
+            snapshot_bytes,
+            appends_since_snapshot: w.appends_since_snapshot,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn scratch(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("kinemyo_durable_{tag}_{}_{n}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn copy_dir(from: &Path, to: &Path) {
+        std::fs::create_dir_all(to).unwrap();
+        for entry in std::fs::read_dir(from).unwrap() {
+            let entry = entry.unwrap();
+            std::fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+        }
+    }
+
+    /// Vectors with awkward bit patterns so "bit-identical" means
+    /// something: negative zero, subnormals, huge magnitudes.
+    fn vector_for(i: usize) -> Vec<f64> {
+        vec![
+            i as f64 + 0.1,
+            if i % 2 == 0 { -0.0 } else { 1.0e308 },
+            f64::MIN_POSITIVE / (i + 1) as f64,
+        ]
+    }
+
+    /// `(id, meta, vector)` rows a test expects to read back.
+    type ExpectedEntries = Vec<(usize, u64, Vec<f64>)>;
+
+    fn assert_entries_identical(db: &FeatureDb<u64>, expect: &[(usize, u64, Vec<f64>)]) {
+        assert_eq!(db.len(), expect.len());
+        for (id, meta, vector) in expect {
+            let e = db.get(*id).unwrap();
+            assert_eq!(e.meta, *meta);
+            assert_eq!(e.vector.len(), vector.len());
+            for (a, b) in e.vector.iter().zip(vector) {
+                assert_eq!(a.to_bits(), b.to_bits(), "vector bits differ for id {id}");
+            }
+        }
+    }
+
+    fn populated(dir: &Path, n: usize) -> (DurableDb<u64>, ExpectedEntries) {
+        let store = DurableDb::<u64>::create(dir, 3, StoreConfig::default()).unwrap();
+        let mut expect = Vec::new();
+        for i in 0..n {
+            let v = vector_for(i);
+            store.insert(i, (i * 7) as u64, v.clone()).unwrap();
+            expect.push((i, (i * 7) as u64, v));
+        }
+        (store, expect)
+    }
+
+    #[test]
+    fn create_insert_reopen_bit_identical() {
+        let dir = scratch("roundtrip");
+        let (store, expect) = populated(&dir, 6);
+        drop(store);
+        let back = DurableDb::<u64>::open(&dir, StoreConfig::default()).unwrap();
+        back.shared()
+            .with_read(|db| assert_entries_identical(db, &expect));
+        assert_eq!(back.len(), 6);
+        assert_eq!(back.next_id(), 6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn power_cut_at_every_byte_offset_of_final_record() {
+        let dir = scratch("powercut");
+        let (store, expect) = populated(&dir, 5);
+        drop(store);
+
+        // Locate the active segment and the byte length of the final
+        // record frame.
+        let (_, segments) = list_store_files(&dir).unwrap();
+        assert_eq!(segments.len(), 1);
+        let seg_path = segments[0].2.clone();
+        let full = std::fs::read(&seg_path).unwrap();
+        let (last_id, last_meta, last_vec) = expect.last().unwrap();
+        let last_frame_len =
+            crate::record::FRAME_HEADER_BYTES + encode_entry(*last_id, last_meta, last_vec).len();
+        let clean_prefix_len = full.len() - last_frame_len;
+
+        // A cut anywhere inside the final record must recover exactly the
+        // complete-record prefix and physically truncate the tail.
+        for cut in clean_prefix_len..full.len() {
+            let trial = scratch("powercut_trial");
+            copy_dir(&dir, &trial);
+            let trial_seg = trial.join(seg_path.file_name().unwrap());
+            let f = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&trial_seg)
+                .unwrap();
+            f.set_len(cut as u64).unwrap();
+            drop(f);
+
+            let back = DurableDb::<u64>::open(&trial, StoreConfig::default()).unwrap();
+            back.shared()
+                .with_read(|db| assert_entries_identical(db, &expect[..expect.len() - 1]));
+            drop(back);
+            let after = std::fs::metadata(&trial_seg).unwrap().len();
+            assert_eq!(
+                after, clean_prefix_len as u64,
+                "cut {cut}: torn tail not truncated to the last valid frame"
+            );
+            std::fs::remove_dir_all(&trial).ok();
+        }
+
+        // And a cut exactly at EOF (no tear) keeps every record.
+        let back = DurableDb::<u64>::open(&dir, StoreConfig::default()).unwrap();
+        back.shared()
+            .with_read(|db| assert_entries_identical(db, &expect));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_can_append_after_truncation() {
+        let dir = scratch("append_after_cut");
+        let (store, mut expect) = populated(&dir, 3);
+        drop(store);
+        let (_, segments) = list_store_files(&dir).unwrap();
+        let seg_path = segments[0].2.clone();
+        let full = std::fs::read(&seg_path).unwrap();
+        // Tear off the last 5 bytes (mid-frame).
+        std::fs::write(&seg_path, &full[..full.len() - 5]).unwrap();
+        expect.pop();
+
+        let back = DurableDb::<u64>::open(&dir, StoreConfig::default()).unwrap();
+        let v = vector_for(9);
+        back.insert(9, 99, v.clone()).unwrap();
+        expect.push((9, 99, v));
+        drop(back);
+        let again = DurableDb::<u64>::open(&dir, StoreConfig::default()).unwrap();
+        again
+            .shared()
+            .with_read(|db| assert_entries_identical(db, &expect));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_then_wal_tail_replayed() {
+        let dir = scratch("snap_tail");
+        let (store, mut expect) = populated(&dir, 4);
+        let info = store.persist().unwrap();
+        assert_eq!(info.generation, 1);
+        assert_eq!(info.entries, 4);
+        assert_eq!(store.appends_since_snapshot(), 0);
+        for i in 4..7 {
+            let v = vector_for(i);
+            store.insert(i, (i * 7) as u64, v.clone()).unwrap();
+            expect.push((i, (i * 7) as u64, v));
+        }
+        assert_eq!(store.appends_since_snapshot(), 3);
+        drop(store);
+        let back = DurableDb::<u64>::open(&dir, StoreConfig::default()).unwrap();
+        back.shared()
+            .with_read(|db| assert_entries_identical(db, &expect));
+        let stats = back.stats().unwrap();
+        assert_eq!(stats.generation, 1);
+        assert_eq!(stats.entries, 7);
+        assert!(stats.snapshot_bytes > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segment_rotation_and_multi_segment_replay() {
+        let dir = scratch("rotate");
+        let config = StoreConfig {
+            max_segment_bytes: 1024,
+            fsync_on_commit: false,
+        };
+        let store = DurableDb::<u64>::create(&dir, 3, config.clone()).unwrap();
+        let mut expect = Vec::new();
+        for i in 0..40 {
+            let v = vector_for(i);
+            store.insert(i, i as u64, v.clone()).unwrap();
+            expect.push((i, i as u64, v));
+        }
+        drop(store);
+        let (_, segments) = list_store_files(&dir).unwrap();
+        assert!(segments.len() > 1, "expected rotation to multiple segments");
+        let back = DurableDb::<u64>::open(&dir, config).unwrap();
+        back.shared()
+            .with_read(|db| assert_entries_identical(db, &expect));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_reclaims_and_preserves() {
+        let dir = scratch("compact");
+        let config = StoreConfig {
+            max_segment_bytes: 1024,
+            fsync_on_commit: false,
+        };
+        let store = DurableDb::<u64>::create(&dir, 3, config.clone()).unwrap();
+        let mut expect = Vec::new();
+        for i in 0..30 {
+            let v = vector_for(i);
+            store.insert(i, i as u64, v.clone()).unwrap();
+            expect.push((i, i as u64, v));
+        }
+        store.persist().unwrap();
+        for i in 30..35 {
+            let v = vector_for(i);
+            store.insert(i, i as u64, v.clone()).unwrap();
+            expect.push((i, i as u64, v));
+        }
+        let info = store.compact().unwrap();
+        assert_eq!(info.generation, 2);
+        assert_eq!(info.entries, 35);
+        assert!(info.files_removed > 0);
+        assert!(info.bytes_reclaimed > 0);
+        let (snapshots, segments) = list_store_files(&dir).unwrap();
+        assert!(snapshots.iter().all(|&(g, _)| g == 2));
+        assert!(segments.iter().all(|&(g, _, _)| g == 2));
+        drop(store);
+        let back = DurableDb::<u64>::open(&dir, config).unwrap();
+        back.shared()
+            .with_read(|db| assert_entries_identical(db, &expect));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_into_grafts_onto_model_db() {
+        let dir = scratch("graft");
+        // "Training" entries live only in the model db.
+        let mut model_db: FeatureDb<u64> = FeatureDb::new(3);
+        model_db.insert(0, 100, vec![1.0, 2.0, 3.0]).unwrap();
+        model_db.insert(1, 101, vec![4.0, 5.0, 6.0]).unwrap();
+        let shared = SharedDb::new(model_db);
+
+        let store =
+            DurableDb::open_or_create_into(&dir, StoreConfig::default(), shared.clone()).unwrap();
+        // Ingest starts above the model's ids.
+        assert_eq!(store.next_id(), 2);
+        store.insert(2, 200, vector_for(2)).unwrap();
+        // Colliding with a model training id is rejected.
+        assert!(matches!(
+            store.insert(0, 9, vector_for(0)),
+            Err(StoreError::Db(DbError::DuplicateId { id: 0 }))
+        ));
+        assert_eq!(shared.len(), 3);
+        assert_eq!(store.len(), 1);
+        drop(store);
+
+        // Restart: a fresh model db, the store replays only its own
+        // entries into it.
+        let mut model_db2: FeatureDb<u64> = FeatureDb::new(3);
+        model_db2.insert(0, 100, vec![1.0, 2.0, 3.0]).unwrap();
+        model_db2.insert(1, 101, vec![4.0, 5.0, 6.0]).unwrap();
+        let shared2 = SharedDb::new(model_db2);
+        let store2 =
+            DurableDb::open_or_create_into(&dir, StoreConfig::default(), shared2.clone()).unwrap();
+        assert_eq!(store2.len(), 1);
+        assert_eq!(shared2.len(), 3);
+        shared2.with_read(|db| {
+            let e = db.get(2).unwrap();
+            assert_eq!(e.meta, 200);
+            for (a, b) in e.vector.iter().zip(&vector_for(2)) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rebind_moves_entries_to_next_db() {
+        let dir = scratch("rebind");
+        let (store, _) = populated(&dir, 3);
+        let next = SharedDb::new(FeatureDb::new(3));
+        store.rebind(next.clone()).unwrap();
+        assert_eq!(next.len(), 3);
+        store.insert(50, 5, vector_for(5)).unwrap();
+        assert_eq!(next.len(), 4);
+        // Mismatched dimensionality is rejected before any mutation.
+        let wrong = SharedDb::new(FeatureDb::<u64>::new(2));
+        assert!(store.rebind(wrong).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn validation_and_lifecycle_errors() {
+        let dir = scratch("errors");
+        assert!(matches!(
+            DurableDb::<u64>::open(&dir.join("nope"), StoreConfig::default()),
+            Err(StoreError::Io { .. } | StoreError::NotAStore { .. })
+        ));
+        let store = DurableDb::<u64>::create(&dir, 3, StoreConfig::default()).unwrap();
+        assert!(matches!(
+            DurableDb::<u64>::create(&dir, 3, StoreConfig::default()),
+            Err(StoreError::AlreadyExists { .. })
+        ));
+        assert!(store.insert(0, 0, vec![1.0]).is_err()); // wrong dim
+        assert!(store.insert(0, 0, vec![f64::NAN, 0.0, 0.0]).is_err());
+        store.insert(0, 0, vector_for(0)).unwrap();
+        assert!(matches!(
+            store.insert(0, 1, vector_for(1)),
+            Err(StoreError::Db(DbError::DuplicateId { id: 0 }))
+        ));
+        assert!(DurableDb::<u64>::create(&scratch("dim0"), 0, StoreConfig::default()).is_err());
+        assert!(StoreConfig {
+            max_segment_bytes: 10,
+            fsync_on_commit: true
+        }
+        .validate()
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_only_recovery_after_lost_segment_rotation() {
+        // Crash window: snapshot renamed, but the fresh segment for the
+        // new generation was never created. Recovery must come up on the
+        // snapshot alone and recreate the active segment.
+        let dir = scratch("lost_rotation");
+        let (store, expect) = populated(&dir, 4);
+        store.persist().unwrap();
+        drop(store);
+        // Delete the generation-1 segment, keeping the gen-0 one (it is
+        // fully covered by the snapshot and must be ignored).
+        let (_, segments) = list_store_files(&dir).unwrap();
+        for (g, _, p) in &segments {
+            if *g == 1 {
+                std::fs::remove_file(p).unwrap();
+            }
+        }
+        let back = DurableDb::<u64>::open(&dir, StoreConfig::default()).unwrap();
+        back.shared()
+            .with_read(|db| assert_entries_identical(db, &expect));
+        let stats = back.stats().unwrap();
+        assert_eq!(stats.generation, 1);
+        assert_eq!(stats.segments, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segment_without_snapshot_is_corrupt() {
+        let dir = scratch("missing_snap");
+        let (store, _) = populated(&dir, 2);
+        store.persist().unwrap();
+        drop(store);
+        // Delete the snapshot out from under its segments.
+        let (snapshots, _) = list_store_files(&dir).unwrap();
+        for (_, p) in &snapshots {
+            std::fs::remove_file(p).unwrap();
+        }
+        assert!(matches!(
+            DurableDb::<u64>::open(&dir, StoreConfig::default()),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

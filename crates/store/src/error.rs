@@ -1,0 +1,122 @@
+//! Typed errors for the storage engine.
+
+use kinemyo_modb::DbError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors produced by `kinemyo-store`.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system I/O failure, with the path being operated on.
+    Io {
+        /// The file or directory the operation targeted.
+        path: PathBuf,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// On-disk bytes failed validation (bad magic, CRC mismatch, truncated
+    /// frame outside the recoverable WAL tail, undecodable payload).
+    Corrupt {
+        /// The file holding the bad bytes.
+        path: PathBuf,
+        /// Byte offset of the first invalid frame.
+        offset: u64,
+        /// What failed to validate.
+        reason: String,
+    },
+    /// The directory does not contain an initialised store.
+    NotAStore {
+        /// The directory that was probed.
+        dir: PathBuf,
+    },
+    /// `create` was pointed at a directory that already holds a store.
+    AlreadyExists {
+        /// The occupied directory.
+        dir: PathBuf,
+    },
+    /// The in-memory database rejected a replayed or inserted entry.
+    Db(DbError),
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "i/o error on {}: {source}", path.display())
+            }
+            StoreError::Corrupt {
+                path,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "corrupt store file {} at byte {offset}: {reason}",
+                path.display()
+            ),
+            StoreError::NotAStore { dir } => {
+                write!(f, "{} is not an initialised kinemyo store", dir.display())
+            }
+            StoreError::AlreadyExists { dir } => {
+                write!(f, "{} already holds a kinemyo store", dir.display())
+            }
+            StoreError::Db(e) => write!(f, "database rejected entry: {e}"),
+            StoreError::InvalidConfig { reason } => write!(f, "invalid store config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Db(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DbError> for StoreError {
+    fn from(e: DbError) -> Self {
+        StoreError::Db(e)
+    }
+}
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// Attaches a path to a raw I/O error.
+pub(crate) fn io_err(path: &std::path::Path, source: std::io::Error) -> StoreError {
+    StoreError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = StoreError::Corrupt {
+            path: PathBuf::from("/x/wal-000000-000001.log"),
+            offset: 42,
+            reason: "crc mismatch".into(),
+        };
+        assert!(e.to_string().contains("byte 42"));
+        assert!(e.to_string().contains("crc mismatch"));
+        assert!(StoreError::NotAStore {
+            dir: PathBuf::from("/nope")
+        }
+        .to_string()
+        .contains("not an initialised"));
+        assert!(StoreError::from(DbError::Empty)
+            .to_string()
+            .contains("empty"));
+    }
+}

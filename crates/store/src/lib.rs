@@ -1,0 +1,39 @@
+//! # kinemyo-store
+//!
+//! A crash-safe, append-only embedded storage engine for motion feature
+//! vectors — the durability layer under the paper's growing retrieval
+//! database (Sec. 4). The in-memory [`kinemyo_modb::FeatureDb`] holds the
+//! `2c`-length motion vectors; this crate makes a live-ingesting daemon
+//! survive restarts and power cuts without losing an acknowledged insert.
+//!
+//! * [`record`] — the CRC32-checked, length-prefixed frame codec and the
+//!   self-contained little-endian entry payload (bit-exact `f64` via
+//!   [`f64::to_bits`]);
+//! * [`codec`] — the [`MetaCodec`] trait entry metadata implements to
+//!   ride in those payloads without serde;
+//! * [`wal`] — segmented append-only write-ahead log: fsync-on-commit
+//!   appends, strict validation, torn-tail truncation on recovery;
+//! * [`snapshot`] — generation-numbered full snapshots written
+//!   temp-then-rename, the base compaction reclaims WAL segments against;
+//! * [`durable`] — [`DurableDb`]: the facade that logs every insert
+//!   before it becomes visible in a [`kinemyo_modb::SharedDb`] and
+//!   replays snapshot + WAL tail into bit-identical state at startup.
+//!
+//! The on-disk formats and recovery invariants are specified in
+//! DESIGN.md §12.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod codec;
+pub mod durable;
+pub mod error;
+pub mod record;
+pub mod snapshot;
+pub mod wal;
+
+pub use codec::MetaCodec;
+pub use durable::{CompactInfo, DurableDb, SnapshotInfo, StoreConfig, StoreStats};
+pub use error::{Result, StoreError};
+pub use record::{crc32, FrameRead, MAX_FRAME_BYTES};

@@ -1,0 +1,368 @@
+//! The length-prefixed, CRC32-checked frame codec and the binary entry
+//! payload layout shared by WAL segments and snapshots.
+//!
+//! A frame on disk is `len: u32 LE | crc: u32 LE | payload: len bytes`,
+//! where `crc` is the IEEE CRC-32 of the payload. Everything the engine
+//! writes — segment headers, inserts, snapshot headers, snapshot entries —
+//! is one frame, so torn-write detection is uniform: a frame whose length
+//! prefix, payload bytes, or checksum cannot be satisfied is invalid, and
+//! whether that is tolerated (WAL tail) or fatal (anywhere else) is the
+//! caller's policy, not the codec's.
+//!
+//! Payloads are self-contained little-endian binary — no serde, so
+//! recovery has zero dependencies and `f64` vectors round-trip via
+//! [`f64::to_bits`] bit-identically.
+
+use crate::codec::MetaCodec;
+use crate::error::{io_err, Result, StoreError};
+use kinemyo_modb::Entry;
+use std::io::Write;
+use std::path::Path;
+
+/// Upper bound on a single frame payload; anything larger is treated as
+/// corruption rather than honoured with a giant allocation.
+pub const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+/// Bytes of frame overhead ahead of every payload (length + checksum).
+pub const FRAME_HEADER_BYTES: usize = 8;
+
+const CRC_TABLE: [u32; 256] = make_crc_table();
+
+const fn make_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// IEEE CRC-32 (the zlib/PNG polynomial) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Appends one frame (header + payload) to `out`.
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Writes one frame to `w`, mapping failures to [`StoreError::Io`] against
+/// `path`.
+pub fn write_frame(w: &mut impl Write, path: &Path, payload: &[u8]) -> Result<()> {
+    let mut buf = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    encode_frame(payload, &mut buf);
+    w.write_all(&buf).map_err(|e| io_err(path, e))
+}
+
+/// Outcome of reading one frame from a byte buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameRead {
+    /// A complete, checksum-valid frame: payload plus total bytes
+    /// consumed (header + payload).
+    Frame {
+        /// The validated payload.
+        payload: Vec<u8>,
+        /// Header + payload size — advance the cursor by this much.
+        consumed: usize,
+    },
+    /// The buffer ends exactly at `offset`: a clean end of file.
+    Eof,
+    /// The bytes at this offset are not a valid frame (short header,
+    /// oversized or short payload, or CRC mismatch) — a torn write if
+    /// this is the tail of the active WAL segment, corruption anywhere
+    /// else.
+    Invalid {
+        /// What failed to validate.
+        reason: String,
+    },
+}
+
+/// Reads the frame starting at `offset` in `buf`.
+pub fn read_frame(buf: &[u8], offset: usize) -> FrameRead {
+    let rest = buf.get(offset..).unwrap_or(&[]);
+    if rest.is_empty() {
+        return FrameRead::Eof;
+    }
+    if rest.len() < FRAME_HEADER_BYTES {
+        return FrameRead::Invalid {
+            reason: format!("{} trailing bytes, frame header needs 8", rest.len()),
+        };
+    }
+    let mut len4 = [0u8; 4];
+    let mut crc4 = [0u8; 4];
+    len4.copy_from_slice(&rest[..4]);
+    crc4.copy_from_slice(&rest[4..8]);
+    let len = u32::from_le_bytes(len4);
+    let want_crc = u32::from_le_bytes(crc4);
+    if len > MAX_FRAME_BYTES {
+        return FrameRead::Invalid {
+            reason: format!("frame length {len} exceeds cap {MAX_FRAME_BYTES}"),
+        };
+    }
+    let len = len as usize;
+    let Some(payload) = rest.get(FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len) else {
+        return FrameRead::Invalid {
+            reason: format!(
+                "frame claims {len} payload bytes, only {} present",
+                rest.len() - FRAME_HEADER_BYTES
+            ),
+        };
+    };
+    let got_crc = crc32(payload);
+    if got_crc != want_crc {
+        return FrameRead::Invalid {
+            reason: format!("crc mismatch: stored {want_crc:#010x}, computed {got_crc:#010x}"),
+        };
+    }
+    FrameRead::Frame {
+        payload: payload.to_vec(),
+        consumed: FRAME_HEADER_BYTES + len,
+    }
+}
+
+/// A little-endian cursor over a validated frame payload.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Option<u16> {
+        let s = self.take(2)?;
+        let mut b = [0u8; 2];
+        b.copy_from_slice(s);
+        Some(u16::from_le_bytes(b))
+    }
+
+    pub(crate) fn u32(&mut self) -> Option<u32> {
+        let s = self.take(4)?;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(s);
+        Some(u32::from_le_bytes(b))
+    }
+
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        let s = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Some(u64::from_le_bytes(b))
+    }
+
+    pub(crate) fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        self.take(n)
+    }
+}
+
+/// Operation tag of an entry payload (the only record kind today; the tag
+/// leaves room for deletes/updates without a format bump).
+pub(crate) const OP_INSERT: u8 = 1;
+
+/// Encodes one database entry as a frame payload:
+/// `op: u8 | id: u64 | vec_len: u32 | vec_len × f64-bits u64 | meta_len:
+/// u32 | meta bytes`.
+pub fn encode_entry<M: MetaCodec>(id: usize, meta: &M, vector: &[f64]) -> Vec<u8> {
+    let mut meta_buf = Vec::new();
+    meta.encode_meta(&mut meta_buf);
+    let mut out = Vec::with_capacity(1 + 8 + 4 + vector.len() * 8 + 4 + meta_buf.len());
+    out.push(OP_INSERT);
+    out.extend_from_slice(&(id as u64).to_le_bytes());
+    out.extend_from_slice(&(vector.len() as u32).to_le_bytes());
+    for v in vector {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out.extend_from_slice(&(meta_buf.len() as u32).to_le_bytes());
+    out.extend_from_slice(&meta_buf);
+    out
+}
+
+/// Decodes an entry payload produced by [`encode_entry`]. `path`/`offset`
+/// only label the error.
+pub fn decode_entry<M: MetaCodec>(payload: &[u8], path: &Path, offset: u64) -> Result<Entry<M>> {
+    let corrupt = |reason: String| StoreError::Corrupt {
+        path: path.to_path_buf(),
+        offset,
+        reason,
+    };
+    let mut r = Reader::new(payload);
+    let op = r
+        .u8()
+        .ok_or_else(|| corrupt("empty entry payload".into()))?;
+    if op != OP_INSERT {
+        return Err(corrupt(format!("unknown record op {op}")));
+    }
+    let id = r
+        .u64()
+        .ok_or_else(|| corrupt("entry payload truncated at id".into()))?;
+    let vec_len = r
+        .u32()
+        .ok_or_else(|| corrupt("entry payload truncated at vector length".into()))?
+        as usize;
+    if r.remaining() < vec_len * 8 {
+        return Err(corrupt(format!(
+            "entry claims {vec_len} vector components, {} payload bytes remain",
+            r.remaining()
+        )));
+    }
+    let mut vector = Vec::with_capacity(vec_len);
+    for _ in 0..vec_len {
+        let bits = r
+            .u64()
+            .ok_or_else(|| corrupt("entry payload truncated in vector".into()))?;
+        vector.push(f64::from_bits(bits));
+    }
+    let meta_len = r
+        .u32()
+        .ok_or_else(|| corrupt("entry payload truncated at meta length".into()))?
+        as usize;
+    let meta_bytes = r
+        .bytes(meta_len)
+        .ok_or_else(|| corrupt(format!("entry claims {meta_len} meta bytes, payload short")))?;
+    if r.remaining() != 0 {
+        return Err(corrupt(format!(
+            "{} unexpected trailing bytes after entry",
+            r.remaining()
+        )));
+    }
+    let meta = M::decode_meta(meta_bytes)
+        .ok_or_else(|| corrupt("metadata bytes failed to decode".into()))?;
+    Ok(Entry {
+        id: id as usize,
+        meta,
+        vector,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The classic check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        encode_frame(b"hello", &mut buf);
+        encode_frame(b"", &mut buf);
+        match read_frame(&buf, 0) {
+            FrameRead::Frame { payload, consumed } => {
+                assert_eq!(payload, b"hello");
+                assert_eq!(consumed, 13);
+                match read_frame(&buf, consumed) {
+                    FrameRead::Frame { payload, consumed } => {
+                        assert_eq!(payload, b"");
+                        assert_eq!(consumed, 8);
+                    }
+                    other => panic!("expected empty frame, got {other:?}"),
+                }
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+        assert_eq!(read_frame(&buf, buf.len()), FrameRead::Eof);
+    }
+
+    #[test]
+    fn every_truncation_is_invalid_not_misread() {
+        let mut buf = Vec::new();
+        encode_frame(&[7u8; 20], &mut buf);
+        for cut in 1..buf.len() {
+            match read_frame(&buf[..cut], 0) {
+                FrameRead::Invalid { .. } => {}
+                other => panic!("cut {cut} read as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_byte_fails_crc() {
+        let mut buf = Vec::new();
+        encode_frame(b"payload-bytes", &mut buf);
+        for i in FRAME_HEADER_BYTES..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                matches!(read_frame(&bad, 0), FrameRead::Invalid { .. }),
+                "flip at {i} not caught"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = vec![0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0];
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(read_frame(&buf, 0), FrameRead::Invalid { .. }));
+    }
+
+    #[test]
+    fn entry_roundtrip_bit_identical() {
+        let vector = vec![
+            0.1,
+            -0.0,
+            f64::MIN_POSITIVE / 2.0, // subnormal
+            1.0e308,
+            -3.25,
+        ];
+        let payload = encode_entry(99, &7u64, &vector);
+        let back: Entry<u64> = decode_entry(&payload, &PathBuf::from("t"), 0).unwrap();
+        assert_eq!(back.id, 99);
+        assert_eq!(back.meta, 7);
+        assert_eq!(back.vector.len(), vector.len());
+        for (a, b) in vector.iter().zip(&back.vector) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn entry_decode_rejects_malformed() {
+        let p = PathBuf::from("t");
+        assert!(decode_entry::<u64>(&[], &p, 0).is_err());
+        assert!(decode_entry::<u64>(&[9], &p, 0).is_err()); // unknown op
+        let good = encode_entry(1, &2u64, &[1.0]);
+        assert!(decode_entry::<u64>(&good[..good.len() - 1], &p, 0).is_err());
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode_entry::<u64>(&trailing, &p, 0).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! Generation-numbered snapshots.
+//!
+//! A snapshot `snap-<gen>.db` is the full store contents at one instant:
+//! a header frame (magic, version, generation, dim, entry count) followed
+//! by exactly `entry count` entry frames. Snapshots are written to
+//! `<name>.tmp`, fsynced, renamed into place, and the directory fsynced —
+//! so a crash mid-write can never leave a half-snapshot under the real
+//! name, and readers may trust any visible `snap-*.db` to be complete
+//! (a CRC or count mismatch inside one is corruption, not a torn write).
+
+use crate::codec::MetaCodec;
+use crate::error::{io_err, Result, StoreError};
+use crate::record::{decode_entry, encode_entry, read_frame, write_frame, FrameRead, Reader};
+use crate::wal::sync_dir;
+use kinemyo_modb::Entry;
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every snapshot header.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"KSNP";
+/// On-disk format version of the snapshot layout.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// File name for a snapshot: `snap-<gen:06>.db`.
+pub fn snapshot_file_name(generation: u64) -> String {
+    format!("snap-{generation:06}.db")
+}
+
+/// Parses a snapshot file name back into its generation.
+pub fn parse_snapshot_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snap-")?
+        .strip_suffix(".db")?
+        .parse()
+        .ok()
+}
+
+/// Header of a snapshot file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotHeader {
+    /// Generation this snapshot establishes.
+    pub generation: u64,
+    /// Vector dimensionality of every entry.
+    pub dim: u32,
+    /// Exact number of entry frames following the header.
+    pub entry_count: u64,
+}
+
+impl SnapshotHeader {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 2 + 8 + 4 + 8);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&self.dim.to_le_bytes());
+        out.extend_from_slice(&self.entry_count.to_le_bytes());
+        out
+    }
+
+    fn decode(payload: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(payload);
+        if r.bytes(4)? != SNAPSHOT_MAGIC {
+            return None;
+        }
+        if r.u16()? != SNAPSHOT_VERSION {
+            return None;
+        }
+        let generation = r.u64()?;
+        let dim = r.u32()?;
+        let entry_count = r.u64()?;
+        (r.remaining() == 0).then_some(Self {
+            generation,
+            dim,
+            entry_count,
+        })
+    }
+}
+
+/// Atomically writes a snapshot of `entries` as `snap-<generation>.db` in
+/// `dir`. Returns the snapshot's path and size in bytes.
+pub fn write_snapshot<M: MetaCodec>(
+    dir: &Path,
+    generation: u64,
+    dim: u32,
+    entries: &[Entry<M>],
+) -> Result<(PathBuf, u64)> {
+    let final_path = dir.join(snapshot_file_name(generation));
+    let tmp_path = dir.join(format!("{}.tmp", snapshot_file_name(generation)));
+    let header = SnapshotHeader {
+        generation,
+        dim,
+        entry_count: entries.len() as u64,
+    };
+    let mut file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&tmp_path)
+        .map_err(|e| io_err(&tmp_path, e))?;
+    write_frame(&mut file, &tmp_path, &header.encode())?;
+    for e in entries {
+        write_frame(
+            &mut file,
+            &tmp_path,
+            &encode_entry(e.id, &e.meta, &e.vector),
+        )?;
+    }
+    file.sync_all().map_err(|e| io_err(&tmp_path, e))?;
+    let bytes = file.metadata().map_err(|e| io_err(&tmp_path, e))?.len();
+    drop(file);
+    std::fs::rename(&tmp_path, &final_path).map_err(|e| io_err(&final_path, e))?;
+    sync_dir(dir)?;
+    Ok((final_path, bytes))
+}
+
+/// Reads a snapshot file back into its header and entries, validating
+/// magic, version, CRCs, and the exact entry count.
+pub fn read_snapshot<M: MetaCodec>(path: &Path) -> Result<(SnapshotHeader, Vec<Entry<M>>)> {
+    let buf = std::fs::read(path).map_err(|e| io_err(path, e))?;
+    let corrupt = |offset: u64, reason: String| StoreError::Corrupt {
+        path: path.to_path_buf(),
+        offset,
+        reason,
+    };
+    let (header, mut offset) = match read_frame(&buf, 0) {
+        FrameRead::Frame { payload, consumed } => match SnapshotHeader::decode(&payload) {
+            Some(h) => (h, consumed),
+            None => {
+                return Err(corrupt(
+                    0,
+                    "snapshot header frame is not a KSNP v1 header".into(),
+                ))
+            }
+        },
+        FrameRead::Eof => return Err(corrupt(0, "snapshot file is empty".into())),
+        FrameRead::Invalid { reason } => {
+            return Err(corrupt(0, format!("snapshot header unreadable: {reason}")))
+        }
+    };
+    let mut entries = Vec::with_capacity(header.entry_count as usize);
+    for i in 0..header.entry_count {
+        match read_frame(&buf, offset) {
+            FrameRead::Frame { payload, consumed } => {
+                entries.push(decode_entry(&payload, path, offset as u64)?);
+                offset += consumed;
+            }
+            FrameRead::Eof => {
+                return Err(corrupt(
+                    offset as u64,
+                    format!(
+                        "snapshot promises {} entries but ends after {i}",
+                        header.entry_count
+                    ),
+                ))
+            }
+            FrameRead::Invalid { reason } => {
+                return Err(corrupt(offset as u64, format!("entry frame {i}: {reason}")))
+            }
+        }
+    }
+    if !matches!(read_frame(&buf, offset), FrameRead::Eof) {
+        return Err(corrupt(
+            offset as u64,
+            "trailing bytes after the final snapshot entry".into(),
+        ));
+    }
+    Ok((header, entries))
+}
+
+/// Removes any abandoned `*.tmp` files a crashed snapshot write may have
+/// left in `dir`.
+pub(crate) fn remove_stale_tmp_files(dir: &Path) -> Result<()> {
+    for entry in std::fs::read_dir(dir).map_err(|e| io_err(dir, e))? {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let name = entry.file_name();
+        if name.to_string_lossy().ends_with(".tmp") {
+            let p = entry.path();
+            std::fs::remove_file(&p).map_err(|e| io_err(&p, e))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn scratch(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("kinemyo_snap_{tag}_{}_{n}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn entries(n: usize) -> Vec<Entry<u64>> {
+        (0..n)
+            .map(|i| Entry {
+                id: i,
+                meta: (i * 10) as u64,
+                vector: vec![i as f64 + 0.125, -(i as f64)],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(snapshot_file_name(7), "snap-000007.db");
+        assert_eq!(parse_snapshot_name("snap-000007.db"), Some(7));
+        assert_eq!(parse_snapshot_name("snap-000007.db.tmp"), None);
+        assert_eq!(parse_snapshot_name("wal-000001-000001.log"), None);
+    }
+
+    #[test]
+    fn roundtrip_bit_identical() {
+        let dir = scratch("roundtrip");
+        let original = entries(5);
+        let (path, bytes) = write_snapshot(&dir, 3, 2, &original).unwrap();
+        assert!(bytes > 0);
+        assert!(!dir.join("snap-000003.db.tmp").exists());
+        let (header, back) = read_snapshot::<u64>(&path).unwrap();
+        assert_eq!(
+            header,
+            SnapshotHeader {
+                generation: 3,
+                dim: 2,
+                entry_count: 5
+            }
+        );
+        assert_eq!(back.len(), original.len());
+        for (a, b) in original.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.meta, b.meta);
+            for (x, y) in a.vector.iter().zip(&b.vector) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrip() {
+        let dir = scratch("empty");
+        let (path, _) = write_snapshot::<u64>(&dir, 1, 4, &[]).unwrap();
+        let (header, back) = read_snapshot::<u64>(&path).unwrap();
+        assert_eq!(header.entry_count, 0);
+        assert!(back.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_snapshot_is_corrupt() {
+        let dir = scratch("trunc");
+        let (path, _) = write_snapshot(&dir, 1, 2, &entries(4)).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(matches!(
+            read_snapshot::<u64>(&path),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flipped_bit_is_corrupt() {
+        let dir = scratch("flip");
+        let (path, _) = write_snapshot(&dir, 1, 2, &entries(4)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_snapshot::<u64>(&path),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_tmp_files_removed() {
+        let dir = scratch("tmp");
+        std::fs::write(dir.join("snap-000009.db.tmp"), b"half").unwrap();
+        remove_stale_tmp_files(&dir).unwrap();
+        assert!(!dir.join("snap-000009.db.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,365 @@
+//! Segmented append-only write-ahead log.
+//!
+//! A segment file `wal-<generation>-<seq>.log` is a header frame followed
+//! by entry frames (see [`crate::record`]). `generation` is the snapshot
+//! generation the segment builds on; `seq` orders segments within a
+//! generation. Appends are framed, written, flushed, and (by default)
+//! `fdatasync`ed before the insert is acknowledged — the WAL is the
+//! commit point.
+//!
+//! Recovery reads a segment strictly: any invalid frame in a non-final
+//! segment is corruption. Only the *final* segment may end in an invalid
+//! frame — the signature of a torn write at the moment of a crash — and
+//! there the file is physically truncated back to its last valid frame
+//! boundary so the next append continues from clean bytes.
+
+use crate::error::{io_err, Result, StoreError};
+use crate::record::{read_frame, write_frame, FrameRead, Reader};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every segment header.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"KWAL";
+/// On-disk format version of the segment layout.
+pub const SEGMENT_VERSION: u16 = 1;
+
+/// Metadata at the head of every segment file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentHeader {
+    /// Snapshot generation this segment's appends build on.
+    pub generation: u64,
+    /// Order of this segment within its generation (1-based).
+    pub seq: u64,
+    /// Vector dimensionality of every entry in the segment.
+    pub dim: u32,
+}
+
+impl SegmentHeader {
+    /// Encodes the header as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 2 + 8 + 8 + 4);
+        out.extend_from_slice(&SEGMENT_MAGIC);
+        out.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.dim.to_le_bytes());
+        out
+    }
+
+    /// Decodes a header frame payload; `None` on any mismatch.
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(payload);
+        if r.bytes(4)? != SEGMENT_MAGIC {
+            return None;
+        }
+        if r.u16()? != SEGMENT_VERSION {
+            return None;
+        }
+        let generation = r.u64()?;
+        let seq = r.u64()?;
+        let dim = r.u32()?;
+        (r.remaining() == 0).then_some(Self {
+            generation,
+            seq,
+            dim,
+        })
+    }
+}
+
+/// File name for a segment: `wal-<gen:06>-<seq:06>.log`.
+pub fn segment_file_name(generation: u64, seq: u64) -> String {
+    format!("wal-{generation:06}-{seq:06}.log")
+}
+
+/// Parses a segment file name back into `(generation, seq)`.
+pub fn parse_segment_name(name: &str) -> Option<(u64, u64)> {
+    let rest = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    let (g, s) = rest.split_once('-')?;
+    Some((g.parse().ok()?, s.parse().ok()?))
+}
+
+/// `fsync` a directory so a just-created or just-renamed file inside it
+/// survives a crash of the directory entry itself.
+pub(crate) fn sync_dir(dir: &Path) -> Result<()> {
+    let d = File::open(dir).map_err(|e| io_err(dir, e))?;
+    d.sync_all().map_err(|e| io_err(dir, e))
+}
+
+/// An open segment accepting appends.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    file: File,
+    path: PathBuf,
+    bytes: u64,
+    header: SegmentHeader,
+}
+
+impl SegmentWriter {
+    /// Creates a fresh segment: writes the header frame, fsyncs the file
+    /// and its directory.
+    pub fn create(dir: &Path, header: SegmentHeader) -> Result<Self> {
+        let path = dir.join(segment_file_name(header.generation, header.seq));
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        write_frame(&mut file, &path, &header.encode())?;
+        file.sync_all().map_err(|e| io_err(&path, e))?;
+        sync_dir(dir)?;
+        let bytes = file.metadata().map_err(|e| io_err(&path, e))?.len();
+        Ok(Self {
+            file,
+            path,
+            bytes,
+            header,
+        })
+    }
+
+    /// Reopens an existing, already-validated segment for append at
+    /// `valid_len` (the recovery-determined end of its last good frame).
+    pub fn reopen(path: &Path, header: SegmentHeader, valid_len: u64) -> Result<Self> {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            bytes: valid_len,
+            header,
+        })
+    }
+
+    /// Appends one frame; when `fsync` is set the write is `fdatasync`ed
+    /// before returning — the caller may then acknowledge the commit.
+    pub fn append(&mut self, payload: &[u8], fsync: bool) -> Result<()> {
+        write_frame(&mut self.file, &self.path, payload)?;
+        self.file.flush().map_err(|e| io_err(&self.path, e))?;
+        if fsync {
+            self.file.sync_data().map_err(|e| io_err(&self.path, e))?;
+        }
+        self.bytes += (crate::record::FRAME_HEADER_BYTES + payload.len()) as u64;
+        Ok(())
+    }
+
+    /// Bytes written to this segment (header included).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// This segment's header.
+    pub fn header(&self) -> SegmentHeader {
+        self.header
+    }
+
+    /// Path of the segment file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// The parsed contents of one segment file.
+#[derive(Debug)]
+pub struct SegmentContents {
+    /// The validated header, if the header frame itself was readable.
+    pub header: Option<SegmentHeader>,
+    /// Validated entry frame payloads, in append order.
+    pub payloads: Vec<Vec<u8>>,
+    /// Byte offset just past the last valid frame — the truncation point
+    /// for a torn tail.
+    pub valid_len: u64,
+    /// Why reading stopped before a clean EOF, if it did.
+    pub invalid_tail: Option<String>,
+}
+
+/// Reads and frame-validates a whole segment file. Does not interpret
+/// entry payloads and does not modify the file; tail policy is the
+/// caller's.
+pub fn read_segment(path: &Path) -> Result<SegmentContents> {
+    let buf = std::fs::read(path).map_err(|e| io_err(path, e))?;
+    let (header, mut offset) = match read_frame(&buf, 0) {
+        FrameRead::Frame { payload, consumed } => match SegmentHeader::decode(&payload) {
+            Some(h) => (Some(h), consumed),
+            None => {
+                return Err(StoreError::Corrupt {
+                    path: path.to_path_buf(),
+                    offset: 0,
+                    reason: "segment header frame is not a KWAL v1 header".into(),
+                })
+            }
+        },
+        FrameRead::Eof | FrameRead::Invalid { .. } => {
+            // A torn header: the crash hit before the very first fsync of
+            // this segment. No entries can follow an unreadable header.
+            return Ok(SegmentContents {
+                header: None,
+                payloads: Vec::new(),
+                valid_len: 0,
+                invalid_tail: Some("segment header torn or missing".into()),
+            });
+        }
+    };
+    let mut payloads = Vec::new();
+    let mut invalid_tail = None;
+    loop {
+        match read_frame(&buf, offset) {
+            FrameRead::Frame { payload, consumed } => {
+                payloads.push(payload);
+                offset += consumed;
+            }
+            FrameRead::Eof => break,
+            FrameRead::Invalid { reason } => {
+                invalid_tail = Some(reason);
+                break;
+            }
+        }
+    }
+    Ok(SegmentContents {
+        header,
+        payloads,
+        valid_len: offset as u64,
+        invalid_tail,
+    })
+}
+
+/// Physically truncates `path` to `len` and syncs, discarding a torn tail.
+pub fn truncate_segment(path: &Path, len: u64) -> Result<()> {
+    let file = OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| io_err(path, e))?;
+    file.set_len(len).map_err(|e| io_err(path, e))?;
+    file.sync_all().map_err(|e| io_err(path, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::encode_frame;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn scratch(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("kinemyo_wal_{tag}_{}_{n}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn header_roundtrip_and_rejections() {
+        let h = SegmentHeader {
+            generation: 3,
+            seq: 9,
+            dim: 16,
+        };
+        let enc = h.encode();
+        assert_eq!(SegmentHeader::decode(&enc), Some(h));
+        assert_eq!(SegmentHeader::decode(&enc[..enc.len() - 1]), None);
+        let mut bad_magic = enc.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(SegmentHeader::decode(&bad_magic), None);
+        let mut bad_version = enc.clone();
+        bad_version[4] = 0xEE;
+        assert_eq!(SegmentHeader::decode(&bad_version), None);
+    }
+
+    #[test]
+    fn segment_names() {
+        assert_eq!(segment_file_name(0, 1), "wal-000000-000001.log");
+        assert_eq!(parse_segment_name("wal-000002-000013.log"), Some((2, 13)));
+        assert_eq!(parse_segment_name("wal-junk.log"), None);
+        assert_eq!(parse_segment_name("snap-000001.db"), None);
+        assert_eq!(parse_segment_name("wal-000001-000001.tmp"), None);
+    }
+
+    #[test]
+    fn create_append_read_roundtrip() {
+        let dir = scratch("roundtrip");
+        let header = SegmentHeader {
+            generation: 0,
+            seq: 1,
+            dim: 2,
+        };
+        let mut w = SegmentWriter::create(&dir, header).unwrap();
+        w.append(b"first", true).unwrap();
+        w.append(b"second", false).unwrap();
+        let contents = read_segment(w.path()).unwrap();
+        assert_eq!(contents.header, Some(header));
+        assert_eq!(
+            contents.payloads,
+            vec![b"first".to_vec(), b"second".to_vec()]
+        );
+        assert!(contents.invalid_tail.is_none());
+        assert_eq!(contents.valid_len, w.bytes());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_detected_and_truncated() {
+        let dir = scratch("torn");
+        let header = SegmentHeader {
+            generation: 0,
+            seq: 1,
+            dim: 2,
+        };
+        let mut w = SegmentWriter::create(&dir, header).unwrap();
+        w.append(b"keep-me", true).unwrap();
+        let keep_len = w.bytes();
+        let path = w.path().to_path_buf();
+        drop(w);
+        // Simulate a torn write: append half a frame by hand.
+        let mut torn = Vec::new();
+        encode_frame(b"lost-to-the-crash", &mut torn);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&torn[..torn.len() / 2]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let contents = read_segment(&path).unwrap();
+        assert_eq!(contents.payloads, vec![b"keep-me".to_vec()]);
+        assert_eq!(contents.valid_len, keep_len);
+        assert!(contents.invalid_tail.is_some());
+
+        truncate_segment(&path, contents.valid_len).unwrap();
+        let clean = read_segment(&path).unwrap();
+        assert!(clean.invalid_tail.is_none());
+        assert_eq!(clean.payloads.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_header_yields_empty_contents() {
+        let dir = scratch("torn_header");
+        let path = dir.join(segment_file_name(0, 1));
+        std::fs::write(&path, [0x12, 0x34]).unwrap();
+        let contents = read_segment(&path).unwrap();
+        assert!(contents.header.is_none());
+        assert!(contents.payloads.is_empty());
+        assert_eq!(contents.valid_len, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_continues_appending() {
+        let dir = scratch("reopen");
+        let header = SegmentHeader {
+            generation: 1,
+            seq: 2,
+            dim: 4,
+        };
+        let mut w = SegmentWriter::create(&dir, header).unwrap();
+        w.append(b"one", true).unwrap();
+        let path = w.path().to_path_buf();
+        let len = w.bytes();
+        drop(w);
+        let mut r = SegmentWriter::reopen(&path, header, len).unwrap();
+        r.append(b"two", true).unwrap();
+        let contents = read_segment(&path).unwrap();
+        assert_eq!(contents.payloads, vec![b"one".to_vec(), b"two".to_vec()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

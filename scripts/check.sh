@@ -44,6 +44,48 @@ if [[ "${1:-}" != "--quick" ]]; then
     cargo run -q -p kinemyo-cli -- client --addr "$ADDR" --op shutdown
     wait "$SERVE_PID"
     SERVE_PID=""
+
+    echo "==> durability smoke test (ingest -> restart -> verify)"
+    # First daemon life: ingest one motion into the durable store.
+    rm -f "$SMOKE_DIR/port"
+    cargo run -q -p kinemyo-cli -- serve --model "$SMOKE_DIR/model.json" \
+        --addr 127.0.0.1:0 --port-file "$SMOKE_DIR/port" \
+        --store "$SMOKE_DIR/store" &
+    SERVE_PID=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$SMOKE_DIR/port" ]] && break
+        sleep 0.1
+    done
+    [[ -s "$SMOKE_DIR/port" ]] || { echo "server never bound"; exit 1; }
+    ADDR="$(tr -d '[:space:]' < "$SMOKE_DIR/port")"
+    cargo run -q -p kinemyo-cli -- client --addr "$ADDR" --op insert \
+        --dataset "$SMOKE_DIR/ds.kmyo" --record 0 | grep -q '"durable":true' \
+        || { echo "insert was not acknowledged durably"; exit 1; }
+    cargo run -q -p kinemyo-cli -- client --addr "$ADDR" --op persist
+    cargo run -q -p kinemyo-cli -- client --addr "$ADDR" --op shutdown
+    wait "$SERVE_PID"
+    SERVE_PID=""
+    # Offline view agrees, then a second daemon life recovers the motion.
+    cargo run -q -p kinemyo-cli -- db stats --dir "$SMOKE_DIR/store"
+    rm -f "$SMOKE_DIR/port"
+    cargo run -q -p kinemyo-cli -- serve --model "$SMOKE_DIR/model.json" \
+        --addr 127.0.0.1:0 --port-file "$SMOKE_DIR/port" \
+        --store "$SMOKE_DIR/store" &
+    SERVE_PID=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$SMOKE_DIR/port" ]] && break
+        sleep 0.1
+    done
+    [[ -s "$SMOKE_DIR/port" ]] || { echo "restarted server never bound"; exit 1; }
+    ADDR="$(tr -d '[:space:]' < "$SMOKE_DIR/port")"
+    BEFORE_JSON="$(cargo run -q -p kinemyo-cli -- client --addr "$ADDR" --op health)"
+    echo "$BEFORE_JSON"
+    # One training set of 12 motions (6 classes x 2 trials) + 1 ingested.
+    echo "$BEFORE_JSON" | grep -q '"motions":13' \
+        || { echo "restart lost the ingested motion"; exit 1; }
+    cargo run -q -p kinemyo-cli -- client --addr "$ADDR" --op shutdown
+    wait "$SERVE_PID"
+    SERVE_PID=""
 fi
 
 echo "OK"

@@ -1,0 +1,271 @@
+//! End-to-end durability: motions ingested through a live serve daemon
+//! must survive a full daemon restart bit-identically, hot reload must
+//! re-graft the store onto the fresh model, and an offline
+//! [`DurableDb`] recovery must agree byte-for-byte with what the
+//! daemon acknowledged.
+//!
+//! Like the serving tests, everything here speaks real JSON over real
+//! loopback sockets, so the tests are skipped under the offline stub
+//! build (see `.claude/skills/verify`).
+
+use kinemyo::biosim::MotionRecord;
+use kinemyo::pipeline::RecordMeta;
+use kinemyo::{stratified_split, MotionClassifier, PipelineConfig};
+use kinemyo_integration_tests::hand_dataset;
+use kinemyo_serve::{Response, ServeClient, ServeConfig, Server};
+use kinemyo_store::{DurableDb, StoreConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// True when the real serde_json backend is linked in.
+fn json_available() -> bool {
+    serde_json::to_string(&0u32).is_ok()
+}
+
+/// Small trained model + held-out queries from the shared hand fixture.
+fn trained_model() -> (MotionClassifier, Vec<MotionRecord>) {
+    let ds = hand_dataset();
+    let (train, queries) = stratified_split(&ds.records, 1);
+    let config = PipelineConfig::default().with_clusters(8);
+    let model = MotionClassifier::train(&train, ds.spec.limb, &config).expect("training succeeds");
+    let queries = queries.into_iter().cloned().collect();
+    (model, queries)
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("kinemyo_durability_{name}_{}", std::process::id()))
+}
+
+fn insert_ok(client: &mut ServeClient, record: &MotionRecord) -> (usize, usize, bool) {
+    match client.insert(record).expect("insert call") {
+        Response::Inserted {
+            id,
+            motions,
+            durable,
+        } => (id, motions, durable),
+        other => panic!("expected inserted, got {other:?}"),
+    }
+}
+
+#[test]
+fn daemon_ingested_motions_survive_restart_bit_identically() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (model, queries) = trained_model();
+    let model_path = tmp_path("restart_model.json");
+    let store_dir = tmp_path("restart_store");
+    std::fs::remove_dir_all(&store_dir).ok();
+    model.save_json(&model_path).expect("model saves");
+    let baseline = model.db().len();
+    // Ground truth BEFORE the daemon sees anything: the exact feature
+    // vectors the ingested records must come back as.
+    let expected: Vec<(&MotionRecord, Vec<f64>)> = queries
+        .iter()
+        .take(3)
+        .map(|q| (q, model.query_feature_vector(q).unwrap().into_vec()))
+        .collect();
+
+    let config = ServeConfig::default().with_store_dir(&store_dir);
+    let server = Server::start_from_file(&model_path, config.clone()).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    let mut ids = Vec::new();
+    for (i, (q, _)) in expected.iter().enumerate() {
+        let (id, motions, durable) = insert_ok(&mut client, q);
+        assert!(durable, "a store-backed server must acknowledge durably");
+        assert_eq!(motions, baseline + i + 1, "insert must be visible live");
+        ids.push(id);
+    }
+    // Inserted motions are immediately queryable on the live daemon.
+    let served = client.classify(&queries[0]).expect("classify succeeds");
+    assert_eq!(served.predicted, queries[0].class);
+    client.shutdown().expect("shutdown ack");
+    server.wait();
+
+    // Cold restart from the same model file and store directory.
+    let server = Server::start_from_file(&model_path, config).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    match client.health().expect("health") {
+        Response::Health { motions, .. } => assert_eq!(
+            motions,
+            baseline + ids.len(),
+            "restart must recover every ingested motion"
+        ),
+        other => panic!("expected health, got {other:?}"),
+    }
+    // Id allocation continues past the recovered entries: proves they are
+    // back in the visible database, not just counted.
+    let (next_id, _, _) = insert_ok(&mut client, expected[0].0);
+    assert_eq!(next_id, ids.last().unwrap() + 1);
+    client.shutdown().expect("shutdown ack");
+    server.wait();
+
+    // Offline recovery agrees bit-for-bit with the pre-ingestion ground
+    // truth (f64 bit patterns, not approximate equality).
+    let store = DurableDb::<RecordMeta>::open(&store_dir, StoreConfig::default()).unwrap();
+    assert_eq!(store.len(), ids.len() + 1);
+    let shared = store.shared();
+    for (id, (q, fv)) in ids.iter().zip(&expected) {
+        shared.with_read(|db| {
+            let entry = db.get(*id).expect("recovered entry present");
+            assert_eq!(entry.vector.len(), fv.len());
+            for (a, b) in entry.vector.iter().zip(fv) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "vector must survive bit-identically"
+                );
+            }
+            assert_eq!(
+                entry.meta,
+                RecordMeta {
+                    record_id: q.id,
+                    class: q.class,
+                    participant: q.participant,
+                    trial: q.trial,
+                }
+            );
+        });
+    }
+
+    std::fs::remove_file(&model_path).ok();
+    std::fs::remove_dir_all(&store_dir).ok();
+}
+
+#[test]
+fn hot_reload_re_grafts_ingested_motions_onto_the_fresh_model() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (model, queries) = trained_model();
+    let model_path = tmp_path("reload_model.json");
+    let store_dir = tmp_path("reload_store");
+    std::fs::remove_dir_all(&store_dir).ok();
+    model.save_json(&model_path).expect("model saves");
+    let baseline = model.db().len();
+
+    let config = ServeConfig::default().with_store_dir(&store_dir);
+    let server = Server::start_from_file(&model_path, config).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    let (_, _, durable) = insert_ok(&mut client, &queries[0]);
+    assert!(durable);
+    let (_, _, _) = insert_ok(&mut client, &queries[1]);
+
+    // Reload swaps in a freshly loaded model; the store must re-graft its
+    // two entries onto it, so they stay visible afterwards.
+    match client.reload().expect("reload call") {
+        Response::Reloaded { .. } => {}
+        other => panic!("reload failed: {other:?}"),
+    }
+    match client.health().expect("health") {
+        Response::Health { motions, .. } => assert_eq!(
+            motions,
+            baseline + 2,
+            "reload must not lose ingested motions"
+        ),
+        other => panic!("expected health, got {other:?}"),
+    }
+    // And ingestion keeps working against the re-grafted database.
+    let (_, motions, _) = insert_ok(&mut client, &queries[2]);
+    assert_eq!(motions, baseline + 3);
+
+    client.shutdown().expect("shutdown ack");
+    server.wait();
+    std::fs::remove_file(&model_path).ok();
+    std::fs::remove_dir_all(&store_dir).ok();
+}
+
+#[test]
+fn persist_and_compact_through_the_wire_survive_restart() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (model, queries) = trained_model();
+    let model_path = tmp_path("compact_model.json");
+    let store_dir = tmp_path("compact_store");
+    std::fs::remove_dir_all(&store_dir).ok();
+    model.save_json(&model_path).expect("model saves");
+    let baseline = model.db().len();
+
+    let config = ServeConfig::default().with_store_dir(&store_dir);
+    let server = Server::start_from_file(&model_path, config.clone()).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    for q in queries.iter().take(2) {
+        insert_ok(&mut client, q);
+    }
+    match client.persist().expect("persist call") {
+        Response::Persisted {
+            generation,
+            entries,
+            bytes,
+        } => {
+            assert_eq!(generation, 1);
+            assert_eq!(entries, 2);
+            assert!(bytes > 0);
+        }
+        other => panic!("expected persisted, got {other:?}"),
+    }
+    insert_ok(&mut client, &queries[2]);
+    match client.compact().expect("compact call") {
+        Response::Compacted {
+            generation,
+            entries,
+            files_removed,
+            ..
+        } => {
+            assert_eq!(generation, 2);
+            assert_eq!(entries, 3);
+            assert!(files_removed > 0, "compaction must reclaim old files");
+        }
+        other => panic!("expected compacted, got {other:?}"),
+    }
+    client.shutdown().expect("shutdown ack");
+    server.wait();
+
+    // Restart after snapshot + compaction: everything is still there.
+    let server = Server::start_from_file(&model_path, config).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    match client.health().expect("health") {
+        Response::Health { motions, .. } => assert_eq!(motions, baseline + 3),
+        other => panic!("expected health, got {other:?}"),
+    }
+    client.shutdown().expect("shutdown ack");
+    server.wait();
+    std::fs::remove_file(&model_path).ok();
+    std::fs::remove_dir_all(&store_dir).ok();
+}
+
+#[test]
+fn server_without_a_store_refuses_persist_and_answers_volatile_inserts() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (model, queries) = trained_model();
+    let server = Server::start(model, ServeConfig::default()).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    let (_, _, durable) = insert_ok(&mut client, &queries[0]);
+    assert!(!durable, "no store ⇒ the ack must admit volatility");
+    match client.persist().expect("persist call") {
+        Response::Error { message } => assert!(
+            message.contains("store"),
+            "refusal must name the missing store, got: {message}"
+        ),
+        other => panic!("expected a typed refusal, got {other:?}"),
+    }
+    client.shutdown().expect("shutdown ack");
+    server.wait();
+}
