@@ -1,8 +1,14 @@
 //! Criterion benchmarks for the per-window feature kernels (Eq. 1 IAV and
-//! Eq. 2–3 weighted SVD) across the paper's window sizes.
+//! Eq. 2–3 weighted SVD) across the paper's window sizes, plus the
+//! `window_step` group backing the incremental-vs-batch perf contract
+//! (DESIGN.md §13): one window step through `WsvdExtractor::push_sample`
+//! must stay well ahead of rebuilding the joint matrices and running a
+//! full SVD per window.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use kinemyo_features::{iav_features, wsvd_features};
+use kinemyo_features::{
+    iav_windows, weighted_sv_feature, wsvd_windows, WindowedExtractor, WsvdExtractor,
+};
 use kinemyo_linalg::Matrix;
 use std::hint::black_box;
 
@@ -11,7 +17,7 @@ fn deterministic_signal(rows: usize, cols: usize) -> Matrix {
 }
 
 fn bench_iav(c: &mut Criterion) {
-    let mut group = c.benchmark_group("iav_features");
+    let mut group = c.benchmark_group("iav_windows");
     // 10 s of 4-channel EMG envelope at 120 Hz.
     let emg = deterministic_signal(1200, 4);
     for window in [6usize, 12, 18, 24] {
@@ -20,14 +26,14 @@ fn bench_iav(c: &mut Criterion) {
             .collect();
         group.throughput(Throughput::Elements(1200));
         group.bench_with_input(BenchmarkId::from_parameter(window), &ranges, |b, ranges| {
-            b.iter(|| iav_features(black_box(&emg), black_box(ranges)).unwrap());
+            b.iter(|| iav_windows(black_box(&emg), black_box(ranges)).unwrap());
         });
     }
     group.finish();
 }
 
 fn bench_wsvd(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wsvd_features");
+    let mut group = c.benchmark_group("wsvd_windows");
     // 10 s of 4-segment (12-column) local motion at 120 Hz.
     let mocap = deterministic_signal(1200, 12);
     for window in [6usize, 12, 18, 24] {
@@ -36,7 +42,7 @@ fn bench_wsvd(c: &mut Criterion) {
             .collect();
         group.throughput(Throughput::Elements(1200));
         group.bench_with_input(BenchmarkId::from_parameter(window), &ranges, |b, ranges| {
-            b.iter(|| wsvd_features(black_box(&mocap), black_box(ranges)).unwrap());
+            b.iter(|| wsvd_windows(black_box(&mocap), black_box(ranges)).unwrap());
         });
     }
     group.finish();
@@ -54,5 +60,56 @@ fn bench_svd_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_iav, bench_wsvd, bench_svd_kernels);
+/// Cost of advancing the WSVD feature stream by one full window, batch vs
+/// incremental. The batch arm replicates the pre-incremental hot path:
+/// slice each joint's `w×3` matrix out of the frame stream and run a full
+/// SVD per joint per window. The incremental arm pushes the same `w`
+/// frames through `WsvdExtractor`, which accumulates 3×3 Gram matrices
+/// and solves a warm-started eigenproblem only at the window boundary.
+fn bench_window_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_step");
+    // 4 segments (12 columns), the paper's limb-model shape.
+    const JOINTS: usize = 4;
+    for window in [24usize, 64, 128] {
+        let mocap = deterministic_signal(window, 3 * JOINTS);
+        group.throughput(Throughput::Elements(window as u64));
+        group.bench_with_input(BenchmarkId::new("batch_svd", window), &mocap, |b, mocap| {
+            b.iter(|| {
+                let mut features = [[0.0f64; 3]; JOINTS];
+                for (j, f) in features.iter_mut().enumerate() {
+                    let joint = Matrix::from_fn(mocap.rows(), 3, |r, c| mocap[(r, 3 * j + c)]);
+                    *f = weighted_sv_feature(black_box(&joint)).unwrap();
+                }
+                features
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("incremental", window),
+            &mocap,
+            |b, mocap| {
+                let mut extractor = WsvdExtractor::new(3 * JOINTS, window).unwrap();
+                b.iter(|| {
+                    // Each iteration feeds exactly one window, so the
+                    // boundary eigensolve fires once per measured step and
+                    // the warm seed carries across iterations as it would
+                    // across live windows.
+                    let mut out = None;
+                    for r in 0..mocap.rows() {
+                        out = extractor.push_sample(black_box(mocap.row(r))).unwrap();
+                    }
+                    out.expect("window boundary reached")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_iav,
+    bench_wsvd,
+    bench_svd_kernels,
+    bench_window_step
+);
 criterion_main!(benches);

@@ -1,0 +1,495 @@
+//! Criterion-result JSON tooling: `collect` flattens the most recent
+//! criterion run into a single JSON map, `compare` gates a fresh run
+//! against a committed baseline (`BENCH_baseline.json`).
+//!
+//! ```text
+//! bench_json collect [--criterion-dir DIR] [--out FILE]
+//! bench_json compare <baseline.json> <current.json> [--tolerance 0.25]
+//! ```
+//!
+//! The collected schema (documented in DESIGN.md §13) is deliberately
+//! flat so diffs stay readable:
+//!
+//! ```json
+//! { "schema": "kinemyo-bench-json/1",
+//!   "benches": { "window_step/incremental/64": 1234.5, ... } }
+//! ```
+//!
+//! Values are mean nanoseconds per iteration, read from each bench's
+//! `new/estimates.json`; ids come from the sibling `benchmark.json`, so
+//! the tool tracks criterion's on-disk layout rather than its CLI.
+//! `compare` exits non-zero if any bench shared by both files regressed
+//! by more than the tolerance; benches present on only one side are
+//! reported but never fail the gate, so a quick smoke may run a subset
+//! of the suite.
+//!
+//! The files involved are tiny and flat, so this binary carries its own
+//! ~hundred-line JSON reader instead of depending on a parser crate:
+//! the perf gate must keep working in minimal build environments.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const SCHEMA: &str = "kinemyo-bench-json/1";
+
+/// A parsed JSON value; only the shapes the criterion files use.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent parser over the byte stream. Strings support the
+/// standard escapes minus `\uXXXX` (bench ids never need it).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at offset {}",
+                byte as char, self.pos
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = match self.bytes.get(self.pos) {
+                        Some(b'"') => '"',
+                        Some(b'\\') => '\\',
+                        Some(b'/') => '/',
+                        Some(b'n') => '\n',
+                        Some(b't') => '\t',
+                        Some(b'r') => '\r',
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    };
+                    out.push(escaped);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through untouched.
+                    let rest = &self.bytes[self.pos..];
+                    let step = std::str::from_utf8(rest)
+                        .map_err(|e| e.to_string())?
+                        .chars()
+                        .next()
+                        .map(char::len_utf8)
+                        .unwrap_or(1);
+                    out.push_str(std::str::from_utf8(&rest[..step]).map_err(|e| e.to_string())?);
+                    self.pos += step;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
+        }
+    }
+}
+
+fn criterion_dir_default() -> PathBuf {
+    if let Ok(home) = std::env::var("CRITERION_HOME") {
+        return PathBuf::from(home);
+    }
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
+    PathBuf::from(target).join("criterion")
+}
+
+/// Walks `dir` for `new/{benchmark,estimates}.json` pairs and returns
+/// `full_id -> mean ns`.
+fn collect_means(dir: &Path, out: &mut BTreeMap<String, f64>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if !path.is_dir() {
+            continue;
+        }
+        if path.file_name().and_then(|n| n.to_str()) == Some("new") {
+            let (Ok(bench_raw), Ok(est_raw)) = (
+                fs::read_to_string(path.join("benchmark.json")),
+                fs::read_to_string(path.join("estimates.json")),
+            ) else {
+                continue;
+            };
+            let (Ok(bench), Ok(est)) = (Parser::parse(&bench_raw), Parser::parse(&est_raw)) else {
+                continue;
+            };
+            let id = bench.get("full_id").and_then(Json::as_str);
+            let mean = est
+                .get("mean")
+                .and_then(|m| m.get("point_estimate"))
+                .and_then(Json::as_f64);
+            if let (Some(id), Some(mean)) = (id, mean) {
+                out.insert(id.to_string(), mean);
+            }
+        } else {
+            collect_means(&path, out)?;
+        }
+    }
+    Ok(())
+}
+
+fn load_benches(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let raw = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Parser::parse(&raw).map_err(|e| format!("{path}: {e}"))?;
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!(
+            "{path}: missing or unknown \"schema\" (want {SCHEMA})"
+        ));
+    }
+    let benches = match doc.get("benches") {
+        Some(Json::Obj(m)) => m,
+        _ => return Err(format!("{path}: missing \"benches\" object")),
+    };
+    benches
+        .iter()
+        .map(|(k, v)| {
+            v.as_f64()
+                .map(|ns| (k.clone(), ns))
+                .ok_or_else(|| format!("{path}: bench {k:?} is not a number"))
+        })
+        .collect()
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn render(benches: &BTreeMap<String, f64>) -> String {
+    let mut text = String::from("{\n");
+    text.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    text.push_str("  \"benches\": {\n");
+    let last = benches.len().saturating_sub(1);
+    for (i, (id, ns)) in benches.iter().enumerate() {
+        let comma = if i == last { "" } else { "," };
+        text.push_str(&format!("    \"{}\": {ns}{comma}\n", escape(id)));
+    }
+    text.push_str("  }\n}\n");
+    text
+}
+
+fn cmd_collect(args: &[String]) -> Result<(), String> {
+    let mut dir = criterion_dir_default();
+    let mut out_file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--criterion-dir" => {
+                dir = PathBuf::from(it.next().ok_or("--criterion-dir needs a value")?)
+            }
+            "--out" => out_file = Some(it.next().ok_or("--out needs a value")?.clone()),
+            other => return Err(format!("unknown collect flag {other:?}")),
+        }
+    }
+    let mut benches = BTreeMap::new();
+    collect_means(&dir, &mut benches).map_err(|e| format!("{}: {e}", dir.display()))?;
+    if benches.is_empty() {
+        return Err(format!(
+            "no criterion results under {} — run `cargo bench` first",
+            dir.display()
+        ));
+    }
+    let text = render(&benches);
+    match out_file {
+        Some(path) => fs::write(&path, text).map_err(|e| format!("{path}: {e}"))?,
+        None => print!("{text}"),
+    }
+    eprintln!("collected {} benches", benches.len());
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<bool, String> {
+    let mut tolerance = 0.25f64;
+    let mut files: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .ok_or("--tolerance needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad tolerance: {e}"))?
+            }
+            _ => files.push(arg),
+        }
+    }
+    let [baseline_path, current_path] = files[..] else {
+        return Err("compare needs exactly two files: <baseline.json> <current.json>".into());
+    };
+    let baseline = load_benches(baseline_path)?;
+    let current = load_benches(current_path)?;
+
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for (id, &base_ns) in &baseline {
+        let Some(&cur_ns) = current.get(id) else {
+            eprintln!("note: {id} missing from current run (skipped)");
+            continue;
+        };
+        compared += 1;
+        let delta = cur_ns / base_ns - 1.0;
+        println!(
+            "{id:<50} {base_ns:>12.1} -> {cur_ns:>12.1} ns  ({:+.1}%)",
+            delta * 100.0
+        );
+        if delta > tolerance {
+            regressions.push((id.clone(), delta));
+        }
+    }
+    for id in current.keys() {
+        if !baseline.contains_key(id) {
+            eprintln!("note: {id} is new (not in baseline)");
+        }
+    }
+    if regressions.is_empty() {
+        println!(
+            "perf OK: {compared} benches within {:.0}% of baseline",
+            tolerance * 100.0
+        );
+        Ok(true)
+    } else {
+        for (id, delta) in &regressions {
+            eprintln!(
+                "REGRESSION: {id} is {:.1}% slower than baseline (tolerance {:.0}%)",
+                delta * 100.0,
+                tolerance * 100.0
+            );
+        }
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("collect") => cmd_collect(&args[1..]).map(|()| true),
+        Some("compare") => cmd_compare(&args[1..]),
+        _ => Err(
+            "usage: bench_json collect [--criterion-dir DIR] [--out FILE] | \
+                  bench_json compare <baseline.json> <current.json> [--tolerance T]"
+                .into(),
+        ),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("bench_json: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_criterion_estimates_shape() {
+        let est = Parser::parse(
+            "{\"mean\":{\"point_estimate\":1234.5},\"median\":{\"point_estimate\":1200}}",
+        )
+        .unwrap();
+        let mean = est
+            .get("mean")
+            .and_then(|m| m.get("point_estimate"))
+            .and_then(Json::as_f64);
+        assert_eq!(mean, Some(1234.5));
+    }
+
+    #[test]
+    fn parses_nested_values_and_escapes() {
+        let v = Parser::parse(
+            "{\"full_id\": \"group\\\\x/id\", \"arr\": [1, -2.5e3, true, null, \"s\"]}",
+        )
+        .unwrap();
+        assert_eq!(v.get("full_id").and_then(Json::as_str), Some("group\\x/id"));
+        assert_eq!(
+            v.get("arr"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(-2500.0),
+                Json::Bool(true),
+                Json::Null,
+                Json::Str("s".into()),
+            ]))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Parser::parse("{\"a\": }").is_err());
+        assert!(Parser::parse("{\"a\": 1} trailing").is_err());
+        assert!(Parser::parse("{\"a\" 1}").is_err());
+        assert!(Parser::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let mut benches = BTreeMap::new();
+        benches.insert("group/id/64".to_string(), 1234.5);
+        benches.insert("other".to_string(), 7.0);
+        let text = render(&benches);
+        let doc = Parser::parse(&text).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        let parsed = match doc.get("benches") {
+            Some(Json::Obj(m)) => m.clone(),
+            other => panic!("bad benches: {other:?}"),
+        };
+        assert_eq!(parsed.get("group/id/64"), Some(&Json::Num(1234.5)));
+        assert_eq!(parsed.get("other"), Some(&Json::Num(7.0)));
+    }
+}

@@ -11,8 +11,8 @@ use kinemyo::biosim::{Limb, MotionClass, MotionRecord};
 use kinemyo::pelvis_matrix;
 use kinemyo_dsp::WindowSpec;
 use kinemyo_features::{
-    emg_features, hard_histogram_vector, mean_pose_features, motion_feature_vector,
-    to_pelvis_local, to_pelvis_local_heading, wsvd_features, EmgFeatureSet, Modality,
+    emg_features, hard_histogram_vector, mean_pose_windows, motion_feature_vector, to_pelvis_local,
+    to_pelvis_local_heading, wsvd_windows, EmgFeatureSet, Modality,
 };
 use kinemyo_fuzzy::{fcm_fit, gk_fit, kmeans_fit, FcmConfig, GkConfig, KMeansConfig};
 use kinemyo_linalg::stats::ZScore;
@@ -98,8 +98,8 @@ fn variant_points(r: &MotionRecord, window: &WindowSpec, cfg: &VariantConfig) ->
     }
     .expect("record shapes are consistent");
     let mocap_f = match cfg.feature {
-        FeatureKind::Wsvd => wsvd_features(&local, &ranges),
-        FeatureKind::MeanPose => mean_pose_features(&local, &ranges),
+        FeatureKind::Wsvd => wsvd_windows(&local, &ranges),
+        FeatureKind::MeanPose => mean_pose_windows(&local, &ranges),
     }
     .expect("window ranges are in bounds");
     let emg_f = emg_features(&r.emg, &ranges, cfg.emg_feature).expect("emg windows in bounds");

@@ -362,9 +362,12 @@ impl MotionClassifier {
         }
         let c = self.fcm.num_clusters();
         let mut out = Matrix::zeros(points.rows(), c);
+        let mut d2 = vec![0.0; c];
         for w in 0..points.rows() {
-            let u = self.fcm.memberships_for(points.row(w))?;
-            out.row_mut(w).copy_from_slice(&u);
+            // Eq. 9 straight into the output row: one scratch buffer for
+            // the whole query instead of a Vec per window.
+            self.fcm
+                .memberships_into(points.row(w), out.row_mut(w), &mut d2)?;
         }
         Ok(out)
     }

@@ -8,8 +8,9 @@
 
 use crate::error::{KinemyoError, Result};
 use crate::pipeline::{MotionClassifier, RecordMeta};
+use kinemyo_features::extract::{CombinedExtractor, FeatureSpec, WindowedExtractor};
 use kinemyo_features::motion_vector::WindowAssignment;
-use kinemyo_features::{iav_features, to_pelvis_local, wsvd_features, Modality};
+use kinemyo_features::{iav_windows, to_pelvis_local, wsvd_windows, Modality};
 use kinemyo_linalg::{Matrix, Vector};
 use kinemyo_modb::{classify, Neighbor};
 
@@ -92,15 +93,15 @@ pub(crate) fn assign_window(
     };
     let range = [(0usize, frames)];
     let mut point: Vec<f64> = match model.config().modality {
-        Modality::EmgOnly => iav_features(emg, &range)?.row(0).to_vec(),
+        Modality::EmgOnly => iav_windows(emg, &range)?.row(0).to_vec(),
         Modality::MocapOnly => {
             let local = to_pelvis_local(mocap, pelvis)?;
-            wsvd_features(&local, &range)?.row(0).to_vec()
+            wsvd_windows(&local, &range)?.row(0).to_vec()
         }
         Modality::Combined => {
-            let mut p = iav_features(emg, &range)?.row(0).to_vec();
+            let mut p = iav_windows(emg, &range)?.row(0).to_vec();
             let local = to_pelvis_local(mocap, pelvis)?;
-            p.extend_from_slice(wsvd_features(&local, &range)?.row(0));
+            p.extend_from_slice(wsvd_windows(&local, &range)?.row(0));
             p
         }
     };
@@ -119,13 +120,20 @@ pub(crate) fn assign_window(
 }
 
 /// A live classification session over a trained [`MotionClassifier`].
+///
+/// Frames are folded into a persistent incremental
+/// [`CombinedExtractor`]: O(d) accumulator updates per frame, no window
+/// re-buffering, and a warm-started per-joint eigensolve at each window
+/// boundary. Because the batch training/query path pushes the same rows
+/// through the same extractor, a clean stream reproduces the batch
+/// feature vector *bitwise*.
 #[derive(Debug)]
 pub struct StreamingSession<'m> {
     model: &'m MotionClassifier,
-    window_len: usize,
-    mocap_buf: Vec<Vec<f64>>,
-    pelvis_buf: Vec<[f64; 3]>,
-    emg_buf: Vec<Vec<f64>>,
+    extractor: CombinedExtractor,
+    row_buf: Vec<f64>,
+    u_buf: Vec<f64>,
+    d2_buf: Vec<f64>,
     tracker: MembershipTracker,
     assignments: Vec<WindowAssignment>,
 }
@@ -134,12 +142,20 @@ impl<'m> StreamingSession<'m> {
     /// Starts a session on a trained model.
     pub fn new(model: &'m MotionClassifier) -> Self {
         let c = model.fcm().num_clusters();
+        let extractor = FeatureSpec::new(model.window().len())
+            .with_modality(model.config().modality)
+            .with_emg_channels(model.limb().emg_channels())
+            .with_mocap_cols(model.limb().mocap_cols())
+            .build()
+            // WindowSpec guarantees len >= 1 and Limb::mocap_cols is a
+            // multiple of 3 — the only two ways build() can fail.
+            .expect("model invariants satisfy the feature spec");
         Self {
             model,
-            window_len: model.window().len(),
-            mocap_buf: Vec::new(),
-            pelvis_buf: Vec::new(),
-            emg_buf: Vec::new(),
+            extractor,
+            row_buf: Vec::new(),
+            u_buf: vec![0.0; c],
+            d2_buf: vec![0.0; c],
             tracker: MembershipTracker::new(c),
             assignments: Vec::new(),
         }
@@ -195,33 +211,44 @@ impl<'m> StreamingSession<'m> {
                 reason: format!("emg sample at channel {ch} is not finite"),
             });
         }
-        self.mocap_buf.push(mocap_row.to_vec());
-        self.pelvis_buf.push(pelvis);
-        self.emg_buf.push(emg_row.to_vec());
-        if self.mocap_buf.len() < self.window_len {
-            return Ok(None);
+        // One extractor row per frame: [emg | pelvis-local mocap], with the
+        // unused stream omitted for single-modality models. The pelvis
+        // subtraction here is the same `marker − pelvis` arithmetic as the
+        // batch `to_pelvis_local`, so the rows — and hence the features —
+        // are bitwise those of the batch path.
+        self.row_buf.clear();
+        let modality = self.model.config().modality;
+        if !matches!(modality, Modality::MocapOnly) {
+            self.row_buf.extend_from_slice(emg_row);
         }
-        let assignment = self.flush_window()?;
-        Ok(Some(assignment))
-    }
-
-    /// Converts the buffered frames into one feature point and updates the
-    /// running min/max membership state.
-    fn flush_window(&mut self) -> Result<WindowAssignment> {
-        let mocap = Matrix::from_rows(&std::mem::take(&mut self.mocap_buf))
-            .map_err(KinemyoError::Linalg)?;
-        let pelvis_rows: Vec<Vec<f64>> = std::mem::take(&mut self.pelvis_buf)
-            .into_iter()
-            .map(|p| p.to_vec())
-            .collect();
-        let pelvis = Matrix::from_rows(&pelvis_rows).map_err(KinemyoError::Linalg)?;
-        let emg =
-            Matrix::from_rows(&std::mem::take(&mut self.emg_buf)).map_err(KinemyoError::Linalg)?;
-
-        let a = assign_window(self.model, &mocap, &pelvis, &emg)?;
+        if !matches!(modality, Modality::EmgOnly) {
+            self.row_buf.extend(
+                mocap_row
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &v)| v - pelvis[c % 3]),
+            );
+        }
+        let Some(mut point) = self.extractor.push_sample(&self.row_buf)? else {
+            return Ok(None);
+        };
+        self.model.scale_point(&mut point)?;
+        self.model
+            .fcm()
+            .memberships_into(&point, &mut self.u_buf, &mut self.d2_buf)?;
+        let mut cluster = 0;
+        for (i, &v) in self.u_buf.iter().enumerate() {
+            if v > self.u_buf[cluster] {
+                cluster = i;
+            }
+        }
+        let a = WindowAssignment {
+            cluster,
+            membership: self.u_buf[cluster],
+        };
         self.tracker.observe(a);
         self.assignments.push(a);
-        Ok(a)
+        Ok(Some(a))
     }
 
     /// The current final feature vector (Eqs. 7–8 over windows seen).
@@ -244,11 +271,11 @@ impl<'m> StreamingSession<'m> {
         Ok(predicted.map(|p| (p, neighbors)))
     }
 
-    /// Resets the session for a new motion (the model is reused).
+    /// Resets the session for a new motion (the model is reused). This
+    /// also clears the extractor's warm-start chain, so a reset session
+    /// is bitwise equivalent to a fresh one.
     pub fn reset(&mut self) {
-        self.mocap_buf.clear();
-        self.pelvis_buf.clear();
-        self.emg_buf.clear();
+        self.extractor.reset();
         self.tracker.reset();
         self.assignments.clear();
     }

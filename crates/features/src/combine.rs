@@ -7,9 +7,8 @@
 //! point in (m+n)-dimensional feature space."
 
 use crate::error::{FeatureError, Result};
-use crate::iav::iav_features;
+use crate::extract::{iav_windows, wsvd_windows, FeatureSpec, WindowedExtractor};
 use crate::local_transform::to_pelvis_local;
-use crate::wsvd::wsvd_features;
 use kinemyo_dsp::WindowSpec;
 use kinemyo_linalg::Matrix;
 use serde::{Deserialize, Serialize};
@@ -58,19 +57,61 @@ pub fn window_feature_points(
             window: window.len(),
         });
     }
-    match modality {
-        Modality::EmgOnly => iav_features(emg, &ranges),
-        Modality::MocapOnly => {
-            let local = to_pelvis_local(mocap_global, pelvis)?;
-            wsvd_features(&local, &ranges)
+    // Tumbling segmentations (the pipeline default) take the incremental
+    // single-pass path: every frame is consumed exactly once by a
+    // `CombinedExtractor`, which is bitwise what a streaming frame-by-frame
+    // consumer computes.
+    let len = window.len();
+    let tumbling = window.hop() == len
+        && ranges
+            .iter()
+            .enumerate()
+            .all(|(i, &(s, e))| s == i * len && e == s + len);
+    if !tumbling {
+        // Hopped / ragged segmentations: per-range batch kernels.
+        return match modality {
+            Modality::EmgOnly => iav_windows(emg, &ranges),
+            Modality::MocapOnly => {
+                let local = to_pelvis_local(mocap_global, pelvis)?;
+                wsvd_windows(&local, &ranges)
+            }
+            Modality::Combined => {
+                let emg_f = iav_windows(emg, &ranges)?;
+                let local = to_pelvis_local(mocap_global, pelvis)?;
+                let mocap_f = wsvd_windows(&local, &ranges)?;
+                Ok(emg_f.hstack(&mocap_f)?)
+            }
+        };
+    }
+
+    let mut extractor = FeatureSpec::new(len)
+        .with_modality(modality)
+        .with_emg_channels(emg.cols())
+        .with_mocap_cols(mocap_global.cols())
+        .build()?;
+    let local = match modality {
+        Modality::EmgOnly => None,
+        _ => Some(to_pelvis_local(mocap_global, pelvis)?),
+    };
+    let frames = ranges.last().copied().unwrap_or((0, 0)).1;
+    let mut out = Matrix::zeros(ranges.len(), extractor.output_dims());
+    let mut row_buf = Vec::with_capacity(extractor.input_dims());
+    let mut w = 0;
+    for f in 0..frames {
+        row_buf.clear();
+        if !matches!(modality, Modality::MocapOnly) {
+            row_buf.extend_from_slice(emg.row(f));
         }
-        Modality::Combined => {
-            let emg_f = iav_features(emg, &ranges)?;
-            let local = to_pelvis_local(mocap_global, pelvis)?;
-            let mocap_f = wsvd_features(&local, &ranges)?;
-            Ok(emg_f.hstack(&mocap_f)?)
+        if let Some(local) = &local {
+            row_buf.extend_from_slice(local.row(f));
+        }
+        if let Some(feat) = extractor.push_sample(&row_buf)? {
+            out.row_mut(w).copy_from_slice(&feat);
+            w += 1;
         }
     }
+    debug_assert_eq!(w, ranges.len());
+    Ok(out)
 }
 
 #[cfg(test)]

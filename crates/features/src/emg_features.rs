@@ -270,7 +270,7 @@ mod tests {
         let emg = Matrix::from_fn(30, 3, |r, c| ((r * 3 + c) as f64).sin());
         let ranges = [(0usize, 15usize), (15, 30)];
         let via_set = emg_features(&emg, &ranges, EmgFeatureSet::Iav).unwrap();
-        let direct = crate::iav::iav_features(&emg, &ranges).unwrap();
+        let direct = crate::extract::iav_windows(&emg, &ranges).unwrap();
         assert!(via_set.approx_eq(&direct, 1e-12));
     }
 

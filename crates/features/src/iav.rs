@@ -7,7 +7,7 @@
 //! computed separately per channel; a window of an `m`-channel recording
 //! becomes an `m`-length feature vector.
 
-use crate::error::{FeatureError, Result};
+use crate::error::Result;
 use kinemyo_linalg::Matrix;
 
 /// IAV of one signal segment (Eq. 1).
@@ -34,38 +34,17 @@ pub fn mav(window: &[f64]) -> f64 {
 ///
 /// `ranges` are half-open frame ranges (typically from
 /// [`kinemyo_dsp::WindowSpec::ranges`]). Returns `windows × channels`.
+#[deprecated(note = "use `extract::iav_windows` for explicit ranges or \
+            `extract::IavExtractor` for incremental extraction")]
 pub fn iav_features(emg: &Matrix, ranges: &[(usize, usize)]) -> Result<Matrix> {
-    let channels = emg.cols();
-    let mut out = Matrix::zeros(ranges.len(), channels);
-    for (w, &(start, end)) in ranges.iter().enumerate() {
-        if end > emg.rows() || start > end {
-            return Err(FeatureError::ShapeMismatch {
-                reason: format!(
-                    "window {start}..{end} out of bounds for {} frames",
-                    emg.rows()
-                ),
-            });
-        }
-        for ch in 0..channels {
-            let mut acc = 0.0;
-            for frame in start..end {
-                let v = emg[(frame, ch)];
-                if !v.is_finite() {
-                    return Err(FeatureError::NonFinite {
-                        context: format!("emg sample at frame {frame}, channel {ch}"),
-                    });
-                }
-                acc += v.abs();
-            }
-            out[(w, ch)] = acc;
-        }
-    }
-    Ok(out)
+    crate::extract::iav_windows(emg, ranges)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::error::FeatureError;
 
     #[test]
     fn iav_of_known_window() {

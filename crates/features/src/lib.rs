@@ -2,6 +2,11 @@
 //!
 //! The paper's feature-extraction pipeline, stage by stage:
 //!
+//! * [`extract`](mod@extract) — the windowed-extraction API:
+//!   [`WindowedExtractor`] implementations with an O(d)-per-frame
+//!   incremental path ([`extract::IavExtractor`], [`extract::WsvdExtractor`])
+//!   that is bit-identical to batch extraction, built via
+//!   [`extract::FeatureSpec`];
 //! * [`iav`](mod@iav) — Integral of Absolute Value per EMG channel per window
 //!   (Eq. 1);
 //! * [`local_transform`] — pelvis-local re-origin of the motion matrices
@@ -24,6 +29,7 @@
 pub mod combine;
 pub mod emg_features;
 pub mod error;
+pub mod extract;
 pub mod iav;
 pub mod local_transform;
 pub mod motion_vector;
@@ -32,10 +38,18 @@ pub mod wsvd;
 pub use combine::{window_feature_points, Modality};
 pub use emg_features::{emg_features, EmgFeatureSet};
 pub use error::{FeatureError, Result};
-pub use iav::{iav, iav_features, mav};
+pub use extract::{
+    iav_windows, mean_pose_windows, wsvd_windows, CombinedExtractor, FeatureSpec, IavExtractor,
+    MeanPoseExtractor, WindowedExtractor, WsvdExtractor,
+};
+#[allow(deprecated)]
+pub use iav::iav_features;
+pub use iav::{iav, mav};
 pub use local_transform::{to_pelvis_local, to_pelvis_local_heading};
 pub use motion_vector::{hard_histogram_vector, motion_feature_vector, window_assignments};
-pub use wsvd::{mean_pose_features, weighted_sv_feature, wsvd_features};
+pub use wsvd::weighted_sv_feature;
+#[allow(deprecated)]
+pub use wsvd::{mean_pose_features, wsvd_features};
 
 #[cfg(test)]
 mod proptests {

@@ -12,7 +12,6 @@
 //! similarity of motion matrices."
 
 use crate::error::{FeatureError, Result};
-use crate::local_transform::joint_window;
 use kinemyo_linalg::svd::svd;
 use kinemyo_linalg::Matrix;
 
@@ -55,62 +54,23 @@ pub fn weighted_sv_feature(window: &Matrix) -> Result<[f64; 3]> {
 
 /// Weighted-SVD features for all joints of a (pelvis-local) motion matrix
 /// over the given frame ranges. Returns `windows × (3 · joints)`.
+#[deprecated(note = "use `extract::wsvd_windows` for explicit ranges or \
+            `extract::WsvdExtractor` for incremental extraction")]
 pub fn wsvd_features(mocap_local: &Matrix, ranges: &[(usize, usize)]) -> Result<Matrix> {
-    if mocap_local.cols() % 3 != 0 {
-        return Err(FeatureError::ShapeMismatch {
-            reason: format!(
-                "mocap columns ({}) must be a multiple of 3",
-                mocap_local.cols()
-            ),
-        });
-    }
-    let joints = mocap_local.cols() / 3;
-    let mut out = Matrix::zeros(ranges.len(), joints * 3);
-    for (w, &(start, end)) in ranges.iter().enumerate() {
-        for j in 0..joints {
-            let window = joint_window(mocap_local, j, start, end)?;
-            let f = weighted_sv_feature(&window)?;
-            out[(w, j * 3)] = f[0];
-            out[(w, j * 3 + 1)] = f[1];
-            out[(w, j * 3 + 2)] = f[2];
-        }
-    }
-    Ok(out)
+    crate::extract::wsvd_windows(mocap_local, ranges)
 }
 
 /// Baseline feature for the ablation study: the mean marker position over
 /// the window (3 values per joint), i.e. "where was the joint" instead of
 /// "how did it move".
+#[deprecated(note = "use `extract::mean_pose_windows` for explicit ranges or \
+            `extract::MeanPoseExtractor` for incremental extraction")]
 pub fn mean_pose_features(mocap_local: &Matrix, ranges: &[(usize, usize)]) -> Result<Matrix> {
-    if mocap_local.cols() % 3 != 0 {
-        return Err(FeatureError::ShapeMismatch {
-            reason: format!(
-                "mocap columns ({}) must be a multiple of 3",
-                mocap_local.cols()
-            ),
-        });
-    }
-    let cols = mocap_local.cols();
-    let mut out = Matrix::zeros(ranges.len(), cols);
-    for (w, &(start, end)) in ranges.iter().enumerate() {
-        if end > mocap_local.rows() || start >= end {
-            return Err(FeatureError::ShapeMismatch {
-                reason: format!("window {start}..{end} out of bounds"),
-            });
-        }
-        let len = (end - start) as f64;
-        for c in 0..cols {
-            let mut acc = 0.0;
-            for f in start..end {
-                acc += mocap_local[(f, c)];
-            }
-            out[(w, c)] = acc / len;
-        }
-    }
-    Ok(out)
+    crate::extract::mean_pose_windows(mocap_local, ranges)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

@@ -21,7 +21,7 @@
 use crate::error::{FuzzyError, Result};
 use crate::thread::ThreadPolicy;
 use kinemyo_linalg::vector::sq_euclidean;
-use kinemyo_linalg::Matrix;
+use kinemyo_linalg::{ColMajorMatrix, Matrix};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -186,6 +186,42 @@ impl FcmModel {
         Ok(membership_row(&self.centers, point, self.fuzzifier))
     }
 
+    /// Allocation-free twin of [`memberships_for`](Self::memberships_for):
+    /// writes the membership row into `u` and the squared center distances
+    /// into `d2` (both length [`num_clusters`](Self::num_clusters)).
+    ///
+    /// Hot query paths — the per-window streaming projection, the serve
+    /// daemon's batcher — call this in a loop with long-lived buffers
+    /// instead of paying two `Vec` allocations per window.
+    pub fn memberships_into(&self, point: &[f64], u: &mut [f64], d2: &mut [f64]) -> Result<()> {
+        if point.len() != self.dim() {
+            return Err(FuzzyError::InvalidData {
+                reason: format!(
+                    "point has dimension {}, model expects {}",
+                    point.len(),
+                    self.dim()
+                ),
+            });
+        }
+        if let Some(i) = point.iter().position(|v| !v.is_finite()) {
+            return Err(FuzzyError::InvalidData {
+                reason: format!("query point has non-finite value at dimension {i}"),
+            });
+        }
+        let c = self.num_clusters();
+        if u.len() != c || d2.len() != c {
+            return Err(FuzzyError::InvalidData {
+                reason: format!(
+                    "output buffers have lengths {} and {}, model has {c} clusters",
+                    u.len(),
+                    d2.len()
+                ),
+            });
+        }
+        membership_row_into(&self.centers, point, self.fuzzifier, d2, u);
+        Ok(())
+    }
+
     /// Hard assignment: index of the max-membership cluster for a new point.
     pub fn predict(&self, point: &[f64]) -> Result<usize> {
         let u = self.memberships_for(point)?;
@@ -221,16 +257,53 @@ pub(crate) fn membership_row(centers: &Matrix, point: &[f64], m: f64) -> Vec<f64
 /// distances to each center and `u` with the membership row. `d2` is left
 /// intact so callers can reuse it for the objective.
 fn membership_row_into(centers: &Matrix, point: &[f64], m: f64, d2: &mut [f64], u: &mut [f64]) {
-    let c = centers.rows();
     for (k, d) in d2.iter_mut().enumerate() {
         *d = sq_euclidean(centers.row(k), point);
     }
+    memberships_from_d2(m, d2, u);
+}
+
+/// Column-major twin of [`membership_row_into`], the training-loop kernel.
+///
+/// `centers_cm` holds the `c × d` centers with each feature dimension as
+/// one contiguous length-`c` column. The distance loop runs dims-outer /
+/// clusters-inner, streaming one contiguous column per dimension — the
+/// inner loop is a branch-free multiply–add chain over adjacent memory,
+/// which autovectorizes where the row-major kernel's `c` strided row
+/// walks cannot.
+///
+/// Bitwise identity with the row-major kernel is load-bearing (training
+/// memberships must equal Eq. 9 re-projections of the same points exactly):
+/// the loop interchange feeds each `d2[k]` accumulator the *same addend
+/// sequence in the same dimension-ascending order* as
+/// `sq_euclidean(centers.row(k), point)`, so every partial sum — and
+/// therefore the result — carries identical bits.
+fn membership_row_into_cm(
+    centers_cm: &ColMajorMatrix,
+    point: &[f64],
+    m: f64,
+    d2: &mut [f64],
+    u: &mut [f64],
+) {
+    d2.fill(0.0);
+    for (t, &xt) in point.iter().enumerate() {
+        let col = centers_cm.col(t);
+        for (dk, &ckt) in d2.iter_mut().zip(col) {
+            let diff = ckt - xt;
+            *dk += diff * diff;
+        }
+    }
+    memberships_from_d2(m, d2, u);
+}
+
+/// Shared membership normalization over precomputed squared distances.
+fn memberships_from_d2(m: f64, d2: &[f64], u: &mut [f64]) {
     // Degenerate case: coincident with one or more centers.
     let zero_hits = d2.iter().filter(|&&d| d == 0.0).count();
     if zero_hits > 0 {
         let share = 1.0 / zero_hits as f64;
-        for k in 0..c {
-            u[k] = if d2[k] == 0.0 { share } else { 0.0 };
+        for (uk, &dk) in u.iter_mut().zip(d2) {
+            *uk = if dk == 0.0 { share } else { 0.0 };
         }
         return;
     }
@@ -373,50 +446,26 @@ struct ChunkPartial {
     obj: f64,
 }
 
-/// One fused pass over the data: recomputes every membership row from
-/// `centers` (writing into `memberships`) and accumulates per-chunk center
-/// numerators/denominators and objective partials.
+/// Runs `process` over [`CHUNK_ROWS`]-row chunks of the membership matrix,
+/// fanning chunks across up to `workers` threads in a fixed stride.
 ///
-/// Work is split into [`CHUNK_ROWS`]-row chunks handed to workers in a fixed
-/// stride; the returned partials are ordered by chunk index, so reducing
-/// them front-to-back gives the same floating-point result for any worker
-/// count.
-fn fused_pass(
-    data: &Matrix,
-    centers: &Matrix,
+/// Chunk boundaries never depend on the worker count and the returned
+/// per-chunk values are ordered by chunk index, so any reduction the
+/// caller performs front-to-back gives the same floating-point result for
+/// every [`ThreadPolicy`]. Both iteration passes — the fused
+/// membership+center pass and the membership-only finalization — share
+/// this scaffolding.
+fn chunked_pass<T: Send>(
     memberships: &mut Matrix,
-    m: f64,
+    c: usize,
     workers: usize,
-) -> Vec<ChunkPartial> {
-    let c = centers.rows();
+    process: impl Fn(usize, &mut [f64]) -> T + Sync,
+) -> Vec<T> {
     let u_chunks: Vec<&mut [f64]> = memberships
         .as_mut_slice()
         .chunks_mut(CHUNK_ROWS * c)
         .collect();
     let n_chunks = u_chunks.len();
-
-    let process = |chunk_idx: usize, u_rows: &mut [f64]| -> ChunkPartial {
-        let d = data.cols();
-        let mut partial = ChunkPartial {
-            weights: vec![0.0; c],
-            sums: vec![0.0; c * d],
-            obj: 0.0,
-        };
-        let mut d2 = vec![0.0; c];
-        for (r, u) in u_rows.chunks_mut(c).enumerate() {
-            let x = data.row(chunk_idx * CHUNK_ROWS + r);
-            membership_row_into(centers, x, m, &mut d2, u);
-            for k in 0..c {
-                let w = pow_m(u[k], m);
-                partial.weights[k] += w;
-                partial.obj += w * d2[k];
-                for (t, &xv) in partial.sums[k * d..(k + 1) * d].iter_mut().zip(x) {
-                    *t += w * xv;
-                }
-            }
-        }
-        partial
-    };
 
     if workers <= 1 || n_chunks <= 1 {
         return u_chunks
@@ -427,14 +476,14 @@ fn fused_pass(
     }
 
     // Strided static assignment: worker w takes chunks w, w+W, w+2W, …
-    // Each worker returns (chunk index, partial) pairs; the join below
+    // Each worker returns (chunk index, value) pairs; the join below
     // re-orders them by index so the reduction is chunk-ordered.
     let w = workers.min(n_chunks);
     let mut per_worker: Vec<Vec<(usize, &mut [f64])>> = (0..w).map(|_| Vec::new()).collect();
     for (i, chunk) in u_chunks.into_iter().enumerate() {
         per_worker[i % w].push((i, chunk));
     }
-    let mut partials: Vec<Option<ChunkPartial>> = (0..n_chunks).map(|_| None).collect();
+    let mut values: Vec<Option<T>> = (0..n_chunks).map(|_| None).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = per_worker
             .into_iter()
@@ -449,16 +498,88 @@ fn fused_pass(
             .collect();
         for handle in handles {
             // analyze: allow(panic-free-libs) re-raises a scoped worker's panic; no Result channel exists here
-            for (i, partial) in handle.join().expect("fcm worker panicked") {
-                partials[i] = Some(partial);
+            for (i, value) in handle.join().expect("fcm worker panicked") {
+                values[i] = Some(value);
             }
         }
     });
-    partials
+    values
         .into_iter()
         // analyze: allow(panic-free-libs) strided assignment covers every chunk index exactly once
         .map(|p| p.expect("every chunk processed exactly once"))
         .collect()
+}
+
+/// One fused pass over the data: recomputes every membership row from
+/// `centers` (writing into `memberships`) and accumulates per-chunk center
+/// numerators/denominators and objective partials.
+///
+/// The centers are mirrored into column-major storage once per pass
+/// (`O(c·d)`, amortized over the `O(n·c·d)` sweep) so the inner distance
+/// kernel streams contiguous memory; see [`membership_row_into_cm`] for
+/// why this is bitwise identical to the row-major layout.
+fn fused_pass(
+    data: &Matrix,
+    centers: &Matrix,
+    memberships: &mut Matrix,
+    m: f64,
+    workers: usize,
+) -> Vec<ChunkPartial> {
+    let c = centers.rows();
+    let centers_cm = centers.to_col_major();
+
+    let process = |chunk_idx: usize, u_rows: &mut [f64]| -> ChunkPartial {
+        let d = data.cols();
+        let mut partial = ChunkPartial {
+            weights: vec![0.0; c],
+            sums: vec![0.0; c * d],
+            obj: 0.0,
+        };
+        let mut d2 = vec![0.0; c];
+        for (r, u) in u_rows.chunks_mut(c).enumerate() {
+            let x = data.row(chunk_idx * CHUNK_ROWS + r);
+            membership_row_into_cm(&centers_cm, x, m, &mut d2, u);
+            for k in 0..c {
+                let w = pow_m(u[k], m);
+                partial.weights[k] += w;
+                partial.obj += w * d2[k];
+                for (t, &xv) in partial.sums[k * d..(k + 1) * d].iter_mut().zip(x) {
+                    *t += w * xv;
+                }
+            }
+        }
+        partial
+    };
+
+    chunked_pass(memberships, c, workers, process)
+}
+
+/// Membership-only pass: recomputes every membership row from `centers`
+/// without accumulating center numerators or the objective.
+///
+/// This is the post-convergence finalization. It used to run a full
+/// [`fused_pass`] and throw the partials away — every row paid the
+/// `u^m`-weighted center/objective accumulation (`O(c·d)` extra work and a
+/// `c·d` scratch allocation per chunk) for values nobody read. The
+/// distances each row needs were already in the pass's `d2` buffer, so
+/// this variant just reuses those buffers and stops after the membership
+/// normalization.
+fn membership_pass(
+    data: &Matrix,
+    centers: &Matrix,
+    memberships: &mut Matrix,
+    m: f64,
+    workers: usize,
+) {
+    let c = centers.rows();
+    let centers_cm = centers.to_col_major();
+    chunked_pass(memberships, c, workers, |chunk_idx, u_rows| {
+        let mut d2 = vec![0.0; c];
+        for (r, u) in u_rows.chunks_mut(c).enumerate() {
+            let x = data.row(chunk_idx * CHUNK_ROWS + r);
+            membership_row_into_cm(&centers_cm, x, m, &mut d2, u);
+        }
+    });
 }
 
 /// One restart of the alternating optimization, using up to `workers`
@@ -567,7 +688,9 @@ fn fit_once(data: &Matrix, config: &FcmConfig, seed: u64, workers: usize) -> Res
     // Make U consistent with the *final* centers (the loop updates U before
     // centers, so the stored rows would otherwise lag half an iteration —
     // and Eq. 9 projections of training points must match their U rows).
-    fused_pass(data, &centers, &mut memberships, m, workers);
+    // Only the memberships are needed here: the fused pass's center/objective
+    // partials would be computed and discarded.
+    membership_pass(data, &centers, &mut memberships, m, workers);
 
     Ok(FcmModel {
         centers,
@@ -878,5 +1001,51 @@ mod tests {
         let data = blobs();
         let cfg = FcmConfig::new(3).with_threads(ThreadPolicy::Fixed(0));
         assert!(fit(&data, &cfg).is_err());
+    }
+
+    /// The stored training memberships must be *bitwise* what
+    /// `memberships_for` produces for each training point: the final
+    /// membership-only pass and the query path share the column-major
+    /// distance kernel, so training U and Eq. 9 re-projections cannot drift
+    /// apart even in the last ulp.
+    #[test]
+    fn training_memberships_match_query_projection_bitwise() {
+        let data = big_blobs();
+        for threads in [ThreadPolicy::Sequential, ThreadPolicy::Fixed(4)] {
+            let cfg = FcmConfig::new(4).with_seed(9).with_threads(threads);
+            let model = fit(&data, &cfg).unwrap();
+            let mut u = vec![0.0; model.num_clusters()];
+            let mut d2 = vec![0.0; model.num_clusters()];
+            for i in 0..data.rows() {
+                model
+                    .memberships_into(data.row(i), &mut u, &mut d2)
+                    .unwrap();
+                for (k, (&stored, &fresh)) in model.memberships.row(i).iter().zip(&u).enumerate() {
+                    assert_eq!(
+                        stored.to_bits(),
+                        fresh.to_bits(),
+                        "row {i} cluster {k}: stored {stored:e} vs projected {fresh:e}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// `memberships_into` writes the same values as the allocating
+    /// `memberships_for` and rejects mis-sized scratch buffers.
+    #[test]
+    fn memberships_into_matches_allocating_api() {
+        let data = blobs();
+        let model = fit(&data, &FcmConfig::new(3).with_seed(2)).unwrap();
+        let c = model.num_clusters();
+        let mut u = vec![0.0; c];
+        let mut d2 = vec![0.0; c];
+        let point = data.row(5);
+        model.memberships_into(point, &mut u, &mut d2).unwrap();
+        let alloc = model.memberships_for(point).unwrap();
+        assert_eq!(u, alloc);
+        let mut short = vec![0.0; c - 1];
+        assert!(model.memberships_into(point, &mut short, &mut d2).is_err());
+        assert!(model.memberships_into(point, &mut u, &mut short).is_err());
     }
 }

@@ -119,6 +119,128 @@ fn jacobi_rotate(m: &mut Matrix, q: &mut Matrix, p: usize, r: usize) {
     }
 }
 
+/// Maximum sweeps for the fixed-size 3×3 Jacobi solver. Symmetric Jacobi
+/// converges quadratically; a cold start needs ~6 sweeps and a warm start
+/// 1–2, so this cap is never reached in practice. If it were, the state at
+/// exit is still a valid (slightly less converged) decomposition, which is
+/// preferable to failing the feature path.
+const MAX_SWEEPS_3: usize = 32;
+
+/// Eigendecomposition of a 3×3 symmetric matrix, warm-started from a prior
+/// orthonormal basis.
+///
+/// `g` is the symmetric input (row-major `g[r][c]`); `warm` is an
+/// orthonormal matrix whose *columns* seed the eigenvector search — pass
+/// the previous window's eigenvectors to converge in one or two sweeps
+/// when consecutive inputs are similar, or the identity for a cold start.
+///
+/// Returns `(eigenvalues, eigenvectors)` with eigenvalues sorted
+/// descending (ties keep their pre-sort order) and eigenvector `i` in
+/// column `i` of the returned matrix.
+///
+/// The result is a deterministic function of `(g, warm)`: callers that
+/// feed the same chain of inputs get bitwise-identical outputs, which the
+/// incremental feature extractors rely on to match their batch twins.
+pub fn sym_eig3_warm(g: &[[f64; 3]; 3], warm: &[[f64; 3]; 3]) -> ([f64; 3], [[f64; 3]; 3]) {
+    let mut q = *warm;
+    // B = Qᵀ G Q — the input expressed in the warm basis. With a good warm
+    // start B is already nearly diagonal. Computed entry-wise and
+    // symmetrized so rounding cannot leave the two triangles disagreeing.
+    let mut b = [[0.0f64; 3]; 3];
+    for i in 0..3 {
+        for j in 0..3 {
+            let mut acc = 0.0;
+            for (k, gk) in g.iter().enumerate() {
+                let mut inner = 0.0;
+                for (l, &gkl) in gk.iter().enumerate() {
+                    inner += gkl * q[l][j];
+                }
+                acc += q[k][i] * inner;
+            }
+            b[i][j] = acc;
+        }
+    }
+    for (i, j) in [(0usize, 1usize), (0, 2), (1, 2)] {
+        let s = 0.5 * (b[i][j] + b[j][i]);
+        b[i][j] = s;
+        b[j][i] = s;
+    }
+
+    let scale = b
+        .iter()
+        .flatten()
+        .fold(0.0f64, |m, &v| m.max(v.abs()))
+        .max(f64::MIN_POSITIVE);
+    for _sweep in 0..MAX_SWEEPS_3 {
+        let off = (b[0][1] * b[0][1] + b[0][2] * b[0][2] + b[1][2] * b[1][2]).sqrt();
+        if off <= 1e-15 * scale {
+            break;
+        }
+        for (p, r) in [(0usize, 1usize), (0, 2), (1, 2)] {
+            let apr = b[p][r];
+            if apr == 0.0 {
+                continue;
+            }
+            let theta = (b[r][r] - b[p][p]) / (2.0 * apr);
+            // Smaller-angle root, as in `jacobi_rotate` above.
+            let t = if theta >= 0.0 {
+                1.0 / (theta + (1.0 + theta * theta).sqrt())
+            } else {
+                1.0 / (theta - (1.0 + theta * theta).sqrt())
+            };
+            let c = 1.0 / (1.0 + t * t).sqrt();
+            let s = t * c;
+            for bk in b.iter_mut() {
+                let bkp = bk[p];
+                let bkr = bk[r];
+                bk[p] = c * bkp - s * bkr;
+                bk[r] = s * bkp + c * bkr;
+            }
+            // p < r for every pair above, so rows p and r split cleanly.
+            let (head, tail) = b.split_at_mut(r);
+            for (vp, vr) in head[p].iter_mut().zip(tail[0].iter_mut()) {
+                let bpk = *vp;
+                let brk = *vr;
+                *vp = c * bpk - s * brk;
+                *vr = s * bpk + c * brk;
+            }
+            for qk in q.iter_mut() {
+                let qkp = qk[p];
+                let qkr = qk[r];
+                qk[p] = c * qkp - s * qkr;
+                qk[r] = s * qkp + c * qkr;
+            }
+        }
+    }
+
+    // Sort descending; a stable insertion keeps tied eigenvalues in their
+    // pre-sort column order so the permutation is deterministic.
+    let mut order = [0usize, 1, 2];
+    for i in 1..3 {
+        let mut j = i;
+        while j > 0
+            && b[order[j]][order[j]]
+                .total_cmp(&b[order[j - 1]][order[j - 1]])
+                .is_gt()
+        {
+            order.swap(j, j - 1);
+            j -= 1;
+        }
+    }
+    let mut eigenvalues = [0.0f64; 3];
+    let mut eigenvectors = [[0.0f64; 3]; 3];
+    for (new_col, &old_col) in order.iter().enumerate() {
+        eigenvalues[new_col] = b[old_col][old_col];
+        for r in 0..3 {
+            eigenvectors[r][new_col] = q[r][old_col];
+        }
+    }
+    (eigenvalues, eigenvectors)
+}
+
+/// The 3×3 identity, the cold-start basis for [`sym_eig3_warm`].
+pub const EIG3_IDENTITY: [[f64; 3]; 3] = [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]];
+
 /// Extracts eigenvalues from the (now nearly diagonal) matrix, sorts them in
 /// descending order and permutes eigenvector columns to match.
 fn collect_sorted(m: Matrix, q: Matrix) -> SymEig {
@@ -232,5 +354,91 @@ mod tests {
             assert!((v - 2.0).abs() < 1e-12);
         }
         assert!(reconstruct(&e).approx_eq(&a, 1e-10));
+    }
+
+    fn gram3(seed: usize) -> [[f64; 3]; 3] {
+        let a = Matrix::from_fn(12, 3, |i, j| ((i * 3 + j + seed) as f64 * 0.71).sin());
+        let g = a.gram();
+        let mut out = [[0.0; 3]; 3];
+        for (r, row) in out.iter_mut().enumerate() {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = g[(r, c)];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn eig3_cold_matches_general_solver() {
+        for seed in 0..6 {
+            let g = gram3(seed);
+            let (vals, vecs) = sym_eig3_warm(&g, &EIG3_IDENTITY);
+            let gm = Matrix::from_fn(3, 3, |r, c| g[r][c]);
+            let e = sym_eig(&gm).unwrap();
+            for k in 0..3 {
+                assert!(
+                    (vals[k] - e.eigenvalues[k]).abs() <= 1e-9 * vals[0].abs().max(1.0),
+                    "seed {seed}: {vals:?} vs {:?}",
+                    e.eigenvalues
+                );
+                // Same eigenvector up to sign.
+                let dot: f64 = (0..3).map(|r| vecs[r][k] * e.eigenvectors[(r, k)]).sum();
+                assert!(dot.abs() > 1.0 - 1e-8, "seed {seed} col {k}: |dot| {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn eig3_warm_start_agrees_with_cold() {
+        // A warm start from a nearby problem's basis must land on the same
+        // decomposition (to convergence tolerance) as a cold start.
+        let g1 = gram3(0);
+        let g2 = gram3(1);
+        let (_, warm) = sym_eig3_warm(&g1, &EIG3_IDENTITY);
+        let (cold_vals, cold_vecs) = sym_eig3_warm(&g2, &EIG3_IDENTITY);
+        let (warm_vals, warm_vecs) = sym_eig3_warm(&g2, &warm);
+        for k in 0..3 {
+            assert!((cold_vals[k] - warm_vals[k]).abs() <= 1e-8 * cold_vals[0].abs().max(1.0));
+            let dot: f64 = (0..3).map(|r| cold_vecs[r][k] * warm_vecs[r][k]).sum();
+            assert!(dot.abs() > 1.0 - 1e-7, "col {k}: |dot| {dot}");
+        }
+    }
+
+    #[test]
+    fn eig3_is_bitwise_deterministic() {
+        let g = gram3(3);
+        let (_, warm) = sym_eig3_warm(&gram3(2), &EIG3_IDENTITY);
+        let (v1, q1) = sym_eig3_warm(&g, &warm);
+        let (v2, q2) = sym_eig3_warm(&g, &warm);
+        for k in 0..3 {
+            assert_eq!(v1[k].to_bits(), v2[k].to_bits());
+            for r in 0..3 {
+                assert_eq!(q1[r][k].to_bits(), q2[r][k].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn eig3_vectors_stay_orthonormal() {
+        let mut basis = EIG3_IDENTITY;
+        for seed in 0..8 {
+            let (_, q) = sym_eig3_warm(&gram3(seed), &basis);
+            for i in 0..3 {
+                for j in 0..3 {
+                    let dot: f64 = (0..3).map(|r| q[r][i] * q[r][j]).sum();
+                    let expect = if i == j { 1.0 } else { 0.0 };
+                    assert!((dot - expect).abs() < 1e-10, "seed {seed} ({i},{j}): {dot}");
+                }
+            }
+            basis = q;
+        }
+    }
+
+    #[test]
+    fn eig3_zero_matrix_is_fixed_point() {
+        let z = [[0.0; 3]; 3];
+        let (vals, vecs) = sym_eig3_warm(&z, &EIG3_IDENTITY);
+        assert_eq!(vals, [0.0; 3]);
+        assert_eq!(vecs, EIG3_IDENTITY);
     }
 }

@@ -34,7 +34,7 @@ pub mod svd;
 pub mod vector;
 
 pub use error::{LinalgError, Result};
-pub use matrix::Matrix;
+pub use matrix::{ColMajorMatrix, Matrix, MatrixView};
 pub use svd::{svd, Svd};
 pub use vector::Vector;
 

@@ -252,6 +252,40 @@ impl Matrix {
         self.data.chunks_exact(self.cols.max(1)).take(self.rows)
     }
 
+    /// Iterator over columns; each item iterates the column's values top to
+    /// bottom. The values are strided in row-major storage — for repeated
+    /// column-contiguous access use [`to_col_major`](Self::to_col_major).
+    pub fn col_iter(&self) -> ColIter<'_> {
+        ColIter { m: self, c: 0 }
+    }
+
+    /// Borrowed read-only view of this matrix (see [`MatrixView`]).
+    pub fn view(&self) -> MatrixView<'_> {
+        MatrixView {
+            rows: self.rows,
+            cols: self.cols,
+            data: &self.data,
+        }
+    }
+
+    /// Transposed copy of the storage: a [`ColMajorMatrix`] whose columns
+    /// are contiguous slices. The hot clustering kernels iterate centers
+    /// dimension-major; this layout lets those loops stream contiguous
+    /// memory instead of striding across rows.
+    pub fn to_col_major(&self) -> ColMajorMatrix {
+        let mut data = vec![0.0; self.rows * self.cols];
+        for (r, row) in self.iter_rows().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                data[c * self.rows + r] = v;
+            }
+        }
+        ColMajorMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
     /// Returns a new matrix holding rows `r0..r1` (half-open).
     pub fn slice_rows(&self, r0: usize, r1: usize) -> Result<Matrix> {
         if r0 > r1 || r1 > self.rows {
@@ -503,6 +537,261 @@ impl Matrix {
         self.data.iter().any(|v| !v.is_finite())
     }
 }
+
+/// A borrowed, read-only view of row-major matrix data.
+///
+/// Lets kernels accept either a [`Matrix`] (via [`Matrix::view`]) or any
+/// row-major slice (via [`MatrixView::from_slice`]) without copying —
+/// the feature extractors use this to run over caller-owned buffers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixView<'a> {
+    rows: usize,
+    cols: usize,
+    data: &'a [f64],
+}
+
+impl<'a> MatrixView<'a> {
+    /// Wraps a row-major slice as a view.
+    ///
+    /// Returns an error when `data.len() != rows * cols`.
+    pub fn from_slice(rows: usize, cols: usize, data: &'a [f64]) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidArgument {
+                reason: format!(
+                    "data length {} does not match shape {}x{}",
+                    data.len(),
+                    rows,
+                    cols
+                ),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Row `r` as a slice. Panics if out of bounds.
+    #[inline]
+    pub fn row(&self, r: usize) -> &'a [f64] {
+        assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The underlying row-major storage.
+    pub fn as_slice(&self) -> &'a [f64] {
+        self.data
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &'a [f64]> {
+        self.data.chunks_exact(self.cols.max(1)).take(self.rows)
+    }
+
+    /// Owned row-major copy of the viewed data.
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.to_vec(),
+        }
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+/// A dense column-major matrix of `f64`.
+///
+/// Element `(r, c)` lives at `c * rows + r`, so each *column* is one
+/// contiguous slice ([`col`](Self::col)). This is the layout the fuzzy
+/// clustering distance kernel wants: with cluster centers stored
+/// column-major, the dims-outer/clusters-inner distance loop reads one
+/// contiguous center column per feature dimension and autovectorizes,
+/// instead of striding across `c` row-major center rows per point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColMajorMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl ColMajorMatrix {
+    /// Creates a column-major matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Column `c` as a contiguous slice. Panics if out of bounds.
+    #[inline]
+    pub fn col(&self, c: usize) -> &[f64] {
+        assert!(
+            c < self.cols,
+            "col {} out of bounds ({} cols)",
+            c,
+            self.cols
+        );
+        &self.data[c * self.rows..(c + 1) * self.rows]
+    }
+
+    /// Mutable column `c`. Panics if out of bounds.
+    #[inline]
+    pub fn col_mut(&mut self, c: usize) -> &mut [f64] {
+        assert!(
+            c < self.cols,
+            "col {} out of bounds ({} cols)",
+            c,
+            self.cols
+        );
+        &mut self.data[c * self.rows..(c + 1) * self.rows]
+    }
+
+    /// Iterator over columns as contiguous slices.
+    pub fn iter_cols(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.rows.max(1)).take(self.cols)
+    }
+
+    /// Re-fills this matrix from a row-major source of the same shape,
+    /// without reallocating. The clustering loop calls this once per pass
+    /// to refresh the center mirror (`O(c·d)`, amortized over the
+    /// `O(n·c·d)` pass).
+    pub fn copy_from_row_major(&mut self, src: &Matrix) -> Result<()> {
+        if src.rows() != self.rows || src.cols() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "copy_from_row_major",
+                lhs: (self.rows, self.cols),
+                rhs: src.shape(),
+            });
+        }
+        for (r, row) in src.iter_rows().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                self.data[c * self.rows + r] = v;
+            }
+        }
+        Ok(())
+    }
+
+    /// Row-major copy (the transpose of the internal storage order).
+    pub fn to_row_major(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for c in 0..self.cols {
+            for (r, &v) in self.col(c).iter().enumerate() {
+                m[(r, c)] = v;
+            }
+        }
+        m
+    }
+}
+
+impl Index<(usize, usize)> for ColMajorMatrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({}, {}) out of bounds for {}x{}",
+            r,
+            c,
+            self.rows,
+            self.cols
+        );
+        &self.data[c * self.rows + r]
+    }
+}
+
+/// Iterator over the columns of a row-major [`Matrix`]; see
+/// [`Matrix::col_iter`].
+pub struct ColIter<'a> {
+    m: &'a Matrix,
+    c: usize,
+}
+
+impl<'a> Iterator for ColIter<'a> {
+    type Item = ColValues<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.c >= self.m.cols {
+            return None;
+        }
+        let c = self.c;
+        self.c += 1;
+        Some(ColValues { m: self.m, c, r: 0 })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.m.cols - self.c;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for ColIter<'_> {}
+
+/// The values of one column, top to bottom (strided row-major reads).
+pub struct ColValues<'a> {
+    m: &'a Matrix,
+    c: usize,
+    r: usize,
+}
+
+impl Iterator for ColValues<'_> {
+    type Item = f64;
+
+    #[inline]
+    fn next(&mut self) -> Option<f64> {
+        if self.r >= self.m.rows {
+            return None;
+        }
+        let v = self.m.data[self.r * self.m.cols + self.c];
+        self.r += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.m.rows - self.r;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for ColValues<'_> {}
 
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
@@ -816,5 +1105,68 @@ mod tests {
         let s = format!("{:?}", m);
         assert!(s.contains("Matrix 20x20"));
         assert!(s.contains("..."));
+    }
+
+    #[test]
+    fn col_major_roundtrips_and_slices() {
+        let m = Matrix::from_fn(3, 4, |r, c| (r * 10 + c) as f64);
+        let cm = m.to_col_major();
+        assert_eq!(cm.shape(), (3, 4));
+        assert_eq!(cm.col(1), &[1.0, 11.0, 21.0]);
+        assert_eq!(cm[(2, 3)], m[(2, 3)]);
+        assert_eq!(cm.to_row_major(), m);
+        let cols: Vec<&[f64]> = cm.iter_cols().collect();
+        assert_eq!(cols.len(), 4);
+        assert_eq!(cols[0], &[0.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn col_major_refill_without_realloc() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r + c) as f64);
+        let b = Matrix::from_fn(2, 3, |r, c| (r * c) as f64 + 7.0);
+        let mut cm = a.to_col_major();
+        cm.copy_from_row_major(&b).unwrap();
+        assert_eq!(cm.to_row_major(), b);
+        assert!(cm.copy_from_row_major(&Matrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn col_iter_matches_col() {
+        let m = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f64);
+        let cols: Vec<Vec<f64>> = m.col_iter().map(|col| col.collect()).collect();
+        assert_eq!(cols.len(), 3);
+        for (c, col) in cols.iter().enumerate() {
+            assert_eq!(col.as_slice(), m.col(c).as_slice());
+        }
+        assert_eq!(m.col_iter().len(), 3);
+    }
+
+    #[test]
+    fn view_borrows_without_copying() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+        let v = m.view();
+        assert_eq!(v.shape(), (2, 3));
+        assert_eq!(v.row(1), &[3.0, 4.0, 5.0]);
+        assert_eq!(v.as_slice().as_ptr(), m.as_slice().as_ptr());
+        assert_eq!(v.to_matrix(), m);
+        assert!(!v.has_non_finite());
+        let rows: Vec<&[f64]> = v.iter_rows().collect();
+        assert_eq!(rows[0], &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn view_from_slice_validates_shape() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let v = MatrixView::from_slice(2, 2, &data).unwrap();
+        assert_eq!(v.row(0), &[1.0, 2.0]);
+        assert!(MatrixView::from_slice(3, 2, &data).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_col_major_and_views() {
+        let m = Matrix::zeros(0, 0);
+        assert_eq!(m.to_col_major().shape(), (0, 0));
+        assert_eq!(m.col_iter().count(), 0);
+        assert_eq!(m.view().iter_rows().count(), 0);
     }
 }

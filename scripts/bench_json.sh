@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs the tracked criterion benches and emits the flat bench-JSON map
+# (schema: kinemyo-bench-json/1, see DESIGN.md §13).
+#
+#   scripts/bench_json.sh                        # full sampling, JSON to stdout
+#   scripts/bench_json.sh --quick                # reduced sampling
+#   scripts/bench_json.sh --out BENCH_baseline.json   # (re)record the baseline
+#
+# Flags may be combined. The emitted numbers are mean nanoseconds per
+# iteration per bench id; regenerate the committed baseline only on the
+# reference machine configuration noted in EXPERIMENTS.md.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=""
+OUT=""
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --quick) QUICK=1; shift ;;
+        --out) OUT="$2"; shift 2 ;;
+        *) echo "unknown flag: $1" >&2; exit 2 ;;
+    esac
+done
+
+BENCHES=(feature_extraction clustering_parallel serve_throughput store_ingest)
+for bench in "${BENCHES[@]}"; do
+    echo "==> cargo bench --bench $bench" >&2
+    if [[ -n "$QUICK" ]]; then
+        KINEMYO_BENCH_QUICK=1 cargo bench -q -p kinemyo-bench --bench "$bench"
+    else
+        cargo bench -q -p kinemyo-bench --bench "$bench"
+    fi
+done
+
+if [[ -n "$OUT" ]]; then
+    cargo run -q -p kinemyo-bench --bin bench_json -- collect --out "$OUT"
+    echo "wrote $OUT" >&2
+else
+    cargo run -q -p kinemyo-bench --bin bench_json -- collect
+fi

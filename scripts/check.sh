@@ -21,6 +21,25 @@ if [[ "${1:-}" != "--quick" ]]; then
     echo "==> cargo test"
     cargo test --workspace
 
+    if [[ "${KINEMYO_SKIP_PERF:-}" != "1" ]]; then
+        echo "==> perf smoke (quick benches vs BENCH_baseline.json, >25% fails)"
+        # A fresh CRITERION_HOME keeps stale results from older bench runs
+        # out of the comparison. Only the compute-bound hot-path benches run
+        # here; regenerate the full baseline with scripts/bench_json.sh.
+        PERF_DIR="$(mktemp -d)"
+        CRITERION_HOME="$PERF_DIR/criterion" KINEMYO_BENCH_QUICK=1 \
+            cargo bench -q -p kinemyo-bench --bench feature_extraction
+        CRITERION_HOME="$PERF_DIR/criterion" KINEMYO_BENCH_QUICK=1 \
+            cargo bench -q -p kinemyo-bench --bench clustering_parallel
+        cargo run -q -p kinemyo-bench --bin bench_json -- collect \
+            --criterion-dir "$PERF_DIR/criterion" --out "$PERF_DIR/current.json"
+        cargo run -q -p kinemyo-bench --bin bench_json -- compare \
+            BENCH_baseline.json "$PERF_DIR/current.json" --tolerance 0.25
+        rm -rf "$PERF_DIR"
+    else
+        echo "==> perf smoke skipped (KINEMYO_SKIP_PERF=1)"
+    fi
+
     echo "==> serve smoke test (train -> serve -> client -> shutdown)"
     SMOKE_DIR="$(mktemp -d)"
     trap 'kill "${SERVE_PID:-}" 2>/dev/null; rm -rf "$SMOKE_DIR"' EXIT
