@@ -9,7 +9,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// Commands that take a second positional word (`kinemyo db ingest ...`).
 /// Any other command still rejects stray positionals.
-const MULTI_WORD_COMMANDS: &[&str] = &["db"];
+const MULTI_WORD_COMMANDS: &[&str] = &["db", "cluster"];
 
 /// Parsed command line: the subcommand plus its options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,9 +54,14 @@ pub fn parse(args: &[String], switch_names: &[&str]) -> std::result::Result<Pars
         match iter.peek() {
             Some(next) if !next.starts_with('-') => iter.next().cloned(),
             _ => {
+                let example = if command == "cluster" {
+                    "node"
+                } else {
+                    "stats"
+                };
                 return Err(ArgError(format!(
-                    "'{command}' needs a subcommand (e.g. '{command} stats')"
-                )))
+                    "'{command}' needs a subcommand (e.g. '{command} {example}')"
+                )));
             }
         }
     } else {

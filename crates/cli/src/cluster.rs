@@ -1,0 +1,181 @@
+//! `kinemyo cluster`: run replication nodes and the scatter-gather
+//! router from the shell.
+//!
+//! `cluster node` wraps a serve daemon in a [`ClusterNode`]: started
+//! without `--leader` it leads; with `--leader ADDR` it follows,
+//! catches up over the replication stream, and stands for election when
+//! the leader goes silent. `cluster router` binds a serve-protocol
+//! front end that fans classify requests over shards and degrades
+//! honestly when shards die. Both block until a client sends
+//! `shutdown`, and both support `--port-file` so scripts can discover
+//! ephemeral ports.
+
+use crate::args::{ArgError, ParsedArgs};
+use kinemyo_cluster::{ClusterNode, NodeConfig, Router, RouterConfig, RouterServer};
+use kinemyo_serve::{ServeConfig, Server};
+use std::error::Error;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+type CliResult = std::result::Result<(), Box<dyn Error>>;
+
+/// Dispatches `kinemyo cluster <subcommand>`.
+pub fn run_cluster(args: &ParsedArgs) -> CliResult {
+    match args.subcommand.as_deref() {
+        Some("node") => node(args),
+        Some("router") => router(args),
+        other => Err(Box::new(ArgError(format!(
+            "unknown cluster subcommand '{}' (expected node or router)",
+            other.unwrap_or("")
+        )))),
+    }
+}
+
+/// `kinemyo cluster node`.
+fn node(args: &ParsedArgs) -> CliResult {
+    args.check_allowed(&[
+        "model",
+        "store",
+        "addr",
+        "repl-addr",
+        "node-id",
+        "peers",
+        "leader",
+        "heartbeat-ms",
+        "election-timeout-ms",
+        "port-file",
+    ])?;
+    let model_path = Path::new(args.require("model")?).to_owned();
+    // Replication ships WAL entries, so a node without a durable store
+    // has nothing to stream or apply — require one up front.
+    let store_dir = args.require("store")?;
+    let config = ServeConfig::default()
+        .with_addr(args.get("addr").unwrap_or("127.0.0.1:0"))
+        .with_store_dir(store_dir);
+    let server = Arc::new(Server::start_from_file(&model_path, config)?);
+
+    let node_id = args.get_or("node-id", 0u64)?;
+    let mut node_config = NodeConfig::new(node_id, args.get("repl-addr").unwrap_or("127.0.0.1:0"))
+        .with_heartbeat(Duration::from_millis(args.get_or("heartbeat-ms", 100u64)?))
+        .with_election_timeout(Duration::from_millis(
+            args.get_or("election-timeout-ms", 500u64)?,
+        ));
+    if let Some(peers) = args.get("peers") {
+        node_config = node_config.with_peers(
+            peers
+                .split(',')
+                .map(str::trim)
+                .filter(|p| !p.is_empty())
+                .map(String::from)
+                .collect(),
+        );
+    }
+    if let Some(leader) = args.get("leader") {
+        node_config = node_config.with_leader(leader);
+    }
+    let mut node = ClusterNode::start(Arc::clone(&server), node_config)?;
+
+    let serve_addr = server.local_addr();
+    let repl_addr = node.repl_addr().to_string();
+    // First line serve address, second line replication address — the
+    // bound ports scripts need to wire the rest of the cluster.
+    if let Some(port_file) = args.get("port-file") {
+        std::fs::write(port_file, format!("{serve_addr}\n{repl_addr}\n"))?;
+    }
+    println!(
+        "cluster node {node_id} ({}) serving {} on {serve_addr}, replicating on {repl_addr}",
+        node.role(),
+        model_path.display()
+    );
+    eprintln!(
+        "send a 'shutdown' request to stop (kinemyo client --addr {serve_addr} --op shutdown)"
+    );
+
+    while !server.is_shutting_down() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    node.stop();
+    drop(node);
+    // Detached replication connection threads hold clones of the server
+    // handle; they exit within their read timeout once stopped.
+    let mut server = server;
+    let server = loop {
+        match Arc::try_unwrap(server) {
+            Ok(inner) => break inner,
+            Err(still_shared) => {
+                server = still_shared;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    };
+    let stats = server.wait();
+    println!(
+        "cluster node stopped: served={} shed={} failed={}",
+        stats.served, stats.shed, stats.failed
+    );
+    Ok(())
+}
+
+/// `kinemyo cluster router`.
+fn router(args: &ParsedArgs) -> CliResult {
+    args.check_allowed(&["shards", "addr", "deadline-ms", "knn-k", "port-file"])?;
+    let shards = parse_shards(args.require("shards")?)?;
+    let config = RouterConfig::default()
+        .with_shards(shards)
+        .with_shard_deadline(Duration::from_millis(args.get_or("deadline-ms", 2000u64)?))
+        .with_knn_k(args.get_or("knn-k", 5usize)?);
+    let shard_count = config.shards.len();
+    let router = Router::new(config)?;
+    let mut server = RouterServer::start(router, args.get("addr").unwrap_or("127.0.0.1:0"))?;
+    let addr = server.local_addr().to_string();
+    if let Some(port_file) = args.get("port-file") {
+        std::fs::write(port_file, format!("{addr}\n"))?;
+    }
+    println!("cluster router on {addr} over {shard_count} shard(s)");
+    eprintln!("send a 'shutdown' request to stop (kinemyo client --addr {addr} --op shutdown)");
+    server.wait();
+    println!("cluster router stopped");
+    Ok(())
+}
+
+/// Parses `--shards "a,b;c,d"`: shards split on `;`, replicas on `,`.
+fn parse_shards(raw: &str) -> std::result::Result<Vec<Vec<String>>, ArgError> {
+    let shards: Vec<Vec<String>> = raw
+        .split(';')
+        .map(|shard| {
+            shard
+                .split(',')
+                .map(str::trim)
+                .filter(|r| !r.is_empty())
+                .map(String::from)
+                .collect()
+        })
+        .collect();
+    if shards.is_empty() || shards.iter().any(Vec::is_empty) {
+        return Err(ArgError(format!(
+            "--shards: '{raw}' must list replica addresses as 'a,b;c,d' \
+             (shards split on ';', replicas on ',')"
+        )));
+    }
+    Ok(shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_spec_parses_shards_and_replicas() {
+        let shards = parse_shards("127.0.0.1:1,127.0.0.1:2;127.0.0.1:3").unwrap();
+        assert_eq!(
+            shards,
+            vec![
+                vec!["127.0.0.1:1".to_string(), "127.0.0.1:2".to_string()],
+                vec!["127.0.0.1:3".to_string()],
+            ]
+        );
+        assert!(parse_shards("").is_err());
+        assert!(parse_shards("a;;b").is_err());
+    }
+}

@@ -53,6 +53,18 @@ COMMANDS:
              health|stats|reload|persist|compact|shutdown (default
              health)]  [--timeout-ms MS]
              classify/insert ops need --dataset PATH [--record ID]
+  cluster    replication and sharded serving
+             node     run a replicating serve daemon (blocks until
+                      'shutdown');  --model MODEL.json  --store DIR
+                      --node-id N  [--addr HOST:PORT] [--repl-addr
+                      HOST:PORT] [--peers ADDR,ADDR]  [--leader ADDR]
+                      start as a follower of ADDR (omit to lead)
+                      [--heartbeat-ms MS] [--election-timeout-ms MS]
+                      [--port-file PATH]  write serve + repl addresses
+             router   scatter-gather front end over shards
+                      --shards 'a,b;c,d'  (shards split on ';',
+                      replicas on ',')  [--addr HOST:PORT]
+                      [--deadline-ms MS] [--knn-k N] [--port-file PATH]
   db         manage a durable motion store offline
              init     --dir DIR  (--model MODEL.json | --dim N)
              ingest   --dir DIR --model MODEL.json --dataset PATH
@@ -399,6 +411,7 @@ pub fn run(args: &ParsedArgs) -> CliResult {
         "serve" => crate::serving::serve(args),
         "client" => crate::serving::client(args),
         "db" => crate::db::run_db(args),
+        "cluster" => crate::cluster::run_cluster(args),
         "help" => {
             println!("{USAGE}");
             Ok(())

@@ -12,6 +12,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod args;
+pub mod cluster;
 pub mod commands;
 pub mod db;
 pub mod serving;

@@ -1,0 +1,114 @@
+//! Typed failures of the cluster layer.
+
+use std::path::PathBuf;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ClusterError>;
+
+/// Everything that can go wrong in replication, failover, or routing.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Socket-level failure on a replication link.
+    Io(std::io::Error),
+    /// A replication frame arrived intact but its payload checksum did
+    /// not verify — the in-stream re-request path, not a dead link.
+    CorruptFrame {
+        /// What failed to validate.
+        reason: String,
+    },
+    /// The byte stream can no longer be framed (oversized length prefix,
+    /// truncated header); the only recovery is a reconnect.
+    Desynced {
+        /// What broke the framing.
+        reason: String,
+    },
+    /// The peer spoke the protocol wrong (bad handshake, unknown message
+    /// tag, field out of range).
+    Protocol {
+        /// What was malformed.
+        reason: String,
+    },
+    /// The peer refused the handshake because it is not the leader.
+    NotLeader {
+        /// Where the peer believes the leader is (replication address).
+        leader_hint: Option<String>,
+    },
+    /// The durable store refused an operation.
+    Store(kinemyo_store::StoreError),
+    /// The serve layer refused an operation.
+    Serve(kinemyo_serve::ServeError),
+    /// Invalid cluster configuration.
+    Config {
+        /// The violated constraint.
+        reason: String,
+    },
+    /// A node was asked to replicate without a durable store.
+    NoStore {
+        /// The serve daemon's store directory requirement.
+        dir: Option<PathBuf>,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Io(e) => write!(f, "replication socket error: {e}"),
+            ClusterError::CorruptFrame { reason } => {
+                write!(f, "corrupt replication frame: {reason}")
+            }
+            ClusterError::Desynced { reason } => {
+                write!(f, "replication stream desynced: {reason}")
+            }
+            ClusterError::Protocol { reason } => {
+                write!(f, "replication protocol error: {reason}")
+            }
+            ClusterError::NotLeader { leader_hint } => match leader_hint {
+                Some(hint) => write!(f, "peer is not the leader (try {hint})"),
+                None => write!(f, "peer is not the leader"),
+            },
+            ClusterError::Store(e) => write!(f, "store error: {e}"),
+            ClusterError::Serve(e) => write!(f, "serve error: {e}"),
+            ClusterError::Config { reason } => write!(f, "invalid cluster config: {reason}"),
+            ClusterError::NoStore { dir } => match dir {
+                Some(d) => write!(
+                    f,
+                    "node has no durable store (expected one at {})",
+                    d.display()
+                ),
+                None => write!(
+                    f,
+                    "node has no durable store (start serve with a store dir)"
+                ),
+            },
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Io(e) => Some(e),
+            ClusterError::Store(e) => Some(e),
+            ClusterError::Serve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClusterError {
+    fn from(e: std::io::Error) -> Self {
+        ClusterError::Io(e)
+    }
+}
+
+impl From<kinemyo_store::StoreError> for ClusterError {
+    fn from(e: kinemyo_store::StoreError) -> Self {
+        ClusterError::Store(e)
+    }
+}
+
+impl From<kinemyo_serve::ServeError> for ClusterError {
+    fn from(e: kinemyo_serve::ServeError) -> Self {
+        ClusterError::Serve(e)
+    }
+}

@@ -1,0 +1,44 @@
+//! # kinemyo-cluster
+//!
+//! Replication, failover, and sharded serving for the kinemyo motion
+//! database — turning the single-node durable daemon into a small
+//! cluster that keeps answering classification queries while nodes die.
+//!
+//! * [`wire`] — the replication wire protocol: the store's KWAL v1
+//!   frame layout reused verbatim over TCP, with an incremental parser
+//!   that keeps *incomplete*, *corrupt-but-framed*, and *desynced*
+//!   streams distinct;
+//! * [`log`] — the in-memory, sequence-idempotent log the leader
+//!   streams from, fed by the durable store's commit hook;
+//! * [`node`] — [`ClusterNode`]: leader streaming, follower catch-up
+//!   (snapshot + WAL tail via the store's own recovery, then live
+//!   entries), acks, in-stream re-requests on torn or corrupt frames,
+//!   and coordinator-free promotion of the most caught-up follower;
+//! * [`router`] — [`Router`] / [`RouterServer`]: scatter-gather over
+//!   disjoint shards with per-shard deadline budgets, jittered retries,
+//!   and typed degradation via
+//!   [`ClusterHealth`](kinemyo::cluster::ClusterHealth);
+//! * [`proxy`] — [`FaultProxy`]: a deterministic in-process fault
+//!   injector (cut / corrupt / delay / duplicate) for exercising every
+//!   failure path in tests.
+//!
+//! The replication protocol and promotion rules are specified in
+//! DESIGN.md §14.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod error;
+pub mod log;
+pub mod node;
+pub mod proxy;
+pub mod router;
+pub mod wire;
+
+pub use error::{ClusterError, Result};
+pub use log::ReplicationLog;
+pub use node::{poll_status, ClusterNode, NodeConfig};
+pub use proxy::{FaultProxy, LinkFaultSpec};
+pub use router::{Router, RouterConfig, RouterServer};
+pub use wire::{encode_msg, write_msg, MsgBuf, ReplMsg, MAX_WIRE_FRAME_BYTES};

@@ -1,0 +1,749 @@
+//! Replication nodes: leader streaming, follower catch-up, and
+//! leaderless promotion.
+//!
+//! Topology is pull-based: followers dial the leader's replication
+//! address, announce how far they have applied ([`ReplMsg::Hello`]),
+//! and the leader streams every later WAL entry followed by heartbeats
+//! while idle. There is no external coordinator — when a follower hears
+//! nothing for an election timeout it polls every configured peer's
+//! status and the most caught-up reachable node (ties broken by lowest
+//! node id) promotes itself; the rest re-point at the winner.
+//!
+//! Applying a shipped entry goes through the follower's own
+//! [`DurableDb::insert`], so the entry is re-logged locally with the
+//! same 1-based commit sequence the leader assigned — replicas are
+//! bit-identical on disk, and a promoted follower can immediately serve
+//! and stream to others from its own log.
+
+use crate::error::{ClusterError, Result};
+use crate::log::ReplicationLog;
+use crate::wire::{write_msg, MsgBuf, ReplMsg};
+use kinemyo::pipeline::RecordMeta;
+use kinemyo_serve::{RetryPolicy, Role, Server};
+use kinemyo_store::record::decode_entry;
+use kinemyo_store::DurableDb;
+use parking_lot::Mutex;
+use std::io::ErrorKind;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Static identity and timing of one replication node.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Unique id of this node; the promotion tie-breaker (lower wins).
+    pub node_id: u64,
+    /// Address the replication listener binds (`127.0.0.1:0` for an
+    /// ephemeral port).
+    pub repl_addr: String,
+    /// Replication addresses of every *other* node in the cluster,
+    /// polled during elections.
+    pub peers: Vec<String>,
+    /// Replication address of the initial leader. `None` makes this
+    /// node start as the leader.
+    pub leader: Option<String>,
+    /// How often the leader emits [`ReplMsg::Heartbeat`] on idle
+    /// streams.
+    pub heartbeat: Duration,
+    /// Silence threshold after which a follower declares the leader
+    /// dead and starts an election. Must exceed `heartbeat`.
+    pub election_timeout: Duration,
+    /// Backoff schedule for dialing the leader.
+    pub retry: RetryPolicy,
+}
+
+impl NodeConfig {
+    /// A follower config with test-friendly timing.
+    pub fn new(node_id: u64, repl_addr: impl Into<String>) -> Self {
+        Self {
+            node_id,
+            repl_addr: repl_addr.into(),
+            peers: Vec::new(),
+            leader: None,
+            heartbeat: Duration::from_millis(100),
+            election_timeout: Duration::from_millis(500),
+            retry: RetryPolicy::default()
+                .with_base(Duration::from_millis(20))
+                .with_cap(Duration::from_millis(200))
+                .with_max_attempts(4)
+                .with_seed(node_id ^ 0xC1A5_7E12),
+        }
+    }
+
+    /// Sets the peer replication addresses.
+    pub fn with_peers(mut self, peers: Vec<String>) -> Self {
+        self.peers = peers;
+        self
+    }
+
+    /// Points this node at an initial leader (making it a follower).
+    pub fn with_leader(mut self, leader: impl Into<String>) -> Self {
+        self.leader = Some(leader.into());
+        self
+    }
+
+    /// Overrides the heartbeat interval.
+    pub fn with_heartbeat(mut self, heartbeat: Duration) -> Self {
+        self.heartbeat = heartbeat;
+        self
+    }
+
+    /// Overrides the election timeout.
+    pub fn with_election_timeout(mut self, timeout: Duration) -> Self {
+        self.election_timeout = timeout;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.heartbeat.is_zero() {
+            return Err(ClusterError::Config {
+                reason: "heartbeat must be non-zero".into(),
+            });
+        }
+        if self.election_timeout <= self.heartbeat {
+            return Err(ClusterError::Config {
+                reason: format!(
+                    "election timeout {:?} must exceed heartbeat {:?}",
+                    self.election_timeout, self.heartbeat
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn role_code(role: Role) -> u8 {
+    match role {
+        Role::Single => 0,
+        Role::Leader => 1,
+        Role::Follower => 2,
+        Role::Router => 3,
+    }
+}
+
+struct NodeShared {
+    config: NodeConfig,
+    server: Arc<Server>,
+    store: Arc<DurableDb<RecordMeta>>,
+    log: Arc<ReplicationLog>,
+    repl_addr: String,
+    epoch: AtomicU64,
+    shutdown: AtomicBool,
+    /// Where the current leader replicates from, as last observed.
+    leader_repl: Mutex<Option<String>>,
+}
+
+impl NodeShared {
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn status_reply(&self) -> ReplMsg {
+        ReplMsg::StatusReply {
+            node_id: self.config.node_id,
+            role: role_code(self.server.role()),
+            epoch: self.epoch.load(Ordering::Acquire),
+            applied_seq: self.store.entry_seq(),
+            serve_addr: self.server.local_addr().to_string(),
+            repl_addr: self.repl_addr.clone(),
+        }
+    }
+}
+
+/// A running replication node bound to one serve daemon.
+pub struct ClusterNode {
+    shared: Arc<NodeShared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ClusterNode {
+    /// Starts replication for `server`. The server must own a durable
+    /// store ([`ClusterError::NoStore`] otherwise). With
+    /// `config.leader == None` the node assumes leadership at epoch 1;
+    /// otherwise it follows, catching up from its own applied sequence.
+    pub fn start(server: Arc<Server>, config: NodeConfig) -> Result<Self> {
+        config.validate()?;
+        let store = server.store().ok_or(ClusterError::NoStore { dir: None })?;
+        let log = Arc::new(ReplicationLog::new());
+
+        // Install the commit hook BEFORE seeding history: appends are
+        // idempotent by sequence, so whichever side records an entry
+        // first wins and the other is a no-op.
+        let hook_log = Arc::clone(&log);
+        store.set_commit_hook(Some(Box::new(move |seq, payload| {
+            hook_log.append(seq, payload);
+        })));
+        for (seq, payload) in store.encoded_entries_from(0) {
+            log.append(seq, &payload);
+        }
+
+        let listener = TcpListener::bind(&config.repl_addr)?;
+        let repl_addr = listener.local_addr()?.to_string();
+        listener.set_nonblocking(true)?;
+
+        let initial_leader = config.leader.clone();
+        let shared = Arc::new(NodeShared {
+            config,
+            server,
+            store,
+            log,
+            repl_addr,
+            epoch: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            leader_repl: Mutex::new(initial_leader.clone()),
+        });
+
+        let mut threads = Vec::new();
+        let acceptor = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("repl-listen-{}", shared.config.node_id))
+                .spawn(move || accept_loop(acceptor, listener))
+                .expect("spawn replication listener"),
+        );
+
+        match initial_leader {
+            None => {
+                shared.epoch.store(1, Ordering::Release);
+                shared.server.set_role(Role::Leader, None);
+            }
+            Some(leader) => {
+                shared.server.set_role(Role::Follower, None);
+                let follower = Arc::clone(&shared);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("repl-follow-{}", shared.config.node_id))
+                        .spawn(move || follower_loop(follower, leader))
+                        .expect("spawn replication follower"),
+                );
+            }
+        }
+
+        Ok(Self { shared, threads })
+    }
+
+    /// The bound replication address (resolved if an ephemeral port was
+    /// requested).
+    pub fn repl_addr(&self) -> &str {
+        &self.shared.repl_addr
+    }
+
+    /// This node's current role, as reported by its serve daemon.
+    pub fn role(&self) -> Role {
+        self.shared.server.role()
+    }
+
+    /// This node's current election epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// Highest WAL sequence applied locally.
+    pub fn applied_seq(&self) -> u64 {
+        self.shared.store.entry_seq()
+    }
+
+    /// Blocks until the node reports `role`, or the deadline passes.
+    /// Returns whether the role was reached.
+    pub fn wait_for_role(&self, role: Role, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.role() == role {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.role() == role
+    }
+
+    /// Blocks until the local store has applied at least `seq`, or the
+    /// deadline passes. Returns whether the sequence was reached.
+    pub fn wait_for_seq(&self, seq: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.applied_seq() >= seq {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.applied_seq() >= seq
+    }
+
+    /// Stops replication threads and detaches the commit hook. The
+    /// serve daemon itself keeps running.
+    pub fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.store.set_commit_hook(None);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ClusterNode {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Queries `addr` for its status with short dial/read deadlines.
+/// Returns `None` when the peer is unreachable or silent.
+pub fn poll_status(addr: &str, timeout: Duration) -> Option<ReplMsg> {
+    let sock_addr = addr.to_socket_addrs().ok()?.next()?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout).ok()?;
+    stream.set_read_timeout(Some(timeout)).ok()?;
+    stream.set_nodelay(true).ok()?;
+    write_msg(&mut stream, &ReplMsg::Status).ok()?;
+    let mut buf = MsgBuf::new();
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        match buf.fill_from(&mut stream) {
+            Ok(0) => return None,
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return None
+            }
+            Err(_) => return None,
+        }
+        match buf.next_msg() {
+            Ok(Some(reply @ ReplMsg::StatusReply { .. })) => return Some(reply),
+            Ok(Some(_)) | Err(_) => return None,
+            Ok(None) => {}
+        }
+    }
+    None
+}
+
+fn accept_loop(shared: Arc<NodeShared>, listener: TcpListener) {
+    loop {
+        if shared.is_shutdown() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let _ = serve_peer(conn, stream);
+                });
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handles one inbound peer connection: status queries from anyone,
+/// replication streams only while this node leads.
+fn serve_peer(shared: Arc<NodeShared>, mut stream: TcpStream) -> Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(shared.config.heartbeat.min(Duration::from_millis(50))))?;
+    let mut buf = MsgBuf::new();
+    loop {
+        if shared.is_shutdown() {
+            return Ok(());
+        }
+        match buf.fill_from(&mut stream) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue
+            }
+            Err(e) => return Err(e.into()),
+        }
+        loop {
+            match buf.next_msg() {
+                Ok(None) => break,
+                Ok(Some(ReplMsg::Status)) => {
+                    write_msg(&mut stream, &shared.status_reply())?;
+                }
+                Ok(Some(ReplMsg::Hello { have_seq, .. })) => {
+                    if shared.server.role() == Role::Leader {
+                        return stream_entries(&shared, stream, buf, have_seq);
+                    }
+                    // Not the leader: answer with status (carrying our
+                    // known role) and let the peer re-discover.
+                    write_msg(&mut stream, &shared.status_reply())?;
+                    return Ok(());
+                }
+                // Inbound corruption on the control direction: drop the
+                // bad frame and keep reading.
+                Err(ClusterError::CorruptFrame { .. }) => {}
+                Ok(Some(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Leader side of one replication stream: ships every log entry after
+/// the follower's applied sequence, interleaving heartbeats, acks, and
+/// rewind requests.
+fn stream_entries(
+    shared: &Arc<NodeShared>,
+    mut stream: TcpStream,
+    mut buf: MsgBuf,
+    have_seq: u64,
+) -> Result<()> {
+    let epoch = shared.epoch.load(Ordering::Acquire);
+    write_msg(
+        &mut stream,
+        &ReplMsg::Welcome {
+            epoch,
+            dim: shared.store.dim() as u32,
+            commit_seq: shared.log.head(),
+            serve_addr: shared.server.local_addr().to_string(),
+        },
+    )?;
+    let mut next = have_seq + 1;
+    let mut last_heartbeat = Instant::now();
+    loop {
+        if shared.is_shutdown() || shared.server.role() != Role::Leader {
+            return Ok(());
+        }
+        // Drain follower traffic without blocking the stream for long
+        // (the socket read timeout is a fraction of the heartbeat).
+        match buf.fill_from(&mut stream) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) => return Err(e.into()),
+        }
+        loop {
+            match buf.next_msg() {
+                Ok(None) => break,
+                Ok(Some(ReplMsg::Ack { .. })) => {}
+                Ok(Some(ReplMsg::ReRequest { from_seq })) => next = next.min(from_seq),
+                Ok(Some(ReplMsg::Status)) => write_msg(&mut stream, &shared.status_reply())?,
+                Err(ClusterError::CorruptFrame { .. }) => {}
+                Ok(Some(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let pending = shared.log.get_from(next);
+        if pending.is_empty() {
+            shared
+                .log
+                .wait_beyond(next.saturating_sub(1), shared.config.heartbeat);
+            if last_heartbeat.elapsed() >= shared.config.heartbeat {
+                write_msg(
+                    &mut stream,
+                    &ReplMsg::Heartbeat {
+                        epoch: shared.epoch.load(Ordering::Acquire),
+                        commit_seq: shared.log.head(),
+                    },
+                )?;
+                last_heartbeat = Instant::now();
+            }
+            continue;
+        }
+        for (seq, payload) in pending {
+            write_msg(
+                &mut stream,
+                &ReplMsg::Entry {
+                    seq,
+                    payload: payload.as_ref().clone(),
+                },
+            )?;
+            next = next.max(seq + 1);
+        }
+        last_heartbeat = Instant::now();
+    }
+}
+
+enum FollowEnd {
+    /// Connection refused / lost / silent past the election timeout.
+    LeaderGone,
+    /// The dialed peer answered but is not the leader.
+    NotLeader,
+    /// Node is shutting down.
+    Shutdown,
+}
+
+/// Sleeps `total` in short slices, returning early on shutdown.
+fn sleep_interruptibly(shared: &Arc<NodeShared>, total: Duration) {
+    let deadline = Instant::now() + total;
+    while Instant::now() < deadline && !shared.is_shutdown() {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn follower_loop(shared: Arc<NodeShared>, initial_leader: String) {
+    let mut leader = initial_leader;
+    loop {
+        if shared.is_shutdown() {
+            return;
+        }
+        match follow(&shared, &leader) {
+            FollowEnd::Shutdown => return,
+            FollowEnd::LeaderGone | FollowEnd::NotLeader => {}
+        }
+        // Leader contact lost: elect until we win or find the winner.
+        // Entry is staggered by node id so that on an exact tie the
+        // lowest id polls (and promotes) first, and higher ids find an
+        // established leader instead of racing it. Status replies come
+        // from the accept loop, so sleeping here never blocks a peer's
+        // poll of this node.
+        sleep_interruptibly(
+            &shared,
+            shared.config.heartbeat * shared.config.node_id.min(16) as u32,
+        );
+        loop {
+            if shared.is_shutdown() {
+                return;
+            }
+            match run_election(&shared) {
+                Election::Won => {
+                    let epoch = shared.epoch.load(Ordering::Acquire);
+                    shared.epoch.store(epoch + 1, Ordering::Release);
+                    shared.server.set_role(Role::Leader, None);
+                    *shared.leader_repl.lock() = None;
+                    return;
+                }
+                Election::Follow(addr) => {
+                    *shared.leader_repl.lock() = Some(addr.clone());
+                    leader = addr;
+                    break;
+                }
+                Election::Undecided => {
+                    std::thread::sleep(shared.config.heartbeat);
+                }
+            }
+        }
+    }
+}
+
+/// Follower side of the replication stream. Applies entries in strict
+/// sequence order through the local durable store, acking each one;
+/// duplicates are skipped, gaps and corrupt frames trigger an in-stream
+/// rewind request, and desync or silence ends the session.
+fn follow(shared: &Arc<NodeShared>, leader: &str) -> FollowEnd {
+    let mut schedule = shared.config.retry.schedule();
+    let stream = loop {
+        if shared.is_shutdown() {
+            return FollowEnd::Shutdown;
+        }
+        match TcpStream::connect(leader) {
+            Ok(s) => break s,
+            Err(_) => match schedule.next_delay() {
+                Some(delay) => std::thread::sleep(delay),
+                None => return FollowEnd::LeaderGone,
+            },
+        }
+    };
+    let mut stream = stream;
+    if stream.set_nodelay(true).is_err()
+        || stream
+            .set_read_timeout(Some(shared.config.heartbeat.min(Duration::from_millis(50))))
+            .is_err()
+    {
+        return FollowEnd::LeaderGone;
+    }
+    if write_msg(
+        &mut stream,
+        &ReplMsg::Hello {
+            node_id: shared.config.node_id,
+            have_seq: shared.store.entry_seq(),
+        },
+    )
+    .is_err()
+    {
+        return FollowEnd::LeaderGone;
+    }
+
+    let mut buf = MsgBuf::new();
+    let mut last_contact = Instant::now();
+    loop {
+        if shared.is_shutdown() {
+            return FollowEnd::Shutdown;
+        }
+        match buf.fill_from(&mut stream) {
+            Ok(0) => return FollowEnd::LeaderGone,
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if last_contact.elapsed() >= shared.config.election_timeout {
+                    return FollowEnd::LeaderGone;
+                }
+                continue;
+            }
+            Err(_) => return FollowEnd::LeaderGone,
+        }
+        loop {
+            match buf.next_msg() {
+                Ok(None) => break,
+                Ok(Some(msg)) => {
+                    last_contact = Instant::now();
+                    match apply_leader_msg(shared, &mut stream, msg) {
+                        Ok(true) => {}
+                        Ok(false) => return FollowEnd::NotLeader,
+                        Err(_) => return FollowEnd::LeaderGone,
+                    }
+                }
+                Err(ClusterError::CorruptFrame { .. }) => {
+                    // Framing held but the payload was mangled: rewind
+                    // the stream to the next sequence we need.
+                    last_contact = Instant::now();
+                    let from_seq = shared.store.entry_seq() + 1;
+                    if write_msg(&mut stream, &ReplMsg::ReRequest { from_seq }).is_err() {
+                        return FollowEnd::LeaderGone;
+                    }
+                }
+                Err(_) => return FollowEnd::LeaderGone,
+            }
+        }
+    }
+}
+
+/// Applies one leader message. Returns `Ok(false)` when the peer turned
+/// out not to be the leader.
+fn apply_leader_msg(
+    shared: &Arc<NodeShared>,
+    stream: &mut TcpStream,
+    msg: ReplMsg,
+) -> Result<bool> {
+    match msg {
+        ReplMsg::Welcome {
+            epoch,
+            dim,
+            serve_addr,
+            ..
+        } => {
+            if dim as usize != shared.store.dim() {
+                return Err(ClusterError::Protocol {
+                    reason: format!(
+                        "leader replicates dim {} but local store is dim {}",
+                        dim,
+                        shared.store.dim()
+                    ),
+                });
+            }
+            let seen = shared.epoch.load(Ordering::Acquire);
+            shared.epoch.store(seen.max(epoch), Ordering::Release);
+            shared.server.set_role(Role::Follower, Some(serve_addr));
+        }
+        ReplMsg::Entry { seq, payload } => {
+            let applied = shared.store.entry_seq();
+            if seq <= applied {
+                // Duplicate delivery (rewind overlap): already applied.
+            } else if seq == applied + 1 {
+                let entry = decode_entry::<RecordMeta>(&payload, Path::new("repl-stream"), 0)
+                    .map_err(|e| ClusterError::CorruptFrame {
+                        reason: format!("undecodable entry payload at seq {seq}: {e}"),
+                    })?;
+                shared.store.insert(entry.id, entry.meta, entry.vector)?;
+                write_msg(stream, &ReplMsg::Ack { seq })?;
+            } else {
+                // Gap: ask the leader to rewind.
+                write_msg(
+                    stream,
+                    &ReplMsg::ReRequest {
+                        from_seq: applied + 1,
+                    },
+                )?;
+            }
+        }
+        ReplMsg::Heartbeat { epoch, commit_seq } => {
+            let seen = shared.epoch.load(Ordering::Acquire);
+            shared.epoch.store(seen.max(epoch), Ordering::Release);
+            let applied = shared.store.entry_seq();
+            if commit_seq > applied {
+                // Leader is ahead but silent on entries; nudge it.
+                write_msg(
+                    stream,
+                    &ReplMsg::ReRequest {
+                        from_seq: applied + 1,
+                    },
+                )?;
+            }
+        }
+        ReplMsg::StatusReply { .. } => return Ok(false),
+        _ => {}
+    }
+    Ok(true)
+}
+
+enum Election {
+    Won,
+    Follow(String),
+    Undecided,
+}
+
+/// One election round: poll every peer's status. An existing leader
+/// wins outright; otherwise the most caught-up reachable node takes
+/// over, ties broken by lowest node id. Unreachable peers are treated
+/// as dead for this round.
+fn run_election(shared: &Arc<NodeShared>) -> Election {
+    // Polls use the election timeout, not the heartbeat: on a loaded
+    // box a live peer can take longer than a heartbeat to answer, and
+    // mistaking it for dead here is what produces split leaders.
+    let poll_timeout = shared.config.election_timeout;
+    let mut best = (shared.store.entry_seq(), shared.config.node_id);
+    let mut max_epoch = shared.epoch.load(Ordering::Acquire);
+    for peer in &shared.config.peers {
+        let Some(ReplMsg::StatusReply {
+            node_id,
+            role,
+            epoch,
+            applied_seq,
+            repl_addr,
+            ..
+        }) = poll_status(peer, poll_timeout)
+        else {
+            continue;
+        };
+        max_epoch = max_epoch.max(epoch);
+        if role == role_code(Role::Leader) {
+            return Election::Follow(repl_addr);
+        }
+        // Higher applied wins; on a tie the lower node id wins.
+        if applied_seq > best.0 || (applied_seq == best.0 && node_id < best.1) {
+            best = (applied_seq, node_id);
+        }
+    }
+    if best.1 == shared.config.node_id {
+        shared.epoch.store(max_epoch, Ordering::Release);
+        Election::Won
+    } else {
+        Election::Undecided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_rejects_degenerate_timing() {
+        let ok = NodeConfig::new(1, "127.0.0.1:0");
+        assert!(ok.validate().is_ok());
+        let bad = NodeConfig::new(1, "127.0.0.1:0").with_heartbeat(Duration::ZERO);
+        assert!(matches!(bad.validate(), Err(ClusterError::Config { .. })));
+        let inverted = NodeConfig::new(1, "127.0.0.1:0")
+            .with_heartbeat(Duration::from_millis(500))
+            .with_election_timeout(Duration::from_millis(100));
+        assert!(matches!(
+            inverted.validate(),
+            Err(ClusterError::Config { .. })
+        ));
+    }
+
+    #[test]
+    fn role_codes_match_the_wire_contract() {
+        assert_eq!(role_code(Role::Single), 0);
+        assert_eq!(role_code(Role::Leader), 1);
+        assert_eq!(role_code(Role::Follower), 2);
+        assert_eq!(role_code(Role::Router), 3);
+    }
+
+    #[test]
+    fn poll_status_times_out_cleanly_on_a_dead_address() {
+        // A bound-then-dropped listener leaves a port nobody answers.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        assert!(poll_status(&addr, Duration::from_millis(50)).is_none());
+    }
+}

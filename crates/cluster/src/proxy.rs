@@ -1,0 +1,315 @@
+//! Deterministic in-process fault injection for node links.
+//!
+//! [`FaultProxy`] is a plain TCP forwarder that sits between two nodes
+//! in tests. Faults are described by [`LinkFaultSpec`] and applied only
+//! on the upstream→downstream direction (the direction the replication
+//! stream flows), deterministically: a given spec always mangles the
+//! same bytes, so failures found under the proxy reproduce exactly.
+
+use crate::error::Result;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What to do to the bytes flowing upstream→downstream.
+#[derive(Debug, Clone, Default)]
+pub struct LinkFaultSpec {
+    /// Seed for any future randomized behaviour; kept in the spec so a
+    /// failing test prints everything needed to reproduce it.
+    pub seed: u64,
+    /// Sever the first accepted connection after forwarding exactly this
+    /// many bytes. Later connections pass clean — this models a torn
+    /// stream followed by a successful reconnect.
+    pub cut_after_bytes: Option<u64>,
+    /// XOR the byte at this absolute forwarded offset with `0xFF`, once.
+    pub corrupt_byte: Option<u64>,
+    /// Sleep this long before forwarding each chunk.
+    pub delay_per_chunk: Option<Duration>,
+    /// Forward the bytes in `[start, end)` (absolute offsets) twice.
+    pub duplicate_range: Option<(u64, u64)>,
+}
+
+impl LinkFaultSpec {
+    /// A spec that forwards everything untouched.
+    pub fn clean() -> Self {
+        Self::default()
+    }
+}
+
+/// In-process TCP proxy with deterministic fault injection.
+pub struct FaultProxy {
+    addr: String,
+    shutdown: Arc<AtomicBool>,
+    forwarded: Arc<AtomicU64>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Starts a proxy listening on an ephemeral localhost port, relaying
+    /// every accepted connection to `upstream` with `spec`'s faults
+    /// applied to the upstream→downstream byte stream.
+    pub fn start(upstream: &str, spec: LinkFaultSpec) -> Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?.to_string();
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let forwarded = Arc::new(AtomicU64::new(0));
+        let upstream = upstream.to_string();
+        let stop = Arc::clone(&shutdown);
+        let count = Arc::clone(&forwarded);
+        let handle = std::thread::Builder::new()
+            .name("fault-proxy".into())
+            .spawn(move || {
+                let mut first_conn = true;
+                loop {
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    match listener.accept() {
+                        Ok((client, _)) => {
+                            let spec = if first_conn {
+                                spec.clone()
+                            } else {
+                                // Only the first connection is faulted;
+                                // reconnects see a clean link.
+                                LinkFaultSpec {
+                                    delay_per_chunk: spec.delay_per_chunk,
+                                    ..LinkFaultSpec::clean()
+                                }
+                            };
+                            first_conn = false;
+                            let upstream = upstream.clone();
+                            let stop = Arc::clone(&stop);
+                            let count = Arc::clone(&count);
+                            std::thread::spawn(move || {
+                                let _ = relay(client, &upstream, &spec, &stop, &count);
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => return,
+                    }
+                }
+            })
+            .expect("spawn fault-proxy thread");
+        Ok(Self {
+            addr,
+            shutdown,
+            forwarded,
+            handle: Some(handle),
+        })
+    }
+
+    /// The proxy's listen address — hand this to the downstream node in
+    /// place of the real upstream address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Total upstream→downstream bytes forwarded so far.
+    pub fn bytes_forwarded(&self) -> u64 {
+        self.forwarded.load(Ordering::Acquire)
+    }
+
+    /// Stops accepting and joins the acceptor thread.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Forwards `client` ↔ `upstream`. Client→upstream bytes pass clean;
+/// upstream→client bytes go through the fault pipeline.
+fn relay(
+    client: TcpStream,
+    upstream: &str,
+    spec: &LinkFaultSpec,
+    stop: &Arc<AtomicBool>,
+    forwarded: &Arc<AtomicU64>,
+) -> std::io::Result<()> {
+    let server = TcpStream::connect(upstream)?;
+    let mut client_rd = client.try_clone()?;
+    let mut server_wr = server.try_clone()?;
+    let stop_up = Arc::clone(stop);
+    // Clean direction: follower→leader (acks, re-requests, hellos).
+    let up = std::thread::spawn(move || {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if stop_up.load(Ordering::Acquire) {
+                return;
+            }
+            match client_rd.read(&mut chunk) {
+                Ok(0) | Err(_) => {
+                    let _ = server_wr.shutdown(Shutdown::Write);
+                    return;
+                }
+                Ok(n) => {
+                    if server_wr.write_all(&chunk[..n]).is_err() {
+                        return;
+                    }
+                }
+            }
+        }
+    });
+
+    // Faulted direction: leader→follower (the replication stream).
+    let mut server_rd = server;
+    let mut client_wr = client;
+    let mut offset: u64 = 0;
+    let mut chunk = [0u8; 4096];
+    'faulted: loop {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let n = match server_rd.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        if let Some(delay) = spec.delay_per_chunk {
+            std::thread::sleep(delay);
+        }
+        let mut bytes = chunk[..n].to_vec();
+        if let Some(at) = spec.corrupt_byte {
+            if at >= offset && at < offset + n as u64 {
+                bytes[(at - offset) as usize] ^= 0xFF;
+            }
+        }
+        let mut emit: Vec<u8> = Vec::with_capacity(bytes.len() * 2);
+        for (i, b) in bytes.iter().enumerate() {
+            let abs = offset + i as u64;
+            if let Some(cut) = spec.cut_after_bytes {
+                if abs >= cut {
+                    if !emit.is_empty() {
+                        let _ = client_wr.write_all(&emit);
+                        forwarded.fetch_add(emit.len() as u64, Ordering::Release);
+                    }
+                    let _ = client_wr.shutdown(Shutdown::Both);
+                    let _ = server_rd.shutdown(Shutdown::Both);
+                    break 'faulted;
+                }
+            }
+            emit.push(*b);
+            if let Some((start, end)) = spec.duplicate_range {
+                if abs >= start && abs < end {
+                    emit.push(*b);
+                }
+            }
+        }
+        if client_wr.write_all(&emit).is_err() {
+            break;
+        }
+        forwarded.fetch_add(emit.len() as u64, Ordering::Release);
+        offset += n as u64;
+    }
+    let _ = client_wr.shutdown(Shutdown::Write);
+    let _ = up.join();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    /// One-shot echo upstream: accepts a connection, reads until EOF is
+    /// not required — echoes each chunk back.
+    fn echo_server() -> (String, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            for stream in listener.incoming().take(3) {
+                let Ok(mut stream) = stream else { return };
+                std::thread::spawn(move || {
+                    let mut chunk = [0u8; 1024];
+                    loop {
+                        match stream.read(&mut chunk) {
+                            Ok(0) | Err(_) => return,
+                            Ok(n) => {
+                                if stream.write_all(&chunk[..n]).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn clean_spec_forwards_bytes_untouched() {
+        let (addr, _h) = echo_server();
+        let proxy = FaultProxy::start(&addr, LinkFaultSpec::clean()).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        conn.write_all(b"hello through the proxy").unwrap();
+        let mut got = [0u8; 23];
+        conn.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"hello through the proxy");
+    }
+
+    #[test]
+    fn corrupt_byte_flips_exactly_one_byte_at_the_offset() {
+        let (addr, _h) = echo_server();
+        let spec = LinkFaultSpec {
+            corrupt_byte: Some(4),
+            ..LinkFaultSpec::clean()
+        };
+        let proxy = FaultProxy::start(&addr, spec).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        conn.write_all(&[0u8; 10]).unwrap();
+        let mut got = [0u8; 10];
+        conn.read_exact(&mut got).unwrap();
+        let mut want = [0u8; 10];
+        want[4] = 0xFF;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn cut_severs_first_connection_then_reconnect_is_clean() {
+        let (addr, _h) = echo_server();
+        let spec = LinkFaultSpec {
+            cut_after_bytes: Some(3),
+            ..LinkFaultSpec::clean()
+        };
+        let proxy = FaultProxy::start(&addr, spec).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        conn.write_all(b"abcdef").unwrap();
+        let mut got = Vec::new();
+        conn.read_to_end(&mut got).unwrap();
+        assert_eq!(got, b"abc", "link must die after exactly 3 bytes");
+
+        // Second connection passes clean.
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        conn.write_all(b"abcdef").unwrap();
+        let mut got = [0u8; 6];
+        conn.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"abcdef");
+    }
+
+    #[test]
+    fn duplicate_range_repeats_those_bytes() {
+        let (addr, _h) = echo_server();
+        let spec = LinkFaultSpec {
+            duplicate_range: Some((1, 3)),
+            ..LinkFaultSpec::clean()
+        };
+        let proxy = FaultProxy::start(&addr, spec).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        conn.write_all(b"abcd").unwrap();
+        let mut got = [0u8; 6];
+        conn.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"abbccd");
+    }
+}

@@ -1,0 +1,664 @@
+//! Sharded scatter-gather serving with graceful degradation.
+//!
+//! A [`Router`] owns no model and no data — it fans a query out to one
+//! replica of every shard under a per-shard deadline budget, retries on
+//! surviving replicas with the serve layer's capped-and-jittered
+//! backoff, and merges whatever comes back. Because every shard runs
+//! the same trained model (the same FCM feature space) over a disjoint
+//! slice of the motion database, merging is exact: deduplicate
+//! neighbours by id, re-sort by `(distance, id)` with a total order,
+//! truncate to `k`, and majority-vote — when every shard answers, the
+//! result is bit-identical to a single node holding the whole database.
+//!
+//! Degradation is honest rather than silent: every response carries a
+//! [`ClusterHealth`] section naming which shards answered, which
+//! refused, and which were dead, so a partial answer is typed as
+//! partial instead of masquerading as complete.
+
+use crate::error::{ClusterError, Result};
+use kinemyo::cluster::{ClusterHealth, ShardHealth, ShardStatus};
+use kinemyo::pipeline::{Classification, RecordMeta};
+use kinemyo_biosim::MotionRecord;
+use kinemyo_modb::Neighbor;
+use kinemyo_serve::{
+    decode_frame, write_frame, BatchItem, CallOutcome, Request, Response, RetryPolicy, Role,
+    ServeClient,
+};
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, ErrorKind};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shard topology and query budgets for a [`Router`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Serve addresses per shard: `shards[i]` lists the replicas that
+    /// can answer for shard `i`, tried in order.
+    pub shards: Vec<Vec<String>>,
+    /// Wall-clock budget for one shard's answer, connection attempts
+    /// and retries included.
+    pub shard_deadline: Duration,
+    /// Backoff between retry sweeps over a shard's replicas. The seed
+    /// is decorrelated per shard (`seed ^ shard index`).
+    pub retry: RetryPolicy,
+    /// Number of neighbours the merged answer keeps (the global `k`).
+    pub knn_k: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            shards: Vec::new(),
+            shard_deadline: Duration::from_secs(2),
+            retry: RetryPolicy::default()
+                .with_base(Duration::from_millis(10))
+                .with_cap(Duration::from_millis(100))
+                .with_max_attempts(3),
+            knn_k: 5,
+        }
+    }
+}
+
+impl RouterConfig {
+    /// Sets the shard replica lists.
+    pub fn with_shards(mut self, shards: Vec<Vec<String>>) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Overrides the per-shard deadline budget.
+    pub fn with_shard_deadline(mut self, deadline: Duration) -> Self {
+        self.shard_deadline = deadline;
+        self
+    }
+
+    /// Overrides the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Overrides the merged neighbour count.
+    pub fn with_knn_k(mut self, k: usize) -> Self {
+        self.knn_k = k;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.shards.is_empty() {
+            return Err(ClusterError::Config {
+                reason: "router needs at least one shard".into(),
+            });
+        }
+        if let Some(i) = self.shards.iter().position(Vec::is_empty) {
+            return Err(ClusterError::Config {
+                reason: format!("shard {i} has no replicas"),
+            });
+        }
+        if self.knn_k == 0 {
+            return Err(ClusterError::Config {
+                reason: "knn_k must be at least 1".into(),
+            });
+        }
+        if self.shard_deadline.is_zero() {
+            return Err(ClusterError::Config {
+                reason: "shard deadline must be non-zero".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// What one shard produced for one request.
+enum ShardAnswer<T> {
+    Value(T),
+    Refused(String),
+}
+
+/// Scatter-gather query engine over a fixed shard topology.
+pub struct Router {
+    config: RouterConfig,
+}
+
+impl Router {
+    /// Builds a router after validating the topology.
+    pub fn new(config: RouterConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// Classifies one record across every shard. Returns the merged
+    /// classification (when at least one shard answered) and the
+    /// cluster health naming every shard's outcome.
+    pub fn classify(&self, record: &MotionRecord) -> (Option<Classification>, ClusterHealth) {
+        let outcomes = self.scatter(|client| match client.classify(record) {
+            Ok(result) => Ok(ShardAnswer::Value(result)),
+            Err(outcome) => Err(outcome),
+        });
+        let mut answered: Vec<Classification> = Vec::new();
+        let mut shards = Vec::with_capacity(outcomes.len());
+        for (health, value) in outcomes {
+            if let Some(result) = value {
+                answered.push(result);
+            }
+            shards.push(health);
+        }
+        let merged = self.merge_classifications(answered);
+        (merged, ClusterHealth::from_shards(shards))
+    }
+
+    /// Classifies a batch across every shard, merging per item. An item
+    /// classified by any shard merges the answering shards' neighbours;
+    /// items no shard could serve keep a typed failure.
+    pub fn classify_batch(&self, records: &[MotionRecord]) -> (Vec<BatchItem>, ClusterHealth) {
+        let outcomes = self.scatter(|client| match client.classify_batch(records) {
+            Ok(items) => Ok(ShardAnswer::Value(items)),
+            Err(outcome) => Err(outcome),
+        });
+        let mut per_shard: Vec<Vec<BatchItem>> = Vec::new();
+        let mut shards = Vec::with_capacity(outcomes.len());
+        for (health, value) in outcomes {
+            if let Some(items) = value {
+                per_shard.push(items);
+            }
+            shards.push(health);
+        }
+        let mut merged = Vec::with_capacity(records.len());
+        for i in 0..records.len() {
+            merged.push(self.merge_batch_item(&per_shard, i));
+        }
+        (merged, ClusterHealth::from_shards(shards))
+    }
+
+    /// Polls shard health: sums motion counts over answering shards and
+    /// reports the topology's worst-case visibility via `ClusterHealth`.
+    pub fn health(&self) -> (Option<Response>, ClusterHealth) {
+        let outcomes = self.scatter(|client| match client.health() {
+            Ok(response @ Response::Health { .. }) => Ok(ShardAnswer::Value(response)),
+            Ok(other) => Ok(ShardAnswer::Refused(format!("unexpected reply {other:?}"))),
+            Err(e) => Err(CallOutcome::Transport(e)),
+        });
+        let mut shards = Vec::with_capacity(outcomes.len());
+        let mut total_motions = 0usize;
+        let mut newest_generation = 0u64;
+        let mut limb = None;
+        let mut uptime = 0u64;
+        let mut any = false;
+        for (health, value) in outcomes {
+            if let Some(Response::Health {
+                model_generation,
+                motions,
+                limb: shard_limb,
+                uptime_ms,
+                ..
+            }) = value
+            {
+                any = true;
+                total_motions += motions;
+                newest_generation = newest_generation.max(model_generation);
+                limb.get_or_insert(shard_limb);
+                uptime = uptime.max(uptime_ms);
+            }
+            shards.push(health);
+        }
+        let response = match (any, limb) {
+            (true, Some(limb)) => Some(Response::Health {
+                model_generation: newest_generation,
+                motions: total_motions,
+                limb,
+                uptime_ms: uptime,
+                role: Role::Router,
+            }),
+            _ => None,
+        };
+        (response, ClusterHealth::from_shards(shards))
+    }
+
+    /// Fans `op` out to every shard on its own thread, each with its
+    /// own deadline budget and replica retry sweep.
+    fn scatter<T, F>(&self, op: F) -> Vec<(ShardHealth, Option<T>)>
+    where
+        T: Send,
+        F: Fn(&mut ServeClient) -> std::result::Result<ShardAnswer<T>, CallOutcome> + Sync,
+    {
+        let op = &op;
+        let mut outcomes: Vec<(ShardHealth, Option<T>)> =
+            Vec::with_capacity(self.config.shards.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .config
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(shard, replicas)| {
+                    let config = &self.config;
+                    scope.spawn(move || query_shard(config, shard, replicas, op))
+                })
+                .collect();
+            for handle in handles {
+                outcomes.push(handle.join().expect("shard query thread panicked"));
+            }
+        });
+        outcomes
+    }
+
+    /// Merges per-shard classifications into the exact global answer.
+    fn merge_classifications(&self, answered: Vec<Classification>) -> Option<Classification> {
+        let mut answered = answered;
+        let feature_vector = answered.first()?.feature_vector.clone();
+        let neighbors = merge_neighbors(
+            answered.drain(..).flat_map(|c| c.neighbors).collect(),
+            self.config.knn_k,
+        );
+        let predicted = kinemyo_modb::classify(&neighbors, |m| m.class)?;
+        Some(Classification {
+            predicted,
+            neighbors,
+            feature_vector,
+        })
+    }
+
+    /// Merges shard outcomes for batch item `i`.
+    fn merge_batch_item(&self, per_shard: &[Vec<BatchItem>], i: usize) -> BatchItem {
+        let mut answered: Vec<Classification> = Vec::new();
+        let mut fallback: Option<BatchItem> = None;
+        for items in per_shard {
+            match items.get(i) {
+                Some(BatchItem::Ok { result }) => answered.push(result.clone()),
+                Some(other) => {
+                    fallback.get_or_insert_with(|| other.clone());
+                }
+                None => {}
+            }
+        }
+        match self.merge_classifications(answered) {
+            Some(result) => BatchItem::Ok { result },
+            None => fallback.unwrap_or(BatchItem::Failed {
+                message: "no shard answered this item".into(),
+            }),
+        }
+    }
+}
+
+/// Deduplicates by id, orders by `(distance, id)` under a total order,
+/// and keeps the `k` nearest.
+fn merge_neighbors(
+    mut neighbors: Vec<Neighbor<RecordMeta>>,
+    k: usize,
+) -> Vec<Neighbor<RecordMeta>> {
+    neighbors.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    let mut seen = BTreeSet::new();
+    neighbors.retain(|n| seen.insert(n.id));
+    neighbors.truncate(k);
+    neighbors
+}
+
+/// Queries one shard: sweeps its replicas in order under the shard
+/// deadline, sleeping a jittered backoff between full sweeps.
+fn query_shard<T, F>(
+    config: &RouterConfig,
+    shard: usize,
+    replicas: &[String],
+    op: &F,
+) -> (ShardHealth, Option<T>)
+where
+    F: Fn(&mut ServeClient) -> std::result::Result<ShardAnswer<T>, CallOutcome>,
+{
+    let start = Instant::now();
+    let deadline = config.shard_deadline;
+    let policy = config
+        .retry
+        .clone()
+        .with_seed(config.retry.seed ^ shard as u64);
+    let mut schedule = policy.schedule();
+    let mut attempts = 0u32;
+    let mut refused: Option<String> = None;
+    let mut last_error = String::from("no replica attempted");
+    loop {
+        for replica in replicas {
+            if start.elapsed() >= deadline {
+                return shard_failed(shard, replica, attempts, start, refused, last_error, true);
+            }
+            attempts += 1;
+            let mut client = match ServeClient::connect(replica.as_str()) {
+                Ok(client) => client,
+                Err(e) => {
+                    last_error = format!("{replica}: {e}");
+                    continue;
+                }
+            };
+            let remaining = deadline.saturating_sub(start.elapsed());
+            if client
+                .set_timeout(Some(remaining.max(Duration::from_millis(1))))
+                .is_err()
+            {
+                last_error = format!("{replica}: could not arm read timeout");
+                continue;
+            }
+            match op(&mut client) {
+                Ok(ShardAnswer::Value(value)) => {
+                    let health = ShardHealth {
+                        shard,
+                        replica: replica.clone(),
+                        attempts,
+                        status: ShardStatus::Answered,
+                        elapsed_ms: start.elapsed().as_millis() as u64,
+                    };
+                    return (health, Some(value));
+                }
+                Ok(ShardAnswer::Refused(reason)) => {
+                    refused = Some(format!("{replica}: {reason}"));
+                }
+                Err(CallOutcome::Rejected(response)) => {
+                    refused = Some(format!("{replica}: {}", describe_rejection(&response)));
+                }
+                Err(CallOutcome::Transport(e)) => {
+                    last_error = format!("{replica}: {e}");
+                }
+            }
+        }
+        match schedule.next_delay() {
+            Some(delay) if start.elapsed() + delay < deadline => std::thread::sleep(delay),
+            _ => {
+                let replica = replicas.last().expect("validated non-empty").clone();
+                return shard_failed(shard, &replica, attempts, start, refused, last_error, false);
+            }
+        }
+    }
+}
+
+fn shard_failed<T>(
+    shard: usize,
+    replica: &str,
+    attempts: u32,
+    start: Instant,
+    refused: Option<String>,
+    last_error: String,
+    deadline_hit: bool,
+) -> (ShardHealth, Option<T>) {
+    let status = match refused {
+        Some(reason) => ShardStatus::Refused { reason },
+        None => ShardStatus::Dead {
+            reason: if deadline_hit {
+                format!("shard deadline exceeded; last error: {last_error}")
+            } else {
+                last_error
+            },
+        },
+    };
+    let health = ShardHealth {
+        shard,
+        replica: replica.to_string(),
+        attempts,
+        status,
+        elapsed_ms: start.elapsed().as_millis() as u64,
+    };
+    (health, None)
+}
+
+fn describe_rejection(response: &Response) -> String {
+    match response {
+        Response::Overloaded { queue_capacity } => {
+            format!("overloaded (queue capacity {queue_capacity})")
+        }
+        Response::ShuttingDown => "shutting down".into(),
+        Response::DeadlineExceeded { waited_ms } => {
+            format!("deadline exceeded after {waited_ms} ms")
+        }
+        Response::NotLeader { leader_hint } => match leader_hint {
+            Some(hint) => format!("not leader (try {hint})"),
+            None => "not leader".into(),
+        },
+        Response::Error { message } => format!("error: {message}"),
+        other => format!("unexpected reply {other:?}"),
+    }
+}
+
+/// A TCP front-end that speaks the serve protocol and answers from a
+/// [`Router`]. Health reports [`Role::Router`]; classify responses
+/// attach the cluster health section.
+pub struct RouterServer {
+    addr: String,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RouterServer {
+    /// Binds `addr` (use `127.0.0.1:0` for an ephemeral port) and
+    /// starts answering.
+    pub fn start(router: Router, addr: &str) -> Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?.to_string();
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&shutdown);
+        let router = Arc::new(router);
+        let handle = std::thread::Builder::new()
+            .name("router-accept".into())
+            .spawn(move || loop {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let router = Arc::clone(&router);
+                        let stop = Arc::clone(&stop);
+                        std::thread::spawn(move || {
+                            let _ = route_connection(&router, stream, &stop);
+                        });
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => return,
+                }
+            })
+            .expect("spawn router acceptor");
+        Ok(Self {
+            addr: bound,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound listen address.
+    pub fn local_addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Blocks until the acceptor exits — a client `shutdown` request or
+    /// a listener failure. The blocking call a daemon `main` wants.
+    pub fn wait(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops accepting connections and joins the acceptor.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RouterServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn route_connection(router: &Router, stream: TcpStream, stop: &AtomicBool) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match decode_frame::<Request>(&line) {
+            Ok(request) => request,
+            Err(e) => {
+                let _ = write_frame(
+                    &mut writer,
+                    &Response::Error {
+                        message: format!("malformed request: {e}"),
+                    },
+                );
+                continue;
+            }
+        };
+        let response = match request {
+            Request::Classify { record } => {
+                let (merged, cluster) = router.classify(&record);
+                match merged {
+                    Some(result) => Response::Result {
+                        result,
+                        cluster: Some(cluster),
+                    },
+                    None => Response::Error {
+                        message: format!("no shard answered: {cluster}"),
+                    },
+                }
+            }
+            Request::ClassifyBatch { records } => {
+                let (results, cluster) = router.classify_batch(&records);
+                Response::BatchResult {
+                    results,
+                    cluster: Some(cluster),
+                }
+            }
+            Request::Health => {
+                let (health, cluster) = router.health();
+                match health {
+                    Some(response) => response,
+                    None => Response::Error {
+                        message: format!("no shard answered health probe: {cluster}"),
+                    },
+                }
+            }
+            Request::Insert { .. } => Response::NotLeader { leader_hint: None },
+            Request::Shutdown => {
+                let _ = write_frame(&mut writer, &Response::ShuttingDown);
+                stop.store(true, Ordering::Release);
+                return Ok(());
+            }
+            _ => Response::Error {
+                message: "request is not routable; send it to a shard node directly".into(),
+            },
+        };
+        if write_frame(&mut writer, &response).is_err() {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kinemyo_biosim::MotionClass;
+
+    fn neighbor(id: usize, class: MotionClass, distance: f64) -> Neighbor<RecordMeta> {
+        Neighbor {
+            id,
+            meta: RecordMeta {
+                record_id: id,
+                class,
+                participant: 0,
+                trial: 0,
+            },
+            distance,
+        }
+    }
+
+    #[test]
+    fn config_validation_catches_degenerate_topologies() {
+        assert!(matches!(
+            Router::new(RouterConfig::default()),
+            Err(ClusterError::Config { .. })
+        ));
+        let empty_shard =
+            RouterConfig::default().with_shards(vec![vec!["127.0.0.1:1".into()], vec![]]);
+        assert!(matches!(
+            Router::new(empty_shard),
+            Err(ClusterError::Config { .. })
+        ));
+        let zero_k = RouterConfig::default()
+            .with_shards(vec![vec!["127.0.0.1:1".into()]])
+            .with_knn_k(0);
+        assert!(matches!(
+            Router::new(zero_k),
+            Err(ClusterError::Config { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_dedups_by_id_sorts_totally_and_truncates() {
+        let classes = [MotionClass::RaiseArm, MotionClass::ThrowBall];
+        let merged = merge_neighbors(
+            vec![
+                neighbor(3, classes[0], 0.5),
+                neighbor(1, classes[1], 0.2),
+                // Duplicate id from a replicated shard: same distance.
+                neighbor(1, classes[1], 0.2),
+                neighbor(2, classes[0], 0.2),
+                neighbor(4, classes[0], 0.9),
+            ],
+            3,
+        );
+        let ids: Vec<usize> = merged.iter().map(|n| n.id).collect();
+        // Ties on distance break by id; duplicate id 1 appears once.
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn dead_shards_surface_in_cluster_health() {
+        // Bind-then-drop leaves addresses nobody answers.
+        let dead = |_| {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            let a = l.local_addr().unwrap().to_string();
+            drop(l);
+            vec![a]
+        };
+        let config = RouterConfig::default()
+            .with_shards((0..2).map(dead).collect())
+            .with_shard_deadline(Duration::from_millis(100))
+            .with_retry(
+                RetryPolicy::default()
+                    .with_base(Duration::from_millis(5))
+                    .with_cap(Duration::from_millis(10))
+                    .with_max_attempts(2),
+            );
+        let router = Router::new(config).unwrap();
+        let (health, cluster) = router.health();
+        assert!(health.is_none());
+        assert_eq!(cluster.shards_total, 2);
+        assert_eq!(cluster.shards_answered, 0);
+        assert!(!cluster.is_complete());
+        assert_eq!(cluster.missing(), vec![0, 1]);
+        for shard in &cluster.shards {
+            assert!(matches!(shard.status, ShardStatus::Dead { .. }));
+            assert!(shard.attempts >= 1);
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! The replication wire protocol: KWAL v1 frames over TCP.
+//!
+//! Every message is one `len: u32 LE | crc: u32 LE | body` frame — the
+//! exact frame format kinemyo-store writes to disk (`crc` is the IEEE
+//! CRC-32 of the body), so the WAL *is* the wire format: a shipped
+//! [`ReplMsg::Entry`] carries the same `encode_entry` bytes the leader
+//! appended to its segment, and the follower re-logs them bit-identically.
+//!
+//! Reading is incremental ([`MsgBuf`]): bytes accumulate across short
+//! socket reads, and three outcomes are kept distinct on purpose —
+//! *incomplete* (wait for more bytes), *corrupt-but-framed* (checksum
+//! failed but the length prefix was honoured, so the stream stays in
+//! sync and the follower can re-request in-stream), and *desynced*
+//! (framing itself is gone; the only recovery is a reconnect).
+
+use crate::error::{ClusterError, Result};
+use kinemyo_store::crc32;
+use std::io::{Read, Write};
+
+/// Upper bound on one replication frame body; mirrors the store's frame
+/// cap so a WAL entry always fits.
+pub const MAX_WIRE_FRAME_BYTES: u32 = 64 << 20;
+
+const TAG_HELLO: u8 = 1;
+const TAG_WELCOME: u8 = 2;
+const TAG_ENTRY: u8 = 3;
+const TAG_HEARTBEAT: u8 = 4;
+const TAG_ACK: u8 = 5;
+const TAG_REREQUEST: u8 = 6;
+const TAG_STATUS: u8 = 7;
+const TAG_STATUS_REPLY: u8 = 8;
+
+/// One replication message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplMsg {
+    /// Follower → leader: open (or resume) a replication stream.
+    Hello {
+        /// The follower's node id.
+        node_id: u64,
+        /// Highest sequence number the follower has applied; the leader
+        /// streams everything after it.
+        have_seq: u64,
+    },
+    /// Leader → follower: handshake accepted.
+    Welcome {
+        /// The leader's election epoch.
+        epoch: u64,
+        /// Vector dimensionality of the replicated store.
+        dim: u32,
+        /// The leader's newest committed sequence number.
+        commit_seq: u64,
+        /// The leader's client-facing serve address (the follower's
+        /// `NotLeader` hint).
+        serve_addr: String,
+    },
+    /// Leader → follower: one committed WAL entry.
+    Entry {
+        /// 1-based commit sequence number.
+        seq: u64,
+        /// The entry's WAL payload (`encode_entry` bytes).
+        payload: Vec<u8>,
+    },
+    /// Leader → follower: liveness signal while the log is idle.
+    Heartbeat {
+        /// The leader's election epoch.
+        epoch: u64,
+        /// The leader's newest committed sequence number.
+        commit_seq: u64,
+    },
+    /// Follower → leader: everything up to `seq` is durably applied.
+    Ack {
+        /// Highest applied sequence number.
+        seq: u64,
+    },
+    /// Follower → leader: a frame was lost or corrupted; rewind the
+    /// stream to `from_seq`.
+    ReRequest {
+        /// First sequence number to resend.
+        from_seq: u64,
+    },
+    /// Any node → any node: who are you and how caught up are you?
+    Status,
+    /// Answer to [`ReplMsg::Status`].
+    StatusReply {
+        /// The responder's node id.
+        node_id: u64,
+        /// The responder's role code (0 single, 1 leader, 2 follower,
+        /// 3 router) — matching `kinemyo_serve::Role` order.
+        role: u8,
+        /// The responder's election epoch.
+        epoch: u64,
+        /// Highest sequence number the responder has applied.
+        applied_seq: u64,
+        /// The responder's client-facing serve address.
+        serve_addr: String,
+        /// The responder's replication listen address.
+        repl_addr: String,
+    },
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encodes one message as a complete KWAL frame (header + body), ready
+/// to write to a socket.
+pub fn encode_msg(msg: &ReplMsg) -> Vec<u8> {
+    let mut body = Vec::new();
+    match msg {
+        ReplMsg::Hello { node_id, have_seq } => {
+            body.push(TAG_HELLO);
+            body.extend_from_slice(&node_id.to_le_bytes());
+            body.extend_from_slice(&have_seq.to_le_bytes());
+        }
+        ReplMsg::Welcome {
+            epoch,
+            dim,
+            commit_seq,
+            serve_addr,
+        } => {
+            body.push(TAG_WELCOME);
+            body.extend_from_slice(&epoch.to_le_bytes());
+            body.extend_from_slice(&dim.to_le_bytes());
+            body.extend_from_slice(&commit_seq.to_le_bytes());
+            put_str(&mut body, serve_addr);
+        }
+        ReplMsg::Entry { seq, payload } => {
+            body.push(TAG_ENTRY);
+            body.extend_from_slice(&seq.to_le_bytes());
+            body.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            body.extend_from_slice(payload);
+        }
+        ReplMsg::Heartbeat { epoch, commit_seq } => {
+            body.push(TAG_HEARTBEAT);
+            body.extend_from_slice(&epoch.to_le_bytes());
+            body.extend_from_slice(&commit_seq.to_le_bytes());
+        }
+        ReplMsg::Ack { seq } => {
+            body.push(TAG_ACK);
+            body.extend_from_slice(&seq.to_le_bytes());
+        }
+        ReplMsg::ReRequest { from_seq } => {
+            body.push(TAG_REREQUEST);
+            body.extend_from_slice(&from_seq.to_le_bytes());
+        }
+        ReplMsg::Status => body.push(TAG_STATUS),
+        ReplMsg::StatusReply {
+            node_id,
+            role,
+            epoch,
+            applied_seq,
+            serve_addr,
+            repl_addr,
+        } => {
+            body.push(TAG_STATUS_REPLY);
+            body.extend_from_slice(&node_id.to_le_bytes());
+            body.push(*role);
+            body.extend_from_slice(&epoch.to_le_bytes());
+            body.extend_from_slice(&applied_seq.to_le_bytes());
+            put_str(&mut body, serve_addr);
+            put_str(&mut body, repl_addr);
+        }
+    }
+    let mut frame = Vec::with_capacity(8 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// Writes one message to `w` and flushes.
+pub fn write_msg<W: Write>(w: &mut W, msg: &ReplMsg) -> Result<()> {
+    w.write_all(&encode_msg(msg))?;
+    w.flush()?;
+    Ok(())
+}
+
+struct BodyReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BodyReader<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.buf.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let s = self.buf.get(self.pos..self.pos + 4)?;
+        self.pos += 4;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(s);
+        Some(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let s = self.buf.get(self.pos..self.pos + 8)?;
+        self.pos += 8;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Some(u64::from_le_bytes(b))
+    }
+
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(s)
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let n = self.u32()? as usize;
+        if n > MAX_WIRE_FRAME_BYTES as usize {
+            return None;
+        }
+        let s = self.bytes(n)?;
+        String::from_utf8(s.to_vec()).ok()
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn decode_body(body: &[u8]) -> Result<ReplMsg> {
+    let bad = |reason: &str| ClusterError::Protocol {
+        reason: reason.to_string(),
+    };
+    let mut r = BodyReader { buf: body, pos: 0 };
+    let tag = r.u8().ok_or_else(|| bad("empty message body"))?;
+    let msg = match tag {
+        TAG_HELLO => ReplMsg::Hello {
+            node_id: r.u64().ok_or_else(|| bad("hello truncated"))?,
+            have_seq: r.u64().ok_or_else(|| bad("hello truncated"))?,
+        },
+        TAG_WELCOME => ReplMsg::Welcome {
+            epoch: r.u64().ok_or_else(|| bad("welcome truncated"))?,
+            dim: r.u32().ok_or_else(|| bad("welcome truncated"))?,
+            commit_seq: r.u64().ok_or_else(|| bad("welcome truncated"))?,
+            serve_addr: r.string().ok_or_else(|| bad("welcome bad serve_addr"))?,
+        },
+        TAG_ENTRY => {
+            let seq = r.u64().ok_or_else(|| bad("entry truncated"))?;
+            let len = r.u32().ok_or_else(|| bad("entry truncated"))? as usize;
+            let payload = r
+                .bytes(len)
+                .ok_or_else(|| bad("entry payload short"))?
+                .to_vec();
+            ReplMsg::Entry { seq, payload }
+        }
+        TAG_HEARTBEAT => ReplMsg::Heartbeat {
+            epoch: r.u64().ok_or_else(|| bad("heartbeat truncated"))?,
+            commit_seq: r.u64().ok_or_else(|| bad("heartbeat truncated"))?,
+        },
+        TAG_ACK => ReplMsg::Ack {
+            seq: r.u64().ok_or_else(|| bad("ack truncated"))?,
+        },
+        TAG_REREQUEST => ReplMsg::ReRequest {
+            from_seq: r.u64().ok_or_else(|| bad("re-request truncated"))?,
+        },
+        TAG_STATUS => ReplMsg::Status,
+        TAG_STATUS_REPLY => ReplMsg::StatusReply {
+            node_id: r.u64().ok_or_else(|| bad("status reply truncated"))?,
+            role: r.u8().ok_or_else(|| bad("status reply truncated"))?,
+            epoch: r.u64().ok_or_else(|| bad("status reply truncated"))?,
+            applied_seq: r.u64().ok_or_else(|| bad("status reply truncated"))?,
+            serve_addr: r
+                .string()
+                .ok_or_else(|| bad("status reply bad serve_addr"))?,
+            repl_addr: r
+                .string()
+                .ok_or_else(|| bad("status reply bad repl_addr"))?,
+        },
+        other => {
+            return Err(ClusterError::Protocol {
+                reason: format!("unknown message tag {other}"),
+            })
+        }
+    };
+    if !r.done() {
+        return Err(ClusterError::Protocol {
+            reason: format!("{} trailing bytes after message", body.len() - r.pos),
+        });
+    }
+    Ok(msg)
+}
+
+/// Incremental frame accumulator over a non-blocking or timeout socket.
+///
+/// Feed it bytes with [`fill_from`](Self::fill_from), drain messages
+/// with [`next_msg`](Self::next_msg). Corrupt-but-framed frames surface
+/// as [`ClusterError::CorruptFrame`] *after* the cursor has skipped the
+/// frame, so the caller can send a re-request and keep parsing the same
+/// connection.
+#[derive(Debug, Default)]
+pub struct MsgBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl MsgBuf {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw socket bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Reads once from `r` into the buffer. Returns the number of bytes
+    /// read (0 = EOF). Timeout errors (`WouldBlock`/`TimedOut`) are
+    /// mapped to `Ok(0)`-like progress by the caller; they surface here
+    /// as the raw error.
+    pub fn fill_from<R: Read>(&mut self, r: &mut R) -> std::io::Result<usize> {
+        self.compact();
+        let mut chunk = [0u8; 16 * 1024];
+        let n = r.read(&mut chunk)?;
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Bytes buffered but not yet parsed.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Tries to parse the next message.
+    ///
+    /// * `Ok(Some(msg))` — a complete, checksum-valid message.
+    /// * `Ok(None)` — the buffer holds only an incomplete frame; read
+    ///   more bytes and try again.
+    /// * `Err(CorruptFrame)` — a full frame arrived but its CRC failed;
+    ///   the frame has been skipped and parsing can continue.
+    /// * `Err(Desynced)` — the length prefix itself is implausible; the
+    ///   stream cannot be re-framed and the connection must be dropped.
+    pub fn next_msg(&mut self) -> Result<Option<ReplMsg>> {
+        let rest = &self.buf[self.pos..];
+        if rest.len() < 8 {
+            return Ok(None);
+        }
+        let mut len4 = [0u8; 4];
+        let mut crc4 = [0u8; 4];
+        len4.copy_from_slice(&rest[..4]);
+        crc4.copy_from_slice(&rest[4..8]);
+        let len = u32::from_le_bytes(len4);
+        let want_crc = u32::from_le_bytes(crc4);
+        if len > MAX_WIRE_FRAME_BYTES {
+            return Err(ClusterError::Desynced {
+                reason: format!("frame length {len} exceeds cap {MAX_WIRE_FRAME_BYTES}"),
+            });
+        }
+        let len = len as usize;
+        let Some(body) = rest.get(8..8 + len) else {
+            return Ok(None); // incomplete — wait for more bytes
+        };
+        let got_crc = crc32(body);
+        if got_crc != want_crc {
+            // Length was honoured, so framing survives: skip this frame
+            // and report the corruption for an in-stream re-request.
+            self.pos += 8 + len;
+            return Err(ClusterError::CorruptFrame {
+                reason: format!("crc mismatch: stored {want_crc:#010x}, computed {got_crc:#010x}"),
+            });
+        }
+        let msg = decode_body(body)?;
+        self.pos += 8 + len;
+        Ok(Some(msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_messages() -> Vec<ReplMsg> {
+        vec![
+            ReplMsg::Hello {
+                node_id: 3,
+                have_seq: 17,
+            },
+            ReplMsg::Welcome {
+                epoch: 2,
+                dim: 16,
+                commit_seq: 40,
+                serve_addr: "127.0.0.1:7001".into(),
+            },
+            ReplMsg::Entry {
+                seq: 41,
+                payload: vec![1, 2, 3, 255, 0, 9],
+            },
+            ReplMsg::Heartbeat {
+                epoch: 2,
+                commit_seq: 41,
+            },
+            ReplMsg::Ack { seq: 41 },
+            ReplMsg::ReRequest { from_seq: 18 },
+            ReplMsg::Status,
+            ReplMsg::StatusReply {
+                node_id: 5,
+                role: 2,
+                epoch: 2,
+                applied_seq: 41,
+                serve_addr: "127.0.0.1:7002".into(),
+                repl_addr: "127.0.0.1:8002".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        let mut buf = MsgBuf::new();
+        let msgs = all_messages();
+        for m in &msgs {
+            buf.extend(&encode_msg(m));
+        }
+        for m in &msgs {
+            assert_eq!(buf.next_msg().unwrap().as_ref(), Some(m));
+        }
+        assert_eq!(buf.next_msg().unwrap(), None);
+        assert_eq!(buf.pending(), 0);
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let frame = encode_msg(&ReplMsg::Ack { seq: 9 });
+        let mut buf = MsgBuf::new();
+        for cut in 1..frame.len() {
+            let mut b = MsgBuf::new();
+            b.extend(&frame[..cut]);
+            assert_eq!(b.next_msg().unwrap(), None, "cut {cut} must be incomplete");
+        }
+        // Byte-at-a-time arrival converges to the message.
+        for byte in &frame {
+            buf.extend(std::slice::from_ref(byte));
+        }
+        assert_eq!(buf.next_msg().unwrap(), Some(ReplMsg::Ack { seq: 9 }));
+    }
+
+    #[test]
+    fn corrupt_body_is_skippable_and_stream_resyncs() {
+        let mut bytes = encode_msg(&ReplMsg::Entry {
+            seq: 7,
+            payload: vec![9; 32],
+        });
+        // Flip one payload byte: CRC fails but the length prefix holds.
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x55;
+        bytes.extend_from_slice(&encode_msg(&ReplMsg::Heartbeat {
+            epoch: 1,
+            commit_seq: 7,
+        }));
+        let mut buf = MsgBuf::new();
+        buf.extend(&bytes);
+        assert!(matches!(
+            buf.next_msg(),
+            Err(ClusterError::CorruptFrame { .. })
+        ));
+        // The next message on the same stream still parses.
+        assert_eq!(
+            buf.next_msg().unwrap(),
+            Some(ReplMsg::Heartbeat {
+                epoch: 1,
+                commit_seq: 7
+            })
+        );
+    }
+
+    #[test]
+    fn implausible_length_is_desync() {
+        let mut buf = MsgBuf::new();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 12]);
+        buf.extend(&bytes);
+        assert!(matches!(buf.next_msg(), Err(ClusterError::Desynced { .. })));
+    }
+
+    #[test]
+    fn unknown_tag_and_trailing_bytes_are_protocol_errors() {
+        let mut body = vec![42u8];
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        let mut buf = MsgBuf::new();
+        buf.extend(&frame);
+        assert!(matches!(buf.next_msg(), Err(ClusterError::Protocol { .. })));
+
+        body = vec![TAG_STATUS, 0xEE];
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        let mut buf = MsgBuf::new();
+        buf.extend(&frame);
+        assert!(matches!(buf.next_msg(), Err(ClusterError::Protocol { .. })));
+    }
+}

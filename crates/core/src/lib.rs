@@ -60,6 +60,7 @@
 // workspace: `x <= 0.0` would silently accept NaN.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod cluster;
 pub mod config;
 pub mod error;
 pub mod eval;
@@ -70,6 +71,7 @@ pub mod select;
 pub mod shared;
 pub mod stream;
 
+pub use cluster::{ClusterHealth, ShardHealth, ShardStatus};
 pub use config::{PipelineConfig, PipelineConfigBuilder};
 pub use error::{KinemyoError, Result};
 pub use eval::{evaluate, stratified_split, sweep, EvalOutcome, SweepPoint};
@@ -97,6 +99,7 @@ pub use kinemyo_fuzzy::ThreadPolicy;
 /// # let _ = config;
 /// ```
 pub mod prelude {
+    pub use crate::cluster::{ClusterHealth, ShardHealth, ShardStatus};
     pub use crate::config::{PipelineConfig, PipelineConfigBuilder};
     // `crate::error::Result` is deliberately NOT re-exported: a glob import
     // would shadow `std::result::Result` and break the ubiquitous

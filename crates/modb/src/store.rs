@@ -137,6 +137,23 @@ impl<M> FeatureDb<M> {
         self.by_id.keys().next_back().copied()
     }
 
+    /// Keeps only the entries whose `(id, meta)` satisfy `keep`,
+    /// preserving insertion order, and rebuilds the id index. Returns
+    /// how many entries were removed. This is how a cluster shard
+    /// restricts a full database to its partition (`id % shards ==
+    /// shard`) without re-running the feature pipeline.
+    pub fn retain(&mut self, mut keep: impl FnMut(usize, &M) -> bool) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| keep(e.id, &e.meta));
+        self.by_id = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.id, i))
+            .collect();
+        before - self.entries.len()
+    }
+
     /// Validates a query vector's dimensionality.
     pub fn check_query(&self, query: &[f64]) -> Result<()> {
         if query.len() != self.dim {
@@ -186,6 +203,12 @@ impl<M: Clone> SharedDb<M> {
     /// Runs `f` with read access to the underlying database.
     pub fn with_read<T>(&self, f: impl FnOnce(&FeatureDb<M>) -> T) -> T {
         f(&self.inner.read())
+    }
+
+    /// [`FeatureDb::retain`] under the write lock: readers see either
+    /// the full database or the filtered one, never a partial filter.
+    pub fn retain(&self, keep: impl FnMut(usize, &M) -> bool) -> usize {
+        self.inner.write().retain(keep)
     }
 
     /// Acquires the read lock and returns the guard, which derefs to the
@@ -307,6 +330,46 @@ mod tests {
         // The snapshot is detached from later writes.
         assert_eq!(snap.len(), 1);
         assert_eq!(shared.len(), 2);
+    }
+
+    #[test]
+    fn retain_filters_and_rebuilds_the_index() {
+        let mut db: FeatureDb<u32> = FeatureDb::new(1);
+        for id in 0..10 {
+            db.insert(id, id as u32, vec![id as f64]).unwrap();
+        }
+        // Shard 1 of 3 keeps ids 1, 4, 7.
+        let removed = db.retain(|id, _| id % 3 == 1);
+        assert_eq!(removed, 7);
+        assert_eq!(db.len(), 3);
+        let kept: Vec<usize> = db.entries().iter().map(|e| e.id).collect();
+        assert_eq!(kept, vec![1, 4, 7], "insertion order must be preserved");
+        // The id index must agree with the surviving entries.
+        for id in [1, 4, 7] {
+            assert_eq!(db.get(id).unwrap().id, id);
+        }
+        for id in [0, 2, 3, 5, 9] {
+            assert!(!db.contains_id(id));
+        }
+        assert_eq!(db.max_id(), Some(7));
+        // Freed ids are insertable again.
+        db.insert(3, 3, vec![3.0]).unwrap();
+        assert_eq!(db.get(3).unwrap().meta, 3);
+    }
+
+    #[test]
+    fn shared_retain_is_atomic_for_readers() {
+        let db: FeatureDb<u32> = FeatureDb::new(1);
+        let shared = SharedDb::new(db);
+        for id in 0..6 {
+            shared.insert(id, id as u32, vec![0.0]).unwrap();
+        }
+        let removed = shared.retain(|id, _| id % 2 == 0);
+        assert_eq!(removed, 3);
+        shared.with_read(|db| {
+            assert_eq!(db.len(), 3);
+            assert!(db.contains_id(0) && db.contains_id(2) && db.contains_id(4));
+        });
     }
 
     #[test]

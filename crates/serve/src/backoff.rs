@@ -1,0 +1,177 @@
+//! Capped exponential backoff with seeded jitter.
+//!
+//! Shared by [`ServeClient::connect_with_retry`](crate::ServeClient::connect_with_retry)
+//! and the cluster router's per-shard retry loop. The jitter source is a
+//! SplitMix64 stream seeded from the policy, never wall-clock entropy, so
+//! a retry schedule is a pure function of `(policy, attempt)` — tests
+//! replay the exact same sleeps every run, in line with the workspace's
+//! `unseeded-rng` lint.
+
+use std::time::Duration;
+
+/// Knobs of one retry schedule.
+///
+/// Attempt `n` (0-based) sleeps `jitter(min(cap, base·2ⁿ))` before
+/// retrying, where `jitter(d)` draws uniformly from `[d/2, d]` ("equal
+/// jitter" — enough spread to de-synchronize a thundering herd while
+/// keeping a deterministic lower bound on spacing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First delay, before doubling.
+    pub base: Duration,
+    /// Upper bound a doubled delay is clamped to.
+    pub cap: Duration,
+    /// Total attempts (the first try counts; `1` means no retries).
+    pub max_attempts: u32,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(1),
+            max_attempts: 5,
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Sets the initial delay.
+    pub fn with_base(mut self, base: Duration) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Sets the delay cap.
+    pub fn with_cap(mut self, cap: Duration) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    /// Sets the total attempt budget.
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    /// Sets the jitter seed (vary it per client/shard so replicas do not
+    /// retry in lockstep).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Starts a fresh schedule over this policy.
+    pub fn schedule(&self) -> Backoff {
+        Backoff {
+            policy: self.clone(),
+            attempt: 0,
+            state: self.seed,
+        }
+    }
+}
+
+/// An in-progress schedule: yields the sleep before each retry.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    policy: RetryPolicy,
+    attempt: u32,
+    state: u64,
+}
+
+impl Backoff {
+    /// Delay to sleep before the *next* attempt, or `None` once the
+    /// attempt budget is spent (the caller should give up with a typed
+    /// `Unavailable`).
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        // max_attempts total tries ⇒ max_attempts - 1 sleeps between them.
+        if self.attempt + 1 >= self.policy.max_attempts {
+            return None;
+        }
+        let exp = self.attempt.min(62);
+        self.attempt += 1;
+        let uncapped = self
+            .policy
+            .base
+            .checked_mul(1u32 << exp.min(31))
+            .unwrap_or(self.policy.cap);
+        let full = uncapped.min(self.policy.cap).max(Duration::from_micros(1));
+        // Equal jitter: uniform in [full/2, full].
+        let span_us = (full.as_micros() / 2).max(1) as u64;
+        let jitter_us = splitmix64(&mut self.state) % span_us;
+        Some(full - Duration::from_micros(span_us) + Duration::from_micros(jitter_us + 1))
+    }
+
+    /// Attempts taken so far (completed `next_delay` calls + 1 for the
+    /// initial try).
+    pub fn attempts(&self) -> u32 {
+        self.attempt + 1
+    }
+}
+
+/// One step of the SplitMix64 stream: updates `state`, returns the output.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_for_a_seed() {
+        let policy = RetryPolicy::default().with_seed(7);
+        let mut s1 = policy.schedule();
+        let mut s2 = policy.schedule();
+        for _ in 0..4 {
+            assert_eq!(s1.next_delay(), s2.next_delay());
+        }
+    }
+
+    #[test]
+    fn delays_double_up_to_the_cap_within_jitter_bounds() {
+        let policy = RetryPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(40),
+            max_attempts: 6,
+            seed: 42,
+        };
+        let mut schedule = policy.schedule();
+        let mut fulls = vec![10u64, 20, 40, 40, 40];
+        fulls.truncate(5); // 6 attempts ⇒ 5 sleeps
+        for full_ms in fulls {
+            let d = schedule.next_delay().expect("within budget");
+            let lo = Duration::from_millis(full_ms) / 2;
+            let hi = Duration::from_millis(full_ms);
+            assert!(d >= lo && d <= hi, "{d:?} outside [{lo:?}, {hi:?}]");
+        }
+        assert_eq!(schedule.next_delay(), None, "budget must be bounded");
+    }
+
+    #[test]
+    fn single_attempt_policy_never_sleeps() {
+        let mut schedule = RetryPolicy::default().with_max_attempts(1).schedule();
+        assert_eq!(schedule.next_delay(), None);
+        assert_eq!(schedule.attempts(), 1);
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let mut a = RetryPolicy::default().with_seed(1).schedule();
+        let mut b = RetryPolicy::default().with_seed(2).schedule();
+        let mut differed = false;
+        for _ in 0..4 {
+            if a.next_delay() != b.next_delay() {
+                differed = true;
+            }
+        }
+        assert!(differed, "seeds 1 and 2 produced identical schedules");
+    }
+}

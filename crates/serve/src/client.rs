@@ -5,6 +5,7 @@
 //! end-to-end tests; third parties can speak the protocol with nothing
 //! but a TCP socket and a JSON library.
 
+use crate::backoff::RetryPolicy;
 use crate::protocol::{read_frame, write_frame, BatchItem, Request, Response, ServeError};
 use crate::stats::StatsSnapshot;
 use kinemyo::pipeline::Classification;
@@ -32,6 +33,34 @@ impl ServeClient {
         })
     }
 
+    /// Connects with a bounded, seeded retry schedule: each failed
+    /// `connect` sleeps a capped-exponential, jittered delay (see
+    /// [`RetryPolicy`]) before the next try. After the attempt budget is
+    /// spent the typed [`ServeError::Unavailable`] reports how many
+    /// attempts were made and why the last one failed — callers (the
+    /// cluster router, the CLI) branch on it instead of parsing prose.
+    pub fn connect_with_retry<A: ToSocketAddrs + Clone>(
+        addr: A,
+        policy: &RetryPolicy,
+    ) -> Result<Self, ServeError> {
+        let mut schedule = policy.schedule();
+        loop {
+            let last = match Self::connect(addr.clone()) {
+                Ok(client) => return Ok(client),
+                Err(e) => e,
+            };
+            match schedule.next_delay() {
+                Some(delay) => std::thread::sleep(delay),
+                None => {
+                    return Err(ServeError::Unavailable {
+                        attempts: schedule.attempts(),
+                        last: last.to_string(),
+                    })
+                }
+            }
+        }
+    }
+
     /// Caps how long [`ServeClient::call`] waits for a response.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ServeError> {
         self.writer.set_read_timeout(timeout)?;
@@ -54,7 +83,7 @@ impl ServeClient {
             })
             .map_err(CallOutcome::Transport)?;
         match response {
-            Response::Result { result } => Ok(result),
+            Response::Result { result, .. } => Ok(result),
             other => Err(CallOutcome::Rejected(Box::new(other))),
         }
     }
@@ -70,7 +99,7 @@ impl ServeClient {
             })
             .map_err(CallOutcome::Transport)?;
         match response {
-            Response::BatchResult { results } => Ok(results),
+            Response::BatchResult { results, .. } => Ok(results),
             other => Err(CallOutcome::Rejected(Box::new(other))),
         }
     }

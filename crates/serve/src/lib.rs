@@ -58,14 +58,16 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod backoff;
 pub mod client;
 pub mod protocol;
 pub mod server;
 pub mod stats;
 
+pub use backoff::{Backoff, RetryPolicy};
 pub use client::{CallOutcome, ServeClient};
 pub use protocol::{
-    decode_frame, read_frame, write_frame, BatchItem, Request, Response, ServeError,
+    decode_frame, read_frame, write_frame, BatchItem, Request, Response, Role, ServeError,
     MAX_FRAME_BYTES,
 };
 pub use server::{ServeConfig, Server};

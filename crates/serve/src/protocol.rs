@@ -12,6 +12,7 @@
 //! `error`), so clients never have to parse prose to find out what
 //! happened.
 
+use kinemyo::cluster::ClusterHealth;
 use kinemyo::pipeline::Classification;
 use kinemyo_biosim::{Limb, MotionRecord};
 use serde::{Deserialize, Serialize};
@@ -63,6 +64,35 @@ pub enum Request {
     Shutdown,
 }
 
+/// A node's place in a cluster, reported by [`Response::Health`] so
+/// operators and the failover smoke test can find the current leader
+/// without out-of-band state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "snake_case")]
+pub enum Role {
+    /// A standalone daemon — no cluster, accepts everything.
+    #[default]
+    Single,
+    /// The replication leader: accepts ingest, ships WAL entries.
+    Leader,
+    /// A replication follower: serves reads, refuses ingest with a
+    /// typed [`Response::NotLeader`].
+    Follower,
+    /// A scatter-gather router in front of the shards.
+    Router,
+}
+
+impl std::fmt::Display for Role {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Role::Single => write!(f, "single"),
+            Role::Leader => write!(f, "leader"),
+            Role::Follower => write!(f, "follower"),
+            Role::Router => write!(f, "router"),
+        }
+    }
+}
+
 /// Per-item outcome inside a [`Response::BatchResult`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(tag = "status", rename_all = "snake_case")]
@@ -94,11 +124,19 @@ pub enum Response {
     Result {
         /// The classification result.
         result: Classification,
+        /// Which shards contributed, when the answer came from a
+        /// scatter-gather router; absent from single-node responses.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        cluster: Option<ClusterHealth>,
     },
     /// Per-item outcomes of a `classify_batch` request, in input order.
     BatchResult {
         /// One outcome per submitted record.
         results: Vec<BatchItem>,
+        /// Which shards contributed, when the answer came from a
+        /// scatter-gather router; absent from single-node responses.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        cluster: Option<ClusterHealth>,
     },
     /// The bounded request queue was full; the request was shed without
     /// being enqueued. Back off and retry.
@@ -118,6 +156,13 @@ pub enum Response {
     Error {
         /// What went wrong.
         message: String,
+    },
+    /// This node is a replication follower and the request mutates the
+    /// database; re-send it to the leader.
+    NotLeader {
+        /// The leader's serve address, when this follower knows it.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        leader_hint: Option<String>,
     },
     /// Answer to a successful [`Request::Insert`].
     Inserted {
@@ -159,6 +204,9 @@ pub enum Response {
         limb: Limb,
         /// Milliseconds since the server started.
         uptime_ms: u64,
+        /// The node's cluster role (`single` outside a cluster).
+        #[serde(default)]
+        role: Role,
     },
     /// Answer to [`Request::Stats`].
     Stats {
@@ -194,6 +242,14 @@ pub enum ServeError {
     },
     /// The peer closed the connection mid-exchange.
     Closed,
+    /// Every connection attempt in a bounded retry schedule failed; the
+    /// peer is treated as down until a later retry cycle.
+    Unavailable {
+        /// Connection attempts spent.
+        attempts: u32,
+        /// The final attempt's failure, rendered.
+        last: String,
+    },
     /// The model could not be loaded (startup or reload).
     Model(kinemyo::KinemyoError),
     /// The durable store could not be opened or recovered at startup.
@@ -214,6 +270,9 @@ impl std::fmt::Display for ServeError {
                 write!(f, "frame too large: {got} bytes (cap {max})")
             }
             ServeError::Closed => write!(f, "connection closed by peer"),
+            ServeError::Unavailable { attempts, last } => {
+                write!(f, "peer unavailable after {attempts} attempt(s): {last}")
+            }
             ServeError::Model(e) => write!(f, "model error: {e}"),
             ServeError::Store(e) => write!(f, "store error: {e}"),
             ServeError::Config { reason } => write!(f, "invalid serve config: {reason}"),
@@ -414,6 +473,73 @@ mod tests {
     }
 
     #[test]
+    fn cluster_variants_roundtrip_on_the_wire() {
+        if !json_available() {
+            eprintln!("skipping: serde_json stub build");
+            return;
+        }
+        // NotLeader with and without a hint.
+        let json = serde_json::to_string(&Response::NotLeader {
+            leader_hint: Some("127.0.0.1:7001".into()),
+        })
+        .unwrap();
+        assert!(json.contains("\"status\":\"not_leader\""), "{json}");
+        match decode_frame::<Response>(&json).unwrap() {
+            Response::NotLeader { leader_hint } => {
+                assert_eq!(leader_hint.as_deref(), Some("127.0.0.1:7001"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let json = serde_json::to_string(&Response::NotLeader { leader_hint: None }).unwrap();
+        assert!(!json.contains("leader_hint"), "{json}");
+
+        // Health now reports the node role; pre-cluster frames without
+        // the field still decode (role defaults to `single`).
+        let json = serde_json::to_string(&Response::Health {
+            model_generation: 1,
+            motions: 9,
+            limb: kinemyo_biosim::Limb::RightHand,
+            uptime_ms: 5,
+            role: Role::Follower,
+        })
+        .unwrap();
+        assert!(json.contains("\"role\":\"follower\""), "{json}");
+        let legacy = json.replace(",\"role\":\"follower\"", "");
+        match decode_frame::<Response>(&legacy).unwrap() {
+            Response::Health { role, .. } => assert_eq!(role, Role::Single),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // BatchResult's cluster section is omitted when absent and
+        // round-trips when a router attached one.
+        let json = serde_json::to_string(&Response::BatchResult {
+            results: Vec::new(),
+            cluster: None,
+        })
+        .unwrap();
+        assert!(!json.contains("cluster"), "{json}");
+        let health = ClusterHealth::from_shards(vec![kinemyo::cluster::ShardHealth {
+            shard: 0,
+            replica: "127.0.0.1:7010".into(),
+            attempts: 2,
+            status: kinemyo::cluster::ShardStatus::Dead {
+                reason: "connection refused".into(),
+            },
+            elapsed_ms: 12,
+        }]);
+        let json = serde_json::to_string(&Response::BatchResult {
+            results: Vec::new(),
+            cluster: Some(health.clone()),
+        })
+        .unwrap();
+        assert!(json.contains("\"state\":\"dead\""), "{json}");
+        match decode_frame::<Response>(&json).unwrap() {
+            Response::BatchResult { cluster, .. } => assert_eq!(cluster, Some(health)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn error_display_is_descriptive() {
         let e = ServeError::FrameTooLarge { got: 100, max: 10 };
         assert!(e.to_string().contains("100"));
@@ -422,5 +548,12 @@ mod tests {
         };
         assert!(e.to_string().contains("bad tag"));
         assert!(ServeError::Closed.to_string().contains("closed"));
+        let e = ServeError::Unavailable {
+            attempts: 4,
+            last: "connection refused".into(),
+        };
+        let rendered = e.to_string();
+        assert!(rendered.contains("4 attempt(s)"), "{rendered}");
+        assert!(rendered.contains("connection refused"), "{rendered}");
     }
 }

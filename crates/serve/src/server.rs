@@ -28,7 +28,7 @@
 //! disconnection — no thread is ever killed mid-request.
 
 use crate::protocol::{
-    decode_frame, write_frame, BatchItem, Request, Response, ServeError, MAX_FRAME_BYTES,
+    decode_frame, write_frame, BatchItem, Request, Response, Role, ServeError, MAX_FRAME_BYTES,
 };
 use crate::stats::{StatsCollector, StatsSnapshot};
 use kinemyo::pipeline::RecordMeta;
@@ -39,7 +39,7 @@ use parking_lot::Mutex;
 use std::io::{BufRead, BufReader, ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -74,6 +74,12 @@ pub struct ServeConfig {
     /// is WAL-logged before it is acknowledged. `None` keeps ingestion
     /// memory-only.
     pub store_dir: Option<PathBuf>,
+    /// Slow-loris guard: once the first byte of a frame has arrived,
+    /// the rest must follow within this budget or the connection is
+    /// answered with a typed error and closed. A peer trickling one
+    /// byte per poll interval can therefore pin a connection thread for
+    /// at most this long, not forever.
+    pub frame_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +93,7 @@ impl Default for ServeConfig {
             request_deadline: Duration::from_secs(5),
             worker_delay: Duration::ZERO,
             store_dir: None,
+            frame_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -140,6 +147,12 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the per-frame completion budget (slow-loris guard).
+    pub fn with_frame_timeout(mut self, timeout: Duration) -> Self {
+        self.frame_timeout = timeout;
+        self
+    }
+
     /// Rejects configurations that would deadlock or never serve.
     pub fn validate(&self) -> Result<(), ServeError> {
         if self.queue_capacity == 0 {
@@ -162,6 +175,11 @@ impl ServeConfig {
                 reason: "request_deadline must be > 0".into(),
             });
         }
+        if self.frame_timeout.is_zero() {
+            return Err(ServeError::Config {
+                reason: "frame_timeout must be > 0".into(),
+            });
+        }
         Ok(())
     }
 }
@@ -177,13 +195,59 @@ struct Job {
     deadline: Instant,
 }
 
+/// The node's live cluster role: readable lock-free on the dispatch hot
+/// path, flippable at any moment by the cluster layer (promotion turns a
+/// follower into a leader while its connections keep serving).
+pub(crate) struct RoleCell {
+    /// Encoded [`Role`] (`Single`=0, `Leader`=1, `Follower`=2, `Router`=3).
+    state: AtomicU8,
+    /// Where a follower redirects writers; rewritten on promotion.
+    leader_hint: Mutex<Option<String>>,
+}
+
+impl RoleCell {
+    fn new() -> Self {
+        Self {
+            state: AtomicU8::new(0),
+            leader_hint: Mutex::new(None),
+        }
+    }
+
+    fn get(&self) -> Role {
+        match self.state.load(Ordering::Acquire) {
+            1 => Role::Leader,
+            2 => Role::Follower,
+            3 => Role::Router,
+            _ => Role::Single,
+        }
+    }
+
+    fn set(&self, role: Role, leader_hint: Option<String>) {
+        *self.leader_hint.lock() = leader_hint;
+        let code = match role {
+            Role::Single => 0,
+            Role::Leader => 1,
+            Role::Follower => 2,
+            Role::Router => 3,
+        };
+        self.state.store(code, Ordering::Release);
+    }
+
+    fn hint(&self) -> Option<String> {
+        self.leader_hint.lock().clone()
+    }
+}
+
 /// State shared by every server thread.
 struct ServerShared {
     model: SharedModel,
     model_path: Option<PathBuf>,
     /// Durable store grafted onto the model's database; `None` when the
-    /// server was started without a store directory.
-    store: Option<DurableDb<RecordMeta>>,
+    /// server was started without a store directory. Shared with the
+    /// cluster layer, which replicates through the same store handle.
+    store: Option<Arc<DurableDb<RecordMeta>>>,
+    /// Cluster role gating mutating ops (follower ⇒ `NotLeader`).
+    role: RoleCell,
     /// Serializes id allocation with the insert that claims the id, so
     /// two concurrent ingests can never race to the same fresh id.
     ingest: Mutex<()>,
@@ -244,11 +308,11 @@ impl Server {
         // recovered motions are replayed into the model's database here,
         // so the first query already sees everything ever acknowledged.
         let store = match &config.store_dir {
-            Some(dir) => Some(DurableDb::open_or_create_into(
+            Some(dir) => Some(Arc::new(DurableDb::open_or_create_into(
                 dir,
                 StoreConfig::default(),
                 model.load().shared_db().clone(),
-            )?),
+            )?)),
             None => None,
         };
         let listener = TcpListener::bind(&config.addr)?;
@@ -259,6 +323,7 @@ impl Server {
             model,
             model_path,
             store,
+            role: RoleCell::new(),
             ingest: Mutex::new(()),
             stats: StatsCollector::new(),
             shutting_down: AtomicBool::new(false),
@@ -325,6 +390,26 @@ impl Server {
     /// The shared model handle (swap through it for in-process reload).
     pub fn model(&self) -> SharedModel {
         self.shared.model.clone()
+    }
+
+    /// The durable store handle, when the server has one. The cluster
+    /// layer replicates through it: leader-side WAL shipping reads from
+    /// and follower-side applies write into the same store the serve
+    /// path uses, so there is exactly one commit point.
+    pub fn store(&self) -> Option<Arc<DurableDb<RecordMeta>>> {
+        self.shared.store.clone()
+    }
+
+    /// The node's current cluster role.
+    pub fn role(&self) -> Role {
+        self.shared.role.get()
+    }
+
+    /// Sets the node's cluster role and (for followers) where to point
+    /// writers. Takes effect on the next dispatched request; in-flight
+    /// requests finish under the role they were admitted with.
+    pub fn set_role(&self, role: Role, leader_hint: Option<String>) {
+        self.shared.role.set(role, leader_hint);
     }
 
     /// True once shutdown has begun (via this handle or a client
@@ -439,10 +524,15 @@ fn connection_loop(stream: TcpStream, shared: &Arc<ServerShared>, job_tx: &SyncS
     let mut reader = BufReader::new(read_half.take(MAX_FRAME_BYTES as u64 + 1));
     let mut writer = stream;
     let mut line = String::new();
+    // Slow-loris guard: set when the first bytes of a frame arrive,
+    // cleared when the frame completes. A peer that keeps a frame open
+    // past `frame_timeout` gets a typed error and the connection closed.
+    let mut frame_started: Option<Instant> = None;
     loop {
         match reader.read_line(&mut line) {
             Ok(0) => break, // EOF (or the take-limit; both end the conn)
             Ok(_) => {
+                frame_started = None;
                 if line.len() > MAX_FRAME_BYTES {
                     let resp = Response::Error {
                         message: ServeError::FrameTooLarge {
@@ -479,6 +569,25 @@ fn connection_loop(stream: TcpStream, shared: &Arc<ServerShared>, job_tx: &SyncS
                     write_frame(&mut writer, &resp).ok();
                     break;
                 }
+                if line.is_empty() {
+                    frame_started = None;
+                } else {
+                    // A frame is in flight; a trickling writer gets a
+                    // bounded window to finish it, then a typed error.
+                    let started = *frame_started.get_or_insert_with(Instant::now);
+                    if started.elapsed() >= shared.config.frame_timeout {
+                        let resp = Response::Error {
+                            message: format!(
+                                "frame timed out: {} byte(s) received but no newline within {:?}",
+                                line.len(),
+                                shared.config.frame_timeout
+                            ),
+                        };
+                        shared.stats.record_malformed();
+                        write_frame(&mut writer, &resp).ok();
+                        break;
+                    }
+                }
                 if shared.shutting_down.load(Ordering::Acquire) {
                     break;
                 }
@@ -512,7 +621,10 @@ fn dispatch(line: &str, shared: &Arc<ServerShared>, job_tx: &SyncSender<Job>) ->
             }
             let mut items = submit_and_wait(vec![record], shared, job_tx);
             let response = match items.pop().expect("one item per record") {
-                BatchItem::Ok { result } => Response::Result { result },
+                BatchItem::Ok { result } => Response::Result {
+                    result,
+                    cluster: None,
+                },
                 BatchItem::Overloaded => Response::Overloaded {
                     queue_capacity: shared.config.queue_capacity,
                 },
@@ -529,12 +641,29 @@ fn dispatch(line: &str, shared: &Arc<ServerShared>, job_tx: &SyncSender<Job>) ->
                 return (Response::ShuttingDown, false);
             }
             let results = submit_and_wait(records, shared, job_tx);
-            (Response::BatchResult { results }, false)
+            (
+                Response::BatchResult {
+                    results,
+                    cluster: None,
+                },
+                false,
+            )
         }
         Request::Insert { record } => {
             if shared.shutting_down.load(Ordering::Acquire) {
                 shared.stats.record_rejected_shutdown();
                 return (Response::ShuttingDown, false);
+            }
+            // Followers never take writes: the leader's WAL is the one
+            // ordering of the database, and a follower-side insert would
+            // fork it. Writers are redirected, not silently absorbed.
+            if shared.role.get() == Role::Follower {
+                return (
+                    Response::NotLeader {
+                        leader_hint: shared.role.hint(),
+                    },
+                    false,
+                );
             }
             (do_insert(record, shared), false)
         }
@@ -549,6 +678,7 @@ fn dispatch(line: &str, shared: &Arc<ServerShared>, job_tx: &SyncSender<Job>) ->
                     motions,
                     limb: model.limb(),
                     uptime_ms: shared.uptime_ms(),
+                    role: shared.role.get(),
                 },
                 false,
             )
@@ -894,6 +1024,24 @@ mod tests {
             .with_request_deadline(Duration::ZERO)
             .validate()
             .is_err());
+        assert!(ServeConfig::default()
+            .with_frame_timeout(Duration::ZERO)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn role_cell_flips_atomically_and_carries_the_leader_hint() {
+        let cell = RoleCell::new();
+        assert_eq!(cell.get(), Role::Single);
+        assert_eq!(cell.hint(), None);
+        cell.set(Role::Follower, Some("127.0.0.1:7001".into()));
+        assert_eq!(cell.get(), Role::Follower);
+        assert_eq!(cell.hint().as_deref(), Some("127.0.0.1:7001"));
+        // Promotion: hint is cleared in the same call that flips the role.
+        cell.set(Role::Leader, None);
+        assert_eq!(cell.get(), Role::Leader);
+        assert_eq!(cell.hint(), None);
     }
 
     #[test]
@@ -905,7 +1053,8 @@ mod tests {
             .with_batch_wait(Duration::from_millis(9))
             .with_workers(5)
             .with_request_deadline(Duration::from_secs(1))
-            .with_worker_delay(Duration::from_millis(1));
+            .with_worker_delay(Duration::from_millis(1))
+            .with_frame_timeout(Duration::from_millis(250));
         assert_eq!(c.addr, "0.0.0.0:9000");
         assert_eq!(c.queue_capacity, 7);
         assert_eq!(c.batch_max, 3);
@@ -913,5 +1062,6 @@ mod tests {
         assert_eq!(c.workers, 5);
         assert_eq!(c.request_deadline, Duration::from_secs(1));
         assert_eq!(c.worker_delay, Duration::from_millis(1));
+        assert_eq!(c.frame_timeout, Duration::from_millis(250));
     }
 }

@@ -117,12 +117,23 @@ struct Writer<M> {
     appends_since_snapshot: u64,
 }
 
+/// Observer fired after each durable insert with the entry's 1-based
+/// sequence number and its encoded WAL payload (`encode_entry` bytes,
+/// exactly what a replication follower must apply). The hook runs under
+/// the writer lock, so invocations arrive strictly in commit order and
+/// must stay cheap — hand the bytes to a queue, do not do I/O inline.
+pub type CommitHook = Box<dyn Fn(u64, &[u8]) + Send + Sync>;
+
 /// A crash-safe, append-only motion database: WAL-logged inserts over a
 /// [`SharedDb`], with snapshots and compaction.
 pub struct DurableDb<M> {
     dir: PathBuf,
     config: StoreConfig,
     inner: Mutex<Writer<M>>,
+    /// Replication observer; `None` outside a cluster. Locked strictly
+    /// after `inner` (insert holds the writer lock while firing), never
+    /// the other way around.
+    commit_hook: Mutex<Option<CommitHook>>,
 }
 
 /// Everything recovery learned from the directory.
@@ -340,6 +351,7 @@ impl<M: MetaCodec + Clone> DurableDb<M> {
                 seq: 1,
                 appends_since_snapshot: 0,
             }),
+            commit_hook: Mutex::new(None),
         })
     }
 
@@ -429,6 +441,7 @@ impl<M: MetaCodec + Clone> DurableDb<M> {
                 seq,
                 appends_since_snapshot: 0,
             }),
+            commit_hook: Mutex::new(None),
         })
     }
 
@@ -472,7 +485,48 @@ impl<M: MetaCodec + Clone> DurableDb<M> {
         w.owned.insert(id, meta.clone(), vector.clone())?;
         w.shared.insert(id, meta, vector)?;
         w.appends_since_snapshot += 1;
+        // Fire the replication hook while still holding the writer lock:
+        // hook calls arrive strictly in commit order, and a hook that
+        // enqueues `(seq, payload)` observes no gaps and no reordering.
+        let seq = w.owned.len() as u64;
+        if let Some(hook) = self.commit_hook.lock().as_ref() {
+            hook(seq, &payload);
+        }
         Ok(())
+    }
+
+    /// Sequence number of the newest committed entry (equivalently, the
+    /// count of store-owned entries — sequence numbers are the 1-based
+    /// positions in commit order, stable across restarts because
+    /// recovery replays snapshots and WAL segments in exactly that
+    /// order).
+    pub fn entry_seq(&self) -> u64 {
+        self.inner.lock().owned.len() as u64
+    }
+
+    /// Encoded WAL payloads of every committed entry *after* sequence
+    /// number `from` (pass 0 for all), as `(seq, payload)` in commit
+    /// order — the leader-side source for follower catch-up. Payloads
+    /// are `encode_entry` bytes, bit-identical to what the WAL holds,
+    /// regardless of which snapshot generation currently covers them.
+    pub fn encoded_entries_from(&self, from: u64) -> Vec<(u64, Vec<u8>)> {
+        let w = self.inner.lock();
+        w.owned
+            .entries()
+            .iter()
+            .enumerate()
+            .skip(from as usize)
+            .map(|(i, e)| ((i + 1) as u64, encode_entry(e.id, &e.meta, &e.vector)))
+            .collect()
+    }
+
+    /// Installs (or clears) the commit observer. The hook fires under
+    /// the writer lock for every insert committed after this call; pair
+    /// it with [`encoded_entries_from`](Self::encoded_entries_from) keyed
+    /// by sequence number to seed history without races — an entry seen
+    /// by both paths carries the same `seq` and deduplicates cleanly.
+    pub fn set_commit_hook(&self, hook: Option<CommitHook>) {
+        *self.commit_hook.lock() = hook;
     }
 
     /// Writes a new snapshot generation and rotates the WAL onto it. The
@@ -970,6 +1024,73 @@ mod tests {
         let stats = back.stats().unwrap();
         assert_eq!(stats.generation, 1);
         assert_eq!(stats.segments, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn commit_hook_sees_every_insert_in_order_with_wal_bytes() {
+        let dir = scratch("hook");
+        let store = DurableDb::<u64>::create(&dir, 3, StoreConfig::default()).unwrap();
+        let seen: std::sync::Arc<Mutex<Vec<(u64, Vec<u8>)>>> =
+            std::sync::Arc::new(Mutex::new(Vec::new()));
+        let sink = std::sync::Arc::clone(&seen);
+        store.set_commit_hook(Some(Box::new(move |seq, payload| {
+            sink.lock().push((seq, payload.to_vec()));
+        })));
+        for i in 0..4 {
+            store.insert(i, (i * 7) as u64, vector_for(i)).unwrap();
+        }
+        assert_eq!(store.entry_seq(), 4);
+        {
+            let got = seen.lock();
+            assert_eq!(got.len(), 4);
+            for (i, (seq, payload)) in got.iter().enumerate() {
+                assert_eq!(*seq, (i + 1) as u64, "hook must fire in commit order");
+                let expect = encode_entry(i, &((i * 7) as u64), &vector_for(i));
+                assert_eq!(payload, &expect, "hook payload must be the WAL bytes");
+            }
+        }
+        // Clearing the hook stops the stream.
+        store.set_commit_hook(None);
+        store.insert(9, 9, vector_for(9)).unwrap();
+        assert_eq!(seen.lock().len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn encoded_entries_from_streams_history_across_snapshots() {
+        let dir = scratch("stream_history");
+        let (store, expect) = populated(&dir, 5);
+        // Snapshot mid-stream: streamed history must be unaffected — the
+        // logical sequence covers snapshot-covered entries too.
+        store.persist().unwrap();
+        for i in 5..8 {
+            store.insert(i, (i * 7) as u64, vector_for(i)).unwrap();
+        }
+        assert_eq!(store.entry_seq(), 8);
+
+        let all = store.encoded_entries_from(0);
+        assert_eq!(all.len(), 8);
+        for (i, (seq, payload)) in all.iter().enumerate() {
+            assert_eq!(*seq, (i + 1) as u64);
+            let expect_payload = encode_entry(i, &((i * 7) as u64), &vector_for(i));
+            assert_eq!(payload, &expect_payload, "seq {seq} payload mismatch");
+        }
+        // A caught-up-to-5 follower asks for the tail only.
+        let tail = store.encoded_entries_from(5);
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail[0].0, 6);
+        assert_eq!(tail[2].0, 8);
+        // Fully caught up ⇒ empty.
+        assert!(store.encoded_entries_from(8).is_empty());
+        drop(store);
+
+        // Restart: sequence numbering is stable across recovery.
+        let back = DurableDb::<u64>::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(back.entry_seq(), 8);
+        let again = back.encoded_entries_from(0);
+        assert_eq!(again, all, "recovery must preserve commit order");
+        let _ = expect;
         std::fs::remove_dir_all(&dir).ok();
     }
 

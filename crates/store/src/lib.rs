@@ -34,6 +34,6 @@ pub mod snapshot;
 pub mod wal;
 
 pub use codec::MetaCodec;
-pub use durable::{CompactInfo, DurableDb, SnapshotInfo, StoreConfig, StoreStats};
+pub use durable::{CommitHook, CompactInfo, DurableDb, SnapshotInfo, StoreConfig, StoreStats};
 pub use error::{Result, StoreError};
 pub use record::{crc32, FrameRead, MAX_FRAME_BYTES};

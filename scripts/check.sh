@@ -42,7 +42,7 @@ if [[ "${1:-}" != "--quick" ]]; then
 
     echo "==> serve smoke test (train -> serve -> client -> shutdown)"
     SMOKE_DIR="$(mktemp -d)"
-    trap 'kill "${SERVE_PID:-}" 2>/dev/null; rm -rf "$SMOKE_DIR"' EXIT
+    trap 'kill "${SERVE_PID:-}" "${NODE_A_PID:-}" "${NODE_B_PID:-}" "${NODE_C_PID:-}" 2>/dev/null; rm -rf "$SMOKE_DIR"' EXIT
     cargo run -q -p kinemyo-cli -- generate --limb hand --participants 1 \
         --trials 2 --out "$SMOKE_DIR/ds.kmyo"
     cargo run -q -p kinemyo-cli -- train --dataset "$SMOKE_DIR/ds.kmyo" \
@@ -105,6 +105,96 @@ if [[ "${1:-}" != "--quick" ]]; then
     cargo run -q -p kinemyo-cli -- client --addr "$ADDR" --op shutdown
     wait "$SERVE_PID"
     SERVE_PID=""
+
+    echo "==> cluster smoke test (3 nodes -> ingest -> kill leader -> failover)"
+    # Follower replication ports are fixed up front so each follower's
+    # peer list can name the other before either has started.
+    REPL_B="127.0.0.1:$((21000 + RANDOM % 9000))"
+    REPL_C="$REPL_B"
+    while [[ "$REPL_C" == "$REPL_B" ]]; do
+        REPL_C="127.0.0.1:$((21000 + RANDOM % 9000))"
+    done
+    rm -f "$SMOKE_DIR/port_a" "$SMOKE_DIR/port_b" "$SMOKE_DIR/port_c"
+    cargo run -q -p kinemyo-cli -- cluster node --model "$SMOKE_DIR/model.json" \
+        --store "$SMOKE_DIR/store_a" --node-id 1 --heartbeat-ms 50 \
+        --election-timeout-ms 300 --port-file "$SMOKE_DIR/port_a" &
+    NODE_A_PID=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$SMOKE_DIR/port_a" ]] && break
+        sleep 0.1
+    done
+    [[ -s "$SMOKE_DIR/port_a" ]] || { echo "cluster leader never bound"; exit 1; }
+    SERVE_A="$(sed -n 1p "$SMOKE_DIR/port_a" | tr -d '[:space:]')"
+    REPL_A="$(sed -n 2p "$SMOKE_DIR/port_a" | tr -d '[:space:]')"
+    cargo run -q -p kinemyo-cli -- cluster node --model "$SMOKE_DIR/model.json" \
+        --store "$SMOKE_DIR/store_b" --node-id 2 --repl-addr "$REPL_B" \
+        --leader "$REPL_A" --peers "$REPL_A,$REPL_C" --heartbeat-ms 50 \
+        --election-timeout-ms 300 --port-file "$SMOKE_DIR/port_b" &
+    NODE_B_PID=$!
+    cargo run -q -p kinemyo-cli -- cluster node --model "$SMOKE_DIR/model.json" \
+        --store "$SMOKE_DIR/store_c" --node-id 3 --repl-addr "$REPL_C" \
+        --leader "$REPL_A" --peers "$REPL_A,$REPL_B" --heartbeat-ms 50 \
+        --election-timeout-ms 300 --port-file "$SMOKE_DIR/port_c" &
+    NODE_C_PID=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$SMOKE_DIR/port_b" && -s "$SMOKE_DIR/port_c" ]] && break
+        sleep 0.1
+    done
+    [[ -s "$SMOKE_DIR/port_b" && -s "$SMOKE_DIR/port_c" ]] \
+        || { echo "cluster followers never bound"; exit 1; }
+    SERVE_B="$(sed -n 1p "$SMOKE_DIR/port_b" | tr -d '[:space:]')"
+    SERVE_C="$(sed -n 1p "$SMOKE_DIR/port_c" | tr -d '[:space:]')"
+    # Ingest through the leader, then wait until both replicas see the
+    # motion (12 trained + 1 ingested).
+    cargo run -q -p kinemyo-cli -- client --addr "$SERVE_A" --op insert \
+        --dataset "$SMOKE_DIR/ds.kmyo" --record 0 | grep -q '"durable":true' \
+        || { echo "cluster insert was not durable"; exit 1; }
+    for FOLLOWER in "$SERVE_B" "$SERVE_C"; do
+        for _ in $(seq 1 100); do
+            cargo run -q -p kinemyo-cli -- client --addr "$FOLLOWER" --op health \
+                | grep -q '"motions":13' && break
+            sleep 0.1
+        done
+        cargo run -q -p kinemyo-cli -- client --addr "$FOLLOWER" --op health \
+            | grep -q '"motions":13' \
+            || { echo "follower $FOLLOWER never replicated the insert"; exit 1; }
+    done
+    # A follower must refuse writes with a typed redirect.
+    cargo run -q -p kinemyo-cli -- client --addr "$SERVE_B" --op insert \
+        --dataset "$SMOKE_DIR/ds.kmyo" --record 1 | grep -q '"not_leader"' \
+        || { echo "follower accepted a write"; exit 1; }
+    BEFORE="$(cargo run -q -p kinemyo-cli -- client --addr "$SERVE_A" --op classify \
+        --dataset "$SMOKE_DIR/ds.kmyo" --record 1)"
+    # Kill the leader and wait for a follower to promote itself.
+    cargo run -q -p kinemyo-cli -- client --addr "$SERVE_A" --op shutdown
+    wait "$NODE_A_PID"
+    NODE_A_PID=""
+    PROMOTED=""
+    for _ in $(seq 1 200); do
+        for CAND in "$SERVE_B" "$SERVE_C"; do
+            if cargo run -q -p kinemyo-cli -- client --addr "$CAND" --op health \
+                | grep -q '"role":"leader"'; then
+                PROMOTED="$CAND"
+                break 2
+            fi
+        done
+        sleep 0.1
+    done
+    [[ -n "$PROMOTED" ]] || { echo "no follower promoted itself"; exit 1; }
+    # The promoted replica serves the dead leader's exact answers and
+    # accepts writes.
+    AFTER="$(cargo run -q -p kinemyo-cli -- client --addr "$PROMOTED" --op classify \
+        --dataset "$SMOKE_DIR/ds.kmyo" --record 1)"
+    [[ "$AFTER" == "$BEFORE" ]] \
+        || { echo "promoted follower diverged from the dead leader"; exit 1; }
+    cargo run -q -p kinemyo-cli -- client --addr "$PROMOTED" --op insert \
+        --dataset "$SMOKE_DIR/ds.kmyo" --record 2 | grep -q '"durable":true' \
+        || { echo "promoted leader refused a write"; exit 1; }
+    cargo run -q -p kinemyo-cli -- client --addr "$SERVE_B" --op shutdown || true
+    cargo run -q -p kinemyo-cli -- client --addr "$SERVE_C" --op shutdown || true
+    wait "$NODE_B_PID" "$NODE_C_PID"
+    NODE_B_PID=""
+    NODE_C_PID=""
 fi
 
 echo "OK"

@@ -1,0 +1,696 @@
+//! End-to-end cluster behaviour: WAL-shipped replication must produce
+//! bit-identical replicas, a torn or corrupted replication stream must
+//! never apply a partial entry, leader death must promote the most
+//! caught-up follower without an external coordinator, and the
+//! scatter-gather router must degrade honestly — naming dead shards —
+//! instead of failing or silently narrowing its answers.
+//!
+//! The replication wire format is binary (the store's KWAL frames), so
+//! replication and failover tests run even under the offline stub
+//! build; only the tests that speak the JSON serve protocol are guarded
+//! by `json_available()` (see `.claude/skills/verify`).
+
+use kinemyo::biosim::{MotionClass, MotionRecord};
+use kinemyo::pipeline::RecordMeta;
+use kinemyo::{stratified_split, MotionClassifier, PipelineConfig};
+use kinemyo_cluster::{
+    encode_msg, ClusterNode, FaultProxy, LinkFaultSpec, MsgBuf, NodeConfig, ReplMsg, Router,
+    RouterConfig, RouterServer,
+};
+use kinemyo_integration_tests::hand_dataset;
+use kinemyo_serve::{BatchItem, Request, Response, Role, ServeClient, ServeConfig, Server};
+use kinemyo_store::record::encode_entry;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// True when the real serde_json backend is linked in.
+fn json_available() -> bool {
+    serde_json::to_string(&0u32).is_ok()
+}
+
+/// Small trained model + held-out queries from the shared hand fixture.
+/// Training is fully deterministic, so every call yields an identical
+/// model — the cluster's "same model on every node" invariant.
+fn trained_model() -> (MotionClassifier, Vec<MotionRecord>) {
+    let ds = hand_dataset();
+    let (train, queries) = stratified_split(&ds.records, 1);
+    let config = PipelineConfig::default().with_clusters(8);
+    let model = MotionClassifier::train(&train, ds.spec.limb, &config).expect("training succeeds");
+    let queries = queries.into_iter().cloned().collect();
+    (model, queries)
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("kinemyo_cluster_{name}_{}", std::process::id()))
+}
+
+/// A store-backed serve daemon ready to join a cluster.
+fn node_server(name: &str) -> (Arc<Server>, PathBuf) {
+    let (model, _) = trained_model();
+    let dir = tmp_path(name);
+    std::fs::remove_dir_all(&dir).ok();
+    let config = ServeConfig::default().with_store_dir(&dir);
+    let server = Arc::new(Server::start(model, config).expect("server starts"));
+    (server, dir)
+}
+
+/// Test-speed replication timing.
+fn fast(node_id: u64) -> NodeConfig {
+    NodeConfig::new(node_id, "127.0.0.1:0")
+        .with_heartbeat(Duration::from_millis(40))
+        .with_election_timeout(Duration::from_millis(250))
+}
+
+fn meta(i: usize) -> RecordMeta {
+    RecordMeta {
+        record_id: i,
+        class: MotionClass::RaiseArm,
+        participant: 0,
+        trial: i,
+    }
+}
+
+/// A deterministic, finite, non-trivial vector with per-entry bit
+/// patterns (so bit-identity checks mean something).
+fn vector(i: usize, dim: usize) -> Vec<f64> {
+    (0..dim)
+        .map(|d| (i * 31 + d) as f64 * 0.125 + 0.015_625)
+        .collect()
+}
+
+/// Reserves a free loopback port by binding and immediately releasing
+/// it. The tiny reuse race is acceptable in tests.
+fn reserve_addr() -> String {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    drop(listener);
+    addr
+}
+
+/// Drains every strong reference and blocks until the daemon exits.
+fn finish(server: Arc<Server>) {
+    server.shutdown();
+    let mut server = server;
+    let server = loop {
+        match Arc::try_unwrap(server) {
+            Ok(inner) => break inner,
+            Err(still_shared) => {
+                server = still_shared;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    };
+    server.wait();
+}
+
+#[test]
+fn followers_replicate_history_and_live_inserts_bit_identically() {
+    let (server_a, dir_a) = node_server("repl_leader");
+    let store_a = server_a.store().expect("leader has a store");
+    let dim = store_a.dim();
+
+    // History committed BEFORE replication starts: the catch-up path.
+    for i in 0..3usize {
+        store_a
+            .insert(1000 + i, meta(i), vector(i, dim))
+            .expect("leader insert");
+    }
+    let mut node_a =
+        ClusterNode::start(Arc::clone(&server_a), fast(1)).expect("leader node starts");
+    assert_eq!(node_a.role(), Role::Leader);
+    assert_eq!(node_a.applied_seq(), 3);
+
+    let (server_b, dir_b) = node_server("repl_follower");
+    let mut node_b = ClusterNode::start(
+        Arc::clone(&server_b),
+        fast(2)
+            .with_leader(node_a.repl_addr())
+            .with_peers(vec![node_a.repl_addr().to_string()]),
+    )
+    .expect("follower node starts");
+    assert!(
+        node_b.wait_for_seq(3, Duration::from_secs(10)),
+        "follower must catch up on pre-existing history, applied {}",
+        node_b.applied_seq()
+    );
+
+    // Live inserts stream incrementally.
+    for i in 3..6usize {
+        store_a
+            .insert(1000 + i, meta(i), vector(i, dim))
+            .expect("leader insert");
+    }
+    assert!(
+        node_b.wait_for_seq(6, Duration::from_secs(10)),
+        "follower must apply live inserts, applied {}",
+        node_b.applied_seq()
+    );
+    assert_eq!(node_b.role(), Role::Follower);
+
+    // The replica is bit-identical: same sequence numbers, same encoded
+    // WAL payloads (f64 bit patterns included).
+    let store_b = server_b.store().expect("follower has a store");
+    assert_eq!(
+        store_a.encoded_entries_from(0),
+        store_b.encoded_entries_from(0),
+        "replicated store must match the leader byte for byte"
+    );
+
+    node_b.stop();
+    drop(node_b);
+    finish(server_b);
+    node_a.stop();
+    drop(node_a);
+    finish(server_a);
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+#[test]
+fn torn_replication_tail_at_every_byte_offset_never_yields_a_partial_entry() {
+    // A realistic received stream: Welcome followed by three Entry
+    // frames carrying real encoded WAL payloads.
+    let dim = 16usize;
+    let entries: Vec<(u64, Vec<u8>)> = (0..3usize)
+        .map(|i| {
+            (
+                (i + 1) as u64,
+                encode_entry(1000 + i, &meta(i), &vector(i, dim)),
+            )
+        })
+        .collect();
+    let mut frames = vec![encode_msg(&ReplMsg::Welcome {
+        epoch: 1,
+        dim: dim as u32,
+        commit_seq: entries.len() as u64,
+        serve_addr: "127.0.0.1:7001".into(),
+    })];
+    for (seq, payload) in &entries {
+        frames.push(encode_msg(&ReplMsg::Entry {
+            seq: *seq,
+            payload: payload.clone(),
+        }));
+    }
+    let stream: Vec<u8> = frames.concat();
+    // Cumulative end offset of each frame.
+    let boundaries: Vec<usize> = frames
+        .iter()
+        .scan(0usize, |acc, f| {
+            *acc += f.len();
+            Some(*acc)
+        })
+        .collect();
+
+    for cut in 0..=stream.len() {
+        let mut buf = MsgBuf::new();
+        buf.extend(&stream[..cut]);
+        let mut welcome_seen = 0usize;
+        let mut got: Vec<(u64, Vec<u8>)> = Vec::new();
+        loop {
+            match buf.next_msg() {
+                Ok(Some(ReplMsg::Welcome { .. })) => welcome_seen += 1,
+                Ok(Some(ReplMsg::Entry { seq, payload })) => got.push((seq, payload)),
+                Ok(Some(other)) => panic!("cut {cut}: unexpected message {other:?}"),
+                Ok(None) => break,
+                // A truncated tail must read as incomplete — never as
+                // corruption, desync, or a protocol error.
+                Err(e) => panic!("cut {cut}: torn tail must never error, got {e}"),
+            }
+        }
+        let complete = boundaries.iter().filter(|b| **b <= cut).count();
+        assert_eq!(
+            welcome_seen,
+            usize::from(complete >= 1),
+            "cut {cut}: welcome visibility"
+        );
+        let expect_entries = complete.saturating_sub(1);
+        assert_eq!(
+            got.len(),
+            expect_entries,
+            "cut {cut}: exactly the complete frames must parse"
+        );
+        // Whatever parsed must be bit-identical to what was sent — a
+        // partial or spliced payload would betray itself here.
+        assert_eq!(got.as_slice(), &entries[..expect_entries], "cut {cut}");
+    }
+}
+
+#[test]
+fn torn_stream_mid_entry_applies_only_complete_frames_then_converges() {
+    let (server_a, dir_a) = node_server("torn_leader");
+    let store_a = server_a.store().expect("leader has a store");
+    let dim = store_a.dim();
+    for i in 0..4usize {
+        store_a
+            .insert(1000 + i, meta(i), vector(i, dim))
+            .expect("leader insert");
+    }
+    let mut node_a =
+        ClusterNode::start(Arc::clone(&server_a), fast(1)).expect("leader node starts");
+
+    // Compute where the third Entry frame lives in the byte stream the
+    // leader will send, and sever the link in the middle of it.
+    let welcome_len = encode_msg(&ReplMsg::Welcome {
+        epoch: 1,
+        dim: dim as u32,
+        commit_seq: 4,
+        serve_addr: server_a.local_addr().to_string(),
+    })
+    .len() as u64;
+    let entry_len = encode_msg(&ReplMsg::Entry {
+        seq: 1,
+        payload: store_a.encoded_entries_from(0)[0].1.clone(),
+    })
+    .len() as u64;
+    let cut = welcome_len + 2 * entry_len + entry_len / 2;
+    let proxy = FaultProxy::start(
+        node_a.repl_addr(),
+        LinkFaultSpec {
+            cut_after_bytes: Some(cut),
+            ..LinkFaultSpec::clean()
+        },
+    )
+    .expect("proxy starts");
+
+    let (server_b, dir_b) = node_server("torn_follower");
+    let mut node_b = ClusterNode::start(
+        Arc::clone(&server_b),
+        fast(2)
+            .with_leader(proxy.addr())
+            .with_peers(vec![proxy.addr().to_string()]),
+    )
+    .expect("follower node starts");
+
+    // Despite the first stream dying mid-frame, the follower converges:
+    // complete frames applied, the torn one re-fetched after reconnect.
+    assert!(
+        node_b.wait_for_seq(4, Duration::from_secs(10)),
+        "follower must converge after the torn stream, applied {}",
+        node_b.applied_seq()
+    );
+    let store_b = server_b.store().expect("follower has a store");
+    assert_eq!(
+        store_a.encoded_entries_from(0),
+        store_b.encoded_entries_from(0),
+        "state after a torn stream must still be bit-identical"
+    );
+
+    node_b.stop();
+    drop(node_b);
+    finish(server_b);
+    node_a.stop();
+    drop(node_a);
+    finish(server_a);
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+#[test]
+fn corrupted_frame_in_flight_is_skipped_and_rerequested() {
+    let (server_a, dir_a) = node_server("corrupt_leader");
+    let store_a = server_a.store().expect("leader has a store");
+    let dim = store_a.dim();
+    for i in 0..4usize {
+        store_a
+            .insert(1000 + i, meta(i), vector(i, dim))
+            .expect("leader insert");
+    }
+    let mut node_a =
+        ClusterNode::start(Arc::clone(&server_a), fast(1)).expect("leader node starts");
+
+    // Flip one byte inside the second Entry frame's body: the CRC fails
+    // but framing survives, so the follower can re-request in-stream.
+    let welcome_len = encode_msg(&ReplMsg::Welcome {
+        epoch: 1,
+        dim: dim as u32,
+        commit_seq: 4,
+        serve_addr: server_a.local_addr().to_string(),
+    })
+    .len() as u64;
+    let entry_len = encode_msg(&ReplMsg::Entry {
+        seq: 1,
+        payload: store_a.encoded_entries_from(0)[0].1.clone(),
+    })
+    .len() as u64;
+    let corrupt_at = welcome_len + entry_len + 8 + 20; // past the frame header
+    let proxy = FaultProxy::start(
+        node_a.repl_addr(),
+        LinkFaultSpec {
+            corrupt_byte: Some(corrupt_at),
+            ..LinkFaultSpec::clean()
+        },
+    )
+    .expect("proxy starts");
+
+    let (server_b, dir_b) = node_server("corrupt_follower");
+    let mut node_b = ClusterNode::start(
+        Arc::clone(&server_b),
+        fast(2)
+            .with_leader(proxy.addr())
+            .with_peers(vec![proxy.addr().to_string()]),
+    )
+    .expect("follower node starts");
+
+    assert!(
+        node_b.wait_for_seq(4, Duration::from_secs(10)),
+        "follower must converge past the corrupted frame, applied {}",
+        node_b.applied_seq()
+    );
+    let store_b = server_b.store().expect("follower has a store");
+    assert_eq!(
+        store_a.encoded_entries_from(0),
+        store_b.encoded_entries_from(0),
+        "a corrupted frame must be re-fetched, never applied"
+    );
+
+    node_b.stop();
+    drop(node_b);
+    finish(server_b);
+    node_a.stop();
+    drop(node_a);
+    finish(server_a);
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+#[test]
+fn leader_death_promotes_the_most_caught_up_follower_with_identical_state() {
+    let (server_a, dir_a) = node_server("failover_leader");
+    let store_a = server_a.store().expect("leader has a store");
+    let dim = store_a.dim();
+    let mut node_a =
+        ClusterNode::start(Arc::clone(&server_a), fast(1)).expect("leader node starts");
+
+    let (server_b, dir_b) = node_server("failover_b");
+    let (server_c, dir_c) = node_server("failover_c");
+    let leader_addr = node_a.repl_addr().to_string();
+    // Each follower's peer list must name the other, so the replication
+    // ports cannot both be ephemeral: reserve two free ports up front
+    // and hand them out explicitly.
+    let addr_b = reserve_addr();
+    let addr_c = reserve_addr();
+    let mut node_b = ClusterNode::start(
+        Arc::clone(&server_b),
+        NodeConfig::new(2, &addr_b)
+            .with_heartbeat(Duration::from_millis(40))
+            .with_election_timeout(Duration::from_millis(250))
+            .with_leader(&leader_addr)
+            .with_peers(vec![leader_addr.clone(), addr_c.clone()]),
+    )
+    .expect("follower b starts");
+    let mut node_c = ClusterNode::start(
+        Arc::clone(&server_c),
+        NodeConfig::new(3, &addr_c)
+            .with_heartbeat(Duration::from_millis(40))
+            .with_election_timeout(Duration::from_millis(250))
+            .with_leader(&leader_addr)
+            .with_peers(vec![leader_addr.clone(), addr_b.clone()]),
+    )
+    .expect("follower c starts");
+
+    for i in 0..4usize {
+        store_a
+            .insert(1000 + i, meta(i), vector(i, dim))
+            .expect("leader insert");
+    }
+    assert!(node_b.wait_for_seq(4, Duration::from_secs(10)));
+    assert!(node_c.wait_for_seq(4, Duration::from_secs(10)));
+    let expected = store_a.encoded_entries_from(0);
+
+    // Kill the leader: replication listener gone, streams severed.
+    node_a.stop();
+    drop(node_a);
+    finish(server_a);
+
+    // Both followers are equally caught up, so the tie breaks to the
+    // lower node id: node 2 must win the election.
+    assert!(
+        node_b.wait_for_role(Role::Leader, Duration::from_secs(10)),
+        "most caught-up follower must promote itself, role {:?}",
+        node_b.role()
+    );
+    assert!(node_b.epoch() >= 2, "promotion must advance the epoch");
+    assert_eq!(server_b.role(), Role::Leader);
+
+    // The promoted replica holds the dead leader's exact bytes.
+    let store_b = server_b.store().expect("b has a store");
+    assert_eq!(
+        store_b.encoded_entries_from(0),
+        expected,
+        "promoted follower must serve the dead leader's exact state"
+    );
+
+    // The surviving follower re-points at the new leader and keeps
+    // replicating: a post-failover insert reaches it bit-identically.
+    store_b
+        .insert(2000, meta(99), vector(99, dim))
+        .expect("new leader insert");
+    assert!(
+        node_c.wait_for_seq(5, Duration::from_secs(10)),
+        "survivor must follow the promoted leader, applied {}",
+        node_c.applied_seq()
+    );
+    assert_eq!(node_c.role(), Role::Follower);
+    let store_c = server_c.store().expect("c has a store");
+    assert_eq!(
+        store_b.encoded_entries_from(0),
+        store_c.encoded_entries_from(0),
+        "post-failover replication must stay bit-identical"
+    );
+
+    node_c.stop();
+    drop(node_c);
+    finish(server_c);
+    node_b.stop();
+    drop(node_b);
+    finish(server_b);
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+    std::fs::remove_dir_all(&dir_c).ok();
+}
+
+#[test]
+fn followers_refuse_writes_with_a_typed_not_leader_pointing_home() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (server_a, dir_a) = node_server("notleader_leader");
+    let store_a = server_a.store().expect("leader has a store");
+    let dim = store_a.dim();
+    let mut node_a =
+        ClusterNode::start(Arc::clone(&server_a), fast(1)).expect("leader node starts");
+    let (server_b, dir_b) = node_server("notleader_follower");
+    let mut node_b = ClusterNode::start(
+        Arc::clone(&server_b),
+        fast(2).with_leader(node_a.repl_addr()),
+    )
+    .expect("follower node starts");
+    store_a
+        .insert(1000, meta(0), vector(0, dim))
+        .expect("leader insert");
+    // Applying seq 1 guarantees the Welcome (with the leader hint) has
+    // been processed.
+    assert!(node_b.wait_for_seq(1, Duration::from_secs(10)));
+
+    let (_, queries) = trained_model();
+    let mut client = ServeClient::connect(server_b.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    match client.insert(&queries[0]).expect("insert call") {
+        Response::NotLeader { leader_hint } => {
+            assert_eq!(
+                leader_hint.as_deref(),
+                Some(server_a.local_addr().to_string().as_str()),
+                "the refusal must point writers at the leader's serve address"
+            );
+        }
+        other => panic!("follower must refuse writes with not_leader, got {other:?}"),
+    }
+    // Reads still work on the follower.
+    client.classify(&queries[0]).expect("follower serves reads");
+
+    node_b.stop();
+    drop(node_b);
+    finish(server_b);
+    node_a.stop();
+    drop(node_a);
+    finish(server_a);
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+/// Two shard servers over disjoint halves of the same trained database.
+fn shard_servers() -> (Server, Server, MotionClassifier, Vec<MotionRecord>) {
+    let (reference, queries) = trained_model();
+    let (shard_even, _) = trained_model();
+    let (shard_odd, _) = trained_model();
+    shard_even.shared_db().retain(|id, _| id % 2 == 0);
+    shard_odd.shared_db().retain(|id, _| id % 2 == 1);
+    let server_even = Server::start(shard_even, ServeConfig::default()).unwrap();
+    let server_odd = Server::start(shard_odd, ServeConfig::default()).unwrap();
+    (server_even, server_odd, reference, queries)
+}
+
+fn fast_router(shards: Vec<Vec<String>>) -> RouterConfig {
+    RouterConfig::default()
+        .with_shards(shards)
+        .with_shard_deadline(Duration::from_millis(2000))
+        .with_retry(
+            kinemyo_serve::RetryPolicy::default()
+                .with_base(Duration::from_millis(5))
+                .with_cap(Duration::from_millis(20))
+                .with_max_attempts(2),
+        )
+}
+
+#[test]
+fn scatter_gather_merge_is_exact_when_every_shard_answers() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (server_even, server_odd, reference, queries) = shard_servers();
+    let router = Router::new(fast_router(vec![
+        vec![server_even.local_addr().to_string()],
+        vec![server_odd.local_addr().to_string()],
+    ]))
+    .unwrap();
+
+    for q in queries.iter().take(4) {
+        let offline = reference.classify_record(q).expect("offline classify");
+        let (merged, health) = router.classify(q);
+        assert!(health.is_complete(), "both shards must answer: {health}");
+        assert_eq!(health.shards_answered, 2);
+        let merged = merged.expect("complete scatter must classify");
+        // Exactness: the merged answer equals the single whole-database
+        // node byte for byte (neighbours, distances, feature vector).
+        assert_eq!(
+            serde_json::to_string(&merged).unwrap(),
+            serde_json::to_string(&offline).unwrap(),
+            "sharded answer must be bit-identical to the unsharded one"
+        );
+    }
+
+    server_even.shutdown();
+    server_odd.shutdown();
+    server_even.wait();
+    server_odd.wait();
+}
+
+#[test]
+fn killing_a_shard_degrades_batches_to_typed_partial_answers() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (server_even, server_odd, _reference, queries) = shard_servers();
+    let odd_addr = server_odd.local_addr().to_string();
+    let router = Router::new(fast_router(vec![
+        vec![server_even.local_addr().to_string()],
+        vec![odd_addr.clone()],
+    ]))
+    .unwrap();
+
+    // Healthy first: the batch merges from both shards.
+    let batch: Vec<MotionRecord> = queries.iter().take(3).cloned().collect();
+    let (items, health) = router.classify_batch(&batch);
+    assert!(health.is_complete());
+    assert!(items.iter().all(|i| matches!(i, BatchItem::Ok { .. })));
+
+    // Kill the odd shard, then batch again: answers keep flowing from
+    // the survivor and the response names the dead shard.
+    server_odd.shutdown();
+    server_odd.wait();
+    let (items, health) = router.classify_batch(&batch);
+    assert_eq!(items.len(), batch.len());
+    assert!(
+        items.iter().all(|i| matches!(i, BatchItem::Ok { .. })),
+        "surviving shard must still answer every item"
+    );
+    assert!(!health.is_complete(), "health must admit the loss");
+    assert_eq!(health.shards_answered, 1);
+    assert_eq!(health.missing(), vec![1], "shard 1 must be named missing");
+    let dead = &health.shards[1];
+    assert_eq!(dead.replica, odd_addr);
+    assert!(
+        matches!(
+            dead.status,
+            kinemyo::cluster::ShardStatus::Dead { .. }
+                | kinemyo::cluster::ShardStatus::Refused { .. }
+        ),
+        "dead shard must carry a typed status, got {:?}",
+        dead.status
+    );
+    assert!(dead.attempts >= 1, "retries must be accounted");
+
+    server_even.shutdown();
+    server_even.wait();
+}
+
+#[test]
+fn router_server_speaks_the_serve_protocol_with_cluster_health() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (server_even, server_odd, reference, queries) = shard_servers();
+    let router = Router::new(fast_router(vec![
+        vec![server_even.local_addr().to_string()],
+        vec![server_odd.local_addr().to_string()],
+    ]))
+    .unwrap();
+    let mut front = RouterServer::start(router, "127.0.0.1:0").unwrap();
+
+    let mut client = ServeClient::connect(front.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // Health reports the router role and aggregates shard motion counts.
+    match client.health().expect("health") {
+        Response::Health { role, motions, .. } => {
+            assert_eq!(role, Role::Router);
+            assert_eq!(
+                motions,
+                reference.db().len(),
+                "shard motion counts must sum to the whole database"
+            );
+        }
+        other => panic!("expected health, got {other:?}"),
+    }
+
+    // Classify over the wire carries the cluster section.
+    match client
+        .call(&Request::Classify {
+            record: queries[0].clone(),
+        })
+        .expect("classify call")
+    {
+        Response::Result { result, cluster } => {
+            let cluster = cluster.expect("router responses must carry cluster health");
+            assert!(cluster.is_complete(), "{cluster}");
+            let offline = reference.classify_record(&queries[0]).unwrap();
+            assert_eq!(
+                serde_json::to_string(&result).unwrap(),
+                serde_json::to_string(&offline).unwrap(),
+            );
+        }
+        other => panic!("expected result, got {other:?}"),
+    }
+
+    // Writes are refused with a typed answer, and shutdown stops the
+    // front end without touching the shards.
+    match client.insert(&queries[0]).expect("insert call") {
+        Response::NotLeader { .. } => {}
+        other => panic!("router must refuse writes, got {other:?}"),
+    }
+    match client.shutdown().expect("shutdown ack") {
+        Response::ShuttingDown => {}
+        other => panic!("expected shutting_down, got {other:?}"),
+    }
+    front.wait();
+
+    server_even.shutdown();
+    server_odd.shutdown();
+    server_even.wait();
+    server_odd.wait();
+}

@@ -269,3 +269,72 @@ fn server_without_a_store_refuses_persist_and_answers_volatile_inserts() {
     client.shutdown().expect("shutdown ack");
     server.wait();
 }
+
+#[test]
+fn refused_reload_keeps_the_old_generation_serving() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (model, queries) = trained_model();
+    let model_path = tmp_path("refused_reload_model.json");
+    let store_dir = tmp_path("refused_reload_store");
+    std::fs::remove_dir_all(&store_dir).ok();
+    model.save_json(&model_path).expect("model saves");
+    let baseline = model.db().len();
+
+    let config = ServeConfig::default().with_store_dir(&store_dir);
+    let server = Server::start_from_file(&model_path, config).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    let (_, _, durable) = insert_ok(&mut client, &queries[0]);
+    assert!(durable);
+    insert_ok(&mut client, &queries[1]);
+    let before = serde_json::to_string(&client.classify(&queries[2]).expect("classify")).unwrap();
+
+    // Overwrite the model file with one of a different feature
+    // dimensionality: loading it works, but the durable store cannot be
+    // re-grafted onto it, so the reload must be refused.
+    let ds = hand_dataset();
+    let (train, _) = stratified_split(&ds.records, 1);
+    let narrow = MotionClassifier::train(
+        &train,
+        ds.spec.limb,
+        &PipelineConfig::default().with_clusters(6),
+    )
+    .expect("narrow model trains");
+    narrow.save_json(&model_path).expect("narrow model saves");
+
+    match client.reload().expect("reload call") {
+        Response::Error { message } => assert!(
+            message.contains("reload refused"),
+            "refusal must be explicit, got: {message}"
+        ),
+        other => panic!("mismatched reload must be refused, got {other:?}"),
+    }
+
+    // The old generation keeps serving: same motion count, bit-identical
+    // answers, and ingestion still works against the old model.
+    match client.health().expect("health") {
+        Response::Health { motions, .. } => assert_eq!(
+            motions,
+            baseline + 2,
+            "refused reload must not lose motions"
+        ),
+        other => panic!("expected health, got {other:?}"),
+    }
+    let after = serde_json::to_string(&client.classify(&queries[2]).expect("classify")).unwrap();
+    assert_eq!(
+        after, before,
+        "answers must be unchanged after a refused reload"
+    );
+    let (_, motions, durable) = insert_ok(&mut client, &queries[3]);
+    assert!(durable, "the store must still be attached");
+    assert_eq!(motions, baseline + 3);
+
+    client.shutdown().expect("shutdown ack");
+    server.wait();
+    std::fs::remove_file(&model_path).ok();
+    std::fs::remove_dir_all(&store_dir).ok();
+}

@@ -408,3 +408,79 @@ fn config_validation_refuses_to_start_degenerate_servers() {
     let err = ServeConfig::default().with_queue_capacity(0).validate();
     assert!(err.is_err());
 }
+
+#[test]
+fn trickling_frames_are_cut_off_with_a_typed_timeout_error() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (model, _) = trained_model();
+    // A short per-frame window so the slow-loris guard trips quickly.
+    let config = ServeConfig::default().with_frame_timeout(Duration::from_millis(200));
+    let server = Server::start(model, config).unwrap();
+
+    // Start a frame and never finish it: bytes, but no newline.
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    writer.write_all(b"{\"op\":\"hea").unwrap();
+    writer.flush().unwrap();
+
+    // The server must answer with a typed error naming the timeout and
+    // then close the connection — not hold the socket open forever.
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("error frame arrives");
+    let resp: Response = serde_json::from_str(line.trim_end()).unwrap();
+    match resp {
+        Response::Error { message } => assert!(
+            message.contains("frame timed out"),
+            "timeout must be named, got: {message}"
+        ),
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+    line.clear();
+    assert_eq!(
+        reader.read_line(&mut line).expect("read after error"),
+        0,
+        "connection must be closed after the timeout error"
+    );
+
+    // A well-behaved client on a fresh connection is unaffected, and the
+    // trickled frame was counted as malformed.
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.malformed, 1,
+        "slow-loris frame must count as malformed"
+    );
+}
+
+#[test]
+fn connect_with_retry_reports_attempts_and_recovers_when_the_peer_returns() {
+    // Pure connection handling — no JSON needed.
+    // A bound-then-dropped listener leaves an address nobody answers.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let dead = listener.local_addr().unwrap();
+    drop(listener);
+    let policy = kinemyo_serve::RetryPolicy::default()
+        .with_base(Duration::from_millis(1))
+        .with_cap(Duration::from_millis(4))
+        .with_max_attempts(3);
+    match ServeClient::connect_with_retry(dead, &policy) {
+        Err(kinemyo_serve::ServeError::Unavailable { attempts, last }) => {
+            assert_eq!(attempts, 3, "every configured attempt must be spent");
+            assert!(!last.is_empty(), "the last failure must be reported");
+        }
+        other => panic!("expected unavailable after retries, got {other:?}"),
+    }
+
+    // Against a live listener the same policy connects first try.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let live = listener.local_addr().unwrap();
+    ServeClient::connect_with_retry(live, &policy).expect("live peer connects");
+}
