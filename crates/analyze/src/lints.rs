@@ -7,7 +7,8 @@ use crate::lexer::{Tok, TokKind};
 use crate::spans::{fn_spans, match_paren, test_mask};
 
 /// Crates whose non-test library code must not contain panicking calls.
-pub const PANIC_FREE_CRATES: [&str; 6] = ["linalg", "dsp", "features", "fuzzy", "modb", "store"];
+pub const PANIC_FREE_CRATES: [&str; 7] =
+    ["linalg", "dsp", "features", "fuzzy", "modb", "ann", "store"];
 
 /// Crate exempt from `unseeded-rng` (it owns entropy-based simulation).
 pub const RNG_EXEMPT_CRATE: &str = "biosim";

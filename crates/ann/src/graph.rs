@@ -1,0 +1,903 @@
+//! Deterministic HNSW-style navigable small-world graph.
+//!
+//! The index is a standard hierarchical NSW (Malkov & Yashunin): every
+//! point gets a geometrically distributed top level, each level holds a
+//! bounded-degree proximity graph, and queries greedily descend from the
+//! top entry point, widening to an `ef`-sized best-first beam on the
+//! bottom layer. Three choices make this implementation reproducible to
+//! the byte, per the workspace determinism discipline:
+//!
+//! 1. **Seeded integer level assignment.** Levels come from a splitmix64
+//!    stream keyed by `(seed, node position)` compared against
+//!    `u64::MAX / m` — a geometric draw in pure integer arithmetic, so no
+//!    `ln()` call whose libm rounding could differ across platforms.
+//! 2. **Total-order candidate ranking.** Every heap and sort orders by
+//!    `(f64::total_cmp on distance, node position)`; no `partial_cmp`,
+//!    no hash iteration, no ties left to chance.
+//! 3. **Fixed-order pruning + sequential construction.** Neighbour lists
+//!    are pruned from a `(distance, position)`-sorted candidate list and
+//!    nodes are inserted strictly in database order, so the built graph
+//!    is a pure function of `(points, params)` — independent of thread
+//!    count, repeated runs, or allocator behaviour. [`AnnIndex::encode`]
+//!    serializes the graph canonically so tests can assert byte equality.
+
+use crate::quant::QuantStore;
+use kinemyo_linalg::vector::{euclidean, sq_euclidean};
+use kinemyo_modb::error::{DbError, Result};
+use kinemyo_modb::knn::{scan_entries, Neighbor};
+use kinemyo_modb::store::FeatureDb;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// Hard cap on the level assignment; a geometric draw with p = 1/m needs
+/// ~m^24 points to reach this, far beyond any realistic database.
+const MAX_LEVEL: usize = 24;
+
+/// Construction and search parameters for [`AnnIndex`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnParams {
+    /// Maximum neighbours per node on levels ≥ 1; level 0 keeps `2 * m`.
+    pub m: usize,
+    /// Beam width while inserting: wider beams find better neighbours and
+    /// build a higher-recall graph, at higher build cost.
+    pub ef_construction: usize,
+    /// Beam width while querying: the recall/latency knob. The whole
+    /// `ef_search` pool is exact-re-ranked before the top-k cut.
+    pub ef_search: usize,
+    /// Seed for the deterministic level assignment.
+    pub seed: u64,
+    /// Keep a scalar-quantized (u8/dimension) copy of the points and
+    /// traverse with it; reported distances stay exact via re-ranking.
+    pub quantize: bool,
+}
+
+impl Default for AnnParams {
+    fn default() -> Self {
+        Self {
+            m: 16,
+            ef_construction: 128,
+            ef_search: 96,
+            seed: 0x6b69_6e65_6d79_6f21, // "kinemyo!"
+            quantize: false,
+        }
+    }
+}
+
+impl AnnParams {
+    /// Sets the per-node degree bound.
+    pub fn with_m(mut self, m: usize) -> Self {
+        self.m = m;
+        self
+    }
+
+    /// Sets the construction beam width.
+    pub fn with_ef_construction(mut self, ef: usize) -> Self {
+        self.ef_construction = ef;
+        self
+    }
+
+    /// Sets the query beam width.
+    pub fn with_ef_search(mut self, ef: usize) -> Self {
+        self.ef_search = ef;
+        self
+    }
+
+    /// Sets the level-assignment seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables the quantized traversal store.
+    pub fn with_quantize(mut self, quantize: bool) -> Self {
+        self.quantize = quantize;
+        self
+    }
+
+    /// Clamps degenerate values to the smallest sane configuration.
+    fn normalized(mut self) -> Self {
+        self.m = self.m.max(2);
+        self.ef_construction = self.ef_construction.max(self.m);
+        self.ef_search = self.ef_search.max(1);
+        self
+    }
+}
+
+/// One traversal candidate: squared distance plus node position. The
+/// ordering is the workspace's total order — distance first via
+/// `f64::total_cmp`, node position as the deterministic tie-break.
+#[derive(Debug, Clone, Copy)]
+struct Cand {
+    d: f64,
+    idx: u32,
+}
+
+impl PartialEq for Cand {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Cand {}
+
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.d.total_cmp(&other.d).then(self.idx.cmp(&other.idx))
+    }
+}
+
+/// Epoch-stamped visited marker: clearing between beam searches is a
+/// counter bump, not an O(n) wipe.
+struct VisitedSet {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl VisitedSet {
+    fn new(n: usize) -> Self {
+        Self {
+            stamp: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    fn next_epoch(&mut self) {
+        if self.epoch == u32::MAX {
+            for s in &mut self.stamp {
+                *s = 0;
+            }
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Marks `idx` visited; true when it was not yet visited this epoch.
+    fn mark(&mut self, idx: u32) -> bool {
+        match self.stamp.get_mut(idx as usize) {
+            Some(s) if *s != self.epoch => {
+                *s = self.epoch;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Geometric level draw with success probability `1/m`, in pure integer
+/// arithmetic: each stream value below `u64::MAX / m` promotes one level.
+fn level_for(seed: u64, node: u64, m: usize) -> usize {
+    let mut state = seed ^ node.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let threshold = u64::MAX / (m.max(2) as u64);
+    let mut level = 0;
+    while level < MAX_LEVEL && splitmix64(&mut state) < threshold {
+        level += 1;
+    }
+    level
+}
+
+/// A deterministic approximate kNN index over an append-only
+/// [`FeatureDb`]: HNSW graph over the first [`covered`](Self::covered)
+/// entries, exact linear scan over the appended tail, candidate lists
+/// merged with the same prefix-wins-ties rule as
+/// [`HybridIndex`](kinemyo_modb::HybridIndex).
+#[derive(Debug, Clone)]
+pub struct AnnIndex<M> {
+    params: AnnParams,
+    dim: usize,
+    /// Indexed points, row-major `covered × dim` — node `i` is the entry
+    /// at database position `i` at build time.
+    points: Vec<f64>,
+    ids: Vec<usize>,
+    metas: Vec<M>,
+    levels: Vec<u8>,
+    /// `links[node][level]` → neighbour node positions.
+    links: Vec<Vec<Vec<u32>>>,
+    entry: u32,
+    max_level: u8,
+    quant: Option<QuantStore>,
+}
+
+impl<M: Clone> AnnIndex<M> {
+    /// Builds the graph over the current contents of `db` (sequentially —
+    /// construction is a pure function of the point sequence and
+    /// `params`, so the result is identical at any thread count).
+    /// Entries appended afterwards are handled by the exact tail scan.
+    pub fn build(db: &FeatureDb<M>, params: AnnParams) -> Self {
+        let params = params.normalized();
+        let dim = db.dim();
+        let n = db.len();
+        let mut index = Self {
+            params,
+            dim,
+            points: Vec::with_capacity(n * dim),
+            ids: Vec::with_capacity(n),
+            metas: Vec::with_capacity(n),
+            levels: Vec::with_capacity(n),
+            links: Vec::with_capacity(n),
+            entry: 0,
+            max_level: 0,
+            quant: None,
+        };
+        for e in db.entries() {
+            index.points.extend_from_slice(&e.vector);
+            index.ids.push(e.id);
+            index.metas.push(e.meta.clone());
+        }
+        let mut visited = VisitedSet::new(n);
+        for i in 0..n {
+            index.insert_node(i as u32, &mut visited);
+        }
+        if params.quantize && n > 0 && dim > 0 {
+            index.quant = Some(QuantStore::build(&index.points, n, dim));
+        }
+        index
+    }
+
+    /// The parameters the index was built with (post-normalization).
+    pub fn params(&self) -> &AnnParams {
+        &self.params
+    }
+
+    /// Number of database entries covered by the graph (the prefix length
+    /// at build time).
+    pub fn covered(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the graph covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// How many entries have been appended to `db` since this index was
+    /// built — the tail the query path scans exactly.
+    pub fn stale_appends<N>(&self, db: &FeatureDb<N>) -> usize {
+        db.len().saturating_sub(self.covered())
+    }
+
+    /// Approximate k-nearest-neighbour query over graph prefix + exact
+    /// tail.
+    ///
+    /// `db` must be the same append-only database the index was built
+    /// from. Reported distances are always exact f64 Euclidean distances
+    /// (the traversal pool is re-ranked before the cut); approximation
+    /// only shows up as possibly missing a true neighbour, bounded in
+    /// practice by the measured recall@k of the parameter choice.
+    pub fn knn(&self, db: &FeatureDb<M>, query: &[f64], k: usize) -> Result<Vec<Neighbor<M>>> {
+        if k == 0 {
+            return Err(DbError::InvalidArgument {
+                reason: "k must be >= 1".into(),
+            });
+        }
+        db.check_query(query)?;
+        if db.len() < self.covered() {
+            return Err(DbError::InvalidArgument {
+                reason: format!(
+                    "database has {} entries but the index covers {}; ANN queries \
+                     require the append-only database the index was built from",
+                    db.len(),
+                    self.covered()
+                ),
+            });
+        }
+        if db.dim() != self.dim {
+            return Err(DbError::DimensionMismatch {
+                expected: self.dim,
+                got: db.dim(),
+            });
+        }
+        let from_graph = if self.is_empty() {
+            Vec::new()
+        } else {
+            self.graph_knn(query, k, self.params.ef_search)?
+        };
+        let tail = db.entries().get(self.covered()..).unwrap_or(&[]);
+        let from_tail = scan_entries(tail, query, k);
+
+        // Merge the two sorted candidate lists; on exact distance ties the
+        // graph prefix (earlier database position) wins, matching the
+        // hybrid index's merge rule.
+        let mut merged = Vec::with_capacity(k);
+        let (mut i, mut j) = (0, 0);
+        while merged.len() < k && (i < from_graph.len() || j < from_tail.len()) {
+            let take_graph = match (from_graph.get(i), from_tail.get(j)) {
+                (Some(a), Some(b)) => a.distance.total_cmp(&b.distance).is_le(),
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_graph {
+                merged.push(from_graph[i].clone());
+                i += 1;
+            } else {
+                merged.push(from_tail[j].clone());
+                j += 1;
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Graph-only query with an explicit beam width: descends to the
+    /// bottom layer, collects a `max(ef, k)`-sized pool, re-ranks it with
+    /// exact distances, and returns the top `k` closest-first. Used by
+    /// [`knn`](Self::knn) with `ef = ef_search` and by the bench sweep to
+    /// trace the recall/latency curve without rebuilding.
+    pub fn graph_knn(&self, query: &[f64], k: usize, ef: usize) -> Result<Vec<Neighbor<M>>> {
+        if k == 0 {
+            return Err(DbError::InvalidArgument {
+                reason: "k must be >= 1".into(),
+            });
+        }
+        if query.len() != self.dim {
+            return Err(DbError::DimensionMismatch {
+                expected: self.dim,
+                got: query.len(),
+            });
+        }
+        if self.is_empty() {
+            return Ok(Vec::new());
+        }
+        let ef = ef.max(k).max(1);
+        let mut visited = VisitedSet::new(self.len());
+        let pool = match &self.quant {
+            Some(qs) => {
+                let dist = |idx: u32| qs.sq_dist(query, idx as usize);
+                self.descend(&dist, ef, &mut visited)
+            }
+            None => {
+                let dist = |idx: u32| sq_euclidean(self.point(idx), query);
+                self.descend(&dist, ef, &mut visited)
+            }
+        };
+        // Exact re-rank of the whole pool: traversal distances are squared
+        // (and possibly quantized); reported distances must be the true
+        // Euclidean metric, ties broken by database position like the
+        // linear scan's preference for earlier entries.
+        let mut exact: Vec<Cand> = pool
+            .iter()
+            .map(|c| Cand {
+                d: euclidean(self.point(c.idx), query),
+                idx: c.idx,
+            })
+            .collect();
+        exact.sort_unstable();
+        exact.truncate(k);
+        Ok(exact
+            .into_iter()
+            .map(|c| Neighbor {
+                id: self.ids.get(c.idx as usize).copied().unwrap_or(usize::MAX),
+                meta: self.meta(c.idx),
+                distance: c.d,
+            })
+            .collect())
+    }
+
+    /// Canonical byte serialization of the built graph: header (format
+    /// tag, dimension, size, build parameters, entry point), then every
+    /// node's level and per-level adjacency in insertion order, then the
+    /// quantized store when present. `ef_search` is deliberately excluded
+    /// — it is a query-time knob that does not shape the graph. Two
+    /// builds over the same points with the same parameters must produce
+    /// equal bytes; the determinism tests assert exactly that.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"KANN1");
+        out.extend_from_slice(&(self.dim as u64).to_le_bytes());
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.params.m as u64).to_le_bytes());
+        out.extend_from_slice(&(self.params.ef_construction as u64).to_le_bytes());
+        out.extend_from_slice(&self.params.seed.to_le_bytes());
+        out.push(self.params.quantize as u8);
+        out.extend_from_slice(&self.entry.to_le_bytes());
+        out.push(self.max_level);
+        for (node, per_level) in self.links.iter().enumerate() {
+            out.push(self.levels.get(node).copied().unwrap_or(0));
+            for level in per_level {
+                out.extend_from_slice(&(level.len() as u32).to_le_bytes());
+                for &nb in level {
+                    out.extend_from_slice(&nb.to_le_bytes());
+                }
+            }
+        }
+        if let Some(q) = &self.quant {
+            q.encode_into(&mut out);
+        }
+        out
+    }
+
+    /// Full query-path traversal: greedy single-candidate descent from
+    /// the top entry point to level 1, then an `ef`-wide beam on the
+    /// bottom layer. Returns the raw candidate pool in traversal metric.
+    fn descend<F: Fn(u32) -> f64>(
+        &self,
+        dist: &F,
+        ef: usize,
+        visited: &mut VisitedSet,
+    ) -> Vec<Cand> {
+        let mut ep = vec![Cand {
+            d: dist(self.entry),
+            idx: self.entry,
+        }];
+        let mut level = self.max_level as usize;
+        while level > 0 {
+            ep = self.search_layer(dist, &ep, 1, level, visited);
+            level -= 1;
+        }
+        self.search_layer(dist, &ep, ef, 0, visited)
+    }
+
+    #[inline]
+    fn point(&self, idx: u32) -> &[f64] {
+        let start = idx as usize * self.dim;
+        self.points.get(start..start + self.dim).unwrap_or(&[])
+    }
+
+    fn meta(&self, idx: u32) -> M {
+        match self.metas.get(idx as usize) {
+            Some(m) => m.clone(),
+            // Unreachable: idx always comes from the graph, which only
+            // holds positions < metas.len(). Kept total for panic-freedom.
+            None => self.metas[0].clone(),
+        }
+    }
+
+    fn max_links(&self, level: usize) -> usize {
+        if level == 0 {
+            self.params.m * 2
+        } else {
+            self.params.m
+        }
+    }
+
+    fn insert_node(&mut self, i: u32, visited: &mut VisitedSet) {
+        let node_level = level_for(self.params.seed, i as u64, self.params.m);
+        self.levels.push(node_level as u8);
+        self.links.push(vec![Vec::new(); node_level + 1]);
+        if i == 0 {
+            self.entry = 0;
+            self.max_level = node_level as u8;
+            return;
+        }
+        let q = self.point(i).to_vec();
+        let top = self.max_level as usize;
+        let mut ep = vec![Cand {
+            d: sq_euclidean(self.point(self.entry), &q),
+            idx: self.entry,
+        }];
+        // Greedy single-candidate descent through the levels above the new
+        // node's top level.
+        let mut level = top;
+        while level > node_level {
+            ep = self.search_layer(
+                &|idx| sq_euclidean(self.point(idx), &q),
+                &ep,
+                1,
+                level,
+                visited,
+            );
+            level -= 1;
+        }
+        // Wide-beam insertion on every level the node participates in.
+        let mut level = node_level.min(top);
+        loop {
+            let cands = self.search_layer(
+                &|idx| sq_euclidean(self.point(idx), &q),
+                &ep,
+                self.params.ef_construction,
+                level,
+                visited,
+            );
+            let cap = self.max_links(level);
+            let selected = self.select_heuristic(&cands, cap);
+            for c in &selected {
+                if let Some(ls) = self
+                    .links
+                    .get_mut(i as usize)
+                    .and_then(|l| l.get_mut(level))
+                {
+                    ls.push(c.idx);
+                }
+            }
+            for c in &selected {
+                let overflow = match self
+                    .links
+                    .get_mut(c.idx as usize)
+                    .and_then(|l| l.get_mut(level))
+                {
+                    Some(ls) => {
+                        ls.push(i);
+                        ls.len() > cap
+                    }
+                    None => false,
+                };
+                if overflow {
+                    self.prune_links(c.idx, level, cap);
+                }
+            }
+            ep = cands;
+            if level == 0 {
+                break;
+            }
+            level -= 1;
+        }
+        if node_level > top {
+            self.entry = i;
+            self.max_level = node_level as u8;
+        }
+    }
+
+    /// Best-first beam search on one level: expands the nearest frontier
+    /// candidate until no frontier entry can improve the `ef` best found.
+    /// Both heaps order by `(total_cmp distance, position)`, so the visit
+    /// sequence — and therefore the graph built from it — is fully
+    /// deterministic.
+    fn search_layer<F: Fn(u32) -> f64>(
+        &self,
+        dist: &F,
+        eps: &[Cand],
+        ef: usize,
+        level: usize,
+        visited: &mut VisitedSet,
+    ) -> Vec<Cand> {
+        visited.next_epoch();
+        let mut results: BinaryHeap<Cand> = BinaryHeap::new();
+        let mut frontier: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
+        for &c in eps {
+            if visited.mark(c.idx) {
+                results.push(c);
+                frontier.push(Reverse(c));
+            }
+        }
+        while results.len() > ef {
+            results.pop();
+        }
+        while let Some(Reverse(c)) = frontier.pop() {
+            let worst = match results.peek() {
+                Some(w) => w.d,
+                None => f64::INFINITY,
+            };
+            if results.len() >= ef && c.d.total_cmp(&worst) == Ordering::Greater {
+                break;
+            }
+            let neighbours = match self.links.get(c.idx as usize).and_then(|l| l.get(level)) {
+                Some(n) => n,
+                None => continue,
+            };
+            for &nb in neighbours {
+                if !visited.mark(nb) {
+                    continue;
+                }
+                let d = dist(nb);
+                let worst = match results.peek() {
+                    Some(w) => w.d,
+                    None => f64::INFINITY,
+                };
+                if results.len() < ef || d.total_cmp(&worst) == Ordering::Less {
+                    let cand = Cand { d, idx: nb };
+                    frontier.push(Reverse(cand));
+                    results.push(cand);
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        let mut out = results.into_vec();
+        out.sort_unstable();
+        out
+    }
+
+    /// Malkov's neighbour-selection heuristic over a `(distance,
+    /// position)`-sorted candidate list: a candidate is kept only if it is
+    /// closer to the query than to every already-selected neighbour
+    /// (spreading edges across directions instead of clustering them),
+    /// then remaining slots are filled from the discarded list in the same
+    /// fixed order.
+    fn select_heuristic(&self, cands: &[Cand], cap: usize) -> Vec<Cand> {
+        let mut selected: Vec<Cand> = Vec::with_capacity(cap);
+        let mut discarded: Vec<Cand> = Vec::new();
+        for &c in cands {
+            if selected.len() >= cap {
+                break;
+            }
+            let keep = selected.iter().all(|s| {
+                sq_euclidean(self.point(c.idx), self.point(s.idx))
+                    .total_cmp(&c.d)
+                    .is_ge()
+            });
+            if keep {
+                selected.push(c);
+            } else {
+                discarded.push(c);
+            }
+        }
+        for &c in &discarded {
+            if selected.len() >= cap {
+                break;
+            }
+            selected.push(c);
+        }
+        selected
+    }
+
+    /// Re-prunes an overflowing neighbour list with the same heuristic,
+    /// relative to the owning node. The candidate list is re-sorted by
+    /// `(distance, position)` first, so the surviving set depends only on
+    /// its membership — not on the order edges happened to arrive.
+    fn prune_links(&mut self, node: u32, level: usize, cap: usize) {
+        let p = self.point(node).to_vec();
+        let current = match self.links.get(node as usize).and_then(|l| l.get(level)) {
+            Some(ls) => ls.clone(),
+            None => return,
+        };
+        let mut cands: Vec<Cand> = current
+            .iter()
+            .map(|&x| Cand {
+                d: sq_euclidean(self.point(x), &p),
+                idx: x,
+            })
+            .collect();
+        cands.sort_unstable();
+        let selected = self.select_heuristic(&cands, cap);
+        if let Some(ls) = self
+            .links
+            .get_mut(node as usize)
+            .and_then(|l| l.get_mut(level))
+        {
+            *ls = selected.iter().map(|c| c.idx).collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kinemyo_modb::knn::knn;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Cluster centers shared by the data and query generators.
+    fn centers(dim: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..6)
+            .map(|_| (0..dim).map(|_| rng.random::<f64>() * 20.0).collect())
+            .collect()
+    }
+
+    /// Clustered synthetic data resembling post-pipeline feature vectors:
+    /// a few well-separated centers with noise around them.
+    fn clustered_db(n: usize, dim: usize, seed: u64) -> FeatureDb<usize> {
+        let centers = centers(dim, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xDB);
+        let mut db = FeatureDb::new(dim);
+        for i in 0..n {
+            let c = &centers[i % centers.len()];
+            let v: Vec<f64> = c
+                .iter()
+                .map(|&x| x + (rng.random::<f64>() - 0.5) * 4.0)
+                .collect();
+            db.insert(i, i % centers.len(), v).unwrap();
+        }
+        db
+    }
+
+    /// Queries drawn from the same cluster distribution as the data (with
+    /// wider noise) — the workload shape of the pipeline, where a query
+    /// motion's feature vector lands near stored motions of its class.
+    /// `db_seed` must match the database so both share centers.
+    fn queries(n: usize, dim: usize, db_seed: u64, query_seed: u64) -> Vec<Vec<f64>> {
+        let centers = centers(dim, db_seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(query_seed);
+        (0..n)
+            .map(|i| {
+                centers[i % centers.len()]
+                    .iter()
+                    .map(|&x| x + (rng.random::<f64>() - 0.5) * 6.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn recall_at_k(
+        index: &AnnIndex<usize>,
+        db: &FeatureDb<usize>,
+        qs: &[Vec<f64>],
+        k: usize,
+    ) -> f64 {
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for q in qs {
+            let exact = knn(db, q, k).unwrap();
+            let approx = index.knn(db, q, k).unwrap();
+            let truth: Vec<usize> = exact.iter().map(|n| n.id).collect();
+            total += truth.len();
+            hit += approx.iter().filter(|n| truth.contains(&n.id)).count();
+        }
+        hit as f64 / total as f64
+    }
+
+    #[test]
+    fn recall_at_10_beats_095_across_seeds_and_sizes() {
+        for &(n, seed) in &[(600usize, 11u64), (1500, 12), (3000, 13)] {
+            let db = clustered_db(n, 16, seed);
+            let index = AnnIndex::build(&db, AnnParams::default());
+            let r = recall_at_k(&index, &db, &queries(30, 16, seed, seed + 100), 10);
+            assert!(r >= 0.95, "recall {r} at n={n} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn quantized_recall_at_10_beats_095() {
+        let db = clustered_db(2000, 16, 21);
+        let index = AnnIndex::build(&db, AnnParams::default().with_quantize(true));
+        let r = recall_at_k(&index, &db, &queries(30, 16, 21, 121), 10);
+        assert!(r >= 0.95, "quantized recall {r}");
+    }
+
+    #[test]
+    fn reported_distances_are_exact_even_when_quantized() {
+        let db = clustered_db(800, 8, 31);
+        let index = AnnIndex::build(&db, AnnParams::default().with_quantize(true));
+        for q in queries(10, 8, 31, 131) {
+            let exact = knn(&db, &q, 5).unwrap();
+            for n in index.knn(&db, &q, 5).unwrap() {
+                // Every returned id's distance must equal the linear scan's
+                // distance for that id bit-for-bit: re-ranking recomputes
+                // with the same euclidean kernel.
+                let truth = exact.iter().find(|e| e.id == n.id);
+                if let Some(t) = truth {
+                    assert_eq!(t.distance.to_bits(), n.distance.to_bits());
+                }
+                let stored = db.entries().iter().find(|e| e.id == n.id).unwrap();
+                let d = euclidean(&stored.vector, &q);
+                assert_eq!(d.to_bits(), n.distance.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_is_byte_identical() {
+        let db = clustered_db(1200, 12, 41);
+        let params = AnnParams::default().with_quantize(true);
+        let a = AnnIndex::build(&db, params);
+        let b = AnnIndex::build(&db, params);
+        assert_eq!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn different_seeds_build_different_graphs() {
+        let db = clustered_db(400, 6, 51);
+        let a = AnnIndex::build(&db, AnnParams::default().with_seed(1));
+        let b = AnnIndex::build(&db, AnnParams::default().with_seed(2));
+        assert_ne!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn appended_tail_is_always_visible() {
+        let mut db = clustered_db(500, 8, 61);
+        let index = AnnIndex::build(&db, AnnParams::default());
+        assert_eq!(index.covered(), 500);
+        // Append an exact match for a probe query: it must come back
+        // first even though the graph has never seen it.
+        let probe: Vec<f64> = (0..8).map(|j| 100.0 + j as f64).collect();
+        db.insert(500, 99, probe.clone()).unwrap();
+        assert_eq!(index.stale_appends(&db), 1);
+        let r = index.knn(&db, &probe, 3).unwrap();
+        assert_eq!(r[0].id, 500);
+        assert!(r[0].distance < 1e-12);
+    }
+
+    #[test]
+    fn small_databases_are_exact() {
+        // ef_search ≥ n ⇒ the beam holds every reachable node and the
+        // merge with the exact tail covers the rest.
+        for n in [1usize, 2, 5, 40] {
+            let db = clustered_db(n, 4, 71);
+            let index = AnnIndex::build(&db, AnnParams::default());
+            let qs = queries(10, 4, 71, 171);
+            for q in &qs {
+                let exact = knn(&db, q, n.min(7)).unwrap();
+                let approx = index.knn(&db, q, n.min(7)).unwrap();
+                assert_eq!(exact.len(), approx.len());
+                for (a, b) in exact.iter().zip(&approx) {
+                    assert_eq!(a.id, b.id, "n={n}");
+                    assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_db_returns_all() {
+        let db = clustered_db(25, 4, 81);
+        let index = AnnIndex::build(&db, AnnParams::default());
+        let r = index.knn(&db, &[0.0; 4], 100).unwrap();
+        assert_eq!(r.len(), 25);
+        for w in r.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let db = clustered_db(10, 3, 91);
+        let index = AnnIndex::build(&db, AnnParams::default());
+        assert!(index.knn(&db, &[0.0], 1).is_err());
+        assert!(index.knn(&db, &[0.0, 0.0, 0.0], 0).is_err());
+        let empty: FeatureDb<usize> = FeatureDb::new(3);
+        assert!(index.knn(&empty, &[0.0, 0.0, 0.0], 1).is_err());
+        let eindex = AnnIndex::build(&empty, AnnParams::default());
+        assert!(eindex.knn(&empty, &[0.0, 0.0, 0.0], 1).is_err());
+    }
+
+    #[test]
+    fn empty_graph_over_growing_db_is_pure_linear() {
+        let empty: FeatureDb<usize> = FeatureDb::new(2);
+        let index = AnnIndex::build(&empty, AnnParams::default());
+        assert_eq!(index.covered(), 0);
+        let mut db: FeatureDb<usize> = FeatureDb::new(2);
+        db.insert(0, 0, vec![0.0, 0.0]).unwrap();
+        db.insert(1, 1, vec![3.0, 4.0]).unwrap();
+        let r = index.knn(&db, &[0.0, 0.0], 2).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].id, 0);
+        assert!((r[1].distance - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn level_assignment_is_geometric_and_seeded() {
+        let mut counts = [0usize; MAX_LEVEL + 1];
+        for i in 0..100_000u64 {
+            counts[level_for(7, i, 16)] += 1;
+        }
+        // p(level ≥ 1) = 1/16: expect ~6250, allow generous slack.
+        let promoted: usize = counts[1..].iter().sum();
+        assert!((5000..8000).contains(&promoted), "promoted {promoted}");
+        // Same seed reproduces, different seed diverges somewhere.
+        assert_eq!(level_for(7, 42, 16), level_for(7, 42, 16));
+        assert!((0..1000).any(|i| level_for(7, i, 16) != level_for(8, i, 16)));
+    }
+
+    #[test]
+    fn graph_knn_ef_sweep_is_monotone_in_pool_size() {
+        let db = clustered_db(1000, 8, 101);
+        let index = AnnIndex::build(&db, AnnParams::default());
+        let qs = queries(20, 8, 101, 201);
+        let mut last = 0.0;
+        for ef in [8usize, 32, 128] {
+            let mut hit = 0;
+            let mut total = 0;
+            for q in &qs {
+                let exact = knn(&db, q, 10).unwrap();
+                let truth: Vec<usize> = exact.iter().map(|n| n.id).collect();
+                let approx = index.graph_knn(q, 10, ef).unwrap();
+                total += truth.len();
+                hit += approx.iter().filter(|n| truth.contains(&n.id)).count();
+            }
+            let r = hit as f64 / total as f64;
+            // Wider beams should not get meaningfully worse.
+            assert!(r + 0.05 >= last, "recall dropped: {last} -> {r} at ef={ef}");
+            last = r;
+        }
+        assert!(last >= 0.95, "recall {last} at ef=128");
+    }
+}

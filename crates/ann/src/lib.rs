@@ -1,0 +1,36 @@
+//! # kinemyo-ann
+//!
+//! A hand-written, fully deterministic HNSW-style approximate
+//! nearest-neighbour index over the paper's `2c`-length motion feature
+//! vectors — the retrieval backend for the ROADMAP's 10⁶–10⁷-motion
+//! target, where every exact backend in kinemyo-modb (linear, VP-tree,
+//! iDistance, hybrid) degrades to brute force.
+//!
+//! * [`graph`] — [`AnnIndex`]: a navigable small-world graph with seeded
+//!   integer-arithmetic level assignment, `f64::total_cmp` candidate
+//!   ordering, and fixed-order neighbour pruning, so construction is
+//!   **bit-identical run-to-run and thread-count-independent**;
+//! * [`quant`](mod@graph) — an optional scalar-quantized point store
+//!   (one `u8` per dimension, per-column min/max reconstruction) used
+//!   only during graph traversal; the final candidate pool is always
+//!   re-ranked with exact f64 distances before the top-k cut.
+//!
+//! The index mirrors the append story of
+//! [`HybridIndex`](kinemyo_modb::HybridIndex): the graph covers the
+//! stable prefix of an append-only [`FeatureDb`](kinemyo_modb::FeatureDb)
+//! and entries appended afterwards are merged in by an exact linear tail
+//! scan, so freshly ingested motions are never invisible.
+//!
+//! Unlike the exact backends, [`AnnIndex::knn`] returns *approximately*
+//! the k nearest neighbours: the contract is a measured recall@k (the
+//! test suite and `BENCH_ann.json` pin recall@10 ≥ 0.95 against the
+//! linear scan), with every *reported* distance exact.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod graph;
+mod quant;
+
+pub use graph::{AnnIndex, AnnParams};

@@ -1,0 +1,152 @@
+//! Scalar-quantized point store: one `u8` code per dimension with
+//! per-column min/step reconstruction.
+//!
+//! Quantization shrinks the traversal working set 8× (1 byte instead of 8
+//! per component), which is what the graph walk is actually bound by at
+//! million-motion scale — the arithmetic per visited node is unchanged.
+//! Codes are used **only** to order candidates during traversal; the
+//! final candidate pool is always re-ranked with exact f64 distances
+//! (see [`AnnIndex::knn`](crate::AnnIndex::knn)), so quantization error
+//! can only affect which candidates reach the pool, never the distances
+//! reported to callers.
+
+use kinemyo_linalg::ColMajorMatrix;
+
+/// Quantized copy of the indexed points, row-major like the exact store:
+/// component `j` of point `i` reconstructs as `mins[j] + code * steps[j]`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct QuantStore {
+    dim: usize,
+    mins: Vec<f64>,
+    steps: Vec<f64>,
+    codes: Vec<u8>,
+}
+
+impl QuantStore {
+    /// Quantizes `points` (`n × dim`, row-major). The per-column min/max
+    /// ranges are taken over a [`ColMajorMatrix`] transpose so each
+    /// column is scanned contiguously.
+    pub(crate) fn build(points: &[f64], n: usize, dim: usize) -> Self {
+        let mut cm = ColMajorMatrix::zeros(n, dim);
+        for j in 0..dim {
+            let col = cm.col_mut(j);
+            for (i, slot) in col.iter_mut().enumerate() {
+                *slot = points.get(i * dim + j).copied().unwrap_or(0.0);
+            }
+        }
+        let mut mins = vec![0.0; dim];
+        let mut steps = vec![0.0; dim];
+        for j in 0..dim {
+            let col = cm.col(j);
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &v in col {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if n > 0 {
+                mins[j] = lo;
+                // A constant column quantizes to code 0 with step 0.
+                steps[j] = if hi > lo { (hi - lo) / 255.0 } else { 0.0 };
+            }
+        }
+        let mut codes = vec![0u8; n * dim];
+        for (flat, code) in codes.iter_mut().enumerate() {
+            let j = flat % dim.max(1);
+            let s = steps[j];
+            if s > 0.0 {
+                let v = points.get(flat).copied().unwrap_or(0.0);
+                // Round to nearest code; the range cap makes the cast safe
+                // even at the top of the column range.
+                let q = ((v - mins[j]) / s + 0.5).floor();
+                *code = if q >= 255.0 { 255 } else { q.max(0.0) as u8 };
+            }
+        }
+        Self {
+            dim,
+            mins,
+            steps,
+            codes,
+        }
+    }
+
+    /// Squared distance between an (exact, f64) query and the
+    /// reconstructed quantized point `node` — the asymmetric distance
+    /// used for graph traversal.
+    #[inline]
+    pub(crate) fn sq_dist(&self, query: &[f64], node: usize) -> f64 {
+        let start = node * self.dim;
+        let codes = match self.codes.get(start..start + self.dim) {
+            Some(c) => c,
+            None => return f64::INFINITY,
+        };
+        let mut acc = 0.0;
+        for j in 0..self.dim {
+            let v = self.mins[j] + codes[j] as f64 * self.steps[j];
+            let d = query[j] - v;
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Appends the deterministic byte serialization (column ranges then
+    /// codes, all little-endian) used by
+    /// [`AnnIndex::encode`](crate::AnnIndex::encode).
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        for j in 0..self.dim {
+            out.extend_from_slice(&self.mins[j].to_bits().to_le_bytes());
+            out.extend_from_slice(&self.steps[j].to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&self.codes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_within_half_step() {
+        let points = vec![0.0, 10.0, 1.0, 20.0, 0.5, 12.5, 0.25, 17.0];
+        let q = QuantStore::build(&points, 4, 2);
+        for i in 0..4 {
+            let exact: f64 = {
+                let p = &points[i * 2..i * 2 + 2];
+                0.0_f64.max(p.iter().map(|v| v * v).sum::<f64>())
+            };
+            // Reconstruction error per component is at most step/2, so the
+            // squared distance to the point itself is tiny.
+            let d = q.sq_dist(&points[i * 2..i * 2 + 2], i);
+            assert!(d <= exact.max(1.0) * 1e-4, "node {i}: sq_dist {d}");
+        }
+    }
+
+    #[test]
+    fn constant_column_is_exact() {
+        let points = vec![3.0, 7.0, 3.0, 7.0, 3.0, 7.0];
+        let q = QuantStore::build(&points, 3, 2);
+        for i in 0..3 {
+            let d = q.sq_dist(&points[i * 2..i * 2 + 2], i);
+            assert!(d < 1e-18, "node {i}: sq_dist {d}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_node_is_infinite() {
+        let q = QuantStore::build(&[1.0, 2.0], 1, 2);
+        assert_eq!(q.sq_dist(&[1.0, 2.0], 5), f64::INFINITY);
+    }
+
+    #[test]
+    fn encode_is_deterministic() {
+        let points = vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let a = QuantStore::build(&points, 3, 2);
+        let b = QuantStore::build(&points, 3, 2);
+        let mut ba = Vec::new();
+        let mut bb = Vec::new();
+        a.encode_into(&mut ba);
+        b.encode_into(&mut bb);
+        assert_eq!(ba, bb);
+        assert_eq!(ba.len(), 2 * 16 + 6);
+    }
+}

@@ -1,0 +1,258 @@
+//! Recall@k-versus-latency sweep for the `kinemyo-ann` backend.
+//!
+//! Builds a clustered synthetic motion-vector database (the paper's
+//! feature vectors live in `[0,1]^2c`; this uses the same scale), runs
+//! the exact linear scan as ground truth, then sweeps the ANN search
+//! beam (`ef`) and reports recall@10 and mean query latency per setting.
+//!
+//! ```text
+//! ann_sweep [--points N] [--dim D] [--queries Q] [--seed S]
+//!           [--quantize] [--out FILE] [--gate]
+//! ```
+//!
+//! `--out` writes a flat `kinemyo-bench-json/1` file (the same schema
+//! `bench_json collect` emits; see DESIGN.md §13). Latency entries are
+//! mean nanoseconds per query; `recall_at_10_*` entries are dimensionless
+//! fractions in `[0,1]` riding in the same map, and `bench_json compare`
+//! treats a recall *drop* beyond tolerance as a regression exactly like a
+//! latency rise.
+//!
+//! `--gate` enforces the ROADMAP acceptance contract and exits non-zero
+//! on failure: some swept `ef` must reach recall@10 ≥ 0.95 **and** mean
+//! ANN query latency at least 10× faster than the linear scan — i.e. the
+//! recall/latency frontier contains a point satisfying both at once (the
+//! speedup half of the gate is only armed at ≥ 100 000 points, where the
+//! asymptotics dominate constant factors).
+//!
+//! Run with `cargo run --release -p kinemyo-bench --bin ann_sweep`.
+
+use kinemyo_ann::{AnnIndex, AnnParams};
+use kinemyo_modb::{knn, FeatureDb};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const EF_SWEEP: [usize; 4] = [32, 64, 96, 128];
+const K: usize = 10;
+const GATE_RECALL: f64 = 0.95;
+const GATE_SPEEDUP: f64 = 10.0;
+const GATE_MIN_POINTS: usize = 100_000;
+
+struct Args {
+    points: usize,
+    dim: usize,
+    queries: usize,
+    seed: u64,
+    quantize: bool,
+    out: Option<String>,
+    gate: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        points: 100_000,
+        dim: 30,
+        queries: 200,
+        seed: 2007,
+        quantize: false,
+        out: None,
+        gate: false,
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < raw.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            raw.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{} needs a value", raw[*i - 1]))
+        };
+        match raw[i].as_str() {
+            "--points" => args.points = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--dim" => args.dim = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--queries" => args.queries = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--quantize" => args.quantize = true,
+            "--out" => args.out = Some(take(&mut i)?),
+            "--gate" => args.gate = true,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    if args.points == 0 || args.dim == 0 || args.queries == 0 {
+        return Err("--points, --dim and --queries must be >= 1".into());
+    }
+    Ok(args)
+}
+
+/// Cluster centers shared by the database and the query workload —
+/// queries in a motion database resemble stored motions.
+fn centers(dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xCE17);
+    (0..60)
+        .map(|_| (0..dim).map(|_| rng.random::<f64>()).collect())
+        .collect()
+}
+
+fn clustered_db(n: usize, dim: usize, seed: u64) -> FeatureDb<usize> {
+    let cs = centers(dim, seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut db = FeatureDb::new(dim);
+    for i in 0..n {
+        let c = &cs[i % cs.len()];
+        let v: Vec<f64> = c
+            .iter()
+            .map(|&x| (x + (rng.random::<f64>() - 0.5) * 0.1).clamp(0.0, 1.0))
+            .collect();
+        db.insert(i, i % cs.len(), v).expect("insert");
+    }
+    db
+}
+
+fn query_set(q: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    let cs = centers(dim, seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9E3779B9);
+    (0..q)
+        .map(|i| {
+            let c = &cs[i % cs.len()];
+            c.iter()
+                .map(|&x| (x + (rng.random::<f64>() - 0.5) * 0.15).clamp(0.0, 1.0))
+                .collect()
+        })
+        .collect()
+}
+
+/// Renders the flat bench map as `kinemyo-bench-json/1` without a JSON
+/// dependency (same reasoning as `bench_json`: the perf gate must work
+/// in minimal build environments).
+fn render_bench_json(benches: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("{\n  \"schema\": \"kinemyo-bench-json/1\",\n  \"benches\": {\n");
+    for (i, (k, v)) in benches.iter().enumerate() {
+        out.push_str(&format!("    \"{k}\": {v}"));
+        out.push_str(if i + 1 < benches.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ann_sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "ANN sweep: {} points, dim {}, {} queries, seed {}{}",
+        args.points,
+        args.dim,
+        args.queries,
+        args.seed,
+        if args.quantize { ", quantized" } else { "" }
+    );
+
+    let db = clustered_db(args.points, args.dim, args.seed);
+    let queries = query_set(args.queries, args.dim, args.seed);
+
+    let build_start = Instant::now();
+    let params = AnnParams::default()
+        .with_seed(args.seed)
+        .with_quantize(args.quantize);
+    let index = AnnIndex::build(&db, params);
+    let build_ns = build_start.elapsed().as_nanos() as f64;
+    println!(
+        "build: {:.2} s ({:.0} ns/point)",
+        build_ns / 1e9,
+        build_ns / args.points as f64
+    );
+
+    // Ground truth + linear baseline timing in one pass.
+    let lin_start = Instant::now();
+    let truth: Vec<BTreeSet<usize>> = queries
+        .iter()
+        .map(|q| {
+            knn(&db, q, K)
+                .expect("linear scan")
+                .iter()
+                .map(|n| n.id)
+                .collect()
+        })
+        .collect();
+    let linear_ns = lin_start.elapsed().as_nanos() as f64 / args.queries as f64;
+    println!("linear scan: {:.0} ns/query\n", linear_ns);
+
+    let mut benches: BTreeMap<String, f64> = BTreeMap::new();
+    let tag = format!("n{}_d{}", args.points, args.dim);
+    benches.insert(format!("ann_sweep/{tag}/linear"), linear_ns);
+    benches.insert(format!("ann_sweep/{tag}/build"), build_ns);
+
+    println!(
+        "{:>6} {:>14} {:>12} {:>10}",
+        "ef", "ns/query", "recall@10", "speedup"
+    );
+    let mut frontier: Vec<(usize, f64, f64)> = Vec::new();
+    for ef in EF_SWEEP {
+        let run_start = Instant::now();
+        let results: Vec<Vec<kinemyo_modb::Neighbor<usize>>> = queries
+            .iter()
+            .map(|q| index.graph_knn(q, K, ef).expect("graph knn"))
+            .collect();
+        let ann_ns = run_start.elapsed().as_nanos() as f64 / args.queries as f64;
+        let recall: f64 = results
+            .iter()
+            .zip(&truth)
+            .map(|(got, want)| {
+                let hits = got.iter().filter(|n| want.contains(&n.id)).count();
+                hits as f64 / want.len().max(1) as f64
+            })
+            .sum::<f64>()
+            / args.queries as f64;
+        let speedup = linear_ns / ann_ns;
+        println!("{ef:>6} {ann_ns:>14.0} {recall:>12.4} {speedup:>9.1}x");
+        benches.insert(format!("ann_sweep/{tag}/ef{ef}"), ann_ns);
+        benches.insert(format!("ann_sweep/{tag}/recall_at_10_ef{ef}"), recall);
+        frontier.push((ef, recall, speedup));
+    }
+
+    if let Some(path) = &args.out {
+        let rendered = render_bench_json(&benches);
+        if let Err(e) = std::fs::write(path, rendered) {
+            eprintln!("ann_sweep: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\nwrote {path}");
+    }
+
+    if args.gate {
+        let need_speedup = args.points >= GATE_MIN_POINTS;
+        let winner = frontier
+            .iter()
+            .find(|&&(_, recall, speedup)| {
+                recall >= GATE_RECALL && (!need_speedup || speedup >= GATE_SPEEDUP)
+            })
+            .copied();
+        match winner {
+            Some((ef, recall, speedup)) => println!(
+                "GATE PASS: ef {ef} reaches recall@10 {recall:.4} >= {GATE_RECALL} at \
+                 {speedup:.1}x vs linear"
+            ),
+            None => {
+                eprintln!(
+                    "GATE FAIL: no swept ef reaches recall@10 >= {GATE_RECALL}{} \
+                     (frontier: {frontier:?})",
+                    if need_speedup {
+                        format!(" with speedup >= {GATE_SPEEDUP}x")
+                    } else {
+                        String::new()
+                    }
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -28,12 +28,16 @@ COMMANDS:
   train      train a classifier and save it
              --dataset PATH  --out MODEL.json
              [--clusters N] [--window-ms MS] [--seed N]
-             [--index-appends N]  rebuild the hybrid kNN index after N
-             appends (0 = linear scan, the default)
+             [--index linear|hybrid|ann]  kNN retrieval backend
+             (default hybrid; ann = deterministic HNSW graph with
+             exact reported distances)
+             [--index-appends N]  rebuild the kNN index after N
+             appends (0 = build once for ann, linear scan for hybrid)
   classify   classify records with a trained model
              --model MODEL.json  --dataset PATH  [--record ID]
   evaluate   train/query split evaluation (paper Sec. 6 metrics)
              --dataset PATH  [--clusters N] [--window-ms MS]
+             [--index linear|hybrid|ann] [--index-appends N]
              [--queries-per-cell N] [--confusion]
              [--faults RATE] [--fault-seed N]  inject sensor faults into
              the queries (dropped mocap frames, EMG dropout/saturation/
@@ -69,7 +73,9 @@ COMMANDS:
              init     --dir DIR  (--model MODEL.json | --dim N)
              ingest   --dir DIR --model MODEL.json --dataset PATH
                       [--record ID]
-             stats    --dir DIR
+             stats    --dir DIR  [--model MODEL.json]  also report the
+                      model's index backend and whether the store grafts
+                      cleanly onto it (dim + id-collision check)
              compact  --dir DIR
   help       show this text
 ";
@@ -164,12 +170,13 @@ pub fn info(args: &ParsedArgs) -> CliResult {
     if let Some(path) = args.get("model") {
         let model = MotionClassifier::load_json(Path::new(path))?;
         println!(
-            "model: limb={} motions={} clusters={} window={} frames point-dim={}",
+            "model: limb={} motions={} clusters={} window={} frames point-dim={} index={}",
             model.limb(),
             model.db().len(),
             model.fcm().num_clusters(),
             model.window().len(),
-            model.point_dim()
+            model.point_dim(),
+            model.index_kind()
         );
         return Ok(());
     }
@@ -179,10 +186,15 @@ pub fn info(args: &ParsedArgs) -> CliResult {
 }
 
 fn pipeline_config(args: &ParsedArgs) -> std::result::Result<PipelineConfig, ArgError> {
+    let backend = match args.get("index") {
+        Some(raw) => raw.parse::<IndexBackend>().map_err(ArgError)?,
+        None => IndexBackend::default(),
+    };
     Ok(PipelineConfig::default()
         .with_clusters(args.get_or("clusters", 15usize)?)
         .with_window_ms(args.get_or("window-ms", 100.0f64)?)
         .with_seed(args.get_or("seed", 0x1CDE_2007u64)?)
+        .with_index_backend(backend)
         .with_index_rebuild_appends(args.get_or("index-appends", 0usize)?))
 }
 
@@ -194,6 +206,7 @@ pub fn train(args: &ParsedArgs) -> CliResult {
         "clusters",
         "window-ms",
         "seed",
+        "index",
         "index-appends",
     ])?;
     let ds = load_dataset(Path::new(args.require("dataset")?))?;
@@ -270,6 +283,7 @@ pub fn evaluate_cmd(args: &ParsedArgs) -> CliResult {
         "clusters",
         "window-ms",
         "seed",
+        "index",
         "index-appends",
         "queries-per-cell",
         "confusion",
@@ -502,6 +516,35 @@ mod tests {
         )
         .unwrap();
         run(&p).unwrap();
+        // retrain with the ANN backend and classify through the graph
+        let p = parse(
+            &s(&[
+                "train",
+                "--dataset",
+                ds_path.to_str().unwrap(),
+                "--out",
+                model_path.to_str().unwrap(),
+                "--clusters",
+                "6",
+                "--index",
+                "ann",
+            ]),
+            &[],
+        )
+        .unwrap();
+        run(&p).unwrap();
+        let p = parse(
+            &s(&[
+                "classify",
+                "--model",
+                model_path.to_str().unwrap(),
+                "--dataset",
+                ds_path.to_str().unwrap(),
+            ]),
+            &[],
+        )
+        .unwrap();
+        run(&p).unwrap();
         std::fs::remove_file(&ds_path).ok();
         std::fs::remove_file(&model_path).ok();
     }
@@ -598,6 +641,20 @@ mod tests {
         .unwrap();
         assert!(run(&p).is_err());
         let p = parse(&s(&["generate", "--typo", "1", "--out", "x.json"]), &[]).unwrap();
+        assert!(run(&p).is_err());
+        let p = parse(
+            &s(&[
+                "train",
+                "--dataset",
+                "x.kmyo",
+                "--out",
+                "m.json",
+                "--index",
+                "vptree",
+            ]),
+            &[],
+        )
+        .unwrap();
         assert!(run(&p).is_err());
     }
 

@@ -114,11 +114,20 @@ fn ingest(args: &ParsedArgs) -> CliResult {
 }
 
 /// `kinemyo db stats`.
+///
+/// With `--model MODEL.json` it additionally reports the model's
+/// retrieval backend and the *graft state*: whether `kinemyo serve
+/// --store` of this directory would recover cleanly onto that model
+/// (dimensions match, recovered ids don't collide with training ids) —
+/// previously stats was silent about both and a mismatched store only
+/// surfaced at daemon startup.
 fn stats(args: &ParsedArgs) -> CliResult {
-    args.check_allowed(&["dir"])?;
+    args.check_allowed(&["dir", "model"])?;
     let dir = Path::new(args.require("dir")?);
-    let store = DurableDb::<RecordMeta>::open(dir, StoreConfig::default())?;
-    let s = store.stats()?;
+    let s = {
+        let store = DurableDb::<RecordMeta>::open(dir, StoreConfig::default())?;
+        store.stats()?
+    };
     println!(
         "store {}: generation={} entries={} dim={} segments={} wal-bytes={} \
          snapshot-bytes={} appends-since-snapshot={}",
@@ -131,6 +140,26 @@ fn stats(args: &ParsedArgs) -> CliResult {
         s.snapshot_bytes,
         s.appends_since_snapshot
     );
+    if let Some(model_path) = args.get("model") {
+        let model = MotionClassifier::load_json(Path::new(model_path))?;
+        let trained = model.db().len();
+        // Replay the exact recovery path the serve daemon uses; an error
+        // here is the same typed refusal `serve --store` would print.
+        let graft =
+            match DurableDb::open_into(dir, StoreConfig::default(), model.shared_db().clone()) {
+                Ok(grafted) => format!(
+                    "clean ({} store-owned + {trained} trained motions)",
+                    grafted.len()
+                ),
+                Err(e) => format!("REFUSED: {e}"),
+            };
+        println!(
+            "model {}: index={} point-dim={} graft={graft}",
+            model_path,
+            model.index_kind(),
+            model.point_dim()
+        );
+    }
     Ok(())
 }
 
@@ -257,6 +286,20 @@ mod tests {
         run(&p).unwrap();
         let p = parse(
             &s(&["db", "stats", "--dir", store_dir.to_str().unwrap()]),
+            &[],
+        )
+        .unwrap();
+        run(&p).unwrap();
+        // stats --model reports the index backend and the graft state.
+        let p = parse(
+            &s(&[
+                "db",
+                "stats",
+                "--dir",
+                store_dir.to_str().unwrap(),
+                "--model",
+                model_path.to_str().unwrap(),
+            ]),
             &[],
         )
         .unwrap();

@@ -189,6 +189,7 @@ impl Router {
         let mut total_motions = 0usize;
         let mut newest_generation = 0u64;
         let mut limb = None;
+        let mut index = None;
         let mut uptime = 0u64;
         let mut any = false;
         for (health, value) in outcomes {
@@ -197,6 +198,7 @@ impl Router {
                 motions,
                 limb: shard_limb,
                 uptime_ms,
+                index: shard_index,
                 ..
             }) = value
             {
@@ -204,6 +206,7 @@ impl Router {
                 total_motions += motions;
                 newest_generation = newest_generation.max(model_generation);
                 limb.get_or_insert(shard_limb);
+                index.get_or_insert(shard_index);
                 uptime = uptime.max(uptime_ms);
             }
             shards.push(health);
@@ -215,6 +218,9 @@ impl Router {
                 limb,
                 uptime_ms: uptime,
                 role: Role::Router,
+                // Like `limb`: the first answering shard's backend stands
+                // in for the topology (heterogeneous only mid-rollout).
+                index: index.unwrap_or_default(),
             }),
             _ => None,
         };

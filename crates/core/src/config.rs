@@ -5,6 +5,69 @@ use kinemyo_features::Modality;
 use kinemyo_fuzzy::ThreadPolicy;
 use serde::{Deserialize, Serialize};
 
+/// Which retrieval backend answers [`neighbors()`] queries.
+///
+/// Interacts with [`PipelineConfig::index_rebuild_appends`]:
+///
+/// * [`Linear`](Self::Linear) — always the paper's exact linear scan,
+///   even when a rebuild threshold is configured;
+/// * [`Hybrid`](Self::Hybrid) (default) — the exact
+///   `HybridIndex` (VP-tree prefix + linear tail) once
+///   `index_rebuild_appends > 0`, otherwise a pure linear scan. This is
+///   exactly the pre-`index_backend` behaviour, so old configs and saved
+///   models keep their semantics;
+/// * [`Ann`](Self::Ann) — the approximate `kinemyo-ann` HNSW graph over
+///   the stable prefix with an exact linear tail. With
+///   `index_rebuild_appends == 0` the graph is built once at first query
+///   and never rebuilt (the growing tail stays exact); with a threshold
+///   it rebuilds like the hybrid. Reported distances are exact; the
+///   approximation is a measured recall@k contract (see DESIGN.md §15).
+///
+/// [`neighbors()`]: crate::pipeline::MotionClassifier
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum IndexBackend {
+    /// Exact linear scan over the whole database (the paper's search).
+    Linear,
+    /// Exact VP-tree stable prefix + linear tail.
+    #[default]
+    Hybrid,
+    /// Approximate HNSW graph prefix + exact linear tail.
+    Ann,
+}
+
+impl IndexBackend {
+    /// Lower-case name, matching the CLI `--index` flag values.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            IndexBackend::Linear => "linear",
+            IndexBackend::Hybrid => "hybrid",
+            IndexBackend::Ann => "ann",
+        }
+    }
+}
+
+impl std::fmt::Display for IndexBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for IndexBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "linear" => Ok(IndexBackend::Linear),
+            "hybrid" => Ok(IndexBackend::Hybrid),
+            "ann" => Ok(IndexBackend::Ann),
+            other => Err(format!(
+                "unknown index backend '{other}' (expected linear, hybrid, or ann)"
+            )),
+        }
+    }
+}
+
 /// Full configuration of the classification pipeline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PipelineConfig {
@@ -44,6 +107,13 @@ pub struct PipelineConfig {
     /// linear scan, the paper's stated search.
     #[serde(default)]
     pub index_rebuild_appends: usize,
+    /// Retrieval backend for `neighbors()` queries — see [`IndexBackend`]
+    /// for how each variant interacts with `index_rebuild_appends`. The
+    /// default ([`IndexBackend::Hybrid`]) reproduces the historical
+    /// behaviour bit for bit, so configs written before this field
+    /// existed load unchanged.
+    #[serde(default)]
+    pub index_backend: IndexBackend,
 }
 
 impl Default for PipelineConfig {
@@ -61,6 +131,7 @@ impl Default for PipelineConfig {
             standardize: true,
             threads: ThreadPolicy::default(),
             index_rebuild_appends: 0,
+            index_backend: IndexBackend::default(),
         }
     }
 }
@@ -105,6 +176,24 @@ impl PipelineConfig {
     pub fn with_index_rebuild_appends(mut self, appends: usize) -> Self {
         self.index_rebuild_appends = appends;
         self
+    }
+
+    /// Sets the retrieval backend for `neighbors()` queries.
+    pub fn with_index_backend(mut self, backend: IndexBackend) -> Self {
+        self.index_backend = backend;
+        self
+    }
+
+    /// The backend that will actually answer `neighbors()` queries under
+    /// this configuration: [`IndexBackend::Hybrid`] degrades to
+    /// [`IndexBackend::Linear`] while `index_rebuild_appends == 0` (no
+    /// staleness policy → no index, the historical default), while
+    /// [`IndexBackend::Ann`] always uses the graph.
+    pub fn index_kind(&self) -> IndexBackend {
+        match self.index_backend {
+            IndexBackend::Hybrid if self.index_rebuild_appends == 0 => IndexBackend::Linear,
+            other => other,
+        }
     }
 
     /// Validates the configuration.
@@ -250,6 +339,12 @@ impl PipelineConfigBuilder {
         self
     }
 
+    /// Retrieval backend for `neighbors()` queries.
+    pub fn index_backend(mut self, backend: IndexBackend) -> Self {
+        self.config.index_backend = backend;
+        self
+    }
+
     /// Validates the assembled configuration and returns it.
     pub fn build(self) -> Result<PipelineConfig> {
         self.config.validate()?;
@@ -375,7 +470,8 @@ mod tests {
         if serde_json::to_string(&0u32).is_err() {
             return; // serde_json stub build
         }
-        // A config file written before `index_rebuild_appends` existed.
+        // A config file written before `index_rebuild_appends` (and later
+        // `index_backend`) existed.
         let json = r#"{
             "window_ms": 100.0, "mocap_fs": 120.0, "clusters": 15,
             "fuzzifier": 2.0, "knn_k": 5, "seed": 1, "fcm_restarts": 2,
@@ -383,6 +479,53 @@ mod tests {
         }"#;
         let back: PipelineConfig = serde_json::from_str(json).unwrap();
         assert_eq!(back.index_rebuild_appends, 0);
+        assert_eq!(back.index_backend, IndexBackend::Hybrid);
+        // ... and the effective search is still the pure linear scan.
+        assert_eq!(back.index_kind(), IndexBackend::Linear);
+    }
+
+    #[test]
+    fn index_backend_knob_and_effective_kind() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.index_backend, IndexBackend::Hybrid);
+        // Historical default: no staleness policy → pure linear scan.
+        assert_eq!(c.index_kind(), IndexBackend::Linear);
+        assert_eq!(
+            c.clone().with_index_rebuild_appends(64).index_kind(),
+            IndexBackend::Hybrid
+        );
+        // Ann is in force with or without a rebuild threshold.
+        let ann = c.clone().with_index_backend(IndexBackend::Ann);
+        assert_eq!(ann.index_kind(), IndexBackend::Ann);
+        assert_eq!(
+            ann.clone().with_index_rebuild_appends(64).index_kind(),
+            IndexBackend::Ann
+        );
+        // Linear is an explicit opt-out even with a threshold.
+        let lin = c
+            .clone()
+            .with_index_backend(IndexBackend::Linear)
+            .with_index_rebuild_appends(64);
+        assert_eq!(lin.index_kind(), IndexBackend::Linear);
+        assert!(lin.validate().is_ok());
+        let b = PipelineConfig::builder()
+            .index_backend(IndexBackend::Ann)
+            .build()
+            .unwrap();
+        assert_eq!(b.index_backend, IndexBackend::Ann);
+    }
+
+    #[test]
+    fn index_backend_names_round_trip() {
+        for b in [
+            IndexBackend::Linear,
+            IndexBackend::Hybrid,
+            IndexBackend::Ann,
+        ] {
+            assert_eq!(b.as_str().parse::<IndexBackend>().unwrap(), b);
+            assert_eq!(format!("{b}"), b.as_str());
+        }
+        assert!("vptree".parse::<IndexBackend>().is_err());
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub mod shared;
 pub mod stream;
 
 pub use cluster::{ClusterHealth, ShardHealth, ShardStatus};
-pub use config::{PipelineConfig, PipelineConfigBuilder};
+pub use config::{IndexBackend, PipelineConfig, PipelineConfigBuilder};
 pub use error::{KinemyoError, Result};
 pub use eval::{evaluate, stratified_split, sweep, EvalOutcome, SweepPoint};
 pub use guard::{
@@ -100,7 +100,7 @@ pub use kinemyo_fuzzy::ThreadPolicy;
 /// ```
 pub mod prelude {
     pub use crate::cluster::{ClusterHealth, ShardHealth, ShardStatus};
-    pub use crate::config::{PipelineConfig, PipelineConfigBuilder};
+    pub use crate::config::{IndexBackend, PipelineConfig, PipelineConfigBuilder};
     // `crate::error::Result` is deliberately NOT re-exported: a glob import
     // would shadow `std::result::Result` and break the ubiquitous
     // `fn main() -> Result<(), Box<dyn Error>>` pattern in user code.

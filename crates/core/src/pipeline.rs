@@ -9,8 +9,9 @@
 //! against the *trained* centers via Eq. 9, the same min/max reduction,
 //! then kNN retrieval among the stored vectors.
 
-use crate::config::PipelineConfig;
+use crate::config::{IndexBackend, PipelineConfig};
 use crate::error::{KinemyoError, Result};
+use kinemyo_ann::{AnnIndex, AnnParams};
 use kinemyo_biosim::{class_code, class_from_code, Limb, MotionClass, MotionRecord, Vec3};
 use kinemyo_dsp::WindowSpec;
 use kinemyo_features::motion_vector::{
@@ -108,11 +109,49 @@ pub struct MotionClassifier {
     scaler: Option<ZScore>,
     fcm: FcmModel,
     db: SharedDb<RecordMeta>,
-    /// Lazily built hybrid kNN index (VP-tree over the stable prefix,
-    /// linear scan over the appended tail). Rebuilt once the tail
-    /// reaches `config.index_rebuild_appends`; `None` until the first
-    /// indexed query, and never populated when the knob is 0.
-    index: Mutex<Option<HybridIndex<RecordMeta>>>,
+    /// Lazily built kNN index over the stable database prefix (exact
+    /// VP-tree or approximate ANN graph, per
+    /// `config.index_kind()`), with a linear scan over the appended
+    /// tail. Rebuilt once the tail reaches `config.index_rebuild_appends`
+    /// (ANN with threshold 0 builds once and never rebuilds); `None`
+    /// until the first indexed query, and never populated when the
+    /// effective backend is the linear scan.
+    index: Mutex<Option<CachedIndex>>,
+}
+
+/// The two cacheable index shapes behind [`MotionClassifier::neighbors`].
+#[derive(Debug, Clone)]
+enum CachedIndex {
+    Hybrid(HybridIndex<RecordMeta>),
+    Ann(AnnIndex<RecordMeta>),
+}
+
+impl CachedIndex {
+    fn covered(&self) -> usize {
+        match self {
+            CachedIndex::Hybrid(i) => i.covered(),
+            CachedIndex::Ann(i) => i.covered(),
+        }
+    }
+
+    fn stale_appends(&self, db: &FeatureDb<RecordMeta>) -> usize {
+        match self {
+            CachedIndex::Hybrid(i) => i.stale_appends(db),
+            CachedIndex::Ann(i) => i.stale_appends(db),
+        }
+    }
+
+    fn knn(
+        &self,
+        db: &FeatureDb<RecordMeta>,
+        query: &[f64],
+        k: usize,
+    ) -> kinemyo_modb::Result<Vec<Neighbor<RecordMeta>>> {
+        match self {
+            CachedIndex::Hybrid(i) => i.knn(db, query, k),
+            CachedIndex::Ann(i) => i.knn(db, query, k),
+        }
+    }
 }
 
 impl Clone for MotionClassifier {
@@ -382,16 +421,29 @@ impl MotionClassifier {
         Ok(motion_feature_vector(&self.window_memberships(record)?)?)
     }
 
-    /// k-nearest stored motions for an already-extracted feature vector.
+    /// The retrieval backend answering [`neighbors`](Self::neighbors)
+    /// queries under this model's configuration (for health reporting
+    /// and operator tooling).
+    pub fn index_kind(&self) -> IndexBackend {
+        self.config.index_kind()
+    }
+
+    /// k-nearest stored motions for an already-extracted feature vector
+    /// — the single seam every query path (single, batch, streaming,
+    /// served) routes through.
     ///
-    /// With `index_rebuild_appends == 0` (the default) this is the plain
-    /// linear scan. Otherwise queries go through a cached
-    /// [`HybridIndex`]: exact answers at any point, with the VP-tree
-    /// rebuilt only once the tail of motions appended since the last
-    /// build reaches the configured threshold.
+    /// `config.index_kind()` picks the backend: the paper's exact linear
+    /// scan (the default), the exact cached [`HybridIndex`], or the
+    /// approximate [`AnnIndex`] (graph over the stable prefix, exact
+    /// linear tail, recall@k contract per DESIGN.md §15). Cached indexes
+    /// rebuild once the tail of motions appended since the last build
+    /// reaches `config.index_rebuild_appends`; the ANN backend with
+    /// threshold 0 builds once at first query and then serves the
+    /// growing tail exactly.
     pub(crate) fn neighbors(&self, query: &[f64], k: usize) -> Result<Vec<Neighbor<RecordMeta>>> {
         let db = self.db.read();
-        if self.config.index_rebuild_appends == 0 {
+        let kind = self.config.index_kind();
+        if kind == IndexBackend::Linear {
             return Ok(knn(&db, query, k)?);
         }
         let mut cache = self.index.lock().unwrap_or_else(|p| p.into_inner());
@@ -400,12 +452,19 @@ impl MotionClassifier {
             // append-only db the index was built from; start over.
             Some(idx) => {
                 db.len() < idx.covered()
-                    || idx.stale_appends(&db) >= self.config.index_rebuild_appends
+                    || (self.config.index_rebuild_appends > 0
+                        && idx.stale_appends(&db) >= self.config.index_rebuild_appends)
             }
             None => true,
         };
         if rebuild {
-            *cache = Some(HybridIndex::build(&db));
+            *cache = Some(match kind {
+                IndexBackend::Ann => CachedIndex::Ann(AnnIndex::build(
+                    &db,
+                    AnnParams::default().with_seed(self.config.seed),
+                )),
+                _ => CachedIndex::Hybrid(HybridIndex::build(&db)),
+            });
         }
         match cache.as_ref() {
             Some(idx) => Ok(idx.knn(&db, query, k)?),

@@ -2,7 +2,8 @@
 //! batch path that is **bit-identical by construction**.
 //!
 //! The original per-stage free functions (`iav_features`, `wsvd_features`,
-//! `mean_pose_features`) recompute every window from scratch from a full
+//! `mean_pose_features` — since removed) recomputed every window from
+//! scratch from a full
 //! `frames × d` matrix. That shape is wrong twice over for the paper's
 //! motivating use case (prosthetic control, Sec. 5): a controller receives
 //! *frames*, not matrices, and a tumbling window only ever needs O(d) new
@@ -31,7 +32,7 @@
 //!   kernels over explicit `(start, end)` ranges, for arbitrary (hopped,
 //!   ragged) segmentations that don't fit the tumbling incremental model.
 //!   On tumbling ranges they produce bitwise the same matrices as the
-//!   extractors; the deprecated legacy functions are thin shims over them.
+//!   extractors.
 //!
 //! # Determinism contract
 //!

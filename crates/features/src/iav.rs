@@ -5,10 +5,9 @@
 //! `IAV_j = Σ_{i = j·w}^{(j+1)·w − 1} |x_i|`
 //!
 //! computed separately per channel; a window of an `m`-channel recording
-//! becomes an `m`-length feature vector.
-
-use crate::error::Result;
-use kinemyo_linalg::Matrix;
+//! becomes an `m`-length feature vector. Windowed extraction lives in
+//! [`crate::extract`]: `iav_windows` for explicit ranges,
+//! [`IavExtractor`](crate::extract::IavExtractor) for incremental use.
 
 /// IAV of one signal segment (Eq. 1).
 ///
@@ -29,22 +28,12 @@ pub fn mav(window: &[f64]) -> f64 {
     }
 }
 
-/// Windowed IAV features for a multi-channel EMG matrix
-/// (`frames × channels`).
-///
-/// `ranges` are half-open frame ranges (typically from
-/// [`kinemyo_dsp::WindowSpec::ranges`]). Returns `windows × channels`.
-#[deprecated(note = "use `extract::iav_windows` for explicit ranges or \
-            `extract::IavExtractor` for incremental extraction")]
-pub fn iav_features(emg: &Matrix, ranges: &[(usize, usize)]) -> Result<Matrix> {
-    crate::extract::iav_windows(emg, ranges)
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::error::FeatureError;
+    use crate::extract::iav_windows;
+    use kinemyo_linalg::Matrix;
 
     #[test]
     fn iav_of_known_window() {
@@ -72,7 +61,7 @@ mod tests {
         ])
         .unwrap();
         let ranges = [(0, 3), (3, 6)];
-        let f = iav_features(&emg, &ranges).unwrap();
+        let f = iav_windows(&emg, &ranges).unwrap();
         assert_eq!(f.shape(), (2, 2));
         assert_eq!(f[(0, 0)], 4.0); // |1| + |-1| + |2|
         assert_eq!(f[(0, 1)], 6.0);
@@ -83,14 +72,14 @@ mod tests {
     #[test]
     fn out_of_bounds_window_rejected() {
         let emg = Matrix::zeros(4, 1);
-        assert!(iav_features(&emg, &[(0, 5)]).is_err());
-        assert!(iav_features(&emg, &[(3, 2)]).is_err());
+        assert!(iav_windows(&emg, &[(0, 5)]).is_err());
+        assert!(iav_windows(&emg, &[(3, 2)]).is_err());
     }
 
     #[test]
     fn empty_ranges_give_empty_features() {
         let emg = Matrix::zeros(4, 2);
-        let f = iav_features(&emg, &[]).unwrap();
+        let f = iav_windows(&emg, &[]).unwrap();
         assert_eq!(f.shape(), (0, 2));
     }
 
@@ -98,11 +87,11 @@ mod tests {
     fn non_finite_samples_rejected() {
         let mut emg = Matrix::zeros(4, 2);
         emg[(2, 1)] = f64::NAN;
-        let err = iav_features(&emg, &[(0, 4)]);
+        let err = iav_windows(&emg, &[(0, 4)]);
         assert!(matches!(err, Err(FeatureError::NonFinite { .. })));
         emg[(2, 1)] = f64::INFINITY;
         assert!(matches!(
-            iav_features(&emg, &[(0, 4)]),
+            iav_windows(&emg, &[(0, 4)]),
             Err(FeatureError::NonFinite { .. })
         ));
     }

@@ -42,14 +42,10 @@ pub use extract::{
     iav_windows, mean_pose_windows, wsvd_windows, CombinedExtractor, FeatureSpec, IavExtractor,
     MeanPoseExtractor, WindowedExtractor, WsvdExtractor,
 };
-#[allow(deprecated)]
-pub use iav::iav_features;
 pub use iav::{iav, mav};
 pub use local_transform::{to_pelvis_local, to_pelvis_local_heading};
 pub use motion_vector::{hard_histogram_vector, motion_feature_vector, window_assignments};
 pub use wsvd::weighted_sv_feature;
-#[allow(deprecated)]
-pub use wsvd::{mean_pose_features, wsvd_features};
 
 #[cfg(test)]
 mod proptests {

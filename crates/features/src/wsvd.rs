@@ -52,27 +52,10 @@ pub fn weighted_sv_feature(window: &Matrix) -> Result<[f64; 3]> {
     Ok(f)
 }
 
-/// Weighted-SVD features for all joints of a (pelvis-local) motion matrix
-/// over the given frame ranges. Returns `windows × (3 · joints)`.
-#[deprecated(note = "use `extract::wsvd_windows` for explicit ranges or \
-            `extract::WsvdExtractor` for incremental extraction")]
-pub fn wsvd_features(mocap_local: &Matrix, ranges: &[(usize, usize)]) -> Result<Matrix> {
-    crate::extract::wsvd_windows(mocap_local, ranges)
-}
-
-/// Baseline feature for the ablation study: the mean marker position over
-/// the window (3 values per joint), i.e. "where was the joint" instead of
-/// "how did it move".
-#[deprecated(note = "use `extract::mean_pose_windows` for explicit ranges or \
-            `extract::MeanPoseExtractor` for incremental extraction")]
-pub fn mean_pose_features(mocap_local: &Matrix, ranges: &[(usize, usize)]) -> Result<Matrix> {
-    crate::extract::mean_pose_windows(mocap_local, ranges)
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::extract::{mean_pose_windows, wsvd_windows};
 
     fn line_window(direction: [f64; 3], n: usize) -> Matrix {
         // Points marching along a single line: rank-1 joint matrix.
@@ -147,7 +130,7 @@ mod tests {
         let mut mocap = Matrix::from_fn(12, 3, |r, _| r as f64);
         mocap[(5, 2)] = f64::INFINITY;
         assert!(matches!(
-            wsvd_features(&mocap, &[(0, 12)]),
+            wsvd_windows(&mocap, &[(0, 12)]),
             Err(FeatureError::NonFinite { .. })
         ));
     }
@@ -160,7 +143,7 @@ mod tests {
             4 => r as f64,
             _ => 0.0,
         });
-        let f = wsvd_features(&mocap, &[(0, 6), (6, 12)]).unwrap();
+        let f = wsvd_windows(&mocap, &[(0, 6), (6, 12)]).unwrap();
         assert_eq!(f.shape(), (2, 6));
         // Joint 0 window feature points along x.
         assert!(f[(0, 0)] > 0.9);
@@ -173,11 +156,11 @@ mod tests {
     #[test]
     fn mean_pose_baseline() {
         let mocap = Matrix::from_fn(4, 3, |r, _| r as f64);
-        let f = mean_pose_features(&mocap, &[(0, 2), (2, 4)]).unwrap();
+        let f = mean_pose_windows(&mocap, &[(0, 2), (2, 4)]).unwrap();
         assert_eq!(f[(0, 0)], 0.5);
         assert_eq!(f[(1, 0)], 2.5);
-        assert!(mean_pose_features(&mocap, &[(0, 9)]).is_err());
-        assert!(mean_pose_features(&Matrix::zeros(4, 2), &[(0, 2)]).is_err());
+        assert!(mean_pose_windows(&mocap, &[(0, 9)]).is_err());
+        assert!(mean_pose_windows(&Matrix::zeros(4, 2), &[(0, 2)]).is_err());
     }
 
     #[test]
@@ -187,7 +170,7 @@ mod tests {
             let mocap = Matrix::from_fn(48, 3, |r, c| ((r + c) as f64 * 0.3).cos());
             let ranges: Vec<(usize, usize)> =
                 (0..48 / len).map(|i| (i * len, (i + 1) * len)).collect();
-            let f = wsvd_features(&mocap, &ranges).unwrap();
+            let f = wsvd_windows(&mocap, &ranges).unwrap();
             assert_eq!(f.rows(), 48 / len);
             assert!(!f.has_non_finite());
         }

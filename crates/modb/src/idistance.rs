@@ -331,6 +331,30 @@ mod tests {
     }
 
     #[test]
+    fn hundred_thousand_point_build_on_a_tiny_stack() {
+        // Construction (farthest-point reference selection, assignment,
+        // key sort) is loop-based throughout; proving it on a 256 KiB
+        // stack pins that no per-point recursion sneaks in.
+        let handle = std::thread::Builder::new()
+            .stack_size(256 * 1024)
+            .spawn(|| {
+                let db = random_db(100_000, 4, 42);
+                let index = IDistance::build(&db, 16).unwrap();
+                assert_eq!(index.len(), 100_000);
+                assert_eq!(index.partitions(), 16);
+                let q = vec![5.0, 5.0, 5.0, 5.0];
+                let exact = knn(&db, &q, 10).unwrap();
+                let fast = index.knn(&q, 10).unwrap();
+                assert_eq!(exact.len(), fast.len());
+                for (a, b) in exact.iter().zip(&fast) {
+                    assert!((a.distance - b.distance).abs() < 1e-12);
+                }
+            })
+            .unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
     fn clustered_data_agreement() {
         // The unit-interval feature vectors of the paper live in [0,1]^2c;
         // verify on that scale too.

@@ -40,13 +40,10 @@ pub fn knn<M: Clone>(db: &FeatureDb<M>, query: &[f64], k: usize) -> Result<Vec<N
 }
 
 /// Linear top-`k` scan over a slice of entries, closest first. The shared
-/// core of [`knn`] and the tail scan of
-/// [`HybridIndex`](crate::hybrid::HybridIndex); callers validate the query.
-pub(crate) fn scan_entries<M: Clone>(
-    entries: &[Entry<M>],
-    query: &[f64],
-    k: usize,
-) -> Vec<Neighbor<M>> {
+/// core of [`knn`], the tail scan of
+/// [`HybridIndex`](crate::hybrid::HybridIndex), and the tail scan of the
+/// approximate index in `kinemyo-ann`; callers validate the query.
+pub fn scan_entries<M: Clone>(entries: &[Entry<M>], query: &[f64], k: usize) -> Vec<Neighbor<M>> {
     // Max-heap of the current best k by distance, implemented with a
     // simple sorted insert (k is small — the paper uses k = 5).
     let mut best: Vec<Neighbor<M>> = Vec::with_capacity(k + 1);

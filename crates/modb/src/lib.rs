@@ -38,7 +38,7 @@ pub use dtw::{dtw_distance, DtwClassifier};
 pub use error::{DbError, Result};
 pub use hybrid::HybridIndex;
 pub use idistance::IDistance;
-pub use knn::{classify, knn, Neighbor};
+pub use knn::{classify, knn, scan_entries, Neighbor};
 pub use metrics::{knn_correct_pct, mean_pct, ConfusionMatrix};
 pub use store::{DbReadGuard, Entry, FeatureDb, SharedDb};
 pub use vptree::VpTree;

@@ -43,53 +43,66 @@ impl<M: Clone> VpTree<M> {
             metas,
             dim: db.dim(),
         };
-        let mut indices: Vec<usize> = (0..tree.points.len()).collect();
-        tree.root = tree.build_rec(&mut indices);
+        let indices: Vec<usize> = (0..tree.points.len()).collect();
+        tree.build_iterative(indices);
         tree
     }
 
-    fn build_rec(&mut self, indices: &mut [usize]) -> Option<usize> {
-        if indices.is_empty() {
-            return None;
+    /// Builds the tree with an explicit work stack instead of recursion,
+    /// so construction cost is bounded by heap, not thread stack — a
+    /// million-motion build must not depend on the caller's stack size
+    /// (see the 10⁵-point test, which builds on a 256 KiB stack).
+    ///
+    /// Each work item is a subset of point indices plus the parent slot
+    /// the subtree root will be written into. Pushing the outside half
+    /// first and the inside half second preserves the preorder node
+    /// numbering of the old recursive build (node, inside subtree,
+    /// outside subtree), so tree layout is unchanged.
+    fn build_iterative(&mut self, indices: Vec<usize>) {
+        /// Where a finished subtree root gets linked.
+        enum Slot {
+            Root,
+            Inside(usize),
+            Outside(usize),
         }
-        // Vantage point: the first index (points arrive in insertion order;
-        // deterministic and adequate for the moderate sizes here).
-        let vantage = indices[0];
-        let rest = &mut indices[1..];
-        if rest.is_empty() {
+        let mut work: Vec<(Slot, Vec<usize>)> = vec![(Slot::Root, indices)];
+        while let Some((slot, idxs)) = work.pop() {
+            let Some((&vantage, rest)) = idxs.split_first() else {
+                continue;
+            };
             let node_idx = self.nodes.len();
+            // Vantage point: the first index (points arrive in insertion
+            // order; deterministic and adequate for the sizes here).
+            let radius = if rest.is_empty() {
+                0.0
+            } else {
+                // Partition the rest by median distance to the vantage.
+                let vantage_point = &self.points[vantage];
+                let mut dists: Vec<(f64, usize)> = rest
+                    .iter()
+                    .map(|&i| (euclidean(&self.points[i], vantage_point), i))
+                    .collect();
+                dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let mid = dists.len() / 2;
+                let radius = dists[mid].0;
+                let inside: Vec<usize> = dists[..mid].iter().map(|&(_, i)| i).collect();
+                let outside: Vec<usize> = dists[mid..].iter().map(|&(_, i)| i).collect();
+                work.push((Slot::Outside(node_idx), outside));
+                work.push((Slot::Inside(node_idx), inside));
+                radius
+            };
             self.nodes.push(Node {
                 point: vantage,
-                radius: 0.0,
+                radius,
                 inside: None,
                 outside: None,
             });
-            return Some(node_idx);
+            match slot {
+                Slot::Root => self.root = Some(node_idx),
+                Slot::Inside(parent) => self.nodes[parent].inside = Some(node_idx),
+                Slot::Outside(parent) => self.nodes[parent].outside = Some(node_idx),
+            }
         }
-        // Partition the rest by the median distance to the vantage point.
-        let vantage_point = self.points[vantage].clone();
-        let mut dists: Vec<(f64, usize)> = rest
-            .iter()
-            .map(|&i| (euclidean(&self.points[i], &vantage_point), i))
-            .collect();
-        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let mid = dists.len() / 2;
-        let radius = dists[mid].0;
-        let mut inside: Vec<usize> = dists[..mid].iter().map(|&(_, i)| i).collect();
-        let mut outside: Vec<usize> = dists[mid..].iter().map(|&(_, i)| i).collect();
-
-        let node_idx = self.nodes.len();
-        self.nodes.push(Node {
-            point: vantage,
-            radius,
-            inside: None,
-            outside: None,
-        });
-        let inside_child = self.build_rec(&mut inside);
-        let outside_child = self.build_rec(&mut outside);
-        self.nodes[node_idx].inside = inside_child;
-        self.nodes[node_idx].outside = outside_child;
-        Some(node_idx)
     }
 
     /// Number of indexed points.
@@ -247,6 +260,29 @@ mod tests {
         let etree = VpTree::build(&empty);
         assert!(etree.is_empty());
         assert!(etree.knn(&[0.0, 0.0], 1).is_err());
+    }
+
+    #[test]
+    fn hundred_thousand_point_build_on_a_tiny_stack() {
+        // The build must never recurse over the data: run it on a thread
+        // with a 256 KiB stack, far below what a per-point recursion
+        // would need at this scale.
+        let handle = std::thread::Builder::new()
+            .stack_size(256 * 1024)
+            .spawn(|| {
+                let db = random_db(100_000, 4, 42);
+                let tree = VpTree::build(&db);
+                assert_eq!(tree.len(), 100_000);
+                let q = vec![5.0, 5.0, 5.0, 5.0];
+                let exact = knn(&db, &q, 10).unwrap();
+                let fast = tree.knn(&q, 10).unwrap();
+                assert_eq!(exact.len(), fast.len());
+                for (a, b) in exact.iter().zip(&fast) {
+                    assert!((a.distance - b.distance).abs() < 1e-12);
+                }
+            })
+            .unwrap();
+        handle.join().unwrap();
     }
 
     #[test]

@@ -207,6 +207,11 @@ pub enum Response {
         /// The node's cluster role (`single` outside a cluster).
         #[serde(default)]
         role: Role,
+        /// Effective retrieval backend of the loaded model (`linear`,
+        /// `hybrid`, or `ann`). Pre-ANN frames without the field decode
+        /// as the historical `hybrid` default.
+        #[serde(default)]
+        index: kinemyo::IndexBackend,
     },
     /// Answer to [`Request::Stats`].
     Stats {
@@ -501,12 +506,19 @@ mod tests {
             limb: kinemyo_biosim::Limb::RightHand,
             uptime_ms: 5,
             role: Role::Follower,
+            index: kinemyo::IndexBackend::Ann,
         })
         .unwrap();
         assert!(json.contains("\"role\":\"follower\""), "{json}");
-        let legacy = json.replace(",\"role\":\"follower\"", "");
+        assert!(json.contains("\"index\":\"ann\""), "{json}");
+        let legacy = json
+            .replace(",\"role\":\"follower\"", "")
+            .replace(",\"index\":\"ann\"", "");
         match decode_frame::<Response>(&legacy).unwrap() {
-            Response::Health { role, .. } => assert_eq!(role, Role::Single),
+            Response::Health { role, index, .. } => {
+                assert_eq!(role, Role::Single);
+                assert_eq!(index, kinemyo::IndexBackend::Hybrid);
+            }
             other => panic!("unexpected {other:?}"),
         }
 

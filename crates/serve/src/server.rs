@@ -679,6 +679,7 @@ fn dispatch(line: &str, shared: &Arc<ServerShared>, job_tx: &SyncSender<Job>) ->
                     limb: model.limb(),
                     uptime_ms: shared.uptime_ms(),
                     role: shared.role.get(),
+                    index: model.index_kind(),
                 },
                 false,
             )

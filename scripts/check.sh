@@ -36,6 +36,13 @@ if [[ "${1:-}" != "--quick" ]]; then
         cargo run -q -p kinemyo-bench --bin bench_json -- compare \
             BENCH_baseline.json "$PERF_DIR/current.json" --tolerance 0.25
         rm -rf "$PERF_DIR"
+
+        echo "==> ANN smoke (recall@10 >= 0.95 and >= 10x speedup vs linear at 100k points)"
+        # The committed reference numbers live in BENCH_ann.json; regenerate
+        # with:  cargo run --release -p kinemyo-bench --bin ann_sweep -- \
+        #            --points 100000 --queries 200 --gate --out BENCH_ann.json
+        cargo run -q --release -p kinemyo-bench --bin ann_sweep -- \
+            --points 100000 --queries 100 --gate
     else
         echo "==> perf smoke skipped (KINEMYO_SKIP_PERF=1)"
     fi

@@ -1,0 +1,182 @@
+//! Integration tests for the approximate-neighbour backend: recall@10
+//! against the exact linear scan over *real* trained motion vectors from
+//! seeded biosim datasets, bit-identical index construction regardless
+//! of the training thread policy, and end-to-end classification through
+//! `IndexBackend::Ann`.
+
+use kinemyo::biosim::{Dataset, DatasetSpec, MotionRecord};
+use kinemyo::{IndexBackend, MotionClassifier, PipelineConfig, ThreadPolicy};
+use kinemyo_ann::{AnnIndex, AnnParams};
+use kinemyo_modb::knn;
+use std::collections::BTreeSet;
+
+/// Recall@k of the approximate result against the exact result, by id.
+fn recall_at(
+    exact: &[kinemyo_modb::Neighbor<kinemyo::pipeline::RecordMeta>],
+    approx: &[kinemyo_modb::Neighbor<kinemyo::pipeline::RecordMeta>],
+) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let truth: BTreeSet<usize> = exact.iter().map(|n| n.id).collect();
+    let hit = approx.iter().filter(|n| truth.contains(&n.id)).count();
+    hit as f64 / truth.len() as f64
+}
+
+#[test]
+fn ann_recall_at_10_beats_095_on_seeded_biosim_datasets() {
+    // Multiple dataset seeds and sizes: the recall contract has to hold
+    // on the motion vectors the pipeline actually produces, not only on
+    // synthetic clusters.
+    for (seed, participants, trials) in [(2007u64, 2usize, 4usize), (11, 2, 6), (23, 3, 6)] {
+        let spec = DatasetSpec::hand_default()
+            .with_size(participants, trials)
+            .with_seed(seed);
+        let ds = Dataset::generate(spec).expect("dataset generates");
+        let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+        let config = PipelineConfig::default().with_clusters(10);
+        let model = MotionClassifier::train(&refs, ds.spec.limb, &config).expect("trains");
+        let db = model.db();
+        let index = AnnIndex::build(&db, AnnParams::default());
+
+        let mut total = 0.0;
+        let mut queries = 0usize;
+        for r in &ds.records {
+            let fv = model.query_feature_vector(r).expect("features");
+            let exact = knn(&db, fv.as_slice(), 10).expect("linear");
+            let approx = index.knn(&db, fv.as_slice(), 10).expect("ann");
+            // Reported distances are exact f64 distances, bit-identical
+            // to the linear scan's, for every neighbour both returned.
+            for a in &approx {
+                if let Some(e) = exact.iter().find(|e| e.id == a.id) {
+                    assert_eq!(
+                        e.distance.to_bits(),
+                        a.distance.to_bits(),
+                        "seed {seed}: ann reported a non-exact distance for id {}",
+                        a.id
+                    );
+                }
+            }
+            total += recall_at(&exact, &approx);
+            queries += 1;
+        }
+        let recall = total / queries as f64;
+        assert!(
+            recall >= 0.95,
+            "seed {seed} ({} motions): recall@10 {recall:.4} < 0.95",
+            db.len()
+        );
+    }
+}
+
+#[test]
+fn ann_build_is_bit_identical_for_any_thread_policy() {
+    // The graph is built from the trained database; training itself is
+    // bitwise thread-count-independent, and the sequential ANN insertion
+    // never consults a thread pool — so the encoded index must be
+    // byte-equal whatever policy trained the model, and across rebuilds.
+    let ds = Dataset::generate(DatasetSpec::hand_default().with_size(2, 4)).expect("generates");
+    let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+    let base = PipelineConfig::default()
+        .with_clusters(12)
+        .with_index_backend(IndexBackend::Ann);
+
+    let mut encodings: Vec<Vec<u8>> = Vec::new();
+    for policy in [
+        ThreadPolicy::Sequential,
+        ThreadPolicy::Fixed(2),
+        ThreadPolicy::Fixed(4),
+        ThreadPolicy::Auto,
+    ] {
+        let config = base.clone().with_threads(policy);
+        let model = MotionClassifier::train(&refs, ds.spec.limb, &config).expect("trains");
+        let index = AnnIndex::build(&model.db(), AnnParams::default().with_seed(config.seed));
+        encodings.push(index.encode());
+        // And a second build from the same database is identical too.
+        let again = AnnIndex::build(&model.db(), AnnParams::default().with_seed(config.seed));
+        assert_eq!(
+            index.encode(),
+            again.encode(),
+            "{policy:?}: rebuild drifted"
+        );
+    }
+    for pair in encodings.windows(2) {
+        assert_eq!(
+            pair[0], pair[1],
+            "ANN index bytes differ between training thread policies"
+        );
+    }
+}
+
+#[test]
+fn ann_backend_classifies_like_linear_end_to_end() {
+    // At integration-test scale the ef-search beam covers the whole
+    // database, so the ANN backend must agree with the linear backend
+    // exactly — same predictions, same neighbour distances.
+    let ds = Dataset::generate(DatasetSpec::hand_default().with_size(2, 4)).expect("generates");
+    let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+    let linear_cfg = PipelineConfig::default()
+        .with_clusters(10)
+        .with_index_backend(IndexBackend::Linear);
+    let ann_cfg = linear_cfg.clone().with_index_backend(IndexBackend::Ann);
+    let linear = MotionClassifier::train(&refs, ds.spec.limb, &linear_cfg).expect("trains");
+    let ann = MotionClassifier::train(&refs, ds.spec.limb, &ann_cfg).expect("trains");
+    assert_eq!(linear.index_kind(), IndexBackend::Linear);
+    assert_eq!(ann.index_kind(), IndexBackend::Ann);
+
+    for r in ds.records.iter().step_by(5) {
+        let cl = linear.classify_record(r).expect("linear classify");
+        let ca = ann.classify_record(r).expect("ann classify");
+        assert_eq!(cl.predicted, ca.predicted, "record {}", r.id);
+        assert_eq!(cl.neighbors.len(), ca.neighbors.len());
+        for (a, b) in cl.neighbors.iter().zip(&ca.neighbors) {
+            assert_eq!(a.id, b.id, "record {}: neighbour sets differ", r.id);
+            assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+        }
+    }
+}
+
+#[test]
+fn ann_index_sees_appended_motions_immediately() {
+    // HybridIndex's append contract, mirrored: entries inserted after the
+    // graph was built are served from the exact linear tail until the
+    // rebuild threshold folds them in.
+    let ds = Dataset::generate(DatasetSpec::hand_default().with_size(2, 4)).expect("generates");
+    let (train, held_out) = kinemyo::stratified_split(&ds.records, 1);
+    let config = PipelineConfig::default()
+        .with_clusters(10)
+        .with_index_backend(IndexBackend::Ann)
+        .with_index_rebuild_appends(4);
+    let model = MotionClassifier::train(&train, ds.spec.limb, &config).expect("trains");
+
+    for r in &held_out {
+        let fv = model.query_feature_vector(r).expect("features");
+        // Clone before inserting: a `db()` read guard alive inside the
+        // insert statement would deadlock against its write lock.
+        let (before, id) = {
+            let db = model.db();
+            (db.len(), db.max_id().map_or(0, |m| m + 1))
+        };
+        model
+            .shared_db()
+            .insert(
+                id,
+                kinemyo::pipeline::RecordMeta {
+                    record_id: r.id,
+                    class: r.class,
+                    participant: r.participant,
+                    trial: r.trial,
+                },
+                fv.as_slice().to_vec(),
+            )
+            .expect("insert");
+        assert_eq!(model.db().len(), before + 1);
+        // A self-query must retrieve the fresh motion at rank 1 even
+        // though the graph prefix has not been rebuilt around it.
+        let c = model.classify_record(r).expect("classify");
+        assert_eq!(
+            c.neighbors[0].id, id,
+            "appended motion invisible to the ANN-backed neighbors() path"
+        );
+    }
+}
