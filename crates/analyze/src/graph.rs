@@ -1,0 +1,532 @@
+//! The workspace pass: stitches per-file [`FileSummary`]s into a lock
+//! acquisition graph and a name-level call-graph approximation, and
+//! emits the two cross-function lints:
+//!
+//! - **lock-order-cycle** — an edge `A -> B` means some thread acquires
+//!   lock `B` while holding `A` (observed intra-function, or through one
+//!   level of call-graph propagation). Any cycle in the graph is a
+//!   potential deadlock.
+//! - **io-under-lock** — a blocking call (socket, fsync, condvar wait on
+//!   an unrelated lock) made while a lock guard is live, in the serving
+//!   crates (`serve`, `cluster`, `store`). Besides direct sinks, a call
+//!   to a function whose (transitive) summary performs blocking I/O is
+//!   flagged at the call site.
+//!
+//! Call resolution is by *name and arity*, filtered by the crate
+//! dependency DAG (a call in `modb` can never resolve to a function in
+//! `store`, because `store` depends on `modb` and not vice versa). Locks
+//! are identified as `crate::field`; an acquisition only counts when the
+//! receiver identifier matches a lock harvested in the same crate, so
+//! `stdout().lock()` or a local `.read(buf)` never enters the graph.
+
+use crate::lints::RawDiag;
+use crate::summaries::FileSummary;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Crates whose code is in scope for `io-under-lock`.
+const IO_UNDER_LOCK_CRATES: [&str; 3] = ["serve", "cluster", "store"];
+
+/// One file's summary plus the identity the graph pass needs.
+pub struct FileInput<'a> {
+    pub path: &'a str,
+    pub crate_name: &'a str,
+    pub summary: &'a FileSummary,
+}
+
+/// Transitive internal-dependency map, parsed from `crates/*/Cargo.toml`
+/// (and top-level `tests/`): crate dir name -> every `kinemyo-*` crate it
+/// can reach. Line-based on purpose — the analyzer stays dependency-free.
+pub fn crate_deps(root: &Path) -> BTreeMap<String, BTreeSet<String>> {
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut manifest_dirs: Vec<(String, std::path::PathBuf)> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                manifest_dirs.push((name, path));
+            }
+        }
+    }
+    manifest_dirs.push(("tests".into(), root.join("tests")));
+    for (name, dir) in manifest_dirs {
+        let Ok(toml) = std::fs::read_to_string(dir.join("Cargo.toml")) else {
+            continue;
+        };
+        let deps = direct.entry(name.clone()).or_default();
+        let mut in_deps = false;
+        for line in toml.lines() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                in_deps = line.starts_with("[dependencies")
+                    || line.starts_with("[dev-dependencies")
+                    || line.starts_with("[build-dependencies");
+                continue;
+            }
+            if !in_deps {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("kinemyo-") {
+                let dep: String = rest
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                if !dep.is_empty() && dep != name {
+                    deps.insert(dep);
+                }
+            }
+        }
+    }
+    // Transitive closure.
+    loop {
+        let mut grew = false;
+        let names: Vec<String> = direct.keys().cloned().collect();
+        for name in names {
+            let reach: BTreeSet<String> = direct[&name]
+                .iter()
+                .flat_map(|d| direct.get(d).into_iter().flatten().cloned())
+                .collect();
+            let deps = direct.get_mut(&name).expect("key just listed");
+            for r in reach {
+                grew |= deps.insert(r);
+            }
+        }
+        if !grew {
+            return direct;
+        }
+    }
+}
+
+/// True when a call in `from` may resolve to a function in `to`. With an
+/// empty dependency map (single-file analysis) only same-crate calls
+/// resolve.
+fn visible(deps: &BTreeMap<String, BTreeSet<String>>, from: &str, to: &str) -> bool {
+    from == to || deps.get(from).is_some_and(|d| d.contains(to))
+}
+
+/// Identity of one function summary: (file index, fn index).
+type FnId = (usize, usize);
+
+/// Runs the workspace pass; returns raw diagnostics keyed by file index.
+pub fn workspace_pass(
+    files: &[FileInput],
+    deps: &BTreeMap<String, BTreeSet<String>>,
+) -> Vec<(usize, RawDiag)> {
+    // Harvested lock names, unioned per crate.
+    let mut locks_of: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for f in files {
+        let set = locks_of.entry(f.crate_name).or_default();
+        for l in &f.summary.locks {
+            set.insert(l.name.as_str());
+        }
+    }
+    let is_lock =
+        |krate: &str, name: &str| -> bool { locks_of.get(krate).is_some_and(|s| s.contains(name)) };
+    let qualify = |krate: &str, name: &str| -> String { format!("{krate}::{name}") };
+
+    // Function index: name -> summaries carrying it.
+    let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (gi, g) in f.summary.fns.iter().enumerate() {
+            by_name.entry(g.name.as_str()).or_default().push((fi, gi));
+        }
+    }
+    let fn_of = |id: FnId| &files[id.0].summary.fns[id.1];
+
+    // Token positions consumed as lock acquisitions: the matching
+    // `lock`/`read`/`write` CallOut must not also resolve as a call.
+    let mut acquired_pos: BTreeSet<(usize, usize, usize)> = BTreeSet::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (gi, g) in f.summary.fns.iter().enumerate() {
+            for a in &g.acquires {
+                if is_lock(f.crate_name, &a.lock) {
+                    acquired_pos.insert((fi, gi, a.pos));
+                }
+            }
+        }
+    }
+
+    // Transitive does-blocking-io, propagated over name+arity-resolved,
+    // dependency-filtered calls.
+    let mut does_io: BTreeSet<FnId> = BTreeSet::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (gi, g) in f.summary.fns.iter().enumerate() {
+            if g.does_io() {
+                does_io.insert((fi, gi));
+            }
+        }
+    }
+    loop {
+        let mut grew = false;
+        for (fi, f) in files.iter().enumerate() {
+            for (gi, g) in f.summary.fns.iter().enumerate() {
+                if does_io.contains(&(fi, gi)) {
+                    continue;
+                }
+                let spreads = g.calls.iter().any(|c| {
+                    !acquired_pos.contains(&(fi, gi, c.pos))
+                        && by_name.get(c.callee.as_str()).is_some_and(|cands| {
+                            cands.iter().any(|&id| {
+                                id != (fi, gi)
+                                    && does_io.contains(&id)
+                                    && fn_of(id).arity == c.arity
+                                    && visible(deps, f.crate_name, files[id.0].crate_name)
+                            })
+                        })
+                });
+                if spreads {
+                    does_io.insert((fi, gi));
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // Lock graph: edge (held -> acquired), keeping the first site per
+    // edge in (path, line) order for deterministic reporting.
+    let mut edges: BTreeMap<(String, String), (usize, u32)> = BTreeMap::new();
+    let mut add_edge = |from: String, to: String, site: (usize, u32), files: &[FileInput]| {
+        let key = (from, to);
+        let better = |a: (usize, u32), b: (usize, u32)| -> (usize, u32) {
+            if (files[a.0].path, a.1) <= (files[b.0].path, b.1) {
+                a
+            } else {
+                b
+            }
+        };
+        edges
+            .entry(key)
+            .and_modify(|s| *s = better(*s, site))
+            .or_insert(site);
+    };
+
+    for (fi, f) in files.iter().enumerate() {
+        for g in &f.summary.fns {
+            // Intra-function: acquiring `lock` while `held` are live.
+            for a in &g.acquires {
+                if !is_lock(f.crate_name, &a.lock) {
+                    continue;
+                }
+                for h in &a.held {
+                    if is_lock(f.crate_name, h) {
+                        add_edge(
+                            qualify(f.crate_name, h),
+                            qualify(f.crate_name, &a.lock),
+                            (fi, a.line),
+                            files,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    for (fi, f) in files.iter().enumerate() {
+        for (gi, g) in f.summary.fns.iter().enumerate() {
+            // One level of propagation: calling, while holding `held`, a
+            // function that itself directly acquires locks.
+            for c in &g.calls {
+                if acquired_pos.contains(&(fi, gi, c.pos)) {
+                    continue;
+                }
+                let held: Vec<&String> =
+                    c.held.iter().filter(|h| is_lock(f.crate_name, h)).collect();
+                if held.is_empty() {
+                    continue;
+                }
+                let Some(cands) = by_name.get(c.callee.as_str()) else {
+                    continue;
+                };
+                for &id in cands {
+                    if id == (fi, gi)
+                        || fn_of(id).arity != c.arity
+                        || !visible(deps, f.crate_name, files[id.0].crate_name)
+                    {
+                        continue;
+                    }
+                    let callee_crate = files[id.0].crate_name;
+                    for a in &fn_of(id).acquires {
+                        if !is_lock(callee_crate, &a.lock) {
+                            continue;
+                        }
+                        let to = qualify(callee_crate, &a.lock);
+                        for h in &held {
+                            let from = qualify(f.crate_name, h);
+                            // Name-aliased callees make propagated
+                            // self-edges pure noise; real re-entrancy is
+                            // still caught by the intra-function edge.
+                            if from != to {
+                                add_edge(from, to.clone(), (fi, c.line), files);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<(usize, RawDiag)> = Vec::new();
+
+    // Cycle detection: strongly connected components of the edge set.
+    let sccs = tarjan(&edges);
+    let mut component: BTreeMap<&str, usize> = BTreeMap::new();
+    for (ci, comp) in sccs.iter().enumerate() {
+        for node in comp {
+            component.insert(node, ci);
+        }
+    }
+    for ((from, to), &(fi, line)) in &edges {
+        let same = component.get(from.as_str()) == component.get(to.as_str());
+        let cyclic = (same && sccs[component[from.as_str()]].len() > 1) || from == to;
+        if !cyclic {
+            continue;
+        }
+        let comp = &sccs[component[from.as_str()]];
+        let members = comp.join(", ");
+        out.push((
+            fi,
+            RawDiag {
+                line,
+                lint: "lock-order-cycle",
+                message: format!(
+                    "acquiring `{to}` while holding `{from}` completes a lock-order cycle \
+                     among {{{members}}} — potential deadlock; acquire these locks in one \
+                     global order"
+                ),
+            },
+        ));
+    }
+
+    // io-under-lock: direct blocking sinks, then propagated ones.
+    for (fi, f) in files.iter().enumerate() {
+        if !IO_UNDER_LOCK_CRATES.contains(&f.crate_name) {
+            continue;
+        }
+        for (gi, g) in f.summary.fns.iter().enumerate() {
+            for io in &g.io {
+                let held: Vec<String> = io
+                    .held
+                    .iter()
+                    .filter(|h| is_lock(f.crate_name, h))
+                    .map(|h| qualify(f.crate_name, h))
+                    .collect();
+                if held.is_empty() {
+                    continue;
+                }
+                let what = if io.condvar {
+                    format!("Condvar::{} parks while unrelated lock", io.callee)
+                } else {
+                    format!("blocking `{}` runs while lock", io.callee)
+                };
+                out.push((
+                    fi,
+                    RawDiag {
+                        line: io.line,
+                        lint: "io-under-lock",
+                        message: format!(
+                            "{what} `{}` is held; move the blocking call outside the \
+                             critical section",
+                            held.join("`, `")
+                        ),
+                    },
+                ));
+            }
+            for c in &g.calls {
+                if acquired_pos.contains(&(fi, gi, c.pos)) {
+                    continue;
+                }
+                let held: Vec<String> = c
+                    .held
+                    .iter()
+                    .filter(|h| is_lock(f.crate_name, h))
+                    .map(|h| qualify(f.crate_name, h))
+                    .collect();
+                if held.is_empty() {
+                    continue;
+                }
+                let blocking = by_name.get(c.callee.as_str()).is_some_and(|cands| {
+                    cands.iter().any(|&id| {
+                        id != (fi, gi)
+                            && does_io.contains(&id)
+                            && fn_of(id).arity == c.arity
+                            && visible(deps, f.crate_name, files[id.0].crate_name)
+                    })
+                });
+                if blocking {
+                    out.push((
+                        fi,
+                        RawDiag {
+                            line: c.line,
+                            lint: "io-under-lock",
+                            message: format!(
+                                "call to `{}` performs blocking I/O (per its summary) while \
+                                 lock `{}` is held; move it outside the critical section",
+                                c.callee,
+                                held.join("`, `")
+                            ),
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Iterative Tarjan SCC over the lock graph. Nodes and neighbors are
+/// visited in sorted order, so component membership is deterministic.
+fn tarjan(edges: &BTreeMap<(String, String), (usize, u32)>) -> Vec<Vec<String>> {
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        nodes.insert(from);
+        nodes.insert(to);
+        adj.entry(from).or_default().push(to);
+    }
+
+    struct State<'a> {
+        index: BTreeMap<&'a str, usize>,
+        low: BTreeMap<&'a str, usize>,
+        on_stack: BTreeSet<&'a str>,
+        stack: Vec<&'a str>,
+        next: usize,
+        out: Vec<Vec<String>>,
+    }
+    let mut st = State {
+        index: BTreeMap::new(),
+        low: BTreeMap::new(),
+        on_stack: BTreeSet::new(),
+        stack: Vec::new(),
+        next: 0,
+        out: Vec::new(),
+    };
+    // Explicit DFS stack: (node, neighbor cursor).
+    for &root in &nodes {
+        if st.index.contains_key(root) {
+            continue;
+        }
+        let mut dfs: Vec<(&str, usize)> = vec![(root, 0)];
+        st.index.insert(root, st.next);
+        st.low.insert(root, st.next);
+        st.next += 1;
+        st.stack.push(root);
+        st.on_stack.insert(root);
+        while let Some(&(v, cursor)) = dfs.last() {
+            let neighbors = adj.get(v).map(Vec::as_slice).unwrap_or(&[]);
+            if cursor < neighbors.len() {
+                if let Some(frame) = dfs.last_mut() {
+                    frame.1 += 1;
+                }
+                let w = neighbors[cursor];
+                if !st.index.contains_key(w) {
+                    st.index.insert(w, st.next);
+                    st.low.insert(w, st.next);
+                    st.next += 1;
+                    st.stack.push(w);
+                    st.on_stack.insert(w);
+                    dfs.push((w, 0));
+                } else if st.on_stack.contains(w) {
+                    let lw = st.index[w];
+                    let lv = st.low.get_mut(v).expect("visited");
+                    *lv = (*lv).min(lw);
+                }
+            } else {
+                dfs.pop();
+                if let Some(&(parent, _)) = dfs.last() {
+                    let lv = st.low[v];
+                    let lp = st.low.get_mut(parent).expect("visited");
+                    *lp = (*lp).min(lv);
+                }
+                if st.low[v] == st.index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = st.stack.pop() {
+                        st.on_stack.remove(w);
+                        comp.push(w.to_string());
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort();
+                    st.out.push(comp);
+                }
+            }
+        }
+    }
+    st.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::summaries::extract;
+
+    fn pass(src: &str, crate_name: &str) -> Vec<RawDiag> {
+        let lexed = lex(src);
+        let summary = extract(&lexed.tokens);
+        let files = [FileInput {
+            path: "x.rs",
+            crate_name,
+            summary: &summary,
+        }];
+        workspace_pass(&files, &BTreeMap::new())
+            .into_iter()
+            .map(|(_, d)| d)
+            .collect()
+    }
+
+    #[test]
+    fn two_lock_cycle_across_fn_boundary_yields_two_edges() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl S {\n\
+                 fn lhs(&self) { let g = self.a.lock(); self.grab_b(); }\n\
+                 fn grab_b(&self) { let h = self.b.lock(); }\n\
+                 fn rhs(&self) { let h = self.b.lock(); let g = self.a.lock(); }\n\
+             }\n";
+        let d: Vec<_> = pass(src, "serve")
+            .into_iter()
+            .filter(|d| d.lint == "lock-order-cycle")
+            .collect();
+        assert_eq!(d.len(), 2, "one diagnostic per cycle edge: {d:?}");
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl S {\n\
+                 fn one(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n\
+                 fn two(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n\
+             }\n";
+        assert!(pass(src, "serve")
+            .iter()
+            .all(|d| d.lint != "lock-order-cycle"));
+    }
+
+    #[test]
+    fn propagated_io_flags_the_call_site() {
+        let src = "struct S { inner: Mutex<u32> }\n\
+             impl S {\n\
+                 fn commit(&self) { let g = self.inner.lock(); self.append_frame(); }\n\
+                 fn append_frame(&self) { self.file.sync_data(); }\n\
+             }\n";
+        let d: Vec<_> = pass(src, "store")
+            .into_iter()
+            .filter(|d| d.lint == "io-under-lock")
+            .collect();
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("append_frame"));
+    }
+
+    #[test]
+    fn io_under_lock_is_scoped_to_serving_crates() {
+        let src = "struct S { inner: Mutex<u32> }\n\
+             impl S { fn f(&self) { let g = self.inner.lock(); self.file.sync_all(); } }\n";
+        assert!(pass(src, "linalg")
+            .iter()
+            .all(|d| d.lint != "io-under-lock"));
+        assert!(pass(src, "serve").iter().any(|d| d.lint == "io-under-lock"));
+    }
+}

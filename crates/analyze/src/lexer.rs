@@ -251,7 +251,14 @@ fn skip_string(b: &[char], mut j: usize, line: &mut u32) -> usize {
     let n = b.len();
     while j < n {
         match b[j] {
-            '\\' => j += 2,
+            // An escaped newline (line continuation) still ends a source
+            // line; losing it would shift every later line number.
+            '\\' => {
+                if b.get(j + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                j += 2;
+            }
             '"' => return j + 1,
             '\n' => {
                 *line += 1;
@@ -390,6 +397,13 @@ mod tests {
         let l = lex("let a = \"x\ny\";\nlet b = 1; /* c\nd */\nlet e = 2;");
         let e = l.tokens.iter().find(|t| t.is_ident("e")).unwrap();
         assert_eq!(e.line, 5);
+    }
+
+    #[test]
+    fn string_line_continuation_counts_its_newline() {
+        let l = lex("let a = \"x \\\n y\";\nlet e = 2;");
+        let e = l.tokens.iter().find(|t| t.is_ident("e")).unwrap();
+        assert_eq!(e.line, 3);
     }
 
     #[test]

@@ -1,24 +1,38 @@
-//! `kinemyo-analyze` — workspace-wide determinism & numeric-safety lints.
+//! `kinemyo-analyze` — workspace-wide determinism, concurrency, and
+//! durability lints.
 //!
 //! The reproduction's core guarantee (bit-identical FCM memberships at any
 //! thread count; served results bit-identical to offline) is enforced at
 //! build time by this tool: it lexes every `.rs` file in the workspace,
-//! reconstructs just enough structure (test spans, fn bodies, call chains)
-//! to check kinemyo-specific invariants clippy cannot express, and fails
-//! the build on violations. See DESIGN.md §11 for the lint catalog and
-//! the escape-hatch policy.
+//! reconstructs just enough structure (test spans, fn bodies, call chains,
+//! lock-guard liveness, a call-graph approximation) to check kinemyo-
+//! specific invariants clippy cannot express, and fails the build on
+//! violations. See DESIGN.md §11 for the per-file lint catalog and §16
+//! for the workspace concurrency/durability pass.
 //!
 //! The crate is dependency-free on purpose: it runs as the first CI gate,
 //! before the rest of the workspace compiles, and must work offline.
+//!
+//! Analysis runs in two phases. Phase 1 is per-file: token lints plus a
+//! function summary (locks declared, locks acquired while others are
+//! held, outgoing calls, blocking I/O under guards). Phase 2 stitches
+//! the summaries into a workspace lock graph and call-graph
+//! approximation, then reports lock-order cycles and I/O under locks.
+//! Suppression directives are applied after both phases, so the same
+//! `// analyze: allow(<lint>) <reason>` escape hatch covers every lint.
 
 #![forbid(unsafe_code)]
 
 pub mod directives;
+pub mod graph;
 pub mod lexer;
 pub mod lints;
+pub mod lints2;
 pub mod spans;
+pub mod summaries;
 pub mod walk;
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::Path;
 
@@ -55,68 +69,13 @@ pub struct FileReport {
     pub suppressed: Vec<Diagnostic>,
 }
 
-/// Analyzes one file's source text. `crate_name` scopes the per-crate
-/// lints (`panic-free-libs`, `unseeded-rng`).
-pub fn analyze_source(path: &str, crate_name: &str, src: &str) -> FileReport {
-    let lexed = lexer::lex(src);
-    let raw = lints::run_all(&lexed.tokens, &lints::FileCtx { crate_name });
-    let mut dirs = directives::collect(&lexed.comments, &lexed.tokens);
-
-    let mut report = FileReport::default();
-    for d in raw {
-        let hit = dirs
-            .iter_mut()
-            .find(|dir| !dir.malformed && dir.target_line == d.line && dir.lint == d.lint);
-        match hit {
-            Some(dir) => {
-                dir.used = true;
-                report.suppressed.push(Diagnostic {
-                    path: path.into(),
-                    line: d.line,
-                    lint: d.lint.into(),
-                    message: d.message,
-                    suppressed: true,
-                    reason: Some(dir.reason.clone()),
-                });
-            }
-            None => report.violations.push(Diagnostic {
-                path: path.into(),
-                line: d.line,
-                lint: d.lint.into(),
-                message: d.message,
-                suppressed: false,
-                reason: None,
-            }),
-        }
-    }
-    // Suppressions are themselves linted: broken or stale ones fail the
-    // build so the escape hatch cannot silently rot.
-    for dir in &dirs {
-        if dir.malformed {
-            report.violations.push(Diagnostic {
-                path: path.into(),
-                line: dir.line,
-                lint: "malformed-suppression".into(),
-                message: "expected `// analyze: allow(<lint-id>) <non-empty reason>`".into(),
-                suppressed: false,
-                reason: None,
-            });
-        } else if !dir.used {
-            report.violations.push(Diagnostic {
-                path: path.into(),
-                line: dir.line,
-                lint: "unused-suppression".into(),
-                message: format!(
-                    "allow({}) matches no violation on line {}; remove the stale directive",
-                    dir.lint, dir.target_line
-                ),
-                suppressed: false,
-                reason: None,
-            });
-        }
-    }
-    report.violations.sort_by_key(|a| (a.line, a.lint.clone()));
-    report
+/// One input file for [`analyze_sources`].
+pub struct SourceFile {
+    /// Display path (workspace-relative in CLI use).
+    pub path: String,
+    /// Crate directory name, as [`walk::crate_name_of`] derives it.
+    pub crate_name: String,
+    pub src: String,
 }
 
 /// Workspace-level summary.
@@ -127,9 +86,137 @@ pub struct WorkspaceReport {
     pub files_scanned: usize,
 }
 
-/// Walks the workspace at `root` and analyzes every `.rs` file.
+fn file_stem_of(path: &str) -> &str {
+    let base = path.rsplit(['/', '\\']).next().unwrap_or(path);
+    base.strip_suffix(".rs").unwrap_or(base)
+}
+
+/// Analyzes a set of files together: per-file lints, then the workspace
+/// lock-graph/I/O pass over the extracted function summaries, then
+/// suppression directives over the merged findings. `deps` is the crate
+/// dependency relation used to bound call resolution (empty map: calls
+/// resolve within one crate only).
+pub fn analyze_sources(
+    files: &[SourceFile],
+    deps: &BTreeMap<String, BTreeSet<String>>,
+) -> WorkspaceReport {
+    // Phase 1: per-file lints, directives, and function summaries.
+    let mut raw_per_file: Vec<Vec<lints::RawDiag>> = Vec::with_capacity(files.len());
+    let mut dirs_per_file = Vec::with_capacity(files.len());
+    let mut summaries_per_file = Vec::with_capacity(files.len());
+    for f in files {
+        let lexed = lexer::lex(&f.src);
+        let ctx = lints::FileCtx {
+            crate_name: &f.crate_name,
+            file_stem: file_stem_of(&f.path),
+        };
+        raw_per_file.push(lints::run_all(&lexed.tokens, &ctx));
+        dirs_per_file.push(directives::collect(&lexed.comments, &lexed.tokens));
+        summaries_per_file.push(summaries::extract(&lexed.tokens));
+    }
+
+    // Phase 2: the workspace concurrency pass over function summaries.
+    let inputs: Vec<graph::FileInput> = files
+        .iter()
+        .zip(&summaries_per_file)
+        .map(|(f, s)| graph::FileInput {
+            path: &f.path,
+            crate_name: &f.crate_name,
+            summary: s,
+        })
+        .collect();
+    for (idx, diag) in graph::workspace_pass(&inputs, deps) {
+        raw_per_file[idx].push(diag);
+    }
+
+    // Phase 3: apply suppression directives to the merged findings.
+    let mut report = WorkspaceReport {
+        files_scanned: files.len(),
+        ..WorkspaceReport::default()
+    };
+    for ((f, mut raw), mut dirs) in files.iter().zip(raw_per_file).zip(dirs_per_file) {
+        raw.sort_by(|a, b| (a.line, a.lint, &a.message).cmp(&(b.line, b.lint, &b.message)));
+        raw.dedup_by(|a, b| a.line == b.line && a.lint == b.lint && a.message == b.message);
+        for d in raw {
+            let hit = dirs
+                .iter_mut()
+                .find(|dir| !dir.malformed && dir.target_line == d.line && dir.lint == d.lint);
+            match hit {
+                Some(dir) => {
+                    dir.used = true;
+                    report.suppressed.push(Diagnostic {
+                        path: f.path.clone(),
+                        line: d.line,
+                        lint: d.lint.into(),
+                        message: d.message,
+                        suppressed: true,
+                        reason: Some(dir.reason.clone()),
+                    });
+                }
+                None => report.violations.push(Diagnostic {
+                    path: f.path.clone(),
+                    line: d.line,
+                    lint: d.lint.into(),
+                    message: d.message,
+                    suppressed: false,
+                    reason: None,
+                }),
+            }
+        }
+        // Suppressions are themselves linted: broken or stale ones fail
+        // the build so the escape hatch cannot silently rot.
+        for dir in &dirs {
+            if dir.malformed {
+                report.violations.push(Diagnostic {
+                    path: f.path.clone(),
+                    line: dir.line,
+                    lint: "malformed-suppression".into(),
+                    message: "expected `// analyze: allow(<lint-id>) <non-empty reason>`".into(),
+                    suppressed: false,
+                    reason: None,
+                });
+            } else if !dir.used {
+                report.violations.push(Diagnostic {
+                    path: f.path.clone(),
+                    line: dir.line,
+                    lint: "unused-suppression".into(),
+                    message: format!(
+                        "allow({}) matches no violation on line {}; remove the stale directive",
+                        dir.lint, dir.target_line
+                    ),
+                    suppressed: false,
+                    reason: None,
+                });
+            }
+        }
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line, &a.lint).cmp(&(&b.path, b.line, &b.lint)));
+    report
+}
+
+/// Analyzes one file's source text in isolation. `crate_name` scopes the
+/// per-crate lints; workspace lints still run, with call resolution
+/// restricted to this one file.
+pub fn analyze_source(path: &str, crate_name: &str, src: &str) -> FileReport {
+    let files = [SourceFile {
+        path: path.into(),
+        crate_name: crate_name.into(),
+        src: src.into(),
+    }];
+    let ws = analyze_sources(&files, &BTreeMap::new());
+    FileReport {
+        violations: ws.violations,
+        suppressed: ws.suppressed,
+    }
+}
+
+/// Walks the workspace at `root` and analyzes every `.rs` file, with call
+/// resolution bounded by the crate dependency graph from the Cargo
+/// manifests.
 pub fn analyze_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
-    let mut report = WorkspaceReport::default();
+    let mut files = Vec::new();
     for file in walk::rust_files(root)? {
         let src = std::fs::read_to_string(&file)?;
         let rel = file
@@ -138,12 +225,14 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
             .to_string_lossy()
             .into_owned();
         let crate_name = walk::crate_name_of(root, &file);
-        let fr = analyze_source(&rel, &crate_name, &src);
-        report.violations.extend(fr.violations);
-        report.suppressed.extend(fr.suppressed);
-        report.files_scanned += 1;
+        files.push(SourceFile {
+            path: rel,
+            crate_name,
+            src,
+        });
     }
-    Ok(report)
+    let deps = graph::crate_deps(root);
+    Ok(analyze_sources(&files, &deps))
 }
 
 #[cfg(test)]
@@ -187,5 +276,26 @@ mod tests {
         let r = analyze_source("crates/linalg/src/x.rs", "linalg", src);
         let line = r.violations[0].to_string();
         assert!(line.starts_with("crates/linalg/src/x.rs:1: [panic-free-libs]"));
+    }
+
+    #[test]
+    fn workspace_lints_run_through_analyze_source() {
+        // io-under-lock fires via the single-file path too: the graph
+        // pass runs with same-crate resolution.
+        let src = "use std::sync::Mutex;\n\
+             struct S { m: Mutex<u32> }\n\
+             impl S {\n\
+                 fn f(&self, s: &mut std::net::TcpStream) {\n\
+                     let g = self.m.lock().unwrap_or_else(|p| p.into_inner());\n\
+                     s.write_all(b\"x\").ok();\n\
+                     drop(g);\n\
+                 }\n\
+             }\n";
+        let r = analyze_source("crates/serve/src/server.rs", "serve", src);
+        assert!(
+            r.violations.iter().any(|v| v.lint == "io-under-lock"),
+            "{:?}",
+            r.violations
+        );
     }
 }

@@ -10,16 +10,32 @@ use crate::spans::{fn_spans, match_paren, test_mask};
 pub const PANIC_FREE_CRATES: [&str; 7] =
     ["linalg", "dsp", "features", "fuzzy", "modb", "ann", "store"];
 
+/// Individual `(crate, file-stem)` pairs under the panic-free discipline
+/// beyond [`PANIC_FREE_CRATES`]: the protocol-facing modules that parse
+/// untrusted bytes. A panic while decoding a hostile frame is a remote
+/// denial-of-service, so these hold to the same standard as the numeric
+/// kernels even though their crates as a whole do not.
+pub const PANIC_FREE_FILES: [(&str, &str); 3] = [
+    ("cluster", "wire"),
+    ("cluster", "log"),
+    ("serve", "protocol"),
+];
+
 /// Crate exempt from `unseeded-rng` (it owns entropy-based simulation).
 pub const RNG_EXEMPT_CRATE: &str = "biosim";
 
 /// All lint ids, for `--list` and directive validation.
-pub const LINT_IDS: [&str; 7] = [
+pub const LINT_IDS: [&str; 12] = [
     "float-total-order",
     "hash-iter-numeric",
     "panic-free-libs",
     "lock-poison-policy",
     "unseeded-rng",
+    "lock-order-cycle",
+    "io-under-lock",
+    "unbounded-channel",
+    "wire-length-trust",
+    "fsync-before-rename",
     "malformed-suppression",
     "unused-suppression",
 ];
@@ -36,6 +52,9 @@ pub struct RawDiag {
 pub struct FileCtx<'a> {
     /// Crate directory name (`linalg`, `core`, …) or `tests` / `examples`.
     pub crate_name: &'a str,
+    /// File name without the `.rs` extension (`wire`, `server`, …); lets
+    /// lints scope to codec/persist modules without parsing module trees.
+    pub file_stem: &'a str,
 }
 
 /// Runs every lint over one file's token stream.
@@ -47,10 +66,13 @@ pub fn run_all(tokens: &[Tok], ctx: &FileCtx) -> Vec<RawDiag> {
     panic_free_libs(tokens, &in_test, ctx, &mut diags);
     lock_poison_policy(tokens, &in_test, &mut diags);
     unseeded_rng(tokens, ctx, &mut diags);
-    // One diagnostic per (line, lint): a comparator can trip both the
-    // partial_cmp and the unwrap_or(Ordering::Equal) pattern.
-    diags.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
-    diags.dedup_by(|a, b| a.line == b.line && a.lint == b.lint);
+    crate::lints2::run_all(tokens, ctx, &mut diags);
+    // Identical duplicates only: the same pattern found twice at one site.
+    // Distinct findings of one lint on one line (two comparators in a
+    // chained expression) must both survive, so the message is part of
+    // the identity.
+    diags.sort_by(|a, b| (a.line, a.lint, &a.message).cmp(&(b.line, b.lint, &b.message)));
+    diags.dedup_by(|a, b| a.line == b.line && a.lint == b.lint && a.message == b.message);
     diags
 }
 
@@ -157,7 +179,9 @@ const PANIC_MACROS: [&str; 4] = ["panic", "todo", "unimplemented", "unreachable"
 /// deliberately out of scope: `Matrix`/`Vector` indexing is the kernels'
 /// core idiom and its bounds are invariant-checked at construction.
 fn panic_free_libs(tokens: &[Tok], in_test: &[bool], ctx: &FileCtx, out: &mut Vec<RawDiag>) {
-    if !PANIC_FREE_CRATES.contains(&ctx.crate_name) {
+    let scoped = PANIC_FREE_CRATES.contains(&ctx.crate_name)
+        || PANIC_FREE_FILES.contains(&(ctx.crate_name, ctx.file_stem));
+    if !scoped {
         return;
     }
     let n = tokens.len();
@@ -309,7 +333,13 @@ mod tests {
 
     fn diags(src: &str, crate_name: &str) -> Vec<RawDiag> {
         let l = lex(src);
-        run_all(&l.tokens, &FileCtx { crate_name })
+        run_all(
+            &l.tokens,
+            &FileCtx {
+                crate_name,
+                file_stem: "lib",
+            },
+        )
     }
 
     #[test]
@@ -383,6 +413,48 @@ mod tests {
         assert!(diags(pl, "core")
             .iter()
             .all(|x| x.lint != "lock-poison-policy"));
+    }
+
+    #[test]
+    fn distinct_findings_on_one_line_both_survive() {
+        // Two comparators in one chained expression: the sort_by closure
+        // uses partial_cmp AND masks NaN with unwrap_or(Ordering::Equal).
+        // Before the message-aware dedup these collapsed to one finding.
+        let src = "fn f(v: &mut [f64]) { v.sort_by(|a, b| \
+                   a.partial_cmp(b).unwrap_or(Ordering::Equal)); }";
+        let d = diags(src, "core");
+        let n = d.iter().filter(|x| x.lint == "float-total-order").count();
+        assert_eq!(n, 2, "expected both distinct findings, got {d:?}");
+    }
+
+    #[test]
+    fn identical_duplicates_still_collapse() {
+        let src = "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        let d = diags(src, "core");
+        let n = d.iter().filter(|x| x.lint == "float-total-order").count();
+        assert_eq!(n, 1, "{d:?}");
+    }
+
+    #[test]
+    fn panic_free_extends_to_protocol_files() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let l = lex(src);
+        let wire = run_all(
+            &l.tokens,
+            &FileCtx {
+                crate_name: "cluster",
+                file_stem: "wire",
+            },
+        );
+        assert!(wire.iter().any(|x| x.lint == "panic-free-libs"));
+        let other = run_all(
+            &l.tokens,
+            &FileCtx {
+                crate_name: "cluster",
+                file_stem: "replica",
+            },
+        );
+        assert!(other.iter().all(|x| x.lint != "panic-free-libs"));
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! The concurrency & durability lint additions that stay per-file:
+//! `unbounded-channel`, `wire-length-trust`, and `fsync-before-rename`.
+//! (Their workspace-level siblings `lock-order-cycle` and `io-under-lock`
+//! live in `graph.rs`.) See DESIGN.md §16 for rationale and the known
+//! false-negative envelope of each.
+
+use crate::lexer::{Tok, TokKind};
+use crate::lints::{FileCtx, RawDiag};
+use crate::spans::{fn_spans, match_paren, test_mask};
+
+/// Crates whose non-test code must not create unbounded channels.
+const CHANNEL_SCOPED_CRATES: [&str; 2] = ["serve", "cluster"];
+
+/// File-stem fragments marking wire/frame codec modules.
+const WIRE_MODULE_STEMS: [&str; 5] = ["wire", "frame", "protocol", "record", "codec"];
+
+/// Runs the three per-file lints added with the concurrency pass.
+pub fn run_all(tokens: &[Tok], ctx: &FileCtx, out: &mut Vec<RawDiag>) {
+    let in_test = test_mask(tokens);
+    unbounded_channel(tokens, &in_test, ctx, out);
+    wire_length_trust(tokens, &in_test, ctx, out);
+    fsync_before_rename(tokens, &in_test, ctx, out);
+}
+
+/// **unbounded-channel** — `mpsc::channel()` in the serving/replication
+/// crates. The blessed idiom is `mpsc::sync_channel` with explicit
+/// shedding (`try_send` + a typed overload answer): an unbounded queue
+/// converts overload into unbounded memory growth and silent latency.
+fn unbounded_channel(tokens: &[Tok], in_test: &[bool], ctx: &FileCtx, out: &mut Vec<RawDiag>) {
+    if !CHANNEL_SCOPED_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    for i in 0..tokens.len() {
+        if in_test[i] {
+            continue;
+        }
+        if tokens[i].is_ident("mpsc")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident("channel"))
+            && tokens.get(i + 4).is_some_and(|t| t.is_punct('('))
+        {
+            out.push(RawDiag {
+                line: tokens[i + 3].line,
+                lint: "unbounded-channel",
+                message: "mpsc::channel() is unbounded; serving paths use \
+                          mpsc::sync_channel with explicit shedding so overload \
+                          degrades into typed rejections, not memory growth"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// **wire-length-trust** — in wire/frame codec modules, a length decoded
+/// from untrusted bytes (`uNN::from_le_bytes` or a `.u16()`/`.u32()`/
+/// `.u64()` reader helper) must pass a bound check against a named
+/// `MAX_*` cap before reaching an allocation- or slice-sized sink
+/// (`Vec::with_capacity`, `vec![_; n]`, `.take(n)`, or a slice index).
+fn wire_length_trust(tokens: &[Tok], in_test: &[bool], ctx: &FileCtx, out: &mut Vec<RawDiag>) {
+    if !WIRE_MODULE_STEMS.iter().any(|s| ctx.file_stem.contains(s)) {
+        return;
+    }
+    for &(start, end) in &fn_spans(tokens) {
+        if in_test[start] {
+            continue;
+        }
+        // Pass 1: taint variables `let [mut] v = … <wire-length source> …;`
+        // and clears (a statement comparing the variable against a MAX_*
+        // identifier). Positions are token indices within the fn span.
+        let mut tainted: Vec<(String, usize, usize)> = Vec::new(); // (var, from, cleared_at)
+        let mut i = start;
+        while i <= end {
+            if !tokens[i].is_ident("let") {
+                i += 1;
+                continue;
+            }
+            let mut v = i + 1;
+            if tokens.get(v).is_some_and(|t| t.is_ident("mut")) {
+                v += 1;
+            }
+            let (Some(var), Some(eq)) = (tokens.get(v), tokens.get(v + 1)) else {
+                i += 1;
+                continue;
+            };
+            if var.kind != TokKind::Ident || !eq.is_punct('=') {
+                i += 1;
+                continue;
+            }
+            // Scan the initializer to its `;` for a taint source.
+            let mut j = v + 2;
+            let mut is_tainted = false;
+            while j <= end && !tokens[j].is_punct(';') {
+                let t = &tokens[j];
+                let from_le = matches!(t.text.as_str(), "u16" | "u32" | "u64")
+                    && t.kind == TokKind::Ident
+                    && tokens.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                    && tokens.get(j + 2).is_some_and(|n| n.is_punct(':'))
+                    && tokens.get(j + 3).is_some_and(|n| {
+                        n.is_ident("from_le_bytes") || n.is_ident("from_be_bytes")
+                    });
+                let reader_helper = matches!(t.text.as_str(), "u16" | "u32" | "u64")
+                    && t.kind == TokKind::Ident
+                    && j > 0
+                    && tokens[j - 1].is_punct('.')
+                    && tokens.get(j + 1).is_some_and(|n| n.is_punct('('));
+                if from_le || reader_helper {
+                    is_tainted = true;
+                }
+                j += 1;
+            }
+            if is_tainted {
+                tainted.push((var.text.clone(), j, usize::MAX));
+            }
+            i = j + 1;
+        }
+        if tainted.is_empty() {
+            continue;
+        }
+        // Clears: any later mention of the tainted variable within a few
+        // tokens of a MAX_*-named identifier (a comparison or `.min(MAX)`).
+        for k in start..=end {
+            for t in tainted.iter_mut() {
+                if t.2 != usize::MAX || k < t.1 || !tokens[k].is_ident(&t.0) {
+                    continue;
+                }
+                let lo = k.saturating_sub(8);
+                let hi = (k + 8).min(end);
+                if tokens[lo..=hi]
+                    .iter()
+                    .any(|n| n.kind == TokKind::Ident && n.text.starts_with("MAX_"))
+                {
+                    t.2 = k;
+                }
+            }
+        }
+        // Pass 2: sinks reached by a still-tainted variable.
+        for k in start..=end {
+            let t = &tokens[k];
+            let still_tainted = |name: &str, at: usize| -> bool {
+                tainted
+                    .iter()
+                    .any(|(v, from, cleared)| v == name && at > *from && at < *cleared)
+            };
+            let args_have_taint = |open: usize| -> Option<&Tok> {
+                let close = match_paren(tokens, open);
+                tokens[open + 1..close]
+                    .iter()
+                    .zip(open + 1..close)
+                    .find(|(a, idx)| a.kind == TokKind::Ident && still_tainted(&a.text, *idx))
+                    .map(|(a, _)| a)
+            };
+            let sink = if (t.is_ident("with_capacity") || t.is_ident("take"))
+                && tokens.get(k + 1).is_some_and(|n| n.is_punct('('))
+            {
+                args_have_taint(k + 1).map(|v| (v.text.clone(), t.text.clone()))
+            } else if t.is_ident("vec") && tokens.get(k + 1).is_some_and(|n| n.is_punct('!')) {
+                // `vec![fill; n]` — the length expression after `;`.
+                let open = k + 2;
+                if tokens.get(open).is_some_and(|n| n.is_punct('[')) {
+                    let close = crate::spans::match_bracket(tokens, open, '[', ']');
+                    let semi = (open + 1..close).find(|&p| tokens[p].is_punct(';'));
+                    semi.and_then(|s| {
+                        tokens[s + 1..close]
+                            .iter()
+                            .zip(s + 1..close)
+                            .find(|(a, idx)| {
+                                a.kind == TokKind::Ident && still_tainted(&a.text, *idx)
+                            })
+                            .map(|(a, _)| (a.text.clone(), "vec![_; n]".to_string()))
+                    })
+                } else {
+                    None
+                }
+            } else if t.is_punct('[')
+                && k > 0
+                && (tokens[k - 1].kind == TokKind::Ident
+                    || tokens[k - 1].is_punct(')')
+                    || tokens[k - 1].is_punct(']'))
+                && !tokens[k - 1].is_ident("vec")
+            {
+                // Slice/array index: `buf[.. n]`, `buf[n]`.
+                let close = crate::spans::match_bracket(tokens, k, '[', ']');
+                tokens[k + 1..close]
+                    .iter()
+                    .zip(k + 1..close)
+                    .find(|(a, idx)| a.kind == TokKind::Ident && still_tainted(&a.text, *idx))
+                    .map(|(a, _)| (a.text.clone(), "slice index".to_string()))
+            } else {
+                None
+            };
+            if let Some((var, sink_name)) = sink {
+                out.push(RawDiag {
+                    line: t.line,
+                    lint: "wire-length-trust",
+                    message: format!(
+                        "length `{var}` decoded from wire bytes reaches `{sink_name}` \
+                         without a bound check against a named MAX_* cap; an attacker \
+                         controls this value"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// **fsync-before-rename** — in `store` (and `core`'s persist module), a
+/// `rename` call must be dominated by a `sync_all`/`sync_data` on the
+/// temp file earlier in the same function: renaming an unsynced file
+/// into place lets a crash publish a complete-looking name over
+/// incomplete bytes, voiding the torn-tail recovery guarantee.
+fn fsync_before_rename(tokens: &[Tok], in_test: &[bool], ctx: &FileCtx, out: &mut Vec<RawDiag>) {
+    let scoped = ctx.crate_name == "store"
+        || (ctx.crate_name == "core" && ctx.file_stem.contains("persist"));
+    if !scoped {
+        return;
+    }
+    for &(start, end) in &fn_spans(tokens) {
+        if in_test[start] {
+            continue;
+        }
+        let mut synced = false;
+        for i in start..=end {
+            let t = &tokens[i];
+            if t.is_ident("sync_all") || t.is_ident("sync_data") {
+                synced = true;
+            }
+            if t.is_ident("rename") && tokens.get(i + 1).is_some_and(|n| n.is_punct('(')) && !synced
+            {
+                out.push(RawDiag {
+                    line: t.line,
+                    lint: "fsync-before-rename",
+                    message: "fs::rename without a preceding sync_all/sync_data in this \
+                              function: a crash can publish a complete-looking file name \
+                              over incomplete bytes"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn diags(src: &str, crate_name: &str, file_stem: &str) -> Vec<RawDiag> {
+        let l = lex(src);
+        let mut out = Vec::new();
+        run_all(
+            &l.tokens,
+            &FileCtx {
+                crate_name,
+                file_stem,
+            },
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn unbounded_channel_flagged_in_serving_crates_only() {
+        let src = "fn f() { let (tx, rx) = mpsc::channel(); }";
+        assert!(diags(src, "serve", "server")
+            .iter()
+            .any(|d| d.lint == "unbounded-channel"));
+        assert!(diags(src, "core", "pipeline")
+            .iter()
+            .all(|d| d.lint != "unbounded-channel"));
+        let bounded = "fn f() { let (tx, rx) = mpsc::sync_channel(8); }";
+        assert!(diags(bounded, "serve", "server")
+            .iter()
+            .all(|d| d.lint != "unbounded-channel"));
+    }
+
+    #[test]
+    fn wire_length_taint_flows_to_with_capacity() {
+        let src = "fn decode(buf: &[u8]) {\n\
+             let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;\n\
+             let v: Vec<u8> = Vec::with_capacity(len);\n\
+         }";
+        let d = diags(src, "cluster", "wire");
+        assert!(d.iter().any(|x| x.lint == "wire-length-trust"), "{d:?}");
+    }
+
+    #[test]
+    fn max_cap_check_clears_the_taint() {
+        let src = "fn decode(buf: &[u8]) -> Option<Vec<u8>> {\n\
+             let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;\n\
+             if len > MAX_FRAME_BYTES as usize { return None; }\n\
+             Some(Vec::with_capacity(len))\n\
+         }";
+        let d = diags(src, "cluster", "wire");
+        assert!(d.iter().all(|x| x.lint != "wire-length-trust"), "{d:?}");
+    }
+
+    #[test]
+    fn reader_helper_taints_and_stem_scopes() {
+        let src = "fn decode(r: &mut Reader) {\n\
+             let n = r.u32()? as usize;\n\
+             let v = vec![0u8; n];\n\
+         }";
+        assert!(diags(src, "store", "record")
+            .iter()
+            .any(|d| d.lint == "wire-length-trust"));
+        assert!(diags(src, "core", "pipeline")
+            .iter()
+            .all(|d| d.lint != "wire-length-trust"));
+    }
+
+    #[test]
+    fn rename_requires_prior_fsync_in_store() {
+        let bad = "fn publish(tmp: &Path, dst: &Path) { std::fs::rename(tmp, dst); }";
+        assert!(diags(bad, "store", "snapshot")
+            .iter()
+            .any(|d| d.lint == "fsync-before-rename"));
+        let good = "fn publish(f: &File, tmp: &Path, dst: &Path) {\n\
+             f.sync_all();\n\
+             std::fs::rename(tmp, dst);\n\
+         }";
+        assert!(diags(good, "store", "snapshot")
+            .iter()
+            .all(|d| d.lint != "fsync-before-rename"));
+        assert!(diags(bad, "serve", "server")
+            .iter()
+            .all(|d| d.lint != "fsync-before-rename"));
+    }
+}

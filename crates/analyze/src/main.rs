@@ -1,14 +1,18 @@
-//! CLI driver: `kinemyo-analyze [--root <path>] [--list] [--verbose]`.
+//! CLI driver: `kinemyo-analyze [--root <path>] [--list] [--verbose]
+//! [--format human|json]`.
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use kinemyo_analyze::Diagnostic;
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut list = false;
     let mut verbose = false;
+    let mut json = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -19,6 +23,14 @@ fn main() -> ExitCode {
             },
             "--list" => list = true,
             "--verbose" | "-v" => verbose = true,
+            "--format" => match args.next().as_deref() {
+                Some("human") => json = false,
+                Some("json") => json = true,
+                Some(other) => {
+                    return usage(&format!("unknown format `{other}` (human|json)"));
+                }
+                None => return usage("--format requires `human` or `json`"),
+            },
             "--help" | "-h" => {
                 print_help();
                 return ExitCode::SUCCESS;
@@ -52,36 +64,90 @@ fn main() -> ExitCode {
         }
     };
 
-    for v in &report.violations {
-        println!("{v}");
-    }
-    if verbose {
-        for s in &report.suppressed {
-            println!(
-                "{}:{}: [{}] suppressed — {}",
-                s.path,
-                s.line,
-                s.lint,
-                s.reason.as_deref().unwrap_or("")
-            );
+    if json {
+        print_json(&report.violations, &report.suppressed);
+    } else {
+        for v in &report.violations {
+            println!("{v}");
         }
+        if verbose {
+            for s in &report.suppressed {
+                println!(
+                    "{}:{}: [{}] suppressed — {}",
+                    s.path,
+                    s.line,
+                    s.lint,
+                    s.reason.as_deref().unwrap_or("")
+                );
+            }
+        }
+        // Per-lint counts (violations + suppressed), so CI logs show at a
+        // glance where findings move between runs.
+        for id in kinemyo_analyze::lints::LINT_IDS {
+            let active = report.violations.iter().filter(|v| v.lint == id).count();
+            let supp = report.suppressed.iter().filter(|s| s.lint == id).count();
+            if active + supp > 0 {
+                println!("kinemyo-analyze: [{id}] {active} active, {supp} suppressed");
+            }
+        }
+        println!(
+            "kinemyo-analyze: {} violation{}, {} suppressed, {} files scanned",
+            report.violations.len(),
+            if report.violations.len() == 1 {
+                ""
+            } else {
+                "s"
+            },
+            report.suppressed.len(),
+            report.files_scanned
+        );
     }
-    println!(
-        "kinemyo-analyze: {} violation{}, {} suppressed, {} files scanned",
-        report.violations.len(),
-        if report.violations.len() == 1 {
-            ""
-        } else {
-            "s"
-        },
-        report.suppressed.len(),
-        report.files_scanned
-    );
     if report.violations.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
     }
+}
+
+/// Emits every finding (active first, then suppressed) as a JSON array
+/// with the stable schema `{file, line, lint, message, suppressed}`.
+/// Hand-rolled on purpose: this crate is dependency-free.
+fn print_json(violations: &[Diagnostic], suppressed: &[Diagnostic]) {
+    let mut out = String::from("[");
+    let mut first = true;
+    for d in violations.iter().chain(suppressed) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n  {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \
+             \"message\": \"{}\", \"suppressed\": {}}}",
+            json_escape(&d.path),
+            d.line,
+            json_escape(&d.lint),
+            json_escape(&d.message),
+            d.suppressed
+        ));
+    }
+    out.push_str(if first { "]" } else { "\n]" });
+    println!("{out}");
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Workspace root: two levels above this crate's manifest when built by
@@ -105,10 +171,14 @@ fn usage(msg: &str) -> ExitCode {
 fn print_help() {
     eprintln!(
         "usage: kinemyo-analyze [--root <workspace-root>] [--list] [--verbose]\n\
+         \x20                      [--format human|json]\n\
          \n\
-         Lints every .rs file in the workspace for determinism and\n\
-         numeric-safety invariants. Suppress one finding with\n\
-         `// analyze: allow(<lint-id>) <reason>` on (or directly above)\n\
-         the offending line."
+         Lints every .rs file in the workspace for determinism, numeric-\n\
+         safety, concurrency, and durability invariants. Suppress one\n\
+         finding with `// analyze: allow(<lint-id>) <reason>` on (or\n\
+         directly above) the offending line.\n\
+         \n\
+         --format json prints every finding (active and suppressed) as a\n\
+         JSON array of {{file, line, lint, message, suppressed}}."
     );
 }

@@ -1,0 +1,544 @@
+//! Function-level summaries for the workspace-aware lints.
+//!
+//! The per-file lints in `lints.rs` see one token stream at a time; the
+//! concurrency lints (`lock-order-cycle`, `io-under-lock`) need to know
+//! what *other* functions do. This module extracts, per file, a cheap
+//! approximation of that knowledge:
+//!
+//! - every named lock declaration (`name: Mutex<…>` / `name: RwLock<…>`
+//!   struct fields, statics, and parameters), and
+//! - per non-test function: which locks it acquires (with the set of
+//!   lock guards live at each acquisition), which blocking I/O calls it
+//!   makes, and which functions it calls while holding a guard.
+//!
+//! Guard liveness is tracked lexically: a `let g = x.lock()` guard lives
+//! to the end of its enclosing block (or an explicit `drop(g)`); an
+//! unbound guard temporary lives to the end of its statement (extended
+//! through an attached block, which covers `if let … = x.lock()` and
+//! `match x.lock() { … }`). `graph.rs` stitches the summaries into a
+//! workspace lock graph and call-graph approximation.
+
+use crate::lexer::{Tok, TokKind};
+use crate::spans::{fn_spans, match_paren, test_mask};
+
+/// Methods that return a lock guard when called with no arguments.
+pub const GUARD_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+/// Method names that block on the network, the disk, or a condvar.
+/// `read`/`write` are deliberately absent: with arguments they collide
+/// with `RwLock`, and the workspace's socket I/O goes through the
+/// `*_all`/`*_exact` forms.
+pub const BLOCKING_SINKS: [&str; 10] = [
+    "connect",
+    "connect_timeout",
+    "accept",
+    "write_all",
+    "flush",
+    "sync_all",
+    "sync_data",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+];
+
+/// `Condvar` wait methods: blocking, but exempt for the lock whose guard
+/// is handed to the wait (that one is released while parked).
+pub const CONDVAR_WAITS: [&str; 4] = ["wait", "wait_timeout", "wait_while", "wait_timeout_while"];
+
+/// Keywords that syntactically precede `(` without being calls.
+const NON_CALL_IDENTS: [&str; 14] = [
+    "if", "else", "while", "for", "loop", "match", "return", "fn", "in", "move", "as", "let",
+    "self", "Self",
+];
+
+/// A named lock declaration: `name: Mutex<…>` / `name: RwLock<…>`.
+#[derive(Debug, Clone)]
+pub struct LockDecl {
+    pub name: String,
+    pub line: u32,
+}
+
+/// One lock acquisition inside a function body.
+#[derive(Debug, Clone)]
+pub struct Acquire {
+    /// Receiver identifier of the `.lock()`/`.read()`/`.write()` call;
+    /// only meaningful once filtered against the crate's harvested locks.
+    pub lock: String,
+    pub line: u32,
+    /// Token index of the guard-method identifier (shared with the
+    /// matching [`CallOut`], so the graph pass can drop the duplicate).
+    pub pos: usize,
+    /// Locks whose guards were live when this one was taken.
+    pub held: Vec<String>,
+}
+
+/// One call made inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallOut {
+    pub callee: String,
+    pub line: u32,
+    pub pos: usize,
+    /// Argument count at the call site (top-level commas + 1).
+    pub arity: usize,
+    /// Locks whose guards were live at the call.
+    pub held: Vec<String>,
+}
+
+/// One direct blocking call inside a function body.
+#[derive(Debug, Clone)]
+pub struct IoCall {
+    pub callee: String,
+    pub line: u32,
+    /// Locks held across the blocking call (condvar-exempt lock removed).
+    pub held: Vec<String>,
+    /// True for `Condvar` waits, which release their own guard and so
+    /// never count as the function "doing blocking I/O" for callers.
+    pub condvar: bool,
+}
+
+/// Summary of one non-test function.
+#[derive(Debug, Clone)]
+pub struct FnSummary {
+    pub name: String,
+    pub line: u32,
+    /// Declared parameter count, excluding any `self` receiver.
+    pub arity: usize,
+    pub acquires: Vec<Acquire>,
+    pub calls: Vec<CallOut>,
+    pub io: Vec<IoCall>,
+}
+
+impl FnSummary {
+    /// True when the function itself performs blocking I/O (condvar
+    /// waits excluded: they release their guard while parked).
+    pub fn does_io(&self) -> bool {
+        self.io.iter().any(|c| !c.condvar)
+    }
+}
+
+/// Everything `graph.rs` needs to know about one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileSummary {
+    pub locks: Vec<LockDecl>,
+    pub fns: Vec<FnSummary>,
+}
+
+/// Extracts lock declarations and function summaries from one file.
+pub fn extract(tokens: &[Tok]) -> FileSummary {
+    let in_test = test_mask(tokens);
+    let mut out = FileSummary {
+        locks: harvest_locks(tokens),
+        ..Default::default()
+    };
+    for &(start, end) in &fn_spans(tokens) {
+        if in_test[start] {
+            continue;
+        }
+        if let Some(summary) = summarize_fn(tokens, start, end) {
+            out.fns.push(summary);
+        }
+    }
+    out
+}
+
+/// Type-position tokens allowed between a declared name and its
+/// `Mutex`/`RwLock` when harvesting (`conns: Arc<Mutex<…>>`,
+/// `m: &std::sync::Mutex<u32>`).
+fn is_wrapper(t: &Tok) -> bool {
+    t.is_punct('<')
+        || t.is_punct('&')
+        || t.is_punct(':')
+        || t.kind == TokKind::Lifetime
+        || (t.kind == TokKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "Arc" | "Rc" | "Box" | "Vec" | "Option" | "std" | "sync" | "parking_lot" | "mut"
+            ))
+}
+
+/// Finds every `name: …Mutex<…>` / `name: …RwLock<…>` declaration.
+fn harvest_locks(tokens: &[Tok]) -> Vec<LockDecl> {
+    let mut locks: Vec<LockDecl> = Vec::new();
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if !(t.is_ident("Mutex") || t.is_ident("RwLock")) {
+            continue;
+        }
+        if !tokens.get(i + 1).is_some_and(|n| n.is_punct('<')) {
+            continue;
+        }
+        // Walk back over wrapper tokens to the declared name.
+        let mut j = i;
+        while j > 0 && is_wrapper(&tokens[j - 1]) {
+            j -= 1;
+        }
+        if j == 0 || j == i {
+            continue;
+        }
+        let name_tok = &tokens[j - 1];
+        if name_tok.kind == TokKind::Ident
+            && tokens[j].is_punct(':')
+            && !locks.iter().any(|l| l.name == name_tok.text)
+        {
+            locks.push(LockDecl {
+                name: name_tok.text.clone(),
+                line: name_tok.line,
+            });
+        }
+    }
+    locks
+}
+
+/// A live lock guard during the body walk.
+struct Guard {
+    lock: String,
+    /// Binding name for `let g = …`; `None` for statement temporaries.
+    var: Option<String>,
+    /// Brace depth at creation; the guard dies when the walk leaves it.
+    depth: usize,
+}
+
+/// Declared arity of the fn whose `fn` keyword is at `start`; also
+/// returns the index just past the parameter list.
+fn fn_arity(tokens: &[Tok], start: usize, end: usize) -> Option<(usize, usize)> {
+    let mut i = start + 2; // past `fn name`
+    if tokens.get(i).is_some_and(|t| t.is_punct('<')) {
+        let mut depth = 1usize;
+        i += 1;
+        while i <= end && depth > 0 {
+            if tokens[i].is_punct('<') {
+                depth += 1;
+            } else if tokens[i].is_punct('>') {
+                depth -= 1;
+            }
+            i += 1;
+        }
+    }
+    if !tokens.get(i).is_some_and(|t| t.is_punct('(')) {
+        return None;
+    }
+    let close = match_paren(tokens, i);
+    let args = &tokens[i + 1..close];
+    if args.is_empty() {
+        return Some((0, close + 1));
+    }
+    // Count top-level commas; commas inside nested brackets or generic
+    // angle brackets (`B<K, V>`) don't separate parameters. `->` inside
+    // an `impl Fn(…) -> T` bound must not close an angle bracket.
+    let mut depth = 0usize;
+    let mut angle = 0usize;
+    let mut commas = 0usize;
+    let mut first_param_is_self = false;
+    let mut seen_comma = false;
+    for (k, t) in args.iter().enumerate() {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') && !(k > 0 && args[k - 1].is_punct('-')) {
+            angle = angle.saturating_sub(1);
+        } else if t.is_punct(',') && depth == 0 && angle == 0 {
+            commas += 1;
+            seen_comma = true;
+        } else if !seen_comma && t.is_ident("self") {
+            first_param_is_self = true;
+        }
+    }
+    let params = commas + 1;
+    Some((params - usize::from(first_param_is_self), close + 1))
+}
+
+/// Argument count of a call whose `(` is at `open`. Closure parameter
+/// lists (`|a, b|`) are skipped so their commas don't inflate the count.
+fn call_arity(tokens: &[Tok], open: usize, close: usize) -> usize {
+    if close == open + 1 {
+        return 0;
+    }
+    let mut depth = 0usize;
+    let mut commas = 0usize;
+    let mut k = open + 1;
+    while k < close {
+        let t = &tokens[k];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct('|') && depth == 0 {
+            // Skip the closure parameter list to its closing `|`.
+            k += 1;
+            while k < close && !tokens[k].is_punct('|') {
+                k += 1;
+            }
+        } else if t.is_punct(',') && depth == 0 {
+            commas += 1;
+        }
+        k += 1;
+    }
+    commas + 1
+}
+
+/// Walks one fn body tracking guard liveness; records acquisitions,
+/// calls, and blocking I/O with the held-lock set at each site.
+fn summarize_fn(tokens: &[Tok], start: usize, end: usize) -> Option<FnSummary> {
+    let name_tok = tokens.get(start + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let (arity, body_from) = fn_arity(tokens, start, end)?;
+    let mut summary = FnSummary {
+        name: name_tok.text.clone(),
+        line: name_tok.line,
+        arity,
+        acquires: Vec::new(),
+        calls: Vec::new(),
+        io: Vec::new(),
+    };
+
+    let mut depth = 0usize;
+    let mut guards: Vec<Guard> = Vec::new();
+    let held = |guards: &[Guard]| -> Vec<String> {
+        let mut h: Vec<String> = guards.iter().map(|g| g.lock.clone()).collect();
+        h.sort();
+        h.dedup();
+        h
+    };
+
+    let mut i = body_from;
+    while i <= end {
+        let t = &tokens[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            guards.retain(|g| g.depth <= depth);
+        } else if t.is_punct(';') {
+            // Statement end: unbound guard temporaries die, unless the
+            // `;` sits in a block nested deeper than the guard (which
+            // keeps `if let … = x.lock() { … }` temporaries live across
+            // the attached block, matching real temporary lifetimes).
+            guards.retain(|g| g.var.is_some() || depth > g.depth);
+        } else if t.is_ident("drop")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && tokens.get(i + 3).is_some_and(|n| n.is_punct(')'))
+            && tokens.get(i + 2).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            let var = &tokens[i + 2].text;
+            guards.retain(|g| g.var.as_deref() != Some(var));
+        } else if t.kind == TokKind::Ident && tokens.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            let open = i + 1;
+            let close = match_paren(tokens, open);
+            let callee = &t.text;
+            let is_method = i > 0 && tokens[i - 1].is_punct('.');
+            // Guard acquisition: `recv.lock()` / `recv.read()` / `recv.write()`
+            // with empty parens and an identifier receiver.
+            let empty = close == open + 1;
+            if is_method
+                && empty
+                && GUARD_METHODS.contains(&callee.as_str())
+                && i >= 2
+                && tokens[i - 2].kind == TokKind::Ident
+            {
+                let lock = tokens[i - 2].text.clone();
+                summary.acquires.push(Acquire {
+                    lock: lock.clone(),
+                    line: t.line,
+                    pos: i,
+                    held: held(&guards),
+                });
+                guards.push(Guard {
+                    lock,
+                    var: let_binding_of(tokens, i - 2),
+                    depth,
+                });
+            }
+            if BLOCKING_SINKS.contains(&callee.as_str()) && is_method {
+                summary.io.push(IoCall {
+                    callee: callee.clone(),
+                    line: t.line,
+                    held: held(&guards),
+                    condvar: false,
+                });
+            } else if CONDVAR_WAITS.contains(&callee.as_str()) && is_method {
+                // Exempt locks whose guard variable is an argument of the
+                // wait: that guard is released while parked.
+                let args = &tokens[open + 1..close];
+                let exempt: Vec<&str> = guards
+                    .iter()
+                    .filter(|g| {
+                        g.var
+                            .as_deref()
+                            .is_some_and(|v| args.iter().any(|a| a.is_ident(v)))
+                    })
+                    .map(|g| g.lock.as_str())
+                    .collect();
+                let still_held: Vec<String> = held(&guards)
+                    .into_iter()
+                    .filter(|l| !exempt.contains(&l.as_str()))
+                    .collect();
+                if !still_held.is_empty() {
+                    summary.io.push(IoCall {
+                        callee: callee.clone(),
+                        line: t.line,
+                        held: still_held,
+                        condvar: true,
+                    });
+                }
+            }
+            if !NON_CALL_IDENTS.contains(&callee.as_str())
+                && !callee.starts_with(char::is_uppercase)
+                && !(i > 0 && tokens[i - 1].is_ident("fn"))
+            {
+                summary.calls.push(CallOut {
+                    callee: callee.clone(),
+                    line: t.line,
+                    pos: i,
+                    arity: call_arity(tokens, open, close),
+                    held: held(&guards),
+                });
+            }
+        }
+        i += 1;
+    }
+    Some(summary)
+}
+
+/// If the guard produced by the chain ending at `recv_idx` (the receiver
+/// identifier) is `let`-bound, returns the binding name.
+fn let_binding_of(tokens: &[Tok], recv_idx: usize) -> Option<String> {
+    // Walk back over the `a.b.c` receiver chain.
+    let mut j = recv_idx;
+    while j >= 2 && tokens[j - 1].is_punct('.') && tokens[j - 2].kind == TokKind::Ident {
+        j -= 2;
+    }
+    if j == 0 || !tokens[j - 1].is_punct('=') {
+        return None;
+    }
+    let mut k = j - 1; // at `=`
+    if k == 0 || tokens[k - 1].kind != TokKind::Ident {
+        return None;
+    }
+    let var = &tokens[k - 1];
+    k -= 1; // at the binding ident
+    if k == 0 {
+        return None;
+    }
+    let before = &tokens[k - 1];
+    if before.is_ident("let") || (before.is_ident("mut") && k >= 2 && tokens[k - 2].is_ident("let"))
+    {
+        Some(var.text.clone())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn summarize(src: &str) -> FileSummary {
+        extract(&lex(src).tokens)
+    }
+
+    #[test]
+    fn harvests_fields_statics_and_params() {
+        let s = summarize(
+            "struct S { inner: Mutex<u32>, conns: Arc<Mutex<Vec<u8>>>, db: RwLock<V> }\n\
+             static GLOBAL: Mutex<u64> = Mutex::new(0);\n\
+             fn f(m: &std::sync::Mutex<u32>) {}\n",
+        );
+        let names: Vec<&str> = s.locks.iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(names, ["inner", "conns", "db", "GLOBAL", "m"]);
+    }
+
+    #[test]
+    fn let_guard_lives_to_block_end_and_drop_ends_it() {
+        let s = summarize(
+            "impl S { fn f(&self) {\n\
+                 let g = self.a.lock();\n\
+                 self.b.lock();\n\
+                 drop(g);\n\
+                 self.c.lock();\n\
+             } }",
+        );
+        let f = &s.fns[0];
+        let held_at = |lock: &str| -> Vec<String> {
+            f.acquires
+                .iter()
+                .find(|a| a.lock == lock)
+                .map(|a| a.held.clone())
+                .unwrap_or_default()
+        };
+        assert_eq!(held_at("b"), ["a"]);
+        assert!(held_at("c").is_empty(), "drop(g) must end the guard");
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let s = summarize(
+            "impl S { fn f(&self) {\n\
+                 *self.a.lock() += 1;\n\
+                 self.b.lock();\n\
+             } }",
+        );
+        let f = &s.fns[0];
+        let b = f.acquires.iter().find(|a| a.lock == "b").unwrap();
+        assert!(
+            b.held.is_empty(),
+            "temporary `a` guard leaked: {:?}",
+            b.held
+        );
+    }
+
+    #[test]
+    fn blocking_call_records_held_locks() {
+        let s = summarize(
+            "impl S { fn f(&self) {\n\
+                 let g = self.inner.lock();\n\
+                 self.file.sync_all();\n\
+             } }",
+        );
+        let f = &s.fns[0];
+        assert_eq!(f.io.len(), 1);
+        assert_eq!(f.io[0].held, ["inner"]);
+        assert!(f.does_io());
+    }
+
+    #[test]
+    fn condvar_wait_exempts_its_own_guard() {
+        let s = summarize(
+            "impl S { fn f(&self) {\n\
+                 let g = self.state.lock();\n\
+                 let g = self.cv.wait(g);\n\
+             } }",
+        );
+        assert!(s.fns[0].io.is_empty(), "own guard must be exempt");
+        let s2 = summarize(
+            "impl S { fn f(&self) {\n\
+                 let other = self.a.lock();\n\
+                 let g = self.state.lock();\n\
+                 let g = self.cv.wait(g);\n\
+             } }",
+        );
+        let io = &s2.fns[0].io;
+        assert_eq!(io.len(), 1, "wait under an unrelated lock must record");
+        assert_eq!(io[0].held, ["a"]);
+        assert!(io[0].condvar);
+    }
+
+    #[test]
+    fn arity_excludes_self_and_closure_commas() {
+        let s = summarize(
+            "impl S { fn three(&self, a: u32, b: B<K, V>, c: u8) {} }\n\
+             fn free() { v.sort_by(|a, b| a.cmp(b)); take(x, y); }",
+        );
+        assert_eq!(s.fns[0].arity, 3);
+        let free = &s.fns[1];
+        let sort = free.calls.iter().find(|c| c.callee == "sort_by").unwrap();
+        assert_eq!(sort.arity, 1, "closure commas must not count");
+        let take = free.calls.iter().find(|c| c.callee == "take").unwrap();
+        assert_eq!(take.arity, 2);
+    }
+}

@@ -1,0 +1,10 @@
+//! Known-bad: renaming a freshly written file into place without
+//! syncing it first — a crash can publish a complete-looking name over
+//! incomplete bytes. Fix: `sync_all` (or `sync_data`) on the temp file
+//! before the rename.
+
+use std::path::Path;
+
+fn publish(tmp: &Path, dst: &Path) -> std::io::Result<()> {
+    std::fs::rename(tmp, dst)
+}

@@ -1,0 +1,10 @@
+//! Known-good: the temp file is synced before the rename publishes its
+//! name, so a crash leaves either the old file or the complete new one.
+
+use std::fs::File;
+use std::path::Path;
+
+fn publish(file: &File, tmp: &Path, dst: &Path) -> std::io::Result<()> {
+    file.sync_all()?;
+    std::fs::rename(tmp, dst)
+}

@@ -1,0 +1,15 @@
+//! Known-bad: a socket write while a lock guard is live — every other
+//! thread wanting `state` now waits on this peer's TCP window.
+//! Fix: copy what the write needs, drop the guard, then do the I/O.
+
+struct Conn {
+    state: Mutex<u32>,
+}
+
+impl Conn {
+    fn pump(&self, stream: &mut std::net::TcpStream) {
+        let g = self.state.lock();
+        stream.write_all(b"ready").ok();
+        drop(g);
+    }
+}

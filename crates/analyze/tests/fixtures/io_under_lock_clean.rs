@@ -1,0 +1,15 @@
+//! Known-good: the guard is dropped before the blocking socket write,
+//! so slow peers never extend the critical section.
+
+struct Conn {
+    state: Mutex<u32>,
+}
+
+impl Conn {
+    fn pump(&self, stream: &mut std::net::TcpStream) {
+        let g = self.state.lock();
+        let _snapshot = *g;
+        drop(g);
+        stream.write_all(b"ready").ok();
+    }
+}

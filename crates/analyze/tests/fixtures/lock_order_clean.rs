@@ -1,0 +1,26 @@
+//! Known-good: both paths take the same two locks in one global order
+//! (`a` before `b`), including through the call graph — no cycle.
+
+struct Hub {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Hub {
+    fn forward(&self) {
+        let g = self.a.lock();
+        self.grab_b();
+        drop(g);
+    }
+
+    fn grab_b(&self) {
+        let _g = self.b.lock();
+    }
+
+    fn also_forward(&self) {
+        let g = self.a.lock();
+        let h = self.b.lock();
+        drop(h);
+        drop(g);
+    }
+}

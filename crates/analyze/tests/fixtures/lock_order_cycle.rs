@@ -1,0 +1,29 @@
+//! Known-bad: two locks acquired in opposite orders on two paths — a
+//! classic AB/BA deadlock. The `a -> b` edge only exists through the
+//! call graph (`forward` holds `a` while calling `grab_b`), so this
+//! fixture also proves the lint fires across a function boundary.
+//! Fix: pick one global acquisition order and hold to it everywhere.
+
+struct Hub {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Hub {
+    fn forward(&self) {
+        let g = self.a.lock();
+        self.grab_b();
+        drop(g);
+    }
+
+    fn grab_b(&self) {
+        let _g = self.b.lock();
+    }
+
+    fn backward(&self) {
+        let g = self.b.lock();
+        let h = self.a.lock();
+        drop(h);
+        drop(g);
+    }
+}

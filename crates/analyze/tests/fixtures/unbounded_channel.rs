@@ -1,0 +1,8 @@
+//! Known-bad: an unbounded channel on a serving path — overload becomes
+//! unbounded memory growth and silent queue latency instead of a typed
+//! rejection. Fix: `mpsc::sync_channel(n)` plus `try_send` shedding.
+
+fn spawn_pipeline() {
+    let (tx, rx) = mpsc::channel();
+    drop((tx, rx));
+}

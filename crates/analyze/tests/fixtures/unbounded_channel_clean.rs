@@ -1,0 +1,7 @@
+//! Known-good: a bounded channel — senders shed with `try_send` when the
+//! consumer falls behind, so overload degrades into typed rejections.
+
+fn spawn_pipeline() {
+    let (tx, rx) = mpsc::sync_channel(64);
+    drop((tx, rx));
+}

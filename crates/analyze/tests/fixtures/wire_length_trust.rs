@@ -1,0 +1,8 @@
+//! Known-bad: a length decoded straight off the wire sizes an
+//! allocation with no cap — four attacker bytes pick the allocation
+//! size. Fix: bound it against a named `MAX_*` constant first.
+
+fn decode_frame(buf: &[u8]) -> Vec<u8> {
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    Vec::with_capacity(len)
+}

@@ -1,0 +1,13 @@
+//! Known-good: the decoded length is checked against the frame cap
+//! before it sizes anything, so hostile bytes cannot pick the
+//! allocation size.
+
+const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+fn decode_frame(buf: &[u8]) -> Vec<u8> {
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME_BYTES as usize {
+        return Vec::new();
+    }
+    Vec::with_capacity(len)
+}

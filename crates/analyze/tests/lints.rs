@@ -96,6 +96,99 @@ fn stale_directive_fires_once() {
     assert_fires_once("unused_suppression.rs", "core", "unused-suppression");
 }
 
+/// The AB/BA fixture must yield exactly two cycle diagnostics — one per
+/// edge of the cycle — and one of them can only come from call-graph
+/// propagation (`forward` holds `a` while `grab_b` takes `b`).
+#[test]
+fn lock_order_cycle_fires_across_fn_boundary() {
+    let r = analyze_fixture("lock_order_cycle.rs", "serve");
+    let cycles: Vec<_> = r
+        .violations
+        .iter()
+        .filter(|v| v.lint == "lock-order-cycle")
+        .collect();
+    assert_eq!(
+        cycles.len(),
+        2,
+        "expected one diagnostic per cycle edge, got {:?}",
+        r.violations
+    );
+    assert_eq!(
+        r.violations.len(),
+        2,
+        "no other lint may fire: {:?}",
+        r.violations
+    );
+    assert!(
+        cycles
+            .iter()
+            .any(|v| v.message.contains("`serve::b`") && v.message.contains("`serve::a`")),
+        "cycle messages must name both locks: {cycles:?}"
+    );
+}
+
+#[test]
+fn lock_order_clean_fixture_is_clean() {
+    let r = analyze_fixture("lock_order_clean.rs", "serve");
+    assert!(r.violations.is_empty(), "got {:?}", r.violations);
+}
+
+#[test]
+fn io_under_lock_fires_once() {
+    assert_fires_once("io_under_lock.rs", "serve", "io-under-lock");
+}
+
+#[test]
+fn io_under_lock_clean_fixture_is_clean() {
+    let r = analyze_fixture("io_under_lock_clean.rs", "serve");
+    assert!(r.violations.is_empty(), "got {:?}", r.violations);
+}
+
+#[test]
+fn io_under_lock_is_scoped_to_serving_crates() {
+    // Same source, numeric crate: the lint stays quiet outside
+    // serve/cluster/store.
+    let r = analyze_fixture("io_under_lock.rs", "linalg");
+    assert!(
+        r.violations.iter().all(|v| v.lint != "io-under-lock"),
+        "got {:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn unbounded_channel_fires_once() {
+    assert_fires_once("unbounded_channel.rs", "serve", "unbounded-channel");
+}
+
+#[test]
+fn unbounded_channel_clean_fixture_is_clean() {
+    let r = analyze_fixture("unbounded_channel_clean.rs", "serve");
+    assert!(r.violations.is_empty(), "got {:?}", r.violations);
+}
+
+#[test]
+fn wire_length_trust_fires_once() {
+    assert_fires_once("wire_length_trust.rs", "cluster", "wire-length-trust");
+}
+
+#[test]
+fn wire_length_trust_clean_fixture_is_clean() {
+    let r = analyze_fixture("wire_length_trust_clean.rs", "cluster");
+    assert!(r.violations.is_empty(), "got {:?}", r.violations);
+}
+
+#[test]
+fn fsync_before_rename_fires_once() {
+    assert_fires_once("fsync_before_rename.rs", "store", "fsync-before-rename");
+}
+
+#[test]
+fn fsync_before_rename_clean_fixture_is_clean() {
+    let r = analyze_fixture("fsync_before_rename_clean.rs", "store");
+    assert!(r.violations.is_empty(), "got {:?}", r.violations);
+}
+
 /// The gate itself: the workspace must scan clean, and every surviving
 /// suppression must carry a written reason.
 #[test]
@@ -106,10 +199,25 @@ fn workspace_scans_clean() {
         .expect("workspace root");
     let report = analyze_workspace(root).expect("workspace walk");
     assert!(report.files_scanned > 50, "walk looks broken");
+    // Zero unsuppressed findings, asserted per lint so a failure names
+    // the regressing lint directly.
+    for id in kinemyo_analyze::lints::LINT_IDS {
+        let hits: Vec<String> = report
+            .violations
+            .iter()
+            .filter(|v| v.lint == id)
+            .map(|v| v.to_string())
+            .collect();
+        assert!(
+            hits.is_empty(),
+            "workspace has unsuppressed [{id}] findings:\n{}",
+            hits.join("\n")
+        );
+    }
     let rendered: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
     assert!(
         report.violations.is_empty(),
-        "workspace has violations:\n{}",
+        "workspace has violations of unknown lints:\n{}",
         rendered.join("\n")
     );
     for s in &report.suppressed {

@@ -89,7 +89,7 @@ impl ReplicationLog {
             let (guard, result) = self
                 .grew
                 .wait_timeout(entries, deadline - now)
-                .expect("replication log poisoned");
+                .unwrap_or_else(|p| p.into_inner());
             entries = guard;
             if result.timed_out() {
                 return entries.keys().next_back().copied().unwrap_or(0);

@@ -190,7 +190,7 @@ impl ServeConfig {
 struct Job {
     record: MotionRecord,
     index: usize,
-    resp: mpsc::Sender<(usize, BatchItem)>,
+    resp: SyncSender<(usize, BatchItem)>,
     enqueued: Instant,
     deadline: Instant,
 }
@@ -711,7 +711,10 @@ fn submit_and_wait(
     if n == 0 {
         return Vec::new();
     }
-    let (resp_tx, resp_rx) = mpsc::channel();
+    // Bounded at `n`: each admitted job is answered exactly once (the
+    // batcher sheds expired jobs with DeadlineExceeded; workers answer
+    // the rest), so `n` slots can never block a sender.
+    let (resp_tx, resp_rx) = mpsc::sync_channel(n);
     let mut items: Vec<Option<BatchItem>> = (0..n).map(|_| None).collect();
     let mut pending = 0usize;
     let now = Instant::now();
@@ -793,14 +796,14 @@ fn do_insert(record: MotionRecord, shared: &Arc<ServerShared>) -> Response {
         Some(store) => {
             let id = store.next_id();
             store
-                .insert(id, meta, fv.into_vec())
+                .insert(id, meta, fv.into_vec()) // analyze: allow(io-under-lock) ingest is serialized by design: id allocation and the WAL commit must be atomic, so the durable append runs under this lock
                 .map(|()| id)
                 .map_err(|e| e.to_string())
         }
         None => {
             let db = model.shared_db();
             let id = db.with_read(|db| db.max_id().map_or(0, |m| m + 1));
-            db.insert(id, meta, fv.into_vec())
+            db.insert(id, meta, fv.into_vec()) // analyze: allow(io-under-lock) name-level resolution conflates SharedDb::insert (in-memory) with DurableDb::insert; the ingest lock only serializes id allocation
                 .map(|()| id)
                 .map_err(|e| e.to_string())
         }

@@ -477,10 +477,12 @@ impl<M: MetaCodec + Clone> DurableDb<M> {
                 seq: w.seq + 1,
                 dim: w.owned.dim() as u32,
             };
+            // analyze: allow(io-under-lock) WAL rotation is part of the commit protocol; the writer lock must cover it so no entry lands in a stale segment
             w.segment = SegmentWriter::create(&self.dir, header)?;
             w.seq += 1;
         }
         let payload = encode_entry(id, &meta, &vector);
+        // analyze: allow(io-under-lock) the WAL append under the writer lock IS the commit point; releasing it first would let readers observe unlogged entries
         w.segment.append(&payload, self.config.fsync_on_commit)?;
         w.owned.insert(id, meta.clone(), vector.clone())?;
         w.shared.insert(id, meta, vector)?;
@@ -535,6 +537,7 @@ impl<M: MetaCodec + Clone> DurableDb<M> {
     pub fn persist(&self) -> Result<SnapshotInfo> {
         let mut w = self.inner.lock();
         let generation = w.generation + 1;
+        // analyze: allow(io-under-lock) the snapshot must capture a frozen entry set; writing it outside the lock would race concurrent inserts
         let (_, bytes) = write_snapshot(
             &self.dir,
             generation,
@@ -546,6 +549,7 @@ impl<M: MetaCodec + Clone> DurableDb<M> {
             seq: 1,
             dim: w.owned.dim() as u32,
         };
+        // analyze: allow(io-under-lock) WAL rotation onto the new generation must be atomic with the snapshot under the writer lock
         w.segment = SegmentWriter::create(&self.dir, header)?;
         w.generation = generation;
         w.seq = 1;
@@ -595,6 +599,7 @@ impl<M: MetaCodec + Clone> DurableDb<M> {
             bytes_reclaimed += len;
         }
         if files_removed > 0 {
+            // analyze: allow(io-under-lock) reclamation holds the writer lock by design so a concurrent persist cannot interleave file creation with deletion
             sync_dir(&self.dir)?;
         }
         Ok(CompactInfo {
@@ -619,6 +624,7 @@ impl<M: MetaCodec + Clone> DurableDb<M> {
             }));
         }
         for e in w.owned.entries() {
+            // analyze: allow(io-under-lock) name-level resolution conflates SharedDb::insert (in-memory) with DurableDb::insert; no I/O happens here
             next.insert(e.id, e.meta.clone(), e.vector.clone())?;
         }
         w.shared = next;

@@ -233,6 +233,15 @@ pub fn decode_entry<M: MetaCodec>(payload: &[u8], path: &Path, offset: u64) -> R
         .u32()
         .ok_or_else(|| corrupt("entry payload truncated at vector length".into()))?
         as usize;
+    // Cap before the remaining-bytes check: `vec_len * 8` must not be
+    // trusted arithmetic on an attacker-supplied u32 (it would wrap on a
+    // 32-bit usize), and the allocation below must never exceed what a
+    // framed payload could legitimately carry.
+    if vec_len > MAX_FRAME_BYTES as usize / 8 {
+        return Err(corrupt(format!(
+            "entry claims {vec_len} vector components, exceeding the frame cap"
+        )));
+    }
     if r.remaining() < vec_len * 8 {
         return Err(corrupt(format!(
             "entry claims {vec_len} vector components, {} payload bytes remain",

@@ -14,8 +14,15 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> kinemyo-analyze (determinism & numeric-safety lints)"
+echo "==> kinemyo-analyze (determinism, concurrency & durability lints)"
+# Human output (with per-lint counts) is the gate; the JSON emission both
+# exercises the machine-readable path and leaves an artifact CI can
+# annotate diffs from.
 cargo run -q -p kinemyo-analyze
+echo "==> kinemyo-analyze --format json (findings artifact)"
+ANALYZE_JSON="${ANALYZE_JSON:-$(mktemp)}"
+cargo run -q -p kinemyo-analyze -- --format json > "$ANALYZE_JSON"
+echo "findings JSON written to $ANALYZE_JSON"
 
 if [[ "${1:-}" != "--quick" ]]; then
     echo "==> cargo test"
