@@ -7,18 +7,20 @@ use crate::lexer::{Tok, TokKind};
 use crate::spans::{fn_spans, match_paren, test_mask};
 
 /// Crates whose non-test library code must not contain panicking calls.
-pub const PANIC_FREE_CRATES: [&str; 7] =
-    ["linalg", "dsp", "features", "fuzzy", "modb", "ann", "store"];
+pub const PANIC_FREE_CRATES: [&str; 8] = [
+    "linalg", "dsp", "features", "fuzzy", "modb", "ann", "store", "session",
+];
 
 /// Individual `(crate, file-stem)` pairs under the panic-free discipline
 /// beyond [`PANIC_FREE_CRATES`]: the protocol-facing modules that parse
 /// untrusted bytes. A panic while decoding a hostile frame is a remote
 /// denial-of-service, so these hold to the same standard as the numeric
 /// kernels even though their crates as a whole do not.
-pub const PANIC_FREE_FILES: [(&str, &str); 3] = [
+pub const PANIC_FREE_FILES: [(&str, &str); 4] = [
     ("cluster", "wire"),
     ("cluster", "log"),
     ("serve", "protocol"),
+    ("serve", "session"),
 ];
 
 /// Crate exempt from `unseeded-rng` (it owns entropy-based simulation).

@@ -386,9 +386,9 @@ fn summarize_fn(tokens: &[Tok], start: usize, end: usize) -> Option<FnSummary> {
                     });
                 }
             }
-            if !NON_CALL_IDENTS.contains(&callee.as_str())
-                && !callee.starts_with(char::is_uppercase)
-                && !(i > 0 && tokens[i - 1].is_ident("fn"))
+            if !(NON_CALL_IDENTS.contains(&callee.as_str())
+                || callee.starts_with(char::is_uppercase)
+                || (i > 0 && tokens[i - 1].is_ident("fn")))
             {
                 summary.calls.push(CallOut {
                     callee: callee.clone(),

@@ -1,0 +1,123 @@
+//! Criterion benchmarks for streaming sessions over real loopback
+//! sockets: whole `session_push` round trips through accept → session
+//! engine → reply at 1, 16 and 64 concurrent sessions, so the cost of
+//! the wire (framing, JSON, per-connection threads) is measured on top
+//! of the in-process engine numbers `stream_bench` reports.
+//!
+//! Each iteration opens its sessions once (outside the timed region the
+//! table churn is not what's measured), then every session pushes a
+//! fixed burst of replayed frames in protocol-sized chunks and waits for
+//! its rolling windows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kinemyo::biosim::{Dataset, DatasetSpec, MotionRecord};
+use kinemyo::{MotionClassifier, PipelineConfig};
+use kinemyo_biosim::replay::{generate_replay, ReplaySpec};
+use kinemyo_serve::{
+    ReloadPolicy, Response, ServeClient, ServeConfig, Server, SessionConfig, WireFrame,
+};
+use std::time::Duration;
+
+/// Frames each session pushes per measured iteration.
+const FRAMES_PER_SESSION: usize = 96;
+/// Frames per `session_push` request (protocol-sized chunks).
+const CHUNK: usize = 32;
+
+fn trained_model() -> MotionClassifier {
+    let ds = Dataset::generate(DatasetSpec::hand_default().with_size(1, 3)).unwrap();
+    let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+    let config = PipelineConfig::default().with_clusters(10);
+    MotionClassifier::train(&refs, ds.spec.limb, &config).unwrap()
+}
+
+fn replay_frames() -> Vec<WireFrame> {
+    let spec = ReplaySpec::parse("hand:1:4:2007").expect("spec parses");
+    let streams = generate_replay(&spec).expect("replay generates");
+    let base: Vec<WireFrame> = streams[0]
+        .frames
+        .iter()
+        .map(|f| WireFrame {
+            mocap: f.mocap.clone(),
+            pelvis: f.pelvis,
+            emg: f.emg.clone(),
+            t_ms: Some(f.t_ms),
+        })
+        .collect();
+    (0..FRAMES_PER_SESSION)
+        .map(|i| base[i % base.len()].clone())
+        .collect()
+}
+
+fn bench_session_throughput(c: &mut Criterion) {
+    // The bench is meaningless without a live JSON backend (the offline
+    // stub build compiles serde_json but cannot encode at runtime).
+    if serde_json::to_string(&0u32).is_err() {
+        eprintln!("skipping session_throughput: serde_json stub build");
+        return;
+    }
+    let mut group = c.benchmark_group("session");
+    group.sample_size(10);
+
+    for sessions in [1usize, 16, 64] {
+        let config = ServeConfig::default()
+            .with_session_config(SessionConfig::default().with_max_sessions(2 * sessions));
+        let server = Server::start(trained_model(), config).expect("server starts");
+        let addr = server.local_addr();
+        let frames = replay_frames();
+
+        group.throughput(Throughput::Elements((sessions * FRAMES_PER_SESSION) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("loopback_push", sessions),
+            &sessions,
+            |b, &sessions| {
+                // One persistent connection and one open session per
+                // concurrent stream; the timed region is pushes only.
+                let mut clients: Vec<(ServeClient, u64)> = (0..sessions)
+                    .map(|_| {
+                        let mut client = ServeClient::connect(addr).expect("connect");
+                        client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+                        let session = client
+                            .session_open(ReloadPolicy::Rebind, None)
+                            .expect("session opens");
+                        (client, session)
+                    })
+                    .collect();
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for (client, session) in clients.iter_mut() {
+                            let frames = &frames;
+                            let session = *session;
+                            scope.spawn(move || {
+                                for chunk in frames.chunks(CHUNK) {
+                                    match client
+                                        .session_push(session, chunk)
+                                        .expect("push transports")
+                                    {
+                                        Response::SessionWindows { rejected, .. } => {
+                                            assert!(rejected.is_empty())
+                                        }
+                                        other => panic!("push rejected: {other:?}"),
+                                    }
+                                }
+                            });
+                        }
+                    });
+                });
+                for (client, session) in clients.iter_mut() {
+                    client.session_close(*session).expect("session closes");
+                }
+            },
+        );
+
+        server.shutdown();
+        let stats = server.wait();
+        eprintln!(
+            "sessions={sessions}: frames={} windows={} opened={}",
+            stats.sessions.frames, stats.sessions.windows, stats.sessions.opened
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_throughput);
+criterion_main!(benches);

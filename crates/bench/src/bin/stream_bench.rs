@@ -1,0 +1,248 @@
+//! Streaming-session throughput benchmark for the in-process
+//! [`kinemyo_session::SessionEngine`] — the engine every wire session
+//! runs on, measured without the socket so the numbers hold in minimal
+//! build environments (the offline stub build cannot move JSON at
+//! runtime; the wire variant lives in the `session_throughput` Criterion
+//! bench).
+//!
+//! For each concurrency level (1, 16 and 64 live sessions) the bench
+//! replays a seeded [`kinemyo_biosim::replay`] stream through every
+//! session frame by frame — the same per-frame `push` the daemon issues —
+//! and reports sustained frames/sec plus the per-frame p99 latency, the
+//! quantity the session layer budgets per *window*
+//! ([`SessionConfig::window_budget_us`]).
+//!
+//! ```text
+//! stream_bench [--frames N] [--seed S] [--out FILE] [--gate]
+//! ```
+//!
+//! `--out` writes a flat `kinemyo-bench-json/1` file (`stream/s{S}/...`
+//! keys; latencies in nanoseconds, rates in frames/sec riding in the
+//! same map, like `ann_sweep`'s recall entries). `--gate` enforces the
+//! ROADMAP acceptance contract and exits non-zero on failure: at 64
+//! concurrent sessions the per-frame p99 — even at a window boundary,
+//! where the warm-started eigensolve runs — must stay under the
+//! per-window latency budget.
+//!
+//! Run with `cargo run --release -p kinemyo-bench --bin stream_bench`.
+
+use kinemyo::biosim::{Dataset, DatasetSpec, MotionRecord};
+use kinemyo::{MotionClassifier, PipelineConfig, SharedModel};
+use kinemyo_biosim::replay::{generate_replay, ReplaySpec};
+use kinemyo_session::{ReloadPolicy, SessionConfig, SessionEngine, WireFrame};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const SESSION_LEVELS: [usize; 3] = [1, 16, 64];
+
+struct Args {
+    frames: usize,
+    seed: u64,
+    out: Option<String>,
+    gate: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        frames: 2_400,
+        seed: 2007,
+        out: None,
+        gate: false,
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < raw.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            raw.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{} needs a value", raw[*i - 1]))
+        };
+        match raw[i].as_str() {
+            "--frames" => args.frames = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => args.out = Some(take(&mut i)?),
+            "--gate" => args.gate = true,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    if args.frames == 0 {
+        return Err("--frames must be >= 1".into());
+    }
+    Ok(args)
+}
+
+fn trained_model(seed: u64) -> MotionClassifier {
+    let ds = Dataset::generate(DatasetSpec::hand_default().with_size(1, 3).with_seed(seed))
+        .expect("dataset generates");
+    let refs: Vec<&MotionRecord> = ds.records.iter().collect();
+    let config = PipelineConfig::default().with_clusters(10);
+    MotionClassifier::train(&refs, ds.spec.limb, &config).expect("training succeeds")
+}
+
+/// A seeded replay stream, tiled out to exactly `frames` wire frames.
+fn replay_frames(frames: usize, seed: u64) -> Vec<WireFrame> {
+    let spec = ReplaySpec::parse(&format!("hand:1:6:{seed}")).expect("spec parses");
+    let streams = generate_replay(&spec).expect("replay generates");
+    let base: Vec<WireFrame> = streams[0]
+        .frames
+        .iter()
+        .map(|f| WireFrame {
+            mocap: f.mocap.clone(),
+            pelvis: f.pelvis,
+            emg: f.emg.clone(),
+            t_ms: Some(f.t_ms),
+        })
+        .collect();
+    (0..frames).map(|i| base[i % base.len()].clone()).collect()
+}
+
+/// Renders the flat bench map as `kinemyo-bench-json/1` without a JSON
+/// dependency (same reasoning as `bench_json`: the perf gate must work
+/// in minimal build environments).
+fn render_bench_json(benches: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("{\n  \"schema\": \"kinemyo-bench-json/1\",\n  \"benches\": {\n");
+    for (i, (k, v)) in benches.iter().enumerate() {
+        out.push_str(&format!("    \"{k}\": {v}"));
+        out.push_str(if i + 1 < benches.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn percentile_ns(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1] as f64
+}
+
+struct LevelOutcome {
+    frames_per_sec: f64,
+    p50_ns: f64,
+    p99_ns: f64,
+    windows: u64,
+}
+
+/// Runs `sessions` concurrent sessions, each pushing `frames` frames one
+/// by one, and merges the per-frame latency samples.
+fn run_level(engine: &SessionEngine, sessions: usize, frames: &[WireFrame]) -> LevelOutcome {
+    let start = Instant::now();
+    let mut samples: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|_| {
+                scope.spawn(move || {
+                    let opened = engine
+                        .open(ReloadPolicy::Rebind, None)
+                        .expect("session opens");
+                    let mut lat = Vec::with_capacity(frames.len());
+                    for frame in frames {
+                        let t = Instant::now();
+                        let reply = engine
+                            .push(opened.session, std::slice::from_ref(frame))
+                            .expect("push succeeds");
+                        lat.push(t.elapsed().as_nanos() as u64);
+                        assert!(reply.rejected.is_empty(), "replay frames are clean");
+                    }
+                    engine.close(opened.session).expect("session closes");
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("session thread"))
+            .collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    samples.sort_unstable();
+    let total = (sessions * frames.len()) as f64;
+    LevelOutcome {
+        frames_per_sec: total / elapsed,
+        p50_ns: percentile_ns(&samples, 0.50),
+        p99_ns: percentile_ns(&samples, 0.99),
+        windows: engine.stats().windows,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("stream_bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let model = trained_model(args.seed);
+    let window_len = model.window().len();
+    let frames = replay_frames(args.frames, args.seed);
+    let session_config = SessionConfig::default().with_max_sessions(2 * SESSION_LEVELS[2]);
+    let budget_us = session_config.window_budget_us;
+    println!(
+        "stream bench: {} frames/session (window {} frames), budget {} us/window, seed {}",
+        args.frames, window_len, budget_us, args.seed
+    );
+
+    let mut benches: BTreeMap<String, f64> = BTreeMap::new();
+    let mut gate_ok = true;
+    println!(
+        "{:>9} {:>14} {:>12} {:>12} {:>10}",
+        "sessions", "frames/sec", "p50 us", "p99 us", "windows"
+    );
+    for sessions in SESSION_LEVELS {
+        // A fresh engine per level so window counters don't bleed across
+        // levels; the model snapshot is shared (Arc) and stays warm.
+        let shared = SharedModel::new(trained_model(args.seed));
+        let engine = SessionEngine::new(shared, session_config.clone()).expect("engine constructs");
+        let outcome = run_level(&engine, sessions, &frames);
+        println!(
+            "{:>9} {:>14.0} {:>12.1} {:>12.1} {:>10}",
+            sessions,
+            outcome.frames_per_sec,
+            outcome.p50_ns / 1e3,
+            outcome.p99_ns / 1e3,
+            outcome.windows
+        );
+        let tag = format!("stream/s{sessions}");
+        benches.insert(format!("{tag}/frames_per_sec"), outcome.frames_per_sec);
+        benches.insert(format!("{tag}/p50_frame_ns"), outcome.p50_ns);
+        benches.insert(format!("{tag}/p99_frame_ns"), outcome.p99_ns);
+        let expected_windows = (sessions * (args.frames / window_len)) as u64;
+        if outcome.windows != expected_windows {
+            eprintln!(
+                "stream_bench: GATE FAIL at {sessions} sessions: {} windows completed, \
+                 expected {expected_windows} (lost rolling results)",
+                outcome.windows
+            );
+            gate_ok = false;
+        }
+        if sessions == SESSION_LEVELS[2] && outcome.p99_ns / 1e3 >= budget_us as f64 {
+            eprintln!(
+                "stream_bench: GATE FAIL: per-frame p99 {:.1} us at {sessions} sessions \
+                 breaches the {budget_us} us window budget",
+                outcome.p99_ns / 1e3
+            );
+            gate_ok = false;
+        }
+    }
+
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, render_bench_json(&benches)) {
+            eprintln!("stream_bench: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\nwrote {path}");
+    }
+    if args.gate {
+        if gate_ok {
+            println!("gate: PASS (p99 under the window budget at 64 sessions)");
+        } else {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -23,7 +23,10 @@
 //!   deterministic per seed, JSON-serializable;
 //! * [`faults`] — seeded sensor-fault injection (dropped mocap frames, EMG
 //!   dropout/saturation, NaN glitches, inter-stream desync) for testing the
-//!   core crate's graceful-degradation layer.
+//!   core crate's graceful-degradation layer;
+//! * [`replay`] — seeded traffic-replay corpus: timestamped, interleaved
+//!   mocap/EMG frame streams (multi-subject, with blended motion
+//!   transitions) for driving the serve daemon's streaming sessions.
 //!
 //! See `DESIGN.md` §2 for why each substitution preserves the behaviour the
 //! paper's evaluation depends on.
@@ -46,6 +49,7 @@ pub mod limb;
 pub mod motion;
 pub mod muscle;
 pub mod noise;
+pub mod replay;
 pub mod skeleton;
 pub mod vec3;
 
@@ -56,6 +60,7 @@ pub use emg::EmgSynthConfig;
 pub use error::{BiosimError, Result};
 pub use faults::{inject_faults, FaultLog, FaultSpec};
 pub use limb::{Limb, MotionClass, Muscle, Segment};
+pub use replay::{generate_replay, ReplayFrame, ReplaySpec, SubjectStream};
 pub use skeleton::{MocapNoise, Placement, Skeleton};
 pub use vec3::Vec3;
 

@@ -1,0 +1,280 @@
+//! Traffic-replay corpus: seeded, timestamped frame streams for driving
+//! the serve daemon's streaming sessions (ROADMAP item 5's replay
+//! corpus).
+//!
+//! A [`ReplaySpec`] is a compact `limb:subjects:motions:seed` string —
+//! the same text travels on the `kinemyo client --op stream --replay`
+//! command line and into scripts — and expands deterministically into
+//! one [`SubjectStream`] per subject: several complete motion trials
+//! concatenated with short linear-blend **transition segments** between
+//! them, so a replayed session exercises compound motion boundaries, not
+//! just steady-state trials. Every frame carries a 120 Hz timestamp and
+//! the interleaved payload a wire session expects (global mocap row,
+//! pelvis position, processed EMG row).
+
+use crate::dataset::{Dataset, DatasetSpec};
+use crate::error::{BiosimError, Result};
+use crate::limb::{Limb, MotionClass};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Frames blended between two consecutive motions of a stream.
+const TRANSITION_FRAMES: usize = 24;
+
+/// Parsed replay specification: `limb:subjects:motions:seed`.
+///
+/// `limb` is one of `hand`, `leg`, `body`; trailing fields may be
+/// omitted and default to 1 subject, 3 motions, seed 2007.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplaySpec {
+    /// Limb whose motion classes the stream draws from.
+    pub limb: Limb,
+    /// Number of independent subject streams.
+    pub subjects: usize,
+    /// Motions concatenated per subject stream.
+    pub motions: usize,
+    /// Master seed; the whole corpus derives from it.
+    pub seed: u64,
+}
+
+impl ReplaySpec {
+    /// Parses the `limb:subjects:motions:seed` form.
+    pub fn parse(text: &str) -> Result<Self> {
+        let invalid = |reason: String| BiosimError::InvalidConfig { reason };
+        let mut parts = text.split(':');
+        let limb = match parts.next().unwrap_or("") {
+            "hand" => Limb::RightHand,
+            "leg" => Limb::RightLeg,
+            "body" => Limb::WholeBody,
+            other => {
+                return Err(invalid(format!(
+                    "replay limb must be hand|leg|body, got {other:?}"
+                )))
+            }
+        };
+        let mut field = |name: &str, default: u64| -> Result<u64> {
+            match parts.next() {
+                None | Some("") => Ok(default),
+                Some(raw) => raw
+                    .parse::<u64>()
+                    .map_err(|_| invalid(format!("replay {name} must be an integer, got {raw:?}"))),
+            }
+        };
+        let subjects = field("subjects", 1)? as usize;
+        let motions = field("motions", 3)? as usize;
+        let seed = field("seed", 2007)?;
+        if parts.next().is_some() {
+            return Err(invalid(format!(
+                "replay spec {text:?} has trailing fields (expected limb:subjects:motions:seed)"
+            )));
+        }
+        if subjects == 0 || motions == 0 {
+            return Err(invalid(
+                "replay subjects and motions must be at least 1".into(),
+            ));
+        }
+        Ok(Self {
+            limb,
+            subjects,
+            motions,
+            seed,
+        })
+    }
+
+    /// Renders the canonical `limb:subjects:motions:seed` form.
+    pub fn render(&self) -> String {
+        let limb = match self.limb {
+            Limb::RightHand => "hand",
+            Limb::RightLeg => "leg",
+            Limb::WholeBody => "body",
+        };
+        format!("{limb}:{}:{}:{}", self.subjects, self.motions, self.seed)
+    }
+}
+
+/// One timestamped acquisition frame of a replay stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayFrame {
+    /// Milliseconds since the stream started (120 Hz frame clock).
+    pub t_ms: u64,
+    /// Global mocap row, `3 × segments` values, mm.
+    pub mocap: Vec<f64>,
+    /// Global pelvis position for the frame, mm.
+    pub pelvis: [f64; 3],
+    /// Processed EMG row, one value per channel, volts.
+    pub emg: Vec<f64>,
+}
+
+/// One subject's replay stream: the ground-truth motion sequence plus
+/// every frame, transition blends included.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubjectStream {
+    /// Subject index within the spec.
+    pub subject: usize,
+    /// Ground-truth classes of the concatenated motions, in play order.
+    pub classes: Vec<MotionClass>,
+    /// Timestamped frames, strictly increasing `t_ms`.
+    pub frames: Vec<ReplayFrame>,
+}
+
+/// Expands a spec into its subject streams, deterministically per seed.
+///
+/// Each subject gets an independent single-participant capture of every
+/// class for the limb; a seeded draw (with replacement) picks `motions`
+/// trials, which are concatenated with [`TRANSITION_FRAMES`] linearly
+/// blended frames bridging each boundary.
+pub fn generate_replay(spec: &ReplaySpec) -> Result<Vec<SubjectStream>> {
+    let base = match spec.limb {
+        Limb::RightHand => DatasetSpec::hand_default(),
+        Limb::RightLeg => DatasetSpec::leg_default(),
+        Limb::WholeBody => DatasetSpec::whole_body_default(),
+    };
+    let mut streams = Vec::with_capacity(spec.subjects);
+    for subject in 0..spec.subjects {
+        let capture_seed = spec
+            .seed
+            .wrapping_add((subject as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let dataset = Dataset::generate(base.clone().with_size(1, 1).with_seed(capture_seed))?;
+        let mut rng = ChaCha8Rng::seed_from_u64(capture_seed ^ 0x5EED_5EED_5EED_5EED);
+        let picks: Vec<usize> = (0..spec.motions)
+            .map(|_| rng.random_range(0..dataset.records.len()))
+            .collect();
+
+        let frame_period_ms = 1000.0 / base.acquisition.mocap_fs;
+        let mut classes = Vec::with_capacity(spec.motions);
+        let mut frames: Vec<ReplayFrame> = Vec::new();
+        let mut clock = 0usize; // frame index on the 120 Hz clock
+        for &pick in &picks {
+            let record = &dataset.records[pick];
+            classes.push(record.class);
+            let first = replay_frame(record, 0);
+            if let Some(prev) = frames.last().cloned() {
+                for step in 1..=TRANSITION_FRAMES {
+                    let alpha = step as f64 / (TRANSITION_FRAMES + 1) as f64;
+                    frames.push(blend(&prev, &first, alpha, clock, frame_period_ms));
+                    clock += 1;
+                }
+            }
+            for f in 0..record.frames() {
+                let mut frame = replay_frame(record, f);
+                frame.t_ms = (clock as f64 * frame_period_ms) as u64;
+                frames.push(frame);
+                clock += 1;
+            }
+        }
+        streams.push(SubjectStream {
+            subject,
+            classes,
+            frames,
+        });
+    }
+    Ok(streams)
+}
+
+fn replay_frame(record: &crate::dataset::MotionRecord, f: usize) -> ReplayFrame {
+    let p = record.pelvis[f];
+    ReplayFrame {
+        t_ms: 0,
+        mocap: record.mocap.row(f).to_vec(),
+        pelvis: [p.x, p.y, p.z],
+        emg: record.emg.row(f).to_vec(),
+    }
+}
+
+fn blend(
+    a: &ReplayFrame,
+    b: &ReplayFrame,
+    alpha: f64,
+    clock: usize,
+    frame_period_ms: f64,
+) -> ReplayFrame {
+    let mix = |x: f64, y: f64| x * (1.0 - alpha) + y * alpha;
+    ReplayFrame {
+        t_ms: (clock as f64 * frame_period_ms) as u64,
+        mocap: a
+            .mocap
+            .iter()
+            .zip(&b.mocap)
+            .map(|(&x, &y)| mix(x, y))
+            .collect(),
+        pelvis: [
+            mix(a.pelvis[0], b.pelvis[0]),
+            mix(a.pelvis[1], b.pelvis[1]),
+            mix(a.pelvis[2], b.pelvis[2]),
+        ],
+        emg: a.emg.iter().zip(&b.emg).map(|(&x, &y)| mix(x, y)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_and_partial_specs() {
+        let full = ReplaySpec::parse("leg:2:4:99").unwrap();
+        assert_eq!(
+            full,
+            ReplaySpec {
+                limb: Limb::RightLeg,
+                subjects: 2,
+                motions: 4,
+                seed: 99
+            }
+        );
+        assert_eq!(full.render(), "leg:2:4:99");
+        let partial = ReplaySpec::parse("hand").unwrap();
+        assert_eq!(partial.subjects, 1);
+        assert_eq!(partial.motions, 3);
+        assert_eq!(partial.seed, 2007);
+        assert!(ReplaySpec::parse("arm:1:1:1").is_err());
+        assert!(ReplaySpec::parse("hand:x").is_err());
+        assert!(ReplaySpec::parse("hand:0:1:1").is_err());
+        assert!(ReplaySpec::parse("hand:1:1:1:1").is_err());
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_well_formed() {
+        let spec = ReplaySpec::parse("hand:2:3:42").unwrap();
+        let a = generate_replay(&spec).unwrap();
+        let b = generate_replay(&spec).unwrap();
+        assert_eq!(a.len(), 2);
+        for (sa, sb) in a.iter().zip(&b) {
+            assert_eq!(sa.classes, sb.classes);
+            assert_eq!(sa.frames, sb.frames, "byte-identical per seed");
+        }
+        let limb = Limb::RightHand;
+        for stream in &a {
+            assert_eq!(stream.classes.len(), 3);
+            assert!(!stream.frames.is_empty());
+            let mut last_t = None;
+            for f in &stream.frames {
+                assert_eq!(f.mocap.len(), limb.mocap_cols());
+                assert_eq!(f.emg.len(), limb.emg_channels());
+                assert!(f.mocap.iter().chain(&f.emg).all(|v| v.is_finite()));
+                if let Some(prev) = last_t {
+                    assert!(f.t_ms > prev, "timestamps strictly increase");
+                }
+                last_t = Some(f.t_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn transitions_bridge_motion_boundaries() {
+        let spec = ReplaySpec::parse("hand:1:2:7").unwrap();
+        let streams = generate_replay(&spec).unwrap();
+        let single = generate_replay(&ReplaySpec::parse("hand:1:1:7").unwrap()).unwrap();
+        // Two motions must add more than one motion's frames plus the
+        // blended bridge — i.e. the bridge frames exist.
+        assert!(streams[0].frames.len() > single[0].frames.len() + TRANSITION_FRAMES);
+    }
+
+    #[test]
+    fn different_seeds_produce_different_streams() {
+        let a = generate_replay(&ReplaySpec::parse("hand:1:3:1").unwrap()).unwrap();
+        let b = generate_replay(&ReplaySpec::parse("hand:1:3:2").unwrap()).unwrap();
+        assert!(a[0].classes != b[0].classes || a[0].frames != b[0].frames);
+    }
+}

@@ -52,11 +52,21 @@ COMMANDS:
              [--port-file PATH]  write the bound address for scripts
              [--store DIR]  durable motion store: WAL-log every insert
              and recover ingested motions bit-identically on restart
+             [--sessions N]  streaming-session capacity (default 64)
+             [--session-idle-ms MS]  evict idle sessions (default 30000)
+             [--session-arms L1,L2]  extra per-session window lengths
+             [--session-drift R:BASE:RECENT:MIN:COOLDOWN]  drift-detector
+             thresholds (trigger when recent mean margin < R x baseline)
+             [--session-retrain DATASET]  arm drift-triggered hot
+             re-training from this base corpus
   client     talk to a running daemon
              --addr HOST:PORT  [--op classify|classify-batch|insert|
-             health|stats|reload|persist|compact|shutdown (default
-             health)]  [--timeout-ms MS]
+             stream|health|stats|reload|persist|compact|shutdown
+             (default health)]  [--timeout-ms MS]
              classify/insert ops need --dataset PATH [--record ID]
+             stream op: --replay limb:subjects:motions:seed  drive one
+             streaming session per subject from the seeded replay
+             corpus  [--policy rebind|finish-old] [--arms L1,L2]
   cluster    replication and sharded serving
              node     run a replicating serve daemon (blocks until
                       'shutdown');  --model MODEL.json  --store DIR

@@ -7,7 +7,12 @@
 
 use crate::args::{ArgError, ParsedArgs};
 use crate::commands::load_dataset;
-use kinemyo_serve::{BatchItem, Response, ServeClient, ServeConfig, Server};
+use kinemyo::MotionClassifier;
+use kinemyo_biosim::replay::{generate_replay, ReplaySpec};
+use kinemyo_serve::{
+    BatchItem, DriftConfig, ReloadPolicy, Response, RetrainSource, ServeClient, ServeConfig,
+    Server, WireFrame,
+};
 use std::error::Error;
 use std::path::Path;
 use std::time::Duration;
@@ -26,17 +31,54 @@ pub fn serve(args: &ParsedArgs) -> CliResult {
         "deadline-ms",
         "port-file",
         "store",
+        "sessions",
+        "session-idle-ms",
+        "session-arms",
+        "session-drift",
+        "session-retrain",
     ])?;
     let model_path = Path::new(args.require("model")?).to_owned();
+    let mut session = kinemyo_serve::SessionConfig::default()
+        .with_max_sessions(args.get_or("sessions", 64usize)?)
+        .with_idle_timeout(Duration::from_millis(
+            args.get_or("session-idle-ms", 30_000u64)?,
+        ));
+    if let Some(raw) = args.get("session-arms") {
+        let arms: Vec<usize> = raw
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.parse()
+                    .map_err(|_| ArgError(format!("--session-arms: cannot parse '{s}'")))
+            })
+            .collect::<Result<_, _>>()?;
+        session = session.with_extra_arms(arms);
+    }
+    if let Some(raw) = args.get("session-drift") {
+        session = session.with_drift(parse_drift(raw)?);
+    }
     let mut config = ServeConfig::default()
         .with_addr(args.get("addr").unwrap_or("127.0.0.1:0"))
         .with_queue_capacity(args.get_or("queue", 256usize)?)
         .with_batch_max(args.get_or("batch-max", 16usize)?)
         .with_batch_wait(Duration::from_millis(args.get_or("batch-wait-ms", 2u64)?))
         .with_workers(args.get_or("workers", 2usize)?)
-        .with_request_deadline(Duration::from_millis(args.get_or("deadline-ms", 5000u64)?));
+        .with_request_deadline(Duration::from_millis(args.get_or("deadline-ms", 5000u64)?))
+        .with_session_config(session);
     if let Some(dir) = args.get("store") {
         config = config.with_store_dir(dir);
+    }
+    if let Some(ds_path) = args.get("session-retrain") {
+        // Arm drift-triggered hot re-training: the base corpus plus the
+        // serving model's own limb/config, so a re-train is a superset of
+        // the original training run.
+        let ds = load_dataset(Path::new(ds_path))?;
+        let model = MotionClassifier::load_json(&model_path)?;
+        config = config.with_session_retrain(RetrainSource {
+            records: ds.records.clone(),
+            limb: model.limb(),
+            config: model.config().clone(),
+        });
     }
     let server = Server::start_from_file(&model_path, config)?;
     let addr = server.local_addr();
@@ -63,9 +105,49 @@ pub fn serve(args: &ParsedArgs) -> CliResult {
     Ok(())
 }
 
+/// Parses `--session-drift RATIO:BASELINE:RECENT:MIN_WINDOWS:COOLDOWN`
+/// (the same colon-spec idiom as `--replay`). Passing a spec arms the
+/// detector; without the flag the daemon keeps [`DriftConfig::default`].
+fn parse_drift(raw: &str) -> Result<DriftConfig, ArgError> {
+    let parts: Vec<&str> = raw.split(':').collect();
+    if parts.len() != 5 {
+        return Err(ArgError(format!(
+            "--session-drift needs RATIO:BASELINE:RECENT:MIN_WINDOWS:COOLDOWN, got '{raw}'"
+        )));
+    }
+    let ratio: f64 = parts[0].parse().map_err(|_| {
+        ArgError(format!(
+            "--session-drift: cannot parse ratio '{}'",
+            parts[0]
+        ))
+    })?;
+    let field = |i: usize| -> Result<usize, ArgError> {
+        parts[i]
+            .parse()
+            .map_err(|_| ArgError(format!("--session-drift: cannot parse '{}'", parts[i])))
+    };
+    Ok(DriftConfig {
+        enabled: true,
+        ratio,
+        baseline: field(1)?,
+        recent: field(2)?,
+        min_windows: field(3)?,
+        cooldown: field(4)?,
+    })
+}
+
 /// `kinemyo client`.
 pub fn client(args: &ParsedArgs) -> CliResult {
-    args.check_allowed(&["addr", "op", "dataset", "record", "timeout-ms"])?;
+    args.check_allowed(&[
+        "addr",
+        "op",
+        "dataset",
+        "record",
+        "timeout-ms",
+        "replay",
+        "policy",
+        "arms",
+    ])?;
     let addr = args.require("addr")?;
     let op = args.get("op").unwrap_or("health");
     let mut client = ServeClient::connect(addr)?;
@@ -165,6 +247,7 @@ pub fn client(args: &ParsedArgs) -> CliResult {
             }
             Ok(())
         }
+        "stream" => stream_replay(&mut client, args),
         "health" => print_response(client.health()?),
         "stats" => print_response(client.call(&kinemyo_serve::Request::Stats)?),
         "reload" => print_response(client.reload()?),
@@ -172,10 +255,99 @@ pub fn client(args: &ParsedArgs) -> CliResult {
         "compact" => print_response(client.compact()?),
         "shutdown" => print_response(client.shutdown()?),
         other => Err(Box::new(ArgError(format!(
-            "unknown op '{other}' (expected classify, classify-batch, insert, health, \
-             stats, reload, persist, compact or shutdown)"
+            "unknown op '{other}' (expected classify, classify-batch, insert, stream, \
+             health, stats, reload, persist, compact or shutdown)"
         )))),
     }
+}
+
+/// `kinemyo client --op stream --replay <spec>`: expands the replay
+/// corpus and drives one wire session per subject — open, push the
+/// timestamped frames in chunks, print rolling windows as they land,
+/// then fetch the verdict and close.
+fn stream_replay(client: &mut ServeClient, args: &ParsedArgs) -> CliResult {
+    let spec = ReplaySpec::parse(args.require("replay")?)?;
+    let policy = match args.get("policy").unwrap_or("rebind") {
+        "rebind" => ReloadPolicy::Rebind,
+        "finish-old" => ReloadPolicy::FinishOld,
+        other => {
+            return Err(Box::new(ArgError(format!(
+                "--policy must be rebind or finish-old, got '{other}'"
+            ))))
+        }
+    };
+    let arms: Option<Vec<usize>> = match args.get("arms") {
+        Some(raw) => Some(
+            raw.split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.parse()
+                        .map_err(|_| ArgError(format!("--arms: cannot parse '{s}'")))
+                })
+                .collect::<Result<_, _>>()?,
+        ),
+        None => None,
+    };
+    let streams = generate_replay(&spec)?;
+    for stream in &streams {
+        let session = client
+            .session_open(policy, arms.clone())
+            .map_err(Box::new)?;
+        let truth: Vec<String> = stream.classes.iter().map(|c| c.to_string()).collect();
+        println!(
+            "subject {} session {session}: {} frames, motions [{}]",
+            stream.subject,
+            stream.frames.len(),
+            truth.join(", ")
+        );
+        let frames: Vec<WireFrame> = stream
+            .frames
+            .iter()
+            .map(|f| WireFrame {
+                mocap: f.mocap.clone(),
+                pelvis: f.pelvis,
+                emg: f.emg.clone(),
+                t_ms: Some(f.t_ms),
+            })
+            .collect();
+        let mut windows = 0usize;
+        let mut rejected = 0usize;
+        let mut retrains = 0usize;
+        for chunk in frames.chunks(64) {
+            match client.session_push(session, chunk)? {
+                Response::SessionWindows {
+                    windows: w,
+                    rejected: r,
+                    drift,
+                    ..
+                } => {
+                    for win in &w {
+                        println!(
+                            "  window {:>3} (arm {:>2}f) cluster={:<3} margin={:.4}",
+                            win.window, win.arm, win.cluster, win.margin
+                        );
+                    }
+                    windows += w.len();
+                    rejected += r.len();
+                    if let Some(report) = drift {
+                        println!(
+                            "  drift at window {} retrained={} generation={}",
+                            report.window, report.retrained, report.generation
+                        );
+                        retrains += report.retrained as usize;
+                    }
+                }
+                other => return Err(Box::new(ArgError(format!("stream push failed: {other:?}")))),
+            }
+        }
+        print_response(client.session_result(session)?)?;
+        print_response(client.session_close(session)?)?;
+        println!(
+            "subject {}: {windows} windows, {rejected} rejected frames, {retrains} retrains",
+            stream.subject
+        );
+    }
+    Ok(())
 }
 
 /// Maps a whole-request rejection onto the equivalent per-item outcome

@@ -21,13 +21,14 @@ use kinemyo::pipeline::{Classification, RecordMeta};
 use kinemyo_biosim::MotionRecord;
 use kinemyo_modb::Neighbor;
 use kinemyo_serve::{
-    decode_frame, write_frame, BatchItem, CallOutcome, Request, Response, RetryPolicy, Role,
-    ServeClient,
+    decode_frame, write_frame, BatchItem, CallOutcome, ReloadPolicy, Request, Response,
+    RetryPolicy, Role, ServeClient,
 };
-use std::collections::BTreeSet;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{BufRead, BufReader, ErrorKind};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -45,6 +46,9 @@ pub struct RouterConfig {
     pub retry: RetryPolicy,
     /// Number of neighbours the merged answer keeps (the global `k`).
     pub knn_k: usize,
+    /// Streaming sessions the router will pin concurrently; opens
+    /// beyond this shed with a typed `session_overloaded`.
+    pub session_routes: usize,
 }
 
 impl Default for RouterConfig {
@@ -57,6 +61,7 @@ impl Default for RouterConfig {
                 .with_cap(Duration::from_millis(100))
                 .with_max_attempts(3),
             knn_k: 5,
+            session_routes: 256,
         }
     }
 }
@@ -83,6 +88,12 @@ impl RouterConfig {
     /// Overrides the merged neighbour count.
     pub fn with_knn_k(mut self, k: usize) -> Self {
         self.knn_k = k;
+        self
+    }
+
+    /// Overrides the pinned-session capacity.
+    pub fn with_session_routes(mut self, routes: usize) -> Self {
+        self.session_routes = routes;
         self
     }
 
@@ -117,21 +128,83 @@ enum ShardAnswer<T> {
     Refused(String),
 }
 
+/// Where a pinned streaming session lives: the replica holding its
+/// state and the id that replica knows it by.
+#[derive(Debug, Clone)]
+struct SessionRoute {
+    addr: String,
+    backend: u64,
+}
+
+/// Bounded router-id → route table. Backends number sessions locally —
+/// two shards can both hand out id 1 — so the router speaks its own id
+/// space to clients and rewrites ids at the boundary.
+struct SessionRoutes {
+    routes: Mutex<BTreeMap<u64, SessionRoute>>,
+    next_id: AtomicU64,
+    capacity: usize,
+}
+
+impl SessionRoutes {
+    fn new(capacity: usize) -> Self {
+        Self {
+            routes: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            capacity,
+        }
+    }
+
+    /// Pins a route under a fresh router id; `None` sheds at capacity.
+    fn pin(&self, route: SessionRoute) -> Option<u64> {
+        let mut routes = self.routes.lock();
+        if routes.len() >= self.capacity {
+            return None;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        routes.insert(id, route);
+        Some(id)
+    }
+
+    fn lookup(&self, id: u64) -> Option<SessionRoute> {
+        self.routes.lock().get(&id).cloned()
+    }
+
+    fn unpin(&self, id: u64) {
+        self.routes.lock().remove(&id);
+    }
+
+    fn pinned(&self) -> u64 {
+        self.routes.lock().len() as u64
+    }
+}
+
 /// Scatter-gather query engine over a fixed shard topology.
 pub struct Router {
     config: RouterConfig,
+    sessions: SessionRoutes,
+    next_session_shard: AtomicU64,
 }
 
 impl Router {
     /// Builds a router after validating the topology.
     pub fn new(config: RouterConfig) -> Result<Self> {
         config.validate()?;
-        Ok(Self { config })
+        let sessions = SessionRoutes::new(config.session_routes);
+        Ok(Self {
+            config,
+            sessions,
+            next_session_shard: AtomicU64::new(0),
+        })
     }
 
     /// The validated configuration.
     pub fn config(&self) -> &RouterConfig {
         &self.config
+    }
+
+    /// Streaming sessions currently pinned through this router.
+    pub fn sessions_routed(&self) -> u64 {
+        self.sessions.pinned()
     }
 
     /// Classifies one record across every shard. Returns the merged
@@ -151,7 +224,134 @@ impl Router {
             shards.push(health);
         }
         let merged = self.merge_classifications(answered);
-        (merged, ClusterHealth::from_shards(shards))
+        (merged, self.cluster_health(shards))
+    }
+
+    /// Attaches the live pinned-session count to a shard report.
+    fn cluster_health(&self, shards: Vec<ShardHealth>) -> ClusterHealth {
+        ClusterHealth::from_shards(shards).with_sessions_routed(self.sessions.pinned())
+    }
+
+    /// Opens a streaming session on one shard (round-robin affinity) and
+    /// pins every later frame of that session to the replica that
+    /// answered. The router id returned to the client is rewritten from
+    /// the backend's local id.
+    pub fn session_open(&self, policy: ReloadPolicy, arms: Option<Vec<usize>>) -> Response {
+        let shard = (self.next_session_shard.fetch_add(1, Ordering::Relaxed)
+            % self.config.shards.len() as u64) as usize;
+        let mut last_error = String::from("no replica attempted");
+        for replica in &self.config.shards[shard] {
+            let mut client = match ServeClient::connect(replica.as_str()) {
+                Ok(client) => client,
+                Err(e) => {
+                    last_error = format!("{replica}: {e}");
+                    continue;
+                }
+            };
+            let _ = client.set_timeout(Some(self.config.shard_deadline));
+            match client.call(&Request::SessionOpen {
+                policy,
+                arms: arms.clone(),
+            }) {
+                Ok(Response::SessionOpened {
+                    session,
+                    generation,
+                    window_lens,
+                    budget_us,
+                }) => {
+                    let route = SessionRoute {
+                        addr: replica.clone(),
+                        backend: session,
+                    };
+                    return match self.sessions.pin(route) {
+                        Some(id) => Response::SessionOpened {
+                            session: id,
+                            generation,
+                            window_lens,
+                            budget_us,
+                        },
+                        None => {
+                            // Shed at the router's own capacity; release
+                            // the backend session we just created.
+                            let _ = client.call(&Request::SessionClose { session });
+                            Response::SessionOverloaded {
+                                capacity: self.config.session_routes,
+                            }
+                        }
+                    };
+                }
+                // A typed refusal from the shard (its own shedding, a
+                // drain, ...) passes through untouched.
+                Ok(other) => return other,
+                Err(e) => last_error = format!("{replica}: {e}"),
+            }
+        }
+        Response::Error {
+            message: format!("session open failed on shard {shard}: {last_error}"),
+        }
+    }
+
+    /// Forwards one session request to the replica its session is
+    /// pinned to, rewriting ids both ways. A transport failure unpins
+    /// the route: the backend state is gone with the node.
+    pub fn session_forward(&self, session: u64, make: impl FnOnce(u64) -> Request) -> Response {
+        let Some(route) = self.sessions.lookup(session) else {
+            return Response::SessionUnknown { session };
+        };
+        let mut client = match ServeClient::connect(route.addr.as_str()) {
+            Ok(client) => client,
+            Err(e) => {
+                self.sessions.unpin(session);
+                return Response::Error {
+                    message: format!("session {session} lost ({}: {e})", route.addr),
+                };
+            }
+        };
+        let _ = client.set_timeout(Some(self.config.shard_deadline));
+        match client.call(&make(route.backend)) {
+            Ok(response) => self.rewrite_session_reply(session, response),
+            Err(e) => {
+                self.sessions.unpin(session);
+                Response::Error {
+                    message: format!("session {session} lost ({}: {e})", route.addr),
+                }
+            }
+        }
+    }
+
+    /// Maps backend session ids in a reply back to the router's id
+    /// space, unpinning closed or unknown sessions.
+    fn rewrite_session_reply(&self, router_id: u64, response: Response) -> Response {
+        match response {
+            Response::SessionWindows {
+                session: _,
+                generation,
+                windows,
+                rejected,
+                drift,
+            } => Response::SessionWindows {
+                session: router_id,
+                generation,
+                windows,
+                rejected,
+                drift,
+            },
+            Response::SessionResult { mut verdict } => {
+                verdict.session = router_id;
+                Response::SessionResult { verdict }
+            }
+            Response::SessionClosed { mut summary } => {
+                self.sessions.unpin(router_id);
+                summary.session = router_id;
+                summary.verdict.session = router_id;
+                Response::SessionClosed { summary }
+            }
+            Response::SessionUnknown { .. } => {
+                self.sessions.unpin(router_id);
+                Response::SessionUnknown { session: router_id }
+            }
+            other => other,
+        }
     }
 
     /// Classifies a batch across every shard, merging per item. An item
@@ -174,7 +374,7 @@ impl Router {
         for i in 0..records.len() {
             merged.push(self.merge_batch_item(&per_shard, i));
         }
-        (merged, ClusterHealth::from_shards(shards))
+        (merged, self.cluster_health(shards))
     }
 
     /// Polls shard health: sums motion counts over answering shards and
@@ -224,7 +424,7 @@ impl Router {
             }),
             _ => None,
         };
-        (response, ClusterHealth::from_shards(shards))
+        (response, self.cluster_health(shards))
     }
 
     /// Fans `op` out to every shard on its own thread, each with its
@@ -564,6 +764,19 @@ fn route_connection(router: &Router, stream: TcpStream, stop: &AtomicBool) -> st
                 }
             }
             Request::Insert { .. } => Response::NotLeader { leader_hint: None },
+            Request::SessionOpen { policy, arms } => router.session_open(policy, arms),
+            Request::SessionPush { session, frames } => {
+                router.session_forward(session, move |backend| Request::SessionPush {
+                    session: backend,
+                    frames,
+                })
+            }
+            Request::SessionResult { session } => router.session_forward(session, |backend| {
+                Request::SessionResult { session: backend }
+            }),
+            Request::SessionClose { session } => router.session_forward(session, |backend| {
+                Request::SessionClose { session: backend }
+            }),
             Request::Shutdown => {
                 let _ = write_frame(&mut writer, &Response::ShuttingDown);
                 stop.store(true, Ordering::Release);
@@ -635,6 +848,36 @@ mod tests {
         let ids: Vec<usize> = merged.iter().map(|n| n.id).collect();
         // Ties on distance break by id; duplicate id 1 appears once.
         assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn session_routes_shed_at_capacity_and_never_reuse_ids() {
+        let routes = SessionRoutes::new(2);
+        let route = |backend| SessionRoute {
+            addr: "127.0.0.1:1".into(),
+            backend,
+        };
+        let a = routes.pin(route(1)).unwrap();
+        let b = routes.pin(route(1)).unwrap();
+        assert_ne!(a, b, "same backend id maps to distinct router ids");
+        assert!(routes.pin(route(2)).is_none(), "capacity 2 sheds");
+        routes.unpin(a);
+        let c = routes.pin(route(3)).unwrap();
+        assert!(c > b, "router ids are never recycled");
+        assert_eq!(routes.pinned(), 2);
+        assert_eq!(routes.lookup(c).unwrap().backend, 3);
+        assert!(routes.lookup(a).is_none());
+    }
+
+    #[test]
+    fn unknown_session_forward_is_typed_without_touching_the_network() {
+        let config = RouterConfig::default().with_shards(vec![vec!["127.0.0.1:1".into()]]);
+        let router = Router::new(config).unwrap();
+        match router.session_forward(99, |backend| Request::SessionResult { session: backend }) {
+            Response::SessionUnknown { session } => assert_eq!(session, 99),
+            other => panic!("expected session_unknown, got {other:?}"),
+        }
+        assert_eq!(router.sessions_routed(), 0);
     }
 
     #[test]

@@ -74,6 +74,11 @@ pub struct ClusterHealth {
     pub shards_answered: usize,
     /// Per-shard outcomes, in shard order.
     pub shards: Vec<ShardHealth>,
+    /// Streaming sessions the router currently pins to a shard replica
+    /// (0 for routers predating sessions — the field is additive on the
+    /// wire).
+    #[serde(default)]
+    pub sessions_routed: u64,
 }
 
 impl ClusterHealth {
@@ -85,7 +90,14 @@ impl ClusterHealth {
             shards_total,
             shards_answered,
             shards,
+            sessions_routed: 0,
         }
+    }
+
+    /// Attaches the router's live pinned-session count.
+    pub fn with_sessions_routed(mut self, sessions: u64) -> Self {
+        self.sessions_routed = sessions;
+        self
     }
 
     /// True when every shard answered — the merged result is exact, not

@@ -31,7 +31,7 @@
 use crate::config::PipelineConfig;
 use crate::error::{KinemyoError, Result};
 use crate::pipeline::{MotionClassifier, RecordMeta};
-use crate::stream::{assign_window, MembershipTracker};
+use crate::stream::{assign_window, MembershipTracker, SessionCore, WindowOutcome};
 use kinemyo_biosim::{Limb, MotionClass, MotionRecord};
 use kinemyo_features::Modality;
 use kinemyo_linalg::{Matrix, Vector};
@@ -393,8 +393,14 @@ pub struct GuardedSession<'m> {
     lag: i64,
     pending_lag: i64,
     pending_streak: usize,
-    /// Parallel min/max trackers, one per modality.
-    combined: MembershipTracker,
+    /// Combined-modality window engine: the same warm-chained
+    /// incremental-extractor path as [`crate::StreamingSession`] and the
+    /// serve layer's wire sessions, fed at emit time with the repaired
+    /// rows — so on a clean stream the guarded feature vector is bitwise
+    /// the batch/streaming one.
+    core: SessionCore,
+    row_buf: Vec<f64>,
+    /// Parallel min/max trackers for the fallback modalities.
     mocap_tr: MembershipTracker,
     emg_tr: MembershipTracker,
     statuses: Vec<WindowStatus>,
@@ -436,7 +442,8 @@ impl<'m> GuardedSession<'m> {
             lag: 0,
             pending_lag: 0,
             pending_streak: 0,
-            combined: MembershipTracker::new(c),
+            core: SessionCore::for_model(&model.primary),
+            row_buf: Vec::new(),
             mocap_tr: MembershipTracker::new(mc),
             emg_tr: MembershipTracker::new(ec),
             statuses: Vec::new(),
@@ -664,9 +671,9 @@ impl<'m> GuardedSession<'m> {
             self.in_fallback = false;
             // A window that passed validation can still trip a numeric
             // guard deeper in the pipeline; quarantine instead of failing.
-            match assign_window(&self.model.primary, mocap, pelvis, emg) {
-                Ok(a) => {
-                    self.combined.observe(a);
+            match self.feed_combined_window(mocap, pelvis, emg) {
+                Ok(outcome) => {
+                    self.core.record(&outcome);
                     if let Some(m) = &self.model.mocap_only {
                         self.mocap_tr.observe(assign_window(m, mocap, pelvis, emg)?);
                     }
@@ -677,6 +684,9 @@ impl<'m> GuardedSession<'m> {
                     Ok(WindowStatus::Clean)
                 }
                 Err(_) => {
+                    // Drop the partial feed so the next window starts at
+                    // a clean extractor boundary.
+                    self.core.abort_window();
                     self.health.windows_quarantined += 1;
                     Ok(WindowStatus::Quarantined)
                 }
@@ -709,6 +719,40 @@ impl<'m> GuardedSession<'m> {
             self.health.windows_quarantined += 1;
             Ok(WindowStatus::Quarantined)
         }
+    }
+
+    /// Feeds one assembled (repaired, lag-shifted) window row by row
+    /// through the shared [`SessionCore`] engine. The rows are exactly
+    /// those of [`crate::StreamingSession`]'s clean path — `[emg |
+    /// marker − pelvis]` — so a clean guarded stream stays bitwise equal
+    /// to the plain streaming and batch paths. Returns the completed
+    /// window's outcome; recording it is the caller's decision.
+    fn feed_combined_window(
+        &mut self,
+        mocap: &Matrix,
+        pelvis: &Matrix,
+        emg: &Matrix,
+    ) -> Result<WindowOutcome> {
+        let model = self.model;
+        let mut out = None;
+        for f in 0..self.window_len {
+            self.row_buf.clear();
+            self.row_buf.extend_from_slice(emg.row(f));
+            self.row_buf.extend(
+                mocap
+                    .row(f)
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &v)| v - pelvis[(f, c % 3)]),
+            );
+            let row = std::mem::take(&mut self.row_buf);
+            let res = self.core.push_row_raw(&model.primary, &row);
+            self.row_buf = row;
+            out = res?;
+        }
+        out.ok_or_else(|| KinemyoError::Internal {
+            reason: "assembled window did not complete at the extractor boundary".into(),
+        })
     }
 
     /// Re-estimates the EMG lag by Pearson-correlating the retained mocap
@@ -775,7 +819,7 @@ impl<'m> GuardedSession<'m> {
         let candidates: [(Modality, &MembershipTracker, Option<&MotionClassifier>); 3] = [
             (
                 Modality::Combined,
-                &self.combined,
+                self.core.tracker(),
                 Some(&self.model.primary),
             ),
             (

@@ -82,7 +82,7 @@ pub use guard::{
 pub use pipeline::{class_index, pelvis_matrix, Classification, MotionClassifier, RecordMeta};
 pub use select::{select_cluster_count, ClusterSelection};
 pub use shared::SharedModel;
-pub use stream::StreamingSession;
+pub use stream::{SessionCore, StreamingSession, WindowOutcome};
 
 // Re-export the pieces examples and downstream users need most.
 pub use kinemyo_biosim as biosim;
@@ -115,7 +115,7 @@ pub mod prelude {
     pub use crate::pipeline::{Classification, MotionClassifier, RecordMeta};
     pub use crate::select::{select_cluster_count, ClusterSelection};
     pub use crate::shared::SharedModel;
-    pub use crate::stream::StreamingSession;
+    pub use crate::stream::{SessionCore, StreamingSession, WindowOutcome};
     pub use kinemyo_biosim::{Limb, MotionClass, MotionRecord};
     pub use kinemyo_features::Modality;
     pub use kinemyo_fuzzy::ThreadPolicy;

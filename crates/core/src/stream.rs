@@ -119,46 +119,88 @@ pub(crate) fn assign_window(
     })
 }
 
-/// A live classification session over a trained [`MotionClassifier`].
+/// One completed window's classification against the trained centers,
+/// plus how decisively it was won.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowOutcome {
+    /// The window's highest-membership cluster assignment.
+    pub assignment: WindowAssignment,
+    /// Membership margin: top membership minus runner-up membership
+    /// (1.0 for a single-cluster model). Near `0` the window sat between
+    /// clusters; near `1` the assignment was unambiguous. The session
+    /// layer uses the rolling mean margin to pick a per-stream winner
+    /// among concurrent window lengths and to detect distribution drift.
+    pub margin: f64,
+}
+
+/// The owned per-stream window engine: a persistent incremental
+/// [`CombinedExtractor`] plus membership/margin state, with every method
+/// parameterized on the model so callers can hold the engine across
+/// model swaps (`Arc` snapshots, hot reload) without a borrow.
 ///
-/// Frames are folded into a persistent incremental
-/// [`CombinedExtractor`]: O(d) accumulator updates per frame, no window
-/// re-buffering, and a warm-started per-joint eigensolve at each window
-/// boundary. Because the batch training/query path pushes the same rows
-/// through the same extractor, a clean stream reproduces the batch
-/// feature vector *bitwise*.
+/// Frames are folded into the extractor with O(d) accumulator updates
+/// per frame, no window re-buffering, and a warm-started per-joint
+/// eigensolve at each window boundary. Because the batch training/query
+/// path pushes the same rows through the same extractor, a clean stream
+/// reproduces the batch feature vector *bitwise* — and the guard layer's
+/// clean path ([`crate::guard::GuardedSession`]) now runs on this same
+/// engine, so offline `evaluate_guarded` and a live wire session agree
+/// bit for bit on clean streams.
+///
+/// The engine does not pin the model: each call takes `&MotionClassifier`.
+/// Callers that rebind mid-stream (the serve layer's `rebind` reload
+/// policy) must keep limb and modality compatible; the per-call
+/// validation enforces arity, and the membership dimensions are checked
+/// by the FCM layer.
 #[derive(Debug)]
-pub struct StreamingSession<'m> {
-    model: &'m MotionClassifier,
+pub struct SessionCore {
     extractor: CombinedExtractor,
+    modality: Modality,
+    window_len: usize,
     row_buf: Vec<f64>,
     u_buf: Vec<f64>,
     d2_buf: Vec<f64>,
     tracker: MembershipTracker,
     assignments: Vec<WindowAssignment>,
+    margin_sum: f64,
 }
 
-impl<'m> StreamingSession<'m> {
-    /// Starts a session on a trained model.
-    pub fn new(model: &'m MotionClassifier) -> Self {
+impl SessionCore {
+    /// An engine matched to the model's trained window length.
+    pub fn for_model(model: &MotionClassifier) -> Self {
+        // WindowSpec guarantees len >= 1 and Limb::mocap_cols is a
+        // multiple of 3 — the only two ways with_window_len can fail.
+        Self::with_window_len(model, model.window().len())
+            .expect("model invariants satisfy the feature spec")
+    }
+
+    /// An engine over an alternative window length (a multi-window
+    /// "arm"). IAV and WSVD feature dimensions depend only on channel
+    /// and joint counts, so points from any window length score against
+    /// the same trained centers.
+    pub fn with_window_len(model: &MotionClassifier, window_len: usize) -> Result<Self> {
         let c = model.fcm().num_clusters();
-        let extractor = FeatureSpec::new(model.window().len())
+        let extractor = FeatureSpec::new(window_len)
             .with_modality(model.config().modality)
             .with_emg_channels(model.limb().emg_channels())
             .with_mocap_cols(model.limb().mocap_cols())
-            .build()
-            // WindowSpec guarantees len >= 1 and Limb::mocap_cols is a
-            // multiple of 3 — the only two ways build() can fail.
-            .expect("model invariants satisfy the feature spec");
-        Self {
-            model,
+            .build()?;
+        Ok(Self {
             extractor,
+            modality: model.config().modality,
+            window_len,
             row_buf: Vec::new(),
             u_buf: vec![0.0; c],
             d2_buf: vec![0.0; c],
             tracker: MembershipTracker::new(c),
             assignments: Vec::new(),
-        }
+            margin_sum: 0.0,
+        })
+    }
+
+    /// The window length this engine completes windows at.
+    pub fn window_len(&self) -> usize {
+        self.window_len
     }
 
     /// Number of completed windows so far.
@@ -166,25 +208,36 @@ impl<'m> StreamingSession<'m> {
         self.tracker.windows()
     }
 
-    /// All window assignments so far.
+    /// All recorded window assignments so far.
     pub fn assignments(&self) -> &[WindowAssignment] {
         &self.assignments
     }
 
-    /// Feeds one synchronized frame. Returns `Some(assignment)` whenever a
-    /// window completes.
+    /// Mean membership margin over recorded windows (0 before the first).
+    pub fn mean_margin(&self) -> f64 {
+        if self.assignments.is_empty() {
+            0.0
+        } else {
+            self.margin_sum / self.assignments.len() as f64
+        }
+    }
+
+    /// Feeds one synchronized frame. Returns `Some(outcome)` whenever a
+    /// window completes; the outcome is recorded into the rolling
+    /// min/max-membership feature vector (Eqs. 7–8).
     ///
     /// A frame with the wrong arity or non-finite values is rejected with
-    /// a typed error and **not** buffered; the session stays usable for
+    /// a typed error and **not** buffered; the engine stays usable for
     /// subsequent frames. Callers that want corrupt frames absorbed
     /// instead of rejected should use [`crate::guard::GuardedSession`].
     pub fn push_frame(
         &mut self,
+        model: &MotionClassifier,
         mocap_row: &[f64],
         pelvis: [f64; 3],
         emg_row: &[f64],
-    ) -> Result<Option<WindowAssignment>> {
-        let limb = self.model.limb();
+    ) -> Result<Option<WindowOutcome>> {
+        let limb = model.limb();
         if mocap_row.len() != limb.mocap_cols() || emg_row.len() != limb.emg_channels() {
             return Err(KinemyoError::InvalidTrainingData {
                 reason: format!(
@@ -217,11 +270,10 @@ impl<'m> StreamingSession<'m> {
         // batch `to_pelvis_local`, so the rows — and hence the features —
         // are bitwise those of the batch path.
         self.row_buf.clear();
-        let modality = self.model.config().modality;
-        if !matches!(modality, Modality::MocapOnly) {
+        if !matches!(self.modality, Modality::MocapOnly) {
             self.row_buf.extend_from_slice(emg_row);
         }
-        if !matches!(modality, Modality::EmgOnly) {
+        if !matches!(self.modality, Modality::EmgOnly) {
             self.row_buf.extend(
                 mocap_row
                     .iter()
@@ -229,11 +281,32 @@ impl<'m> StreamingSession<'m> {
                     .map(|(c, &v)| v - pelvis[c % 3]),
             );
         }
-        let Some(mut point) = self.extractor.push_sample(&self.row_buf)? else {
+        let row = std::mem::take(&mut self.row_buf);
+        let out = self.push_row_raw(model, &row);
+        self.row_buf = row;
+        match out? {
+            Some(outcome) => {
+                self.record(&outcome);
+                Ok(Some(outcome))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Feeds one pre-assembled extractor row without recording the
+    /// outcome. The guard layer uses this to keep the warm-started
+    /// extractor chain running through windows it will not count (and to
+    /// decide per window whether to [`record`](Self::record)).
+    pub(crate) fn push_row_raw(
+        &mut self,
+        model: &MotionClassifier,
+        row: &[f64],
+    ) -> Result<Option<WindowOutcome>> {
+        let Some(mut point) = self.extractor.push_sample(row)? else {
             return Ok(None);
         };
-        self.model.scale_point(&mut point)?;
-        self.model
+        model.scale_point(&mut point)?;
+        model
             .fcm()
             .memberships_into(&point, &mut self.u_buf, &mut self.d2_buf)?;
         let mut cluster = 0;
@@ -242,13 +315,44 @@ impl<'m> StreamingSession<'m> {
                 cluster = i;
             }
         }
-        let a = WindowAssignment {
-            cluster,
-            membership: self.u_buf[cluster],
+        let mut runner_up = 0.0f64;
+        for (i, &v) in self.u_buf.iter().enumerate() {
+            if i != cluster && v > runner_up {
+                runner_up = v;
+            }
+        }
+        let margin = if self.u_buf.len() > 1 {
+            self.u_buf[cluster] - runner_up
+        } else {
+            1.0
         };
-        self.tracker.observe(a);
-        self.assignments.push(a);
-        Ok(Some(a))
+        Ok(Some(WindowOutcome {
+            assignment: WindowAssignment {
+                cluster,
+                membership: self.u_buf[cluster],
+            },
+            margin,
+        }))
+    }
+
+    /// Folds a window outcome into the rolling feature vector.
+    pub(crate) fn record(&mut self, outcome: &WindowOutcome) {
+        self.tracker.observe(outcome.assignment);
+        self.assignments.push(outcome.assignment);
+        self.margin_sum += outcome.margin;
+    }
+
+    /// Discards a partially fed window (and, necessarily, the extractor's
+    /// warm-start chain). Recorded windows are untouched. The guard calls
+    /// this when a window trips a numeric error mid-feed, so the next
+    /// window starts at a clean extractor boundary.
+    pub(crate) fn abort_window(&mut self) {
+        self.extractor.reset();
+    }
+
+    /// The rolling min/max-membership tracker (guard-layer seam).
+    pub(crate) fn tracker(&self) -> &MembershipTracker {
+        &self.tracker
     }
 
     /// The current final feature vector (Eqs. 7–8 over windows seen).
@@ -260,24 +364,96 @@ impl<'m> StreamingSession<'m> {
     /// completes.
     pub fn classify(
         &self,
+        model: &MotionClassifier,
         k: usize,
     ) -> Result<Option<(kinemyo_biosim::MotionClass, Vec<Neighbor<RecordMeta>>)>> {
         if self.tracker.windows() == 0 {
             return Ok(None);
         }
         let fv = self.feature_vector();
-        let neighbors = self.model.neighbors(fv.as_slice(), k)?;
+        let neighbors = model.neighbors(fv.as_slice(), k)?;
         let predicted = classify(&neighbors, |m| m.class);
         Ok(predicted.map(|p| (p, neighbors)))
+    }
+
+    /// Resets the engine for a new motion (the model is reused). This
+    /// also clears the extractor's warm-start chain, so a reset engine
+    /// is bitwise equivalent to a fresh one.
+    pub fn reset(&mut self) {
+        self.extractor.reset();
+        self.tracker.reset();
+        self.assignments.clear();
+        self.margin_sum = 0.0;
+    }
+}
+
+/// A live classification session over a trained [`MotionClassifier`]: a
+/// [`SessionCore`] bound to one borrowed model. The borrow-free engine
+/// underneath is what the serve layer's wire sessions hold (with `Arc`
+/// model snapshots that survive hot reloads).
+#[derive(Debug)]
+pub struct StreamingSession<'m> {
+    model: &'m MotionClassifier,
+    core: SessionCore,
+}
+
+impl<'m> StreamingSession<'m> {
+    /// Starts a session on a trained model.
+    pub fn new(model: &'m MotionClassifier) -> Self {
+        Self {
+            model,
+            core: SessionCore::for_model(model),
+        }
+    }
+
+    /// Number of completed windows so far.
+    pub fn windows_seen(&self) -> usize {
+        self.core.windows_seen()
+    }
+
+    /// All window assignments so far.
+    pub fn assignments(&self) -> &[WindowAssignment] {
+        self.core.assignments()
+    }
+
+    /// Feeds one synchronized frame. Returns `Some(assignment)` whenever a
+    /// window completes.
+    ///
+    /// A frame with the wrong arity or non-finite values is rejected with
+    /// a typed error and **not** buffered; the session stays usable for
+    /// subsequent frames. Callers that want corrupt frames absorbed
+    /// instead of rejected should use [`crate::guard::GuardedSession`].
+    pub fn push_frame(
+        &mut self,
+        mocap_row: &[f64],
+        pelvis: [f64; 3],
+        emg_row: &[f64],
+    ) -> Result<Option<WindowAssignment>> {
+        Ok(self
+            .core
+            .push_frame(self.model, mocap_row, pelvis, emg_row)?
+            .map(|o| o.assignment))
+    }
+
+    /// The current final feature vector (Eqs. 7–8 over windows seen).
+    pub fn feature_vector(&self) -> Vector {
+        self.core.feature_vector()
+    }
+
+    /// Classifies the motion seen so far; `None` before the first window
+    /// completes.
+    pub fn classify(
+        &self,
+        k: usize,
+    ) -> Result<Option<(kinemyo_biosim::MotionClass, Vec<Neighbor<RecordMeta>>)>> {
+        self.core.classify(self.model, k)
     }
 
     /// Resets the session for a new motion (the model is reused). This
     /// also clears the extractor's warm-start chain, so a reset session
     /// is bitwise equivalent to a fresh one.
     pub fn reset(&mut self) {
-        self.extractor.reset();
-        self.tracker.reset();
-        self.assignments.clear();
+        self.core.reset();
     }
 }
 

@@ -10,6 +10,7 @@ use crate::protocol::{read_frame, write_frame, BatchItem, Request, Response, Ser
 use crate::stats::StatsSnapshot;
 use kinemyo::pipeline::Classification;
 use kinemyo_biosim::MotionRecord;
+use kinemyo_session::{ReloadPolicy, WireFrame};
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -143,6 +144,47 @@ impl ServeClient {
     /// Asks the server to drain and exit; returns the ack.
     pub fn shutdown(&mut self) -> Result<Response, ServeError> {
         self.call(&Request::Shutdown)
+    }
+
+    /// Opens a streaming session, unwrapping the session id. Typed
+    /// refusals (`session_overloaded`, `shutting_down`, ...) surface as
+    /// the raw [`Response`] so callers can branch.
+    pub fn session_open(
+        &mut self,
+        policy: ReloadPolicy,
+        arms: Option<Vec<usize>>,
+    ) -> Result<u64, CallOutcome> {
+        let response = self
+            .call(&Request::SessionOpen { policy, arms })
+            .map_err(CallOutcome::Transport)?;
+        match response {
+            Response::SessionOpened { session, .. } => Ok(session),
+            other => Err(CallOutcome::Rejected(Box::new(other))),
+        }
+    }
+
+    /// Pushes a batch of interleaved mocap/EMG frames into a session;
+    /// answers `Response::SessionWindows` with any rolling windows the
+    /// batch completed.
+    pub fn session_push(
+        &mut self,
+        session: u64,
+        frames: &[WireFrame],
+    ) -> Result<Response, ServeError> {
+        self.call(&Request::SessionPush {
+            session,
+            frames: frames.to_vec(),
+        })
+    }
+
+    /// Fetches the per-arm verdict for a live session.
+    pub fn session_result(&mut self, session: u64) -> Result<Response, ServeError> {
+        self.call(&Request::SessionResult { session })
+    }
+
+    /// Closes a session, returning its lifetime summary.
+    pub fn session_close(&mut self, session: u64) -> Result<Response, ServeError> {
+        self.call(&Request::SessionClose { session })
     }
 }
 

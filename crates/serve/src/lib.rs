@@ -15,6 +15,13 @@
 //! [`kinemyo_store::DurableDb`] before they are acknowledged, and a
 //! restarted daemon recovers every ingested motion bit-identically.
 //!
+//! Beyond request/response, the daemon serves long-lived **streaming
+//! sessions** (`session_open` / `session_push` / `session_result` /
+//! `session_close`): clients push interleaved mocap/EMG frames and get
+//! rolling per-window classifications, multi-window arm comparisons, and
+//! drift-triggered hot re-training — see [`kinemyo_session`] for the
+//! engine and `DESIGN.md` §17 for the lifecycle and invariants.
+//!
 //! ## Architecture
 //!
 //! ```text
@@ -62,6 +69,7 @@ pub mod backoff;
 pub mod client;
 pub mod protocol;
 pub mod server;
+mod session;
 pub mod stats;
 
 pub use backoff::{Backoff, RetryPolicy};
@@ -72,3 +80,10 @@ pub use protocol::{
 };
 pub use server::{ServeConfig, Server};
 pub use stats::{StatsCollector, StatsSnapshot, BATCH_BOUNDS, LATENCY_BOUNDS_US};
+
+// Session wire types travel inside `session_*` frames; re-exported so
+// protocol consumers need only this crate.
+pub use kinemyo_session::{
+    DriftConfig, DriftReport, RejectedFrame, ReloadPolicy, RetrainSource, RollingWindow,
+    SessionConfig, SessionStatsSnapshot, SessionSummary, SessionVerdict, WireFrame,
+};

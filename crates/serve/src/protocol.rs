@@ -15,6 +15,10 @@
 use kinemyo::cluster::ClusterHealth;
 use kinemyo::pipeline::Classification;
 use kinemyo_biosim::{Limb, MotionRecord};
+use kinemyo_session::{
+    DriftReport, RejectedFrame, ReloadPolicy, RollingWindow, SessionSummary, SessionVerdict,
+    WireFrame,
+};
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, Write};
 
@@ -60,6 +64,37 @@ pub enum Request {
     /// Re-read the model file the server was started from and swap it in
     /// atomically; in-flight requests finish on the old model.
     Reload,
+    /// Open a long-lived streaming session: subsequent `session_push`
+    /// frames feed rolling per-window classifications until
+    /// `session_close` (or idle eviction). The session binds the current
+    /// model generation under the requested reload policy.
+    SessionOpen {
+        /// How the session reacts to a model swap mid-stream.
+        #[serde(default)]
+        policy: ReloadPolicy,
+        /// Window-length arms to run besides the model's trained length;
+        /// absent means the server's configured arms.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        arms: Option<Vec<usize>>,
+    },
+    /// Push interleaved mocap/EMG frames into a live session. Answered
+    /// with `session_windows` carrying every window that completed.
+    SessionPush {
+        /// The session id from `session_opened`.
+        session: u64,
+        /// Synchronized frames, oldest first.
+        frames: Vec<WireFrame>,
+    },
+    /// Ask for the session's rolling multi-arm verdict without closing.
+    SessionResult {
+        /// The session id from `session_opened`.
+        session: u64,
+    },
+    /// Close a session and collect its final accounting.
+    SessionClose {
+        /// The session id from `session_opened`.
+        session: u64,
+    },
     /// Stop accepting work, drain the queue, exit.
     Shutdown,
 }
@@ -224,6 +259,56 @@ pub enum Response {
         model_generation: u64,
         /// Motions in the newly loaded model.
         motions: usize,
+    },
+    /// Answer to a successful [`Request::SessionOpen`].
+    SessionOpened {
+        /// The allocated session id; quote it in every later session op.
+        session: u64,
+        /// Model generation the session bound at open.
+        generation: u64,
+        /// Window lengths of the running arms, primary first.
+        window_lens: Vec<usize>,
+        /// Per-window latency budget (µs) the server is serving under.
+        budget_us: u64,
+    },
+    /// Answer to [`Request::SessionPush`]: rolling classifications for
+    /// every window any arm completed, plus typed rejections for
+    /// malformed frames (the session stays alive).
+    SessionWindows {
+        /// The session id (echoed for multiplexing clients).
+        session: u64,
+        /// Model generation the windows were scored against.
+        generation: u64,
+        /// Completed windows across all arms, in completion order.
+        windows: Vec<RollingWindow>,
+        /// Malformed frames rejected without killing the session.
+        #[serde(default, skip_serializing_if = "Vec::is_empty")]
+        rejected: Vec<RejectedFrame>,
+        /// Present when this push crossed the drift threshold.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        drift: Option<DriftReport>,
+    },
+    /// Answer to [`Request::SessionResult`].
+    SessionResult {
+        /// The rolling multi-arm verdict.
+        verdict: SessionVerdict,
+    },
+    /// Answer to [`Request::SessionClose`].
+    SessionClosed {
+        /// Final accounting for the closed session.
+        summary: SessionSummary,
+    },
+    /// The bounded session table is full; the open was shed. Back off,
+    /// or close an idle session.
+    SessionOverloaded {
+        /// The session-table capacity that was exhausted.
+        capacity: usize,
+    },
+    /// No live session with this id: it was never opened, was closed,
+    /// or was evicted by the idle sweep. Re-open and re-stream.
+    SessionUnknown {
+        /// The id the request presented.
+        session: u64,
     },
 }
 
@@ -547,6 +632,111 @@ mod tests {
         assert!(json.contains("\"state\":\"dead\""), "{json}");
         match decode_frame::<Response>(&json).unwrap() {
             Response::BatchResult { cluster, .. } => assert_eq!(cluster, Some(health)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn session_ops_roundtrip_on_the_wire() {
+        if !json_available() {
+            eprintln!("skipping: serde_json stub build");
+            return;
+        }
+        // Open defaults: policy omitted decodes as rebind, arms absent.
+        let open: Request = decode_frame("{\"op\":\"session_open\"}").unwrap();
+        match open {
+            Request::SessionOpen { policy, arms } => {
+                assert_eq!(policy, ReloadPolicy::Rebind);
+                assert!(arms.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let json = serde_json::to_string(&Request::SessionOpen {
+            policy: ReloadPolicy::FinishOld,
+            arms: Some(vec![15, 60]),
+        })
+        .unwrap();
+        assert!(json.contains("\"op\":\"session_open\""), "{json}");
+        assert!(json.contains("\"finish_old\""), "{json}");
+
+        let json = serde_json::to_string(&Request::SessionPush {
+            session: 7,
+            frames: vec![WireFrame {
+                mocap: vec![0.1 + 0.2],
+                pelvis: [0.0, 1.0 / 3.0, 0.0],
+                emg: vec![42.5],
+                t_ms: Some(8),
+            }],
+        })
+        .unwrap();
+        assert!(json.contains("\"op\":\"session_push\""), "{json}");
+        match decode_frame::<Request>(&json).unwrap() {
+            Request::SessionPush { session, frames } => {
+                assert_eq!(session, 7);
+                // float_roundtrip keeps the payload bit-exact.
+                assert_eq!(frames[0].mocap[0].to_bits(), (0.1f64 + 0.2).to_bits());
+                assert_eq!(frames[0].pelvis[1].to_bits(), (1.0f64 / 3.0).to_bits());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Typed shedding and unknown-session refusals.
+        let json = serde_json::to_string(&Response::SessionOverloaded { capacity: 64 }).unwrap();
+        assert!(json.contains("\"status\":\"session_overloaded\""), "{json}");
+        let json = serde_json::to_string(&Response::SessionUnknown { session: 9 }).unwrap();
+        assert!(json.contains("\"status\":\"session_unknown\""), "{json}");
+
+        // A windows response with no rejections omits the field and
+        // decodes back to an empty vec.
+        let json = serde_json::to_string(&Response::SessionWindows {
+            session: 7,
+            generation: 2,
+            windows: vec![RollingWindow {
+                arm: 30,
+                window: 0,
+                cluster: 3,
+                membership: 0.91,
+                margin: 0.4,
+            }],
+            rejected: Vec::new(),
+            drift: None,
+        })
+        .unwrap();
+        assert!(json.contains("\"status\":\"session_windows\""), "{json}");
+        assert!(!json.contains("rejected"), "{json}");
+        assert!(!json.contains("drift"), "{json}");
+        match decode_frame::<Response>(&json).unwrap() {
+            Response::SessionWindows {
+                windows, rejected, ..
+            } => {
+                assert_eq!(windows.len(), 1);
+                assert!(rejected.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let json = serde_json::to_string(&Response::SessionWindows {
+            session: 7,
+            generation: 3,
+            windows: Vec::new(),
+            rejected: vec![RejectedFrame {
+                index: 2,
+                reason: "mocap value at column 1 is not finite".into(),
+            }],
+            drift: Some(DriftReport {
+                window: 12,
+                retrained: true,
+                generation: 3,
+            }),
+        })
+        .unwrap();
+        assert!(json.contains("\"retrained\":true"), "{json}");
+        match decode_frame::<Response>(&json).unwrap() {
+            Response::SessionWindows {
+                rejected, drift, ..
+            } => {
+                assert_eq!(rejected[0].index, 2);
+                assert_eq!(drift.map(|d| d.window), Some(12));
+            }
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -34,6 +34,7 @@ use crate::stats::{StatsCollector, StatsSnapshot};
 use kinemyo::pipeline::RecordMeta;
 use kinemyo::{MotionClassifier, SharedModel};
 use kinemyo_biosim::MotionRecord;
+use kinemyo_session::{RetrainSource, SessionConfig, SessionEngine};
 use kinemyo_store::{DurableDb, StoreConfig};
 use parking_lot::Mutex;
 use std::io::{BufRead, BufReader, ErrorKind, Read};
@@ -80,6 +81,12 @@ pub struct ServeConfig {
     /// byte per poll interval can therefore pin a connection thread for
     /// at most this long, not forever.
     pub frame_timeout: Duration,
+    /// Streaming-session knobs: table capacity, idle timeout, window
+    /// arms, drift thresholds.
+    pub session: SessionConfig,
+    /// Re-train corpus arming the drift-adaptation loop. `None` leaves
+    /// drift triggers observed-but-inert (no hot re-train).
+    pub session_retrain: Option<Arc<RetrainSource>>,
 }
 
 impl Default for ServeConfig {
@@ -94,6 +101,8 @@ impl Default for ServeConfig {
             worker_delay: Duration::ZERO,
             store_dir: None,
             frame_timeout: Duration::from_secs(30),
+            session: SessionConfig::default(),
+            session_retrain: None,
         }
     }
 }
@@ -153,6 +162,18 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the streaming-session knobs.
+    pub fn with_session_config(mut self, session: SessionConfig) -> Self {
+        self.session = session;
+        self
+    }
+
+    /// Arms the drift-adaptation loop with its re-train corpus.
+    pub fn with_session_retrain(mut self, source: impl Into<Arc<RetrainSource>>) -> Self {
+        self.session_retrain = Some(source.into());
+        self
+    }
+
     /// Rejects configurations that would deadlock or never serve.
     pub fn validate(&self) -> Result<(), ServeError> {
         if self.queue_capacity == 0 {
@@ -180,6 +201,9 @@ impl ServeConfig {
                 reason: "frame_timeout must be > 0".into(),
             });
         }
+        self.session.validate().map_err(|e| ServeError::Config {
+            reason: e.to_string(),
+        })?;
         Ok(())
     }
 }
@@ -251,6 +275,10 @@ struct ServerShared {
     /// Serializes id allocation with the insert that claims the id, so
     /// two concurrent ingests can never race to the same fresh id.
     ingest: Mutex<()>,
+    /// The streaming-session engine; session ops dispatch into it
+    /// directly on connection threads (no batcher hop — a frame push is
+    /// O(d) per frame and latency-bound, not throughput-bound).
+    sessions: SessionEngine,
     stats: StatsCollector,
     shutting_down: AtomicBool,
     started: Instant,
@@ -263,8 +291,11 @@ impl ServerShared {
     }
 
     fn snapshot(&self) -> StatsSnapshot {
-        self.stats
-            .snapshot(self.uptime_ms(), self.model.generation())
+        let mut snapshot = self
+            .stats
+            .snapshot(self.uptime_ms(), self.model.generation());
+        snapshot.sessions = self.sessions.stats();
+        snapshot
     }
 }
 
@@ -319,12 +350,26 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
+        // The engine shares the server's model slot: a drift-triggered
+        // re-train swap is indistinguishable from a `reload` to every
+        // other consumer of the handle.
+        let mut sessions =
+            SessionEngine::new(model.clone(), config.session.clone()).map_err(|e| {
+                ServeError::Config {
+                    reason: e.to_string(),
+                }
+            })?;
+        if let Some(source) = &config.session_retrain {
+            sessions = sessions.with_retrain(Arc::clone(source));
+        }
+
         let shared = Arc::new(ServerShared {
             model,
             model_path,
             store,
             role: RoleCell::new(),
             ingest: Mutex::new(()),
+            sessions,
             stats: StatsCollector::new(),
             shutting_down: AtomicBool::new(false),
             started: Instant::now(),
@@ -403,6 +448,12 @@ impl Server {
     /// The node's current cluster role.
     pub fn role(&self) -> Role {
         self.shared.role.get()
+    }
+
+    /// The streaming-session engine (inspection and tests; wire clients
+    /// drive it through the `session_*` ops).
+    pub fn sessions(&self) -> &SessionEngine {
+        &self.shared.sessions
     }
 
     /// Sets the node's cluster role and (for followers) where to point
@@ -486,7 +537,14 @@ fn acceptor_loop(
     conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
     job_tx: &SyncSender<Job>,
 ) {
+    // The accept loop doubles as the session idle sweeper: its poll
+    // cadence is the one periodic heartbeat the server already has.
+    let mut last_sweep = Instant::now();
     while !shared.shutting_down.load(Ordering::Acquire) {
+        if last_sweep.elapsed() >= Duration::from_millis(500) {
+            shared.sessions.sweep_idle();
+            last_sweep = Instant::now();
+        }
         match listener.accept() {
             Ok((stream, _peer)) => {
                 shared.stats.record_connection();
@@ -691,6 +749,28 @@ fn dispatch(line: &str, shared: &Arc<ServerShared>, job_tx: &SyncSender<Job>) ->
             false,
         ),
         Request::Reload => (do_reload(shared), false),
+        Request::SessionOpen { policy, arms } => {
+            if shared.shutting_down.load(Ordering::Acquire) {
+                shared.stats.record_rejected_shutdown();
+                return (Response::ShuttingDown, false);
+            }
+            (
+                crate::session::do_open(&shared.sessions, policy, arms),
+                false,
+            )
+        }
+        // Push/result/close still answer during a drain so in-flight
+        // sessions finish cleanly; only new opens are refused above.
+        Request::SessionPush { session, frames } => (
+            crate::session::do_push(&shared.sessions, session, &frames),
+            false,
+        ),
+        Request::SessionResult { session } => {
+            (crate::session::do_result(&shared.sessions, session), false)
+        }
+        Request::SessionClose { session } => {
+            (crate::session::do_close(&shared.sessions, session), false)
+        }
         Request::Shutdown => {
             shared.shutting_down.store(true, Ordering::Release);
             // Ack, then close; the drain cascade takes it from here.

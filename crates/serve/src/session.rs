@@ -1,0 +1,70 @@
+//! Glue between the wire dispatch loop and the [`SessionEngine`]:
+//! engine results become typed protocol responses here, so the server
+//! loop stays a thin router and every session failure mode keeps its
+//! machine-matchable variant (`session_overloaded`, `session_unknown`).
+
+use crate::protocol::Response;
+use kinemyo_session::{SessionEngine, SessionError, WireFrame};
+
+/// Maps a session-layer failure onto its wire response. The connection
+/// always stays open: a session error is an answer, not a transport
+/// fault.
+fn refusal(err: SessionError) -> Response {
+    match err {
+        SessionError::Overloaded { capacity } => Response::SessionOverloaded { capacity },
+        SessionError::UnknownSession { session } => Response::SessionUnknown { session },
+        SessionError::Config { reason } => Response::Error {
+            message: format!("session config error: {reason}"),
+        },
+        SessionError::Model(e) => Response::Error {
+            message: format!("session model error: {e}"),
+        },
+    }
+}
+
+/// Handles `session_open`.
+pub(crate) fn do_open(
+    engine: &SessionEngine,
+    policy: kinemyo_session::ReloadPolicy,
+    arms: Option<Vec<usize>>,
+) -> Response {
+    match engine.open(policy, arms.as_deref()) {
+        Ok(opened) => Response::SessionOpened {
+            session: opened.session,
+            generation: opened.generation,
+            window_lens: opened.window_lens,
+            budget_us: opened.budget_us,
+        },
+        Err(e) => refusal(e),
+    }
+}
+
+/// Handles `session_push`.
+pub(crate) fn do_push(engine: &SessionEngine, session: u64, frames: &[WireFrame]) -> Response {
+    match engine.push(session, frames) {
+        Ok(reply) => Response::SessionWindows {
+            session: reply.session,
+            generation: reply.generation,
+            windows: reply.windows,
+            rejected: reply.rejected,
+            drift: reply.drift,
+        },
+        Err(e) => refusal(e),
+    }
+}
+
+/// Handles `session_result`.
+pub(crate) fn do_result(engine: &SessionEngine, session: u64) -> Response {
+    match engine.result(session) {
+        Ok(verdict) => Response::SessionResult { verdict },
+        Err(e) => refusal(e),
+    }
+}
+
+/// Handles `session_close`.
+pub(crate) fn do_close(engine: &SessionEngine, session: u64) -> Response {
+    match engine.close(session) {
+        Ok(summary) => Response::SessionClosed { summary },
+        Err(e) => refusal(e),
+    }
+}

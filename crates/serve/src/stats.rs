@@ -8,6 +8,7 @@
 //! no dependency — at the cost of quantiles being rounded up to a bucket
 //! boundary.
 
+use kinemyo_session::SessionStatsSnapshot;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Duration;
@@ -157,6 +158,7 @@ impl StatsCollector {
             latency_hist,
             uptime_ms,
             model_generation,
+            sessions: SessionStatsSnapshot::default(),
         }
     }
 }
@@ -222,6 +224,9 @@ pub struct StatsSnapshot {
     pub uptime_ms: u64,
     /// Model swaps since the server started.
     pub model_generation: u64,
+    /// Streaming-session counters (all zero on pre-session servers).
+    #[serde(default)]
+    pub sessions: SessionStatsSnapshot,
 }
 
 impl StatsSnapshot {

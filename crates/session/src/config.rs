@@ -1,0 +1,243 @@
+//! Session-engine configuration: table bounds, window arms, latency
+//! budget, and drift-detector thresholds.
+
+use crate::{Result, SessionError};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// The most arms (concurrent window lengths) one session may run. The
+/// arm study serves 2–3 lengths; anything beyond that multiplies
+/// per-frame cost for no additional signal.
+pub(crate) const MAX_ARMS: usize = 3;
+
+/// Drift-detector thresholds. The detector watches the primary arm's
+/// per-window membership margins: a `baseline` prefix establishes what
+/// "confident" looks like for this stream, and when the mean margin over
+/// the most recent `recent` windows falls below `ratio` times the
+/// baseline mean, drift is declared.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Master switch; a disabled detector never triggers.
+    pub enabled: bool,
+    /// Windows folded into the baseline mean before arming.
+    pub baseline: usize,
+    /// Width of the trailing window over which the recent mean is taken.
+    pub recent: usize,
+    /// Trigger when `recent_mean < ratio * baseline_mean`; in `(0, 1]`.
+    pub ratio: f64,
+    /// Minimum windows observed (since the last trigger) before the
+    /// detector may fire; at least `baseline + recent`.
+    pub min_windows: usize,
+    /// Windows ignored after a trigger before the baseline starts
+    /// re-accumulating, so one bad stretch yields one re-train, not a
+    /// storm.
+    pub cooldown: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            baseline: 4,
+            recent: 4,
+            ratio: 0.5,
+            min_windows: 8,
+            cooldown: 8,
+        }
+    }
+}
+
+impl DriftConfig {
+    /// Checks internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.baseline == 0 || self.recent == 0 {
+            return Err(SessionError::Config {
+                reason: "drift baseline and recent window counts must be >= 1".into(),
+            });
+        }
+        if self.ratio.is_nan() || self.ratio <= 0.0 || self.ratio > 1.0 {
+            return Err(SessionError::Config {
+                reason: format!("drift ratio must be in (0, 1], got {}", self.ratio),
+            });
+        }
+        if self.min_windows < self.baseline + self.recent {
+            return Err(SessionError::Config {
+                reason: format!(
+                    "drift min_windows ({}) must cover baseline + recent ({})",
+                    self.min_windows,
+                    self.baseline + self.recent
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Engine-wide session settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionConfig {
+    /// Bounded capacity of the session table; opens beyond it are shed
+    /// with a typed `session_overloaded`.
+    pub max_sessions: usize,
+    /// A session untouched for this long is evicted by the sweep.
+    pub idle_timeout: Duration,
+    /// Extra window lengths run alongside the model's trained length
+    /// (the multi-window arm study). Deduplicated; at most two extras.
+    pub extra_arms: Vec<usize>,
+    /// Neighbors consulted for rolling classifications.
+    pub knn_k: usize,
+    /// Frames of raw stream retained per session for the drift-triggered
+    /// re-train snapshot.
+    pub snapshot_frames: usize,
+    /// Per-window latency budget in microseconds; advertised at open and
+    /// gated by the streaming bench.
+    pub window_budget_us: u64,
+    /// Drift-detector thresholds.
+    pub drift: DriftConfig,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            max_sessions: 64,
+            idle_timeout: Duration::from_secs(30),
+            extra_arms: Vec::new(),
+            knn_k: 5,
+            snapshot_frames: 512,
+            window_budget_us: 50_000,
+            drift: DriftConfig::default(),
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Checks internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_sessions == 0 {
+            return Err(SessionError::Config {
+                reason: "max_sessions must be >= 1".into(),
+            });
+        }
+        if self.idle_timeout.is_zero() {
+            return Err(SessionError::Config {
+                reason: "idle_timeout must be positive".into(),
+            });
+        }
+        if self.knn_k == 0 {
+            return Err(SessionError::Config {
+                reason: "knn_k must be >= 1".into(),
+            });
+        }
+        if self.snapshot_frames == 0 {
+            return Err(SessionError::Config {
+                reason: "snapshot_frames must be >= 1".into(),
+            });
+        }
+        if self.window_budget_us == 0 {
+            return Err(SessionError::Config {
+                reason: "window_budget_us must be positive".into(),
+            });
+        }
+        if self.extra_arms.len() > MAX_ARMS - 1 {
+            return Err(SessionError::Config {
+                reason: format!(
+                    "at most {} extra window arms are supported, got {}",
+                    MAX_ARMS - 1,
+                    self.extra_arms.len()
+                ),
+            });
+        }
+        if self.extra_arms.contains(&0) {
+            return Err(SessionError::Config {
+                reason: "window arm lengths must be >= 1".into(),
+            });
+        }
+        self.drift.validate()
+    }
+
+    /// Builder: table capacity.
+    pub fn with_max_sessions(mut self, n: usize) -> Self {
+        self.max_sessions = n;
+        self
+    }
+
+    /// Builder: idle-eviction timeout.
+    pub fn with_idle_timeout(mut self, t: Duration) -> Self {
+        self.idle_timeout = t;
+        self
+    }
+
+    /// Builder: extra window-length arms.
+    pub fn with_extra_arms(mut self, arms: Vec<usize>) -> Self {
+        self.extra_arms = arms;
+        self
+    }
+
+    /// Builder: rolling-classification neighbor count.
+    pub fn with_knn_k(mut self, k: usize) -> Self {
+        self.knn_k = k;
+        self
+    }
+
+    /// Builder: snapshot ring depth.
+    pub fn with_snapshot_frames(mut self, n: usize) -> Self {
+        self.snapshot_frames = n;
+        self
+    }
+
+    /// Builder: per-window latency budget (µs).
+    pub fn with_window_budget_us(mut self, us: u64) -> Self {
+        self.window_budget_us = us;
+        self
+    }
+
+    /// Builder: drift thresholds.
+    pub fn with_drift(mut self, drift: DriftConfig) -> Self {
+        self.drift = drift;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        SessionConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_fields() {
+        assert!(SessionConfig::default()
+            .with_max_sessions(0)
+            .validate()
+            .is_err());
+        assert!(SessionConfig::default().with_knn_k(0).validate().is_err());
+        assert!(SessionConfig::default()
+            .with_extra_arms(vec![30, 40, 50])
+            .validate()
+            .is_err());
+        assert!(SessionConfig::default()
+            .with_extra_arms(vec![0])
+            .validate()
+            .is_err());
+        let drift = DriftConfig {
+            ratio: f64::NAN,
+            ..DriftConfig::default()
+        };
+        assert!(SessionConfig::default()
+            .with_drift(drift)
+            .validate()
+            .is_err());
+        let drift = DriftConfig {
+            ratio: 0.5,
+            min_windows: 2,
+            ..DriftConfig::default()
+        };
+        assert!(SessionConfig::default()
+            .with_drift(drift)
+            .validate()
+            .is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! # kinemyo-session
+//!
+//! Long-lived streaming classification sessions, the engine behind the
+//! serve daemon's `session_*` wire operations.
+//!
+//! The paper's pipeline is batch: record a whole motion, window it,
+//! extract features, classify. A prosthetic controller or live telemetry
+//! consumer instead holds a connection open and pushes synchronized
+//! mocap/EMG frames as they are captured. This crate turns that traffic
+//! into a first-class workload:
+//!
+//! * [`SessionEngine`] — the daemon-side facade: open / push / result /
+//!   close, bounded by a [`SessionTable`] with typed overload shedding
+//!   and idle-timeout eviction.
+//! * Each session runs one [`kinemyo::SessionCore`] per configured
+//!   window length (a multi-window "arm" study, after the window-length
+//!   sensitivity results in the EMG literature); the per-stream winner
+//!   is the arm with the highest mean membership margin.
+//! * A deterministic [`DriftDetector`] watches the primary arm's margin
+//!   distribution; past the configured threshold the engine snapshots
+//!   the session's recent frames, re-trains against the base corpus plus
+//!   that snapshot, and swaps the model through the existing
+//!   [`kinemyo::SharedModel`] generation reload. In-flight sessions
+//!   observe the generation bump and either rebind or finish on the old
+//!   model — their [`ReloadPolicy`] is typed per session.
+//!
+//! Because the arm engines are the same incremental extractors used by
+//! the batch query path and the guard layer's clean path, a clean wire
+//! session reproduces offline `evaluate_guarded` classifications bit for
+//! bit — the invariant the serve-layer e2e suite pins down.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod config;
+mod drift;
+mod engine;
+mod session;
+mod table;
+mod wire;
+
+pub use config::{DriftConfig, SessionConfig};
+pub use drift::DriftDetector;
+pub use engine::{Opened, PushReply, RetrainSource, SessionEngine};
+pub use session::WireSession;
+pub use table::{SessionSlot, SessionTable};
+pub use wire::{
+    ArmReport, DriftReport, RejectedFrame, ReloadPolicy, RollingWindow, SessionStatsSnapshot,
+    SessionSummary, SessionVerdict, WireFrame,
+};
+
+use std::fmt;
+
+/// Typed failures of the session layer. The serve crate maps these onto
+/// wire responses (`session_overloaded`, `session_unknown`, ...).
+#[derive(Debug)]
+pub enum SessionError {
+    /// The session table is at capacity; the open was shed.
+    Overloaded {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// No live session with this id (never opened, closed, or evicted).
+    UnknownSession {
+        /// The id the caller presented.
+        session: u64,
+    },
+    /// The engine or session configuration is invalid.
+    Config {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// The underlying model pipeline failed.
+    Model(kinemyo::KinemyoError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Overloaded { capacity } => {
+                write!(f, "session table at capacity ({capacity}); open shed")
+            }
+            Self::UnknownSession { session } => write!(f, "no live session {session}"),
+            Self::Config { reason } => write!(f, "invalid session config: {reason}"),
+            Self::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<kinemyo::KinemyoError> for SessionError {
+    fn from(e: kinemyo::KinemyoError) -> Self {
+        Self::Model(e)
+    }
+}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, SessionError>;

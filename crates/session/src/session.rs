@@ -1,0 +1,316 @@
+//! One live wire session: the multi-window arm engines, the model
+//! binding (with its typed reload policy), the drift detector, and the
+//! bounded snapshot ring that feeds a drift-triggered re-train.
+
+use crate::config::{DriftConfig, MAX_ARMS};
+use crate::drift::DriftDetector;
+use crate::wire::{
+    ArmReport, RejectedFrame, ReloadPolicy, RollingWindow, SessionSummary, SessionVerdict,
+    WireFrame,
+};
+use crate::{Result, SessionError};
+use kinemyo::{MotionClassifier, SessionCore, SharedModel};
+use kinemyo_biosim::{MotionClass, MotionRecord, Vec3};
+use kinemyo_linalg::Matrix;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// What one `session_push` produced, before the engine layers on drift
+/// handling and stats.
+#[derive(Debug)]
+pub(crate) struct PushOutput {
+    /// Completed windows across all arms, in completion order.
+    pub windows: Vec<RollingWindow>,
+    /// Frames rejected with their typed reasons; the session is alive.
+    pub rejected: Vec<RejectedFrame>,
+    /// Primary-arm window index that crossed the drift threshold, if any
+    /// did during this push.
+    pub drift_at: Option<usize>,
+}
+
+/// A live streaming session. Owned by a [`crate::SessionSlot`]; all
+/// methods run under the slot's mutex.
+#[derive(Debug)]
+pub struct WireSession {
+    id: u64,
+    model: Arc<MotionClassifier>,
+    generation: u64,
+    policy: ReloadPolicy,
+    /// Arm engines; `arms[0]` runs the model's trained window length and
+    /// is the drift/snapshot reference.
+    arms: Vec<SessionCore>,
+    drift: DriftDetector,
+    /// Raw accepted frames, newest at the back, bounded.
+    snapshot: VecDeque<WireFrame>,
+    snapshot_cap: usize,
+    frames: u64,
+    rejected_frames: u64,
+    drift_triggers: u64,
+}
+
+impl WireSession {
+    /// Opens a session against the shared model's current generation.
+    /// `extra_arms` requests additional window lengths; duplicates (and
+    /// the trained length itself) collapse, and at most [`MAX_ARMS`]
+    /// arms run.
+    pub(crate) fn open(
+        id: u64,
+        shared: &SharedModel,
+        policy: ReloadPolicy,
+        extra_arms: &[usize],
+        drift_cfg: DriftConfig,
+        snapshot_cap: usize,
+    ) -> Result<Self> {
+        let generation = shared.generation();
+        let model = shared.load();
+        let mut lens = vec![model.window().len()];
+        for &w in extra_arms {
+            if w == 0 {
+                return Err(SessionError::Config {
+                    reason: "window arm lengths must be >= 1".into(),
+                });
+            }
+            if !lens.contains(&w) && lens.len() < MAX_ARMS {
+                lens.push(w);
+            }
+        }
+        let mut arms = Vec::with_capacity(lens.len());
+        for &w in &lens {
+            arms.push(SessionCore::with_window_len(&model, w)?);
+        }
+        Ok(Self {
+            id,
+            model,
+            generation,
+            policy,
+            arms,
+            drift: DriftDetector::new(drift_cfg),
+            snapshot: VecDeque::with_capacity(snapshot_cap.min(4096)),
+            snapshot_cap,
+            frames: 0,
+            rejected_frames: 0,
+            drift_triggers: 0,
+        })
+    }
+
+    /// Session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The generation of the model this session is currently scoring
+    /// against.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The session's reload policy.
+    pub fn policy(&self) -> ReloadPolicy {
+        self.policy
+    }
+
+    /// Window lengths of the running arms, primary first.
+    pub fn window_lens(&self) -> Vec<usize> {
+        self.arms.iter().map(|a| a.window_len()).collect()
+    }
+
+    /// Frames accepted so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Drift triggers observed on this session.
+    pub fn drift_triggers(&self) -> u64 {
+        self.drift_triggers
+    }
+
+    /// If the shared model moved past this session's bound generation,
+    /// apply the session's reload policy. Returns `true` when the
+    /// session rebound to a newer model.
+    pub(crate) fn observe_generation(&mut self, shared: &SharedModel) -> bool {
+        let current = shared.generation();
+        if current == self.generation {
+            return false;
+        }
+        match self.policy {
+            ReloadPolicy::FinishOld => false,
+            ReloadPolicy::Rebind => {
+                // The Arc snapshot swap is the whole rebind: arm
+                // extractor state is model-independent, and memberships
+                // are computed per window against whatever model the
+                // next completion sees.
+                self.model = shared.load();
+                self.generation = current;
+                true
+            }
+        }
+    }
+
+    /// Feeds a batch of frames through every arm. Malformed frames are
+    /// reported and skipped — no arm buffers them, so the arms stay
+    /// frame-synchronized and the session survives.
+    pub(crate) fn push_frames(&mut self, frames: &[WireFrame]) -> PushOutput {
+        let mut out = PushOutput {
+            windows: Vec::new(),
+            rejected: Vec::new(),
+            drift_at: None,
+        };
+        for (index, frame) in frames.iter().enumerate() {
+            // The primary arm validates arity and finiteness before
+            // buffering; a rejected frame leaves every arm untouched
+            // because validation is model-level, not arm-level.
+            let primary = match self.arms[0].push_frame(
+                &self.model,
+                &frame.mocap,
+                frame.pelvis,
+                &frame.emg,
+            ) {
+                Ok(done) => done,
+                Err(e) => {
+                    self.rejected_frames += 1;
+                    out.rejected.push(RejectedFrame {
+                        index,
+                        reason: e.to_string(),
+                    });
+                    continue;
+                }
+            };
+            self.frames += 1;
+            if let Some(outcome) = primary {
+                let window = self.arms[0].windows_seen() - 1;
+                out.windows.push(RollingWindow {
+                    arm: self.arms[0].window_len(),
+                    window,
+                    cluster: outcome.assignment.cluster,
+                    membership: outcome.assignment.membership,
+                    margin: outcome.margin,
+                });
+                if self.drift.observe(outcome.margin) {
+                    self.drift_triggers += 1;
+                    // First trigger in a push wins; later ones re-arm
+                    // after cooldown anyway.
+                    if out.drift_at.is_none() {
+                        out.drift_at = Some(window);
+                    }
+                }
+            }
+            for arm in self.arms.iter_mut().skip(1) {
+                // Validation already passed on the primary arm; a
+                // secondary arm can only agree. An error here would mean
+                // the arms disagree on the model's limb, which open()
+                // makes impossible — swallow into a skipped completion.
+                if let Ok(Some(outcome)) =
+                    arm.push_frame(&self.model, &frame.mocap, frame.pelvis, &frame.emg)
+                {
+                    out.windows.push(RollingWindow {
+                        arm: arm.window_len(),
+                        window: arm.windows_seen() - 1,
+                        cluster: outcome.assignment.cluster,
+                        membership: outcome.assignment.membership,
+                        margin: outcome.margin,
+                    });
+                }
+            }
+            self.snapshot.push_back(frame.clone());
+            while self.snapshot.len() > self.snapshot_cap {
+                self.snapshot.pop_front();
+            }
+        }
+        out
+    }
+
+    /// The rolling verdict across all arms: per-arm reports plus the
+    /// mean-margin winner (ties to the earlier arm, so the primary wins
+    /// a fresh session vacuously).
+    pub(crate) fn verdict(&self, knn_k: usize) -> Result<SessionVerdict> {
+        let mut arms = Vec::with_capacity(self.arms.len());
+        for arm in &self.arms {
+            let predicted = arm
+                .classify(&self.model, knn_k)?
+                .map(|(class, _neighbors)| class);
+            arms.push(ArmReport {
+                window_len: arm.window_len(),
+                windows: arm.windows_seen(),
+                mean_margin: arm.mean_margin(),
+                predicted,
+            });
+        }
+        let mut winner = 0;
+        for (i, report) in arms.iter().enumerate().skip(1) {
+            // total_cmp: NaN cannot occur (margins are differences of
+            // finite memberships) but a total order keeps the pick
+            // deterministic regardless.
+            if report
+                .mean_margin
+                .total_cmp(&arms[winner].mean_margin)
+                .is_gt()
+            {
+                winner = i;
+            }
+        }
+        Ok(SessionVerdict {
+            session: self.id,
+            generation: self.generation,
+            frames: self.frames,
+            winner_window_len: arms[winner].window_len,
+            predicted: arms[winner].predicted,
+            arms,
+        })
+    }
+
+    /// The primary arm's rolling classification (drift re-train label).
+    pub(crate) fn primary_prediction(&self, knn_k: usize) -> Result<Option<MotionClass>> {
+        Ok(self.arms[0].classify(&self.model, knn_k)?.map(|(c, _)| c))
+    }
+
+    /// Frames currently held in the snapshot ring.
+    pub(crate) fn snapshot_len(&self) -> usize {
+        self.snapshot.len()
+    }
+
+    /// Primary-arm window length (the re-train feasibility bound).
+    pub(crate) fn primary_window_len(&self) -> usize {
+        self.arms[0].window_len()
+    }
+
+    /// Materializes the snapshot ring as a training record labelled with
+    /// `class`, for the drift-triggered re-train. Fails if the ring
+    /// holds rows whose arity no longer matches (cannot happen — the
+    /// ring only ever holds accepted frames).
+    pub(crate) fn snapshot_record(&self, id: usize, class: MotionClass) -> Result<MotionRecord> {
+        let mocap_rows: Vec<Vec<f64>> = self.snapshot.iter().map(|f| f.mocap.clone()).collect();
+        let emg_rows: Vec<Vec<f64>> = self.snapshot.iter().map(|f| f.emg.clone()).collect();
+        let pelvis: Vec<Vec3> = self
+            .snapshot
+            .iter()
+            .map(|f| Vec3 {
+                x: f.pelvis[0],
+                y: f.pelvis[1],
+                z: f.pelvis[2],
+            })
+            .collect();
+        let mocap = Matrix::from_rows(&mocap_rows).map_err(kinemyo::KinemyoError::from)?;
+        let emg = Matrix::from_rows(&emg_rows).map_err(kinemyo::KinemyoError::from)?;
+        Ok(MotionRecord {
+            id,
+            class,
+            participant: 0,
+            trial: 0,
+            mocap,
+            emg,
+            pelvis,
+            heading_rad: 0.0,
+        })
+    }
+
+    /// Final accounting for `session_close`.
+    pub(crate) fn summary(&self, knn_k: usize) -> Result<SessionSummary> {
+        Ok(SessionSummary {
+            session: self.id,
+            frames: self.frames,
+            rejected_frames: self.rejected_frames,
+            drift_triggers: self.drift_triggers,
+            verdict: self.verdict(knn_k)?,
+        })
+    }
+}

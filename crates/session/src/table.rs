@@ -1,0 +1,133 @@
+//! The bounded session table: id allocation, capacity shedding, and
+//! idle-timeout eviction.
+//!
+//! Locking discipline (checked by the workspace analyzer's lock-order
+//! lint): the table mutex guards only the id → slot map and is never
+//! held while a slot's session mutex is taken — callers clone the
+//! `Arc<SessionSlot>` out, drop the table guard, then lock the session.
+//! The idle sweep reads each slot's atomic touch-stamp instead of its
+//! mutex, so a session busy in a long push cannot stall the sweep (and
+//! cannot be evicted mid-push: its stamp is refreshed before the push).
+
+use crate::session::WireSession;
+use crate::{Result, SessionError};
+use parking_lot::{Mutex, MutexGuard};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One table entry: the session behind its own mutex plus an atomic
+/// last-touched stamp (milliseconds on the engine's monotonic epoch)
+/// readable without that mutex.
+#[derive(Debug)]
+pub struct SessionSlot {
+    id: u64,
+    touched_ms: AtomicU64,
+    inner: Mutex<WireSession>,
+}
+
+impl SessionSlot {
+    /// The session id this slot serves.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Locks the session for exclusive use.
+    pub fn lock(&self) -> MutexGuard<'_, WireSession> {
+        self.inner.lock()
+    }
+
+    /// Refreshes the idle stamp.
+    pub fn touch(&self, now_ms: u64) {
+        self.touched_ms.store(now_ms, Ordering::Release);
+    }
+
+    /// Milliseconds since the last touch (saturating).
+    pub fn idle_ms(&self, now_ms: u64) -> u64 {
+        now_ms.saturating_sub(self.touched_ms.load(Ordering::Acquire))
+    }
+}
+
+/// Bounded map of live sessions.
+#[derive(Debug)]
+pub struct SessionTable {
+    slots: Mutex<BTreeMap<u64, Arc<SessionSlot>>>,
+    next_id: AtomicU64,
+    capacity: usize,
+}
+
+impl SessionTable {
+    /// An empty table shedding opens beyond `capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            slots: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            capacity,
+        }
+    }
+
+    /// Reserves the next session id. Ids are never reused, so a push to
+    /// an evicted session is distinguishable from a protocol bug.
+    pub fn reserve_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Inserts a freshly opened session, shedding at capacity.
+    pub fn insert(&self, session: WireSession, now_ms: u64) -> Result<Arc<SessionSlot>> {
+        let slot = Arc::new(SessionSlot {
+            id: session.id(),
+            touched_ms: AtomicU64::new(now_ms),
+            inner: Mutex::new(session),
+        });
+        let mut slots = self.slots.lock();
+        if slots.len() >= self.capacity {
+            return Err(SessionError::Overloaded {
+                capacity: self.capacity,
+            });
+        }
+        slots.insert(slot.id, Arc::clone(&slot));
+        Ok(slot)
+    }
+
+    /// Looks up a live session.
+    pub fn get(&self, id: u64) -> Option<Arc<SessionSlot>> {
+        self.slots.lock().get(&id).cloned()
+    }
+
+    /// Removes a session (close path); returns its slot for the final
+    /// summary.
+    pub fn remove(&self, id: u64) -> Option<Arc<SessionSlot>> {
+        self.slots.lock().remove(&id)
+    }
+
+    /// Evicts every session idle for at least `timeout_ms`, returning
+    /// the evicted ids. Runs entirely on the atomic stamps; no session
+    /// mutex is taken under the table lock.
+    pub fn sweep_idle(&self, now_ms: u64, timeout_ms: u64) -> Vec<u64> {
+        let mut slots = self.slots.lock();
+        let expired: Vec<u64> = slots
+            .iter()
+            .filter(|(_, slot)| slot.idle_ms(now_ms) >= timeout_ms)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &expired {
+            slots.remove(id);
+        }
+        expired
+    }
+
+    /// Live session count.
+    pub fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// Whether no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The shedding capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}

@@ -1,0 +1,221 @@
+//! Serde-facing session types. These structs appear verbatim inside the
+//! serve protocol's `session_*` request/response frames, so every field
+//! here is wire format: additions must be `#[serde(default)]` and
+//! nothing may be renamed without a protocol version bump.
+
+use kinemyo_biosim::MotionClass;
+use serde::{Deserialize, Serialize};
+
+/// One synchronized sensor frame as it crosses the wire: a mocap marker
+/// row (pelvis-global millimetres), the pelvis position for that frame,
+/// and one EMG sample per channel. `serde_json` is configured with
+/// `float_roundtrip`, so the f64 payload survives the socket bit-exactly
+/// — the precondition for wire/batch bit-identity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireFrame {
+    /// Marker coordinates, `3 * joints` values.
+    pub mocap: Vec<f64>,
+    /// Pelvis position `[x, y, z]` for pelvis-local normalization.
+    pub pelvis: [f64; 3],
+    /// One sample per EMG channel.
+    pub emg: Vec<f64>,
+    /// Optional capture timestamp (milliseconds) from the replay corpus;
+    /// carried for observability, never used in classification.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub t_ms: Option<u64>,
+}
+
+/// How a session reacts to a model generation bump (hot reload or
+/// drift-triggered re-train) while it is mid-stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ReloadPolicy {
+    /// Rebind to the new model at the next push: rolling windows from
+    /// then on score against the fresh centers. The incremental
+    /// extractor state carries over (features are model-independent).
+    #[default]
+    Rebind,
+    /// Finish the stream on the `Arc` snapshot the session opened with;
+    /// the old model stays alive until the last such session closes.
+    FinishOld,
+}
+
+/// One completed window's rolling classification, emitted inside a
+/// `session_windows` response.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RollingWindow {
+    /// Window length (frames) of the arm that completed — the arm's id.
+    pub arm: usize,
+    /// Zero-based window index within that arm.
+    pub window: usize,
+    /// Winning fuzzy cluster.
+    pub cluster: usize,
+    /// Winning membership value.
+    pub membership: f64,
+    /// Margin over the runner-up cluster.
+    pub margin: f64,
+}
+
+/// A frame the session rejected (wrong arity, non-finite values). The
+/// session stays alive; the frame was not buffered by any arm.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RejectedFrame {
+    /// Index of the frame within the push that carried it.
+    pub index: usize,
+    /// Typed reason, rendered from the pipeline error.
+    pub reason: String,
+}
+
+/// Drift-detector outcome piggybacked on a `session_windows` response
+/// when the observed push crossed the drift threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DriftReport {
+    /// Primary-arm window index (within the session) that triggered.
+    pub window: usize,
+    /// Whether the hot re-train ran and swapped the shared model.
+    /// `false` means the trigger was observed but re-training was
+    /// unavailable (no corpus wired), already in flight, or failed.
+    pub retrained: bool,
+    /// Shared-model generation after handling the trigger.
+    pub generation: u64,
+}
+
+/// Per-arm rollup reported by `session_result` / `session_close`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArmReport {
+    /// The arm's window length in frames.
+    pub window_len: usize,
+    /// Completed windows.
+    pub windows: usize,
+    /// Mean membership margin over those windows (0 before the first).
+    pub mean_margin: f64,
+    /// The arm's rolling classification, absent before its first window.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub predicted: Option<MotionClass>,
+}
+
+/// The rolling verdict for a live session (`session_result`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionVerdict {
+    /// Session id.
+    pub session: u64,
+    /// Model generation the verdict was computed against.
+    pub generation: u64,
+    /// Frames accepted so far.
+    pub frames: u64,
+    /// All arms, primary first.
+    pub arms: Vec<ArmReport>,
+    /// Window length of the winning arm (highest mean margin; ties to
+    /// the earlier arm). Always present — with no completed windows the
+    /// primary arm wins vacuously.
+    pub winner_window_len: usize,
+    /// The winning arm's classification, absent before its first window.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub predicted: Option<MotionClass>,
+}
+
+/// Final accounting returned by `session_close`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSummary {
+    /// Session id.
+    pub session: u64,
+    /// Frames accepted over the session's lifetime.
+    pub frames: u64,
+    /// Frames rejected (malformed) over the session's lifetime.
+    pub rejected_frames: u64,
+    /// Drift triggers observed on this session.
+    pub drift_triggers: u64,
+    /// The closing verdict.
+    pub verdict: SessionVerdict,
+}
+
+/// Aggregate session counters folded into the daemon's `ServerStats`.
+/// All integers, so the enclosing snapshot keeps its `Eq`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct SessionStatsSnapshot {
+    /// Sessions opened.
+    pub opened: u64,
+    /// Sessions closed by the client.
+    pub closed: u64,
+    /// Sessions evicted by the idle sweep.
+    pub evicted: u64,
+    /// Opens shed at capacity.
+    pub shed: u64,
+    /// Pushes/results addressed to unknown session ids.
+    pub unknown: u64,
+    /// Frames accepted across all sessions.
+    pub frames: u64,
+    /// Frames rejected as malformed.
+    pub rejected_frames: u64,
+    /// Windows completed across all arms.
+    pub windows: u64,
+    /// Drift triggers observed.
+    pub drift_triggers: u64,
+    /// Hot re-trains completed (model generation bumps).
+    pub retrains: u64,
+    /// Live sessions at snapshot time (gauge).
+    pub live: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json_available() -> bool {
+        serde_json::to_string(&0u32).is_ok()
+    }
+
+    #[test]
+    fn wire_frame_roundtrips_bit_exact() {
+        if !json_available() {
+            return;
+        }
+        let f = WireFrame {
+            mocap: vec![0.1 + 0.2, f64::MIN_POSITIVE, -1_234.567_890_123_456_7],
+            pelvis: [1.0 / 3.0, 0.0, -0.0],
+            emg: vec![1e-300, 7.297_352_569_3e-3],
+            t_ms: Some(42),
+        };
+        let s = serde_json::to_string(&f).unwrap();
+        let back: WireFrame = serde_json::from_str(&s).unwrap();
+        for (a, b) in f.mocap.iter().zip(&back.mocap) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in f.emg.iter().zip(&back.emg) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in f.pelvis.iter().zip(&back.pelvis) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(back.t_ms, Some(42));
+    }
+
+    #[test]
+    fn reload_policy_wire_names() {
+        if !json_available() {
+            return;
+        }
+        assert_eq!(
+            serde_json::to_string(&ReloadPolicy::Rebind).unwrap(),
+            "\"rebind\""
+        );
+        assert_eq!(
+            serde_json::to_string(&ReloadPolicy::FinishOld).unwrap(),
+            "\"finish_old\""
+        );
+        let p: ReloadPolicy = serde_json::from_str("\"finish_old\"").unwrap();
+        assert_eq!(p, ReloadPolicy::FinishOld);
+    }
+
+    #[test]
+    fn stats_snapshot_tolerates_missing_fields() {
+        if !json_available() {
+            return;
+        }
+        let s: SessionStatsSnapshot = serde_json::from_str("{\"opened\":3}").unwrap();
+        assert_eq!(s.opened, 3);
+        assert_eq!(s.retrains, 0);
+        assert_eq!(SessionStatsSnapshot::default().opened, 0);
+    }
+}

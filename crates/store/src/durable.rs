@@ -1037,8 +1037,8 @@ mod tests {
     fn commit_hook_sees_every_insert_in_order_with_wal_bytes() {
         let dir = scratch("hook");
         let store = DurableDb::<u64>::create(&dir, 3, StoreConfig::default()).unwrap();
-        let seen: std::sync::Arc<Mutex<Vec<(u64, Vec<u8>)>>> =
-            std::sync::Arc::new(Mutex::new(Vec::new()));
+        type SeenCommits = std::sync::Arc<Mutex<Vec<(u64, Vec<u8>)>>>;
+        let seen: SeenCommits = std::sync::Arc::new(Mutex::new(Vec::new()));
         let sink = std::sync::Arc::clone(&seen);
         store.set_commit_hook(Some(Box::new(move |seq, payload| {
             sink.lock().push((seq, payload.to_vec()));

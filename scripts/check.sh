@@ -78,6 +78,45 @@ if [[ "${1:-}" != "--quick" ]]; then
     wait "$SERVE_PID"
     SERVE_PID=""
 
+    echo "==> streaming smoke test (replay session -> drift retrain -> byte-equal re-classify)"
+    # Two fresh daemons run the identical seeded replay with an armed
+    # drift detector; everything downstream of the socket is
+    # deterministic, so the rolling windows, the drift-triggered hot
+    # re-trains, and a post-retrain classification must agree byte for
+    # byte across the two runs.
+    STREAM_A=""
+    STREAM_B=""
+    for RUN in a b; do
+        rm -f "$SMOKE_DIR/port"
+        cargo run -q -p kinemyo-cli -- serve --model "$SMOKE_DIR/model.json" \
+            --addr 127.0.0.1:0 --port-file "$SMOKE_DIR/port" \
+            --session-retrain "$SMOKE_DIR/ds.kmyo" --session-drift 0.8:4:2:6:8 &
+        SERVE_PID=$!
+        for _ in $(seq 1 100); do
+            [[ -s "$SMOKE_DIR/port" ]] && break
+            sleep 0.1
+        done
+        [[ -s "$SMOKE_DIR/port" ]] || { echo "streaming server never bound"; exit 1; }
+        ADDR="$(tr -d '[:space:]' < "$SMOKE_DIR/port")"
+        cargo run -q -p kinemyo-cli -- client --addr "$ADDR" --op stream \
+            --replay hand:1:3:2007 > "$SMOKE_DIR/stream_$RUN"
+        cargo run -q -p kinemyo-cli -- client --addr "$ADDR" --op classify \
+            --dataset "$SMOKE_DIR/ds.kmyo" --record 0 > "$SMOKE_DIR/reclassify_$RUN"
+        cargo run -q -p kinemyo-cli -- client --addr "$ADDR" --op shutdown
+        wait "$SERVE_PID"
+        SERVE_PID=""
+    done
+    grep -q 'cluster=' "$SMOKE_DIR/stream_a" \
+        || { echo "stream produced no rolling windows"; exit 1; }
+    grep -q ' 0 rejected frames' "$SMOKE_DIR/stream_a" \
+        || { echo "replay frames were rejected"; exit 1; }
+    grep -q 'retrained=true' "$SMOKE_DIR/stream_a" \
+        || { echo "drift never triggered a hot re-train"; exit 1; }
+    cmp -s "$SMOKE_DIR/stream_a" "$SMOKE_DIR/stream_b" \
+        || { echo "identical replays produced different rolling results"; exit 1; }
+    cmp -s "$SMOKE_DIR/reclassify_a" "$SMOKE_DIR/reclassify_b" \
+        || { echo "post-retrain models diverged across runs"; exit 1; }
+
     echo "==> durability smoke test (ingest -> restart -> verify)"
     # First daemon life: ingest one motion into the durable store.
     rm -f "$SMOKE_DIR/port"

@@ -1,0 +1,591 @@
+//! End-to-end tests for streaming sessions over real loopback sockets:
+//! rolling classifications pushed over the wire must be bit-identical to
+//! the offline engine (and to the guard layer's clean path), idle
+//! sessions must be evicted, capacity must shed with a typed response,
+//! concurrent sessions must survive hot reloads without losing a single
+//! rolling result, drift-triggered re-training must be deterministic,
+//! and the router must pin sessions to shards.
+//!
+//! Every test speaks the actual wire protocol (JSON over TCP), so they
+//! are skipped under the offline stub build where `serde_json` cannot
+//! move data at runtime (see `.claude/skills/verify`).
+
+use kinemyo::biosim::MotionRecord;
+use kinemyo::{
+    stratified_split, GuardConfig, GuardedClassifier, MotionClassifier, PipelineConfig, SessionCore,
+};
+use kinemyo_cluster::{Router, RouterConfig, RouterServer};
+use kinemyo_integration_tests::hand_dataset;
+use kinemyo_serve::{
+    CallOutcome, DriftConfig, ReloadPolicy, Request, Response, RetrainSource, ServeClient,
+    ServeConfig, Server, SessionConfig, WireFrame,
+};
+use std::time::Duration;
+
+/// True when the real serde_json backend is linked in.
+fn json_available() -> bool {
+    serde_json::to_string(&0u32).is_ok()
+}
+
+/// Small trained model + held-out queries from the shared hand fixture.
+fn trained_model() -> (MotionClassifier, Vec<MotionRecord>, PipelineConfig) {
+    let ds = hand_dataset();
+    let (train, queries) = stratified_split(&ds.records, 1);
+    let config = PipelineConfig::default().with_clusters(8);
+    let model = MotionClassifier::train(&train, ds.spec.limb, &config).expect("training succeeds");
+    let queries = queries.into_iter().cloned().collect();
+    (model, queries, config)
+}
+
+/// The training split as owned records (for re-train sources and for
+/// re-training bit-identical models).
+fn train_records() -> Vec<MotionRecord> {
+    let ds = hand_dataset();
+    let (train, _) = stratified_split(&ds.records, 1);
+    train.into_iter().cloned().collect()
+}
+
+fn frames_of(r: &MotionRecord) -> Vec<WireFrame> {
+    (0..r.frames())
+        .map(|f| WireFrame {
+            mocap: r.mocap.row(f).to_vec(),
+            pelvis: [r.pelvis[f].x, r.pelvis[f].y, r.pelvis[f].z],
+            emg: r.emg.row(f).to_vec(),
+            t_ms: None,
+        })
+        .collect()
+}
+
+/// Pushes frames and unwraps the `session_windows` reply.
+fn push_ok(
+    client: &mut ServeClient,
+    session: u64,
+    frames: &[WireFrame],
+) -> (
+    u64,
+    Vec<kinemyo_serve::RollingWindow>,
+    Vec<kinemyo_serve::RejectedFrame>,
+    Option<kinemyo_serve::DriftReport>,
+) {
+    match client
+        .session_push(session, frames)
+        .expect("push transports")
+    {
+        Response::SessionWindows {
+            generation,
+            windows,
+            rejected,
+            drift,
+            ..
+        } => (generation, windows, rejected, drift),
+        other => panic!("expected session_windows, got {other:?}"),
+    }
+}
+
+#[test]
+fn streamed_windows_are_bit_identical_to_the_offline_engine() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (model, queries, config) = trained_model();
+    let query = &queries[0];
+
+    // Offline ground truth 1: the session engine itself, frame by frame.
+    let mut offline = SessionCore::for_model(&model);
+    let mut expected = Vec::new();
+    for f in 0..query.frames() {
+        let pelvis = [query.pelvis[f].x, query.pelvis[f].y, query.pelvis[f].z];
+        if let Some(outcome) = offline
+            .push_frame(&model, query.mocap.row(f), pelvis, query.emg.row(f))
+            .expect("clean frame")
+        {
+            expected.push(outcome);
+        }
+    }
+    let offline_predicted = offline
+        .classify(&model, config.knn_k)
+        .expect("classify")
+        .map(|(class, _)| class);
+
+    // Offline ground truth 2: the guard layer's clean path (the
+    // `evaluate_guarded` per-record pipeline). Training is deterministic,
+    // so this guarded model's primary is bit-identical to `model`.
+    let train = train_records();
+    let refs: Vec<&MotionRecord> = train.iter().collect();
+    let guard_cfg = GuardConfig {
+        fallback: false,
+        ..GuardConfig::default()
+    };
+    let guarded = GuardedClassifier::train(&refs, hand_dataset().spec.limb, &config, guard_cfg)
+        .expect("guarded training succeeds");
+    let guarded_predicted = guarded.classify_record(query).expect("guard classifies");
+
+    // Now the same frames over the wire, in several pushes.
+    let server = Server::start(model, ServeConfig::default()).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let session = client
+        .session_open(ReloadPolicy::Rebind, None)
+        .expect("session opens");
+    let frames = frames_of(query);
+    let mut windows = Vec::new();
+    for chunk in frames.chunks(48) {
+        let (_, w, rejected, drift) = push_ok(&mut client, session, chunk);
+        assert!(rejected.is_empty(), "clean frames must not be rejected");
+        assert!(drift.is_none(), "steady stream must not trigger drift");
+        windows.extend(w);
+    }
+    assert_eq!(
+        windows.len(),
+        expected.len(),
+        "wire must complete exactly the offline window count"
+    );
+    for (i, (wire, offline)) in windows.iter().zip(&expected).enumerate() {
+        assert_eq!(wire.window, i);
+        assert_eq!(wire.cluster, offline.assignment.cluster, "window {i}");
+        assert_eq!(
+            wire.membership.to_bits(),
+            offline.assignment.membership.to_bits(),
+            "window {i} membership must be bit-identical across the socket"
+        );
+        assert_eq!(
+            wire.margin.to_bits(),
+            offline.margin.to_bits(),
+            "window {i} margin must be bit-identical across the socket"
+        );
+    }
+
+    // The rolling verdict agrees with both offline paths.
+    let verdict = match client.session_result(session).expect("result") {
+        Response::SessionResult { verdict } => verdict,
+        other => panic!("expected session_result, got {other:?}"),
+    };
+    assert_eq!(verdict.predicted, offline_predicted);
+    assert_eq!(verdict.predicted, Some(guarded_predicted.predicted));
+    match client.session_close(session).expect("close") {
+        Response::SessionClosed { summary } => {
+            assert_eq!(summary.frames, frames.len() as u64);
+            assert_eq!(summary.rejected_frames, 0);
+        }
+        other => panic!("expected session_closed, got {other:?}"),
+    }
+}
+
+#[test]
+fn idle_sessions_are_evicted_over_the_wire() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (model, queries, _) = trained_model();
+    let config = ServeConfig::default()
+        .with_session_config(SessionConfig::default().with_idle_timeout(Duration::from_millis(50)));
+    let server = Server::start(model, config).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let session = client
+        .session_open(ReloadPolicy::Rebind, None)
+        .expect("session opens");
+
+    // The acceptor sweeps idle sessions roughly every 500 ms; wait out
+    // one sweep past the 50 ms timeout.
+    std::thread::sleep(Duration::from_millis(1200));
+    match client
+        .session_push(session, &frames_of(&queries[0])[..4])
+        .expect("push transports")
+    {
+        Response::SessionUnknown { session: s } => assert_eq!(s, session),
+        other => panic!("expected session_unknown after eviction, got {other:?}"),
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.sessions.evicted, 1);
+    assert_eq!(stats.sessions.live, 0);
+    assert_eq!(stats.sessions.unknown, 1);
+}
+
+#[test]
+fn session_capacity_sheds_with_a_typed_response() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (model, _, _) = trained_model();
+    let config =
+        ServeConfig::default().with_session_config(SessionConfig::default().with_max_sessions(2));
+    let server = Server::start(model, config).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    let a = client.session_open(ReloadPolicy::Rebind, None).unwrap();
+    let b = client.session_open(ReloadPolicy::Rebind, None).unwrap();
+    assert_ne!(a, b);
+    match client.session_open(ReloadPolicy::Rebind, None) {
+        Err(CallOutcome::Rejected(resp)) => match *resp {
+            Response::SessionOverloaded { capacity } => assert_eq!(capacity, 2),
+            other => panic!("expected session_overloaded, got {other:?}"),
+        },
+        other => panic!("expected typed shedding, got {other:?}"),
+    }
+    // Closing one frees a slot for the next open.
+    client.session_close(a).expect("close");
+    client
+        .session_open(ReloadPolicy::Rebind, None)
+        .expect("slot freed by close");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.sessions.shed, 1);
+    assert_eq!(stats.sessions.live, 2);
+}
+
+#[test]
+fn concurrent_sessions_survive_hot_reload_with_zero_lost_windows() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (model, queries, _) = trained_model();
+    let window_len = model.window().len();
+    let path = std::env::temp_dir().join(format!(
+        "kinemyo_sessions_reload_{}.json",
+        std::process::id()
+    ));
+    model.save_json(&path).expect("model saves");
+    let server = Server::start_from_file(&path, ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let mut client = ServeClient::connect(addr).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let pinned = client
+        .session_open(ReloadPolicy::FinishOld, None)
+        .expect("pinned session opens");
+    let follower = client
+        .session_open(ReloadPolicy::Rebind, None)
+        .expect("follower session opens");
+
+    let frames = frames_of(&queries[1]);
+    let half = frames.len() / 2;
+    let mut pinned_windows = 0usize;
+    let mut follower_windows = 0usize;
+
+    // First half of the stream on generation 0.
+    let (g, w, _, _) = push_ok(&mut client, pinned, &frames[..half]);
+    assert_eq!(g, 0);
+    pinned_windows += w.len();
+    let (g, w, _, _) = push_ok(&mut client, follower, &frames[..half]);
+    assert_eq!(g, 0);
+    follower_windows += w.len();
+
+    // Hot reload mid-session (from a second connection, like an operator
+    // would), then finish both streams.
+    let mut control = ServeClient::connect(addr).unwrap();
+    control.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    match control.reload().expect("reload") {
+        Response::Reloaded {
+            model_generation, ..
+        } => assert_eq!(model_generation, 1),
+        other => panic!("reload failed: {other:?}"),
+    }
+
+    let (g, w, _, _) = push_ok(&mut client, pinned, &frames[half..]);
+    assert_eq!(g, 0, "finish_old must stay pinned to its open generation");
+    pinned_windows += w.len();
+    let (g, w, _, _) = push_ok(&mut client, follower, &frames[half..]);
+    assert_eq!(g, 1, "rebind must observe the reload generation");
+    follower_windows += w.len();
+
+    // Zero lost rolling results on either side of the reload.
+    let expected = frames.len() / window_len;
+    assert_eq!(pinned_windows, expected);
+    assert_eq!(follower_windows, expected);
+    for session in [pinned, follower] {
+        match client.session_close(session).expect("close") {
+            Response::SessionClosed { summary } => {
+                assert_eq!(summary.frames, frames.len() as u64);
+                assert_eq!(summary.rejected_frames, 0);
+            }
+            other => panic!("expected session_closed, got {other:?}"),
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// The drift stimulus: a confident prefix (the same record twice) and a
+/// deterministically scrambled tail that collapses membership margins.
+fn drift_stimulus(record: &MotionRecord) -> (Vec<WireFrame>, Vec<WireFrame>) {
+    let prefix = frames_of(record);
+    let mut tail = frames_of(record);
+    for (i, f) in tail.iter_mut().enumerate() {
+        for (j, v) in f.emg.iter_mut().enumerate() {
+            *v = ((i * 31 + j * 7) % 13) as f64 * 40.0;
+        }
+        for (j, v) in f.mocap.iter_mut().enumerate() {
+            *v += (((i * 17 + j * 3) % 11) as f64 - 5.0) * 60.0;
+        }
+    }
+    (prefix, tail)
+}
+
+fn drift_serve_config(train: &[MotionRecord], config: &PipelineConfig) -> ServeConfig {
+    let drift = DriftConfig {
+        enabled: true,
+        baseline: 2,
+        recent: 2,
+        ratio: 0.9,
+        min_windows: 4,
+        cooldown: 4,
+    };
+    ServeConfig::default()
+        .with_session_config(
+            SessionConfig::default()
+                .with_drift(drift)
+                .with_snapshot_frames(256),
+        )
+        .with_session_retrain(RetrainSource {
+            records: train.to_vec(),
+            limb: hand_dataset().spec.limb,
+            config: config.clone(),
+        })
+}
+
+#[test]
+fn drift_retrain_over_the_wire_is_deterministic() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (_, queries, config) = trained_model();
+    let train = train_records();
+    let refs: Vec<&MotionRecord> = train.iter().collect();
+    let probe = &queries[2];
+
+    // The whole scenario twice, against two independently started
+    // daemons serving independently trained (deterministic ⇒ identical)
+    // models.
+    let run = || {
+        let model =
+            MotionClassifier::train(&refs, hand_dataset().spec.limb, &config).expect("train");
+        let server = Server::start(model, drift_serve_config(&train, &config)).unwrap();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+        let session = client
+            .session_open(ReloadPolicy::Rebind, None)
+            .expect("session opens");
+        let (prefix, tail) = drift_stimulus(&queries[0]);
+        let mut reports = Vec::new();
+        let mut pushed = 0usize;
+        for _ in 0..2 {
+            let (_, _, rejected, drift) = push_ok(&mut client, session, &prefix);
+            assert!(rejected.is_empty());
+            reports.extend(drift);
+            pushed += prefix.len();
+        }
+        for _ in 0..4 {
+            let (_, _, rejected, drift) = push_ok(&mut client, session, &tail);
+            assert!(rejected.is_empty());
+            reports.extend(drift);
+            pushed += tail.len();
+        }
+        // No in-flight frame of the triggering session may be dropped by
+        // the re-train.
+        let summary = match client.session_close(session).expect("close") {
+            Response::SessionClosed { summary } => summary,
+            other => panic!("expected session_closed, got {other:?}"),
+        };
+        assert_eq!(summary.frames, pushed as u64);
+        // The post-reload model answers a fixed probe; its serialized
+        // classification stands in for the model bytes on the wire.
+        let probe_answer =
+            serde_json::to_string(&client.classify(probe).expect("probe classifies")).unwrap();
+        let stats = client.stats().expect("stats");
+        (reports, probe_answer, stats.sessions)
+    };
+
+    let (reports_a, probe_a, sessions_a) = run();
+    let (reports_b, probe_b, sessions_b) = run();
+    assert!(
+        !reports_a.is_empty(),
+        "the scrambled tail must trigger the drift detector"
+    );
+    assert_eq!(
+        reports_a, reports_b,
+        "same seed + same replay must trigger at the same window"
+    );
+    assert_eq!(sessions_a.drift_triggers, sessions_b.drift_triggers);
+    assert_eq!(sessions_a.retrains, sessions_b.retrains);
+    assert!(sessions_a.retrains >= 1, "the trigger must hot re-train");
+    assert!(
+        reports_a.iter().any(|r| r.retrained && r.generation > 0),
+        "a successful re-train must bump the generation: {reports_a:?}"
+    );
+    assert_eq!(
+        probe_a, probe_b,
+        "post-retrain models must answer byte-identically"
+    );
+}
+
+#[test]
+fn hot_retrain_drops_no_frames_of_other_inflight_sessions() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (_, queries, config) = trained_model();
+    let train = train_records();
+    let refs: Vec<&MotionRecord> = train.iter().collect();
+    let model = MotionClassifier::train(&refs, hand_dataset().spec.limb, &config).expect("train");
+    let window_len = model.window().len();
+    let server = Server::start(model, drift_serve_config(&train, &config)).unwrap();
+    let addr = server.local_addr();
+
+    // Session B streams clean frames on its own connection while session
+    // A triggers the drift re-train.
+    let bystander = frames_of(&queries[1]);
+    let rounds = 3usize;
+    let worker = {
+        let bystander = bystander.clone();
+        std::thread::spawn(move || {
+            let mut client = ServeClient::connect(addr).expect("connect");
+            client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+            let session = client
+                .session_open(ReloadPolicy::Rebind, None)
+                .expect("bystander opens");
+            let mut windows = 0usize;
+            for _ in 0..rounds {
+                for chunk in bystander.chunks(32) {
+                    let (_, w, rejected, _) = push_ok(&mut client, session, chunk);
+                    assert!(rejected.is_empty(), "clean frames must not be rejected");
+                    windows += w.len();
+                }
+            }
+            let summary = match client.session_close(session).expect("close") {
+                Response::SessionClosed { summary } => summary,
+                other => panic!("expected session_closed, got {other:?}"),
+            };
+            (windows, summary)
+        })
+    };
+
+    let mut client = ServeClient::connect(addr).unwrap();
+    client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+    let trigger = client
+        .session_open(ReloadPolicy::Rebind, None)
+        .expect("trigger opens");
+    let (prefix, tail) = drift_stimulus(&queries[0]);
+    let mut retrained = false;
+    for _ in 0..2 {
+        push_ok(&mut client, trigger, &prefix);
+    }
+    for _ in 0..4 {
+        let (_, _, _, drift) = push_ok(&mut client, trigger, &tail);
+        retrained |= drift.is_some_and(|d| d.retrained);
+    }
+    let (windows, summary) = worker.join().unwrap();
+    assert!(retrained, "session A must have triggered a hot re-train");
+    // Every frame session B pushed was accepted and every completed
+    // window came back — nothing was dropped across the model swap.
+    let pushed = (bystander.len() * rounds) as u64;
+    assert_eq!(summary.frames, pushed);
+    assert_eq!(summary.rejected_frames, 0);
+    assert_eq!(windows, bystander.len() * rounds / window_len);
+}
+
+#[test]
+fn malformed_mid_session_frames_keep_the_session_alive() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (model, queries, _) = trained_model();
+    let server = Server::start(model, ServeConfig::default()).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let session = client
+        .session_open(ReloadPolicy::Rebind, None)
+        .expect("session opens");
+
+    let mut frames = frames_of(&queries[0]);
+    frames[2].mocap[0] = f64::NAN;
+    frames[5].emg.pop();
+    let (_, _, rejected, _) = push_ok(&mut client, session, &frames[..8]);
+    let rejected_idx: Vec<usize> = rejected.iter().map(|r| r.index).collect();
+    assert_eq!(rejected_idx, vec![2, 5]);
+    for r in &rejected {
+        assert!(!r.reason.is_empty(), "rejections must carry a reason");
+    }
+
+    // The session keeps streaming on the same connection.
+    let clean = frames_of(&queries[0]);
+    let (_, windows, rejected, _) = push_ok(&mut client, session, &clean);
+    assert!(rejected.is_empty());
+    assert!(!windows.is_empty(), "the session must still classify");
+    client.session_close(session).expect("close succeeds");
+}
+
+#[test]
+fn router_pins_sessions_to_shards_and_rewrites_ids() {
+    if !json_available() {
+        eprintln!("skipping: serde_json stub build");
+        return;
+    }
+    let (model_a, queries, config) = trained_model();
+    let train = train_records();
+    let refs: Vec<&MotionRecord> = train.iter().collect();
+    let model_b = MotionClassifier::train(&refs, hand_dataset().spec.limb, &config).expect("train");
+
+    // Two single-replica shards, then a router in front.
+    let shard_a = Server::start(model_a, ServeConfig::default()).unwrap();
+    let shard_b = Server::start(model_b, ServeConfig::default()).unwrap();
+    let topo = vec![
+        vec![shard_a.local_addr().to_string()],
+        vec![shard_b.local_addr().to_string()],
+    ];
+    let router = Router::new(RouterConfig::default().with_shards(topo)).unwrap();
+    let front = RouterServer::start(router, "127.0.0.1:0").unwrap();
+    let mut client = ServeClient::connect(front.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // Round-robin affinity lands the two sessions on different shards;
+    // both backends number sessions from 1, so distinct router ids prove
+    // the id rewrite.
+    let s1 = client.session_open(ReloadPolicy::Rebind, None).unwrap();
+    let s2 = client.session_open(ReloadPolicy::Rebind, None).unwrap();
+    assert_ne!(s1, s2, "router ids must be distinct across shards");
+
+    let frames = frames_of(&queries[0]);
+    for session in [s1, s2] {
+        let (_, windows, rejected, _) = push_ok(&mut client, session, &frames);
+        assert!(rejected.is_empty());
+        assert!(!windows.is_empty(), "session {session} must classify");
+    }
+
+    // The pinned-session count rides on ClusterHealth.
+    match client
+        .call(&Request::Classify {
+            record: queries[0].clone(),
+        })
+        .expect("classify via router")
+    {
+        Response::Result { cluster, .. } => {
+            let health = cluster.expect("router attaches cluster health");
+            assert_eq!(health.sessions_routed, 2);
+        }
+        other => panic!("expected merged result, got {other:?}"),
+    }
+
+    for session in [s1, s2] {
+        match client.session_close(session).expect("close") {
+            Response::SessionClosed { summary } => {
+                assert_eq!(summary.session, session, "ids are rewritten on close");
+                assert_eq!(summary.frames, frames.len() as u64);
+            }
+            other => panic!("expected session_closed, got {other:?}"),
+        }
+    }
+    match client
+        .session_push(s1, &frames[..1])
+        .expect("push transports")
+    {
+        Response::SessionUnknown { session } => assert_eq!(session, s1),
+        other => panic!("closed session must be unknown, got {other:?}"),
+    }
+}
